@@ -1,0 +1,93 @@
+//! Criterion benches for the wire codecs: RLP, discv4 packets, and
+//! devp2p/eth messages. These sit on the hot path of every simulated
+//! (and real) packet.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use devp2p::{Capability, Hello, Message};
+use enode::{Endpoint, NodeId, NodeRecord};
+use ethcrypto::secp256k1::SecretKey;
+use ethwire::{Chain, ChainConfig, EthMessage, Status};
+use std::net::Ipv4Addr;
+
+fn bench_rlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rlp");
+    let nodes: Vec<NodeRecord> = (0..12u8)
+        .map(|i| {
+            NodeRecord::new(
+                NodeId([i; 64]),
+                Endpoint::new(Ipv4Addr::new(10, 0, 0, i), 30303),
+            )
+        })
+        .collect();
+    let encoded = rlp::encode_list(&nodes);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_neighbors_list", |b| {
+        b.iter(|| rlp::encode_list(std::hint::black_box(&nodes)))
+    });
+    group.bench_function("decode_neighbors_list", |b| {
+        b.iter(|| rlp::decode_list::<NodeRecord>(std::hint::black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_discv4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discv4");
+    group.sample_size(30);
+    let key = SecretKey::from_bytes(&[7u8; 32]).unwrap();
+    let ping = discv4::Packet::Ping {
+        version: 4,
+        from: Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 30303),
+        to: Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 30303),
+        expiration: u64::MAX / 2,
+    };
+    group.bench_function("encode_ping_signed", |b| {
+        b.iter(|| discv4::encode_packet(std::hint::black_box(&key), std::hint::black_box(&ping)))
+    });
+    let (datagram, _) = discv4::encode_packet(&key, &ping);
+    group.bench_function("decode_ping_recover", |b| {
+        b.iter(|| discv4::decode_packet(std::hint::black_box(&datagram)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_devp2p_eth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("messages");
+    let hello = Message::Hello(Hello {
+        p2p_version: 5,
+        client_id: "Geth/v1.8.11-stable/linux-amd64/go1.10".into(),
+        capabilities: vec![Capability::eth62(), Capability::eth63()],
+        listen_port: 30303,
+        node_id: NodeId([9u8; 64]),
+    });
+    group.bench_function("hello_roundtrip", |b| {
+        b.iter(|| {
+            let payload = hello.encode_payload();
+            Message::decode(0x00, &payload).unwrap()
+        })
+    });
+    let chain = Chain::new(ChainConfig::mainnet(), 5_000_000);
+    let status = EthMessage::Status(Status {
+        protocol_version: 63,
+        network_id: 1,
+        total_difficulty: chain.total_difficulty(),
+        best_hash: chain.best_hash(),
+        genesis_hash: chain.config.genesis_hash,
+    });
+    group.bench_function("status_roundtrip", |b| {
+        b.iter(|| {
+            let payload = status.encode_payload();
+            EthMessage::decode(0x00, &payload).unwrap()
+        })
+    });
+    let headers = EthMessage::BlockHeaders(chain.headers(1_000_000, 32, 0, false));
+    group.bench_function("headers32_roundtrip", |b| {
+        b.iter(|| {
+            let payload = headers.encode_payload();
+            EthMessage::decode(0x04, &payload).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rlp, bench_discv4, bench_devp2p_eth);
+criterion_main!(benches);

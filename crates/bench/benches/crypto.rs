@@ -1,0 +1,74 @@
+//! Criterion benches for the from-scratch crypto substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ethcrypto::aes::AesCtr;
+use ethcrypto::secp256k1::{recover, SecretKey};
+use ethcrypto::{ecies, keccak256, sha256};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    let data = vec![0xabu8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("keccak256_1k", |b| {
+        b.iter(|| keccak256(std::hint::black_box(&data)))
+    });
+    group.bench_function("sha256_1k", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes");
+    let key = [0x42u8; 32];
+    let iv = [0x24u8; 16];
+    let data = vec![0u8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("ctr_4k", |b| {
+        b.iter(|| {
+            let mut ctr = AesCtr::new(&key, &iv);
+            ctr.process(std::hint::black_box(&data))
+        })
+    });
+    group.finish();
+}
+
+fn bench_secp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secp256k1");
+    group.sample_size(20);
+    let sk = SecretKey::from_bytes(&[7u8; 32]).unwrap();
+    let peer = SecretKey::from_bytes(&[9u8; 32]).unwrap().public_key();
+    let digest = keccak256(b"bench digest");
+    group.bench_function("sign", |b| {
+        b.iter(|| sk.sign_recoverable(std::hint::black_box(&digest)))
+    });
+    let sig = sk.sign_recoverable(&digest);
+    group.bench_function("recover", |b| {
+        b.iter(|| recover(std::hint::black_box(&digest), std::hint::black_box(&sig)).unwrap())
+    });
+    group.bench_function("ecdh", |b| {
+        b.iter(|| sk.ecdh(std::hint::black_box(&peer)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_ecies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecies");
+    group.sample_size(20);
+    let sk = SecretKey::from_bytes(&[7u8; 32]).unwrap();
+    let msg = vec![0x55u8; 194]; // auth-body-sized
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("encrypt_auth_sized", |b| {
+        b.iter(|| ecies::encrypt(&mut rng, &sk.public_key(), std::hint::black_box(&msg), b"").unwrap())
+    });
+    let ct = ecies::encrypt(&mut rng, &sk.public_key(), &msg, b"").unwrap();
+    group.bench_function("decrypt_auth_sized", |b| {
+        b.iter(|| ecies::decrypt(&sk, std::hint::black_box(&ct), b"").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_aes, bench_secp, bench_ecies);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for Kademlia routing: distance metrics, table
+//! operations, and the §6.3 ablation angle (how much slower the buggy
+//! metric makes `closest`-quality routing is measured by the experiment
+//! binaries; here we measure raw op cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use enode::{Endpoint, NodeId, NodeRecord};
+use kad::{log_distance_geth, log_distance_parity, Metric, RoutingTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+fn random_record(rng: &mut StdRng) -> NodeRecord {
+    let mut id = [0u8; 64];
+    rng.fill(&mut id[..]);
+    NodeRecord::new(
+        NodeId(id),
+        Endpoint::new(Ipv4Addr::new(10, rng.gen(), rng.gen(), rng.gen()), 30303),
+    )
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    let a = [0x12u8; 32];
+    let b = [0xabu8; 32];
+    group.bench_function("geth_log2", |bch| {
+        bch.iter(|| log_distance_geth(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    group.bench_function("parity_byte_sum", |bch| {
+        bch.iter(|| log_distance_parity(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_table");
+    let mut rng = StdRng::seed_from_u64(99);
+    let local = NodeId([0xEEu8; 64]);
+
+    for metric in [Metric::GethLog2, Metric::ParityByteSum] {
+        let mut table = RoutingTable::new(local, metric);
+        for _ in 0..500 {
+            let _ = table.add(random_record(&mut rng), 0);
+        }
+        let name = match metric {
+            Metric::GethLog2 => "closest16_geth",
+            Metric::ParityByteSum => "closest16_parity",
+        };
+        let target = NodeId([0x77u8; 64]).kad_hash();
+        group.bench_function(name, |b| {
+            b.iter(|| table.closest(std::hint::black_box(&target), 16))
+        });
+    }
+
+    group.bench_function("add_500", |b| {
+        b.iter(|| {
+            let mut table = RoutingTable::new(local, Metric::GethLog2);
+            for i in 0..500u64 {
+                let _ = table.add(random_record(&mut rng), i);
+            }
+            table.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance, bench_table);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the discrete-event simulator: events per second of
+//! a live DEVp2p world (the figure that bounds every experiment's wall
+//! time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethpop::world::{World, WorldConfig};
+
+fn bench_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    group.bench_function("world40_60s", |b| {
+        b.iter(|| {
+            let config = WorldConfig {
+                seed: 7,
+                n_nodes: 40,
+                duration_ms: 60_000,
+                spammer_ips: 0,
+                always_on_fraction: 1.0,
+                udp_loss: 0.0,
+                ..WorldConfig::default()
+            };
+            let mut world = World::build(config);
+            world.sim.run_until(60_000);
+            world.sim.events_processed()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_world);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Extension (§2.3): full sync vs eth/63 fast sync.
+//!
+//! The paper describes fast sync as "improving syncing times by
+//! approximately an order of magnitude" [54]. This experiment drives both
+//! [`ethwire::SyncDriver`] modes against the same chain and reports
+//! validation work, message counts, and the crossover behaviour as chains
+//! grow.
+
+use ethwire::{Chain, ChainConfig, SyncDriver, SyncMode};
+
+fn run(mode: SyncMode, head: u64) -> ethwire::SyncStats {
+    let chain = Chain::new(ChainConfig::mainnet(), head);
+    let mut driver = SyncDriver::new(mode, head, 192, 64);
+    driver.run_to_completion(|req| ethwire::sync::serve_from_chain(&chain, req))
+}
+
+fn main() {
+    println!("Extension — full sync vs fast sync (§2.3)\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "head", "full_work", "fast_work", "ratio", "full_msgs", "fast_msgs"
+    );
+    let mut artifact = String::from("head,full_work,fast_work,ratio,full_msgs,fast_msgs\n");
+    for head in [10_000u64, 50_000, 200_000, 1_000_000, 5_460_000] {
+        let full = run(SyncMode::Full, head);
+        let fast = run(SyncMode::Fast, head);
+        let ratio = full.work_units as f64 / fast.work_units as f64;
+        println!(
+            "{:>10} {:>14} {:>14} {:>7.1}x {:>10} {:>10}",
+            head, full.work_units, fast.work_units, ratio, full.requests, fast.requests
+        );
+        artifact.push_str(&format!(
+            "{head},{},{},{ratio:.2},{},{}\n",
+            full.work_units, fast.work_units, full.requests, fast.requests
+        ));
+    }
+    println!(
+        "\nexpectation: the work ratio approaches the state-validation/receipt-check \
+         cost ratio (~13x here) as the chain grows — 'approximately an order of \
+         magnitude' (paper §2.3, [54])."
+    );
+    let path = bench::write_artifact("extension_fastsync.csv", &artifact);
+    println!("wrote {}", path.display());
+}

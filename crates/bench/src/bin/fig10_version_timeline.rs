@@ -1,0 +1,55 @@
+//! Figure 10 (§6.2): Geth version populations over time.
+//!
+//! Paper shape to match: when a new version releases, its population rises
+//! sharply while the previous version's declines; old pinned versions
+//! (v1.7.2/v1.7.3) decay slowly but persist.
+
+use analysis::clients::version_timeline;
+use bench::{run_crawl, scale_from_env, Scale};
+
+fn main() {
+    let scale = scale_from_env(Scale::ecosystem());
+    eprintln!(
+        "running ecosystem crawl: {} nodes, {} crawler(s), {} day(s) × {}ms …",
+        scale.n_nodes, scale.crawlers, scale.days, scale.day_ms
+    );
+    let run = run_crawl(scale, 2);
+
+    let tl = version_timeline(&run.merged, "Geth", run.scale.day_ms, run.scale.days);
+
+    println!("Figure 10 — Geth version distribution over time (nodes per day)\n");
+    // Columns: the versions with the largest total presence.
+    let mut versions: Vec<(&String, u64)> =
+        tl.iter().map(|(v, s)| (v, s.iter().sum::<u64>())).collect();
+    versions.sort_by_key(|v| std::cmp::Reverse(v.1));
+    let top: Vec<&String> = versions.iter().take(7).map(|(v, _)| *v).collect();
+    print!("{:<6}", "day");
+    for v in &top {
+        print!(" {:>9}", v);
+    }
+    println!();
+    for day in 0..run.scale.days {
+        print!("{:<6}", day);
+        for v in &top {
+            print!(" {:>9}", tl[*v][day]);
+        }
+        println!();
+    }
+
+    let mut csv = String::from("day");
+    for v in &top {
+        csv.push(',');
+        csv.push_str(v);
+    }
+    csv.push('\n');
+    for day in 0..run.scale.days {
+        csv.push_str(&day.to_string());
+        for v in &top {
+            csv.push_str(&format!(",{}", tl[*v][day]));
+        }
+        csv.push('\n');
+    }
+    let path = bench::write_artifact("fig10_version_timeline.csv", &csv);
+    println!("\n(paper: new releases ramp up as predecessors decline; old versions persist)");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,41 @@
+//! Figure 11 + Equation 1 (§6.3): Geth vs Parity node-distance
+//! distributions over 100K random node-ID pairs.
+//!
+//! Paper shape to match: Geth's log distance piles up at 256 (P=1/2), 255
+//! (1/4), 254 (1/8)…; Parity's per-byte sum is a narrow bell around 224.
+//! The two agree only when the XOR is of the form 2^k−1 — effectively
+//! never for random pairs.
+
+use bench::xor_experiment;
+
+fn main() {
+    let trials: usize = std::env::var("TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let seed: u64 = std::env::var("SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1804);
+
+    let result = xor_experiment::run(trials, seed);
+
+    println!("Figure 11 — node distance distribution ({} trials)\n", result.trials);
+    println!("{:<10} {:>12} {:>12}", "distance", "geth", "parity");
+    // Print the informative region: Parity's bell and Geth's top end.
+    for d in 200..=256usize {
+        if result.geth_hist[d] > 0 || result.parity_hist[d] > 0 {
+            println!("{:<10} {:>12} {:>12}", d, result.geth_hist[d], result.parity_hist[d]);
+        }
+    }
+    println!();
+    println!("geth   mean distance: {:.2}", result.geth_mean);
+    println!("parity mean distance: {:.2}  (paper: tight bell ≈224)", result.parity_mean);
+    println!(
+        "Eq.1 agreement rate:  {:.5}  (metrics agree iff XOR = 2^k − 1)",
+        result.agreement_rate
+    );
+
+    let path = bench::write_artifact("fig11_xor_metric.csv", &xor_experiment::to_csv(&result));
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! Figures 12 and 13 (§7.2): geographic and autonomous-system
+//! distribution of the Mainnet snapshot, plus the latency CDF.
+//!
+//! Paper shape to match: US ≈43.2% and China ≈12.9% lead the countries;
+//! the top 8 ASes — all cloud providers (Amazon, Alibaba, DigitalOcean,
+//! OVH, Hetzner, Google…) — hold ≈44.8% of nodes.
+
+use analysis::geo::{as_distribution, country_distribution, top_as_share, GeoDb};
+use analysis::render::{cdf_csv, count_table};
+use analysis::snapshot::latency_cdf;
+use bench::{run_snapshot, scale_from_env, Scale};
+use nodefinder::sanitize;
+
+fn main() {
+    let scale = scale_from_env(Scale::snapshot());
+    eprintln!(
+        "running snapshot: {} nodes, {} crawler(s), {} day(s) × {}ms …",
+        scale.n_nodes, scale.crawlers, scale.days, scale.day_ms
+    );
+    let snap = run_snapshot(scale);
+    let db = GeoDb::from_world(&snap.nodefinder.world);
+    let (clean, _) = sanitize(&snap.nodefinder.store, bench::sim_sanitize_params());
+    let store = &clean;
+
+    let countries = country_distribution(store, &db);
+    let table12 = count_table("Figure 12 — Mainnet nodes by country", &countries, 12);
+    println!("{table12}");
+    println!("(paper: US 43.2%, CN 12.9%)\n");
+
+    let ases = as_distribution(store, &db);
+    let table13 = count_table("Figure 13 — Mainnet nodes by AS", &ases, 12);
+    println!("{table13}");
+    println!(
+        "top-8 AS share: {:.1}% (paper: 44.8%, all cloud providers)\n",
+        top_as_share(&ases, 8)
+    );
+
+    let lat = latency_cdf(store);
+    println!(
+        "latency CDF: n={}, p50={}ms, p90={}ms, p99={}ms",
+        lat.len(),
+        lat.quantile(0.5),
+        lat.quantile(0.9),
+        lat.quantile(0.99)
+    );
+
+    let mut artifact = table12;
+    artifact.push('\n');
+    artifact.push_str(&table13);
+    bench::write_artifact("fig12_13_geo_as.txt", &artifact);
+    let path = bench::write_artifact("fig13_latency_cdf.csv", &cdf_csv("latency_ms", &lat.series(40)));
+    println!("\nwrote results/fig12_13_geo_as.txt and {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! Figure 14 (§7.3): node freshness — how far each Mainnet node's best
+//! block lags the network head.
+//!
+//! Paper shape to match: roughly two thirds of nodes are fresh; ≈32.7%
+//! are stale (cannot validate/propagate new transactions); a visible knot
+//! of nodes is stuck at exactly block 4,370,001 — the first post-Byzantium
+//! block — because they run pre-Byzantium clients.
+
+use analysis::render::cdf_csv;
+use analysis::snapshot::freshness;
+use bench::{run_snapshot, scale_from_env, Scale};
+use nodefinder::sanitize;
+
+fn main() {
+    let scale = scale_from_env(Scale::snapshot());
+    eprintln!(
+        "running snapshot: {} nodes, {} crawler(s), {} day(s) × {}ms …",
+        scale.n_nodes, scale.crawlers, scale.days, scale.day_ms
+    );
+    let snap = run_snapshot(scale);
+
+    let (clean, _) = sanitize(&snap.nodefinder.store, bench::sim_sanitize_params());
+    // Stale = more than ~6000 blocks (≈1 day of 14s blocks) behind.
+    let f = freshness(&clean, 6_000);
+
+    println!("Figure 14 — node freshness CDF\n");
+    println!("network head (inferred) : block {}", f.network_head);
+    println!("nodes with status       : {}", f.lags.len());
+    println!(
+        "stale fraction (> {} blocks behind): {:.1}% (paper: 32.7%)",
+        f.stale_threshold,
+        100.0 * f.stale_fraction
+    );
+    println!(
+        "stuck at Byzantium+1 (block {}): {} nodes (paper: 141)",
+        ethwire::BYZANTIUM_BLOCK + 1,
+        f.stuck_at_byzantium
+    );
+    println!("\nlag quantiles: p25={} p50={} p75={} p90={} blocks",
+        f.lags.quantile(0.25), f.lags.quantile(0.5), f.lags.quantile(0.75), f.lags.quantile(0.9));
+
+    let path = bench::write_artifact("fig14_freshness.csv", &cdf_csv("lag_blocks", &f.lags.series(50)));
+    println!("\nwrote {}", path.display());
+}

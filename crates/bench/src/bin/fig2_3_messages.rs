@@ -1,0 +1,45 @@
+//! Figures 2 and 3 (§3): message mixes received and sent by the
+//! instrumented Geth-like and Parity-like case-study nodes.
+//!
+//! Paper shape to match: once synced, TRANSACTIONS dominate both clients'
+//! traffic; Geth *sends* proportionally more of them than Parity because
+//! Geth broadcasts to all peers while Parity fans out to √n.
+
+use analysis::casestudy::message_mix;
+use analysis::render::count_table;
+use bench::{run_case_study, scale_from_env, Scale};
+
+fn main() {
+    let scale = scale_from_env(Scale::case_study());
+    eprintln!(
+        "running case-study world: {} nodes × {} day(s) of {}ms …",
+        scale.n_nodes, scale.days, scale.day_ms
+    );
+    let cs = run_case_study(scale);
+
+    let mut artifact = String::new();
+    for (fig, dir, sent) in [("Figure 2", "received", false), ("Figure 3", "sent", true)] {
+        for (name, stats) in [("Geth", &cs.geth), ("Parity", &cs.parity)] {
+            let rows = message_mix(stats, sent);
+            let table = count_table(&format!("{fig} — messages {dir} by {name}"), &rows, 16);
+            println!("{table}");
+            artifact.push_str(&table);
+            artifact.push('\n');
+        }
+    }
+
+    // Headline comparison: share of TRANSACTIONS in sent traffic.
+    let tx_share = |stats: &ethpop::NodeStats| -> f64 {
+        let total: u64 = stats.sent.values().sum();
+        let tx = stats.sent.get("TRANSACTIONS").copied().unwrap_or(0);
+        100.0 * tx as f64 / total.max(1) as f64
+    };
+    println!(
+        "TRANSACTIONS share of sent traffic — Geth {:.1}% vs Parity {:.1}% (paper: Geth markedly higher)",
+        tx_share(&cs.geth),
+        tx_share(&cs.parity)
+    );
+
+    let path = bench::write_artifact("fig2_3_messages.txt", &artifact);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,43 @@
+//! Figure 8 (§5.2): connections from one crawler to a known bootstrap
+//! node, split into dynamic and static dials.
+//!
+//! Paper shape to match: ≈6 dynamic dials and ≈44 static dials per day;
+//! the static count sits just below the 48/day ceiling implied by the
+//! 30-minute redial interval because any completed outbound attempt
+//! pushes back the next scheduled redial.
+
+use analysis::render::series_csv;
+use analysis::validation::dials_to_target;
+use bench::{run_crawl, scale_from_env, Scale};
+
+fn main() {
+    let scale = scale_from_env(Scale::ecosystem());
+    eprintln!(
+        "running ecosystem crawl: {} nodes, {} crawler(s), {} day(s) × {}ms …",
+        scale.n_nodes, scale.crawlers, scale.days, scale.day_ms
+    );
+    let run = run_crawl(scale, 2);
+
+    let bootstrap = run.world.bootstrap[0];
+    // Use the first instance only, like the paper's single-instance view.
+    let first = &run.per_instance[0];
+    let td = dials_to_target(first, &bootstrap.id, run.scale.day_ms, run.scale.days);
+
+    println!("Figure 8 — dials to bootstrap node {} per day\n", bootstrap.id.short());
+    println!("{:<6} {:>10} {:>10}", "day", "dynamic", "static");
+    for d in 0..run.scale.days {
+        println!("{:<6} {:>10} {:>10}", d, td.dynamic[d], td.static_dials[d]);
+    }
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+    // ceiling: day_ms / static_redial_interval (the harness scales the
+    // 30-minute interval to the compressed day → 48/day by construction).
+    println!(
+        "\nmeans: {:.1} dynamic/day, {:.1} static/day (paper: ≈6 and ≈44, ceiling 48)",
+        mean(&td.dynamic),
+        mean(&td.static_dials)
+    );
+
+    let csv = series_csv(&["dynamic", "static"], &[&td.dynamic, &td.static_dials]);
+    let path = bench::write_artifact("fig8_bootstrap_dials.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

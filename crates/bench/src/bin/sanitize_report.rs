@@ -1,0 +1,66 @@
+//! §5.4: the data-sanitization pipeline on the longitudinal dataset.
+//!
+//! Paper shape to match: a small number of IPs (0.3%) hosts a large
+//! fraction of all node IDs (21.5%); the five-step filter flags them; most
+//! flagged identities were seen only briefly and report the genesis block
+//! as their best hash.
+
+use bench::{run_crawl, scale_from_env, Scale};
+use nodefinder::sanitize;
+
+fn main() {
+    let scale = scale_from_env(Scale::ecosystem());
+    eprintln!(
+        "running ecosystem crawl: {} nodes, {} crawler(s), {} day(s) × {}ms …",
+        scale.n_nodes, scale.crawlers, scale.days, scale.day_ms
+    );
+    let run = run_crawl(scale, 2);
+    let params = bench::sim_sanitize_params();
+    let (clean, report) = sanitize(&run.store, params);
+
+    println!("§5.4 sanitization report\n");
+    println!("total node IDs        : {}", run.store.total_ids());
+    println!("abusive IPs flagged   : {}", report.abusive_ips.len());
+    for ip in &report.abusive_ips {
+        let ids_at_ip = run
+            .store
+            .nodes
+            .values()
+            .filter(|o| o.ips.contains(ip))
+            .count();
+        println!("  {ip}: {ids_at_ip} node IDs");
+    }
+    println!("node IDs removed      : {}", report.removed_nodes.len());
+    println!(
+        "removed fraction      : {:.1}% (paper: 21.5% of IDs from 0.3% of IPs)",
+        100.0 * report.removed_fraction
+    );
+    println!("node IDs kept         : {}", report.kept_nodes);
+
+    // Check the "best hash = genesis" tell on removed identities.
+    let genesis_reporting = report
+        .removed_nodes
+        .iter()
+        .filter_map(|id| run.store.nodes.get(id))
+        .filter(|o| {
+            o.status
+                .map(|s| analysis::snapshot::head_from_total_difficulty(s.total_difficulty) == 0)
+                .unwrap_or(false)
+        })
+        .count();
+    println!(
+        "removed IDs reporting the genesis block as best: {} (paper: all of the 42K-ID IP)",
+        genesis_reporting
+    );
+
+    let artifact = format!(
+        "total_ids,{}\nabusive_ips,{}\nremoved,{}\nremoved_fraction,{:.4}\nkept,{}\n",
+        run.store.total_ids(),
+        report.abusive_ips.len(),
+        report.removed_nodes.len(),
+        report.removed_fraction,
+        clean.total_ids()
+    );
+    let path = bench::write_artifact("sanitize_report.csv", &artifact);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,71 @@
+//! Table 2 (§5.3): NodeFinder vs an Ethernodes-style collector on the
+//! same snapshot window.
+//!
+//! Paper shape to match: NodeFinder's Mainnet set is several times larger
+//! (16,831 vs 4,717); the overlap covers most of the Ethernodes set
+//! (81.8%); much of NodeFinder's additional coverage is publicly
+//! unreachable nodes the single passive collector rarely meets; and only a
+//! minority of nodes the Ethernodes-style list attributes to "network 1"
+//! actually run the Mainnet chain (no DAO check).
+
+use analysis::validation::{ethernodes_mainnet_set, intersection_table};
+use bench::{run_snapshot, scale_from_env, Scale};
+use nodefinder::sanitize;
+
+fn main() {
+    let scale = scale_from_env(Scale::snapshot());
+    eprintln!(
+        "running snapshot: {} nodes, {} crawler(s) + 1 ethernodes-style, {} day(s) × {}ms …",
+        scale.n_nodes, scale.crawlers, scale.days, scale.day_ms
+    );
+    let snap = run_snapshot(scale);
+    let (nf_clean, _) = sanitize(&snap.nodefinder.store, bench::sim_sanitize_params());
+    let (en_clean, _) = sanitize(&snap.ethernodes, bench::sim_sanitize_params());
+
+    let t = intersection_table(&nf_clean, &en_clean);
+    println!("Table 2 — set intersections (EN = Ethernodes-style, NF = NodeFinder)\n");
+    println!("|EN|            = {:>6}   (claimed network-1 + Mainnet genesis)", t.en);
+    println!("|NF|            = {:>6}   (DAO-checked Mainnet)", t.nf);
+    println!("|NFR| reachable = {:>6}", t.nfr);
+    println!("|NFU| unreach.  = {:>6}", t.nfu);
+    println!("|EN ∩ NF|       = {:>6}   ({:.1}% of EN)", t.en_and_nf,
+        100.0 * t.en_and_nf as f64 / t.en.max(1) as f64);
+    println!("|EN ∩ NFR|      = {:>6}", t.en_and_nfr);
+    println!("|EN ∩ NFU|      = {:>6}", t.en_and_nfu);
+    println!("|EN \\ NF|       = {:>6}   (missed by NodeFinder's Mainnet classification)", t.en_only);
+    println!(
+        "\nNF/EN coverage factor = {:.2}× (paper: 16,831/4,717 ≈ 3.6×). NOTE: in a \
+         hundreds-of-nodes world every collector saturates within minutes, so this \
+         factor approaches 1 here; the coverage advantage that survives scaling is \
+         measured against the reachable-only baseline (table6_sizes, ≈2.3×+). What \
+         this table preserves is the *claims vs verified* gap: |EN \\ NF| nodes on \
+         the EN list are not actually Mainnet (Classic/misconfigured), and NF \
+         verifies nodes EN cannot.",
+        t.nf as f64 / t.en.max(1) as f64
+    );
+
+    // §5.3's deeper look: how many EN-claimed nodes NodeFinder *saw* at any
+    // layer but could not classify.
+    let en_set = ethernodes_mainnet_set(&en_clean);
+    let seen_unclassified = en_set
+        .iter()
+        .filter(|id| {
+            nf_clean
+                .nodes
+                .get(id)
+                .map(|o| !o.is_mainnet())
+                .unwrap_or(false)
+        })
+        .count();
+    println!(
+        "EN nodes NodeFinder saw but could not confirm as Mainnet: {seen_unclassified} \
+         (paper: light clients + flaky ancient Parity)"
+    );
+
+    let artifact = format!(
+        "en,{}\nnf,{}\nnfr,{}\nnfu,{}\nen_and_nf,{}\nen_and_nfr,{}\nen_and_nfu,{}\nen_only,{}\n",
+        t.en, t.nf, t.nfr, t.nfu, t.en_and_nf, t.en_and_nfr, t.en_and_nfu, t.en_only
+    );
+    let path = bench::write_artifact("table2_ethernodes.csv", &artifact);
+    println!("\nwrote {}", path.display());
+}

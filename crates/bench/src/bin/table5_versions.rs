@@ -1,0 +1,49 @@
+//! Table 5 (§6.2): version stability mixes for Geth and Parity, plus the
+//! §6.2 straggler statistics.
+//!
+//! Paper shape to match: Geth ≈81.9% stable (single release channel, top
+//! versions are the most recent stables); Parity only ≈56.2% stable (weekly
+//! multi-channel releases, sparser version distribution); ≈3.5% of Geth
+//! nodes pre-date v1.7.1 (Byzantium-incompatible).
+
+use analysis::clients::{fraction_at_or_below, version_stability};
+use analysis::render::count_table;
+use bench::{run_crawl, scale_from_env, Scale};
+use nodefinder::sanitize;
+
+fn main() {
+    let scale = scale_from_env(Scale::ecosystem());
+    eprintln!(
+        "running ecosystem crawl: {} nodes, {} crawler(s), {} day(s) × {}ms …",
+        scale.n_nodes, scale.crawlers, scale.days, scale.day_ms
+    );
+    let run = run_crawl(scale, 2);
+    let (clean, _) = sanitize(&run.store, bench::sim_sanitize_params());
+
+    let mut artifact = String::new();
+    println!("Table 5 — client version stability\n");
+    for row in version_stability(&clean) {
+        let line = format!(
+            "{:<8} stable {:>5} / unstable {:>5}  ({:.1}% stable)",
+            row.family, row.stable, row.unstable, row.stable_percent
+        );
+        println!("{line}");
+        artifact.push_str(&line);
+        artifact.push('\n');
+        let table = count_table(&format!("top {} versions", row.family), &row.top_versions, 10);
+        println!("{table}");
+        artifact.push_str(&table);
+        artifact.push('\n');
+    }
+    println!("(paper: Geth 81.9% stable, Parity 56.2% stable)");
+
+    let pre_byzantium = fraction_at_or_below(&clean, "Geth", "v1.7.0");
+    println!(
+        "Geth nodes pre-dating v1.7.1 (Byzantium-incompatible): {:.1}% (paper: 3.5%)",
+        100.0 * pre_byzantium
+    );
+    artifact.push_str(&format!("geth_pre_byzantium_fraction,{pre_byzantium:.4}\n"));
+
+    let path = bench::write_artifact("table5_versions.txt", &artifact);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,102 @@
+//! Fig 11 / Eq. 1: the Geth-vs-Parity node-distance experiment (§6.3).
+//!
+//! The paper simulated 100K random node-ID pairs under each client's
+//! distance function; this reproduces it exactly (it is the one experiment
+//! that needs no network at all).
+
+use ethcrypto::keccak256;
+use kad::{log_distance_geth, log_distance_parity, metrics_agree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution histograms for both metrics plus the Eq. 1 agreement rate.
+#[derive(Debug, Clone)]
+pub struct XorResult {
+    /// Trials run.
+    pub trials: usize,
+    /// Histogram over distances 0..=256 for Geth's metric.
+    pub geth_hist: Vec<u64>,
+    /// Histogram for Parity's metric.
+    pub parity_hist: Vec<u64>,
+    /// Fraction of pairs where the metrics agree (Eq. 1 condition).
+    pub agreement_rate: f64,
+    /// Mean distance under each metric.
+    pub geth_mean: f64,
+    /// Mean under Parity's metric.
+    pub parity_mean: f64,
+}
+
+/// Run `trials` random-pair distance computations (the paper used 100K).
+pub fn run(trials: usize, seed: u64) -> XorResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut geth_hist = vec![0u64; 257];
+    let mut parity_hist = vec![0u64; 257];
+    let mut agreements = 0u64;
+    let mut geth_sum = 0u64;
+    let mut parity_sum = 0u64;
+    for _ in 0..trials {
+        // Random 512-bit node IDs, hashed exactly as the clients do.
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        rng.fill(&mut a[..]);
+        rng.fill(&mut b[..]);
+        let ha = keccak256(&a);
+        let hb = keccak256(&b);
+        let dg = log_distance_geth(&ha, &hb);
+        let dp = log_distance_parity(&ha, &hb);
+        geth_hist[dg as usize] += 1;
+        parity_hist[dp as usize] += 1;
+        geth_sum += dg as u64;
+        parity_sum += dp as u64;
+        if metrics_agree(&ha, &hb) {
+            agreements += 1;
+        }
+    }
+    XorResult {
+        trials,
+        geth_hist,
+        parity_hist,
+        agreement_rate: agreements as f64 / trials.max(1) as f64,
+        geth_mean: geth_sum as f64 / trials.max(1) as f64,
+        parity_mean: parity_sum as f64 / trials.max(1) as f64,
+    }
+}
+
+/// Render the two histograms as CSV (distance, geth, parity).
+pub fn to_csv(result: &XorResult) -> String {
+    let mut out = String::from("distance,geth,parity\n");
+    for d in 0..=256usize {
+        out.push_str(&format!("{d},{},{}\n", result.geth_hist[d], result.parity_hist[d]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_match_paper_shape() {
+        let r = run(20_000, 7);
+        // Geth: half of pairs at 256, quarter at 255…
+        let at256 = r.geth_hist[256] as f64 / r.trials as f64;
+        assert!((at256 - 0.5).abs() < 0.02, "{at256}");
+        let at255 = r.geth_hist[255] as f64 / r.trials as f64;
+        assert!((at255 - 0.25).abs() < 0.02, "{at255}");
+        // Parity: concentrated near 224, nothing at 256's neighborhood
+        // except a negligible tail.
+        assert!((r.parity_mean - 224.1).abs() < 0.5, "{}", r.parity_mean);
+        assert!(r.parity_hist[256] == 0 || r.parity_hist[256] < 5);
+        // The two metrics essentially never agree on random pairs.
+        assert!(r.agreement_rate < 0.01, "{}", r.agreement_rate);
+        // Geth mean ≈ 255 (sum of 256 - k with prob 2^-k-ish).
+        assert!(r.geth_mean > 253.0);
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let r = run(100, 1);
+        let csv = to_csv(&r);
+        assert_eq!(csv.lines().count(), 258);
+    }
+}

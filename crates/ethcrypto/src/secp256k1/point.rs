@@ -1,0 +1,391 @@
+//! Group arithmetic on the secp256k1 curve y² = x³ + 7 over GF(p).
+//!
+//! Points are manipulated in Jacobian coordinates (X, Y, Z) with
+//! x = X/Z², y = Y/Z³ so that additions and doublings need no field
+//! inversions; a single inversion converts back to affine at the end.
+
+use super::field::Fe;
+use crate::u256::U256;
+
+/// The curve order n (number of points / order of the generator).
+pub const N: U256 = U256([
+    0xBFD25E8CD0364141,
+    0xBAAEDCE6AF48A03B,
+    0xFFFFFFFFFFFFFFFE,
+    0xFFFFFFFFFFFFFFFF,
+]);
+
+/// Generator x coordinate.
+pub const GX: U256 = U256([
+    0x59F2815B16F81798,
+    0x029BFCDB2DCE28D9,
+    0x55A06295CE870B07,
+    0x79BE667EF9DCBBAC,
+]);
+
+/// Generator y coordinate.
+pub const GY: U256 = U256([
+    0x9C47D08FFB10D4B8,
+    0xFD17B448A6855419,
+    0x5DA4FBFC0E1108A8,
+    0x483ADA7726A3C465,
+]);
+
+/// A point in affine coordinates, or infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affine {
+    /// The point at infinity (group identity).
+    Infinity,
+    /// A finite point (x, y).
+    Point {
+        /// x coordinate.
+        x: Fe,
+        /// y coordinate.
+        y: Fe,
+    },
+}
+
+impl Affine {
+    /// The curve generator G.
+    pub fn generator() -> Affine {
+        Affine::Point { x: Fe(GX), y: Fe(GY) }
+    }
+
+    /// Construct from coordinates, verifying the curve equation.
+    pub fn new_checked(x: Fe, y: Fe) -> Option<Affine> {
+        let lhs = y.square();
+        let rhs = x.square().mul(&x).add(&Fe::from_u64(7));
+        if lhs == rhs {
+            Some(Affine::Point { x, y })
+        } else {
+            None
+        }
+    }
+
+    /// Recover a point from an x coordinate and the parity of y.
+    pub fn from_x(x: Fe, y_odd: bool) -> Option<Affine> {
+        let rhs = x.square().mul(&x).add(&Fe::from_u64(7));
+        let mut y = rhs.sqrt()?;
+        if y.is_odd() != y_odd {
+            y = y.neg();
+        }
+        Some(Affine::Point { x, y })
+    }
+
+    /// Whether this is the identity.
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Affine::Infinity)
+    }
+
+    /// Negate (reflect across the x axis).
+    pub fn neg(&self) -> Affine {
+        match self {
+            Affine::Infinity => Affine::Infinity,
+            Affine::Point { x, y } => Affine::Point { x: *x, y: y.neg() },
+        }
+    }
+
+    /// Serialize as the 64-byte uncompressed `x || y` used for DEVp2p node
+    /// IDs (no 0x04 prefix).
+    pub fn to_xy_bytes(&self) -> Option<[u8; 64]> {
+        match self {
+            Affine::Infinity => None,
+            Affine::Point { x, y } => {
+                let mut out = [0u8; 64];
+                out[..32].copy_from_slice(&x.to_be_bytes());
+                out[32..].copy_from_slice(&y.to_be_bytes());
+                Some(out)
+            }
+        }
+    }
+
+    /// Parse a 64-byte `x || y` public key.
+    pub fn from_xy_bytes(b: &[u8; 64]) -> Option<Affine> {
+        let mut xb = [0u8; 32];
+        let mut yb = [0u8; 32];
+        xb.copy_from_slice(&b[..32]);
+        yb.copy_from_slice(&b[32..]);
+        let x = Fe::from_be_bytes(&xb)?;
+        let y = Fe::from_be_bytes(&yb)?;
+        Affine::new_checked(x, y)
+    }
+}
+
+/// A point in Jacobian coordinates. Z = 0 encodes infinity.
+#[derive(Debug, Clone, Copy)]
+pub struct Jacobian {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+}
+
+impl Jacobian {
+    /// The identity element.
+    pub fn infinity() -> Jacobian {
+        Jacobian { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO }
+    }
+
+    /// Lift an affine point.
+    pub fn from_affine(p: &Affine) -> Jacobian {
+        match p {
+            Affine::Infinity => Jacobian::infinity(),
+            Affine::Point { x, y } => Jacobian { x: *x, y: *y, z: Fe::ONE },
+        }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Convert back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> Affine {
+        if self.is_infinity() {
+            return Affine::Infinity;
+        }
+        let zinv = self.z.inv().expect("nonzero z");
+        let zinv2 = zinv.square();
+        let zinv3 = zinv2.mul(&zinv);
+        Affine::Point { x: self.x.mul(&zinv2), y: self.y.mul(&zinv3) }
+    }
+
+    /// Point doubling (dbl-2007-a formulas, a = 0 case).
+    pub fn double(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::infinity();
+        }
+        let a = self.x.square(); // X²
+        let b = self.y.square(); // Y²
+        let c = b.square(); // Y⁴
+        // D = 2*((X+B)² - A - C)
+        let d = self.x.add(&b).square().sub(&a).sub(&c).mul_small(2);
+        let e = a.mul_small(3); // 3X²
+        let f = e.square();
+        let x3 = f.sub(&d.mul_small(2));
+        let y3 = e.mul(&d.sub(&x3)).sub(&c.mul_small(8));
+        let z3 = self.y.mul(&self.z).mul_small(2);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition with an affine point (add-2007-bl with Z2 = 1).
+    pub fn add_affine(&self, other: &Affine) -> Jacobian {
+        let Affine::Point { x: x2, y: y2 } = other else {
+            return *self;
+        };
+        if self.is_infinity() {
+            return Jacobian::from_affine(other);
+        }
+        let z1z1 = self.z.square();
+        let u2 = x2.mul(&z1z1);
+        let s2 = y2.mul(&self.z).mul(&z1z1);
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Jacobian::infinity();
+        }
+        let h = u2.sub(&self.x);
+        let hh = h.square();
+        let i = hh.mul_small(4);
+        let j = h.mul(&i);
+        let r = s2.sub(&self.y).mul_small(2);
+        let v = self.x.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.mul_small(2));
+        let y3 = r.mul(&v.sub(&x3)).sub(&self.y.mul(&j).mul_small(2));
+        let z3 = self.z.add(&h).square().sub(&z1z1).sub(&hh);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian + Jacobian addition.
+    pub fn add(&self, other: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = other.x.mul(&z1z1);
+        let s1 = self.y.mul(&other.z).mul(&z2z2);
+        let s2 = other.y.mul(&self.z).mul(&z1z1);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Jacobian::infinity();
+        }
+        let h = u2.sub(&u1);
+        let i = h.mul_small(2).square();
+        let j = h.mul(&i);
+        let r = s2.sub(&s1).mul_small(2);
+        let v = u1.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.mul_small(2));
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).mul_small(2));
+        let z3 = self.z.add(&other.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+}
+
+/// Scalar multiplication `k * P` (double-and-add, MSB first).
+pub fn scalar_mul(k: &U256, p: &Affine) -> Affine {
+    let mut acc = Jacobian::infinity();
+    let Some(top) = k.highest_bit() else {
+        return Affine::Infinity;
+    };
+    for i in (0..=top).rev() {
+        acc = acc.double();
+        if k.bit(i) {
+            acc = acc.add_affine(p);
+        }
+    }
+    acc.to_affine()
+}
+
+/// Precomputed table of G, 2G, 4G, … 2^255·G for fast generator
+/// multiplication (built lazily once per process).
+struct GenTable {
+    powers: Vec<Affine>,
+}
+
+impl GenTable {
+    fn build() -> GenTable {
+        let mut powers = Vec::with_capacity(256);
+        let mut p = Jacobian::from_affine(&Affine::generator());
+        for _ in 0..256 {
+            powers.push(p.to_affine());
+            p = p.double();
+        }
+        GenTable { powers }
+    }
+}
+
+fn gen_table() -> &'static GenTable {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<GenTable> = OnceLock::new();
+    TABLE.get_or_init(GenTable::build)
+}
+
+/// Fast `k * G` using the precomputed power-of-two table.
+pub fn scalar_mul_generator(k: &U256) -> Affine {
+    let table = gen_table();
+    let mut acc = Jacobian::infinity();
+    let Some(top) = k.highest_bit() else {
+        return Affine::Infinity;
+    };
+    for i in 0..=top {
+        if k.bit(i) {
+            acc = acc.add_affine(&table.powers[i]);
+        }
+    }
+    acc.to_affine()
+}
+
+/// Double-scalar multiplication `a*G + b*P`, the core of ECDSA verification
+/// and public-key recovery.
+pub fn double_scalar_mul(a: &U256, b: &U256, p: &Affine) -> Affine {
+    let ag = Jacobian::from_affine(&scalar_mul_generator(a));
+    let bp = Jacobian::from_affine(&scalar_mul(b, p));
+    ag.add(&bp).to_affine()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        let g = Affine::generator();
+        let Affine::Point { x, y } = g else { panic!() };
+        assert!(Affine::new_checked(x, y).is_some());
+    }
+
+    #[test]
+    fn two_g_known_value() {
+        // 2G, a standard test vector.
+        let two_g = scalar_mul(&U256::from_u64(2), &Affine::generator());
+        let Affine::Point { x, y } = two_g else { panic!() };
+        assert_eq!(
+            x.to_be_bytes(),
+            hex32("C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5")
+        );
+        assert_eq!(
+            y.to_be_bytes(),
+            hex32("1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A")
+        );
+    }
+
+    #[test]
+    fn small_multiples_consistent() {
+        let g = Affine::generator();
+        // 5G computed two ways: scalar mul and repeated additions
+        let five = scalar_mul(&U256::from_u64(5), &g);
+        let mut acc = Jacobian::infinity();
+        for _ in 0..5 {
+            acc = acc.add_affine(&g);
+        }
+        assert_eq!(five, acc.to_affine());
+    }
+
+    #[test]
+    fn generator_table_matches_generic() {
+        for k in [1u64, 2, 3, 7, 0xffff, 0x1234_5678_9abc_def0] {
+            let k = U256::from_u64(k);
+            assert_eq!(scalar_mul_generator(&k), scalar_mul(&k, &Affine::generator()));
+        }
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        assert!(scalar_mul_generator(&N).is_infinity());
+        // (n-1)G = -G
+        let nm1 = N.wrapping_sub(&U256::ONE);
+        assert_eq!(scalar_mul_generator(&nm1), Affine::generator().neg());
+    }
+
+    #[test]
+    fn add_inverse_is_infinity() {
+        let g = Affine::generator();
+        let j = Jacobian::from_affine(&g).add_affine(&g.neg());
+        assert!(j.is_infinity());
+    }
+
+    #[test]
+    fn from_x_recovers_generator() {
+        let Affine::Point { x, y } = Affine::generator() else { panic!() };
+        let p = Affine::from_x(x, y.is_odd()).unwrap();
+        assert_eq!(p, Affine::generator());
+        let p2 = Affine::from_x(x, !y.is_odd()).unwrap();
+        assert_eq!(p2, Affine::generator().neg());
+    }
+
+    #[test]
+    fn xy_bytes_roundtrip() {
+        let p = scalar_mul(&U256::from_u64(12345), &Affine::generator());
+        let bytes = p.to_xy_bytes().unwrap();
+        assert_eq!(Affine::from_xy_bytes(&bytes).unwrap(), p);
+        // corrupting y must fail validation
+        let mut bad = bytes;
+        bad[63] ^= 1;
+        assert!(Affine::from_xy_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn double_scalar_mul_matches() {
+        let g = Affine::generator();
+        let p = scalar_mul(&U256::from_u64(99), &g);
+        // 3G + 4*(99G) = 399G
+        let got = double_scalar_mul(&U256::from_u64(3), &U256::from_u64(4), &p);
+        let want = scalar_mul(&U256::from_u64(399), &g);
+        assert_eq!(got, want);
+    }
+
+    pub(crate) fn hex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+}

@@ -1,0 +1,171 @@
+//! Client release schedules and version-adoption model (Table 5, Fig 10).
+//!
+//! Day 0 of simulated time is April 18th 2018, the start of the paper's
+//! measurement; releases before it have negative day offsets. Dates are
+//! approximate real-world release dates of the 2017–2018 clients.
+
+/// One released client version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Release {
+    /// Version string, e.g. `"v1.8.11"`.
+    pub version: &'static str,
+    /// Days relative to April 18th 2018.
+    pub day: i64,
+    /// Whether this is a stable-channel release.
+    pub stable: bool,
+}
+
+/// Geth's release history around the measurement window. Geth's cycle is
+/// simple: one channel, each release supersedes the last (§6.2).
+pub const GETH_RELEASES: [Release; 20] = [
+    Release { version: "v1.5.9", day: -420, stable: true },
+    Release { version: "v1.6.1", day: -350, stable: true },
+    Release { version: "v1.6.7", day: -280, stable: true },
+    Release { version: "v1.7.0", day: -216, stable: true },
+    Release { version: "v1.7.1", day: -209, stable: true },
+    Release { version: "v1.7.2", day: -186, stable: true },
+    Release { version: "v1.7.3", day: -147, stable: true },
+    Release { version: "v1.8.0", day: -63, stable: true },
+    Release { version: "v1.8.1", day: -58, stable: true },
+    Release { version: "v1.8.2", day: -49, stable: true },
+    Release { version: "v1.8.3", day: -25, stable: true },
+    Release { version: "v1.8.4", day: -2, stable: true },
+    // v1.8.5 and v1.8.9 were replaced within days to fix deadlocks [52].
+    Release { version: "v1.8.5", day: 9, stable: true },
+    Release { version: "v1.8.6", day: 11, stable: true },
+    Release { version: "v1.8.7", day: 14, stable: true },
+    Release { version: "v1.8.8", day: 26, stable: true },
+    Release { version: "v1.8.9", day: 44, stable: true },
+    Release { version: "v1.8.10", day: 47, stable: true },
+    Release { version: "v1.8.11", day: 56, stable: true },
+    Release { version: "v1.8.12", day: 78, stable: true },
+];
+
+/// Parity's release history: weekly-ish releases across stable/beta
+/// channels (§6.2 notes the sparser, faster cycle).
+pub const PARITY_RELEASES: [Release; 16] = [
+    Release { version: "v1.6.10", day: -290, stable: true },
+    Release { version: "v1.7.0", day: -260, stable: false },
+    Release { version: "v1.7.9", day: -170, stable: true },
+    Release { version: "v1.7.11", day: -140, stable: true },
+    Release { version: "v1.8.0", day: -190, stable: false },
+    Release { version: "v1.8.11", day: -90, stable: true },
+    Release { version: "v1.9.2", day: -70, stable: false },
+    Release { version: "v1.9.5", day: -40, stable: true },
+    Release { version: "v1.9.7", day: -20, stable: true },
+    Release { version: "v1.10.0", day: -28, stable: false },
+    Release { version: "v1.10.3", day: 7, stable: false },
+    Release { version: "v1.10.4", day: 21, stable: false },
+    Release { version: "v1.10.6", day: 35, stable: true },
+    Release { version: "v1.10.7", day: 49, stable: true },
+    Release { version: "v1.10.8", day: 63, stable: false },
+    Release { version: "v1.10.9", day: 80, stable: true },
+];
+
+/// The version a node runs at `day`, given its personal update lag.
+///
+/// Models the paper's observation: most nodes track new releases with some
+/// delay (sharp uptake after release, Fig 10), a minority pin old versions
+/// indefinitely (68.3% were ≥2 iterations behind on the last day; 3.5% of
+/// Geth nodes pre-dated v1.7.1).
+pub fn version_at(releases: &[Release], day: i64, update_lag_days: i64, pinned: Option<usize>) -> Release {
+    if let Some(idx) = pinned {
+        return releases[idx.min(releases.len() - 1)];
+    }
+    let effective = day - update_lag_days;
+    releases
+        .iter()
+        .filter(|r| r.day <= effective)
+        .max_by_key(|r| r.day)
+        .copied()
+        .unwrap_or(releases[0])
+}
+
+/// Format a Geth-style client id.
+pub fn geth_client_id(version: &str) -> String {
+    format!("Geth/{version}-stable/linux-amd64/go1.10")
+}
+
+/// Format a Geth development ("unstable") build id — operators building
+/// from source between releases (18.1% of Geth nodes in Table 5).
+pub fn geth_client_id_unstable(version: &str) -> String {
+    format!("Geth/{version}-unstable/linux-amd64/go1.10")
+}
+
+/// Format a Parity-style client id.
+pub fn parity_client_id(version: &str, stable: bool) -> String {
+    let channel = if stable { "stable" } else { "beta" };
+    format!("Parity/{version}-{channel}/x86_64-linux-gnu/rustc1.24.1")
+}
+
+/// Parse the version and client family back out of a HELLO client-id
+/// string — the analysis side of Table 4/5.
+pub fn parse_client_id(client_id: &str) -> (String, Option<String>) {
+    let mut parts = client_id.split('/');
+    let family = parts.next().unwrap_or("unknown").to_string();
+    let version = parts.next().map(|v| {
+        // strip channel suffixes: "v1.8.11-stable" -> "v1.8.11"
+        v.split('-').next().unwrap_or(v).to_string()
+    });
+    (family, version)
+}
+
+/// Whether a client-id string advertises a stable build.
+pub fn is_stable_build(client_id: &str) -> bool {
+    !client_id.contains("-beta") && !client_id.contains("-rc") && !client_id.contains("unstable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_chronological_per_channel() {
+        for w in GETH_RELEASES.windows(2) {
+            assert!(w[0].day <= w[1].day, "{:?}", w);
+        }
+    }
+
+    #[test]
+    fn version_at_tracks_latest() {
+        let r = version_at(&GETH_RELEASES, 60, 0, None);
+        assert_eq!(r.version, "v1.8.11");
+        let r = version_at(&GETH_RELEASES, 80, 0, None);
+        assert_eq!(r.version, "v1.8.12");
+    }
+
+    #[test]
+    fn update_lag_delays_adoption() {
+        // v1.8.11 released day 56; a node with 10-day lag still runs
+        // v1.8.10 at day 60.
+        let r = version_at(&GETH_RELEASES, 60, 10, None);
+        assert_eq!(r.version, "v1.8.10");
+    }
+
+    #[test]
+    fn pinned_nodes_never_update() {
+        let r = version_at(&GETH_RELEASES, 1000, 0, Some(3));
+        assert_eq!(r.version, "v1.7.0");
+    }
+
+    #[test]
+    fn ancient_day_falls_back_to_oldest() {
+        let r = version_at(&GETH_RELEASES, -1000, 0, None);
+        assert_eq!(r.version, "v1.5.9");
+    }
+
+    #[test]
+    fn client_id_roundtrip() {
+        let id = geth_client_id("v1.8.11");
+        let (family, version) = parse_client_id(&id);
+        assert_eq!(family, "Geth");
+        assert_eq!(version.unwrap(), "v1.8.11");
+        assert!(is_stable_build(&id));
+
+        let id = parity_client_id("v1.10.3", false);
+        let (family, version) = parse_client_id(&id);
+        assert_eq!(family, "Parity");
+        assert_eq!(version.unwrap(), "v1.10.3");
+        assert!(!is_stable_build(&id));
+    }
+}

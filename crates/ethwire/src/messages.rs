@@ -1,0 +1,403 @@
+//! Ethereum subprotocol messages (eth/62 plus the eth/63 fast-sync set).
+//!
+//! Message IDs are relative to the capability's DEVp2p window.
+
+use crate::chain::BlockHeader;
+use rlp::{Rlp, RlpStream};
+
+/// STATUS payload (§2.3): the first message after the DEVp2p handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Status {
+    /// eth protocol version (62 or 63).
+    pub protocol_version: u32,
+    /// Network ID (1 = Mainnet; 4,076 distinct values were observed).
+    pub network_id: u64,
+    /// Total difficulty of the node's best chain.
+    pub total_difficulty: u128,
+    /// Hash of the node's best (most recent) block.
+    pub best_hash: [u8; 32],
+    /// Hash of the chain's genesis block.
+    pub genesis_hash: [u8; 32],
+}
+
+/// Identifies the start block of a GET_BLOCK_HEADERS request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockId {
+    /// By hash.
+    Hash([u8; 32]),
+    /// By height.
+    Number(u64),
+}
+
+/// The eth subprotocol message set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EthMessage {
+    /// `0x00` — chain state announcement.
+    Status(Status),
+    /// `0x01` — hashes of newly mined blocks.
+    NewBlockHashes(Vec<([u8; 32], u64)>),
+    /// `0x02` — transaction gossip; transactions are opaque blobs in this
+    /// model (only their count and size matter to the measurements).
+    Transactions(Vec<Vec<u8>>),
+    /// `0x03` — request headers.
+    GetBlockHeaders {
+        /// Start block.
+        start: BlockId,
+        /// Maximum headers wanted.
+        max_headers: u64,
+        /// Step between headers minus one.
+        skip: u64,
+        /// Walk toward genesis instead of the head.
+        reverse: bool,
+    },
+    /// `0x04` — headers response.
+    BlockHeaders(Vec<BlockHeader>),
+    /// `0x05` — request block bodies by hash.
+    GetBlockBodies(Vec<[u8; 32]>),
+    /// `0x06` — bodies response (opaque in this model).
+    BlockBodies(Vec<Vec<u8>>),
+    /// `0x07` — full new-block announcement (opaque body + TD).
+    NewBlock {
+        /// RLP-opaque block blob.
+        block: Vec<u8>,
+        /// Total difficulty including this block.
+        total_difficulty: u128,
+    },
+    /// `0x0d` (eth/63) — fast-sync state retrieval.
+    GetNodeData(Vec<[u8; 32]>),
+    /// `0x0e` (eth/63).
+    NodeData(Vec<Vec<u8>>),
+    /// `0x0f` (eth/63) — fast-sync receipt retrieval.
+    GetReceipts(Vec<[u8; 32]>),
+    /// `0x10` (eth/63).
+    Receipts(Vec<Vec<u8>>),
+}
+
+/// eth message codec failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EthMessageError {
+    /// RLP failure.
+    Rlp(rlp::RlpError),
+    /// Unknown relative message id.
+    UnknownId(u64),
+    /// Structurally invalid payload.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for EthMessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EthMessageError::Rlp(e) => write!(f, "eth rlp error: {e}"),
+            EthMessageError::UnknownId(id) => write!(f, "unknown eth message id {id:#x}"),
+            EthMessageError::Malformed(m) => write!(f, "malformed eth message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EthMessageError {}
+
+fn rlp_err(e: rlp::RlpError) -> EthMessageError {
+    EthMessageError::Rlp(e)
+}
+
+impl EthMessage {
+    /// Relative message id within the eth capability window.
+    pub fn msg_id(&self) -> u64 {
+        match self {
+            EthMessage::Status(_) => 0x00,
+            EthMessage::NewBlockHashes(_) => 0x01,
+            EthMessage::Transactions(_) => 0x02,
+            EthMessage::GetBlockHeaders { .. } => 0x03,
+            EthMessage::BlockHeaders(_) => 0x04,
+            EthMessage::GetBlockBodies(_) => 0x05,
+            EthMessage::BlockBodies(_) => 0x06,
+            EthMessage::NewBlock { .. } => 0x07,
+            EthMessage::GetNodeData(_) => 0x0d,
+            EthMessage::NodeData(_) => 0x0e,
+            EthMessage::GetReceipts(_) => 0x0f,
+            EthMessage::Receipts(_) => 0x10,
+        }
+    }
+
+    /// Encode the payload.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            EthMessage::Status(st) => {
+                let mut s = RlpStream::new_list(5);
+                s.append(&st.protocol_version);
+                s.append(&st.network_id);
+                s.append(&st.total_difficulty);
+                s.append(&st.best_hash);
+                s.append(&st.genesis_hash);
+                s.out()
+            }
+            EthMessage::NewBlockHashes(entries) => {
+                let mut s = RlpStream::new_list(entries.len());
+                for (hash, number) in entries {
+                    s.begin_list(2);
+                    s.append(hash);
+                    s.append(number);
+                }
+                s.out()
+            }
+            EthMessage::Transactions(txs)
+            | EthMessage::BlockBodies(txs)
+            | EthMessage::NodeData(txs)
+            | EthMessage::Receipts(txs) => {
+                let mut s = RlpStream::new_list(txs.len());
+                for tx in txs {
+                    s.append(&tx.as_slice());
+                }
+                s.out()
+            }
+            EthMessage::GetBlockHeaders { start, max_headers, skip, reverse } => {
+                let mut s = RlpStream::new_list(4);
+                match start {
+                    BlockId::Hash(h) => s.append(h),
+                    BlockId::Number(n) => s.append(n),
+                };
+                s.append(max_headers);
+                s.append(skip);
+                s.append(reverse);
+                s.out()
+            }
+            EthMessage::BlockHeaders(headers) => {
+                let mut s = RlpStream::new_list(headers.len());
+                for h in headers {
+                    s.append(h);
+                }
+                s.out()
+            }
+            EthMessage::GetBlockBodies(hashes)
+            | EthMessage::GetNodeData(hashes)
+            | EthMessage::GetReceipts(hashes) => {
+                let mut s = RlpStream::new_list(hashes.len());
+                for h in hashes {
+                    s.append(h);
+                }
+                s.out()
+            }
+            EthMessage::NewBlock { block, total_difficulty } => {
+                let mut s = RlpStream::new_list(2);
+                s.append(&block.as_slice());
+                s.append(total_difficulty);
+                s.out()
+            }
+        }
+    }
+
+    /// Decode from a relative id and payload.
+    pub fn decode(msg_id: u64, payload: &[u8]) -> Result<EthMessage, EthMessageError> {
+        let r = Rlp::new(payload);
+        match msg_id {
+            0x00 => {
+                if r.item_count().map_err(rlp_err)? < 5 {
+                    return Err(EthMessageError::Malformed("status needs 5 fields"));
+                }
+                Ok(EthMessage::Status(Status {
+                    protocol_version: r.at(0).and_then(|i| i.as_val()).map_err(rlp_err)?,
+                    network_id: r.at(1).and_then(|i| i.as_val()).map_err(rlp_err)?,
+                    total_difficulty: r.at(2).and_then(|i| i.as_val()).map_err(rlp_err)?,
+                    best_hash: r.at(3).and_then(|i| i.as_array()).map_err(rlp_err)?,
+                    genesis_hash: r.at(4).and_then(|i| i.as_array()).map_err(rlp_err)?,
+                }))
+            }
+            0x01 => {
+                let mut entries = Vec::new();
+                for item in r.iter() {
+                    let hash = item.at(0).and_then(|i| i.as_array()).map_err(rlp_err)?;
+                    let number = item.at(1).and_then(|i| i.as_val()).map_err(rlp_err)?;
+                    entries.push((hash, number));
+                }
+                Ok(EthMessage::NewBlockHashes(entries))
+            }
+            0x02 => Ok(EthMessage::Transactions(decode_blob_list(&r)?)),
+            0x03 => {
+                if r.item_count().map_err(rlp_err)? != 4 {
+                    return Err(EthMessageError::Malformed("getblockheaders needs 4 fields"));
+                }
+                let origin = r.at(0).map_err(rlp_err)?;
+                let data = origin.data().map_err(rlp_err)?;
+                let start = if data.len() == 32 {
+                    BlockId::Hash(origin.as_array().map_err(rlp_err)?)
+                } else {
+                    BlockId::Number(origin.as_u64().map_err(rlp_err)?)
+                };
+                Ok(EthMessage::GetBlockHeaders {
+                    start,
+                    max_headers: r.at(1).and_then(|i| i.as_val()).map_err(rlp_err)?,
+                    skip: r.at(2).and_then(|i| i.as_val()).map_err(rlp_err)?,
+                    reverse: r.at(3).and_then(|i| i.as_val()).map_err(rlp_err)?,
+                })
+            }
+            0x04 => Ok(EthMessage::BlockHeaders(r.as_list().map_err(rlp_err)?)),
+            0x05 => Ok(EthMessage::GetBlockBodies(decode_hash_list(&r)?)),
+            0x06 => Ok(EthMessage::BlockBodies(decode_blob_list(&r)?)),
+            0x07 => {
+                if r.item_count().map_err(rlp_err)? != 2 {
+                    return Err(EthMessageError::Malformed("newblock needs 2 fields"));
+                }
+                Ok(EthMessage::NewBlock {
+                    block: r.at(0).and_then(|i| i.as_val()).map_err(rlp_err)?,
+                    total_difficulty: r.at(1).and_then(|i| i.as_val()).map_err(rlp_err)?,
+                })
+            }
+            0x0d => Ok(EthMessage::GetNodeData(decode_hash_list(&r)?)),
+            0x0e => Ok(EthMessage::NodeData(decode_blob_list(&r)?)),
+            0x0f => Ok(EthMessage::GetReceipts(decode_hash_list(&r)?)),
+            0x10 => Ok(EthMessage::Receipts(decode_blob_list(&r)?)),
+            other => Err(EthMessageError::UnknownId(other)),
+        }
+    }
+}
+
+fn decode_blob_list(r: &Rlp<'_>) -> Result<Vec<Vec<u8>>, EthMessageError> {
+    let mut out = Vec::new();
+    let count = r.item_count().map_err(rlp_err)?;
+    out.reserve(count);
+    for item in r.iter() {
+        out.push(item.data().map_err(rlp_err)?.to_vec());
+    }
+    Ok(out)
+}
+
+fn decode_hash_list(r: &Rlp<'_>) -> Result<Vec<[u8; 32]>, EthMessageError> {
+    let mut out = Vec::new();
+    let count = r.item_count().map_err(rlp_err)?;
+    out.reserve(count);
+    for item in r.iter() {
+        out.push(item.as_array().map_err(rlp_err)?);
+    }
+    Ok(out)
+}
+
+impl Status {
+    /// Whether two STATUS messages describe peers that can stay connected:
+    /// same protocol version family, same network, same genesis. The DAO
+    /// fork check happens *after* this (it needs a header fetch).
+    pub fn compatible(&self, other: &Status) -> bool {
+        self.protocol_version == other.protocol_version
+            && self.network_id == other.network_id
+            && self.genesis_hash == other.genesis_hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{Chain, ChainConfig};
+
+    fn status() -> Status {
+        Status {
+            protocol_version: 63,
+            network_id: 1,
+            total_difficulty: 3_400_000_000_000_000_000_000u128,
+            best_hash: [0xaa; 32],
+            genesis_hash: crate::MAINNET_GENESIS,
+        }
+    }
+
+    fn roundtrip(m: EthMessage) {
+        let id = m.msg_id();
+        let payload = m.encode_payload();
+        assert_eq!(EthMessage::decode(id, &payload).unwrap(), m);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        roundtrip(EthMessage::Status(status()));
+    }
+
+    #[test]
+    fn status_with_huge_td_roundtrip() {
+        let mut st = status();
+        st.total_difficulty = u128::MAX;
+        roundtrip(EthMessage::Status(st));
+    }
+
+    #[test]
+    fn new_block_hashes_roundtrip() {
+        roundtrip(EthMessage::NewBlockHashes(vec![([1u8; 32], 100), ([2u8; 32], 101)]));
+        roundtrip(EthMessage::NewBlockHashes(vec![]));
+    }
+
+    #[test]
+    fn transactions_roundtrip() {
+        roundtrip(EthMessage::Transactions(vec![vec![1, 2, 3], vec![], vec![0xff; 200]]));
+    }
+
+    #[test]
+    fn get_block_headers_by_number_roundtrip() {
+        roundtrip(EthMessage::GetBlockHeaders {
+            start: BlockId::Number(1_920_000),
+            max_headers: 1,
+            skip: 0,
+            reverse: false,
+        });
+    }
+
+    #[test]
+    fn get_block_headers_by_hash_roundtrip() {
+        roundtrip(EthMessage::GetBlockHeaders {
+            start: BlockId::Hash([7u8; 32]),
+            max_headers: 192,
+            skip: 7,
+            reverse: true,
+        });
+    }
+
+    #[test]
+    fn block_headers_roundtrip() {
+        let chain = Chain::new(ChainConfig::mainnet(), 100);
+        roundtrip(EthMessage::BlockHeaders(chain.headers(10, 5, 0, false)));
+    }
+
+    #[test]
+    fn fast_sync_messages_roundtrip() {
+        roundtrip(EthMessage::GetNodeData(vec![[1u8; 32], [2u8; 32]]));
+        roundtrip(EthMessage::NodeData(vec![vec![1], vec![2, 3]]));
+        roundtrip(EthMessage::GetReceipts(vec![[3u8; 32]]));
+        roundtrip(EthMessage::Receipts(vec![vec![9; 50]]));
+    }
+
+    #[test]
+    fn new_block_roundtrip() {
+        roundtrip(EthMessage::NewBlock { block: vec![0xde, 0xad], total_difficulty: 12345 });
+    }
+
+    #[test]
+    fn unknown_id_rejected() {
+        assert_eq!(EthMessage::decode(0x08, &[0xc0]), Err(EthMessageError::UnknownId(8)));
+        assert_eq!(EthMessage::decode(0x11, &[0xc0]), Err(EthMessageError::UnknownId(0x11)));
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        let a = status();
+        let mut b = status();
+        assert!(a.compatible(&b));
+        b.network_id = 2;
+        assert!(!a.compatible(&b));
+        b = status();
+        b.genesis_hash = [0u8; 32];
+        assert!(!a.compatible(&b));
+        b = status();
+        b.protocol_version = 62;
+        assert!(!a.compatible(&b));
+        // TD and best hash may differ freely
+        b = status();
+        b.total_difficulty = 1;
+        b.best_hash = [9u8; 32];
+        assert!(a.compatible(&b));
+    }
+
+    #[test]
+    fn malformed_status_rejected() {
+        let mut s = RlpStream::new_list(2);
+        s.append(&63u32).append(&1u64);
+        assert!(matches!(
+            EthMessage::decode(0x00, &s.out()),
+            Err(EthMessageError::Malformed(_))
+        ));
+    }
+}

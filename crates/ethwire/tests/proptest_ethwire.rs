@@ -1,0 +1,84 @@
+//! Property tests for the eth subprotocol codec and the chain model.
+
+use ethwire::{BlockId, Chain, ChainConfig, EthMessage, Status};
+use proptest::prelude::*;
+
+fn arb_hash() -> impl Strategy<Value = [u8; 32]> {
+    proptest::array::uniform32(any::<u8>())
+}
+
+fn arb_status() -> impl Strategy<Value = Status> {
+    (any::<u64>(), any::<u128>(), arb_hash(), arb_hash(), prop_oneof![Just(62u32), Just(63u32)])
+        .prop_map(|(network_id, total_difficulty, best_hash, genesis_hash, protocol_version)| {
+            Status { protocol_version, network_id, total_difficulty, best_hash, genesis_hash }
+        })
+}
+
+proptest! {
+    #[test]
+    fn status_roundtrip(st in arb_status()) {
+        let msg = EthMessage::Status(st);
+        let payload = msg.encode_payload();
+        prop_assert_eq!(EthMessage::decode(0x00, &payload).unwrap(), msg);
+    }
+
+    #[test]
+    fn get_headers_roundtrip(by_hash in any::<bool>(), h in arb_hash(), n in any::<u64>(),
+                             max in any::<u64>(), skip in any::<u64>(), reverse in any::<bool>()) {
+        let start = if by_hash { BlockId::Hash(h) } else { BlockId::Number(n) };
+        let msg = EthMessage::GetBlockHeaders { start, max_headers: max, skip, reverse };
+        let payload = msg.encode_payload();
+        let back = EthMessage::decode(0x03, &payload).unwrap();
+        // Number(n) where n happens to encode to 32 bytes cannot exist for
+        // u64, so the BlockId discrimination is unambiguous.
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn tx_and_hash_lists_roundtrip(blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..12),
+                                   hashes in proptest::collection::vec(arb_hash(), 0..12)) {
+        let m = EthMessage::Transactions(blobs);
+        prop_assert_eq!(EthMessage::decode(0x02, &m.encode_payload()).unwrap(), m);
+        let m = EthMessage::GetBlockBodies(hashes);
+        prop_assert_eq!(EthMessage::decode(0x05, &m.encode_payload()).unwrap(), m);
+    }
+
+    #[test]
+    fn decode_never_panics(id in 0u64..0x11, payload in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = EthMessage::decode(id, &payload);
+    }
+
+    /// Chain determinism: any two views of the same network serve identical
+    /// headers; total difficulty is strictly monotone in head height.
+    #[test]
+    fn chain_model_properties(head_a in 1u64..1_000_000, head_b in 1u64..1_000_000, q in 0u64..1_000_000) {
+        let a = Chain::new(ChainConfig::mainnet(), head_a);
+        let b = Chain::new(ChainConfig::mainnet(), head_b);
+        let h = q.min(head_a).min(head_b);
+        prop_assert_eq!(a.header(h), b.header(h));
+        if head_a != head_b {
+            prop_assert_ne!(a.best_hash(), b.best_hash());
+            prop_assert_ne!(a.total_difficulty(), b.total_difficulty());
+            prop_assert_eq!(a.total_difficulty() > b.total_difficulty(), head_a > head_b);
+        }
+    }
+
+    /// The served header window respects bounds and stepping.
+    #[test]
+    fn headers_window(head in 10u64..100_000, start in 0u64..100_000,
+                      max in 1usize..64, skip in 0u64..10, reverse in any::<bool>()) {
+        let chain = Chain::new(ChainConfig::mainnet(), head);
+        let hs = chain.headers(start, max, skip, reverse);
+        prop_assert!(hs.len() <= max);
+        for h in &hs {
+            prop_assert!(h.number <= head);
+        }
+        for w in hs.windows(2) {
+            if reverse {
+                prop_assert_eq!(w[0].number - w[1].number, skip + 1);
+            } else {
+                prop_assert_eq!(w[1].number - w[0].number, skip + 1);
+            }
+        }
+    }
+}

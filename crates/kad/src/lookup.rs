@@ -1,0 +1,275 @@
+//! The iterative FIND_NODE lookup (§2.1).
+//!
+//! A lookup walks the network toward a target ID: query the α closest known
+//! nodes, merge their NEIGHBORS responses, re-query the now-closest
+//! unqueried nodes, and stop when the closest `k` set stops improving.
+//! Sans-IO: the caller pumps [`Lookup::next_queries`] / feeds
+//! [`Lookup::on_response`] / [`Lookup::on_failure`].
+
+use crate::distance::xor_cmp;
+use enode::{NodeId, NodeRecord};
+use std::collections::HashSet;
+
+/// Concurrency factor α (both Geth and the Kademlia paper use 3).
+pub const ALPHA: usize = 3;
+
+/// Result-set size k (Geth's `bucketSize`).
+pub const K: usize = 16;
+
+/// Progress state of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupStatus {
+    /// More queries can be issued.
+    InProgress,
+    /// Converged: the closest-k set is fully queried (or no nodes remain).
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    record: NodeRecord,
+    hash: [u8; 32],
+    queried: bool,
+    failed: bool,
+}
+
+/// An in-flight iterative lookup toward `target`.
+#[derive(Debug, Clone)]
+pub struct Lookup {
+    target_hash: [u8; 32],
+    candidates: Vec<Candidate>,
+    seen: HashSet<NodeId>,
+    in_flight: usize,
+    queries_sent: usize,
+}
+
+impl Lookup {
+    /// Start a lookup toward the given **hashed** target, seeded with the
+    /// closest nodes from the local routing table.
+    pub fn new(target_hash: [u8; 32], seeds: Vec<NodeRecord>) -> Lookup {
+        let mut lookup = Lookup {
+            target_hash,
+            candidates: Vec::new(),
+            seen: HashSet::new(),
+            in_flight: 0,
+            queries_sent: 0,
+        };
+        for s in seeds {
+            lookup.insert(s);
+        }
+        lookup
+    }
+
+    /// The hashed target.
+    pub fn target(&self) -> &[u8; 32] {
+        &self.target_hash
+    }
+
+    /// Total FIND_NODE queries issued so far.
+    pub fn queries_sent(&self) -> usize {
+        self.queries_sent
+    }
+
+    fn insert(&mut self, record: NodeRecord) -> bool {
+        if !self.seen.insert(record.id) {
+            return false;
+        }
+        let hash = record.id.kad_hash();
+        let pos = self
+            .candidates
+            .binary_search_by(|c| xor_cmp(&self.target_hash, &c.hash, &hash))
+            .unwrap_or_else(|p| p);
+        self.candidates.insert(pos, Candidate { record, hash, queried: false, failed: false });
+        true
+    }
+
+    /// Nodes to query next: the closest unqueried candidates, up to α minus
+    /// what is already in flight. Marks them queried.
+    pub fn next_queries(&mut self) -> Vec<NodeRecord> {
+        let budget = ALPHA.saturating_sub(self.in_flight);
+        let mut out = Vec::new();
+        // Only walk the closest-K frontier; Kademlia does not query the tail.
+        let frontier: Vec<usize> = self
+            .candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.failed)
+            .take(K)
+            .filter(|(_, c)| !c.queried)
+            .map(|(i, _)| i)
+            .take(budget)
+            .collect();
+        for i in frontier {
+            self.candidates[i].queried = true;
+            self.in_flight += 1;
+            self.queries_sent += 1;
+            out.push(self.candidates[i].record);
+        }
+        out
+    }
+
+    /// Merge a NEIGHBORS response from a queried node. Returns how many new
+    /// candidates it contributed.
+    pub fn on_response(&mut self, from: &NodeId, neighbors: Vec<NodeRecord>) -> usize {
+        self.settle(from);
+        let mut new = 0;
+        for n in neighbors {
+            if self.insert(n) {
+                new += 1;
+            }
+        }
+        new
+    }
+
+    /// Record that a queried node timed out.
+    pub fn on_failure(&mut self, from: &NodeId) {
+        self.settle(from);
+        if let Some(c) = self.candidates.iter_mut().find(|c| c.record.id == *from) {
+            c.failed = true;
+        }
+    }
+
+    fn settle(&mut self, from: &NodeId) {
+        if self
+            .candidates
+            .iter()
+            .any(|c| c.record.id == *from && c.queried)
+        {
+            self.in_flight = self.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Whether the lookup has converged.
+    pub fn status(&self) -> LookupStatus {
+        if self.in_flight > 0 {
+            return LookupStatus::InProgress;
+        }
+        let any_unqueried_in_frontier = self
+            .candidates
+            .iter()
+            .filter(|c| !c.failed)
+            .take(K)
+            .any(|c| !c.queried);
+        if any_unqueried_in_frontier {
+            LookupStatus::InProgress
+        } else {
+            LookupStatus::Done
+        }
+    }
+
+    /// The closest `k` successfully-contactable results.
+    pub fn closest(&self, k: usize) -> Vec<NodeRecord> {
+        self.candidates
+            .iter()
+            .filter(|c| !c.failed)
+            .take(k)
+            .map(|c| c.record)
+            .collect()
+    }
+
+    /// Every node learned during the lookup (for the crawler, which wants
+    /// *all* discovered nodes, not just the k closest).
+    pub fn all_seen(&self) -> Vec<NodeRecord> {
+        self.candidates.iter().map(|c| c.record).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enode::Endpoint;
+    use std::net::Ipv4Addr;
+
+    fn rec(tag: u16) -> NodeRecord {
+        let mut id = [0u8; 64];
+        id[0] = (tag >> 8) as u8;
+        id[1] = tag as u8;
+        NodeRecord::new(NodeId(id), Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 30303))
+    }
+
+    #[test]
+    fn queries_respect_alpha() {
+        let seeds: Vec<_> = (0..10).map(rec).collect();
+        let mut lk = Lookup::new([0u8; 32], seeds);
+        let q1 = lk.next_queries();
+        assert_eq!(q1.len(), ALPHA);
+        // nothing more until responses arrive
+        assert!(lk.next_queries().is_empty());
+        assert_eq!(lk.status(), LookupStatus::InProgress);
+    }
+
+    #[test]
+    fn responses_release_slots_and_add_candidates() {
+        let seeds: Vec<_> = (0..3).map(rec).collect();
+        let mut lk = Lookup::new([0u8; 32], seeds);
+        let q = lk.next_queries();
+        assert_eq!(q.len(), 3);
+        let new = lk.on_response(&q[0].id, (100..105).map(rec).collect());
+        assert_eq!(new, 5);
+        let q2 = lk.next_queries();
+        assert_eq!(q2.len(), 1); // one slot freed
+        assert!(!q2.contains(&q[0]));
+    }
+
+    #[test]
+    fn duplicate_neighbors_not_recounted() {
+        let mut lk = Lookup::new([0u8; 32], vec![rec(1)]);
+        let q = lk.next_queries();
+        assert_eq!(lk.on_response(&q[0].id, vec![rec(2), rec(2), rec(1)]), 1);
+    }
+
+    #[test]
+    fn converges_when_frontier_queried() {
+        let seeds: Vec<_> = (0..2).map(rec).collect();
+        let mut lk = Lookup::new([0u8; 32], seeds);
+        loop {
+            let qs = lk.next_queries();
+            if qs.is_empty() && lk.status() == LookupStatus::Done {
+                break;
+            }
+            for q in qs {
+                lk.on_response(&q.id, vec![]);
+            }
+        }
+        assert_eq!(lk.status(), LookupStatus::Done);
+        assert_eq!(lk.queries_sent(), 2);
+    }
+
+    #[test]
+    fn failures_remove_from_results() {
+        let mut lk = Lookup::new([0u8; 32], vec![rec(1), rec(2), rec(3)]);
+        let q = lk.next_queries();
+        lk.on_failure(&q[0].id);
+        lk.on_response(&q[1].id, vec![]);
+        lk.on_response(&q[2].id, vec![]);
+        while lk.status() == LookupStatus::InProgress {
+            for q in lk.next_queries() {
+                lk.on_response(&q.id, vec![]);
+            }
+        }
+        let closest = lk.closest(16);
+        assert_eq!(closest.len(), 2);
+        assert!(!closest.iter().any(|r| r.id == q[0].id));
+        // but all_seen still includes it (the crawler logs every sighting)
+        assert_eq!(lk.all_seen().len(), 3);
+    }
+
+    #[test]
+    fn results_sorted_by_xor_distance() {
+        let target = [0u8; 32];
+        let seeds: Vec<_> = (0..30).map(rec).collect();
+        let mut lk = Lookup::new(target, seeds);
+        while lk.status() == LookupStatus::InProgress {
+            for q in lk.next_queries() {
+                lk.on_response(&q.id, vec![]);
+            }
+        }
+        let got = lk.closest(16);
+        for w in got.windows(2) {
+            assert_ne!(
+                xor_cmp(&target, &w[0].id.kad_hash(), &w[1].id.kad_hash()),
+                std::cmp::Ordering::Greater
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! This crate substitutes for the live Internet in the NodeFinder
+//! reproduction (see DESIGN.md). It models:
+//!
+//! * **UDP datagrams** with per-pair latency, random loss, and NAT
+//!   filtering (unreachable hosts receive only solicited traffic);
+//! * **TCP connections** with a 1-RTT establishment handshake, ordered
+//!   delivery, close events, and an observable smoothed RTT (the paper's
+//!   crawler logs connection latency from the socket's sRTT);
+//! * **host lifecycle** — churn is expressed by starting/stopping hosts on
+//!   a schedule;
+//! * **geography** — every host carries a country/AS label and a region
+//!   used by the latency matrix, feeding the paper's Figures 12–13.
+//!
+//! Determinism: one seeded RNG, a totally-ordered event queue
+//! (time, sequence number), and no wall-clock access anywhere. Running the
+//! same world twice produces identical logs.
+//!
+//! The design is event-driven in the smoltcp spirit: protocol state
+//! machines (discv4, RLPx, DEVp2p) stay sans-IO, and a [`Host`]
+//! implementation pumps bytes between them and the simulator.
+
+mod engine;
+mod topology;
+
+pub use engine::{
+    ConnId, Ctx, Host, HostAddr, HostId, NetSim, SimConfig, TcpEvent,
+};
+pub use topology::{latency_between, HostMeta, Region, COUNTRIES, REGION_OF_COUNTRY};

@@ -1,0 +1,643 @@
+//! The NodeFinder crawler host (§4).
+
+use crate::log::{
+    ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, HelloInfo, StatusInfo,
+};
+use devp2p::{Capability, DisconnectReason, Hello, P2P_VERSION};
+use discv4::{Config as DiscConfig, Discv4, Event as DiscEvent};
+use enode::{Endpoint, NodeId, NodeRecord};
+use ethcrypto::secp256k1::SecretKey;
+use ethpop::wire::{PeerConn, WireEvent};
+use ethwire::{
+    BlockId, Chain, ChainConfig, EthMessage, Status, DAO_FORK_BLOCK, DAO_FORK_EXTRA, SNAPSHOT_HEAD,
+};
+use kad::Metric;
+use netsim::{ConnId, Ctx, Host, HostAddr, TcpEvent};
+use rand::Rng;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+const T_LOOKUP: u64 = 1;
+const T_DIAL: u64 = 2;
+const T_STATIC: u64 = 3;
+const T_POLL: u64 = 4;
+const T_SWEEP: u64 = 5;
+
+/// Crawler tunables. The paper values appear in comments; experiments
+/// scale the long intervals with their compressed clock.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Instance number (the paper ran 30).
+    pub instance: u32,
+    /// Discovery lookup cadence (Geth's `lookupInterval`, 4s) — NodeFinder
+    /// runs it continuously, peer count be damned.
+    pub lookup_interval_ms: u64,
+    /// Static re-dial interval (paper: 30 minutes).
+    pub static_redial_interval_ms: u64,
+    /// Drop static entries with no successful TCP for this long (24h).
+    pub stale_after_ms: u64,
+    /// Concurrent dynamic dials (Geth's `maxActiveDialTasks`, 16).
+    pub max_active_dials: usize,
+    /// Hard probe lifetime cap (paper: ≤2 min worst case).
+    pub probe_timeout_ms: u64,
+    /// Run the DAO-fork header check after a compatible STATUS. NodeFinder
+    /// does; the Ethernodes-style comparison crawler (Table 2/6) does not,
+    /// which is exactly why it can't separate Mainnet from Classic.
+    pub dao_check: bool,
+    /// Ablation (§4 design choice 2): keep connections open after probing
+    /// instead of disconnecting — i.e. behave like a normal syncing client.
+    /// Occupies remote peer slots and throttles coverage.
+    pub hold_connections: bool,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> CrawlerConfig {
+        CrawlerConfig {
+            instance: 0,
+            lookup_interval_ms: 4_000,
+            static_redial_interval_ms: 30 * 60 * 1000,
+            stale_after_ms: 24 * 3600 * 1000,
+            max_active_dials: 16,
+            probe_timeout_ms: 120_000,
+            dao_check: true,
+            hold_connections: false,
+        }
+    }
+}
+
+impl CrawlerConfig {
+    /// An Ethernodes.org-style collector: one instance, no static
+    /// re-dials (effectively — a very long interval), no DAO check, a
+    /// normal client's discovery cadence (not NodeFinder's relentless 4s
+    /// loop), and modest dial concurrency. This is what makes its coverage
+    /// a fraction of NodeFinder's in Table 2/6, exactly as on the live
+    /// network.
+    pub fn ethernodes_style() -> CrawlerConfig {
+        CrawlerConfig {
+            instance: 1000,
+            lookup_interval_ms: 30_000,
+            static_redial_interval_ms: u64::MAX / 4,
+            stale_after_ms: u64::MAX / 4,
+            max_active_dials: 4,
+            probe_timeout_ms: 120_000,
+            dao_check: false,
+            hold_connections: false,
+        }
+    }
+}
+
+struct StaticEntry {
+    record: NodeRecord,
+    next_dial_ms: u64,
+    last_success_ms: u64,
+}
+
+struct Probe {
+    pc: PeerConn,
+    conn_type: ConnType,
+    record: ConnLog,
+    awaiting_dao: bool,
+    done: bool,
+}
+
+/// The crawler. One instance per simulated measurement machine.
+pub struct NodeFinder {
+    key: SecretKey,
+    config: CrawlerConfig,
+    bootstrap: Vec<NodeRecord>,
+    disc: Option<Discv4>,
+    conns: BTreeMap<ConnId, Probe>,
+    dynamic_queue: VecDeque<NodeRecord>,
+    queued: HashSet<NodeId>,
+    static_nodes: BTreeMap<NodeId, StaticEntry>,
+    dialing: usize,
+    poll_armed: bool,
+    dial_armed: bool,
+    /// The crawler's own view of Mainnet (for STATUS + serving stray
+    /// header requests).
+    chain: Chain,
+    /// Accumulated structured log.
+    pub log: CrawlLog,
+}
+
+impl NodeFinder {
+    /// Build a crawler.
+    pub fn new(key: SecretKey, config: CrawlerConfig, bootstrap: Vec<NodeRecord>) -> NodeFinder {
+        NodeFinder {
+            key,
+            config,
+            bootstrap,
+            disc: None,
+            conns: BTreeMap::new(),
+            dynamic_queue: VecDeque::new(),
+            queued: HashSet::new(),
+            static_nodes: BTreeMap::new(),
+            dialing: 0,
+            poll_armed: false,
+            dial_armed: false,
+            chain: Chain::new(ChainConfig::mainnet(), SNAPSHOT_HEAD),
+            log: CrawlLog::default(),
+        }
+    }
+
+    /// The crawler's node ID.
+    pub fn node_id(&self) -> NodeId {
+        NodeId::from_secret_key(&self.key)
+    }
+
+    // The due-check cadence must be much finer than the redial interval or
+    // quantization silently stretches the effective period (the paper's
+    // 1s tick vs 30min interval has a 1/1800 ratio; keep ours comparable).
+    fn static_tick_ms(&self) -> u64 {
+        (self.config.static_redial_interval_ms / 8).clamp(200, 1_000)
+    }
+
+    /// Static-list size (diagnostics).
+    pub fn static_list_len(&self) -> usize {
+        self.static_nodes.len()
+    }
+
+    /// Currently-open connections (diagnostics; the hold-connections
+    /// ablation watches this grow without bound).
+    pub fn open_conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn hello(&self, addr: HostAddr) -> Hello {
+        Hello {
+            p2p_version: P2P_VERSION,
+            // NodeFinder is Geth-1.7.3-based (§4).
+            client_id: "NodeFinder/Geth-v1.7.3/linux-amd64/go1.9".into(),
+            capabilities: vec![Capability::eth62(), Capability::eth63()],
+            listen_port: addr.port,
+            node_id: self.node_id(),
+        }
+    }
+
+    fn our_status(&self) -> Status {
+        Status {
+            protocol_version: 63,
+            network_id: self.chain.config.network_id,
+            total_difficulty: self.chain.total_difficulty(),
+            best_hash: self.chain.best_hash(),
+            genesis_hash: self.chain.config.genesis_hash,
+        }
+    }
+
+    fn event(&mut self, ts: u64, node_id: NodeId, ip: std::net::Ipv4Addr, kind: DialEventKind) {
+        self.log.events.push(DialEvent { instance: self.config.instance, ts_ms: ts, node_id, ip, kind });
+    }
+
+    fn send_disc(&mut self, ctx: &mut Ctx, outgoing: Vec<discv4::Outgoing>) {
+        for o in outgoing {
+            ctx.send_udp(HostAddr::new(o.to.ip, o.to.udp_port), o.datagram);
+        }
+        if !self.poll_armed && self.disc.as_ref().map(|d| d.has_pending()).unwrap_or(false) {
+            self.poll_armed = true;
+            ctx.set_timer(600, T_POLL);
+        }
+    }
+
+    fn drain_disc_events(&mut self, ctx: &mut Ctx) {
+        let Some(disc) = self.disc.as_mut() else { return };
+        let events = disc.take_events();
+        let own = self.node_id();
+        for ev in events {
+            let record = match ev {
+                DiscEvent::NodeSeen(r) | DiscEvent::NodeVerified(r) => r,
+                DiscEvent::LookupDone { .. } => continue,
+            };
+            if record.id == own || record.endpoint.tcp_port == 0 {
+                continue;
+            }
+            self.event(ctx.now_ms, record.id, record.endpoint.ip, DialEventKind::DiscoverySighting);
+            // New nodes go to the dynamic queue unless already tracked.
+            if !self.static_nodes.contains_key(&record.id) && self.queued.insert(record.id) {
+                self.dynamic_queue.push_back(record);
+            }
+        }
+        if !self.dial_armed && !self.dynamic_queue.is_empty() {
+            self.dial_armed = true;
+            ctx.set_timer(500, T_DIAL);
+        }
+    }
+
+    fn dial(&mut self, ctx: &mut Ctx, record: NodeRecord, conn_type: ConnType) {
+        let local = ctx.local_addr();
+        if record.endpoint.ip == local.ip && record.endpoint.tcp_port == local.port {
+            return; // never dial our own address
+        }
+        let kind = match conn_type {
+            ConnType::DynamicDial => DialEventKind::DynamicDialAttempt,
+            ConnType::StaticDial => DialEventKind::StaticDialAttempt,
+            ConnType::Incoming => unreachable!("incoming is not dialed"),
+        };
+        self.event(ctx.now_ms, record.id, record.endpoint.ip, kind);
+        let conn = ctx.tcp_connect(HostAddr::new(record.endpoint.ip, record.endpoint.tcp_port));
+        let hello = self.hello(ctx.local_addr());
+        let record_log = ConnLog {
+            instance: self.config.instance,
+            ts_ms: ctx.now_ms,
+            node_id: Some(record.id),
+            ip: record.endpoint.ip,
+            port: record.endpoint.tcp_port,
+            conn_type,
+            latency_ms: 0,
+            duration_ms: 0,
+            hello: None,
+            status: None,
+            dao_fork: None,
+            outcome: ConnOutcome::DialFailed,
+        };
+        self.conns.insert(
+            conn,
+            Probe {
+                pc: PeerConn::dialing(conn, record.id, hello, ctx.now_ms),
+                conn_type,
+                record: record_log,
+                awaiting_dao: false,
+                done: false,
+            },
+        );
+        if conn_type == ConnType::DynamicDial {
+            self.dialing += 1;
+        }
+    }
+
+    /// A probe finished (or died): close the socket, finalize the log
+    /// entry, update the static list.
+    fn finish_probe(&mut self, ctx: &mut Ctx, conn: ConnId, polite: bool) {
+        let Some(mut probe) = self.conns.remove(&conn) else { return };
+        if probe.conn_type == ConnType::DynamicDial && !probe.done {
+            self.dialing = self.dialing.saturating_sub(1);
+        }
+        probe.done = true;
+        if polite && probe.pc.is_active() {
+            for f in probe.pc.send_disconnect(DisconnectReason::Requested) {
+                ctx.tcp_send(conn, f);
+            }
+        }
+        ctx.tcp_close(conn);
+        probe.record.duration_ms = ctx.now_ms.saturating_sub(probe.record.ts_ms);
+        let responded = probe.record.hello.is_some()
+            || matches!(probe.record.outcome, ConnOutcome::RemoteDisconnect(_));
+        if let Some(id) = probe.record.node_id {
+            // Only *dials* that get an answer prove reachability; incoming
+            // conns say nothing about whether the node accepts inbound TCP.
+            // Fig 7 counts nodes responding to *dynamic* dials.
+            if responded && probe.conn_type == ConnType::DynamicDial {
+                self.event(ctx.now_ms, id, probe.record.ip, DialEventKind::DialResponded);
+            }
+            // Successful TCP contact → (re)join the StaticNodes list.
+            if probe.conn_type != ConnType::Incoming || responded {
+                let record = NodeRecord::new(
+                    id,
+                    Endpoint::new(probe.record.ip, probe.record.port),
+                );
+                let now = ctx.now_ms;
+                let interval = self.config.static_redial_interval_ms;
+                let entry = self.static_nodes.entry(id).or_insert(StaticEntry {
+                    record,
+                    next_dial_ms: now + interval,
+                    last_success_ms: now,
+                });
+                entry.record = record;
+                entry.last_success_ms = now;
+                // Any completed outbound attempt pushes the next re-dial
+                // back (§5.2's "slightly fewer than 48/day" effect).
+                entry.next_dial_ms = now + interval;
+            }
+            self.queued.remove(&id);
+        }
+        self.log.conns.push(probe.record);
+    }
+
+    fn handle_wire_event(&mut self, ctx: &mut Ctx, conn: ConnId, event: WireEvent) {
+        let rtt = ctx.rtt_ms(conn);
+        let ours = self.our_status();
+        let chain = self.chain.clone();
+        let Some(probe) = self.conns.get_mut(&conn) else { return };
+        if rtt > 0 {
+            probe.record.latency_ms = rtt;
+        }
+        match event {
+            WireEvent::RlpxEstablished { peer_id } => {
+                probe.record.node_id = Some(peer_id);
+                probe.record.outcome = ConnOutcome::HandshakeFailed;
+            }
+            WireEvent::Hello { hello, shared } => {
+                probe.record.hello = Some(HelloInfo {
+                    client_id: hello.client_id.clone(),
+                    capabilities: hello.capabilities.iter().map(|c| c.to_string()).collect(),
+                    p2p_version: hello.p2p_version,
+                });
+                probe.record.outcome = ConnOutcome::HelloOnly;
+                if shared.iter().any(|c| c.name == "eth") {
+                    // Send our STATUS; theirs should follow.
+                    let status = EthMessage::Status(ours.clone());
+                    let frames = probe.pc.send_eth(&status);
+                    for f in frames {
+                        ctx.tcp_send(conn, f);
+                    }
+                } else if !self.config.hold_connections {
+                    // Non-eth peer: HELLO is all we wanted.
+                    self.finish_probe(ctx, conn, true);
+                }
+            }
+            WireEvent::Eth(EthMessage::Status(st)) => {
+                probe.record.status = Some(StatusInfo {
+                    protocol_version: st.protocol_version,
+                    network_id: st.network_id,
+                    total_difficulty: st.total_difficulty,
+                    best_hash: st.best_hash,
+                    genesis_hash: st.genesis_hash,
+                });
+                probe.record.outcome = ConnOutcome::StatusCollected;
+                // `ours` computed above, before borrowing the probe.
+                if ours.compatible(&st) && self.config.dao_check {
+                    // Mainnet-or-Classic: run the DAO check.
+                    probe.awaiting_dao = true;
+                    let req = EthMessage::GetBlockHeaders {
+                        start: BlockId::Number(DAO_FORK_BLOCK),
+                        max_headers: 1,
+                        skip: 0,
+                        reverse: false,
+                    };
+                    let frames = probe.pc.send_eth(&req);
+                    for f in frames {
+                        ctx.tcp_send(conn, f);
+                    }
+                } else if !self.config.hold_connections {
+                    self.finish_probe(ctx, conn, true);
+                }
+            }
+            WireEvent::Eth(EthMessage::BlockHeaders(headers)) => {
+                if probe.awaiting_dao {
+                    probe.record.dao_fork = headers
+                        .iter()
+                        .find(|h| h.number == DAO_FORK_BLOCK)
+                        .map(|h| h.extra_data == DAO_FORK_EXTRA);
+                    probe.record.outcome = ConnOutcome::DaoChecked;
+                    if !self.config.hold_connections {
+                        self.finish_probe(ctx, conn, true);
+                    }
+                }
+            }
+            WireEvent::Eth(EthMessage::GetBlockHeaders { start, max_headers, skip, reverse }) => {
+                // Behave like a normal peer while the probe runs.
+                let start_num = match start {
+                    BlockId::Number(n) => Some(n),
+                    BlockId::Hash(h) if h == chain.best_hash() => Some(chain.head),
+                    BlockId::Hash(_) => None,
+                };
+                let headers = match start_num {
+                    Some(n) => chain.headers(n, max_headers as usize, skip, reverse),
+                    None => Vec::new(),
+                };
+                let frames = probe.pc.send_eth(&EthMessage::BlockHeaders(headers));
+                for f in frames {
+                    ctx.tcp_send(conn, f);
+                }
+            }
+            WireEvent::Eth(_) => {
+                // TRANSACTIONS and friends: tolerated, ignored.
+            }
+            WireEvent::OtherSubprotocol { .. } => {}
+            WireEvent::Ping => {
+                let frames = probe.pc.flush_session();
+                for f in frames {
+                    ctx.tcp_send(conn, f);
+                }
+            }
+            WireEvent::Pong => {}
+            WireEvent::Disconnected(reason) => {
+                probe.record.outcome = ConnOutcome::RemoteDisconnect(reason.label().to_string());
+                self.finish_probe(ctx, conn, false);
+            }
+            WireEvent::ProtocolError(_) => {
+                self.finish_probe(ctx, conn, false);
+            }
+        }
+    }
+}
+
+impl Host for NodeFinder {
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        let addr = ctx.local_addr();
+        let endpoint = Endpoint { ip: addr.ip, udp_port: addr.port, tcp_port: addr.port };
+        let mut disc = Discv4::new(self.key, endpoint, DiscConfig { metric: Metric::GethLog2, ..DiscConfig::default() });
+        let mut outgoing = Vec::new();
+        let now = ctx.now_ms;
+        for b in self.bootstrap.clone() {
+            if b.id != self.node_id() {
+                outgoing.push(disc.ping(b, now));
+                // Bootstraps are static-dialed like anyone else (§4).
+                self.static_nodes.insert(
+                    b.id,
+                    StaticEntry {
+                        record: b,
+                        next_dial_ms: now + 1_000,
+                        last_success_ms: now,
+                    },
+                );
+            }
+        }
+        self.disc = Some(disc);
+        self.send_disc(ctx, outgoing);
+        ctx.set_timer(self.config.lookup_interval_ms, T_LOOKUP);
+        ctx.set_timer(self.static_tick_ms(), T_STATIC);
+        ctx.set_timer(self.config.probe_timeout_ms / 2, T_SWEEP);
+    }
+
+    fn on_udp(&mut self, ctx: &mut Ctx, from: HostAddr, datagram: &[u8]) {
+        let Some(disc) = self.disc.as_mut() else { return };
+        let from_ep = Endpoint { ip: from.ip, udp_port: from.port, tcp_port: from.port };
+        let outgoing = disc.on_datagram(from_ep, datagram, ctx.now_ms);
+        self.send_disc(ctx, outgoing);
+        self.drain_disc_events(ctx);
+    }
+
+    fn on_tcp(&mut self, ctx: &mut Ctx, event: TcpEvent) {
+        match event {
+            TcpEvent::Connected { conn, .. } => {
+                let key = self.key;
+                let mut frames = Vec::new();
+                if let Some(probe) = self.conns.get_mut(&conn) {
+                    probe.record.latency_ms = ctx.rtt_ms(conn);
+                    frames = probe.pc.on_tcp_connected(ctx.rng(), &key);
+                }
+                for f in frames {
+                    ctx.tcp_send(conn, f);
+                }
+                if self.conns.get(&conn).map(|p| p.pc.is_dead()).unwrap_or(false) {
+                    self.finish_probe(ctx, conn, false);
+                }
+            }
+            TcpEvent::ConnectFailed { conn } => {
+                self.finish_probe(ctx, conn, false);
+            }
+            TcpEvent::Incoming { conn, peer } => {
+                if self.conns.contains_key(&conn) {
+                    // Self-connection guard (shouldn't occur given the dial
+                    // filter, but cheap to be safe).
+                    self.finish_probe(ctx, conn, false);
+                    return;
+                }
+                // Accept everything; never Too many peers (§4).
+                let hello = self.hello(ctx.local_addr());
+                let record_log = ConnLog {
+                    instance: self.config.instance,
+                    ts_ms: ctx.now_ms,
+                    node_id: None,
+                    ip: peer.ip,
+                    port: peer.port,
+                    conn_type: ConnType::Incoming,
+                    latency_ms: 0,
+                    duration_ms: 0,
+                    hello: None,
+                    status: None,
+                    dao_fork: None,
+                    outcome: ConnOutcome::HandshakeFailed,
+                };
+                self.conns.insert(
+                    conn,
+                    Probe {
+                        pc: PeerConn::accepted(conn, hello, ctx.now_ms),
+                        conn_type: ConnType::Incoming,
+                        record: record_log,
+                        awaiting_dao: false,
+                        done: false,
+                    },
+                );
+            }
+            TcpEvent::Data { conn, bytes } => {
+                let key = self.key;
+                let Some(probe) = self.conns.get_mut(&conn) else { return };
+                let (events, out) = probe.pc.on_data(ctx.rng(), &key, &bytes);
+                for f in out {
+                    ctx.tcp_send(conn, f);
+                }
+                for e in events {
+                    self.handle_wire_event(ctx, conn, e);
+                }
+                if self.conns.get(&conn).map(|p| p.pc.is_dead()).unwrap_or(false) {
+                    self.finish_probe(ctx, conn, false);
+                }
+            }
+            TcpEvent::Closed { conn } => {
+                self.finish_probe(ctx, conn, false);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match token {
+            T_LOOKUP => {
+                // NodeFinder discovers continuously (§4 modification 1).
+                let mut outgoing = Vec::new();
+                if let Some(disc) = self.disc.as_mut() {
+                    outgoing.extend(disc.poll(ctx.now_ms));
+                    if !disc.lookup_in_progress() {
+                        let mut target = [0u8; 64];
+                        ctx.rng().fill(&mut target[..]);
+                        let disc = self.disc.as_mut().unwrap();
+                        outgoing.extend(disc.start_lookup(NodeId(target), ctx.now_ms));
+                        // one Fig 5 "discovery attempt"
+                        let own = self.node_id();
+                        let ip = ctx.local_addr().ip;
+                        self.event(ctx.now_ms, own, ip, DialEventKind::DiscoveryAttempt);
+                    }
+                }
+                self.send_disc(ctx, outgoing);
+                self.drain_disc_events(ctx);
+                ctx.set_timer(self.config.lookup_interval_ms, T_LOOKUP);
+            }
+            T_DIAL => {
+                self.dial_armed = false;
+                while self.dialing < self.config.max_active_dials {
+                    let Some(record) = self.dynamic_queue.pop_front() else { break };
+                    if self.static_nodes.contains_key(&record.id) {
+                        self.queued.remove(&record.id);
+                        continue;
+                    }
+                    self.dial(ctx, record, ConnType::DynamicDial);
+                }
+                if !self.dynamic_queue.is_empty() {
+                    self.dial_armed = true;
+                    ctx.set_timer(500, T_DIAL);
+                }
+            }
+            T_STATIC => {
+                let now = ctx.now_ms;
+                // Remove stale addresses (no TCP success in stale_after).
+                let stale: Vec<NodeId> = self
+                    .static_nodes
+                    .iter()
+                    .filter(|(_, e)| now.saturating_sub(e.last_success_ms) > self.config.stale_after_ms)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in stale {
+                    self.static_nodes.remove(&id);
+                }
+                // Fire due static dials — no concurrency cap (§4).
+                let due: Vec<NodeRecord> = self
+                    .static_nodes
+                    .iter()
+                    .filter(|(_, e)| e.next_dial_ms <= now)
+                    .map(|(_, e)| e.record)
+                    .collect();
+                for record in due {
+                    if let Some(e) = self.static_nodes.get_mut(&record.id) {
+                        e.next_dial_ms = now + self.config.static_redial_interval_ms;
+                    }
+                    self.dial(ctx, record, ConnType::StaticDial);
+                }
+                ctx.set_timer(self.static_tick_ms(), T_STATIC);
+            }
+            T_POLL => {
+                self.poll_armed = false;
+                let outgoing = match self.disc.as_mut() {
+                    Some(d) => d.poll(ctx.now_ms),
+                    None => Vec::new(),
+                };
+                self.send_disc(ctx, outgoing);
+                self.drain_disc_events(ctx);
+            }
+            T_SWEEP => {
+                let now = ctx.now_ms;
+                let expired: Vec<ConnId> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, p)| {
+                        // In hold mode, active sessions are kept forever;
+                        // only stuck handshakes are reaped.
+                        !(self.config.hold_connections && p.pc.is_active())
+                    })
+                    .filter(|(_, p)| now.saturating_sub(p.record.ts_ms) > self.config.probe_timeout_ms)
+                    .map(|(c, _)| *c)
+                    .collect();
+                for conn in expired {
+                    self.finish_probe(ctx, conn, true);
+                }
+                ctx.set_timer(self.config.probe_timeout_ms / 2, T_SWEEP);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_stop(&mut self, ctx: &mut Ctx) {
+        // Flush open probes with Open outcome so nothing is lost.
+        let open: Vec<ConnId> = self.conns.keys().copied().collect();
+        for conn in open {
+            if let Some(p) = self.conns.get_mut(&conn) {
+                if p.record.hello.is_none() {
+                    p.record.outcome = ConnOutcome::Open;
+                }
+            }
+            self.finish_probe(ctx, conn, false);
+        }
+    }
+}

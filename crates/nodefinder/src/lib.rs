@@ -1,0 +1,32 @@
+//! **NodeFinder** — the measurement crawler from *Measuring Ethereum
+//! Network Peers* (IMC 2018), §4.
+//!
+//! NodeFinder is a modified Ethereum client that trades blockchain syncing
+//! for coverage:
+//!
+//! 1. **No peer limit.** It continuously discovers and accepts every
+//!    connection, never sending `Too many peers`.
+//! 2. **Probe, then hang up.** A connection lives exactly long enough to
+//!    collect the DEVp2p HELLO, the Ethereum STATUS, and the DAO-fork
+//!    check (one `GET_BLOCK_HEADERS` for block 1,920,000) — at most three
+//!    message exchanges — then disconnects to free the peer's slot.
+//! 3. **Static re-dials.** Every node that ever answered a dynamic dial
+//!    joins a StaticNodes list re-dialed on a fixed interval (30 minutes
+//!    in the paper) to track liveness and churn; stale addresses (no
+//!    successful TCP in 24h) are dropped.
+//! 4. **Structured logging.** Every connection logs timestamp, node id,
+//!    ip/port, connection type (dynamic/static/incoming), socket sRTT,
+//!    duration, and the decoded HELLO/STATUS/DISCONNECT payloads.
+//!
+//! The [`mod@sanitize`] module implements §5.4's five-step filter that strips
+//! abusive node-ID spammers from the dataset.
+
+pub mod crawler;
+pub mod datastore;
+pub mod log;
+pub mod sanitize;
+
+pub use crawler::{CrawlerConfig, NodeFinder};
+pub use datastore::{DataStore, NodeObservation};
+pub use log::{ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, HelloInfo, StatusInfo};
+pub use sanitize::{sanitize, SanitizeParams, SanitizeReport};

@@ -1,0 +1,65 @@
+//! Error type for RLP decoding.
+
+use std::fmt;
+
+/// Reasons an RLP payload can fail to decode.
+///
+/// The decoder is strict: anything that is not the canonical encoding of a
+/// value is rejected, because Ethereum wire protocols sign and hash the raw
+/// bytes and accepting equivalent-but-different encodings would allow
+/// malleability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RlpError {
+    /// The buffer ended before the announced item length.
+    Truncated,
+    /// A value used the long form where the short form (or the single-byte
+    /// form) was required, or a big-endian length had leading zero bytes.
+    NonCanonical,
+    /// Expected a string item but found a list.
+    ExpectedData,
+    /// Expected a list item but found a string.
+    ExpectedList,
+    /// List index out of bounds.
+    IndexOutOfBounds,
+    /// Integer had leading zero bytes or did not fit the target type.
+    BadInteger,
+    /// A fixed-size field (hash, node ID…) had the wrong length.
+    BadLength {
+        /// Length the caller required.
+        expected: usize,
+        /// Length found on the wire.
+        actual: usize,
+    },
+    /// String data was not valid UTF-8 when a `String` was requested.
+    BadUtf8,
+    /// Extra bytes followed the decoded item where exactly one item was
+    /// expected.
+    TrailingBytes,
+    /// A boolean field held something other than canonical 0 or 1.
+    BadBool,
+    /// Catch-all for protocol-level interpretation errors raised by
+    /// [`Decodable`](crate::Decodable) impls in other crates.
+    Custom(&'static str),
+}
+
+impl fmt::Display for RlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlpError::Truncated => write!(f, "rlp: input truncated"),
+            RlpError::NonCanonical => write!(f, "rlp: non-canonical encoding"),
+            RlpError::ExpectedData => write!(f, "rlp: expected string, found list"),
+            RlpError::ExpectedList => write!(f, "rlp: expected list, found string"),
+            RlpError::IndexOutOfBounds => write!(f, "rlp: list index out of bounds"),
+            RlpError::BadInteger => write!(f, "rlp: invalid integer encoding"),
+            RlpError::BadLength { expected, actual } => {
+                write!(f, "rlp: bad field length, expected {expected}, got {actual}")
+            }
+            RlpError::BadUtf8 => write!(f, "rlp: string is not valid utf-8"),
+            RlpError::TrailingBytes => write!(f, "rlp: trailing bytes after item"),
+            RlpError::BadBool => write!(f, "rlp: invalid boolean"),
+            RlpError::Custom(msg) => write!(f, "rlp: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RlpError {}

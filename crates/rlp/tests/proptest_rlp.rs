@@ -1,0 +1,90 @@
+//! Property-based tests for the RLP codec: roundtrips, canonicality, and
+//! decoder robustness against arbitrary byte soup.
+
+use proptest::prelude::*;
+use rlp::{decode, encode, encode_list, decode_list, Rlp, RlpStream};
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        let out = encode(&v);
+        prop_assert_eq!(decode::<u64>(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn u128_roundtrip(v in any::<u128>()) {
+        let out = encode(&v);
+        prop_assert_eq!(decode::<u128>(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn bytes_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let out = encode(&v.as_slice());
+        prop_assert_eq!(decode::<Vec<u8>>(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn string_roundtrip(v in ".{0,200}") {
+        let out = encode(&v);
+        prop_assert_eq!(decode::<String>(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn list_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let out = encode_list(&v);
+        prop_assert_eq!(decode_list::<u64>(&out).unwrap(), v);
+    }
+
+    /// Encoding is canonical: decode(encode(x)) re-encodes to identical bytes.
+    #[test]
+    fn encoding_is_canonical(v in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let out = encode(&v.as_slice());
+        let back: Vec<u8> = decode(&out).unwrap();
+        prop_assert_eq!(encode(&back.as_slice()), out);
+    }
+
+    /// The decoder never panics on arbitrary input.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let r = Rlp::new(&bytes);
+        let _ = r.item_len();
+        let _ = r.data();
+        let _ = r.item_count();
+        let _ = r.as_u64();
+        let _ = r.at(0);
+        for item in r.iter().take(64) {
+            let _ = item.data();
+            let _ = item.as_u64();
+        }
+        let _ = decode::<Vec<u8>>(&bytes);
+        let _ = decode::<u64>(&bytes);
+        let _ = decode::<String>(&bytes);
+    }
+
+    /// A valid item followed by garbage fails `decode` (exactness) but the
+    /// `Rlp` view still reads the leading item correctly.
+    #[test]
+    fn trailing_garbage_detected(v in any::<u64>(), junk in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let mut bytes = encode(&v);
+        bytes.extend_from_slice(&junk);
+        prop_assert!(decode::<u64>(&bytes).is_err());
+        prop_assert_eq!(Rlp::new(&bytes).as_u64().unwrap(), v);
+    }
+
+    /// Nested structures roundtrip through raw splicing.
+    #[test]
+    fn nested_splice_roundtrip(
+        a in proptest::collection::vec(any::<u64>(), 0..20),
+        s in ".{0,50}",
+    ) {
+        let inner = encode_list(&a);
+        let mut st = RlpStream::new_list(2);
+        st.append_raw(&inner, 1);
+        st.append(&s);
+        let out = st.out();
+        let r = Rlp::new(&out);
+        prop_assert_eq!(r.item_count().unwrap(), 2);
+        prop_assert_eq!(r.at(0).unwrap().as_list::<u64>().unwrap(), a);
+        prop_assert_eq!(r.at(1).unwrap().as_str().unwrap(), s);
+    }
+}

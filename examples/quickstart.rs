@@ -1,0 +1,81 @@
+//! Quickstart: crawl a small simulated DEVp2p world with NodeFinder and
+//! print what it learned.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ethereum_p2p::prelude::*;
+use std::net::Ipv4Addr;
+
+fn main() {
+    // 1. Build a world: 40 nodes sampled from the paper's population
+    //    marginals (client mix, networks, NAT, geography), no spammers.
+    let config = WorldConfig {
+        seed: 7,
+        n_nodes: 40,
+        duration_ms: 4 * 60_000,
+        spammer_ips: 0,
+        udp_loss: 0.0,
+        always_on_fraction: 0.9,
+        ..WorldConfig::default()
+    };
+    let mut world = World::build(config);
+    println!(
+        "world: {} hosts ({} bootstrap), {} ground-truth Mainnet",
+        world.sim.host_count(),
+        world.bootstrap.len(),
+        world.mainnet_nodes().count()
+    );
+
+    // 2. Add one NodeFinder instance. It speaks the real protocols:
+    //    discv4 over UDP, RLPx + DEVp2p + eth over TCP.
+    let key = SecretKey::from_bytes(&[42u8; 32]).expect("valid key");
+    let crawler = NodeFinder::new(
+        key,
+        CrawlerConfig {
+            static_redial_interval_ms: 60_000, // compressed 30-minute loop
+            ..CrawlerConfig::default()
+        },
+        world.bootstrap.clone(),
+    );
+    let addr = HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303);
+    let host = world.sim.add_host(addr, HostMeta::default_cloud(), Box::new(crawler));
+    world.sim.schedule_start(host, 0);
+
+    // 3. Run four simulated minutes.
+    world.sim.run_until(4 * 60_000);
+    println!(
+        "simulation: {} events, {} UDP datagrams",
+        world.sim.events_processed(),
+        world.sim.udp_counters().0
+    );
+
+    // 4. Pull the crawler back out and aggregate its logs.
+    let crawler = world
+        .sim
+        .remove_host_behaviour(host)
+        .expect("crawler host")
+        .into_any()
+        .downcast::<NodeFinder>()
+        .expect("is a NodeFinder");
+    let store = DataStore::from_log(&crawler.log);
+
+    println!("\ncrawl results:");
+    println!("  node IDs seen      : {}", store.total_ids());
+    println!("  HELLO collected    : {}", store.hello_nodes().count());
+    println!("  STATUS collected   : {}", store.status_nodes().count());
+    println!("  Mainnet classified : {}", store.mainnet_nodes().count());
+
+    println!("\nfirst few peers:");
+    for obs in store.hello_nodes().take(5) {
+        let hello = obs.hello.as_ref().expect("hello nodes have hellos");
+        println!(
+            "  {}… {:<42} caps={:?} mainnet={}",
+            obs.id.short(),
+            hello.client_id,
+            hello.capabilities,
+            obs.is_mainnet()
+        );
+    }
+}

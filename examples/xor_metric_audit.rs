@@ -1,0 +1,82 @@
+//! Audit the Geth-vs-Parity node-distance divergence (§6.3) directly
+//! against the library's Kademlia primitives — no network required.
+//!
+//! ```sh
+//! cargo run --release --example xor_metric_audit
+//! ```
+
+use ethereum_p2p::prelude::*;
+use kad::{log_distance_geth, log_distance_parity, metrics_agree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1804);
+
+    // 1. A concrete pair: the same two node IDs measured by both clients.
+    let a = NodeId(rng.gen::<[u8; 32]>().repeat(2).try_into().unwrap());
+    let b = NodeId(rng.gen::<[u8; 32]>().repeat(2).try_into().unwrap());
+    let (ha, hb) = (a.kad_hash(), b.kad_hash());
+    println!("node A {}…  node B {}…", a.short(), b.short());
+    println!("  geth distance   : {}", log_distance_geth(&ha, &hb));
+    println!("  parity distance : {}", log_distance_parity(&ha, &hb));
+    println!("  metrics agree?  : {}\n", metrics_agree(&ha, &hb));
+
+    // 2. Equation 1: agreement happens exactly when XOR = 2^k − 1.
+    let x = [0u8; 32];
+    let mut y = [0u8; 32];
+    y[31] = 0x0f; // XOR = 0b1111 = 2^4 − 1
+    println!("constructed XOR = 2^4−1:");
+    println!("  geth {} vs parity {} — agree: {}\n",
+        log_distance_geth(&x, &y),
+        log_distance_parity(&x, &y),
+        metrics_agree(&x, &y));
+
+    // 3. What it does to routing: fill one table per metric with the same
+    //    500 random nodes and compare who each returns as "closest".
+    let records: Vec<NodeRecord> = (0..500)
+        .map(|_| {
+            let mut id = [0u8; 64];
+            rng.fill(&mut id[..]);
+            NodeRecord::new(NodeId(id), Endpoint::new(std::net::Ipv4Addr::new(10, 0, 0, 1), 30303))
+        })
+        .collect();
+    let local = NodeId([0xEEu8; 64]);
+    let mut geth_table = RoutingTable::new(local, Metric::GethLog2);
+    let mut parity_table = RoutingTable::new(local, Metric::ParityByteSum);
+    for r in &records {
+        let _ = geth_table.add(*r, 0);
+        let _ = parity_table.add(*r, 0);
+    }
+    let mut target = [0u8; 64];
+    rng.fill(&mut target[..]);
+    let target_hash = NodeId(target).kad_hash();
+    let geth_closest = geth_table.closest(&target_hash, 16);
+    let parity_closest = parity_table.closest(&target_hash, 16);
+    let overlap = geth_closest
+        .iter()
+        .filter(|g| parity_closest.iter().any(|p| p.id == g.id))
+        .count();
+    println!("closest-16 sets for a random target:");
+    println!("  geth table size {} / parity table size {}", geth_table.len(), parity_table.len());
+    println!(
+        "  overlap between the two closest-16 answers: {overlap}/16 \
+         (low overlap = Parity NEIGHBORS responses are useless to Geth's lookups)"
+    );
+
+    // 4. The distribution view, small-scale (Fig 11 is the 100K version).
+    let mut geth_at_256 = 0;
+    let mut parity_sum = 0u64;
+    let trials = 5_000;
+    for _ in 0..trials {
+        let p: [u8; 32] = rng.gen();
+        let q: [u8; 32] = rng.gen();
+        if log_distance_geth(&p, &q) == 256 {
+            geth_at_256 += 1;
+        }
+        parity_sum += log_distance_parity(&p, &q) as u64;
+    }
+    println!("\n{trials} random pairs:");
+    println!("  geth: {:.1}% at distance 256 (expect ~50%)", 100.0 * geth_at_256 as f64 / trials as f64);
+    println!("  parity: mean distance {:.1} (expect ~224)", parity_sum as f64 / trials as f64);
+}
