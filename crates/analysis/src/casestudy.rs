@@ -23,7 +23,11 @@ pub fn message_mix(stats: &NodeStats, sent: bool) -> Vec<CountRow> {
 
 /// Table 1 rows: disconnect-reason tallies for one node.
 pub fn disconnect_table(stats: &NodeStats, sent: bool) -> Vec<CountRow> {
-    let map = if sent { &stats.disconnects_sent } else { &stats.disconnects_received };
+    let map = if sent {
+        &stats.disconnects_sent
+    } else {
+        &stats.disconnects_received
+    };
     let total: u64 = map.values().sum();
     let mut rows: Vec<CountRow> = map
         .iter()

@@ -38,7 +38,9 @@ pub fn version_stability(store: &DataStore) -> Vec<StabilityRow> {
         let mut unstable = 0u64;
         let mut versions: Vec<String> = Vec::new();
         for obs in store.mainnet_nodes() {
-            let Some(hello) = obs.hello.as_ref() else { continue };
+            let Some(hello) = obs.hello.as_ref() else {
+                continue;
+            };
             let (fam, version) = parse_client_id(&hello.client_id);
             if fam != family {
                 continue;
@@ -73,8 +75,7 @@ pub fn version_timeline(
     n_windows: usize,
 ) -> BTreeMap<String, Vec<u64>> {
     // Within a window, count each node once (its latest observed version).
-    let mut per_window: Vec<BTreeMap<enode::NodeId, String>> =
-        vec![BTreeMap::new(); n_windows];
+    let mut per_window: Vec<BTreeMap<enode::NodeId, String>> = vec![BTreeMap::new(); n_windows];
     for conn in &log.conns {
         let (Some(id), Some(hello)) = (conn.node_id, conn.hello.as_ref()) else {
             continue;
@@ -92,7 +93,8 @@ pub fn version_timeline(
     let mut out: BTreeMap<String, Vec<u64>> = BTreeMap::new();
     for (w, nodes) in per_window.iter().enumerate() {
         for version in nodes.values() {
-            out.entry(version.clone()).or_insert_with(|| vec![0; n_windows])[w] += 1;
+            out.entry(version.clone())
+                .or_insert_with(|| vec![0; n_windows])[w] += 1;
         }
     }
     out
@@ -105,7 +107,9 @@ pub fn fraction_at_or_below(store: &DataStore, family: &str, version: &str) -> f
     let mut total = 0u64;
     let mut old = 0u64;
     for obs in store.mainnet_nodes() {
-        let Some(hello) = obs.hello.as_ref() else { continue };
+        let Some(hello) = obs.hello.as_ref() else {
+            continue;
+        };
         let (fam, v) = parse_client_id(&hello.client_id);
         if fam != family {
             continue;
@@ -166,11 +170,22 @@ mod tests {
 
     fn demo_log() -> CrawlLog {
         let mut log = CrawlLog::default();
-        log.conns.push(mainnet_conn(1, 0, "Geth/v1.8.11-stable/linux-amd64/go1.10"));
-        log.conns.push(mainnet_conn(2, 0, "Geth/v1.8.10-stable/linux-amd64/go1.10"));
-        log.conns.push(mainnet_conn(3, 0, "Geth/v1.6.7-stable/linux-amd64/go1.8"));
-        log.conns.push(mainnet_conn(4, 0, "Parity/v1.10.3-beta/x86_64-linux-gnu/rustc1.24.1"));
-        log.conns.push(mainnet_conn(5, 0, "Parity/v1.10.6-stable/x86_64-linux-gnu/rustc1.24.1"));
+        log.conns
+            .push(mainnet_conn(1, 0, "Geth/v1.8.11-stable/linux-amd64/go1.10"));
+        log.conns
+            .push(mainnet_conn(2, 0, "Geth/v1.8.10-stable/linux-amd64/go1.10"));
+        log.conns
+            .push(mainnet_conn(3, 0, "Geth/v1.6.7-stable/linux-amd64/go1.8"));
+        log.conns.push(mainnet_conn(
+            4,
+            0,
+            "Parity/v1.10.3-beta/x86_64-linux-gnu/rustc1.24.1",
+        ));
+        log.conns.push(mainnet_conn(
+            5,
+            0,
+            "Parity/v1.10.6-stable/x86_64-linux-gnu/rustc1.24.1",
+        ));
         log
     }
 
@@ -204,7 +219,8 @@ mod tests {
         // node 1 seen twice in window 0 on v1.8.10, then upgrades.
         log.conns.push(mainnet_conn(1, 10, "Geth/v1.8.10-stable/x"));
         log.conns.push(mainnet_conn(1, 20, "Geth/v1.8.10-stable/x"));
-        log.conns.push(mainnet_conn(1, 1010, "Geth/v1.8.11-stable/x"));
+        log.conns
+            .push(mainnet_conn(1, 1010, "Geth/v1.8.11-stable/x"));
         log.conns.push(mainnet_conn(2, 15, "Geth/v1.8.11-stable/x"));
         let tl = version_timeline(&log, "Geth", 1000, 2);
         assert_eq!(tl["v1.8.10"], vec![1, 0]);

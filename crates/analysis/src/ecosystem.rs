@@ -32,7 +32,13 @@ pub fn funnel(store: &DataStore) -> EcosystemFunnel {
     } else {
         0.0
     };
-    EcosystemFunnel { total_ids, hello_nodes, status_nodes, mainnet_nodes, useless_fraction }
+    EcosystemFunnel {
+        total_ids,
+        hello_nodes,
+        status_nodes,
+        mainnet_nodes,
+        useless_fraction,
+    }
 }
 
 /// Table 3: the primary service each HELLO node advertises.
@@ -141,7 +147,13 @@ mod tests {
     use nodefinder::{ConnLog, ConnOutcome, ConnType, CrawlLog, HelloInfo, StatusInfo};
     use std::net::Ipv4Addr;
 
-    fn conn(tag: u8, caps: &[&str], network: Option<u64>, genesis: [u8; 32], dao: Option<bool>) -> ConnLog {
+    fn conn(
+        tag: u8,
+        caps: &[&str],
+        network: Option<u64>,
+        genesis: [u8; 32],
+        dao: Option<bool>,
+    ) -> ConnLog {
         ConnLog {
             instance: 0,
             ts_ms: 0,
@@ -170,12 +182,31 @@ mod tests {
 
     fn store() -> DataStore {
         let mut log = CrawlLog::default();
-        log.conns.push(conn(1, &["eth/62", "eth/63"], Some(1), ethwire::MAINNET_GENESIS, Some(true)));
-        log.conns.push(conn(2, &["eth/63"], Some(1), ethwire::MAINNET_GENESIS, Some(false))); // classic
+        log.conns.push(conn(
+            1,
+            &["eth/62", "eth/63"],
+            Some(1),
+            ethwire::MAINNET_GENESIS,
+            Some(true),
+        ));
+        log.conns.push(conn(
+            2,
+            &["eth/63"],
+            Some(1),
+            ethwire::MAINNET_GENESIS,
+            Some(false),
+        )); // classic
         log.conns.push(conn(3, &["bzz/1"], None, [0u8; 32], None));
         log.conns.push(conn(4, &["les/2"], None, [0u8; 32], None));
-        log.conns.push(conn(5, &["eth/63"], Some(3), [7u8; 32], None)); // ropsten
-        log.conns.push(conn(6, &["eth/63"], Some(999), ethwire::MAINNET_GENESIS, None)); // misuse
+        log.conns
+            .push(conn(5, &["eth/63"], Some(3), [7u8; 32], None)); // ropsten
+        log.conns.push(conn(
+            6,
+            &["eth/63"],
+            Some(999),
+            ethwire::MAINNET_GENESIS,
+            None,
+        )); // misuse
         DataStore::from_log(&log)
     }
 

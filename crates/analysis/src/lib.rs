@@ -11,6 +11,7 @@
 //! * [`validation`] — Table 2 set intersections, Fig 5–8 rate series;
 //! * [`casestudy`] — Figs 2–4 and Table 1 from instrumented nodes;
 //! * [`render`] — ASCII tables and CSV series for the harness binaries.
+#![forbid(unsafe_code)]
 
 pub mod casestudy;
 pub mod clients;
@@ -116,7 +117,11 @@ impl Cdf {
 
 /// Bin timestamped events into fixed-width windows ("days"), returning the
 /// per-window counts across `n_windows` starting at t=0.
-pub fn bin_by_window(timestamps: impl IntoIterator<Item = u64>, window_ms: u64, n_windows: usize) -> Vec<u64> {
+pub fn bin_by_window(
+    timestamps: impl IntoIterator<Item = u64>,
+    window_ms: u64,
+    n_windows: usize,
+) -> Vec<u64> {
     let mut bins = vec![0u64; n_windows];
     for ts in timestamps {
         let idx = (ts / window_ms.max(1)) as usize;

@@ -16,7 +16,10 @@ pub fn count_table(title: &str, rows: &[CountRow], max_rows: usize) -> String {
         .max()
         .unwrap_or(8)
         .max(8);
-    out.push_str(&format!("{:<width$}  {:>10}  {:>8}\n", "label", "count", "%"));
+    out.push_str(&format!(
+        "{:<width$}  {:>10}  {:>8}\n",
+        "label", "count", "%"
+    ));
     out.push_str(&format!("{}\n", "-".repeat(width + 22)));
     for row in rows.iter().take(max_rows) {
         out.push_str(&format!(
@@ -35,7 +38,10 @@ pub fn count_table(title: &str, rows: &[CountRow], max_rows: usize) -> String {
         ));
     }
     let total: u64 = rows.iter().map(|r| r.count).sum();
-    out.push_str(&format!("{:<width$}  {:>10}  {:>7.2}%\n", "Total", total, 100.0));
+    out.push_str(&format!(
+        "{:<width$}  {:>10}  {:>7.2}%\n",
+        "Total", total, 100.0
+    ));
     out
 }
 
@@ -81,9 +87,21 @@ mod tests {
 
     fn rows() -> Vec<CountRow> {
         vec![
-            CountRow { label: "Ethereum (eth)".into(), count: 90, percent: 90.0 },
-            CountRow { label: "Swarm (bzz)".into(), count: 7, percent: 7.0 },
-            CountRow { label: "LES".into(), count: 3, percent: 3.0 },
+            CountRow {
+                label: "Ethereum (eth)".into(),
+                count: 90,
+                percent: 90.0,
+            },
+            CountRow {
+                label: "Swarm (bzz)".into(),
+                count: 7,
+                percent: 7.0,
+            },
+            CountRow {
+                label: "LES".into(),
+                count: 3,
+                percent: 3.0,
+            },
         ]
     }
 

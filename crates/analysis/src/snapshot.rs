@@ -81,7 +81,10 @@ pub struct Freshness {
 pub fn freshness(store: &DataStore, stale_threshold: u64) -> Freshness {
     let heads: Vec<u64> = store
         .mainnet_nodes()
-        .filter_map(|o| o.status.map(|s| head_from_total_difficulty(s.total_difficulty)))
+        .filter_map(|o| {
+            o.status
+                .map(|s| head_from_total_difficulty(s.total_difficulty))
+        })
         .collect();
     let network_head = heads.iter().copied().max().unwrap_or(0);
     let lags: Vec<u64> = heads.iter().map(|h| network_head - h).collect();
@@ -127,7 +130,11 @@ mod tests {
             node_id: Some(NodeId([tag; 64])),
             ip: Ipv4Addr::new(10, 0, 0, tag),
             port: 30303,
-            conn_type: if incoming { ConnType::Incoming } else { ConnType::DynamicDial },
+            conn_type: if incoming {
+                ConnType::Incoming
+            } else {
+                ConnType::DynamicDial
+            },
             latency_ms: 30 + tag as u32,
             duration_ms: 100,
             hello: Some(HelloInfo {
@@ -151,7 +158,11 @@ mod tests {
     fn td_inversion_is_exact() {
         for head in [0u64, 1, 100, 1_920_000, 4_370_001, 5_460_000] {
             let chain = Chain::new(ChainConfig::mainnet(), head);
-            assert_eq!(head_from_total_difficulty(chain.total_difficulty()), head, "head {head}");
+            assert_eq!(
+                head_from_total_difficulty(chain.total_difficulty()),
+                head,
+                "head {head}"
+            );
         }
     }
 

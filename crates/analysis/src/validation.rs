@@ -180,9 +180,12 @@ mod tests {
     fn series_bin_correctly() {
         let mut log = CrawlLog::default();
         log.events.push(ev(10, 1, DialEventKind::DiscoveryAttempt));
-        log.events.push(ev(20, 1, DialEventKind::DynamicDialAttempt));
-        log.events.push(ev(25, 2, DialEventKind::DynamicDialAttempt));
-        log.events.push(ev(30, 1, DialEventKind::DynamicDialAttempt)); // same node again
+        log.events
+            .push(ev(20, 1, DialEventKind::DynamicDialAttempt));
+        log.events
+            .push(ev(25, 2, DialEventKind::DynamicDialAttempt));
+        log.events
+            .push(ev(30, 1, DialEventKind::DynamicDialAttempt)); // same node again
         log.events.push(ev(1020, 1, DialEventKind::DialResponded));
         let s = rate_series(&log, 1000, 2);
         assert_eq!(s.discovery_attempts, vec![1, 0]);
@@ -204,7 +207,8 @@ mod tests {
                 kind: DialEventKind::StaticDialAttempt,
             });
         }
-        log.events.push(ev(150, 1, DialEventKind::StaticDialAttempt));
+        log.events
+            .push(ev(150, 1, DialEventKind::StaticDialAttempt));
         let td = dials_to_target(&log, &boot, 1000, 1);
         assert_eq!(td.static_dials, vec![3]);
         assert_eq!(td.dynamic, vec![0]);

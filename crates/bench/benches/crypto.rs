@@ -61,7 +61,9 @@ fn bench_ecies(c: &mut Criterion) {
     let msg = vec![0x55u8; 194]; // auth-body-sized
     let mut rng = StdRng::seed_from_u64(1);
     group.bench_function("encrypt_auth_sized", |b| {
-        b.iter(|| ecies::encrypt(&mut rng, &sk.public_key(), std::hint::black_box(&msg), b"").unwrap())
+        b.iter(|| {
+            ecies::encrypt(&mut rng, &sk.public_key(), std::hint::black_box(&msg), b"").unwrap()
+        })
     });
     let ct = ecies::encrypt(&mut rng, &sk.public_key(), &msg, b"").unwrap();
     group.bench_function("decrypt_auth_sized", |b| {

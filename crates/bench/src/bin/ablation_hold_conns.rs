@@ -52,22 +52,39 @@ fn run_variant(hold: bool, scale: &Scale) -> (usize, usize, u64) {
         .unwrap();
     let open = crawler.open_conns();
     let store = DataStore::from_log(&crawler.log);
-    (store.mainnet_nodes().count(), open, store.total_ids() as u64)
+    (
+        store.mainnet_nodes().count(),
+        open,
+        store.total_ids() as u64,
+    )
 }
 
 fn main() {
     let mut scale = scale_from_env(Scale::snapshot());
     scale.crawlers = 1;
-    eprintln!("running two crawls ({} nodes, {}ms) — probe-and-disconnect vs hold …", scale.n_nodes, scale.run_ms());
+    eprintln!(
+        "running two crawls ({} nodes, {}ms) — probe-and-disconnect vs hold …",
+        scale.n_nodes,
+        scale.run_ms()
+    );
 
     let (mainnet_probe, open_probe, ids_probe) = run_variant(false, &scale);
     let (mainnet_hold, open_hold, ids_hold) = run_variant(true, &scale);
 
     println!("Ablation — hold connections (§4)\n");
     println!("{:<38} {:>12} {:>12}", "metric", "disconnect", "hold");
-    println!("{:<38} {:>12} {:>12}", "Mainnet nodes classified", mainnet_probe, mainnet_hold);
-    println!("{:<38} {:>12} {:>12}", "unique node IDs", ids_probe, ids_hold);
-    println!("{:<38} {:>12} {:>12}", "connections still open at end", open_probe, open_hold);
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "Mainnet nodes classified", mainnet_probe, mainnet_hold
+    );
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "unique node IDs", ids_probe, ids_hold
+    );
+    println!(
+        "{:<38} {:>12} {:>12}",
+        "connections still open at end", open_probe, open_hold
+    );
     println!(
         "\nexpectation: equal-or-better coverage when disconnecting, while the hold variant \
          accumulates open sockets (the paper: impractical at 30k-node scale, and it burns \

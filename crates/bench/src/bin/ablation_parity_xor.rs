@@ -71,17 +71,32 @@ fn run_variant(fixed: bool, scale: &Scale) -> (usize, u64, Vec<u64>) {
 fn main() {
     let mut scale = scale_from_env(Scale::snapshot());
     scale.crawlers = 1;
-    eprintln!("running two worlds ({} nodes, {}ms) — buggy vs fixed Parity metric …", scale.n_nodes, scale.run_ms());
+    eprintln!(
+        "running two worlds ({} nodes, {}ms) — buggy vs fixed Parity metric …",
+        scale.n_nodes,
+        scale.run_ms()
+    );
 
     let (ids_buggy, sightings_buggy, cov_buggy) = run_variant(false, &scale);
     let (ids_fixed, sightings_fixed, cov_fixed) = run_variant(true, &scale);
 
     println!("Ablation — Parity XOR metric (§6.3)\n");
     println!("{:<34} {:>12} {:>12}", "metric", "buggy", "fixed");
-    println!("{:<34} {:>12} {:>12}", "unique node IDs discovered", ids_buggy, ids_fixed);
-    println!("{:<34} {:>12} {:>12}", "discovery sightings", sightings_buggy, sightings_fixed);
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "unique node IDs discovered", ids_buggy, ids_fixed
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "discovery sightings", sightings_buggy, sightings_fixed
+    );
     for (i, (b, f)) in cov_buggy.iter().zip(cov_fixed.iter()).enumerate() {
-        println!("{:<34} {:>12} {:>12}", format!("coverage at {}/5 of run", i + 1), b, f);
+        println!(
+            "{:<34} {:>12} {:>12}",
+            format!("coverage at {}/5 of run", i + 1),
+            b,
+            f
+        );
     }
     println!(
         "\nexpectation: with the fix, Parity NEIGHBORS responses carry genuinely-close nodes, \

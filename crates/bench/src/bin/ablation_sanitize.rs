@@ -27,12 +27,16 @@ fn main() {
         .collect();
     let base = bench::sim_sanitize_params();
 
-    println!("Ablation — §5.4 threshold sweep (base: short-lived {}ms, rate {}ms)\n", base.short_lived_ms, base.max_generation_interval_ms);
+    println!(
+        "Ablation — §5.4 threshold sweep (base: short-lived {}ms, rate {}ms)\n",
+        base.short_lived_ms, base.max_generation_interval_ms
+    );
     println!(
         "{:>8} {:>8} {:>12} {:>12} {:>12} {:>12}",
         "x_short", "x_rate", "flagged_ips", "removed", "spam_hit", "legit_lost"
     );
-    let mut artifact = String::from("x_short,x_rate,flagged_ips,removed,spam_ips_hit,legit_removed\n");
+    let mut artifact =
+        String::from("x_short,x_rate,flagged_ips,removed,spam_ips_hit,legit_removed\n");
     for &xs in &[0.25f64, 0.5, 1.0, 2.0, 4.0] {
         for &xr in &[0.5f64, 1.0, 2.0] {
             let params = SanitizeParams {
@@ -56,7 +60,11 @@ fn main() {
                 .filter(|n| n.kind != TruthKind::Spammer)
                 .map(|n| n.initial_id)
                 .collect();
-            let legit_lost = report.removed_nodes.iter().filter(|id| legit.contains(id)).count();
+            let legit_lost = report
+                .removed_nodes
+                .iter()
+                .filter(|id| legit.contains(id))
+                .count();
             println!(
                 "{:>8} {:>8} {:>12} {:>12} {:>9}/{:<2} {:>12}",
                 xs,

@@ -64,7 +64,11 @@ fn stats(store: &DataStore) -> (usize, f64, usize) {
 fn main() {
     let mut scale = scale_from_env(Scale::snapshot());
     scale.crawlers = 1;
-    eprintln!("running two crawls ({} nodes, {}ms) — with / without static re-dials …", scale.n_nodes, scale.run_ms());
+    eprintln!(
+        "running two crawls ({} nodes, {}ms) — with / without static re-dials …",
+        scale.n_nodes,
+        scale.run_ms()
+    );
 
     let with = run_variant(true, &scale);
     let without = run_variant(false, &scale);
@@ -74,8 +78,14 @@ fn main() {
     println!("Ablation — static re-dials (§4)\n");
     println!("{:<38} {:>10} {:>10}", "metric", "with", "without");
     println!("{:<38} {:>10} {:>10}", "unique node IDs", ids_w, ids_wo);
-    println!("{:<38} {:>10.2} {:>10.2}", "mean dials per node", mean_w, mean_wo);
-    println!("{:<38} {:>10} {:>10}", "nodes dialed ≥3 times", repeat_w, repeat_wo);
+    println!(
+        "{:<38} {:>10.2} {:>10.2}",
+        "mean dials per node", mean_w, mean_wo
+    );
+    println!(
+        "{:<38} {:>10} {:>10}",
+        "nodes dialed ≥3 times", repeat_w, repeat_wo
+    );
     println!(
         "\nexpectation: similar unique coverage, but repeat observations (the churn/liveness \
          signal) collapse without the static loop."

@@ -42,7 +42,12 @@ fn run_variant(fixed_metric: bool, parity_share: f64, scale: &Scale) -> (usize, 
     let observer = EthNode::new(profile, world.bootstrap.clone());
     let host = world.sim.add_host(
         HostAddr::new(Ipv4Addr::new(192, 17, 90, 9), 30303),
-        HostMeta { country: "US", asn: "UIUC", region: Region::NorthAmerica, reachable: true },
+        HostMeta {
+            country: "US",
+            asn: "UIUC",
+            region: Region::NorthAmerica,
+            reachable: true,
+        },
         Box::new(observer),
     );
     world.sim.schedule_start(host, 0);

@@ -28,6 +28,7 @@ fn main() {
         print!(" {:>9}", v);
     }
     println!();
+    #[allow(clippy::needless_range_loop)] // `day` indexes one vec per version
     for day in 0..run.scale.days {
         print!("{:<6}", day);
         for v in &top {
@@ -42,6 +43,7 @@ fn main() {
         csv.push_str(v);
     }
     csv.push('\n');
+    #[allow(clippy::needless_range_loop)] // `day` indexes one vec per version
     for day in 0..run.scale.days {
         csv.push_str(&day.to_string());
         for v in &top {

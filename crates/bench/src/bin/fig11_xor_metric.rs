@@ -20,17 +20,26 @@ fn main() {
 
     let result = xor_experiment::run(trials, seed);
 
-    println!("Figure 11 — node distance distribution ({} trials)\n", result.trials);
+    println!(
+        "Figure 11 — node distance distribution ({} trials)\n",
+        result.trials
+    );
     println!("{:<10} {:>12} {:>12}", "distance", "geth", "parity");
     // Print the informative region: Parity's bell and Geth's top end.
     for d in 200..=256usize {
         if result.geth_hist[d] > 0 || result.parity_hist[d] > 0 {
-            println!("{:<10} {:>12} {:>12}", d, result.geth_hist[d], result.parity_hist[d]);
+            println!(
+                "{:<10} {:>12} {:>12}",
+                d, result.geth_hist[d], result.parity_hist[d]
+            );
         }
     }
     println!();
     println!("geth   mean distance: {:.2}", result.geth_mean);
-    println!("parity mean distance: {:.2}  (paper: tight bell ≈224)", result.parity_mean);
+    println!(
+        "parity mean distance: {:.2}  (paper: tight bell ≈224)",
+        result.parity_mean
+    );
     println!(
         "Eq.1 agreement rate:  {:.5}  (metrics agree iff XOR = 2^k − 1)",
         result.agreement_rate

@@ -48,6 +48,9 @@ fn main() {
     artifact.push('\n');
     artifact.push_str(&table13);
     bench::write_artifact("fig12_13_geo_as.txt", &artifact);
-    let path = bench::write_artifact("fig13_latency_cdf.csv", &cdf_csv("latency_ms", &lat.series(40)));
+    let path = bench::write_artifact(
+        "fig13_latency_cdf.csv",
+        &cdf_csv("latency_ms", &lat.series(40)),
+    );
     println!("\nwrote results/fig12_13_geo_as.txt and {}", path.display());
 }

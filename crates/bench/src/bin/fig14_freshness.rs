@@ -36,9 +36,17 @@ fn main() {
         ethwire::BYZANTIUM_BLOCK + 1,
         f.stuck_at_byzantium
     );
-    println!("\nlag quantiles: p25={} p50={} p75={} p90={} blocks",
-        f.lags.quantile(0.25), f.lags.quantile(0.5), f.lags.quantile(0.75), f.lags.quantile(0.9));
+    println!(
+        "\nlag quantiles: p25={} p50={} p75={} p90={} blocks",
+        f.lags.quantile(0.25),
+        f.lags.quantile(0.5),
+        f.lags.quantile(0.75),
+        f.lags.quantile(0.9)
+    );
 
-    let path = bench::write_artifact("fig14_freshness.csv", &cdf_csv("lag_blocks", &f.lags.series(50)));
+    let path = bench::write_artifact(
+        "fig14_freshness.csv",
+        &cdf_csv("lag_blocks", &f.lags.series(50)),
+    );
     println!("\nwrote {}", path.display());
 }

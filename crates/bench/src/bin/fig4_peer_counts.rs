@@ -51,8 +51,13 @@ fn main() {
     for i in 0..n {
         csv.push_str(&format!(
             "{i},{},{}\n",
-            geth.series.get(i).map_or(String::new(), |(_, p)| p.to_string()),
-            parity.series.get(i).map_or(String::new(), |(_, p)| p.to_string())
+            geth.series
+                .get(i)
+                .map_or(String::new(), |(_, p)| p.to_string()),
+            parity
+                .series
+                .get(i)
+                .map_or(String::new(), |(_, p)| p.to_string())
         ));
     }
     let path = bench::write_artifact("fig4_peer_counts.csv", &csv);

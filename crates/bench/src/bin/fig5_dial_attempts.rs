@@ -19,7 +19,10 @@ fn main() {
     let s = rate_series(&run.merged, run.scale.day_ms, run.scale.days);
 
     println!("Figure 5 — crawler attempt rates per day\n");
-    println!("{:<6} {:>12} {:>14} {:>8}", "day", "discovery", "dynamic-dials", "ratio");
+    println!(
+        "{:<6} {:>12} {:>14} {:>8}",
+        "day", "discovery", "dynamic-dials", "ratio"
+    );
     for d in 0..run.scale.days {
         let disc = s.discovery_attempts[d];
         let dial = s.dynamic_dial_attempts[d];

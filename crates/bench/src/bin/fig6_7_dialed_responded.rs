@@ -19,7 +19,10 @@ fn main() {
     let s = rate_series(&run.merged, run.scale.day_ms, run.scale.days);
 
     println!("Figures 6/7 — unique nodes dialed and responding per day\n");
-    println!("{:<6} {:>14} {:>14} {:>10}", "day", "dialed(F6)", "responded(F7)", "resp. %");
+    println!(
+        "{:<6} {:>14} {:>14} {:>10}",
+        "day", "dialed(F6)", "responded(F7)", "resp. %"
+    );
     for d in 0..run.scale.days {
         let dialed = s.unique_dialed[d];
         let resp = s.unique_responded[d];

@@ -23,7 +23,10 @@ fn main() {
     let first = &run.per_instance[0];
     let td = dials_to_target(first, &bootstrap.id, run.scale.day_ms, run.scale.days);
 
-    println!("Figure 8 — dials to bootstrap node {} per day\n", bootstrap.id.short());
+    println!(
+        "Figure 8 — dials to bootstrap node {} per day\n",
+        bootstrap.id.short()
+    );
     println!("{:<6} {:>10} {:>10}", "day", "dynamic", "static");
     for d in 0..run.scale.days {
         println!("{:<6} {:>10} {:>10}", d, td.dynamic[d], td.static_dials[d]);

@@ -22,9 +22,18 @@ fn main() {
 
     let nb = networks(&clean);
     println!("Figure 9 — Ethereum networks and genesis hashes\n");
-    println!("distinct network IDs : {} (paper: 4,076)", nb.distinct_networks);
-    println!("distinct genesis     : {} (paper: 18,829)", nb.distinct_genesis);
-    println!("single-node networks : {} (paper: 1,402)", nb.single_node_networks);
+    println!(
+        "distinct network IDs : {} (paper: 4,076)",
+        nb.distinct_networks
+    );
+    println!(
+        "distinct genesis     : {} (paper: 18,829)",
+        nb.distinct_genesis
+    );
+    println!(
+        "single-node networks : {} (paper: 1,402)",
+        nb.single_node_networks
+    );
     println!(
         "non-Mainnet peers advertising the Mainnet genesis: {} (paper: 10,497)\n",
         nb.mainnet_genesis_misuse

@@ -24,15 +24,24 @@ fn main() {
 
     let t = intersection_table(&nf_clean, &en_clean);
     println!("Table 2 — set intersections (EN = Ethernodes-style, NF = NodeFinder)\n");
-    println!("|EN|            = {:>6}   (claimed network-1 + Mainnet genesis)", t.en);
+    println!(
+        "|EN|            = {:>6}   (claimed network-1 + Mainnet genesis)",
+        t.en
+    );
     println!("|NF|            = {:>6}   (DAO-checked Mainnet)", t.nf);
     println!("|NFR| reachable = {:>6}", t.nfr);
     println!("|NFU| unreach.  = {:>6}", t.nfu);
-    println!("|EN ∩ NF|       = {:>6}   ({:.1}% of EN)", t.en_and_nf,
-        100.0 * t.en_and_nf as f64 / t.en.max(1) as f64);
+    println!(
+        "|EN ∩ NF|       = {:>6}   ({:.1}% of EN)",
+        t.en_and_nf,
+        100.0 * t.en_and_nf as f64 / t.en.max(1) as f64
+    );
     println!("|EN ∩ NFR|      = {:>6}", t.en_and_nfr);
     println!("|EN ∩ NFU|      = {:>6}", t.en_and_nfu);
-    println!("|EN \\ NF|       = {:>6}   (missed by NodeFinder's Mainnet classification)", t.en_only);
+    println!(
+        "|EN \\ NF|       = {:>6}   (missed by NodeFinder's Mainnet classification)",
+        t.en_only
+    );
     println!(
         "\nNF/EN coverage factor = {:.2}× (paper: 16,831/4,717 ≈ 3.6×). NOTE: in a \
          hundreds-of-nodes world every collector saturates within minutes, so this \

@@ -30,7 +30,11 @@ fn main() {
         println!("{line}");
         artifact.push_str(&line);
         artifact.push('\n');
-        let table = count_table(&format!("top {} versions", row.family), &row.top_versions, 10);
+        let table = count_table(
+            &format!("top {} versions", row.family),
+            &row.top_versions,
+            10,
+        );
         println!("{table}");
         artifact.push_str(&table);
         artifact.push('\n');

@@ -29,10 +29,22 @@ fn main() {
     println!("Table 6 — network size by measurement method\n");
     println!("{:<44} {:>8}", "method", "size");
     println!("{}", "-".repeat(54));
-    println!("{:<44} {:>8}", "Ethereum (NodeFinder, in+out)", sc.nodefinder);
-    println!("{:<44} {:>8}", "Ethereum (Ethernodes-style, single passive)", en);
-    println!("{:<44} {:>8}", "Ethereum (reachable-only, Bitnodes/Gencer-style)", sc.nodefinder_reachable);
-    println!("{:<44} {:>8}", "  … of which unreachable (NodeFinder extra)", sc.nodefinder_unreachable);
+    println!(
+        "{:<44} {:>8}",
+        "Ethereum (NodeFinder, in+out)", sc.nodefinder
+    );
+    println!(
+        "{:<44} {:>8}",
+        "Ethereum (Ethernodes-style, single passive)", en
+    );
+    println!(
+        "{:<44} {:>8}",
+        "Ethereum (reachable-only, Bitnodes/Gencer-style)", sc.nodefinder_reachable
+    );
+    println!(
+        "{:<44} {:>8}",
+        "  … of which unreachable (NodeFinder extra)", sc.nodefinder_unreachable
+    );
     println!(
         "\nNodeFinder ÷ reachable-only = {:.2}× (paper: 15,454 / 4,302 ≈ 3.6×; ≥2.3× vs every prior method)",
         sc.advantage_factor

@@ -7,6 +7,7 @@
 //! while scaling the crawler's long intervals by the same factor, so
 //! *rates per day* and *ratios* remain comparable. Absolute counts scale
 //! with the world; shapes are what EXPERIMENTS.md compares.
+#![forbid(unsafe_code)]
 
 use ethcrypto::secp256k1::SecretKey;
 use ethpop::world::{World, WorldConfig};
@@ -36,12 +37,24 @@ pub struct Scale {
 impl Scale {
     /// The longitudinal ("82-day ecosystem") campaign, compressed.
     pub fn ecosystem() -> Scale {
-        Scale { seed: 1804, n_nodes: 150, day_ms: 60_000, days: 12, crawlers: 3 }
+        Scale {
+            seed: 1804,
+            n_nodes: 150,
+            day_ms: 60_000,
+            days: 12,
+            crawlers: 3,
+        }
     }
 
     /// The 24-hour snapshot campaign.
     pub fn snapshot() -> Scale {
-        Scale { seed: 422, n_nodes: 180, day_ms: 8 * 60_000, days: 1, crawlers: 3 }
+        Scale {
+            seed: 422,
+            n_nodes: 180,
+            day_ms: 8 * 60_000,
+            days: 1,
+            crawlers: 3,
+        }
     }
 
     /// The §3 case-study world (one instrumented Geth + Parity pair).
@@ -49,7 +62,13 @@ impl Scale {
     /// offered the case-study nodes an effectively unlimited peer supply,
     /// so the worlds must not make peer scarcity the binding constraint.
     pub fn case_study() -> Scale {
-        Scale { seed: 131, n_nodes: 130, day_ms: 2 * 60_000, days: 5, crawlers: 0 }
+        Scale {
+            seed: 131,
+            n_nodes: 130,
+            day_ms: 2 * 60_000,
+            days: 5,
+            crawlers: 0,
+        }
     }
 
     /// Total run length.
@@ -169,8 +188,18 @@ fn cache_store(path: &std::path::Path, log: &CrawlLog) {
 fn split_by_instance(merged: &CrawlLog, crawlers: u32) -> Vec<CrawlLog> {
     (0..crawlers)
         .map(|i| CrawlLog {
-            conns: merged.conns.iter().filter(|c| c.instance == i).cloned().collect(),
-            events: merged.events.iter().filter(|e| e.instance == i).cloned().collect(),
+            conns: merged
+                .conns
+                .iter()
+                .filter(|c| c.instance == i)
+                .cloned()
+                .collect(),
+            events: merged
+                .events
+                .iter()
+                .filter(|e| e.instance == i)
+                .cloned()
+                .collect(),
         })
         .collect()
 }
@@ -183,7 +212,13 @@ pub fn run_crawl(scale: Scale, spammers: usize) -> CrawlRun {
         let world = World::build(world_config(&scale, spammers));
         let per_instance = split_by_instance(&merged, scale.crawlers);
         let store = DataStore::from_log(&merged);
-        return CrawlRun { world, merged, per_instance, store, scale };
+        return CrawlRun {
+            world,
+            merged,
+            per_instance,
+            store,
+            scale,
+        };
     }
     let mut world = World::build(world_config(&scale, spammers));
     let hosts = add_crawlers(&mut world, &scale, |i| crawler_config(&scale, i));
@@ -191,14 +226,26 @@ pub fn run_crawl(scale: Scale, spammers: usize) -> CrawlRun {
     let mut merged = CrawlLog::default();
     let mut per_instance = Vec::new();
     for host in hosts {
-        let boxed = world.sim.remove_host_behaviour(host).expect("crawler present");
-        let crawler = boxed.into_any().downcast::<NodeFinder>().expect("is NodeFinder");
+        let boxed = world
+            .sim
+            .remove_host_behaviour(host)
+            .expect("crawler present");
+        let crawler = boxed
+            .into_any()
+            .downcast::<NodeFinder>()
+            .expect("is NodeFinder");
         per_instance.push(crawler.log.clone());
         merged.merge(crawler.log);
     }
     cache_store(&path, &merged);
     let store = DataStore::from_log(&merged);
-    CrawlRun { world, merged, per_instance, store, scale }
+    CrawlRun {
+        world,
+        merged,
+        per_instance,
+        store,
+        scale,
+    }
 }
 
 /// Snapshot campaign: NodeFinder *and* the Ethernodes-style collector on
@@ -220,7 +267,13 @@ pub fn run_snapshot(scale: Scale) -> SnapshotRun {
         let per_instance = split_by_instance(&merged, scale.crawlers);
         let store = DataStore::from_log(&merged);
         return SnapshotRun {
-            nodefinder: CrawlRun { world, merged, per_instance, store, scale },
+            nodefinder: CrawlRun {
+                world,
+                merged,
+                per_instance,
+                store,
+                scale,
+            },
             ethernodes: DataStore::from_log(&en_log),
         };
     }
@@ -228,9 +281,18 @@ pub fn run_snapshot(scale: Scale) -> SnapshotRun {
     let nf_hosts = add_crawlers(&mut world, &scale, |i| crawler_config(&scale, i));
     // One Ethernodes-style collector.
     let en_key = SecretKey::from_bytes(&[0xE7u8; 32]).expect("valid key");
-    let en = NodeFinder::new(en_key, CrawlerConfig::ethernodes_style(), world.bootstrap.clone());
+    let en = NodeFinder::new(
+        en_key,
+        CrawlerConfig::ethernodes_style(),
+        world.bootstrap.clone(),
+    );
     let en_addr = HostAddr::new(Ipv4Addr::new(88, 99, 10, 5), 30303);
-    let en_meta = HostMeta { country: "DE", asn: "Hetzner", region: Region::Europe, reachable: true };
+    let en_meta = HostMeta {
+        country: "DE",
+        asn: "Hetzner",
+        region: Region::Europe,
+        reachable: true,
+    };
     let en_host = world.sim.add_host(en_addr, en_meta, Box::new(en));
     world.sim.schedule_start(en_host, 0);
 
@@ -240,18 +302,33 @@ pub fn run_snapshot(scale: Scale) -> SnapshotRun {
     let mut per_instance = Vec::new();
     for host in nf_hosts {
         let boxed = world.sim.remove_host_behaviour(host).expect("crawler");
-        let crawler = boxed.into_any().downcast::<NodeFinder>().expect("NodeFinder");
+        let crawler = boxed
+            .into_any()
+            .downcast::<NodeFinder>()
+            .expect("NodeFinder");
         per_instance.push(crawler.log.clone());
         merged.merge(crawler.log);
     }
-    let en_boxed = world.sim.remove_host_behaviour(en_host).expect("ethernodes");
-    let en = en_boxed.into_any().downcast::<NodeFinder>().expect("NodeFinder");
+    let en_boxed = world
+        .sim
+        .remove_host_behaviour(en_host)
+        .expect("ethernodes");
+    let en = en_boxed
+        .into_any()
+        .downcast::<NodeFinder>()
+        .expect("NodeFinder");
     cache_store(&nf_path, &merged);
     cache_store(&en_path, &en.log);
     let ethernodes = DataStore::from_log(&en.log);
     let store = DataStore::from_log(&merged);
     SnapshotRun {
-        nodefinder: CrawlRun { world, merged, per_instance, store, scale },
+        nodefinder: CrawlRun {
+            world,
+            merged,
+            per_instance,
+            store,
+            scale,
+        },
         ethernodes,
     }
 }
@@ -295,12 +372,22 @@ pub fn run_case_study(scale: Scale) -> CaseStudy {
 
     let geth_host = world.sim.add_host(
         HostAddr::new(Ipv4Addr::new(192, 17, 90, 1), 30303),
-        HostMeta { country: "US", asn: "UIUC", region: Region::NorthAmerica, reachable: true },
+        HostMeta {
+            country: "US",
+            asn: "UIUC",
+            region: Region::NorthAmerica,
+            reachable: true,
+        },
         Box::new(geth_node),
     );
     let parity_host = world.sim.add_host(
         HostAddr::new(Ipv4Addr::new(192, 17, 90, 2), 30303),
-        HostMeta { country: "US", asn: "UIUC", region: Region::NorthAmerica, reachable: true },
+        HostMeta {
+            country: "US",
+            asn: "UIUC",
+            region: Region::NorthAmerica,
+            reachable: true,
+        },
         Box::new(parity_node),
     );
     world.sim.schedule_start(geth_host, 0);
@@ -324,7 +411,11 @@ pub fn run_case_study(scale: Scale) -> CaseStudy {
         .downcast::<EthNode>()
         .expect("EthNode")
         .stats;
-    CaseStudy { geth, parity, events }
+    CaseStudy {
+        geth,
+        parity,
+        events,
+    }
 }
 
 /// Sanitization thresholds for simulated datasets.
@@ -393,10 +484,16 @@ mod tests {
 
     #[test]
     fn crawler_config_scales_intervals() {
-        let scale = Scale { seed: 1, n_nodes: 50, day_ms: 60_000, days: 1, crawlers: 1 };
+        let scale = Scale {
+            seed: 1,
+            n_nodes: 50,
+            day_ms: 60_000,
+            days: 1,
+            crawlers: 1,
+        };
         let cfg = crawler_config(&scale, 0);
         // 30 min of a 24h day = 1/48 of day_ms, min-clamped to 1s.
-        assert_eq!(cfg.static_redial_interval_ms, 1_250.max(1_000));
+        assert_eq!(cfg.static_redial_interval_ms, 1_250);
         assert!(cfg.stale_after_ms >= scale.day_ms);
     }
 }

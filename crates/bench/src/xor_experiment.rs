@@ -66,7 +66,10 @@ pub fn run(trials: usize, seed: u64) -> XorResult {
 pub fn to_csv(result: &XorResult) -> String {
     let mut out = String::from("distance,geth,parity\n");
     for d in 0..=256usize {
-        out.push_str(&format!("{d},{},{}\n", result.geth_hist[d], result.parity_hist[d]));
+        out.push_str(&format!(
+            "{d},{},{}\n",
+            result.geth_hist[d], result.parity_hist[d]
+        ));
     }
     out
 }

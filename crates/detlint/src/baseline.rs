@@ -1,0 +1,75 @@
+//! Baseline handling: a checked-in file of grandfathered violations.
+//!
+//! The policy of this workspace is an **empty baseline** — the file exists
+//! so that the mechanism is exercised and so that an emergency grandfather
+//! is a one-line diff with an audit trail, not a tool change.
+
+use crate::scan::Violation;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Default baseline filename at the workspace root.
+pub const BASELINE_FILE: &str = "detlint.baseline";
+
+/// Load baseline keys from `path`. A missing file is an empty baseline.
+/// Lines starting with `#` and blank lines are ignored; every other line is
+/// a [`Violation::baseline_key`].
+pub fn load(path: &Path) -> io::Result<BTreeSet<String>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+        Err(err) => return Err(err),
+    };
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Split violations into (new, baselined) against the loaded keys.
+pub fn partition(
+    violations: Vec<Violation>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<Violation>, Vec<Violation>) {
+    violations
+        .into_iter()
+        .partition(|violation| !baseline.contains(&violation.baseline_key()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn violation(msg: &str) -> Violation {
+        Violation {
+            rule: Rule::R3,
+            path: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn missing_baseline_is_empty() {
+        let set = load(Path::new("/nonexistent/detlint.baseline")).unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn partition_respects_keys() {
+        let grandfathered = violation("old debt");
+        let fresh = violation("new debt");
+        let mut baseline = BTreeSet::new();
+        baseline.insert(grandfathered.baseline_key());
+        let (new, old) = partition(vec![grandfathered, fresh], &baseline);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].message, "new debt");
+        assert_eq!(old.len(), 1);
+        assert_eq!(old[0].message, "old debt");
+    }
+}

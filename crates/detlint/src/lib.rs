@@ -1,0 +1,58 @@
+//! detlint — the workspace's determinism & panic-safety linter.
+//!
+//! A from-scratch, dependency-free static-analysis pass that walks every
+//! `.rs` file and `Cargo.toml` in the repository and enforces the six rules
+//! the paper reproduction depends on (see [`rules::Rule`] or run
+//! `cargo run -p detlint -- --explain R1`):
+//!
+//! * **R1** no wall-clock time outside the allowlist;
+//! * **R2** no ambient randomness — seeded `StdRng` only;
+//! * **R3** no `HashMap`/`HashSet` without an order-insensitivity
+//!   justification;
+//! * **R4** no `unsafe`, and `#![forbid(unsafe_code)]` in every crate root;
+//! * **R5** no `unwrap`/`expect` in non-test code of attacker-facing
+//!   crates;
+//! * **R6** only offline-approved dependencies in any manifest.
+//!
+//! detlint does not parse Rust. It masks comments and string/char literal
+//! bodies (so their contents can never trigger a rule), then scans
+//! identifier tokens — a deliberate trade: a few constructs are
+//! over-approximated (any mention of `HashMap` counts, not just iteration),
+//! which keeps the tool ~1k lines, dependency-free, and impossible to
+//! silently bypass via macro tricks. Escape hatches are explicit,
+//! greppable comments carrying a mandatory justification.
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::Rule;
+pub use scan::{scan_workspace, Violation};
+
+use std::path::{Path, PathBuf};
+
+/// Walk up from `start` to the enclosing Cargo workspace root (the first
+/// ancestor whose `Cargo.toml` contains a `[workspace]` table).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(current) = dir {
+        let manifest = current.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|line| line.trim() == "[workspace]") {
+                return Some(current.to_path_buf());
+            }
+        }
+        dir = current.parent();
+    }
+    None
+}
+
+/// Scan the workspace and partition against its checked-in baseline.
+/// Returns `(new_violations, baselined_violations)`.
+pub fn check(root: &Path) -> std::io::Result<(Vec<Violation>, Vec<Violation>)> {
+    let violations = scan_workspace(root)?;
+    let baseline = baseline::load(&root.join(baseline::BASELINE_FILE))?;
+    Ok(baseline::partition(violations, &baseline))
+}

@@ -1,0 +1,123 @@
+//! CLI for detlint. Run from anywhere inside the workspace:
+//!
+//! ```text
+//! cargo run -p detlint                 # scan, exit 1 on new violations
+//! cargo run -p detlint -- --explain R3 # print a rule's rationale
+//! cargo run -p detlint -- --root PATH  # scan a different tree
+//! ```
+#![forbid(unsafe_code)]
+
+use detlint::{baseline, rules, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "--list-rules" => {
+                for rule in rules::ALL {
+                    println!("{}  {}", rule.id(), rule.title());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(id) = iter.next() else {
+                    eprintln!("--explain requires a rule id (R1..R6)");
+                    return ExitCode::FAILURE;
+                };
+                let Some(rule) = Rule::parse(id) else {
+                    eprintln!("unknown rule `{id}` (expected R1..R6)");
+                    return ExitCode::FAILURE;
+                };
+                println!("{}", rule.explain());
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--root requires a path");
+                    return ExitCode::FAILURE;
+                };
+                root = Some(PathBuf::from(path));
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root {
+        Some(root) => root,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(err) => {
+                    eprintln!("detlint: cannot determine working directory: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match detlint::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("detlint: no Cargo workspace found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let (new, baselined) = match detlint::check(&root) {
+        Ok(result) => result,
+        Err(err) => {
+            eprintln!("detlint: scan failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for violation in &new {
+        println!("{violation}");
+    }
+    if new.is_empty() {
+        println!(
+            "detlint: OK ({} baselined violation{})",
+            baselined.len(),
+            if baselined.len() == 1 { "" } else { "s" },
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "detlint: {} new violation{} (rules explained via --explain <rule>; \
+             baseline: {})",
+            new.len(),
+            if new.len() == 1 { "" } else { "s" },
+            baseline::BASELINE_FILE,
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "detlint — determinism & panic-safety linter for this workspace\n\
+         \n\
+         USAGE:\n\
+         \x20   cargo run -p detlint [-- OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+         \x20   --explain <R1..R6>  print a rule's rationale and escape hatch\n\
+         \x20   --list-rules        one-line summary of every rule\n\
+         \x20   --root <path>       workspace root (default: walk up from cwd)\n\
+         \x20   --help              this text\n\
+         \n\
+         Exit status is 0 when no violations are found beyond the checked-in\n\
+         baseline file ({}), 1 otherwise.",
+        baseline::BASELINE_FILE,
+    );
+}

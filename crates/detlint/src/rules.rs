@@ -1,0 +1,176 @@
+//! The six determinism & panic-safety rules.
+
+use std::fmt;
+
+/// A detlint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No wall-clock time outside the allowlist.
+    R1,
+    /// No ambient randomness; seeded `StdRng` only.
+    R2,
+    /// No unordered-map types without an order-insensitivity justification.
+    R3,
+    /// No `unsafe`, and every crate root must `#![forbid(unsafe_code)]`.
+    R4,
+    /// No `unwrap`/`expect` in non-test code of attacker-facing crates.
+    R5,
+    /// Only offline-approved dependencies in any manifest.
+    R6,
+}
+
+/// All rules, in order.
+pub const ALL: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
+
+impl Rule {
+    /// Short identifier, e.g. `R3`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
+            Rule::R4 => "R4",
+            Rule::R5 => "R5",
+            Rule::R6 => "R6",
+        }
+    }
+
+    /// Parse `R1`..`R6` (case-insensitive).
+    pub fn parse(text: &str) -> Option<Rule> {
+        match text.trim().to_ascii_uppercase().as_str() {
+            "R1" => Some(Rule::R1),
+            "R2" => Some(Rule::R2),
+            "R3" => Some(Rule::R3),
+            "R4" => Some(Rule::R4),
+            "R5" => Some(Rule::R5),
+            "R6" => Some(Rule::R6),
+            _ => None,
+        }
+    }
+
+    /// One-line summary.
+    pub fn title(self) -> &'static str {
+        match self {
+            Rule::R1 => "no wall-clock time outside the allowlist",
+            Rule::R2 => "no ambient randomness; seeded StdRng only",
+            Rule::R3 => "no HashMap/HashSet without an order-insensitivity justification",
+            Rule::R4 => "no unsafe code; every crate root must forbid it",
+            Rule::R5 => "no unwrap/expect in non-test code of attacker-facing crates",
+            Rule::R6 => "only offline-approved dependencies in manifests",
+        }
+    }
+
+    /// Full explanation printed by `detlint --explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::R1 => {
+                "R1: no wall-clock time outside the allowlist.\n\
+                 \n\
+                 The paper's experiments are replayed in a discrete-event simulator whose\n\
+                 only clock is virtual (`Sim::now()`). A single `Instant::now()` or\n\
+                 `SystemTime` read makes results depend on host load and wall time, which\n\
+                 breaks bit-for-bit reproducibility of every table and figure.\n\
+                 \n\
+                 Flags: the identifiers `Instant` and `SystemTime`.\n\
+                 Allowlist: vendor/criterion (benchmarks measure wall time by definition).\n\
+                 Escape hatch: `// detlint: allow(R1) -- <why>` on the same or previous line."
+            }
+            Rule::R2 => {
+                "R2: no ambient randomness; seeded StdRng only.\n\
+                 \n\
+                 Every random choice must flow from the experiment seed (SEED env var,\n\
+                 default 1804) through an explicitly passed `StdRng`. Ambient entropy\n\
+                 (`thread_rng()`, `rand::random()`, `from_entropy()`, `OsRng`) gives each\n\
+                 run a different node population and crawl schedule, making regressions\n\
+                 indistinguishable from noise. The vendored rand deliberately does not\n\
+                 provide these constructors, so this rule is also enforced by the compiler;\n\
+                 detlint keeps flagging them so the error message names the policy.\n\
+                 \n\
+                 Flags: `thread_rng`, `from_entropy`, `OsRng`, `getrandom`, and\n\
+                 `rand::random`.\n\
+                 Escape hatch: `// detlint: allow(R2) -- <why>` (expect scrutiny in review)."
+            }
+            Rule::R3 => {
+                "R3: no HashMap/HashSet without an order-insensitivity justification.\n\
+                 \n\
+                 std's hash maps randomize iteration order per process, so any code that\n\
+                 iterates one can smuggle nondeterminism into event ordering, neighbor\n\
+                 selection, or serialized output. The default is BTreeMap/BTreeSet, whose\n\
+                 iteration order is total and stable.\n\
+                 \n\
+                 Flags: the identifiers `HashMap` and `HashSet` anywhere in code.\n\
+                 Escape hatch: `// detlint: order-insensitive -- <why>` on the same or\n\
+                 previous line, stating why iteration order cannot reach observable\n\
+                 behavior (e.g. the map is only probed, never iterated)."
+            }
+            Rule::R4 => {
+                "R4: no unsafe code; every crate root must forbid it.\n\
+                 \n\
+                 This workspace parses attacker-controlled bytes from the public network.\n\
+                 Memory-safety bugs in that position are remote vulnerabilities, and the\n\
+                 paper artifact has no performance need that justifies them. Each crate\n\
+                 root (src/lib.rs) must carry `#![forbid(unsafe_code)]` so the compiler\n\
+                 rejects unsafe even if a future edit removes the workspace lint.\n\
+                 \n\
+                 Flags: the `unsafe` keyword, and any src/lib.rs missing the forbid header.\n\
+                 Escape hatch: none — change the design instead."
+            }
+            Rule::R5 => {
+                "R5: no unwrap/expect in non-test code of attacker-facing crates.\n\
+                 \n\
+                 rlp, discv4, rlpx, devp2p and ethwire decode bytes that arrive from\n\
+                 arbitrary peers. A reachable panic is a remote denial-of-service on a\n\
+                 real deployment and an aborted campaign in the simulator. Decoders must\n\
+                 return `Result` and let the caller log-and-drop, matching how the\n\
+                 NodeFinder crawler survives the malformed traffic the paper reports.\n\
+                 \n\
+                 Flags: `.unwrap(` / `.expect(` in those crates' src/, outside #[cfg(test)]\n\
+                 regions and #[test] functions.\n\
+                 Escape hatch: `// detlint: allow(R5) -- <why>` for cases proved\n\
+                 unreachable (e.g. infallible conversions on fixed-size arrays)."
+            }
+            Rule::R6 => {
+                "R6: only offline-approved dependencies in manifests.\n\
+                 \n\
+                 The build must succeed with no network and no registry cache, so every\n\
+                 dependency must resolve inside this repository: a path dependency, a\n\
+                 `workspace = true` inheritance, or one of the approved names vendored\n\
+                 under vendor/ (rand, proptest, criterion, bytes, serde, serde_derive,\n\
+                 serde_json). Git dependencies are always rejected; a version-only\n\
+                 dependency on anything else would try to reach a registry.\n\
+                 \n\
+                 Flags: git deps, registry deps outside the approved set, and path deps\n\
+                 escaping the repository root.\n\
+                 Escape hatch: none — vendor a stand-in instead (see vendor/README.md)."
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_parse() {
+        for rule in ALL {
+            assert_eq!(Rule::parse(rule.id()), Some(rule));
+            assert_eq!(Rule::parse(&rule.id().to_lowercase()), Some(rule));
+        }
+        assert_eq!(Rule::parse("R9"), None);
+    }
+
+    #[test]
+    fn every_rule_documents_itself() {
+        for rule in ALL {
+            assert!(rule.explain().starts_with(rule.id()));
+            assert!(!rule.title().is_empty());
+        }
+    }
+}

@@ -1,0 +1,869 @@
+//! The workspace scanner: walks every `.rs` and `Cargo.toml` under the
+//! repository root and applies rules R1–R6.
+
+use crate::lexer::{self, LineComment};
+use crate::rules::Rule;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Files (by repo-relative prefix) where R1 wall-clock reads are sanctioned.
+const R1_ALLOWLIST: [&str; 1] = ["vendor/criterion/"];
+
+/// Crates whose `src/` must be panic-free (rule R5): they decode bytes that
+/// arrive from arbitrary remote peers.
+const R5_SCOPE: [&str; 5] = [
+    "crates/rlp/src/",
+    "crates/discv4/src/",
+    "crates/rlpx/src/",
+    "crates/devp2p/src/",
+    "crates/ethwire/src/",
+];
+
+/// Registry-style dependency names that are approved because an offline
+/// stand-in is vendored in-repo (rule R6).
+const APPROVED_DEPS: [&str; 7] = [
+    "rand",
+    "proptest",
+    "criterion",
+    "bytes",
+    "serde",
+    "serde_derive",
+    "serde_json",
+];
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 2] = ["target", ".git"];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+impl Violation {
+    /// Baseline identity: rule + path + message, line number excluded so
+    /// unrelated edits above a baselined site don't un-baseline it.
+    pub fn baseline_key(&self) -> String {
+        format!("{} {} {}", self.rule, self.path, self.message)
+    }
+}
+
+/// Scan the workspace rooted at `root`, returning all violations sorted by
+/// path, line, rule.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut lib_roots = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if rel.file_name().is_some_and(|n| n == "Cargo.toml") {
+            check_manifest(&rel_str, &source, &mut violations);
+            continue;
+        }
+        if rel_str.ends_with("src/lib.rs") {
+            lib_roots.push((rel_str.clone(), source.clone()));
+        }
+        check_rust_file(&rel_str, &source, &mut violations);
+    }
+    for (rel_str, source) in lib_roots {
+        check_forbid_header(&rel_str, &source, &mut violations);
+    }
+    violations.sort();
+    Ok(violations)
+}
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_files(root, &path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+/// Per-line allowances parsed from `// detlint:` comments. An annotation
+/// applies to its own line (trailing form) and the next line (preceding
+/// form).
+struct Allowances {
+    by_line: BTreeMap<usize, BTreeSet<Rule>>,
+}
+
+impl Allowances {
+    fn allows(&self, line: usize, rule: Rule) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|set| set.contains(&rule))
+    }
+}
+
+fn parse_annotations(
+    path: &str,
+    comments: &[LineComment],
+    violations: &mut Vec<Violation>,
+) -> Allowances {
+    let mut by_line: BTreeMap<usize, BTreeSet<Rule>> = BTreeMap::new();
+    for comment in comments {
+        let body = comment.text.trim_start_matches('/').trim();
+        let Some(directive) = body.strip_prefix("detlint:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        let (spec, reason) = match directive.split_once("--") {
+            Some((spec, reason)) => (spec.trim(), reason.trim()),
+            None => (directive, ""),
+        };
+        let rule = if spec == "order-insensitive" {
+            Some(Rule::R3)
+        } else {
+            spec.strip_prefix("allow(")
+                .and_then(|rest| rest.strip_suffix(')'))
+                .and_then(Rule::parse)
+        };
+        let Some(rule) = rule else {
+            violations.push(Violation {
+                rule: Rule::R3,
+                path: path.to_string(),
+                line: comment.line,
+                message: format!(
+                    "unrecognized detlint annotation `{directive}` (expected \
+                     `order-insensitive -- <why>` or `allow(Rn) -- <why>`)"
+                ),
+            });
+            continue;
+        };
+        if rule == Rule::R4 || rule == Rule::R6 {
+            violations.push(Violation {
+                rule,
+                path: path.to_string(),
+                line: comment.line,
+                message: format!("rule {rule} has no annotation escape hatch"),
+            });
+            continue;
+        }
+        if reason.is_empty() {
+            violations.push(Violation {
+                rule,
+                path: path.to_string(),
+                line: comment.line,
+                message: "detlint annotation without a justification \
+                          (append ` -- <why>`)"
+                    .to_string(),
+            });
+            continue;
+        }
+        for line in [comment.line, comment.line + 1] {
+            by_line.entry(line).or_default().insert(rule);
+        }
+    }
+    Allowances { by_line }
+}
+
+// ---------------------------------------------------------------------------
+// Rust-file checks (R1–R5)
+// ---------------------------------------------------------------------------
+
+/// An identifier token in the masked code.
+struct Token {
+    word: String,
+    line: usize,
+    /// Char indices into the masked text.
+    start: usize,
+    end: usize,
+}
+
+fn tokenize(masked: &[char]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut line = 1;
+    let mut i = 0;
+    while i < masked.len() {
+        let c = masked[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < masked.len() && (masked[i].is_alphanumeric() || masked[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                word: masked[start..i].iter().collect(),
+                line,
+                start,
+                end: i,
+            });
+        } else {
+            i += 1;
+        }
+    }
+    tokens
+}
+
+fn next_nonspace(masked: &[char], mut i: usize) -> Option<char> {
+    while i < masked.len() {
+        let c = masked[i];
+        if !c.is_whitespace() {
+            return Some(c);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn prev_nonspace(masked: &[char], start: usize) -> Option<char> {
+    masked[..start]
+        .iter()
+        .rev()
+        .find(|c| !c.is_whitespace())
+        .copied()
+}
+
+/// True if the chars immediately before `start` (ignoring whitespace) spell
+/// `suffix`, e.g. `suffix = "rand::"`.
+fn preceded_by(masked: &[char], start: usize, suffix: &str) -> bool {
+    let mut want = suffix.chars().rev();
+    let mut i = start;
+    let mut current = want.next();
+    while let Some(expected) = current {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        let c = masked[i];
+        if c.is_whitespace() {
+            continue;
+        }
+        if c != expected {
+            return false;
+        }
+        current = want.next();
+    }
+    true
+}
+
+fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
+    let masked_file = lexer::mask(source);
+    let masked: Vec<char> = masked_file.code.chars().collect();
+    let allowances = parse_annotations(path, &masked_file.line_comments, violations);
+    let tokens = tokenize(&masked);
+    let test_regions = find_test_regions(&masked);
+    let in_test_region = |pos: usize| {
+        test_regions
+            .iter()
+            .any(|&(start, end)| pos >= start && pos < end)
+    };
+    let r1_allowlisted = R1_ALLOWLIST.iter().any(|prefix| path.starts_with(prefix));
+    let r5_in_scope = R5_SCOPE.iter().any(|prefix| path.starts_with(prefix));
+
+    let mut push = |rule: Rule, line: usize, message: String| {
+        violations.push(Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    for token in &tokens {
+        match token.word.as_str() {
+            "Instant" | "SystemTime"
+                if !r1_allowlisted && !allowances.allows(token.line, Rule::R1) =>
+            {
+                push(
+                    Rule::R1,
+                    token.line,
+                    format!(
+                        "wall-clock type `{}` (simulation time must come from the \
+                         virtual clock; see --explain R1)",
+                        token.word
+                    ),
+                );
+            }
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom"
+                if !allowances.allows(token.line, Rule::R2) =>
+            {
+                push(
+                    Rule::R2,
+                    token.line,
+                    format!(
+                        "ambient entropy source `{}` (all randomness must flow from \
+                         the experiment seed; see --explain R2)",
+                        token.word
+                    ),
+                );
+            }
+            "random"
+                if preceded_by(&masked, token.start, "rand::")
+                    && !allowances.allows(token.line, Rule::R2) =>
+            {
+                push(
+                    Rule::R2,
+                    token.line,
+                    "ambient entropy source `rand::random` (see --explain R2)".to_string(),
+                );
+            }
+            "HashMap" | "HashSet" if !allowances.allows(token.line, Rule::R3) => {
+                push(
+                    Rule::R3,
+                    token.line,
+                    format!(
+                        "`{}` has randomized iteration order; use BTreeMap/BTreeSet \
+                         or justify with `// detlint: order-insensitive -- <why>`",
+                        token.word
+                    ),
+                );
+            }
+            "unsafe" => {
+                push(
+                    Rule::R4,
+                    token.line,
+                    "`unsafe` is banned workspace-wide (see --explain R4)".to_string(),
+                );
+            }
+            "unwrap" | "expect"
+                if r5_in_scope
+                    && !in_test_region(token.start)
+                    && prev_nonspace(&masked, token.start) == Some('.')
+                    && next_nonspace(&masked, token.end) == Some('(')
+                    && !allowances.allows(token.line, Rule::R5) =>
+            {
+                push(
+                    Rule::R5,
+                    token.line,
+                    format!(
+                        "`.{}()` in attacker-facing decode path; return Result \
+                         instead (see --explain R5)",
+                        token.word
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whitespace-tolerant match of `pattern` (which must not itself contain
+/// whitespace) in `masked` starting at `from`. Returns the char index just
+/// past the match.
+fn match_pattern(masked: &[char], from: usize, pattern: &str) -> Option<usize> {
+    let mut i = from;
+    for expected in pattern.chars() {
+        while i < masked.len() && masked[i].is_whitespace() {
+            i += 1;
+        }
+        if i >= masked.len() || masked[i] != expected {
+            return None;
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Char ranges covered by `#[cfg(test)]` items and `#[test]` functions: the
+/// attribute's following brace-delimited block.
+fn find_test_regions(masked: &[char]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for (i, &c) in masked.iter().enumerate() {
+        if c != '#' {
+            continue;
+        }
+        let matched = match_pattern(masked, i, "#[cfg(test)]")
+            .or_else(|| match_pattern(masked, i, "#[test]"));
+        if let Some(after) = matched {
+            if let Some(region) = brace_block(masked, after) {
+                regions.push(region);
+            }
+        }
+    }
+    regions
+}
+
+/// From `from`, find the next `{` and return the char range through its
+/// matching `}` (inclusive).
+fn brace_block(masked: &[char], from: usize) -> Option<(usize, usize)> {
+    let open = (from..masked.len()).find(|&i| masked[i] == '{')?;
+    let mut depth = 0usize;
+    for (i, &c) in masked.iter().enumerate().skip(open) {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Rule R4's second half: every crate root must carry the forbid header.
+fn check_forbid_header(path: &str, source: &str, violations: &mut Vec<Violation>) {
+    let masked_file = lexer::mask(source);
+    let masked: Vec<char> = masked_file.code.chars().collect();
+    let found = masked
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == '#')
+        .any(|(i, _)| match_pattern(&masked, i, "#![forbid(unsafe_code)]").is_some());
+    if !found {
+        violations.push(Violation {
+            rule: Rule::R4,
+            path: path.to_string(),
+            line: 1,
+            message: "crate root missing `#![forbid(unsafe_code)]` (see --explain R4)".to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest checks (R6)
+// ---------------------------------------------------------------------------
+
+fn check_manifest(path: &str, source: &str, violations: &mut Vec<Violation>) {
+    let manifest_dir = match path.rfind('/') {
+        Some(idx) => &path[..idx],
+        None => "",
+    };
+    let mut push = |line: usize, message: String| {
+        violations.push(Violation {
+            rule: Rule::R6,
+            path: path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    enum Section {
+        Other,
+        /// `[dependencies]`, `[dev-dependencies]`, `[workspace.dependencies]`, …
+        Deps,
+        /// `[dependencies.NAME]` — keys on following lines describe NAME.
+        SingleDep(String),
+    }
+    let mut section = Section::Other;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_toml_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            let name = line.trim_start_matches('[').trim_end_matches(']').trim();
+            section = if name.ends_with("dependencies") {
+                Section::Deps
+            } else if let Some((head, dep)) = name.rsplit_once('.') {
+                if head.ends_with("dependencies") {
+                    Section::SingleDep(dep.trim_matches('"').to_string())
+                } else {
+                    Section::Other
+                }
+            } else {
+                Section::Other
+            };
+            continue;
+        }
+        match &section {
+            Section::Other => {}
+            Section::Deps => {
+                let Some((key, value)) = line.split_once('=') else {
+                    continue;
+                };
+                let key = key.trim();
+                let value = value.trim();
+                // `name.workspace = true` / `name.path = "…"` dotted form.
+                let (dep_name, sub_key) = match key.split_once('.') {
+                    Some((name, sub)) => (name.trim_matches('"'), Some(sub)),
+                    None => (key.trim_matches('"'), None),
+                };
+                check_dep_entry(manifest_dir, dep_name, sub_key, value, line_no, &mut push);
+            }
+            Section::SingleDep(dep_name) => {
+                let Some((key, value)) = line.split_once('=') else {
+                    continue;
+                };
+                check_dep_entry(
+                    manifest_dir,
+                    dep_name,
+                    Some(key.trim()),
+                    value.trim(),
+                    line_no,
+                    &mut push,
+                );
+            }
+        }
+    }
+}
+
+/// Validate one dependency declaration.
+///
+/// `sub_key` is `Some("workspace")` / `Some("path")` / … for dotted or
+/// multi-line forms, `None` when `value` is the whole right-hand side
+/// (either a bare version string or an inline table).
+fn check_dep_entry(
+    manifest_dir: &str,
+    dep_name: &str,
+    sub_key: Option<&str>,
+    value: &str,
+    line_no: usize,
+    push: &mut impl FnMut(usize, String),
+) {
+    match sub_key {
+        Some("workspace") => {
+            // Inherited from [workspace.dependencies], which is checked
+            // where it is defined (the root manifest).
+        }
+        Some("path") => {
+            check_dep_path(manifest_dir, dep_name, value, line_no, push);
+        }
+        Some("git") => {
+            push(
+                line_no,
+                format!(
+                    "dependency `{dep_name}` uses a git source (offline build; \
+                         see --explain R6)"
+                ),
+            );
+        }
+        Some(_) => {
+            // version / features / optional / default-features keys of a
+            // multi-line dep table: nothing to check here; a registry dep
+            // would have been classified when its `version` key or inline
+            // table was seen. A pure `[dependencies.x] version = "1"` form
+            // is caught below via the version key.
+            if sub_key == Some("version") && !APPROVED_DEPS.contains(&dep_name) {
+                push(
+                    line_no,
+                    format!(
+                        "registry dependency `{dep_name}` is not offline-approved \
+                         (see --explain R6)"
+                    ),
+                );
+            }
+        }
+        None => {
+            if value.starts_with('{') {
+                let table = value.trim_start_matches('{').trim_end_matches('}');
+                let mut saw_source = false;
+                for part in split_inline_table(table) {
+                    let Some((key, val)) = part.split_once('=') else {
+                        continue;
+                    };
+                    let (key, val) = (key.trim(), val.trim());
+                    match key {
+                        "workspace" | "path" | "git" | "version" => {
+                            saw_source = true;
+                            check_dep_entry(manifest_dir, dep_name, Some(key), val, line_no, push);
+                        }
+                        _ => {}
+                    }
+                }
+                if !saw_source {
+                    push(
+                        line_no,
+                        format!(
+                            "dependency `{dep_name}` has no recognizable source \
+                                 (see --explain R6)"
+                        ),
+                    );
+                }
+            } else {
+                // Bare version string: registry dependency.
+                if !APPROVED_DEPS.contains(&dep_name) {
+                    push(
+                        line_no,
+                        format!(
+                            "registry dependency `{dep_name}` is not offline-approved \
+                             (see --explain R6)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Reject path dependencies that escape the repository root.
+fn check_dep_path(
+    manifest_dir: &str,
+    dep_name: &str,
+    value: &str,
+    line_no: usize,
+    push: &mut impl FnMut(usize, String),
+) {
+    let rel = value.trim().trim_matches('"');
+    if rel.starts_with('/') || rel.chars().nth(1) == Some(':') {
+        push(
+            line_no,
+            format!("dependency `{dep_name}` uses an absolute path (see --explain R6)"),
+        );
+        return;
+    }
+    // Normalize manifest_dir + rel, counting how far `..` pops.
+    let mut depth: isize = 0;
+    let components = manifest_dir
+        .split('/')
+        .chain(rel.split('/'))
+        .filter(|c| !c.is_empty() && *c != ".");
+    for component in components {
+        if component == ".." {
+            depth -= 1;
+            if depth < 0 {
+                push(
+                    line_no,
+                    format!(
+                        "dependency `{dep_name}` path `{rel}` escapes the repository \
+                         (see --explain R6)"
+                    ),
+                );
+                return;
+            }
+        } else {
+            depth += 1;
+        }
+    }
+}
+
+/// Drop a trailing `# comment` from a TOML line (respecting quoted strings).
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Split an inline TOML table body on commas outside quotes/brackets.
+fn split_inline_table(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut bracket_depth = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => bracket_depth += 1,
+            ']' if !in_string => bracket_depth = bracket_depth.saturating_sub(1),
+            ',' if !in_string && bracket_depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_source(path: &str, source: &str) -> Vec<Violation> {
+        let mut v = Vec::new();
+        check_rust_file(path, source, &mut v);
+        v
+    }
+
+    #[test]
+    fn r3_flags_hash_collections() {
+        let v = scan_source("crates/x/src/a.rs", "use std::collections::HashMap;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::R3);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn r3_annotation_suppresses_with_reason() {
+        let src = "\
+// detlint: order-insensitive -- only probed by key, never iterated
+use std::collections::HashMap;
+";
+        assert!(scan_source("a.rs", src).is_empty());
+        let trailing = "let m: HashMap<u8, u8> = x; // detlint: order-insensitive -- probe only\n";
+        assert!(scan_source("a.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn r3_annotation_without_reason_is_itself_a_violation() {
+        let src = "// detlint: order-insensitive\nuse std::collections::HashMap;\n";
+        let v = scan_source("a.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|x| x.message.contains("without a justification")));
+    }
+
+    #[test]
+    fn r3_ignores_strings_and_comments() {
+        let src = "let s = \"HashMap\"; // HashMap in a comment\n/* HashMap */\n";
+        assert!(scan_source("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_flags_wall_clock_outside_allowlist() {
+        let src = "let t = std::time::Instant::now();\n";
+        let v = scan_source("crates/netsim/src/engine.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::R1);
+        assert!(scan_source("vendor/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_ambient_entropy() {
+        let v = scan_source("a.rs", "let mut rng = rand::thread_rng();\n");
+        assert_eq!(v[0].rule, Rule::R2);
+        let v = scan_source("a.rs", "let x: u8 = rand::random();\n");
+        assert_eq!(v[0].rule, Rule::R2);
+        // `random` as a plain identifier is fine.
+        assert!(scan_source("a.rs", "let random = 4;\n").is_empty());
+    }
+
+    #[test]
+    fn r4_flags_unsafe_keyword() {
+        let v = scan_source("a.rs", "let p = unsafe { *ptr };\n");
+        assert_eq!(v[0].rule, Rule::R4);
+        // ...but not the string or the lint name.
+        assert!(scan_source("a.rs", "#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn r5_flags_unwrap_only_in_scope_and_outside_tests() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(scan_source("crates/rlp/src/decode.rs", src).len(), 1);
+        assert!(scan_source("crates/netsim/src/engine.rs", src).is_empty());
+        assert!(scan_source("crates/rlp/tests/decode.rs", src).is_empty());
+
+        let test_mod = "\
+fn decode(x: Option<u8>) -> Option<u8> { x }
+
+#[cfg(test)]
+mod tests {
+    fn helper(x: Option<u8>) -> u8 { x.unwrap() }
+}
+";
+        assert!(scan_source("crates/rlp/src/decode.rs", test_mod).is_empty());
+
+        let test_fn = "#[test]\nfn t() { Some(1u8).unwrap(); }\n";
+        assert!(scan_source("crates/rlp/src/decode.rs", test_fn).is_empty());
+    }
+
+    #[test]
+    fn r5_allows_with_annotation() {
+        let src = "\
+fn f(x: [u8; 4]) -> u32 {
+    // detlint: allow(R5) -- slice is exactly 4 bytes by construction
+    u32::from_be_bytes(x[..4].try_into().unwrap())
+}
+";
+        assert!(scan_source("crates/rlp/src/decode.rs", src).is_empty());
+    }
+
+    #[test]
+    fn forbid_header_required_in_lib_roots() {
+        let mut v = Vec::new();
+        check_forbid_header("crates/x/src/lib.rs", "pub fn f() {}\n", &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::R4);
+
+        let mut v = Vec::new();
+        check_forbid_header(
+            "crates/x/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &mut v,
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn r6_rejects_git_and_unapproved_registry_deps() {
+        let manifest = "\
+[dependencies]
+serde = { path = \"../../vendor/serde\", features = [\"derive\"] }
+rand.workspace = true
+left-pad = \"1\"
+evil = { git = \"https://example.com/evil\" }
+";
+        let mut v = Vec::new();
+        check_manifest("crates/x/Cargo.toml", manifest, &mut v);
+        let messages: Vec<&str> = v.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(v.len(), 2, "{messages:?}");
+        assert!(messages.iter().any(|m| m.contains("left-pad")));
+        assert!(messages.iter().any(|m| m.contains("git source")));
+    }
+
+    #[test]
+    fn r6_rejects_escaping_paths() {
+        let manifest = "[dependencies]\nescape = { path = \"../../../elsewhere\" }\n";
+        let mut v = Vec::new();
+        check_manifest("crates/x/Cargo.toml", manifest, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("escapes the repository"));
+
+        // In-repo relative paths are fine.
+        let ok = "[dependencies]\nrlp = { path = \"../rlp\" }\n";
+        let mut v = Vec::new();
+        check_manifest("crates/x/Cargo.toml", ok, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r6_handles_multiline_dep_tables() {
+        let manifest = "[dependencies.badcrate]\nversion = \"3\"\n";
+        let mut v = Vec::new();
+        check_manifest("crates/x/Cargo.toml", manifest, &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("badcrate"));
+    }
+
+    #[test]
+    fn toml_comment_stripping_respects_strings() {
+        assert_eq!(
+            strip_toml_comment("a = \"x#y\" # real comment"),
+            "a = \"x#y\" "
+        );
+        assert_eq!(strip_toml_comment("plain = 1"), "plain = 1");
+    }
+}

@@ -9,12 +9,15 @@
 //!
 //! The [`Session`] state machine is transport-agnostic: it maps inbound
 //! `(msg_id, payload)` pairs to events and produces outbound messages.
+#![forbid(unsafe_code)]
+// Unit tests may panic on impossible states; production code may not.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod messages;
 mod session;
 
 pub use messages::{Capability, DisconnectReason, Hello, Message, MessageError, P2P_VERSION};
-pub use session::{SessionEvent, Session, SessionError, SharedCapability, BASE_PROTOCOL_OFFSET};
+pub use session::{Session, SessionError, SessionEvent, SharedCapability, BASE_PROTOCOL_OFFSET};
 
 /// Message-ID space length for well-known capabilities. DEVp2p assigns each
 /// negotiated capability a contiguous ID range; its size is fixed by the

@@ -18,7 +18,10 @@ pub struct Capability {
 impl Capability {
     /// Convenience constructor.
     pub fn new(name: &str, version: u32) -> Capability {
-        Capability { name: name.to_string(), version }
+        Capability {
+            name: name.to_string(),
+            version,
+        }
     }
 
     /// `eth/63`, the Mainnet workhorse.
@@ -51,7 +54,10 @@ impl rlp::Decodable for Capability {
         if r.item_count()? != 2 {
             return Err(rlp::RlpError::Custom("capability needs 2 fields"));
         }
-        Ok(Capability { name: r.at(0)?.as_val()?, version: r.at(1)?.as_val()? })
+        Ok(Capability {
+            name: r.at(0)?.as_val()?,
+            version: r.at(1)?.as_val()?,
+        })
     }
 }
 
@@ -239,14 +245,31 @@ impl Message {
             0x00 => {
                 let count = r.item_count().map_err(MessageError::Rlp)?;
                 if count < 5 {
-                    return Err(MessageError::Rlp(rlp::RlpError::Custom("hello needs 5 fields")));
+                    return Err(MessageError::Rlp(rlp::RlpError::Custom(
+                        "hello needs 5 fields",
+                    )));
                 }
                 Ok(Message::Hello(Hello {
-                    p2p_version: r.at(0).and_then(|i| i.as_val()).map_err(MessageError::Rlp)?,
-                    client_id: r.at(1).and_then(|i| i.as_val()).map_err(MessageError::Rlp)?,
-                    capabilities: r.at(2).and_then(|i| i.as_list()).map_err(MessageError::Rlp)?,
-                    listen_port: r.at(3).and_then(|i| i.as_val()).map_err(MessageError::Rlp)?,
-                    node_id: r.at(4).and_then(|i| i.as_val()).map_err(MessageError::Rlp)?,
+                    p2p_version: r
+                        .at(0)
+                        .and_then(|i| i.as_val())
+                        .map_err(MessageError::Rlp)?,
+                    client_id: r
+                        .at(1)
+                        .and_then(|i| i.as_val())
+                        .map_err(MessageError::Rlp)?,
+                    capabilities: r
+                        .at(2)
+                        .and_then(|i| i.as_list())
+                        .map_err(MessageError::Rlp)?,
+                    listen_port: r
+                        .at(3)
+                        .and_then(|i| i.as_val())
+                        .map_err(MessageError::Rlp)?,
+                    node_id: r
+                        .at(4)
+                        .and_then(|i| i.as_val())
+                        .map_err(MessageError::Rlp)?,
                 }))
             }
             0x01 => {
@@ -254,7 +277,9 @@ impl Message {
                 // one-element list; accept both (the paper's scanner must
                 // parse everything the zoo sends).
                 let code: u8 = if r.is_list() {
-                    r.at(0).and_then(|i| i.as_val()).map_err(MessageError::Rlp)?
+                    r.at(0)
+                        .and_then(|i| i.as_val())
+                        .map_err(MessageError::Rlp)?
                 } else {
                     r.as_val().map_err(MessageError::Rlp)?
                 };
@@ -310,26 +335,41 @@ mod tests {
 
     #[test]
     fn ping_pong_roundtrip() {
-        assert_eq!(Message::decode(0x02, &Message::Ping.encode_payload()).unwrap(), Message::Ping);
-        assert_eq!(Message::decode(0x03, &Message::Pong.encode_payload()).unwrap(), Message::Pong);
+        assert_eq!(
+            Message::decode(0x02, &Message::Ping.encode_payload()).unwrap(),
+            Message::Ping
+        );
+        assert_eq!(
+            Message::decode(0x03, &Message::Pong.encode_payload()).unwrap(),
+            Message::Pong
+        );
     }
 
     #[test]
     fn unknown_id_rejected() {
-        assert_eq!(Message::decode(0x07, &[0xc0]), Err(MessageError::UnknownId(0x07)));
+        assert_eq!(
+            Message::decode(0x07, &[0xc0]),
+            Err(MessageError::UnknownId(0x07))
+        );
     }
 
     #[test]
     fn unknown_reason_rejected() {
         let payload = rlp::encode(&0x0fu8);
-        assert_eq!(Message::decode(0x01, &payload), Err(MessageError::BadReason(0x0f)));
+        assert_eq!(
+            Message::decode(0x01, &payload),
+            Err(MessageError::BadReason(0x0f))
+        );
     }
 
     #[test]
     fn reason_codes_match_spec() {
         assert_eq!(DisconnectReason::TooManyPeers as u8, 0x04);
         assert_eq!(DisconnectReason::SubprotocolError as u8, 0x10);
-        assert_eq!(DisconnectReason::from_code(0x04), Some(DisconnectReason::TooManyPeers));
+        assert_eq!(
+            DisconnectReason::from_code(0x04),
+            Some(DisconnectReason::TooManyPeers)
+        );
         assert_eq!(DisconnectReason::from_code(0xff), None);
     }
 

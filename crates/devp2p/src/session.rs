@@ -1,8 +1,8 @@
 //! The DEVp2p session state machine: HELLO exchange, capability
 //! negotiation, message-ID multiplexing, keepalive.
 
-use crate::messages::{DisconnectReason, Hello, Message, MessageError};
 use crate::capability_length;
+use crate::messages::{DisconnectReason, Hello, Message, MessageError};
 
 /// Message IDs `0x00..=0x0f` belong to the base protocol; negotiated
 /// subprotocols share the space from here up.
@@ -86,6 +86,7 @@ enum State {
 }
 
 /// One DEVp2p session over an established RLPx connection.
+#[derive(Debug)]
 pub struct Session {
     local_hello: Hello,
     state: State,
@@ -147,7 +148,8 @@ impl Session {
     /// Queue a keepalive PING.
     pub fn ping(&mut self) {
         if self.state != State::Ended {
-            self.outbound.push((Message::Ping.msg_id(), Message::Ping.encode_payload()));
+            self.outbound
+                .push((Message::Ping.msg_id(), Message::Ping.encode_payload()));
         }
     }
 
@@ -172,7 +174,11 @@ impl Session {
     }
 
     /// Process one inbound `(msg_id, payload)`.
-    pub fn on_message(&mut self, msg_id: u64, payload: &[u8]) -> Result<SessionEvent, SessionError> {
+    pub fn on_message(
+        &mut self,
+        msg_id: u64,
+        payload: &[u8],
+    ) -> Result<SessionEvent, SessionError> {
         if self.state == State::Ended {
             return Err(SessionError::Ended);
         }
@@ -188,7 +194,10 @@ impl Session {
                     self.shared = negotiate(&self.local_hello, &hello);
                     self.remote_hello = Some(hello.clone());
                     self.state = State::Active;
-                    Ok(SessionEvent::HelloReceived { hello, shared: self.shared.clone() })
+                    Ok(SessionEvent::HelloReceived {
+                        hello,
+                        shared: self.shared.clone(),
+                    })
                 }
                 Message::Disconnect(reason) => {
                     self.state = State::Ended;
@@ -241,10 +250,11 @@ fn negotiate(local: &Hello, remote: &Hello) -> Vec<SharedCapability> {
                 .filter(|c| c.name == lc.name)
                 .filter(|c| remote.capabilities.contains(c))
                 .map(|c| c.version)
-                .max()
-                .unwrap();
-            names.push(lc.name.as_str());
-            picks.push((lc.name.clone(), highest));
+                .max();
+            if let Some(highest) = highest {
+                names.push(lc.name.as_str());
+                picks.push((lc.name.clone(), highest));
+            }
         }
     }
     picks.sort();
@@ -253,7 +263,12 @@ fn negotiate(local: &Hello, remote: &Hello) -> Vec<SharedCapability> {
         .into_iter()
         .map(|(name, version)| {
             let length = capability_length(&name, version);
-            let cap = SharedCapability { name, version, offset, length };
+            let cap = SharedCapability {
+                name,
+                version,
+                offset,
+                length,
+            };
             offset += length as u64;
             cap
         })
@@ -319,7 +334,10 @@ mod tests {
         let out = a.take_outbound();
         assert_eq!(out.len(), 1);
         let ev = b.on_message(out[0].0, &out[0].1).unwrap();
-        assert_eq!(ev, SessionEvent::Disconnected(DisconnectReason::UselessPeer));
+        assert_eq!(
+            ev,
+            SessionEvent::Disconnected(DisconnectReason::UselessPeer)
+        );
         assert!(b.is_ended());
     }
 
@@ -367,7 +385,10 @@ mod tests {
     #[test]
     fn subprotocol_before_hello_rejected() {
         let mut a = Session::new(hello_with(vec![Capability::eth63()]));
-        assert_eq!(a.on_message(0x10, &[0xc0]), Err(SessionError::HelloExpected));
+        assert_eq!(
+            a.on_message(0x10, &[0xc0]),
+            Err(SessionError::HelloExpected)
+        );
     }
 
     #[test]
@@ -375,7 +396,10 @@ mod tests {
         let mut a = Session::new(hello_with(vec![Capability::eth63()]));
         let mut b = Session::new(hello_with(vec![Capability::eth63()]));
         pump(&mut a, &mut b);
-        assert_eq!(a.on_message(0x10 + 17, &[0xc0]), Err(SessionError::UnroutableId(0x21)));
+        assert_eq!(
+            a.on_message(0x10 + 17, &[0xc0]),
+            Err(SessionError::UnroutableId(0x21))
+        );
     }
 
     #[test]
@@ -400,7 +424,10 @@ mod tests {
         pump(&mut a, &mut b);
         let dup = Message::Hello(hello_with(vec![Capability::eth63()]));
         let ev = b.on_message(dup.msg_id(), &dup.encode_payload()).unwrap();
-        assert_eq!(ev, SessionEvent::Disconnected(DisconnectReason::ProtocolBreach));
+        assert_eq!(
+            ev,
+            SessionEvent::Disconnected(DisconnectReason::ProtocolBreach)
+        );
         assert!(b.is_ended());
     }
 

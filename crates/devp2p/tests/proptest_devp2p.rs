@@ -1,5 +1,8 @@
 //! Property tests for the DEVp2p session layer.
 
+// Tests assert on impossible-failure paths freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use devp2p::{Capability, DisconnectReason, Hello, Message, Session, P2P_VERSION};
 use enode::NodeId;
 use proptest::prelude::*;

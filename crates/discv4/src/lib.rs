@@ -20,6 +20,9 @@
 //! and a clock into it and ships out the [`Outgoing`] datagrams it returns.
 //! Both the network simulator and (in principle) a real UDP socket can
 //! drive it.
+#![forbid(unsafe_code)]
+// Unit tests may panic on impossible states; production code may not.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod packet;
 mod service;

@@ -1,8 +1,8 @@
 //! discv4 wire packets: encoding, signing, verification, decoding.
 
 use enode::{Endpoint, NodeId, NodeRecord};
-use ethcrypto::secp256k1::{recover, RecoverableSignature, SecretKey};
 use ethcrypto::keccak256;
+use ethcrypto::secp256k1::{recover, RecoverableSignature, SecretKey};
 use rlp::{Rlp, RlpStream};
 
 /// Maximum nodes per NEIGHBORS packet. The UDP datagram must stay under
@@ -61,12 +61,21 @@ impl Packet {
 
     fn encode_body(&self) -> Vec<u8> {
         match self {
-            Packet::Ping { version, from, to, expiration } => {
+            Packet::Ping {
+                version,
+                from,
+                to,
+                expiration,
+            } => {
                 let mut s = RlpStream::new_list(4);
                 s.append(version).append(from).append(to).append(expiration);
                 s.out()
             }
-            Packet::Pong { to, ping_hash, expiration } => {
+            Packet::Pong {
+                to,
+                ping_hash,
+                expiration,
+            } => {
                 let mut s = RlpStream::new_list(3);
                 s.append(to).append(ping_hash).append(expiration);
                 s.out()
@@ -109,7 +118,10 @@ impl Packet {
                 }
                 Packet::Pong {
                     to: r.at(0).and_then(|i| i.as_val()).map_err(PacketError::Rlp)?,
-                    ping_hash: r.at(1).and_then(|i| i.as_array()).map_err(PacketError::Rlp)?,
+                    ping_hash: r
+                        .at(1)
+                        .and_then(|i| i.as_array())
+                        .map_err(PacketError::Rlp)?,
                     expiration: r.at(2).and_then(|i| i.as_val()).map_err(PacketError::Rlp)?,
                 }
             }
@@ -127,7 +139,10 @@ impl Packet {
                     return Err(PacketError::Malformed("neighbors needs 2 fields"));
                 }
                 Packet::Neighbors {
-                    nodes: r.at(0).and_then(|i| i.as_list()).map_err(PacketError::Rlp)?,
+                    nodes: r
+                        .at(0)
+                        .and_then(|i| i.as_list())
+                        .map_err(PacketError::Rlp)?,
                     expiration: r.at(1).and_then(|i| i.as_val()).map_err(PacketError::Rlp)?,
                 }
             }
@@ -199,14 +214,18 @@ pub fn decode_packet(datagram: &[u8]) -> Result<(NodeId, Packet, [u8; 32]), Pack
     if datagram.len() < HEAD_LEN + 1 {
         return Err(PacketError::TooShort);
     }
+    #[allow(clippy::unwrap_used)]
+    // detlint: allow(R5) -- length checked above; `..32` slice is exactly 32 bytes
     let claimed_hash: [u8; 32] = datagram[..32].try_into().unwrap();
     let actual_hash = keccak256(&datagram[32..]);
     if claimed_hash != actual_hash {
         return Err(PacketError::BadHash);
     }
+    #[allow(clippy::unwrap_used)]
+    // detlint: allow(R5) -- length checked above; `32..97` slice is exactly 65 bytes
     let sig_bytes: [u8; 65] = datagram[32..97].try_into().unwrap();
-    let sig = RecoverableSignature::from_bytes(&sig_bytes)
-        .map_err(|_| PacketError::BadSignature)?;
+    let sig =
+        RecoverableSignature::from_bytes(&sig_bytes).map_err(|_| PacketError::BadSignature)?;
     let type_and_data = &datagram[97..];
     let digest = keccak256(type_and_data);
     let sender = recover(&digest, &sig).map_err(|_| PacketError::BadSignature)?;
@@ -238,17 +257,29 @@ mod tests {
 
     #[test]
     fn ping_roundtrip() {
-        roundtrip(Packet::Ping { version: 4, from: ep(1), to: ep(2), expiration: 1_600_000_000 });
+        roundtrip(Packet::Ping {
+            version: 4,
+            from: ep(1),
+            to: ep(2),
+            expiration: 1_600_000_000,
+        });
     }
 
     #[test]
     fn pong_roundtrip() {
-        roundtrip(Packet::Pong { to: ep(1), ping_hash: [9u8; 32], expiration: 77 });
+        roundtrip(Packet::Pong {
+            to: ep(1),
+            ping_hash: [9u8; 32],
+            expiration: 77,
+        });
     }
 
     #[test]
     fn findnode_roundtrip() {
-        roundtrip(Packet::FindNode { target: NodeId([0x44u8; 64]), expiration: 12345 });
+        roundtrip(Packet::FindNode {
+            target: NodeId([0x44u8; 64]),
+            expiration: 12345,
+        });
     }
 
     #[test]
@@ -256,7 +287,10 @@ mod tests {
         let nodes: Vec<NodeRecord> = (0..MAX_NEIGHBORS_PER_PACKET as u8)
             .map(|i| NodeRecord::new(NodeId([i; 64]), ep(i)))
             .collect();
-        roundtrip(Packet::Neighbors { nodes, expiration: 999 });
+        roundtrip(Packet::Neighbors {
+            nodes,
+            expiration: 999,
+        });
     }
 
     #[test]
@@ -265,14 +299,26 @@ mod tests {
         let nodes: Vec<NodeRecord> = (0..MAX_NEIGHBORS_PER_PACKET as u8)
             .map(|i| NodeRecord::new(NodeId([i; 64]), ep(i)))
             .collect();
-        let (datagram, _) = encode_packet(&k, &Packet::Neighbors { nodes, expiration: u64::MAX });
+        let (datagram, _) = encode_packet(
+            &k,
+            &Packet::Neighbors {
+                nodes,
+                expiration: u64::MAX,
+            },
+        );
         assert!(datagram.len() <= 1280, "len {}", datagram.len());
     }
 
     #[test]
     fn corrupted_hash_rejected() {
         let k = key(2);
-        let (mut d, _) = encode_packet(&k, &Packet::FindNode { target: NodeId::ZERO, expiration: 1 });
+        let (mut d, _) = encode_packet(
+            &k,
+            &Packet::FindNode {
+                target: NodeId::ZERO,
+                expiration: 1,
+            },
+        );
         d[0] ^= 0xff;
         assert_eq!(decode_packet(&d), Err(PacketError::BadHash));
     }
@@ -280,7 +326,13 @@ mod tests {
     #[test]
     fn corrupted_body_rejected_via_hash() {
         let k = key(3);
-        let (mut d, _) = encode_packet(&k, &Packet::FindNode { target: NodeId::ZERO, expiration: 1 });
+        let (mut d, _) = encode_packet(
+            &k,
+            &Packet::FindNode {
+                target: NodeId::ZERO,
+                expiration: 1,
+            },
+        );
         let last = d.len() - 1;
         d[last] ^= 0x01;
         assert_eq!(decode_packet(&d), Err(PacketError::BadHash));
@@ -289,7 +341,10 @@ mod tests {
     #[test]
     fn tampered_signature_changes_sender_or_fails() {
         let k = key(4);
-        let p = Packet::FindNode { target: NodeId([1u8; 64]), expiration: 1 };
+        let p = Packet::FindNode {
+            target: NodeId([1u8; 64]),
+            expiration: 1,
+        };
         let (mut d, _) = encode_packet(&k, &p);
         // flip a bit in the signature, then fix up the outer hash so only
         // signature verification can catch it

@@ -123,6 +123,21 @@ pub struct Discv4 {
     stats: Stats,
 }
 
+impl std::fmt::Debug for Discv4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The identity key is secret; summarize the engine by its public
+        // identity and live protocol state.
+        f.debug_struct("Discv4")
+            .field("id", &self.id)
+            .field("endpoint", &self.endpoint)
+            .field("bonds", &self.bonds.len())
+            .field("pending_pings", &self.pending_pings.len())
+            .field("lookup_active", &self.lookup.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Discv4 {
     /// Create an engine for `key` listening on `endpoint`.
     pub fn new(key: SecretKey, endpoint: Endpoint, config: Config) -> Discv4 {
@@ -217,14 +232,19 @@ impl Discv4 {
             },
         );
         self.stats.pings_sent += 1;
-        Outgoing { to: node.endpoint, datagram }
+        Outgoing {
+            to: node.endpoint,
+            datagram,
+        }
     }
 
     /// Begin an iterative lookup toward `target` (usually a random ID).
     /// Returns the initial queries; further traffic flows from
     /// [`Discv4::on_datagram`] / [`Discv4::poll`].
     pub fn start_lookup(&mut self, target: NodeId, now_ms: u64) -> Vec<Outgoing> {
-        let seeds = self.table.closest(&target.kad_hash(), self.config.bucket_results);
+        let seeds = self
+            .table
+            .closest(&target.kad_hash(), self.config.bucket_results);
         let mut lookup = Lookup::new(target.kad_hash(), seeds);
         let first = lookup.next_queries();
         self.lookup = Some(lookup);
@@ -243,22 +263,29 @@ impl Discv4 {
 
     fn send_findnode(&mut self, node: NodeRecord, target: NodeId, now_ms: u64) -> Vec<Outgoing> {
         if self.bonded(&node.id, now_ms) {
-            let packet = Packet::FindNode { target, expiration: self.expiry(now_ms) };
+            let packet = Packet::FindNode {
+                target,
+                expiration: self.expiry(now_ms),
+            };
             let (datagram, _) = encode_packet(&self.key, &packet);
             self.pending_queries.insert(
                 node.id,
-                PendingQuery { deadline_ms: now_ms + self.config.request_timeout_ms },
+                PendingQuery {
+                    deadline_ms: now_ms + self.config.request_timeout_ms,
+                },
             );
             self.stats.findnodes_sent += 1;
-            vec![Outgoing { to: node.endpoint, datagram }]
+            vec![Outgoing {
+                to: node.endpoint,
+                datagram,
+            }]
         } else {
             // Bond first; the FINDNODE fires when the PONG arrives. The
             // pending-query timeout still applies so the lookup can't hang.
             self.pending_queries.insert(
                 node.id,
                 PendingQuery {
-                    deadline_ms: now_ms
-                        + self.config.request_timeout_ms * 2,
+                    deadline_ms: now_ms + self.config.request_timeout_ms * 2,
                 },
             );
             vec![self.ping_internal(node, now_ms, None, Some(target))]
@@ -275,7 +302,11 @@ impl Discv4 {
             return Vec::new();
         }
         match packet {
-            Packet::Ping { from: advertised, expiration, .. } => {
+            Packet::Ping {
+                from: advertised,
+                expiration,
+                ..
+            } => {
                 if self.is_expired(expiration, now_ms) {
                     self.stats.drops += 1;
                     return Vec::new();
@@ -284,7 +315,11 @@ impl Discv4 {
                 // advertised TCP port is taken at face value.
                 let record = NodeRecord::new(
                     sender_id,
-                    Endpoint { ip: from.ip, udp_port: from.udp_port, tcp_port: advertised.tcp_port },
+                    Endpoint {
+                        ip: from.ip,
+                        udp_port: from.udp_port,
+                        tcp_port: advertised.tcp_port,
+                    },
                 );
                 self.events.push(Event::NodeSeen(record));
                 self.reverse_bonds.insert(sender_id, now_ms);
@@ -296,7 +331,10 @@ impl Discv4 {
                     expiration: self.expiry(now_ms),
                 };
                 let (dg, _) = encode_packet(&self.key, &pong);
-                out.push(Outgoing { to: record.endpoint, datagram: dg });
+                out.push(Outgoing {
+                    to: record.endpoint,
+                    datagram: dg,
+                });
                 // Bond back if we don't know them yet (Geth pings back).
                 if !self.bonded(&sender_id, now_ms) && !self.has_pending_ping_to(&sender_id) {
                     out.push(self.ping_internal(record, now_ms, None, None));
@@ -304,7 +342,11 @@ impl Discv4 {
                 self.try_add_to_table(record, now_ms, &mut out);
                 out
             }
-            Packet::Pong { ping_hash, expiration, .. } => {
+            Packet::Pong {
+                ping_hash,
+                expiration,
+                ..
+            } => {
                 if self.is_expired(expiration, now_ms) {
                     self.stats.drops += 1;
                     return Vec::new();
@@ -350,7 +392,9 @@ impl Discv4 {
                     .get(&sender_id)
                     .map(|(_, r)| r.endpoint)
                     .unwrap_or(from);
-                let closest = self.table.closest(&target.kad_hash(), self.config.bucket_results);
+                let closest = self
+                    .table
+                    .closest(&target.kad_hash(), self.config.bucket_results);
                 let mut out = Vec::new();
                 for chunk in closest.chunks(MAX_NEIGHBORS_PER_PACKET) {
                     let packet = Packet::Neighbors {
@@ -358,7 +402,10 @@ impl Discv4 {
                         expiration: self.expiry(now_ms),
                     };
                     let (dg, _) = encode_packet(&self.key, &packet);
-                    out.push(Outgoing { to: reply_to, datagram: dg });
+                    out.push(Outgoing {
+                        to: reply_to,
+                        datagram: dg,
+                    });
                 }
                 out
             }
@@ -411,11 +458,12 @@ impl Discv4 {
             return out;
         };
         if lookup.status() == LookupStatus::Done && self.pending_queries.is_empty() {
-            let lookup = self.lookup.take().unwrap();
-            self.events.push(Event::LookupDone {
-                all_seen: lookup.all_seen(),
-                queries: lookup.queries_sent(),
-            });
+            if let Some(lookup) = self.lookup.take() {
+                self.events.push(Event::LookupDone {
+                    all_seen: lookup.all_seen(),
+                    queries: lookup.queries_sent(),
+                });
+            }
             self.lookup_target_id = None;
         }
         out
@@ -434,10 +482,13 @@ impl Discv4 {
             .map(|(h, _)| *h)
             .collect();
         for hash in expired {
-            let pending = self.pending_pings.remove(&hash).unwrap();
+            let Some(pending) = self.pending_pings.remove(&hash) else {
+                continue;
+            };
             if let Some(replacement) = pending.eviction_replacement {
                 // Old node failed its liveness check: evict and insert new.
-                self.table.evict_and_insert(&pending.to.id, replacement, now_ms);
+                self.table
+                    .evict_and_insert(&pending.to.id, replacement, now_ms);
             }
             if pending.queued_findnode.is_some() {
                 // Bond never completed; the queued query fails below via

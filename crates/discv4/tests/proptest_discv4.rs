@@ -2,6 +2,9 @@
 //! roundtrip; arbitrary bytes never panic the decoder; tampering is always
 //! detected.
 
+// Tests assert on impossible-failure paths freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use discv4::{decode_packet, encode_packet, Packet};
 use enode::{Endpoint, NodeId, NodeRecord};
 use ethcrypto::secp256k1::SecretKey;
@@ -9,8 +12,11 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
-    (any::<[u8; 4]>(), any::<u16>(), any::<u16>())
-        .prop_map(|(ip, udp, tcp)| Endpoint { ip: Ipv4Addr::from(ip), udp_port: udp, tcp_port: tcp })
+    (any::<[u8; 4]>(), any::<u16>(), any::<u16>()).prop_map(|(ip, udp, tcp)| Endpoint {
+        ip: Ipv4Addr::from(ip),
+        udp_port: udp,
+        tcp_port: tcp,
+    })
 }
 
 fn arb_record() -> impl Strategy<Value = NodeRecord> {
@@ -23,19 +29,37 @@ fn arb_record() -> impl Strategy<Value = NodeRecord> {
 }
 
 fn arb_key() -> impl Strategy<Value = SecretKey> {
-    proptest::array::uniform32(1u8..=255).prop_filter_map("valid", |b| SecretKey::from_bytes(&b).ok())
+    proptest::array::uniform32(1u8..=255)
+        .prop_filter_map("valid", |b| SecretKey::from_bytes(&b).ok())
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
     prop_oneof![
-        (any::<u32>(), arb_endpoint(), arb_endpoint(), any::<u64>())
-            .prop_map(|(version, from, to, expiration)| Packet::Ping { version, from, to, expiration }),
-        (arb_endpoint(), proptest::array::uniform32(any::<u8>()), any::<u64>())
-            .prop_map(|(to, ping_hash, expiration)| Packet::Pong { to, ping_hash, expiration }),
+        (any::<u32>(), arb_endpoint(), arb_endpoint(), any::<u64>()).prop_map(
+            |(version, from, to, expiration)| Packet::Ping {
+                version,
+                from,
+                to,
+                expiration
+            }
+        ),
+        (
+            arb_endpoint(),
+            proptest::array::uniform32(any::<u8>()),
+            any::<u64>()
+        )
+            .prop_map(|(to, ping_hash, expiration)| Packet::Pong {
+                to,
+                ping_hash,
+                expiration
+            }),
         (proptest::array::uniform32(any::<u8>()), any::<u64>()).prop_map(|(half, expiration)| {
             let mut id = [0u8; 64];
             id[..32].copy_from_slice(&half);
-            Packet::FindNode { target: NodeId(id), expiration }
+            Packet::FindNode {
+                target: NodeId(id),
+                expiration,
+            }
         }),
         (proptest::collection::vec(arb_record(), 0..12), any::<u64>())
             .prop_map(|(nodes, expiration)| Packet::Neighbors { nodes, expiration }),

@@ -11,6 +11,7 @@
 //! This crate provides [`NodeId`], the UDP/TCP [`Endpoint`], and the
 //! combined [`NodeRecord`] used by discovery, dialing, and the crawler's
 //! data store.
+#![forbid(unsafe_code)]
 
 mod id;
 mod record;

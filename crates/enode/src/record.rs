@@ -9,7 +9,7 @@ use std::net::Ipv4Addr;
 /// A node's network endpoint: IP address plus UDP (discovery) and TCP
 /// (RLPx) ports. Discovery packets carry endpoints in this exact
 /// three-field RLP layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Endpoint {
     /// IPv4 address (the 2018-era network is effectively v4-only).
     pub ip: Ipv4Addr,
@@ -22,7 +22,11 @@ pub struct Endpoint {
 impl Endpoint {
     /// Construct with the same port for UDP and TCP (the common case).
     pub fn new(ip: Ipv4Addr, port: u16) -> Endpoint {
-        Endpoint { ip, udp_port: port, tcp_port: port }
+        Endpoint {
+            ip,
+            udp_port: port,
+            tcp_port: port,
+        }
     }
 
     /// The default Ethereum port.
@@ -134,13 +138,21 @@ mod tests {
     fn sample() -> NodeRecord {
         NodeRecord::new(
             NodeId([0x78u8; 64]),
-            Endpoint { ip: Ipv4Addr::new(191, 235, 84, 50), udp_port: 30303, tcp_port: 30303 },
+            Endpoint {
+                ip: Ipv4Addr::new(191, 235, 84, 50),
+                udp_port: 30303,
+                tcp_port: 30303,
+            },
         )
     }
 
     #[test]
     fn endpoint_rlp_roundtrip() {
-        let ep = Endpoint { ip: Ipv4Addr::new(10, 0, 0, 1), udp_port: 30301, tcp_port: 30303 };
+        let ep = Endpoint {
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            udp_port: 30301,
+            tcp_port: 30303,
+        };
         let bytes = rlp::encode(&ep);
         assert_eq!(rlp::decode::<Endpoint>(&bytes).unwrap(), ep);
     }

@@ -79,7 +79,14 @@ pub fn parse_enode(s: &str) -> Result<NodeRecord, EnodeUrlError> {
         }
     };
 
-    Ok(NodeRecord { id, endpoint: Endpoint { ip, udp_port, tcp_port } })
+    Ok(NodeRecord {
+        id,
+        endpoint: Endpoint {
+            ip,
+            udp_port,
+            tcp_port,
+        },
+    })
 }
 
 #[cfg(test)]

@@ -22,7 +22,9 @@ const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
 
 fn xtime(x: u8) -> u8 {
     (x << 1) ^ (((x >> 7) & 1) * 0x1b)
@@ -156,7 +158,12 @@ impl AesCtr {
     /// Start a CTR stream with the given key and 16-byte initial counter
     /// block (IV).
     pub fn new(key: &[u8], iv: &[u8; 16]) -> AesCtr {
-        AesCtr { cipher: Aes::new(key), counter: *iv, keystream: [0; 16], used: 16 }
+        AesCtr {
+            cipher: Aes::new(key),
+            counter: *iv,
+            keystream: [0; 16],
+            used: 16,
+        }
     }
 
     /// XOR the keystream over `data` in place (encrypt or decrypt).
@@ -224,7 +231,10 @@ mod tests {
     #[test]
     fn fips197_aes256() {
         let mut key = [0u8; 32];
-        hex_to(&mut key, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        hex_to(
+            &mut key,
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        );
         let mut block = [0u8; 16];
         hex_to(&mut block, "00112233445566778899aabbccddeeff");
         Aes::new(&key).encrypt_block(&mut block);

@@ -84,8 +84,8 @@ pub fn decrypt(
         return Err(CryptoError::DecryptionFailed);
     }
     let ephemeral_pub: [u8; 64] = message[1..65].try_into().unwrap();
-    let ephemeral = PublicKey::from_xy_bytes(&ephemeral_pub)
-        .map_err(|_| CryptoError::DecryptionFailed)?;
+    let ephemeral =
+        PublicKey::from_xy_bytes(&ephemeral_pub).map_err(|_| CryptoError::DecryptionFailed)?;
     let iv: [u8; 16] = message[65..81].try_into().unwrap();
     let tag_start = message.len() - 32;
     let ciphertext = &message[81..tag_start];
@@ -146,7 +146,10 @@ mod tests {
         let ct = encrypt(&mut rng, &sk.public_key(), msg, &prefix).unwrap();
         assert_eq!(decrypt(&sk, &ct, &prefix).unwrap(), msg);
         // wrong shared mac data fails authentication
-        assert_eq!(decrypt(&sk, &ct, b"").unwrap_err(), CryptoError::DecryptionFailed);
+        assert_eq!(
+            decrypt(&sk, &ct, b"").unwrap_err(),
+            CryptoError::DecryptionFailed
+        );
     }
 
     #[test]

@@ -87,12 +87,22 @@ pub struct Keccak {
 impl Keccak {
     /// Keccak-256 (rate 136, 32-byte output).
     pub fn v256() -> Keccak {
-        Keccak { state: [[0; 5]; 5], rate: 136, buf: Vec::with_capacity(136), output_len: 32 }
+        Keccak {
+            state: [[0; 5]; 5],
+            rate: 136,
+            buf: Vec::with_capacity(136),
+            output_len: 32,
+        }
     }
 
     /// Keccak-512 (rate 72, 64-byte output).
     pub fn v512() -> Keccak {
-        Keccak { state: [[0; 5]; 5], rate: 72, buf: Vec::with_capacity(72), output_len: 64 }
+        Keccak {
+            state: [[0; 5]; 5],
+            rate: 72,
+            buf: Vec::with_capacity(72),
+            output_len: 64,
+        }
     }
 
     /// Absorb input bytes.
@@ -204,9 +214,9 @@ mod tests {
     fn rate_boundary_lengths_are_distinct() {
         // exactly one block, one block + 1, one block - 1: all distinct and
         // none panic (padding block handling).
-        let h135 = keccak256(&vec![0u8; 135]);
-        let h136 = keccak256(&vec![0u8; 136]);
-        let h137 = keccak256(&vec![0u8; 137]);
+        let h135 = keccak256(&[0u8; 135]);
+        let h136 = keccak256(&[0u8; 136]);
+        let h137 = keccak256(&[0u8; 137]);
         assert_ne!(h135, h136);
         assert_ne!(h136, h137);
     }

@@ -29,6 +29,7 @@
 //! let pk = recover(&digest, &sig).unwrap();
 //! assert_eq!(pk, sk.public_key());
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod aes;
 pub mod ecies;

@@ -54,7 +54,10 @@ impl RecoverableSignature {
         if r.is_zero() || s.is_zero() || r.ge(&N) || s.ge(&N) || recovery_id > 3 {
             return Err(CryptoError::InvalidSignature);
         }
-        Ok(RecoverableSignature { sig: Signature { r, s }, recovery_id })
+        Ok(RecoverableSignature {
+            sig: Signature { r, s },
+            recovery_id,
+        })
     }
 }
 
@@ -122,7 +125,11 @@ pub fn sign(key: &SecretKey, digest: &[u8; 32]) -> RecoverableSignature {
         // r = x mod n
         let x_int = U256::from_be_bytes(&x.to_be_bytes());
         let overflowed = x_int.ge(&N);
-        let r = if overflowed { x_int.wrapping_sub(&N) } else { x_int };
+        let r = if overflowed {
+            x_int.wrapping_sub(&N)
+        } else {
+            x_int
+        };
         if r.is_zero() {
             nonce = nonce.add_mod(&U256::ONE, &N);
             continue;
@@ -143,7 +150,10 @@ pub fn sign(key: &SecretKey, digest: &[u8; 32]) -> RecoverableSignature {
             y_odd = !y_odd;
         }
         let recovery_id = (y_odd as u8) | ((overflowed as u8) << 1);
-        return RecoverableSignature { sig: Signature { r, s }, recovery_id };
+        return RecoverableSignature {
+            sig: Signature { r, s },
+            recovery_id,
+        };
     }
 }
 
@@ -163,7 +173,11 @@ pub fn verify(pk: &PublicKey, digest: &[u8; 32], sig: &Signature) -> bool {
         return false;
     };
     let x_int = U256::from_be_bytes(&x.to_be_bytes());
-    let r_check = if x_int.ge(&N) { x_int.wrapping_sub(&N) } else { x_int };
+    let r_check = if x_int.ge(&N) {
+        x_int.wrapping_sub(&N)
+    } else {
+        x_int
+    };
     r_check == sig.r
 }
 
@@ -275,12 +289,10 @@ mod tests {
         let rsig = sign(&sk, &digest);
         let mut bytes = rsig.to_bytes();
         bytes[10] ^= 0xff;
-        match RecoverableSignature::from_bytes(&bytes) {
-            Ok(bad) => match recover(&digest, &bad) {
-                Ok(pk) => assert_ne!(pk, sk.public_key()),
-                Err(_) => {}
-            },
-            Err(_) => {}
+        if let Ok(bad) = RecoverableSignature::from_bytes(&bytes) {
+            if let Ok(pk) = recover(&digest, &bad) {
+                assert_ne!(pk, sk.public_key());
+            }
         }
     }
 

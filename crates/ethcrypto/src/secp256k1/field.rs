@@ -203,8 +203,18 @@ mod tests {
 
     #[test]
     fn mul_matches_generic_reduction() {
-        let a = Fe(U256([0x1234567890abcdef, 0xfedcba0987654321, 0x1111, 0x2222]));
-        let b = Fe(U256([0xdeadbeefcafebabe, 0x0123456789abcdef, 0x3333, 0x4444]));
+        let a = Fe(U256([
+            0x1234567890abcdef,
+            0xfedcba0987654321,
+            0x1111,
+            0x2222,
+        ]));
+        let b = Fe(U256([
+            0xdeadbeefcafebabe,
+            0x0123456789abcdef,
+            0x3333,
+            0x4444,
+        ]));
         let fast = a.mul(&b);
         let slow = a.0.mul_mod(&b.0, &P);
         assert_eq!(fast.0, slow);

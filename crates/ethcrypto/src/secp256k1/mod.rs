@@ -66,7 +66,9 @@ impl SecretKey {
 
     /// The corresponding public key.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey { point: point::scalar_mul_generator(&self.scalar) }
+        PublicKey {
+            point: point::scalar_mul_generator(&self.scalar),
+        }
     }
 
     /// ECDSA-sign a 32-byte digest, producing a recoverable signature.
@@ -100,7 +102,9 @@ impl PublicKey {
 
     /// Serialize to the 64-byte uncompressed `x || y` form.
     pub fn to_xy_bytes(&self) -> [u8; 64] {
-        self.point.to_xy_bytes().expect("public keys are finite points")
+        self.point
+            .to_xy_bytes()
+            .expect("public keys are finite points")
     }
 
     /// Verify a (non-recoverable) signature over a digest.

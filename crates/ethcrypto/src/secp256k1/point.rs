@@ -48,7 +48,10 @@ pub enum Affine {
 impl Affine {
     /// The curve generator G.
     pub fn generator() -> Affine {
-        Affine::Point { x: Fe(GX), y: Fe(GY) }
+        Affine::Point {
+            x: Fe(GX),
+            y: Fe(GY),
+        }
     }
 
     /// Construct from coordinates, verifying the curve equation.
@@ -122,14 +125,22 @@ pub struct Jacobian {
 impl Jacobian {
     /// The identity element.
     pub fn infinity() -> Jacobian {
-        Jacobian { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO }
+        Jacobian {
+            x: Fe::ONE,
+            y: Fe::ONE,
+            z: Fe::ZERO,
+        }
     }
 
     /// Lift an affine point.
     pub fn from_affine(p: &Affine) -> Jacobian {
         match p {
             Affine::Infinity => Jacobian::infinity(),
-            Affine::Point { x, y } => Jacobian { x: *x, y: *y, z: Fe::ONE },
+            Affine::Point { x, y } => Jacobian {
+                x: *x,
+                y: *y,
+                z: Fe::ONE,
+            },
         }
     }
 
@@ -146,7 +157,10 @@ impl Jacobian {
         let zinv = self.z.inv().expect("nonzero z");
         let zinv2 = zinv.square();
         let zinv3 = zinv2.mul(&zinv);
-        Affine::Point { x: self.x.mul(&zinv2), y: self.y.mul(&zinv3) }
+        Affine::Point {
+            x: self.x.mul(&zinv2),
+            y: self.y.mul(&zinv3),
+        }
     }
 
     /// Point doubling (dbl-2007-a formulas, a = 0 case).
@@ -157,14 +171,18 @@ impl Jacobian {
         let a = self.x.square(); // X²
         let b = self.y.square(); // Y²
         let c = b.square(); // Y⁴
-        // D = 2*((X+B)² - A - C)
+                            // D = 2*((X+B)² - A - C)
         let d = self.x.add(&b).square().sub(&a).sub(&c).mul_small(2);
         let e = a.mul_small(3); // 3X²
         let f = e.square();
         let x3 = f.sub(&d.mul_small(2));
         let y3 = e.mul(&d.sub(&x3)).sub(&c.mul_small(8));
         let z3 = self.y.mul(&self.z).mul_small(2);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition with an affine point (add-2007-bl with Z2 = 1).
@@ -193,7 +211,11 @@ impl Jacobian {
         let x3 = r.square().sub(&j).sub(&v.mul_small(2));
         let y3 = r.mul(&v.sub(&x3)).sub(&self.y.mul(&j).mul_small(2));
         let z3 = self.z.add(&h).square().sub(&z1z1).sub(&hh);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian + Jacobian addition.
@@ -224,7 +246,11 @@ impl Jacobian {
         let x3 = r.square().sub(&j).sub(&v.mul_small(2));
         let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).mul_small(2));
         let z3 = self.z.add(&other.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 }
 
@@ -305,7 +331,9 @@ mod tests {
     fn two_g_known_value() {
         // 2G, a standard test vector.
         let two_g = scalar_mul(&U256::from_u64(2), &Affine::generator());
-        let Affine::Point { x, y } = two_g else { panic!() };
+        let Affine::Point { x, y } = two_g else {
+            panic!()
+        };
         assert_eq!(
             x.to_be_bytes(),
             hex32("C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5")
@@ -332,7 +360,10 @@ mod tests {
     fn generator_table_matches_generic() {
         for k in [1u64, 2, 3, 7, 0xffff, 0x1234_5678_9abc_def0] {
             let k = U256::from_u64(k);
-            assert_eq!(scalar_mul_generator(&k), scalar_mul(&k, &Affine::generator()));
+            assert_eq!(
+                scalar_mul_generator(&k),
+                scalar_mul(&k, &Affine::generator())
+            );
         }
     }
 
@@ -353,7 +384,9 @@ mod tests {
 
     #[test]
     fn from_x_recovers_generator() {
-        let Affine::Point { x, y } = Affine::generator() else { panic!() };
+        let Affine::Point { x, y } = Affine::generator() else {
+            panic!()
+        };
         let p = Affine::from_x(x, y.is_odd()).unwrap();
         assert_eq!(p, Affine::generator());
         let p2 = Affine::from_x(x, !y.is_odd()).unwrap();

@@ -33,7 +33,11 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Fresh hasher.
     pub fn new() -> Sha256 {
-        Sha256 { h: H0, buf: Vec::with_capacity(64), total_len: 0 }
+        Sha256 {
+            h: H0,
+            buf: Vec::with_capacity(64),
+            total_len: 0,
+        }
     }
 
     /// Absorb data.
@@ -149,7 +153,9 @@ mod tests {
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }

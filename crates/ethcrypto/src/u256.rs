@@ -173,7 +173,10 @@ impl U256 {
     /// guarantees that after a shift a single conditional subtraction
     /// restores the invariant `r < m`.
     pub fn reduce512(wide: &[u64; 8], m: &U256) -> U256 {
-        debug_assert!(m.0[3] >> 63 == 1 || m.0[3] >= 1 << 62, "modulus too small for reduce512");
+        debug_assert!(
+            m.0[3] >> 63 == 1 || m.0[3] >= 1 << 62,
+            "modulus too small for reduce512"
+        );
         let mut r = U256::ZERO;
         for bit in (0..512).rev() {
             let (shifted, carry) = r.shl1();

@@ -253,7 +253,11 @@ mod tests {
 
     #[test]
     fn geth_profile_defaults() {
-        let p = NodeProfile::geth(key(), "Geth/v1.8.11".into(), Chain::new(ChainConfig::mainnet(), 100));
+        let p = NodeProfile::geth(
+            key(),
+            "Geth/v1.8.11".into(),
+            Chain::new(ChainConfig::mainnet(), 100),
+        );
         assert_eq!(p.max_peers, 25);
         assert_eq!(p.metric, Metric::GethLog2);
         assert_eq!(p.tx_broadcast, TxBroadcast::AllPeers);
@@ -262,7 +266,11 @@ mod tests {
 
     #[test]
     fn parity_profile_defaults() {
-        let p = NodeProfile::parity(key(), "Parity/v1.10.6".into(), Chain::new(ChainConfig::mainnet(), 100));
+        let p = NodeProfile::parity(
+            key(),
+            "Parity/v1.10.6".into(),
+            Chain::new(ChainConfig::mainnet(), 100),
+        );
         assert_eq!(p.max_peers, 50);
         assert_eq!(p.metric, Metric::ParityByteSum);
         assert_eq!(p.tx_fanout(49), 7);

@@ -19,6 +19,7 @@
 //!
 //! Crucially the crawler never reads this ground truth: it must rediscover
 //! everything through the wire, exactly like NodeFinder did.
+#![forbid(unsafe_code)]
 
 pub mod clients;
 pub mod node;

@@ -19,7 +19,7 @@ use ethcrypto::secp256k1::SecretKey;
 use ethwire::{BlockId, EthMessage, Status};
 use netsim::{ConnId, Ctx, Host, HostAddr, TcpEvent};
 use rand::Rng;
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 // Timer tokens.
 const T_DISC: u64 = 1;
@@ -106,7 +106,7 @@ pub struct EthNode {
     /// Conns that have completed the eth STATUS check (true peers).
     eth_ready: BTreeSet<ConnId>,
     candidates: VecDeque<NodeRecord>,
-    known: HashSet<NodeId>,
+    known: BTreeSet<NodeId>,
     dialing: usize,
     /// Armed-timer flags (event-budget discipline).
     disc_armed: bool,
@@ -132,7 +132,7 @@ impl EthNode {
             conns: BTreeMap::new(),
             eth_ready: BTreeSet::new(),
             candidates: VecDeque::new(),
-            known: HashSet::new(),
+            known: BTreeSet::new(),
             dialing: 0,
             disc_armed: false,
             dial_armed: false,
@@ -166,7 +166,11 @@ impl EthNode {
     }
 
     fn endpoint(addr: HostAddr) -> Endpoint {
-        Endpoint { ip: addr.ip, udp_port: addr.port, tcp_port: addr.port }
+        Endpoint {
+            ip: addr.ip,
+            udp_port: addr.port,
+            tcp_port: addr.port,
+        }
     }
 
     fn local_hello(&self, addr: HostAddr) -> Hello {
@@ -219,17 +223,26 @@ impl EthNode {
             self.dial_armed = true;
             ctx.set_timer(DIAL_TICK_MS, T_DIAL);
         } else if !self.at_capacity()
-            && self.disc.as_ref().map(|d| !d.table().is_empty()).unwrap_or(false)
+            && self
+                .disc
+                .as_ref()
+                .map(|d| !d.table().is_empty())
+                .unwrap_or(false)
         {
             // Only retry work remains: wake at the paced refill time.
             self.dial_armed = true;
-            let delay = self.next_retry_ms.saturating_sub(ctx.now_ms).max(DIAL_TICK_MS);
+            let delay = self
+                .next_retry_ms
+                .saturating_sub(ctx.now_ms)
+                .max(DIAL_TICK_MS);
             ctx.set_timer(delay, T_DIAL);
         }
     }
 
     fn drain_disc_events(&mut self, ctx: &mut Ctx) {
-        let Some(disc) = self.disc.as_mut() else { return };
+        let Some(disc) = self.disc.as_mut() else {
+            return;
+        };
         let events = disc.take_events();
         let own_id = self.profile.node_id();
         for event in events {
@@ -260,7 +273,7 @@ impl EthNode {
         if self.candidates.is_empty() && !self.at_capacity() && ctx.now_ms >= self.next_retry_ms {
             self.next_retry_ms = ctx.now_ms + RETRY_REFILL_MS;
             if let Some(disc) = self.disc.as_ref() {
-                let connected: HashSet<NodeId> =
+                let connected: BTreeSet<NodeId> =
                     self.conns.values().filter_map(|c| c.peer_id).collect();
                 let retry: Vec<NodeRecord> = disc
                     .table()
@@ -275,7 +288,9 @@ impl EthNode {
         while self.dialing < MAX_ACTIVE_DIALS
             && self.active_peers() + self.dialing < self.profile.max_peers
         {
-            let Some(candidate) = self.candidates.pop_front() else { break };
+            let Some(candidate) = self.candidates.pop_front() else {
+                break;
+            };
             if self.conns.values().any(|c| c.peer_id == Some(candidate.id)) {
                 continue;
             }
@@ -290,8 +305,10 @@ impl EthNode {
                 candidate.endpoint.tcp_port,
             ));
             let hello = self.local_hello(ctx.local_addr());
-            self.conns
-                .insert(conn, PeerConn::dialing(conn, candidate.id, hello, ctx.now_ms));
+            self.conns.insert(
+                conn,
+                PeerConn::dialing(conn, candidate.id, hello, ctx.now_ms),
+            );
             self.dialing += 1;
             self.stats.dials += 1;
         }
@@ -320,7 +337,11 @@ impl EthNode {
             let frames = pc.send_disconnect(reason);
             if !frames.is_empty() {
                 self.stats.count_sent("DISCONNECT");
-                *self.stats.disconnects_sent.entry(reason.label()).or_insert(0) += 1;
+                *self
+                    .stats
+                    .disconnects_sent
+                    .entry(reason.label())
+                    .or_insert(0) += 1;
             }
             for f in frames {
                 ctx.tcp_send(conn, f);
@@ -442,7 +463,12 @@ impl EthNode {
                 };
                 self.disconnect_conn(ctx, conn, reason);
             }
-            EthMessage::GetBlockHeaders { start, max_headers, skip, reverse } => {
+            EthMessage::GetBlockHeaders {
+                start,
+                max_headers,
+                skip,
+                reverse,
+            } => {
                 if let ServiceKind::Eth { chain } = &self.profile.service {
                     let start_num = match start {
                         BlockId::Number(n) => Some(n),
@@ -518,7 +544,10 @@ impl EthNode {
         self.profile.key = new_key;
         self.stats.identities.push(self.profile.node_id());
         let addr = ctx.local_addr();
-        let config = DiscConfig { metric: self.profile.metric, ..DiscConfig::default() };
+        let config = DiscConfig {
+            metric: self.profile.metric,
+            ..DiscConfig::default()
+        };
         let mut disc = Discv4::new(new_key, Self::endpoint(addr), config);
         // Re-announce to bootstraps under the new identity.
         let mut outgoing = Vec::new();
@@ -549,7 +578,10 @@ impl Host for EthNode {
             self.profile.client_id = plan.client_id_at(ctx.now_ms);
         }
         let addr = ctx.local_addr();
-        let config = DiscConfig { metric: self.profile.metric, ..DiscConfig::default() };
+        let config = DiscConfig {
+            metric: self.profile.metric,
+            ..DiscConfig::default()
+        };
         let mut disc = Discv4::new(self.profile.key, Self::endpoint(addr), config);
         self.stats.identities.push(self.profile.node_id());
         let mut outgoing = Vec::new();
@@ -573,8 +605,14 @@ impl Host for EthNode {
     }
 
     fn on_udp(&mut self, ctx: &mut Ctx, from: HostAddr, datagram: &[u8]) {
-        let Some(disc) = self.disc.as_mut() else { return };
-        let from_ep = Endpoint { ip: from.ip, udp_port: from.port, tcp_port: from.port };
+        let Some(disc) = self.disc.as_mut() else {
+            return;
+        };
+        let from_ep = Endpoint {
+            ip: from.ip,
+            udp_port: from.port,
+            tcp_port: from.port,
+        };
         let outgoing = disc.on_datagram(from_ep, datagram, ctx.now_ms);
         self.send_disc(ctx, outgoing);
         self.drain_disc_events(ctx);
@@ -616,7 +654,9 @@ impl Host for EthNode {
             }
             TcpEvent::Data { conn, bytes } => {
                 let key = self.profile.key;
-                let Some(pc) = self.conns.get_mut(&conn) else { return };
+                let Some(pc) = self.conns.get_mut(&conn) else {
+                    return;
+                };
                 let (events, out) = pc.on_data(ctx.rng(), &key, &bytes);
                 for f in out {
                     ctx.tcp_send(conn, f);
@@ -737,14 +777,16 @@ mod tests {
             EthMessage::NewBlockHashes(vec![]),
             EthMessage::GetBlockBodies(vec![]),
             EthMessage::BlockBodies(vec![]),
-            EthMessage::NewBlock { block: vec![], total_difficulty: 0 },
+            EthMessage::NewBlock {
+                block: vec![],
+                total_difficulty: 0,
+            },
             EthMessage::GetNodeData(vec![]),
             EthMessage::NodeData(vec![]),
             EthMessage::GetReceipts(vec![]),
             EthMessage::Receipts(vec![]),
         ];
-        let labels: std::collections::BTreeSet<&str> =
-            msgs.iter().map(eth_label).collect();
+        let labels: std::collections::BTreeSet<&str> = msgs.iter().map(eth_label).collect();
         assert_eq!(labels.len(), msgs.len(), "labels must be distinct");
     }
 

@@ -18,48 +18,192 @@ pub struct Release {
 /// Geth's release history around the measurement window. Geth's cycle is
 /// simple: one channel, each release supersedes the last (§6.2).
 pub const GETH_RELEASES: [Release; 20] = [
-    Release { version: "v1.5.9", day: -420, stable: true },
-    Release { version: "v1.6.1", day: -350, stable: true },
-    Release { version: "v1.6.7", day: -280, stable: true },
-    Release { version: "v1.7.0", day: -216, stable: true },
-    Release { version: "v1.7.1", day: -209, stable: true },
-    Release { version: "v1.7.2", day: -186, stable: true },
-    Release { version: "v1.7.3", day: -147, stable: true },
-    Release { version: "v1.8.0", day: -63, stable: true },
-    Release { version: "v1.8.1", day: -58, stable: true },
-    Release { version: "v1.8.2", day: -49, stable: true },
-    Release { version: "v1.8.3", day: -25, stable: true },
-    Release { version: "v1.8.4", day: -2, stable: true },
+    Release {
+        version: "v1.5.9",
+        day: -420,
+        stable: true,
+    },
+    Release {
+        version: "v1.6.1",
+        day: -350,
+        stable: true,
+    },
+    Release {
+        version: "v1.6.7",
+        day: -280,
+        stable: true,
+    },
+    Release {
+        version: "v1.7.0",
+        day: -216,
+        stable: true,
+    },
+    Release {
+        version: "v1.7.1",
+        day: -209,
+        stable: true,
+    },
+    Release {
+        version: "v1.7.2",
+        day: -186,
+        stable: true,
+    },
+    Release {
+        version: "v1.7.3",
+        day: -147,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.0",
+        day: -63,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.1",
+        day: -58,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.2",
+        day: -49,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.3",
+        day: -25,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.4",
+        day: -2,
+        stable: true,
+    },
     // v1.8.5 and v1.8.9 were replaced within days to fix deadlocks [52].
-    Release { version: "v1.8.5", day: 9, stable: true },
-    Release { version: "v1.8.6", day: 11, stable: true },
-    Release { version: "v1.8.7", day: 14, stable: true },
-    Release { version: "v1.8.8", day: 26, stable: true },
-    Release { version: "v1.8.9", day: 44, stable: true },
-    Release { version: "v1.8.10", day: 47, stable: true },
-    Release { version: "v1.8.11", day: 56, stable: true },
-    Release { version: "v1.8.12", day: 78, stable: true },
+    Release {
+        version: "v1.8.5",
+        day: 9,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.6",
+        day: 11,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.7",
+        day: 14,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.8",
+        day: 26,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.9",
+        day: 44,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.10",
+        day: 47,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.11",
+        day: 56,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.12",
+        day: 78,
+        stable: true,
+    },
 ];
 
 /// Parity's release history: weekly-ish releases across stable/beta
 /// channels (§6.2 notes the sparser, faster cycle).
 pub const PARITY_RELEASES: [Release; 16] = [
-    Release { version: "v1.6.10", day: -290, stable: true },
-    Release { version: "v1.7.0", day: -260, stable: false },
-    Release { version: "v1.7.9", day: -170, stable: true },
-    Release { version: "v1.7.11", day: -140, stable: true },
-    Release { version: "v1.8.0", day: -190, stable: false },
-    Release { version: "v1.8.11", day: -90, stable: true },
-    Release { version: "v1.9.2", day: -70, stable: false },
-    Release { version: "v1.9.5", day: -40, stable: true },
-    Release { version: "v1.9.7", day: -20, stable: true },
-    Release { version: "v1.10.0", day: -28, stable: false },
-    Release { version: "v1.10.3", day: 7, stable: false },
-    Release { version: "v1.10.4", day: 21, stable: false },
-    Release { version: "v1.10.6", day: 35, stable: true },
-    Release { version: "v1.10.7", day: 49, stable: true },
-    Release { version: "v1.10.8", day: 63, stable: false },
-    Release { version: "v1.10.9", day: 80, stable: true },
+    Release {
+        version: "v1.6.10",
+        day: -290,
+        stable: true,
+    },
+    Release {
+        version: "v1.7.0",
+        day: -260,
+        stable: false,
+    },
+    Release {
+        version: "v1.7.9",
+        day: -170,
+        stable: true,
+    },
+    Release {
+        version: "v1.7.11",
+        day: -140,
+        stable: true,
+    },
+    Release {
+        version: "v1.8.0",
+        day: -190,
+        stable: false,
+    },
+    Release {
+        version: "v1.8.11",
+        day: -90,
+        stable: true,
+    },
+    Release {
+        version: "v1.9.2",
+        day: -70,
+        stable: false,
+    },
+    Release {
+        version: "v1.9.5",
+        day: -40,
+        stable: true,
+    },
+    Release {
+        version: "v1.9.7",
+        day: -20,
+        stable: true,
+    },
+    Release {
+        version: "v1.10.0",
+        day: -28,
+        stable: false,
+    },
+    Release {
+        version: "v1.10.3",
+        day: 7,
+        stable: false,
+    },
+    Release {
+        version: "v1.10.4",
+        day: 21,
+        stable: false,
+    },
+    Release {
+        version: "v1.10.6",
+        day: 35,
+        stable: true,
+    },
+    Release {
+        version: "v1.10.7",
+        day: 49,
+        stable: true,
+    },
+    Release {
+        version: "v1.10.8",
+        day: 63,
+        stable: false,
+    },
+    Release {
+        version: "v1.10.9",
+        day: 80,
+        stable: true,
+    },
 ];
 
 /// The version a node runs at `day`, given its personal update lag.
@@ -68,7 +212,12 @@ pub const PARITY_RELEASES: [Release; 16] = [
 /// delay (sharp uptake after release, Fig 10), a minority pin old versions
 /// indefinitely (68.3% were ≥2 iterations behind on the last day; 3.5% of
 /// Geth nodes pre-dated v1.7.1).
-pub fn version_at(releases: &[Release], day: i64, update_lag_days: i64, pinned: Option<usize>) -> Release {
+pub fn version_at(
+    releases: &[Release],
+    day: i64,
+    update_lag_days: i64,
+    pinned: Option<usize>,
+) -> Release {
     if let Some(idx) = pinned {
         return releases[idx.min(releases.len() - 1)];
     }

@@ -79,12 +79,7 @@ pub struct PeerConn {
 impl PeerConn {
     /// A connection we are dialing; call [`PeerConn::on_tcp_connected`]
     /// when the simulator reports the socket is up.
-    pub fn dialing(
-        conn: ConnId,
-        remote_id: NodeId,
-        local_hello: Hello,
-        now_ms: u64,
-    ) -> PeerConn {
+    pub fn dialing(conn: ConnId, remote_id: NodeId, local_hello: Hello, now_ms: u64) -> PeerConn {
         PeerConn {
             conn,
             role: Role::Initiator,
@@ -120,7 +115,11 @@ impl PeerConn {
     /// Whether the DEVp2p session is active (HELLO exchanged).
     pub fn is_active(&self) -> bool {
         self.stage == Stage::Active
-            && self.session.as_ref().map(|s| s.is_active()).unwrap_or(false)
+            && self
+                .session
+                .as_ref()
+                .map(|s| s.is_active())
+                .unwrap_or(false)
     }
 
     /// Whether the connection is dead.
@@ -281,7 +280,12 @@ impl PeerConn {
             }
             Ok(SessionEvent::PingReceived) => events.push(WireEvent::Ping),
             Ok(SessionEvent::PongReceived) => events.push(WireEvent::Pong),
-            Ok(SessionEvent::Subprotocol { cap, version: _, msg, payload }) => {
+            Ok(SessionEvent::Subprotocol {
+                cap,
+                version: _,
+                msg,
+                payload,
+            }) => {
                 if cap == "eth" {
                     match EthMessage::decode(msg, &payload) {
                         Ok(m) => events.push(WireEvent::Eth(m)),
@@ -418,8 +422,12 @@ mod tests {
 
         assert!(a_events.iter().any(|e| matches!(e, WireEvent::RlpxEstablished { peer_id } if *peer_id == NodeId::from_secret_key(&key_b))));
         assert!(b_events.iter().any(|e| matches!(e, WireEvent::RlpxEstablished { peer_id } if *peer_id == NodeId::from_secret_key(&key_a))));
-        assert!(a_events.iter().any(|e| matches!(e, WireEvent::Hello { hello, .. } if hello.client_id == "Parity/v1.10.6")));
-        assert!(b_events.iter().any(|e| matches!(e, WireEvent::Hello { hello, .. } if hello.client_id == "Geth/v1.8.11")));
+        assert!(a_events.iter().any(
+            |e| matches!(e, WireEvent::Hello { hello, .. } if hello.client_id == "Parity/v1.10.6")
+        ));
+        assert!(b_events.iter().any(
+            |e| matches!(e, WireEvent::Hello { hello, .. } if hello.client_id == "Geth/v1.8.11")
+        ));
         assert!(a.is_active() && b.is_active());
 
         // Now exchange STATUS.
@@ -482,7 +490,9 @@ mod tests {
         garbage.extend(vec![0x5au8; 0x80]);
         let (events, out) = c.on_data(&mut rng, &key, &garbage);
         assert!(out.is_empty());
-        assert!(events.iter().any(|e| matches!(e, WireEvent::ProtocolError(_))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, WireEvent::ProtocolError(_))));
         assert!(c.is_dead());
     }
 
@@ -504,7 +514,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let key_a = SecretKey::from_bytes(&[1u8; 32]).unwrap();
         let key_b = SecretKey::from_bytes(&[2u8; 32]).unwrap();
-        let mut a = PeerConn::dialing(0, NodeId::from_secret_key(&key_b), hello_for(&key_a, "a"), 0);
+        let mut a = PeerConn::dialing(
+            0,
+            NodeId::from_secret_key(&key_b),
+            hello_for(&key_a, "a"),
+            0,
+        );
         let mut b = PeerConn::accepted(0, hello_for(&key_b, "b"), 0);
         let auth = a.on_tcp_connected(&mut rng, &key_a);
         // feed the auth one byte at a time

@@ -183,11 +183,46 @@ const ASN_WEIGHTS: [(&str, f64); 12] = [
 /// The residential/commercial AS long tail: many small distinct networks,
 /// so "top-8 AS share" (§7.2) is meaningful. Names are synthetic.
 const ISP_TAIL: [&str; 40] = [
-    "Comcast-Res", "Verizon", "ATT", "Charter", "Cox", "CenturyLink", "Frontier", "Windstream",
-    "DeutscheTelekom", "Vodafone", "Orange", "Telefonica", "BT", "Sky", "Virgin", "Telia",
-    "ChinaUnicom", "ChinaMobile", "KT", "SKB", "NTT", "KDDI", "Softbank", "Telstra",
-    "Optus", "Rogers", "Bell", "Telus", "Claro", "Vivo", "Tim", "MTS",
-    "Beeline", "Rostelecom", "Turkcell", "Etisalat", "Airtel", "Jio", "BSNL", "Singtel",
+    "Comcast-Res",
+    "Verizon",
+    "ATT",
+    "Charter",
+    "Cox",
+    "CenturyLink",
+    "Frontier",
+    "Windstream",
+    "DeutscheTelekom",
+    "Vodafone",
+    "Orange",
+    "Telefonica",
+    "BT",
+    "Sky",
+    "Virgin",
+    "Telia",
+    "ChinaUnicom",
+    "ChinaMobile",
+    "KT",
+    "SKB",
+    "NTT",
+    "KDDI",
+    "Softbank",
+    "Telstra",
+    "Optus",
+    "Rogers",
+    "Bell",
+    "Telus",
+    "Claro",
+    "Vivo",
+    "Tim",
+    "MTS",
+    "Beeline",
+    "Rostelecom",
+    "Turkcell",
+    "Etisalat",
+    "Airtel",
+    "Jio",
+    "BSNL",
+    "Singtel",
 ];
 
 /// Table 3 capability mix for the non-eth & light slices, scaled to their
@@ -244,11 +279,7 @@ impl World {
             let key_i = i; // bootstrap i's profile uses its own record set
             let chain = Chain::new(ChainConfig::mainnet(), SNAPSHOT_HEAD);
             let client_id = crate::releases::geth_client_id("v1.8.10");
-            let mut profile = NodeProfile::geth(
-                bootstrap_key(&mut rng, key_i),
-                client_id,
-                chain,
-            );
+            let mut profile = NodeProfile::geth(bootstrap_key(&mut rng, key_i), client_id, chain);
             // The record above was generated with a throwaway key; rebuild
             // it so id and key agree.
             profile.key = bootstrap_secret(config.seed, i);
@@ -262,11 +293,7 @@ impl World {
                 reachable: true,
             };
             let peers = bootstrap.clone();
-            let host = sim.add_host(
-                addr,
-                meta,
-                Box::new(EthNode::new(profile.clone(), peers)),
-            );
+            let host = sim.add_host(addr, meta, Box::new(EthNode::new(profile.clone(), peers)));
             sim.schedule_start(host, 0);
             nodes.push(GroundTruthNode {
                 host,
@@ -349,7 +376,11 @@ impl World {
                 region: REGION_OF_COUNTRY("CN"),
                 reachable: true,
             };
-            let host = sim.add_host(addr, meta, Box::new(EthNode::new(profile, bootstrap.clone())));
+            let host = sim.add_host(
+                addr,
+                meta,
+                Box::new(EthNode::new(profile, bootstrap.clone())),
+            );
             sim.schedule_start(host, 0);
             nodes.push(GroundTruthNode {
                 host,
@@ -366,7 +397,12 @@ impl World {
             });
         }
 
-        World { sim, nodes, bootstrap, config }
+        World {
+            sim,
+            nodes,
+            bootstrap,
+            config,
+        }
     }
 
     /// Mainnet ground-truth slice (excluding spammers), for validation.
@@ -393,7 +429,12 @@ fn bootstrap_key(rng: &mut StdRng, _i: usize) -> SecretKey {
 fn ip_for(i: usize) -> Ipv4Addr {
     // Unique public-looking IPs: 20.x.y.z spread.
     let i = i as u32;
-    Ipv4Addr::new(20 + ((i >> 16) & 0x3f) as u8, ((i >> 8) & 0xff) as u8, (i & 0xff) as u8, 10)
+    Ipv4Addr::new(
+        20 + ((i >> 16) & 0x3f) as u8,
+        ((i >> 8) & 0xff) as u8,
+        (i & 0xff) as u8,
+        10,
+    )
 }
 
 fn family_label(profile: &NodeProfile) -> &'static str {
@@ -406,7 +447,11 @@ fn family_label(profile: &NodeProfile) -> &'static str {
 }
 
 /// Sample one node's service/network/client from the paper's marginals.
-fn sample_profile(rng: &mut StdRng, key: SecretKey, config: &WorldConfig) -> (TruthKind, NodeProfile) {
+fn sample_profile(
+    rng: &mut StdRng,
+    key: SecretKey,
+    config: &WorldConfig,
+) -> (TruthKind, NodeProfile) {
     // Table 3: ~6% of DEVp2p nodes are non-eth services or light clients.
     let other_total: f64 = OTHER_SERVICES.iter().map(|(_, _, w)| w).sum();
     if rng.gen_bool(other_total) {
@@ -446,18 +491,21 @@ fn sample_profile(rng: &mut StdRng, key: SecretKey, config: &WorldConfig) -> (Tr
         let chain = Chain::new(chain_config, rng.gen_range(0..1_000_000));
         let client_id = crate::releases::geth_client_id("v1.8.3");
         (
-            TruthKind::OtherEthNetwork { network_id, mainnet_genesis: true },
+            TruthKind::OtherEthNetwork {
+                network_id,
+                mainnet_genesis: true,
+            },
             NodeProfile::geth(key, client_id, chain),
         )
     } else {
         // Testnets and altcoins: a few big networks plus a long tail.
         let (network_id, label_head): (u64, u64) = match rng.gen_range(0..10) {
-            0..=2 => (3, 3_200_000),          // Ropsten
-            3..=4 => (4, 2_200_000),          // Rinkeby
-            5 => (42, 7_000_000),             // Kovan
-            6 => (7_762_959, 1_900_000),      // Musicoin
-            7 => (3_125_659_152, 2_300_000),  // Pirl
-            8 => (8, 300_000),                // Ubiq
+            0..=2 => (3, 3_200_000),         // Ropsten
+            3..=4 => (4, 2_200_000),         // Rinkeby
+            5 => (42, 7_000_000),            // Kovan
+            6 => (7_762_959, 1_900_000),     // Musicoin
+            7 => (3_125_659_152, 2_300_000), // Pirl
+            8 => (8, 300_000),               // Ubiq
             _ => (rng.gen_range(1_000..4_000_000), rng.gen_range(1..500_000)),
         };
         let chain_config = ChainConfig::alt(network_id, network_id ^ 0xABCD);
@@ -468,7 +516,10 @@ fn sample_profile(rng: &mut StdRng, key: SecretKey, config: &WorldConfig) -> (Tr
             crate::releases::parity_client_id("v1.10.3", false)
         };
         (
-            TruthKind::OtherEthNetwork { network_id, mainnet_genesis: false },
+            TruthKind::OtherEthNetwork {
+                network_id,
+                mainnet_genesis: false,
+            },
             NodeProfile::geth(key, client_id, chain),
         )
     }
@@ -539,7 +590,11 @@ fn sample_mainnet_client(
         profile
     } else if roll < parity_cut {
         // Parity (17% by default): faster, channel-mixed releases.
-        let pinned = if rng.gen_bool(0.06) { Some(rng.gen_range(0..4)) } else { None };
+        let pinned = if rng.gen_bool(0.06) {
+            Some(rng.gen_range(0..4))
+        } else {
+            None
+        };
         let lag_days = (-(1.0 - rng.gen::<f64>()).ln() * 12.0) as i64;
         let plan = ReleasePlan {
             family: ReleaseFamily::Parity,
@@ -563,7 +618,12 @@ fn sample_mainnet_client(
         profile
     } else {
         // The 31-client tail.
-        let names = ["cpp-ethereum/v1.3.0", "EthereumJ/v1.8.0", "Harmony/v2.1", "pyethapp/v1.5.0"];
+        let names = [
+            "cpp-ethereum/v1.3.0",
+            "EthereumJ/v1.8.0",
+            "Harmony/v2.1",
+            "pyethapp/v1.5.0",
+        ];
         let name = names[rng.gen_range(0..names.len())];
         let mut profile = NodeProfile::geth(key, format!("{name}/linux"), chain);
         profile.kind = crate::clients::ClientKind::Other;
@@ -603,7 +663,9 @@ fn schedule_churn(
 
 fn exp_sample(rng: &mut StdRng, mean_ms: u64) -> u64 {
     let u: f64 = rng.gen_range(0.0001..1.0);
-    ((-u.ln()) * mean_ms as f64).min(mean_ms as f64 * 6.0).max(1000.0) as u64
+    ((-u.ln()) * mean_ms as f64)
+        .min(mean_ms as f64 * 6.0)
+        .max(1000.0) as u64
 }
 
 #[cfg(test)]
@@ -611,7 +673,12 @@ mod tests {
     use super::*;
 
     fn small_config() -> WorldConfig {
-        WorldConfig { n_nodes: 60, duration_ms: 5 * 60_000, spammer_ips: 1, ..WorldConfig::default() }
+        WorldConfig {
+            n_nodes: 60,
+            duration_ms: 5 * 60_000,
+            spammer_ips: 1,
+            ..WorldConfig::default()
+        }
     }
 
     #[test]
@@ -638,14 +705,25 @@ mod tests {
         let mut config = small_config();
         config.n_nodes = 800;
         let w = World::build(config);
-        let regular: Vec<_> = w.nodes.iter().filter(|n| !n.bootstrap && n.kind != TruthKind::Spammer).collect();
-        let mainnet = regular.iter().filter(|n| n.kind == TruthKind::Mainnet).count();
+        let regular: Vec<_> = w
+            .nodes
+            .iter()
+            .filter(|n| !n.bootstrap && n.kind != TruthKind::Spammer)
+            .collect();
+        let mainnet = regular
+            .iter()
+            .filter(|n| n.kind == TruthKind::Mainnet)
+            .count();
         let frac = mainnet as f64 / regular.len() as f64;
         assert!((0.42..0.62).contains(&frac), "mainnet fraction {frac}");
         let us = regular.iter().filter(|n| n.country == "US").count() as f64 / regular.len() as f64;
         assert!((0.35..0.52).contains(&us), "US fraction {us}");
-        let unreachable = regular.iter().filter(|n| !n.reachable).count() as f64 / regular.len() as f64;
-        assert!((0.50..0.70).contains(&unreachable), "unreachable fraction {unreachable}");
+        let unreachable =
+            regular.iter().filter(|n| !n.reachable).count() as f64 / regular.len() as f64;
+        assert!(
+            (0.50..0.70).contains(&unreachable),
+            "unreachable fraction {unreachable}"
+        );
     }
 
     #[test]
@@ -665,7 +743,10 @@ mod tests {
         let mut w = World::build(small_config());
         w.sim.run_until(3 * 60_000);
         let (sent, _) = w.sim.udp_counters();
-        assert!(sent > 100, "expected discovery traffic, got {sent} datagrams");
+        assert!(
+            sent > 100,
+            "expected discovery traffic, got {sent} datagrams"
+        );
         assert!(w.sim.events_processed() > 1000);
     }
 }

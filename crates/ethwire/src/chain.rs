@@ -262,7 +262,10 @@ mod tests {
         let classic = Chain::new(ChainConfig::classic(), crate::DAO_FORK_BLOCK + 10);
         assert!(main.supports_dao_fork());
         assert!(!classic.supports_dao_fork());
-        assert_eq!(main.header(crate::DAO_FORK_BLOCK).extra_data, crate::DAO_FORK_EXTRA);
+        assert_eq!(
+            main.header(crate::DAO_FORK_BLOCK).extra_data,
+            crate::DAO_FORK_EXTRA
+        );
         assert!(classic.header(crate::DAO_FORK_BLOCK).extra_data.is_empty());
     }
 
@@ -291,9 +294,15 @@ mod tests {
     fn headers_request_with_skip_and_reverse() {
         let chain = Chain::new(ChainConfig::mainnet(), 1000);
         let hs = chain.headers(100, 3, 9, false);
-        assert_eq!(hs.iter().map(|h| h.number).collect::<Vec<_>>(), vec![100, 110, 120]);
+        assert_eq!(
+            hs.iter().map(|h| h.number).collect::<Vec<_>>(),
+            vec![100, 110, 120]
+        );
         let hs = chain.headers(100, 3, 9, true);
-        assert_eq!(hs.iter().map(|h| h.number).collect::<Vec<_>>(), vec![100, 90, 80]);
+        assert_eq!(
+            hs.iter().map(|h| h.number).collect::<Vec<_>>(),
+            vec![100, 90, 80]
+        );
         // reverse past zero stops cleanly
         let hs = chain.headers(5, 10, 9, true);
         assert_eq!(hs.iter().map(|h| h.number).collect::<Vec<_>>(), vec![5]);

@@ -16,6 +16,9 @@
 //! height (parent-hash fields are stable pseudo-links, not transitive
 //! hashes — see `chain::Chain::header`), and the *advertised* genesis hash
 //! is decoupled so the model can advertise the real Mainnet constant.
+#![forbid(unsafe_code)]
+// Unit tests may panic on impossible states; production code may not.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chain;
 pub mod messages;
@@ -28,9 +31,8 @@ pub use sync::{SyncDriver, SyncMode, SyncPhase, SyncStats};
 /// The real Ethereum Mainnet genesis hash (`d4e567…cb8fa3`), advertised by
 /// both Mainnet and Classic nodes.
 pub const MAINNET_GENESIS: [u8; 32] = [
-    0xd4, 0xe5, 0x67, 0x40, 0xf8, 0x76, 0xae, 0xf8, 0xc0, 0x10, 0xb8, 0x6a, 0x40, 0xd5, 0xf5,
-    0x67, 0x45, 0xa1, 0x18, 0xd0, 0x90, 0x6a, 0x34, 0xe6, 0x9a, 0xec, 0x8c, 0x0d, 0xb1, 0xcb,
-    0x8f, 0xa3,
+    0xd4, 0xe5, 0x67, 0x40, 0xf8, 0x76, 0xae, 0xf8, 0xc0, 0x10, 0xb8, 0x6a, 0x40, 0xd5, 0xf5, 0x67,
+    0x45, 0xa1, 0x18, 0xd0, 0x90, 0x6a, 0x34, 0xe6, 0x9a, 0xec, 0x8c, 0x0d, 0xb1, 0xcb, 0x8f, 0xa3,
 ];
 
 /// Mainnet network ID.

@@ -150,7 +150,12 @@ impl EthMessage {
                 }
                 s.out()
             }
-            EthMessage::GetBlockHeaders { start, max_headers, skip, reverse } => {
+            EthMessage::GetBlockHeaders {
+                start,
+                max_headers,
+                skip,
+                reverse,
+            } => {
                 let mut s = RlpStream::new_list(4);
                 match start {
                     BlockId::Hash(h) => s.append(h),
@@ -177,7 +182,10 @@ impl EthMessage {
                 }
                 s.out()
             }
-            EthMessage::NewBlock { block, total_difficulty } => {
+            EthMessage::NewBlock {
+                block,
+                total_difficulty,
+            } => {
                 let mut s = RlpStream::new_list(2);
                 s.append(&block.as_slice());
                 s.append(total_difficulty);
@@ -317,13 +325,20 @@ mod tests {
 
     #[test]
     fn new_block_hashes_roundtrip() {
-        roundtrip(EthMessage::NewBlockHashes(vec![([1u8; 32], 100), ([2u8; 32], 101)]));
+        roundtrip(EthMessage::NewBlockHashes(vec![
+            ([1u8; 32], 100),
+            ([2u8; 32], 101),
+        ]));
         roundtrip(EthMessage::NewBlockHashes(vec![]));
     }
 
     #[test]
     fn transactions_roundtrip() {
-        roundtrip(EthMessage::Transactions(vec![vec![1, 2, 3], vec![], vec![0xff; 200]]));
+        roundtrip(EthMessage::Transactions(vec![
+            vec![1, 2, 3],
+            vec![],
+            vec![0xff; 200],
+        ]));
     }
 
     #[test]
@@ -362,13 +377,22 @@ mod tests {
 
     #[test]
     fn new_block_roundtrip() {
-        roundtrip(EthMessage::NewBlock { block: vec![0xde, 0xad], total_difficulty: 12345 });
+        roundtrip(EthMessage::NewBlock {
+            block: vec![0xde, 0xad],
+            total_difficulty: 12345,
+        });
     }
 
     #[test]
     fn unknown_id_rejected() {
-        assert_eq!(EthMessage::decode(0x08, &[0xc0]), Err(EthMessageError::UnknownId(8)));
-        assert_eq!(EthMessage::decode(0x11, &[0xc0]), Err(EthMessageError::UnknownId(0x11)));
+        assert_eq!(
+            EthMessage::decode(0x08, &[0xc0]),
+            Err(EthMessageError::UnknownId(8))
+        );
+        assert_eq!(
+            EthMessage::decode(0x11, &[0xc0]),
+            Err(EthMessageError::UnknownId(0x11))
+        );
     }
 
     #[test]

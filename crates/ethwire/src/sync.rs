@@ -252,22 +252,28 @@ impl SyncDriver {
 /// backed by a [`crate::chain::Chain`].
 pub fn serve_from_chain(chain: &crate::chain::Chain, req: &EthMessage) -> EthMessage {
     match req {
-        EthMessage::GetBlockHeaders { start, max_headers, skip, reverse } => {
+        EthMessage::GetBlockHeaders {
+            start,
+            max_headers,
+            skip,
+            reverse,
+        } => {
             let start_num = match start {
                 BlockId::Number(n) => *n,
                 BlockId::Hash(_) => chain.head,
             };
-            EthMessage::BlockHeaders(chain.headers(start_num, *max_headers as usize, *skip, *reverse))
+            EthMessage::BlockHeaders(chain.headers(
+                start_num,
+                *max_headers as usize,
+                *skip,
+                *reverse,
+            ))
         }
         EthMessage::GetBlockBodies(hashes) => {
             EthMessage::BlockBodies(vec![vec![0u8; 128]; hashes.len()])
         }
-        EthMessage::GetReceipts(hashes) => {
-            EthMessage::Receipts(vec![vec![0u8; 64]; hashes.len()])
-        }
-        EthMessage::GetNodeData(hashes) => {
-            EthMessage::NodeData(vec![vec![0u8; 256]; hashes.len()])
-        }
+        EthMessage::GetReceipts(hashes) => EthMessage::Receipts(vec![vec![0u8; 64]; hashes.len()]),
+        EthMessage::GetNodeData(hashes) => EthMessage::NodeData(vec![vec![0u8; 256]; hashes.len()]),
         other => EthMessage::BlockHeaders(Vec::new()).clone_if_needed(other),
     }
 }

@@ -1,5 +1,8 @@
 //! Property tests for the eth subprotocol codec and the chain model.
 
+// Tests assert on impossible-failure paths freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ethwire::{BlockId, Chain, ChainConfig, EthMessage, Status};
 use proptest::prelude::*;
 
@@ -8,10 +11,22 @@ fn arb_hash() -> impl Strategy<Value = [u8; 32]> {
 }
 
 fn arb_status() -> impl Strategy<Value = Status> {
-    (any::<u64>(), any::<u128>(), arb_hash(), arb_hash(), prop_oneof![Just(62u32), Just(63u32)])
-        .prop_map(|(network_id, total_difficulty, best_hash, genesis_hash, protocol_version)| {
-            Status { protocol_version, network_id, total_difficulty, best_hash, genesis_hash }
-        })
+    (
+        any::<u64>(),
+        any::<u128>(),
+        arb_hash(),
+        arb_hash(),
+        prop_oneof![Just(62u32), Just(63u32)],
+    )
+        .prop_map(
+            |(network_id, total_difficulty, best_hash, genesis_hash, protocol_version)| Status {
+                protocol_version,
+                network_id,
+                total_difficulty,
+                best_hash,
+                genesis_hash,
+            },
+        )
 }
 
 proptest! {

@@ -137,8 +137,8 @@ mod tests {
         // ...everything else disagrees
         let mut z = [0u8; 32];
         z[31] = 0x05; // 0b101: geth 3, parity 3 — wait, bitlen(0b101)=3 both!
-        // single-byte XOR always agrees because bitlen == log2+1 there; the
-        // divergence needs multiple nonzero bytes:
+                      // single-byte XOR always agrees because bitlen == log2+1 there; the
+                      // divergence needs multiple nonzero bytes:
         assert!(metrics_agree(&zero, &z));
         let mut w = [0u8; 32];
         w[0] = 0x01; // geth: 249

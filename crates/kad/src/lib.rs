@@ -17,6 +17,7 @@
 //! * [`Metric::ParityByteSum`] — Parity's incorrect per-byte bit-length sum
 //!   (Appendix A of the paper), which concentrates all random pairs into a
 //!   narrow band of "distances" and cripples its usefulness for routing.
+#![forbid(unsafe_code)]
 
 mod distance;
 mod lookup;

@@ -8,7 +8,7 @@
 
 use crate::distance::xor_cmp;
 use enode::{NodeId, NodeRecord};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Concurrency factor α (both Geth and the Kademlia paper use 3).
 pub const ALPHA: usize = 3;
@@ -38,7 +38,7 @@ struct Candidate {
 pub struct Lookup {
     target_hash: [u8; 32],
     candidates: Vec<Candidate>,
-    seen: HashSet<NodeId>,
+    seen: BTreeSet<NodeId>,
     in_flight: usize,
     queries_sent: usize,
 }
@@ -50,7 +50,7 @@ impl Lookup {
         let mut lookup = Lookup {
             target_hash,
             candidates: Vec::new(),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             in_flight: 0,
             queries_sent: 0,
         };
@@ -79,7 +79,15 @@ impl Lookup {
             .candidates
             .binary_search_by(|c| xor_cmp(&self.target_hash, &c.hash, &hash))
             .unwrap_or_else(|p| p);
-        self.candidates.insert(pos, Candidate { record, hash, queried: false, failed: false });
+        self.candidates.insert(
+            pos,
+            Candidate {
+                record,
+                hash,
+                queried: false,
+                failed: false,
+            },
+        );
         true
     }
 

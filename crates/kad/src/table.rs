@@ -111,7 +111,11 @@ impl RoutingTable {
         }
         if bucket.len() < BUCKET_SIZE {
             let hash = record.id.kad_hash();
-            bucket.push(BucketEntry { record, last_seen: now, hash });
+            bucket.push(BucketEntry {
+                record,
+                last_seen: now,
+                hash,
+            });
             return AddOutcome::Added;
         }
         let candidate = bucket
@@ -262,7 +266,10 @@ mod tests {
             }
             seed += 1;
         }
-        assert!(in_bucket.len() > BUCKET_SIZE, "couldn't build a full bucket");
+        assert!(
+            in_bucket.len() > BUCKET_SIZE,
+            "couldn't build a full bucket"
+        );
         for (i, r) in in_bucket.iter().take(BUCKET_SIZE).enumerate() {
             assert_eq!(t.add(*r, i as u64), AddOutcome::Added);
         }

@@ -56,8 +56,6 @@ proptest! {
             xor[i] = a[i] ^ b[i];
         }
         // is xor of the form 2^k - 1? (big-endian all-ones suffix)
-        let mut x = u32::from(xor[0]) as u128;
-        let mut form = true;
         let mut val: Option<u128> = None;
         // walk bytes big-endian building the value only when small enough
         if xor.iter().take(16).all(|&b| b == 0) {
@@ -67,11 +65,8 @@ proptest! {
             }
             val = Some(v);
         }
-        let _ = x;
-        x = 0;
-        let _ = x;
         if let Some(v) = val {
-            form = v != 0 && (v & (v + 1)) == 0; // 2^k - 1 test
+            let form = v != 0 && (v & (v + 1)) == 0; // 2^k - 1 test
             prop_assert_eq!(metrics_agree(&a, &b), form || v == 0 && a == b);
         } else {
             // top half nonzero: XOR >= 2^128, can only be 2^k-1 if ALL
@@ -118,7 +113,10 @@ fn arb_record() -> impl Strategy<Value = NodeRecord> {
         let mut id = [0u8; 64];
         id[..32].copy_from_slice(&half);
         id[32] = last;
-        NodeRecord::new(NodeId(id), Endpoint::new(Ipv4Addr::new(10, 0, 0, last), 30303))
+        NodeRecord::new(
+            NodeId(id),
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, last), 30303),
+        )
     })
 }
 

@@ -4,7 +4,7 @@ use crate::topology::{latency_between, HostMeta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::net::Ipv4Addr;
 
 /// Identifies a host inside one simulation.
@@ -107,7 +107,12 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> SimConfig {
-        SimConfig { seed: 1804, udp_loss: 0.01, jitter_ms: 8, nat_window_ms: 120_000 }
+        SimConfig {
+            seed: 1804,
+            udp_loss: 0.01,
+            jitter_ms: 8,
+            nat_window_ms: 120_000,
+        }
     }
 }
 
@@ -207,18 +212,41 @@ struct Slot {
     meta: HostMeta,
     alive: bool,
     /// Outbound UDP contacts for NAT pinholes: peer addr → last send time.
-    nat: HashMap<HostAddr, u64>,
+    nat: BTreeMap<HostAddr, u64>,
 }
 
 enum Ev {
-    Udp { to: HostId, from: HostAddr, bytes: Vec<u8> },
-    TcpSyn { conn: ConnId },
-    TcpEstablish { conn: ConnId, ok: bool },
-    TcpData { conn: ConnId, to_initiator: bool, bytes: Vec<u8> },
-    TcpClose { conn: ConnId, to_initiator: bool },
-    Timer { host: HostId, token: u64 },
-    StartHost { host: HostId },
-    StopHost { host: HostId },
+    Udp {
+        to: HostId,
+        from: HostAddr,
+        bytes: Vec<u8>,
+    },
+    TcpSyn {
+        conn: ConnId,
+    },
+    TcpEstablish {
+        conn: ConnId,
+        ok: bool,
+    },
+    TcpData {
+        conn: ConnId,
+        to_initiator: bool,
+        bytes: Vec<u8>,
+    },
+    TcpClose {
+        conn: ConnId,
+        to_initiator: bool,
+    },
+    Timer {
+        host: HostId,
+        token: u64,
+    },
+    StartHost {
+        host: HostId,
+    },
+    StopHost {
+        host: HostId,
+    },
 }
 
 struct Scheduled {
@@ -250,7 +278,7 @@ pub struct NetSim {
     seq: u64,
     queue: BinaryHeap<Reverse<Scheduled>>,
     slots: Vec<Slot>,
-    index: HashMap<HostAddr, HostId>,
+    index: BTreeMap<HostAddr, HostId>,
     conns: Vec<ConnInfo>,
     rng: StdRng,
     config: SimConfig,
@@ -267,7 +295,7 @@ impl NetSim {
             seq: 0,
             queue: BinaryHeap::new(),
             slots: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             conns: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
             config,
@@ -303,7 +331,13 @@ impl NetSim {
             "address {addr} already in use"
         );
         let id = self.slots.len();
-        self.slots.push(Slot { host: Some(host), addr, meta, alive: false, nat: HashMap::new() });
+        self.slots.push(Slot {
+            host: Some(host),
+            addr,
+            meta,
+            alive: false,
+            nat: BTreeMap::new(),
+        });
         self.index.insert(addr, id);
         id
     }
@@ -477,12 +511,20 @@ impl NetSim {
                     });
                 }
             }
-            Ev::TcpData { conn, to_initiator, bytes } => {
+            Ev::TcpData {
+                conn,
+                to_initiator,
+                bytes,
+            } => {
                 let c = self.conns[conn];
                 if c.state != ConnState::Established {
                     return;
                 }
-                let dest = if to_initiator { Some(c.initiator) } else { c.acceptor };
+                let dest = if to_initiator {
+                    Some(c.initiator)
+                } else {
+                    c.acceptor
+                };
                 let Some(dest) = dest else { return };
                 if !self.slots[dest].alive {
                     return;
@@ -491,7 +533,11 @@ impl NetSim {
             }
             Ev::TcpClose { conn, to_initiator } => {
                 let c = self.conns[conn];
-                let dest = if to_initiator { Some(c.initiator) } else { c.acceptor };
+                let dest = if to_initiator {
+                    Some(c.initiator)
+                } else {
+                    c.acceptor
+                };
                 let Some(dest) = dest else { return };
                 if !self.slots[dest].alive {
                     return;
@@ -553,7 +599,14 @@ impl NetSim {
                     };
                     let lat = self.one_way_latency(host, dest);
                     let from = self.slots[host].addr;
-                    self.push(now + lat, Ev::Udp { to: dest, from, bytes });
+                    self.push(
+                        now + lat,
+                        Ev::Udp {
+                            to: dest,
+                            from,
+                            bytes,
+                        },
+                    );
                 }
                 Action::TcpConnect { conn, to } => {
                     debug_assert_eq!(conn, self.conns.len(), "conn id allocation out of sync");
@@ -577,7 +630,14 @@ impl NetSim {
                     }
                     let to_initiator = self.conns[conn].initiator != host;
                     let delay = self.conn_delay(conn);
-                    self.push(self.now + delay, Ev::TcpData { conn, to_initiator, bytes });
+                    self.push(
+                        self.now + delay,
+                        Ev::TcpData {
+                            conn,
+                            to_initiator,
+                            bytes,
+                        },
+                    );
                 }
                 Action::TcpClose { conn } => {
                     if let Some(c) = self.conns.get(conn) {
@@ -622,7 +682,14 @@ mod tests {
 
     impl Probe {
         fn new(name: &'static str, log: Log) -> Probe {
-            Probe { log, name, udp_target: None, tcp_target: None, echo: false, tcp_payload: None }
+            Probe {
+                log,
+                name,
+                udp_target: None,
+                tcp_target: None,
+                echo: false,
+                tcp_payload: None,
+            }
         }
         fn logit(&self, s: String) {
             self.log.borrow_mut().push(format!("{} {}", self.name, s));
@@ -645,7 +712,12 @@ mod tests {
             }
         }
         fn on_udp(&mut self, ctx: &mut Ctx, from: HostAddr, datagram: &[u8]) {
-            self.logit(format!("udp@{} from {} len={}", ctx.now_ms, from, datagram.len()));
+            self.logit(format!(
+                "udp@{} from {} len={}",
+                ctx.now_ms,
+                from,
+                datagram.len()
+            ));
             if self.echo {
                 ctx.send_udp(from, datagram.to_vec());
             }
@@ -675,7 +747,12 @@ mod tests {
     }
 
     fn meta(reachable: bool) -> HostMeta {
-        HostMeta { country: "US", asn: "Test", region: Region::NorthAmerica, reachable }
+        HostMeta {
+            country: "US",
+            asn: "Test",
+            region: Region::NorthAmerica,
+            reachable,
+        }
     }
 
     fn addr(last: u8) -> HostAddr {
@@ -683,7 +760,11 @@ mod tests {
     }
 
     fn lossless() -> SimConfig {
-        SimConfig { udp_loss: 0.0, jitter_ms: 0, ..SimConfig::default() }
+        SimConfig {
+            udp_loss: 0.0,
+            jitter_ms: 0,
+            ..SimConfig::default()
+        }
     }
 
     #[test]
@@ -704,9 +785,17 @@ mod tests {
         sim.run_until(10_000);
         let log = log.borrow();
         // a sends at 0; intra-region base latency is 15ms
-        assert!(log.iter().any(|l| l == "b udp@15 from 10.0.0.1:30303 len=5"), "{log:?}");
+        assert!(
+            log.iter()
+                .any(|l| l == "b udp@15 from 10.0.0.1:30303 len=5"),
+            "{log:?}"
+        );
         // echo arrives back at 30
-        assert!(log.iter().any(|l| l == "a udp@30 from 10.0.0.2:30303 len=5"), "{log:?}");
+        assert!(
+            log.iter()
+                .any(|l| l == "a udp@30 from 10.0.0.2:30303 len=5"),
+            "{log:?}"
+        );
     }
 
     #[test]
@@ -736,7 +825,11 @@ mod tests {
         sim.schedule_start(ha, 0);
         sim.schedule_start(hb, 0);
         sim.run_until(10_000);
-        assert!(!log2.borrow().iter().any(|l| l.starts_with("a udp@")), "{:?}", log2.borrow());
+        assert!(
+            !log2.borrow().iter().any(|l| l.starts_with("a udp@")),
+            "{:?}",
+            log2.borrow()
+        );
         let (_, dropped) = sim.udp_counters();
         assert_eq!(dropped, 1);
     }
@@ -757,7 +850,11 @@ mod tests {
         let log = log.borrow();
         assert!(log.iter().any(|l| l.starts_with("b incoming@")), "{log:?}");
         assert!(log.iter().any(|l| l.starts_with("a connected@")), "{log:?}");
-        assert!(log.iter().any(|l| l.starts_with("b data@") && l.ends_with("len=100")), "{log:?}");
+        assert!(
+            log.iter()
+                .any(|l| l.starts_with("b data@") && l.ends_with("len=100")),
+            "{log:?}"
+        );
         // RTT is observable and sane (2 × 15ms intra-region)
         assert!(log.iter().any(|l| l.contains("rtt=30")), "{log:?}");
     }
@@ -823,12 +920,18 @@ mod tests {
             fn on_udp(&mut self, _: &mut Ctx, _: HostAddr, _: &[u8]) {}
             fn on_tcp(&mut self, _: &mut Ctx, _: TcpEvent) {}
             fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-                self.log.borrow_mut().push(format!("t{token}@{}", ctx.now_ms));
+                self.log
+                    .borrow_mut()
+                    .push(format!("t{token}@{}", ctx.now_ms));
             }
         }
         let log: Log = Rc::default();
         let mut sim = NetSim::new(lossless());
-        let h = sim.add_host(addr(1), meta(true), Box::new(TimerHost { log: log.clone() }));
+        let h = sim.add_host(
+            addr(1),
+            meta(true),
+            Box::new(TimerHost { log: log.clone() }),
+        );
         sim.schedule_start(h, 0);
         sim.run_until(1_000);
         assert_eq!(*log.borrow(), vec!["t1@100", "t2@200", "t3@300"]);
@@ -837,7 +940,12 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_trace() {
         fn run(seed: u64) -> (u64, u64, u64) {
-            let mut sim = NetSim::new(SimConfig { seed, udp_loss: 0.3, jitter_ms: 10, ..SimConfig::default() });
+            let mut sim = NetSim::new(SimConfig {
+                seed,
+                udp_loss: 0.3,
+                jitter_ms: 10,
+                ..SimConfig::default()
+            });
             let log: Log = Rc::default();
             let mut hosts = Vec::new();
             for i in 1..=10u8 {
@@ -877,6 +985,9 @@ mod tests {
         sim.schedule_stop(h, 100);
         sim.schedule_start(h, 200);
         sim.run_until(1_000);
-        assert_eq!(*log.borrow(), vec!["a start@0", "a stop@100", "a start@200"]);
+        assert_eq!(
+            *log.borrow(),
+            vec!["a start@0", "a stop@100", "a start@200"]
+        );
     }
 }

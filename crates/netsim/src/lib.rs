@@ -20,11 +20,10 @@
 //! The design is event-driven in the smoltcp spirit: protocol state
 //! machines (discv4, RLPx, DEVp2p) stay sans-IO, and a [`Host`]
 //! implementation pumps bytes between them and the simulator.
+#![forbid(unsafe_code)]
 
 mod engine;
 mod topology;
 
-pub use engine::{
-    ConnId, Ctx, Host, HostAddr, HostId, NetSim, SimConfig, TcpEvent,
-};
+pub use engine::{ConnId, Ctx, Host, HostAddr, HostId, NetSim, SimConfig, TcpEvent};
 pub use topology::{latency_between, HostMeta, Region, COUNTRIES, REGION_OF_COUNTRY};

@@ -40,10 +40,10 @@ impl Region {
 /// RTT). Indexed `[from][to]`, symmetric.
 const LATENCY_MATRIX_MS: [[u32; 6]; 6] = [
     //  NA   EU   EA   SA   SAm  AF
-    [15, 45, 75, 95, 65, 85],  // NA
-    [45, 10, 90, 70, 95, 55],  // EU
-    [75, 90, 20, 45, 130, 110], // EA
-    [95, 70, 45, 25, 140, 80],  // SA
+    [15, 45, 75, 95, 65, 85],    // NA
+    [45, 10, 90, 70, 95, 55],    // EU
+    [75, 90, 20, 45, 130, 110],  // EA
+    [95, 70, 45, 25, 140, 80],   // SA
     [65, 95, 130, 140, 20, 120], // SAm
     [85, 55, 110, 80, 120, 30],  // AF
 ];
@@ -101,7 +101,12 @@ pub struct HostMeta {
 impl HostMeta {
     /// A reachable US cloud host — the modal node in Fig 12/13.
     pub fn default_cloud() -> HostMeta {
-        HostMeta { country: "US", asn: "Amazon", region: Region::NorthAmerica, reachable: true }
+        HostMeta {
+            country: "US",
+            asn: "Amazon",
+            region: Region::NorthAmerica,
+            reachable: true,
+        }
     }
 }
 

@@ -41,7 +41,12 @@ impl Host for Chatter {
 }
 
 fn build(seed: u64, n: u8, loss: f64, churn: &[(u8, u64, u64)]) -> (u64, u64, u64) {
-    let mut sim = NetSim::new(SimConfig { seed, udp_loss: loss, jitter_ms: 5, ..SimConfig::default() });
+    let mut sim = NetSim::new(SimConfig {
+        seed,
+        udp_loss: loss,
+        jitter_ms: 5,
+        ..SimConfig::default()
+    });
     let received = Arc::new(AtomicU64::new(0));
     let mut hosts = Vec::new();
     for i in 0..n {
@@ -59,7 +64,10 @@ fn build(seed: u64, n: u8, loss: f64, churn: &[(u8, u64, u64)]) -> (u64, u64, u6
         let h = sim.add_host(
             HostAddr::new(Ipv4Addr::new(10, 0, 0, i + 1), 30303),
             meta,
-            Box::new(Chatter { target, received: received.clone() }),
+            Box::new(Chatter {
+                target,
+                received: received.clone(),
+            }),
         );
         sim.schedule_start(h, (i as u64) * 100);
         hosts.push(h);
@@ -71,7 +79,11 @@ fn build(seed: u64, n: u8, loss: f64, churn: &[(u8, u64, u64)]) -> (u64, u64, u6
     }
     sim.run_until(90_000);
     let (sent, dropped) = sim.udp_counters();
-    (sim.events_processed(), sent.max(dropped), received.load(Ordering::Relaxed))
+    (
+        sim.events_processed(),
+        sent.max(dropped),
+        received.load(Ordering::Relaxed),
+    )
 }
 
 proptest! {

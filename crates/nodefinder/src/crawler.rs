@@ -14,7 +14,7 @@ use ethwire::{
 use kad::Metric;
 use netsim::{ConnId, Ctx, Host, HostAddr, TcpEvent};
 use rand::Rng;
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 const T_LOOKUP: u64 = 1;
 const T_DIAL: u64 = 2;
@@ -107,7 +107,7 @@ pub struct NodeFinder {
     disc: Option<Discv4>,
     conns: BTreeMap<ConnId, Probe>,
     dynamic_queue: VecDeque<NodeRecord>,
-    queued: HashSet<NodeId>,
+    queued: BTreeSet<NodeId>,
     static_nodes: BTreeMap<NodeId, StaticEntry>,
     dialing: usize,
     poll_armed: bool,
@@ -129,7 +129,7 @@ impl NodeFinder {
             disc: None,
             conns: BTreeMap::new(),
             dynamic_queue: VecDeque::new(),
-            queued: HashSet::new(),
+            queued: BTreeSet::new(),
             static_nodes: BTreeMap::new(),
             dialing: 0,
             poll_armed: false,
@@ -184,7 +184,13 @@ impl NodeFinder {
     }
 
     fn event(&mut self, ts: u64, node_id: NodeId, ip: std::net::Ipv4Addr, kind: DialEventKind) {
-        self.log.events.push(DialEvent { instance: self.config.instance, ts_ms: ts, node_id, ip, kind });
+        self.log.events.push(DialEvent {
+            instance: self.config.instance,
+            ts_ms: ts,
+            node_id,
+            ip,
+            kind,
+        });
     }
 
     fn send_disc(&mut self, ctx: &mut Ctx, outgoing: Vec<discv4::Outgoing>) {
@@ -198,7 +204,9 @@ impl NodeFinder {
     }
 
     fn drain_disc_events(&mut self, ctx: &mut Ctx) {
-        let Some(disc) = self.disc.as_mut() else { return };
+        let Some(disc) = self.disc.as_mut() else {
+            return;
+        };
         let events = disc.take_events();
         let own = self.node_id();
         for ev in events {
@@ -209,7 +217,12 @@ impl NodeFinder {
             if record.id == own || record.endpoint.tcp_port == 0 {
                 continue;
             }
-            self.event(ctx.now_ms, record.id, record.endpoint.ip, DialEventKind::DiscoverySighting);
+            self.event(
+                ctx.now_ms,
+                record.id,
+                record.endpoint.ip,
+                DialEventKind::DiscoverySighting,
+            );
             // New nodes go to the dynamic queue unless already tracked.
             if !self.static_nodes.contains_key(&record.id) && self.queued.insert(record.id) {
                 self.dynamic_queue.push_back(record);
@@ -266,7 +279,9 @@ impl NodeFinder {
     /// A probe finished (or died): close the socket, finalize the log
     /// entry, update the static list.
     fn finish_probe(&mut self, ctx: &mut Ctx, conn: ConnId, polite: bool) {
-        let Some(mut probe) = self.conns.remove(&conn) else { return };
+        let Some(mut probe) = self.conns.remove(&conn) else {
+            return;
+        };
         if probe.conn_type == ConnType::DynamicDial && !probe.done {
             self.dialing = self.dialing.saturating_sub(1);
         }
@@ -285,14 +300,16 @@ impl NodeFinder {
             // conns say nothing about whether the node accepts inbound TCP.
             // Fig 7 counts nodes responding to *dynamic* dials.
             if responded && probe.conn_type == ConnType::DynamicDial {
-                self.event(ctx.now_ms, id, probe.record.ip, DialEventKind::DialResponded);
+                self.event(
+                    ctx.now_ms,
+                    id,
+                    probe.record.ip,
+                    DialEventKind::DialResponded,
+                );
             }
             // Successful TCP contact → (re)join the StaticNodes list.
             if probe.conn_type != ConnType::Incoming || responded {
-                let record = NodeRecord::new(
-                    id,
-                    Endpoint::new(probe.record.ip, probe.record.port),
-                );
+                let record = NodeRecord::new(id, Endpoint::new(probe.record.ip, probe.record.port));
                 let now = ctx.now_ms;
                 let interval = self.config.static_redial_interval_ms;
                 let entry = self.static_nodes.entry(id).or_insert(StaticEntry {
@@ -315,7 +332,9 @@ impl NodeFinder {
         let rtt = ctx.rtt_ms(conn);
         let ours = self.our_status();
         let chain = self.chain.clone();
-        let Some(probe) = self.conns.get_mut(&conn) else { return };
+        let Some(probe) = self.conns.get_mut(&conn) else {
+            return;
+        };
         if rtt > 0 {
             probe.record.latency_ms = rtt;
         }
@@ -382,7 +401,12 @@ impl NodeFinder {
                     }
                 }
             }
-            WireEvent::Eth(EthMessage::GetBlockHeaders { start, max_headers, skip, reverse }) => {
+            WireEvent::Eth(EthMessage::GetBlockHeaders {
+                start,
+                max_headers,
+                skip,
+                reverse,
+            }) => {
                 // Behave like a normal peer while the probe runs.
                 let start_num = match start {
                     BlockId::Number(n) => Some(n),
@@ -427,8 +451,19 @@ impl Host for NodeFinder {
 
     fn on_start(&mut self, ctx: &mut Ctx) {
         let addr = ctx.local_addr();
-        let endpoint = Endpoint { ip: addr.ip, udp_port: addr.port, tcp_port: addr.port };
-        let mut disc = Discv4::new(self.key, endpoint, DiscConfig { metric: Metric::GethLog2, ..DiscConfig::default() });
+        let endpoint = Endpoint {
+            ip: addr.ip,
+            udp_port: addr.port,
+            tcp_port: addr.port,
+        };
+        let mut disc = Discv4::new(
+            self.key,
+            endpoint,
+            DiscConfig {
+                metric: Metric::GethLog2,
+                ..DiscConfig::default()
+            },
+        );
         let mut outgoing = Vec::new();
         let now = ctx.now_ms;
         for b in self.bootstrap.clone() {
@@ -453,8 +488,14 @@ impl Host for NodeFinder {
     }
 
     fn on_udp(&mut self, ctx: &mut Ctx, from: HostAddr, datagram: &[u8]) {
-        let Some(disc) = self.disc.as_mut() else { return };
-        let from_ep = Endpoint { ip: from.ip, udp_port: from.port, tcp_port: from.port };
+        let Some(disc) = self.disc.as_mut() else {
+            return;
+        };
+        let from_ep = Endpoint {
+            ip: from.ip,
+            udp_port: from.port,
+            tcp_port: from.port,
+        };
         let outgoing = disc.on_datagram(from_ep, datagram, ctx.now_ms);
         self.send_disc(ctx, outgoing);
         self.drain_disc_events(ctx);
@@ -472,7 +513,12 @@ impl Host for NodeFinder {
                 for f in frames {
                     ctx.tcp_send(conn, f);
                 }
-                if self.conns.get(&conn).map(|p| p.pc.is_dead()).unwrap_or(false) {
+                if self
+                    .conns
+                    .get(&conn)
+                    .map(|p| p.pc.is_dead())
+                    .unwrap_or(false)
+                {
                     self.finish_probe(ctx, conn, false);
                 }
             }
@@ -515,7 +561,9 @@ impl Host for NodeFinder {
             }
             TcpEvent::Data { conn, bytes } => {
                 let key = self.key;
-                let Some(probe) = self.conns.get_mut(&conn) else { return };
+                let Some(probe) = self.conns.get_mut(&conn) else {
+                    return;
+                };
                 let (events, out) = probe.pc.on_data(ctx.rng(), &key, &bytes);
                 for f in out {
                     ctx.tcp_send(conn, f);
@@ -523,7 +571,12 @@ impl Host for NodeFinder {
                 for e in events {
                     self.handle_wire_event(ctx, conn, e);
                 }
-                if self.conns.get(&conn).map(|p| p.pc.is_dead()).unwrap_or(false) {
+                if self
+                    .conns
+                    .get(&conn)
+                    .map(|p| p.pc.is_dead())
+                    .unwrap_or(false)
+                {
                     self.finish_probe(ctx, conn, false);
                 }
             }
@@ -558,7 +611,9 @@ impl Host for NodeFinder {
             T_DIAL => {
                 self.dial_armed = false;
                 while self.dialing < self.config.max_active_dials {
-                    let Some(record) = self.dynamic_queue.pop_front() else { break };
+                    let Some(record) = self.dynamic_queue.pop_front() else {
+                        break;
+                    };
                     if self.static_nodes.contains_key(&record.id) {
                         self.queued.remove(&record.id);
                         continue;
@@ -576,7 +631,9 @@ impl Host for NodeFinder {
                 let stale: Vec<NodeId> = self
                     .static_nodes
                     .iter()
-                    .filter(|(_, e)| now.saturating_sub(e.last_success_ms) > self.config.stale_after_ms)
+                    .filter(|(_, e)| {
+                        now.saturating_sub(e.last_success_ms) > self.config.stale_after_ms
+                    })
                     .map(|(id, _)| *id)
                     .collect();
                 for id in stale {
@@ -616,7 +673,9 @@ impl Host for NodeFinder {
                         // only stuck handshakes are reaped.
                         !(self.config.hold_connections && p.pc.is_active())
                     })
-                    .filter(|(_, p)| now.saturating_sub(p.record.ts_ms) > self.config.probe_timeout_ms)
+                    .filter(|(_, p)| {
+                        now.saturating_sub(p.record.ts_ms) > self.config.probe_timeout_ms
+                    })
                     .map(|(c, _)| *c)
                     .collect();
                 for conn in expired {

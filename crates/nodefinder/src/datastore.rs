@@ -157,7 +157,10 @@ impl DataStore {
             obs.hello_count += 1;
             obs.hello = conn.hello.clone();
             let end = conn.ts_ms + conn.duration_ms;
-            obs.first_active_ms = Some(obs.first_active_ms.map_or(conn.ts_ms, |v| v.min(conn.ts_ms)));
+            obs.first_active_ms = Some(
+                obs.first_active_ms
+                    .map_or(conn.ts_ms, |v| v.min(conn.ts_ms)),
+            );
             obs.last_active_ms = Some(obs.last_active_ms.map_or(end, |v| v.max(end)));
         }
         if conn.status.is_some() {

@@ -20,6 +20,7 @@
 //!
 //! The [`mod@sanitize`] module implements §5.4's five-step filter that strips
 //! abusive node-ID spammers from the dataset.
+#![forbid(unsafe_code)]
 
 pub mod crawler;
 pub mod datastore;
@@ -28,5 +29,7 @@ pub mod sanitize;
 
 pub use crawler::{CrawlerConfig, NodeFinder};
 pub use datastore::{DataStore, NodeObservation};
-pub use log::{ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, HelloInfo, StatusInfo};
+pub use log::{
+    ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, HelloInfo, StatusInfo,
+};
 pub use sanitize::{sanitize, SanitizeParams, SanitizeReport};

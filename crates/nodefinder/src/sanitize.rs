@@ -74,7 +74,10 @@ pub fn sanitize(store: &DataStore, params: SanitizeParams) -> (DataStore, Saniti
     for obs in store.nodes.values() {
         if obs.active_span_ms() < params.short_lived_ms {
             for ip in &obs.ips {
-                by_ip.entry(*ip).or_default().push((obs.first_seen_ms, obs.id));
+                by_ip
+                    .entry(*ip)
+                    .or_default()
+                    .push((obs.first_seen_ms, obs.id));
             }
         }
     }
@@ -104,8 +107,7 @@ pub fn sanitize(store: &DataStore, params: SanitizeParams) -> (DataStore, Saniti
     let mut sanitized = DataStore::default();
     let mut removed_nodes = BTreeSet::new();
     for (id, obs) in &store.nodes {
-        let all_abusive =
-            !obs.ips.is_empty() && obs.ips.iter().all(|ip| abusive_ips.contains(ip));
+        let all_abusive = !obs.ips.is_empty() && obs.ips.iter().all(|ip| abusive_ips.contains(ip));
         let is_nodefinder = obs
             .hello
             .as_ref()
@@ -206,7 +208,9 @@ mod tests {
     #[test]
     fn few_nodes_per_ip_not_flagged() {
         let ip = Ipv4Addr::new(9, 9, 9, 9);
-        let observations = (0..2u16).map(|i| obs(i, ip, i as u64 * 1000, 100)).collect();
+        let observations = (0..2u16)
+            .map(|i| obs(i, ip, i as u64 * 1000, 100))
+            .collect();
         let store = store_of(observations);
         let (_, report) = sanitize(&store, SanitizeParams::paper());
         assert!(report.abusive_ips.is_empty());
@@ -216,8 +220,9 @@ mod tests {
     fn long_lived_nodes_on_spam_ip_survive_if_also_elsewhere() {
         let spam_ip = Ipv4Addr::new(1, 1, 1, 1);
         let clean_ip = Ipv4Addr::new(2, 2, 2, 2);
-        let mut observations: Vec<NodeObservation> =
-            (0..10u16).map(|i| obs(i, spam_ip, i as u64 * 60_000, 1000)).collect();
+        let mut observations: Vec<NodeObservation> = (0..10u16)
+            .map(|i| obs(i, spam_ip, i as u64 * 60_000, 1000))
+            .collect();
         // One short-lived node seen at both the spam IP and a clean IP.
         let mut dual = obs(500, spam_ip, 0, 1000);
         dual.ips.insert(clean_ip);

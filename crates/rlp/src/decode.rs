@@ -28,7 +28,11 @@ struct Header {
 fn parse_header(buf: &[u8]) -> Result<Header, RlpError> {
     let first = *buf.first().ok_or(RlpError::Truncated)?;
     let h = match first {
-        0x00..=0x7f => Header { payload_start: 0, payload_len: 1, is_list: false },
+        0x00..=0x7f => Header {
+            payload_start: 0,
+            payload_len: 1,
+            is_list: false,
+        },
         0x80..=0xb7 => {
             let len = (first - 0x80) as usize;
             if len == 1 {
@@ -38,7 +42,11 @@ fn parse_header(buf: &[u8]) -> Result<Header, RlpError> {
                     return Err(RlpError::NonCanonical);
                 }
             }
-            Header { payload_start: 1, payload_len: len, is_list: false }
+            Header {
+                payload_start: 1,
+                payload_len: len,
+                is_list: false,
+            }
         }
         0xb8..=0xbf => {
             let len_of_len = (first - 0xb7) as usize;
@@ -46,11 +54,19 @@ fn parse_header(buf: &[u8]) -> Result<Header, RlpError> {
             if len <= 55 {
                 return Err(RlpError::NonCanonical);
             }
-            Header { payload_start: 1 + len_of_len, payload_len: len, is_list: false }
+            Header {
+                payload_start: 1 + len_of_len,
+                payload_len: len,
+                is_list: false,
+            }
         }
         0xc0..=0xf7 => {
             let len = (first - 0xc0) as usize;
-            Header { payload_start: 1, payload_len: len, is_list: true }
+            Header {
+                payload_start: 1,
+                payload_len: len,
+                is_list: true,
+            }
         }
         0xf8..=0xff => {
             let len_of_len = (first - 0xf7) as usize;
@@ -58,7 +74,11 @@ fn parse_header(buf: &[u8]) -> Result<Header, RlpError> {
             if len <= 55 {
                 return Err(RlpError::NonCanonical);
             }
-            Header { payload_start: 1 + len_of_len, payload_len: len, is_list: true }
+            Header {
+                payload_start: 1 + len_of_len,
+                payload_len: len,
+                is_list: true,
+            }
         }
     };
     if buf.len() < h.payload_start + h.payload_len {
@@ -173,7 +193,9 @@ impl<'a> Rlp<'a> {
     /// Iterate the children of a list item. Malformed children terminate the
     /// iteration (use [`Rlp::item_count`] first to validate).
     pub fn iter(&self) -> RlpIter<'a> {
-        RlpIter { payload: self.list_payload().unwrap_or(&[]) }
+        RlpIter {
+            payload: self.list_payload().unwrap_or(&[]),
+        }
     }
 
     /// Decode the item as `T`.
@@ -221,7 +243,10 @@ impl<'a> Rlp<'a> {
     pub fn as_array<const N: usize>(&self) -> Result<[u8; N], RlpError> {
         let data = self.data()?;
         if data.len() != N {
-            return Err(RlpError::BadLength { expected: N, actual: data.len() });
+            return Err(RlpError::BadLength {
+                expected: N,
+                actual: data.len(),
+            });
         }
         let mut out = [0u8; N];
         out.copy_from_slice(data);
@@ -258,15 +283,27 @@ mod tests {
     fn header_forms() {
         assert_eq!(
             parse_header(&[0x05]).unwrap(),
-            Header { payload_start: 0, payload_len: 1, is_list: false }
+            Header {
+                payload_start: 0,
+                payload_len: 1,
+                is_list: false
+            }
         );
         assert_eq!(
             parse_header(&[0x82, 1, 2]).unwrap(),
-            Header { payload_start: 1, payload_len: 2, is_list: false }
+            Header {
+                payload_start: 1,
+                payload_len: 2,
+                is_list: false
+            }
         );
         assert_eq!(
             parse_header(&[0xc2, 0x01, 0x02]).unwrap(),
-            Header { payload_start: 1, payload_len: 2, is_list: true }
+            Header {
+                payload_start: 1,
+                payload_len: 2,
+                is_list: true
+            }
         );
     }
 
@@ -277,7 +314,10 @@ mod tests {
 
     #[test]
     fn long_length_with_zero_msb_rejected() {
-        assert_eq!(parse_header(&[0xb9, 0x00, 0x40]), Err(RlpError::NonCanonical));
+        assert_eq!(
+            parse_header(&[0xb9, 0x00, 0x40]),
+            Err(RlpError::NonCanonical)
+        );
     }
 
     #[test]

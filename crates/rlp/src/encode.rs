@@ -25,7 +25,10 @@ impl Default for RlpStream {
 impl RlpStream {
     /// Create a stream expecting a single (non-list) item.
     pub fn new() -> Self {
-        RlpStream { buf: Vec::with_capacity(64), open: Vec::new() }
+        RlpStream {
+            buf: Vec::with_capacity(64),
+            open: Vec::new(),
+        }
     }
 
     /// Create a stream whose top-level item is a list of `items` entries.
@@ -143,7 +146,9 @@ impl RlpStream {
             if top.1 > 0 {
                 return;
             }
-            let (start, _) = self.open.pop().unwrap();
+            let Some((start, _)) = self.open.pop() else {
+                return;
+            };
             let payload_len = self.buf.len() - start;
             let mut header = Vec::with_capacity(9);
             encode_list_header(&mut header, payload_len);
@@ -165,6 +170,8 @@ pub(crate) fn encode_str_header_into(out: &mut Vec<u8>, bytes: &[u8]) {
         }
         len => {
             let be = (len as u64).to_be_bytes();
+            #[allow(clippy::unwrap_used)]
+            // detlint: allow(R5) -- len > 55 here, so at least one byte is nonzero
             let first = be.iter().position(|&b| b != 0).unwrap();
             out.push(0xb7 + (8 - first) as u8);
             out.extend_from_slice(&be[first..]);
@@ -179,6 +186,8 @@ pub(crate) fn encode_list_header(out: &mut Vec<u8>, payload_len: usize) {
         out.push(0xc0 + payload_len as u8);
     } else {
         let be = (payload_len as u64).to_be_bytes();
+        #[allow(clippy::unwrap_used)]
+        // detlint: allow(R5) -- payload_len > 55 here, so at least one byte is nonzero
         let first = be.iter().position(|&b| b != 0).unwrap();
         out.push(0xf7 + (8 - first) as u8);
         out.extend_from_slice(&be[first..]);

@@ -52,7 +52,10 @@ impl fmt::Display for RlpError {
             RlpError::IndexOutOfBounds => write!(f, "rlp: list index out of bounds"),
             RlpError::BadInteger => write!(f, "rlp: invalid integer encoding"),
             RlpError::BadLength { expected, actual } => {
-                write!(f, "rlp: bad field length, expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "rlp: bad field length, expected {expected}, got {actual}"
+                )
             }
             RlpError::BadUtf8 => write!(f, "rlp: string is not valid utf-8"),
             RlpError::TrailingBytes => write!(f, "rlp: trailing bytes after item"),

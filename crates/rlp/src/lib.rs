@@ -40,6 +40,9 @@
 //! assert_eq!(r.at(0).unwrap().as_u64().unwrap(), 17);
 //! assert_eq!(r.at(1).unwrap().as_str().unwrap(), "abc");
 //! ```
+#![forbid(unsafe_code)]
+// Unit tests may panic on impossible states; production code may not.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod decode;
 mod encode;

@@ -1,8 +1,11 @@
 //! Property-based tests for the RLP codec: roundtrips, canonicality, and
 //! decoder robustness against arbitrary byte soup.
 
+// Tests assert on impossible-failure paths freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
-use rlp::{decode, encode, encode_list, decode_list, Rlp, RlpStream};
+use rlp::{decode, decode_list, encode, encode_list, Rlp, RlpStream};
 
 proptest! {
     #[test]

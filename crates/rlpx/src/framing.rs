@@ -52,6 +52,15 @@ pub struct FrameCodec {
     pending_body: Option<usize>,
 }
 
+impl std::fmt::Debug for FrameCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Cipher and MAC state are secrets; show only decoder progress.
+        f.debug_struct("FrameCodec")
+            .field("pending_body", &self.pending_body)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FrameCodec {
     /// Build from handshake secrets.
     pub fn new(secrets: Secrets) -> FrameCodec {
@@ -66,8 +75,10 @@ impl FrameCodec {
         }
     }
 
+    #[allow(clippy::unwrap_used)]
     fn mac_digest(state: &Keccak) -> [u8; 16] {
         let full = state.clone().finalize();
+        // detlint: allow(R5) -- keccak256 output is 32 bytes; `..16` is exact
         full[..16].try_into().unwrap()
     }
 
@@ -123,10 +134,13 @@ impl FrameCodec {
             if buf.len() < 32 {
                 return Ok(None);
             }
+            #[allow(clippy::unwrap_used)]
+            // detlint: allow(R5) -- buf.len() >= 32 checked above; slices are exact
             let header_ct: [u8; 16] = buf[..16].try_into().unwrap();
+            #[allow(clippy::unwrap_used)]
+            // detlint: allow(R5) -- buf.len() >= 32 checked above; slices are exact
             let claimed_mac: [u8; 16] = buf[16..32].try_into().unwrap();
-            let computed =
-                Self::update_mac(&self.mac_cipher, &mut self.ingress_mac, &header_ct);
+            let computed = Self::update_mac(&self.mac_cipher, &mut self.ingress_mac, &header_ct);
             if computed != claimed_mac {
                 return Err(FrameError::BadHeaderMac);
             }
@@ -141,12 +155,16 @@ impl FrameCodec {
             self.pending_body = Some(size);
         }
         // Phase 2: body.
-        let size = self.pending_body.unwrap();
+        let Some(size) = self.pending_body else {
+            return Ok(None);
+        };
         let padded = size.div_ceil(16) * 16;
         if buf.len() < padded + 16 {
             return Ok(None);
         }
         let body_ct = buf[..padded].to_vec();
+        #[allow(clippy::unwrap_used)]
+        // detlint: allow(R5) -- buf.len() >= padded + 16 checked above; slice is exact
         let claimed_mac: [u8; 16] = buf[padded..padded + 16].try_into().unwrap();
         self.ingress_mac.update(&body_ct);
         let seed = Self::mac_digest(&self.ingress_mac);
@@ -178,7 +196,9 @@ mod tests {
         let rk = SecretKey::from_bytes(&[0x22u8; 32]).unwrap();
         let mut init = Handshake::new(Role::Initiator, ik, &mut rng);
         let mut resp = Handshake::new(Role::Recipient, rk, &mut rng);
-        let auth = init.write_auth(&mut rng, &NodeId::from_secret_key(&rk)).unwrap();
+        let auth = init
+            .write_auth(&mut rng, &NodeId::from_secret_key(&rk))
+            .unwrap();
         let ack = resp.read_auth(&mut rng, &auth).unwrap();
         init.read_ack(&ack).unwrap();
         (

@@ -62,6 +62,15 @@ pub struct Secrets {
     pub peer_id: NodeId,
 }
 
+impl std::fmt::Debug for Secrets {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Everything but the peer id is key material; never print it.
+        f.debug_struct("Secrets")
+            .field("peer_id", &self.peer_id)
+            .finish_non_exhaustive()
+    }
+}
+
 const NONCE_LEN: usize = 32;
 const AUTH_VSN: u32 = 4;
 
@@ -79,6 +88,17 @@ pub struct Handshake {
     /// seeded with them.
     auth_bytes: Option<Vec<u8>>,
     ack_bytes: Option<Vec<u8>>,
+}
+
+impl std::fmt::Debug for Handshake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Keys and nonces stay out of logs; show only exchange progress.
+        f.debug_struct("Handshake")
+            .field("role", &self.role)
+            .field("auth_seen", &self.auth_bytes.is_some())
+            .field("ack_seen", &self.ack_bytes.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Handshake {
@@ -150,7 +170,11 @@ impl Handshake {
         }
         let plain = open_eip8(&self.static_key, auth)?;
         let r = Rlp::new(&plain);
-        if !r.is_list() || r.item_count().map_err(|_| HandshakeError::BadMessage("rlp"))? < 3 {
+        if !r.is_list()
+            || r.item_count()
+                .map_err(|_| HandshakeError::BadMessage("rlp"))?
+                < 3
+        {
             return Err(HandshakeError::BadMessage("auth needs >=3 fields"));
         }
         let sig_bytes: [u8; 65] = r
@@ -166,7 +190,9 @@ impl Handshake {
             .and_then(|i| i.as_array())
             .map_err(|_| HandshakeError::BadMessage("auth nonce"))?;
 
-        let initiator_pub = initiator_id.to_public_key().ok_or(HandshakeError::BadCrypto)?;
+        let initiator_pub = initiator_id
+            .to_public_key()
+            .ok_or(HandshakeError::BadCrypto)?;
         self.remote_static = Some(initiator_pub);
         self.remote_nonce = Some(nonce);
 
@@ -179,8 +205,8 @@ impl Handshake {
         for i in 0..32 {
             token[i] = static_shared[i] ^ nonce[i];
         }
-        let sig = RecoverableSignature::from_bytes(&sig_bytes)
-            .map_err(|_| HandshakeError::BadCrypto)?;
+        let sig =
+            RecoverableSignature::from_bytes(&sig_bytes).map_err(|_| HandshakeError::BadCrypto)?;
         let remote_ephemeral = recover(&token, &sig).map_err(|_| HandshakeError::BadCrypto)?;
         self.remote_ephemeral = Some(remote_ephemeral);
         self.auth_bytes = Some(auth.to_vec());
@@ -203,7 +229,11 @@ impl Handshake {
         }
         let plain = open_eip8(&self.static_key, ack)?;
         let r = Rlp::new(&plain);
-        if !r.is_list() || r.item_count().map_err(|_| HandshakeError::BadMessage("rlp"))? < 2 {
+        if !r.is_list()
+            || r.item_count()
+                .map_err(|_| HandshakeError::BadMessage("rlp"))?
+                < 2
+        {
             return Err(HandshakeError::BadMessage("ack needs >=2 fields"));
         }
         let ephemeral_id: NodeId = r
@@ -214,8 +244,11 @@ impl Handshake {
             .at(1)
             .and_then(|i| i.as_array())
             .map_err(|_| HandshakeError::BadMessage("ack nonce"))?;
-        self.remote_ephemeral =
-            Some(ephemeral_id.to_public_key().ok_or(HandshakeError::BadCrypto)?);
+        self.remote_ephemeral = Some(
+            ephemeral_id
+                .to_public_key()
+                .ok_or(HandshakeError::BadCrypto)?,
+        );
         self.remote_nonce = Some(nonce);
         self.ack_bytes = Some(ack.to_vec());
         Ok(())
@@ -282,10 +315,12 @@ impl Handshake {
     }
 }
 
+#[allow(clippy::unwrap_used)]
 fn keccak_pair(a: &[u8; 32], b: &[u8; 32]) -> [u8; 32] {
     let mut h = Keccak::v256();
     h.update(a);
     h.update(b);
+    // detlint: allow(R5) -- keccak-256 digests are always exactly 32 bytes
     h.finalize().try_into().unwrap()
 }
 
@@ -388,7 +423,10 @@ mod tests {
         let auth = init
             .write_auth(&mut rng, &NodeId::from_secret_key(&rk))
             .unwrap();
-        assert_eq!(resp.read_auth(&mut rng, &auth), Err(HandshakeError::Decrypt));
+        assert_eq!(
+            resp.read_auth(&mut rng, &auth),
+            Err(HandshakeError::Decrypt)
+        );
     }
 
     #[test]
@@ -430,7 +468,10 @@ mod tests {
             resp.read_auth(&mut rng, &auth[..auth.len() - 5]),
             Err(HandshakeError::Truncated)
         );
-        assert_eq!(resp.read_auth(&mut rng, &auth[..1]), Err(HandshakeError::Truncated));
+        assert_eq!(
+            resp.read_auth(&mut rng, &auth[..1]),
+            Err(HandshakeError::Truncated)
+        );
     }
 
     #[test]
@@ -451,8 +492,12 @@ mod tests {
         let (ik, rk) = pair();
         let mut h1 = Handshake::new(Role::Initiator, ik, &mut rng);
         let mut h2 = Handshake::new(Role::Initiator, ik, &mut rng);
-        let a1 = h1.write_auth(&mut rng, &NodeId::from_secret_key(&rk)).unwrap();
-        let a2 = h2.write_auth(&mut rng, &NodeId::from_secret_key(&rk)).unwrap();
+        let a1 = h1
+            .write_auth(&mut rng, &NodeId::from_secret_key(&rk))
+            .unwrap();
+        let a2 = h2
+            .write_auth(&mut rng, &NodeId::from_secret_key(&rk))
+            .unwrap();
         assert_ne!(a1, a2);
     }
 }

@@ -14,6 +14,9 @@
 //! Everything is sans-IO: [`Handshake`] consumes and produces byte blobs,
 //! [`FrameCodec`] turns messages into frames and back. The caller moves the
 //! bytes (over the simulator's TCP streams, or real sockets).
+#![forbid(unsafe_code)]
+// Unit tests may panic on impossible states; production code may not.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod framing;
 mod handshake;

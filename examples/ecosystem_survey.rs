@@ -30,11 +30,16 @@ fn main() {
     let key = SecretKey::from_bytes(&[55u8; 32]).expect("valid key");
     let crawler = NodeFinder::new(
         key,
-        CrawlerConfig { static_redial_interval_ms: 90_000, ..CrawlerConfig::default() },
+        CrawlerConfig {
+            static_redial_interval_ms: 90_000,
+            ..CrawlerConfig::default()
+        },
         world.bootstrap.clone(),
     );
     let addr = HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303);
-    let host = world.sim.add_host(addr, HostMeta::default_cloud(), Box::new(crawler));
+    let host = world
+        .sim
+        .add_host(addr, HostMeta::default_cloud(), Box::new(crawler));
     world.sim.schedule_start(host, 0);
     world.sim.run_until(6 * 60_000);
 
@@ -62,17 +67,32 @@ fn main() {
 
     // §6.1 funnel.
     let f = funnel(&store);
-    println!("funnel: {} IDs → {} HELLO → {} STATUS → {} Mainnet ({:.0}% useless)\n",
-        f.total_ids, f.hello_nodes, f.status_nodes, f.mainnet_nodes, 100.0 * f.useless_fraction);
+    println!(
+        "funnel: {} IDs → {} HELLO → {} STATUS → {} Mainnet ({:.0}% useless)\n",
+        f.total_ids,
+        f.hello_nodes,
+        f.status_nodes,
+        f.mainnet_nodes,
+        100.0 * f.useless_fraction
+    );
 
     // Table 3: services.
-    println!("{}", count_table("DEVp2p services", &services_table(&store), 10));
+    println!(
+        "{}",
+        count_table("DEVp2p services", &services_table(&store), 10)
+    );
 
     // Fig 9: networks.
     let nb = networks(&store);
-    println!("networks: {} distinct ids, {} distinct genesis hashes", nb.distinct_networks, nb.distinct_genesis);
+    println!(
+        "networks: {} distinct ids, {} distinct genesis hashes",
+        nb.distinct_networks, nb.distinct_genesis
+    );
     println!("{}", count_table("nodes per network", &nb.per_network, 8));
 
     // Table 4: clients among Mainnet peers.
-    println!("{}", count_table("Mainnet clients", &client_table(&store), 8));
+    println!(
+        "{}",
+        count_table("Mainnet clients", &client_table(&store), 8)
+    );
 }

@@ -30,11 +30,16 @@ fn main() {
         let key = SecretKey::from_bytes(&[60 + i; 32]).expect("valid key");
         let crawler = NodeFinder::new(
             key,
-            CrawlerConfig { static_redial_interval_ms: 90_000, ..CrawlerConfig::default() },
+            CrawlerConfig {
+                static_redial_interval_ms: 90_000,
+                ..CrawlerConfig::default()
+            },
             world.bootstrap.clone(),
         );
         let addr = HostAddr::new(Ipv4Addr::new(192, 17, 100, 1 + i), 30303);
-        let host = world.sim.add_host(addr, HostMeta::default_cloud(), Box::new(crawler));
+        let host = world
+            .sim
+            .add_host(addr, HostMeta::default_cloud(), Box::new(crawler));
         world.sim.schedule_start(host, 0);
         hosts.push(host);
     }
@@ -59,11 +64,17 @@ fn main() {
     println!("  Mainnet nodes (in+out) : {}", sc.nodefinder);
     println!("  …answered our dials    : {}", sc.nodefinder_reachable);
     println!("  …incoming-only (NATed) : {}", sc.nodefinder_unreachable);
-    println!("  advantage vs reachable-only crawling: {:.2}×\n", sc.advantage_factor);
+    println!(
+        "  advantage vs reachable-only crawling: {:.2}×\n",
+        sc.advantage_factor
+    );
 
     // Geography / AS (Figs 12–13) via the world-derived Geo database.
     let db = GeoDb::from_world(&world);
-    println!("{}", count_table("by country", &country_distribution(&store, &db), 8));
+    println!(
+        "{}",
+        count_table("by country", &country_distribution(&store, &db), 8)
+    );
     let ases = as_distribution(&store, &db);
     println!("{}", count_table("by AS", &ases, 8));
     println!("top-8 AS share: {:.1}%\n", top_as_share(&ases, 8));
@@ -78,6 +89,11 @@ fn main() {
     );
     let lat = latency_cdf(&store);
     if !lat.is_empty() {
-        println!("latency: p50={}ms p90={}ms over {} samples", lat.quantile(0.5), lat.quantile(0.9), lat.len());
+        println!(
+            "latency: p50={}ms p90={}ms over {} samples",
+            lat.quantile(0.5),
+            lat.quantile(0.9),
+            lat.len()
+        );
     }
 }

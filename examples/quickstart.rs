@@ -40,7 +40,9 @@ fn main() {
         world.bootstrap.clone(),
     );
     let addr = HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303);
-    let host = world.sim.add_host(addr, HostMeta::default_cloud(), Box::new(crawler));
+    let host = world
+        .sim
+        .add_host(addr, HostMeta::default_cloud(), Box::new(crawler));
     world.sim.schedule_start(host, 0);
 
     // 3. Run four simulated minutes.

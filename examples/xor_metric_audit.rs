@@ -27,10 +27,12 @@ fn main() {
     let mut y = [0u8; 32];
     y[31] = 0x0f; // XOR = 0b1111 = 2^4 − 1
     println!("constructed XOR = 2^4−1:");
-    println!("  geth {} vs parity {} — agree: {}\n",
+    println!(
+        "  geth {} vs parity {} — agree: {}\n",
         log_distance_geth(&x, &y),
         log_distance_parity(&x, &y),
-        metrics_agree(&x, &y));
+        metrics_agree(&x, &y)
+    );
 
     // 3. What it does to routing: fill one table per metric with the same
     //    500 random nodes and compare who each returns as "closest".
@@ -38,7 +40,10 @@ fn main() {
         .map(|_| {
             let mut id = [0u8; 64];
             rng.fill(&mut id[..]);
-            NodeRecord::new(NodeId(id), Endpoint::new(std::net::Ipv4Addr::new(10, 0, 0, 1), 30303))
+            NodeRecord::new(
+                NodeId(id),
+                Endpoint::new(std::net::Ipv4Addr::new(10, 0, 0, 1), 30303),
+            )
         })
         .collect();
     let local = NodeId([0xEEu8; 64]);
@@ -58,7 +63,11 @@ fn main() {
         .filter(|g| parity_closest.iter().any(|p| p.id == g.id))
         .count();
     println!("closest-16 sets for a random target:");
-    println!("  geth table size {} / parity table size {}", geth_table.len(), parity_table.len());
+    println!(
+        "  geth table size {} / parity table size {}",
+        geth_table.len(),
+        parity_table.len()
+    );
     println!(
         "  overlap between the two closest-16 answers: {overlap}/16 \
          (low overlap = Parity NEIGHBORS responses are useless to Geth's lookups)"
@@ -77,6 +86,12 @@ fn main() {
         parity_sum += log_distance_parity(&p, &q) as u64;
     }
     println!("\n{trials} random pairs:");
-    println!("  geth: {:.1}% at distance 256 (expect ~50%)", 100.0 * geth_at_256 as f64 / trials as f64);
-    println!("  parity: mean distance {:.1} (expect ~224)", parity_sum as f64 / trials as f64);
+    println!(
+        "  geth: {:.1}% at distance 256 (expect ~50%)",
+        100.0 * geth_at_256 as f64 / trials as f64
+    );
+    println!(
+        "  parity: mean distance {:.1} (expect ~224)",
+        parity_sum as f64 / trials as f64
+    );
 }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# The full local gate, in the order a reviewer should trust it:
+#
+#   1. rustfmt   -- formatting is canonical (no diff)
+#   2. clippy    -- workspace lint-clean; protocol crates additionally deny
+#                   unwrap/expect (see each crate's [lints] table)
+#   3. detlint   -- determinism & panic-safety rules R1-R6 (see DESIGN.md)
+#   4. tests     -- the whole workspace, including tests/static_analysis.rs
+#                   which re-runs detlint as a tier-1 test
+#
+# Everything runs offline: external deps are vendored under vendor/.
+# Clippy is best-effort -- some container images ship a toolchain without
+# the clippy component, and its absence must not mask the other gates.
+set -u
+cd "$(dirname "$0")/.."
+
+failures=0
+step() {
+    echo
+    echo "==> $1"
+    shift
+    if "$@"; then
+        echo "    OK"
+    else
+        echo "    FAILED: $1"
+        failures=$((failures + 1))
+    fi
+}
+
+step "cargo fmt --check" cargo fmt --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+    step "cargo clippy" cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo
+    echo "==> cargo clippy"
+    echo "    SKIPPED: clippy component not installed"
+fi
+
+step "detlint" cargo run -q -p detlint
+step "cargo test" cargo test --workspace -q
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "ci: $failures step(s) failed"
+    exit 1
+fi
+echo "ci: all steps passed"

@@ -45,6 +45,7 @@
 //!
 //! See `examples/` for fuller scenarios and `crates/bench/src/bin/` for
 //! the per-table/figure experiment binaries.
+#![forbid(unsafe_code)]
 
 pub use analysis;
 pub use devp2p;

@@ -8,7 +8,12 @@ use netsim::Region;
 use std::net::Ipv4Addr;
 
 fn meta(reachable: bool) -> HostMeta {
-    HostMeta { country: "US", asn: "Test", region: Region::NorthAmerica, reachable }
+    HostMeta {
+        country: "US",
+        asn: "Test",
+        region: Region::NorthAmerica,
+        reachable,
+    }
 }
 
 /// Two behavioral nodes on different chains must refuse each other after
@@ -16,7 +21,11 @@ fn meta(reachable: bool) -> HostMeta {
 /// UselessPeer (§3 observation 4).
 #[test]
 fn chain_mismatch_disconnect_reasons_are_client_specific() {
-    let mut sim = NetSim::new(SimConfig { udp_loss: 0.0, jitter_ms: 0, ..SimConfig::default() });
+    let mut sim = NetSim::new(SimConfig {
+        udp_loss: 0.0,
+        jitter_ms: 0,
+        ..SimConfig::default()
+    });
 
     let geth_key = SecretKey::from_bytes(&[1u8; 32]).unwrap();
     let parity_key = SecretKey::from_bytes(&[2u8; 32]).unwrap();
@@ -27,7 +36,11 @@ fn chain_mismatch_disconnect_reasons_are_client_specific() {
 
     // Geth on Mainnet; Parity on Ropsten (network 3).
     let geth = EthNode::new(
-        NodeProfile::geth(geth_key, "Geth/test".into(), Chain::new(ChainConfig::mainnet(), 100)),
+        NodeProfile::geth(
+            geth_key,
+            "Geth/test".into(),
+            Chain::new(ChainConfig::mainnet(), 100),
+        ),
         vec![],
     );
     let parity = EthNode::new(
@@ -39,9 +52,16 @@ fn chain_mismatch_disconnect_reasons_are_client_specific() {
         vec![geth_record], // parity bootstraps off geth and will dial it
     );
 
-    let geth_host = sim.add_host(HostAddr::new(Ipv4Addr::new(10, 0, 0, 1), 30303), meta(true), Box::new(geth));
-    let parity_host =
-        sim.add_host(HostAddr::new(Ipv4Addr::new(10, 0, 0, 2), 30303), meta(true), Box::new(parity));
+    let geth_host = sim.add_host(
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, 1), 30303),
+        meta(true),
+        Box::new(geth),
+    );
+    let parity_host = sim.add_host(
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, 2), 30303),
+        meta(true),
+        Box::new(parity),
+    );
     sim.schedule_start(geth_host, 0);
     sim.schedule_start(parity_host, 0);
     sim.run_until(120_000);
@@ -61,8 +81,18 @@ fn chain_mismatch_disconnect_reasons_are_client_specific() {
 
     // At least one side must have detected the mismatch and hung up with
     // its client-specific reason.
-    let geth_sent_subproto = geth.stats.disconnects_sent.get("Subprotocol error").copied().unwrap_or(0);
-    let parity_sent_useless = parity.stats.disconnects_sent.get("Useless peer").copied().unwrap_or(0);
+    let geth_sent_subproto = geth
+        .stats
+        .disconnects_sent
+        .get("Subprotocol error")
+        .copied()
+        .unwrap_or(0);
+    let parity_sent_useless = parity
+        .stats
+        .disconnects_sent
+        .get("Useless peer")
+        .copied()
+        .unwrap_or(0);
     assert!(
         geth_sent_subproto + parity_sent_useless > 0,
         "expected a chain-mismatch disconnect; geth sent {:?}, parity sent {:?}",
@@ -71,7 +101,12 @@ fn chain_mismatch_disconnect_reasons_are_client_specific() {
     );
     // And Parity never emits codes above 0x0b.
     assert_eq!(
-        parity.stats.disconnects_sent.get("Subprotocol error").copied().unwrap_or(0),
+        parity
+            .stats
+            .disconnects_sent
+            .get("Subprotocol error")
+            .copied()
+            .unwrap_or(0),
         0,
         "parity must never send SubprotocolError"
     );
@@ -81,7 +116,11 @@ fn chain_mismatch_disconnect_reasons_are_client_specific() {
 /// can't classify its network (§5.3's missing-node analysis).
 #[test]
 fn light_nodes_hello_but_never_status() {
-    let mut sim = NetSim::new(SimConfig { udp_loss: 0.0, jitter_ms: 0, ..SimConfig::default() });
+    let mut sim = NetSim::new(SimConfig {
+        udp_loss: 0.0,
+        jitter_ms: 0,
+        ..SimConfig::default()
+    });
 
     let light_key = SecretKey::from_bytes(&[3u8; 32]).unwrap();
     let light_record = NodeRecord::new(
@@ -89,15 +128,26 @@ fn light_nodes_hello_but_never_status() {
         Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 30303),
     );
     let light = EthNode::new(
-        NodeProfile::light(light_key, "Parity/v1.10.3-light".into(), Capability::new("les", 2)),
+        NodeProfile::light(
+            light_key,
+            "Parity/v1.10.3-light".into(),
+            Capability::new("les", 2),
+        ),
         vec![],
     );
     let crawler_key = SecretKey::from_bytes(&[4u8; 32]).unwrap();
     let crawler = NodeFinder::new(crawler_key, CrawlerConfig::default(), vec![light_record]);
 
-    let light_host = sim.add_host(HostAddr::new(Ipv4Addr::new(10, 0, 0, 1), 30303), meta(true), Box::new(light));
-    let crawler_host =
-        sim.add_host(HostAddr::new(Ipv4Addr::new(10, 0, 0, 2), 30303), meta(true), Box::new(crawler));
+    let light_host = sim.add_host(
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, 1), 30303),
+        meta(true),
+        Box::new(light),
+    );
+    let crawler_host = sim.add_host(
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, 2), 30303),
+        meta(true),
+        Box::new(crawler),
+    );
     sim.schedule_start(light_host, 0);
     sim.schedule_start(crawler_host, 0);
     sim.run_until(60_000);
@@ -124,7 +174,11 @@ fn light_nodes_hello_but_never_status() {
 /// header check — the crawler must classify both correctly.
 #[test]
 fn dao_check_separates_classic_from_mainnet() {
-    let mut sim = NetSim::new(SimConfig { udp_loss: 0.0, jitter_ms: 0, ..SimConfig::default() });
+    let mut sim = NetSim::new(SimConfig {
+        udp_loss: 0.0,
+        jitter_ms: 0,
+        ..SimConfig::default()
+    });
 
     let main_key = SecretKey::from_bytes(&[5u8; 32]).unwrap();
     let classic_key = SecretKey::from_bytes(&[6u8; 32]).unwrap();
@@ -138,11 +192,19 @@ fn dao_check_separates_classic_from_mainnet() {
     );
 
     let mainnet_node = EthNode::new(
-        NodeProfile::geth(main_key, "Geth/mainnet".into(), Chain::new(ChainConfig::mainnet(), ethwire::SNAPSHOT_HEAD)),
+        NodeProfile::geth(
+            main_key,
+            "Geth/mainnet".into(),
+            Chain::new(ChainConfig::mainnet(), ethwire::SNAPSHOT_HEAD),
+        ),
         vec![],
     );
     let classic_node = EthNode::new(
-        NodeProfile::geth(classic_key, "Geth/classic".into(), Chain::new(ChainConfig::classic(), ethwire::SNAPSHOT_HEAD)),
+        NodeProfile::geth(
+            classic_key,
+            "Geth/classic".into(),
+            Chain::new(ChainConfig::classic(), ethwire::SNAPSHOT_HEAD),
+        ),
         vec![],
     );
     let crawler_key = SecretKey::from_bytes(&[7u8; 32]).unwrap();
@@ -152,9 +214,21 @@ fn dao_check_separates_classic_from_mainnet() {
         vec![main_record, classic_record],
     );
 
-    let h1 = sim.add_host(HostAddr::new(Ipv4Addr::new(10, 0, 0, 1), 30303), meta(true), Box::new(mainnet_node));
-    let h2 = sim.add_host(HostAddr::new(Ipv4Addr::new(10, 0, 0, 2), 30303), meta(true), Box::new(classic_node));
-    let hc = sim.add_host(HostAddr::new(Ipv4Addr::new(10, 0, 0, 3), 30303), meta(true), Box::new(crawler));
+    let h1 = sim.add_host(
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, 1), 30303),
+        meta(true),
+        Box::new(mainnet_node),
+    );
+    let h2 = sim.add_host(
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, 2), 30303),
+        meta(true),
+        Box::new(classic_node),
+    );
+    let hc = sim.add_host(
+        HostAddr::new(Ipv4Addr::new(10, 0, 0, 3), 30303),
+        meta(true),
+        Box::new(crawler),
+    );
     for h in [h1, h2, hc] {
         sim.schedule_start(h, 0);
     }

@@ -1,0 +1,58 @@
+//! Tier-1 gate for the detlint rules: the build fails on any new violation.
+//!
+//! This is the enforcement half of the workspace's determinism policy
+//! (DESIGN.md § Determinism). `cargo run -p detlint` gives the same answer
+//! interactively; this test makes `cargo test` sufficient to catch a
+//! regression.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_has_no_new_detlint_violations() {
+    let (new, _baselined) =
+        detlint::check(workspace_root()).expect("detlint scan should read the workspace");
+    if !new.is_empty() {
+        let mut report = String::new();
+        for violation in &new {
+            report.push_str(&format!("  {violation}\n"));
+        }
+        panic!(
+            "\n{} new detlint violation(s):\n{report}\
+             Run `cargo run -p detlint -- --explain <rule>` for each rule's \
+             rationale and escape hatch.\n",
+            new.len()
+        );
+    }
+}
+
+#[test]
+fn baseline_is_empty() {
+    // The policy of this workspace is zero grandfathered debt; if a future
+    // emergency adds a baseline entry, this test makes that state loud.
+    let baseline = detlint::baseline::load(&workspace_root().join("detlint.baseline"))
+        .expect("baseline file should be readable");
+    assert!(
+        baseline.is_empty(),
+        "detlint.baseline has {} entr(ies); the policy is an empty baseline — \
+         fix or annotate the sites instead: {:?}",
+        baseline.len(),
+        baseline,
+    );
+}
+
+#[test]
+fn workspace_is_clean_even_without_the_baseline() {
+    // Stronger than the baseline-filtered check: the raw scan itself must
+    // come back empty, so the two tests together pin both "no new debt"
+    // and "no grandfathered debt".
+    let violations =
+        detlint::scan_workspace(workspace_root()).expect("scan should succeed on the workspace");
+    assert!(
+        violations.is_empty(),
+        "expected a fully clean workspace, found: {violations:?}"
+    );
+}

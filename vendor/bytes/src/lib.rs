@@ -1,0 +1,236 @@
+//! Offline, vendored stand-in for the parts of the `bytes` crate this
+//! workspace uses: a growable byte buffer with cheap front-consumption
+//! (`BytesMut`) and the `Buf` cursor trait. Implemented over `Vec<u8>`
+//! with a read offset; amortized-O(1) `advance`/`split_to` like upstream.
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-cursor over a byte container (mirrors `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes from the front.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+/// A mutable, growable byte buffer (mirrors `bytes::BytesMut`).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read offset: `buf[start..]` is the live region.
+    start: usize,
+}
+
+/// An immutable byte buffer (mirrors `bytes::Bytes`).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Append `extend` at the back.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.compact_if_wasteful();
+        self.buf.extend_from_slice(extend);
+    }
+
+    /// Length of the live region.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether the live region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off and return the first `at` bytes, keeping the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.len(),
+            "split_to out of bounds: {} > {}",
+            at,
+            self.len()
+        );
+        let front = self.as_slice()[..at].to_vec();
+        self.start += at;
+        self.compact_if_wasteful();
+        BytesMut {
+            buf: front,
+            start: 0,
+        }
+    }
+
+    /// Drop everything, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+
+    /// Freeze into an immutable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.as_slice().to_vec())
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Reclaim the consumed front region once it dominates the allocation.
+    fn compact_if_wasteful(&mut self) {
+        if self.start > 64 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(
+            cnt <= self.len(),
+            "advance out of bounds: {} > {}",
+            cnt,
+            self.len()
+        );
+        self.start += cnt;
+        self.compact_if_wasteful();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.buf[start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> BytesMut {
+        BytesMut {
+            buf: v.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> BytesMut {
+        BytesMut { buf, start: 0 }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl Bytes {
+    /// The content as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_then_read() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3]);
+        b.extend_from_slice(&[4, 5]);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn advance_consumes_front() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        b.advance(2);
+        assert_eq!(&b[..], &[3, 4]);
+        assert_eq!(b.remaining(), 2);
+        b.extend_from_slice(&[5]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn split_to_returns_front() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4, 5][..]);
+        let front = b.split_to(3);
+        assert_eq!(&front[..], &[1, 2, 3]);
+        assert_eq!(&b[..], &[4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_past_end_panics() {
+        let mut b = BytesMut::from(&[1u8][..]);
+        let _ = b.split_to(2);
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[0u8; 300]);
+        b.advance(200);
+        b.extend_from_slice(&[7u8; 10]);
+        assert_eq!(b.len(), 110);
+        assert_eq!(b[100..110], [7u8; 10]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline, vendored stand-in for the parts of `criterion` this workspace
+//! uses: `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, and `Bencher::iter`.
+//!
+//! This is a timer, not a statistics engine: each bench runs a bounded
+//! number of iterations and prints the mean wall time (plus throughput when
+//! declared). Good enough to catch order-of-magnitude regressions and to
+//! keep `cargo bench` working offline; not a replacement for upstream
+//! criterion's outlier analysis.
+//!
+//! detlint note: this crate is the one sanctioned home of `Instant::now()`
+//! (rule R1) — benchmarks measure wall time by definition. Simulation and
+//! protocol code must keep using virtual clocks.
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, matching criterion's public name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Declared input size, used to derive throughput from measured time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration input size for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time one routine. The closure receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        let mean = bencher.mean();
+        match (self.throughput, mean) {
+            (_, None) => println!("  {name:<28} (no iterations recorded)"),
+            (None, Some(mean)) => println!("  {name:<28} {}", fmt_duration(mean)),
+            (Some(Throughput::Bytes(bytes)), Some(mean)) => {
+                let rate = per_second(bytes, mean);
+                println!(
+                    "  {name:<28} {}  ({}/s)",
+                    fmt_duration(mean),
+                    fmt_bytes(rate)
+                );
+            }
+            (Some(Throughput::Elements(elems)), Some(mean)) => {
+                let rate = per_second(elems, mean);
+                println!("  {name:<28} {}  ({rate:.0} elem/s)", fmt_duration(mean));
+            }
+        }
+        self
+    }
+
+    /// End the group. (Upstream flushes reports here; the stand-in prints
+    /// eagerly, so this only exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark routine; times the closure passed to [`iter`].
+///
+/// [`iter`]: Bencher::iter
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record per-iteration wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        Some(total / self.samples.len() as u32)
+    }
+}
+
+fn per_second(units: u64, mean: Duration) -> f64 {
+    let secs = mean.as_secs_f64();
+    if secs > 0.0 {
+        units as f64 / secs
+    } else {
+        f64::INFINITY
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+fn fmt_bytes(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} GiB", rate / (1u64 << 30) as f64)
+    } else if rate >= 1e6 {
+        format!("{:.2} MiB", rate / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2} KiB", rate / (1u64 << 10) as f64)
+    }
+}
+
+/// Bundle benchmark functions into a runner callable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3).throughput(Throughput::Bytes(64));
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,67 @@
+//! `any::<T>()` — the canonical strategy for a type.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SampleStandard};
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+///
+/// Implemented via the vendored rand's [`SampleStandard`], which covers the
+/// integers, floats, `bool`, and fixed-size arrays the workspace generates.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: SampleStandard> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// The canonical strategy for `T` (full value range).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_covers_the_inventoried_types() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let _: u8 = any::<u8>().sample(&mut rng).unwrap();
+        let _: u64 = any::<u64>().sample(&mut rng).unwrap();
+        let _: bool = any::<bool>().sample(&mut rng).unwrap();
+        let _: [u8; 4] = any::<[u8; 4]>().sample(&mut rng).unwrap();
+        let _: [u8; 32] = any::<[u8; 32]>().sample(&mut rng).unwrap();
+    }
+
+    #[test]
+    fn bool_draws_both_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[any::<bool>().sample(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Fixed-size array strategies (`array::uniform16`, `array::uniform32`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// Strategy for `[S::Value; N]`, each element drawn independently.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S, const N: usize> std::fmt::Debug for UniformArray<S, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "UniformArray<_, {N}> {{ .. }}")
+    }
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut StdRng) -> Option<[S::Value; N]> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(self.element.sample(rng)?);
+        }
+        out.try_into().ok()
+    }
+}
+
+/// A `[T; 16]` strategy drawing each element from `element`.
+pub fn uniform16<S: Strategy>(element: S) -> UniformArray<S, 16> {
+    UniformArray { element }
+}
+
+/// A `[T; 32]` strategy drawing each element from `element`.
+pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+    UniformArray { element }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform32_respects_element_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let arr: [u8; 32] = uniform32(1u8..=255).sample(&mut rng).unwrap();
+        assert!(arr.iter().all(|&b| b >= 1));
+    }
+
+    #[test]
+    fn uniform16_has_sixteen_elements() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let arr: [u8; 16] = uniform16(0u8..=255).sample(&mut rng).unwrap();
+        assert_eq!(arr.len(), 16);
+    }
+}

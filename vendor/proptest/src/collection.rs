@@ -1,0 +1,103 @@
+//! Collection strategies (`collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange {
+            lo: r.start,
+            hi: r.end.saturating_sub(1).max(r.start),
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: (*r.end()).max(*r.start()),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> std::fmt::Debug for VecStrategy<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VecStrategy {{ size: {:?} }}", self.size)
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.sample(rng)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = vec(0u8..=255, 3..7);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng).unwrap();
+            assert!((3..=6).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn exclusive_range_upper_bound_is_exclusive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = vec(0u8..=255, 0..1);
+        for _ in 0..20 {
+            assert!(s.sample(&mut rng).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn nested_tuple_elements_work() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = vec((crate::any::<u8>(), crate::any::<u64>()), 1..4);
+        let v = s.sample(&mut rng).unwrap();
+        assert!(!v.is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! The [`Strategy`] trait and core combinators.
+//!
+//! A strategy samples a value from a seeded [`StdRng`]. `None` means the
+//! sample was rejected (e.g. by `prop_filter`); the runner retries the whole
+//! case with the next derived seed, counting it against the reject budget.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of generated values for property tests.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value, or `None` to reject this case.
+    fn sample(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns `true`.
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            _reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Map values through `f`, rejecting those where `f` returns `None`.
+    fn prop_filter_map<U, F>(self, reason: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            _reason: reason.into(),
+            f,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Map { .. }")
+    }
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    _reason: String,
+    f: F,
+}
+
+impl<S, F> std::fmt::Debug for Filter<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Filter { .. }")
+    }
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    _reason: String,
+    f: F,
+}
+
+impl<S, F> std::fmt::Debug for FilterMap<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FilterMap { .. }")
+    }
+}
+
+impl<S, F, U> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U>,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<U> {
+        self.inner.sample(rng).and_then(&self.f)
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Uniform choice among several strategies; built by [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union {{ {} options }}", self.options.len())
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<T> {
+        if self.options.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for ::core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                if self.is_empty() {
+                    return None;
+                }
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+
+        impl Strategy for ::core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                if self.is_empty() {
+                    return None;
+                }
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = (2u8..12).sample(&mut rng).unwrap();
+            assert!((2..12).contains(&v));
+            let f = (0.0f64..0.5).sample(&mut rng).unwrap();
+            assert!((0.0..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn empty_range_rejects() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((5u8..5).sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = (0u32..100)
+            .prop_map(|v| v * 2)
+            .prop_filter("keep multiples of 4", |v| v % 4 == 0);
+        let mut kept = 0;
+        for _ in 0..100 {
+            if let Some(v) = s.sample(&mut rng) {
+                assert_eq!(v % 4, 0);
+                kept += 1;
+            }
+        }
+        assert!(kept > 10);
+    }
+
+    #[test]
+    fn union_draws_from_all_arms() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[u.sample(&mut rng).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn tuples_sample_componentwise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (a, b) = (0u8..10, 10u8..20).sample(&mut rng).unwrap();
+        assert!(a < 10 && (10..20).contains(&b));
+    }
+}

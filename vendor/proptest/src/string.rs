@@ -1,0 +1,58 @@
+//! String strategies: `&'static str` patterns.
+//!
+//! Upstream proptest treats `&str` as a regex. This stand-in supports the
+//! single shape the workspace uses — `.{lo,hi}` (a printable-ASCII string of
+//! bounded length) — and treats anything else as a literal string.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const PRINTABLE: (u8, u8) = (0x20, 0x7e);
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<String> {
+        match parse_dot_repeat(self) {
+            Some((lo, hi)) => {
+                let len = rng.gen_range(lo..=hi.max(lo));
+                let mut out = String::with_capacity(len);
+                for _ in 0..len {
+                    out.push(rng.gen_range(PRINTABLE.0..=PRINTABLE.1) as char);
+                }
+                Some(out)
+            }
+            None => Some((*self).to_string()),
+        }
+    }
+}
+
+/// Parse the `.{lo,hi}` pattern; `None` means "treat as literal".
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dot_repeat_generates_bounded_printable_ascii() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            let s = ".{0,16}".sample(&mut rng).unwrap();
+            assert!(s.len() <= 16);
+            assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn non_pattern_is_literal() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert_eq!("geth/v1.8".sample(&mut rng).unwrap(), "geth/v1.8");
+    }
+}

@@ -1,0 +1,132 @@
+//! The case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Only the knobs the workspace uses are present.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected (filter/assume); try another seed.
+    Reject,
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+/// Run `case` until `config.cases` successes, panicking on the first
+/// failure. Seeds are derived deterministically from the test name, so a
+/// failure reproduces on every run with no persistence file.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a64(name.as_bytes());
+    let max_rejects = u64::from(config.cases).saturating_mul(64).max(1024);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut attempt: u64 = 0;
+    while passed < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejected} rejects for {passed} passes) — \
+                         loosen the strategy or the filters"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed after {passed} passing cases \
+                     (seed {seed:#018x}):\n{msg}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_completes_the_requested_cases() {
+        let mut seen = 0u32;
+        run(&ProptestConfig::with_cases(10), "counter", |_rng| {
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_passes() {
+        let mut calls = 0u32;
+        run(&ProptestConfig::with_cases(5), "rejecting", |_rng| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failure_panics_with_seed() {
+        run(&ProptestConfig::with_cases(5), "failing", |_rng| {
+            Err(TestCaseError::Fail("boom".to_string()))
+        });
+    }
+
+    #[test]
+    fn seeds_are_stable_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        run(&ProptestConfig::with_cases(4), "stable", |rng| {
+            first.push(rand::Rng::gen::<u64>(rng));
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        run(&ProptestConfig::with_cases(4), "stable", |rng| {
+            second.push(rand::Rng::gen::<u64>(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

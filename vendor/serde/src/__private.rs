@@ -1,0 +1,166 @@
+//! Support machinery shared by the derive macro and `serde_json`.
+//! Everything here is an implementation detail of the vendored serde stack.
+
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, Serializer};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// The JSON-shaped data model every (de)serialization passes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer (covers `u128`).
+    UInt(u128),
+    /// Negative integer (covers `i128`).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs (keys are strings in JSON).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// String-message error used while building `Value` trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message(pub String);
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Message {}
+
+impl ser::Error for Message {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Message(msg.to_string())
+    }
+}
+
+impl de::Error for Message {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Message(msg.to_string())
+    }
+}
+
+/// Serializer that materializes the value tree.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Message;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Message> {
+        Ok(value)
+    }
+}
+
+/// Serialize any `Serialize` type to a `Value`.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Message> {
+    value.serialize(ValueSerializer)
+}
+
+/// Serialize a field to a `Value`, adapting the error type to the caller's
+/// serializer. Used by derived `Serialize` impls.
+pub fn field_to_value<T: Serialize + ?Sized, E: ser::Error>(
+    name: &str,
+    value: &T,
+) -> Result<Value, E> {
+    to_value(value).map_err(|e| E::custom(format_args!("field `{name}`: {e}")))
+}
+
+/// Deserializer that surrenders an already-parsed value tree, generic over
+/// the caller's error type.
+#[derive(Debug)]
+pub struct ValueDeserializer<E> {
+    value: Value,
+    marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wrap a value tree.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserialize a `T` out of a value tree with the caller's error type.
+pub fn from_value<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+/// Pull a named field out of an object, `Null` if absent. Used by derived
+/// `Deserialize` impls (absent + `Option` field ⇒ `None`, matching serde).
+pub fn take_field(map: &mut Vec<(Value, Value)>, name: &str) -> Value {
+    let idx = map
+        .iter()
+        .position(|(k, _)| matches!(k, Value::Str(s) if s == name));
+    match idx {
+        Some(i) => map.swap_remove(i).1,
+        None => Value::Null,
+    }
+}
+
+/// Deserialize a struct field, labelling errors with the field name.
+pub fn field_from_value<'de, T: Deserialize<'de>, E: de::Error>(
+    map: &mut Vec<(Value, Value)>,
+    name: &str,
+) -> Result<T, E> {
+    from_value(take_field(map, name)).map_err(|e: E| E::custom(format_args!("field `{name}`: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_field_absent_is_null() {
+        let mut m = vec![(Value::Str("a".into()), Value::Bool(true))];
+        assert_eq!(take_field(&mut m, "b"), Value::Null);
+        assert_eq!(take_field(&mut m, "a"), Value::Bool(true));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn to_value_roundtrips_primitives() {
+        assert_eq!(to_value(&7u64).unwrap(), Value::UInt(7));
+        assert_eq!(to_value("hi").unwrap(), Value::Str("hi".into()));
+        let v: Result<u64, Message> = from_value(Value::UInt(7));
+        assert_eq!(v.unwrap(), 7);
+    }
+}

@@ -1,0 +1,26 @@
+//! Deserialization half of the trait surface.
+
+use crate::__private::Value;
+use std::fmt::Display;
+
+/// Error constraint for deserializers (mirrors `serde::de::Error`).
+pub trait Error: Sized + Display {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format deserializer. JSON-shaped in this vendored stand-in: the
+/// one required method surrenders the parsed [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consume the deserializer, yielding its value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A deserializable type (mirrors `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize an instance from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}

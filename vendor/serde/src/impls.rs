@@ -1,0 +1,357 @@
+//! `Serialize`/`Deserialize` implementations for the std types the
+//! workspace persists.
+
+use crate::__private::{from_value, to_value, Value};
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, Serializer};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+// ---- primitives ------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::UInt(*self as u128))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i128;
+                if v >= 0 {
+                    serializer.serialize_value(Value::UInt(v as u128))
+                } else {
+                    serializer.serialize_value(Value::Int(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::UInt(v) => <$t>::try_from(v)
+                        .map_err(|_| de::Error::custom(format_args!(
+                            "integer {} out of range for {}", v, stringify!($t)))),
+                    other => Err(de::Error::custom(format_args!(
+                        "expected integer, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide: i128 = match deserializer.take_value()? {
+                    Value::UInt(v) => i128::try_from(v).map_err(|_| {
+                        de::Error::custom(format_args!("integer {v} out of range"))
+                    })?,
+                    Value::Int(v) => v,
+                    other => {
+                        return Err(de::Error::custom(format_args!(
+                            "expected integer, found {}", other.kind())))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| de::Error::custom(format_args!(
+                    "integer {} out of range for {}", wide, stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, i128, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format_args!(
+                "expected boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Float(v) => Ok(v),
+            Value::UInt(v) => Ok(v as f64),
+            Value::Int(v) => Ok(v as f64),
+            other => Err(de::Error::custom(format_args!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format_args!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---- containers ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => {
+                let inner = to_value(v).map_err(ser::Error::custom)?;
+                serializer.serialize_value(inner)
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(to_value(item).map_err(ser::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Seq(seq))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+fn expect_seq<E: de::Error>(value: Value) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Seq(items) => Ok(items),
+        other => Err(de::Error::custom(format_args!(
+            "expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect_seq(deserializer.take_value()?)?
+            .into_iter()
+            .map(from_value)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = expect_seq(deserializer.take_value()?)?;
+        if items.len() != N {
+            return Err(de::Error::custom(format_args!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items
+            .into_iter()
+            .map(from_value)
+            .collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| de::Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(to_value(item).map_err(ser::Error::custom)?);
+        }
+        serializer.serialize_value(Value::Seq(seq))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect_seq(deserializer.take_value()?)?
+            .into_iter()
+            .map(from_value)
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            map.push((
+                to_value(k).map_err(ser::Error::custom)?,
+                to_value(v).map_err(ser::Error::custom)?,
+            ));
+        }
+        serializer.serialize_value(Value::Map(map))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((from_value(k)?, from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::custom(format_args!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---- std::net --------------------------------------------------------------
+
+impl Serialize for Ipv4Addr {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse()
+            .map_err(|_| de::Error::custom(format_args!("invalid IPv4 address `{s}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::__private::Message;
+
+    fn rt<T>(v: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        let val = to_value(v).unwrap();
+        from_value::<T, Message>(val).unwrap()
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(rt(&42u64), 42);
+        assert_eq!(rt(&-7i32), -7);
+        assert!(rt(&true));
+        assert_eq!(rt(&"hi".to_string()), "hi");
+        assert_eq!(rt(&u128::MAX), u128::MAX);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        assert_eq!(rt(&vec![1u8, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(rt(&Some(5u32)), Some(5));
+        assert_eq!(rt(&Option::<u32>::None), None);
+        assert_eq!(rt(&[9u8; 32]), [9u8; 32]);
+        let set: BTreeSet<u16> = [3, 1, 2].into_iter().collect();
+        assert_eq!(rt(&set), set);
+        let map: BTreeMap<String, u64> = [("a".to_string(), 1u64), ("b".to_string(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(rt(&map), map);
+    }
+
+    #[test]
+    fn ipv4_as_string() {
+        let ip = Ipv4Addr::new(191, 235, 84, 50);
+        assert_eq!(to_value(&ip).unwrap(), Value::Str("191.235.84.50".into()));
+        assert_eq!(rt(&ip), ip);
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        let r: Result<u8, Message> = from_value(Value::UInt(300));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline, vendored stand-in for the parts of `serde` this workspace uses.
+//!
+//! Upstream serde abstracts over arbitrary data formats; the only format in
+//! this workspace is JSON (via the vendored `serde_json`), so this stand-in
+//! collapses the serializer/deserializer trait families onto a single
+//! JSON-shaped [`__private::Value`] model. The public trait *names* and the
+//! call shapes used by the workspace (`Serialize`, `Deserialize`,
+//! `Serializer::serialize_str`, `String::deserialize(..)`,
+//! `de::Error::custom`, `#[derive(Serialize, Deserialize)]` with
+//! `#[serde(rename/tag/content)]`) match upstream, so swapping the real
+//! crates back in later is a manifest-only change.
+#![forbid(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __private;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,70 @@
+//! Serialization half of the trait surface.
+
+use crate::__private::Value;
+use std::fmt::Display;
+
+/// Error constraint for serializers (mirrors `serde::ser::Error`).
+pub trait Error: Sized + Display {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format serializer. In this vendored stand-in every format is
+/// JSON-shaped, so the one required method accepts a [`Value`]; the
+/// convenience methods mirror the upstream names used in manual impls.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Serialize a fully-built JSON-shaped value.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_owned()))
+    }
+
+    /// Serialize a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::UInt(v as u128))
+    }
+
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Int(v as i128))
+    }
+
+    /// Serialize a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Float(v))
+    }
+
+    /// Serialize a missing value.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    /// Serialize a unit (`()`).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+}
+
+/// A serializable type (mirrors `serde::Serialize`).
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}

@@ -1,0 +1,472 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stack. No `syn`/`quote` (the build is offline): the item
+//! is parsed directly from the `proc_macro` token stream and the impl is
+//! emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace persists:
+//! * structs with named fields (no generics),
+//! * enums whose variants are unit or single-field tuples (no generics),
+//! * `#[serde(rename = "...")]` on variants,
+//! * `#[serde(tag = "...", content = "...")]` on enums (adjacent tagging).
+//!
+//! Anything else produces a `compile_error!` naming the limitation, so a
+//! future change that needs more serde is a loud, early failure rather than
+//! silent misbehaviour.
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match dir {
+            Direction::Serialize => gen_serialize(&item),
+            Direction::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive produced unparsable code: {e}\");")
+            .parse()
+            .expect("compile_error! literal always parses")
+    })
+}
+
+// ---- parsed model ----------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// `#[serde(tag = ..)]` on the container, if any.
+    tag: Option<String>,
+    /// `#[serde(content = ..)]` on the container, if any.
+    content: Option<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named fields.
+    Struct(Vec<String>),
+    /// Variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// Wire name (`rename` attr or the Rust name).
+    wire: String,
+    /// Whether the variant carries one tuple payload.
+    has_payload: bool,
+}
+
+// ---- token-stream parsing --------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let container_attrs = collect_attrs(&tokens, &mut pos);
+    let (tag, content) = container_serde_attrs(&container_attrs);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let name = expect_ident(&tokens, &mut pos)?;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => ItemKind::Struct(parse_struct_fields(&tokens, &mut pos, &name)?),
+        "enum" => ItemKind::Enum(parse_enum_variants(&tokens, &mut pos, &name)?),
+        other => {
+            return Err(format!(
+                "vendored serde_derive supports structs and enums, not `{other}`"
+            ))
+        }
+    };
+
+    Ok(Item {
+        name,
+        tag,
+        content,
+        kind,
+    })
+}
+
+/// Collect `#[...]` attribute groups starting at `pos`.
+fn collect_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<TokenStream> {
+    let mut attrs = Vec::new();
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*pos), tokens.get(*pos + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            attrs.push(g.stream());
+            *pos += 2;
+        } else {
+            break;
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            Ok(i.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Extract `tag`/`content` from container-level `#[serde(...)]` attrs.
+fn container_serde_attrs(attrs: &[TokenStream]) -> (Option<String>, Option<String>) {
+    let mut tag = None;
+    let mut content = None;
+    for pairs in attrs.iter().filter_map(serde_attr_pairs) {
+        for (key, value) in pairs {
+            match key.as_str() {
+                "tag" => tag = Some(value),
+                "content" => content = Some(value),
+                _ => {}
+            }
+        }
+    }
+    (tag, content)
+}
+
+/// If the attr is `serde(...)`, return its `key = "value"` pairs.
+fn serde_attr_pairs(attr: &TokenStream) -> Option<Vec<(String, String)>> {
+    let tokens: Vec<TokenTree> = attr.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut pairs = Vec::new();
+            let mut i = 0;
+            while i < inner.len() {
+                if let (
+                    Some(TokenTree::Ident(key)),
+                    Some(TokenTree::Punct(eq)),
+                    Some(TokenTree::Literal(lit)),
+                ) = (inner.get(i), inner.get(i + 1), inner.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        pairs.push((key.to_string(), strip_str_literal(&lit.to_string())));
+                        i += 3;
+                        // Optional trailing comma.
+                        if matches!(inner.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Some(pairs)
+        }
+        _ => None,
+    }
+}
+
+fn strip_str_literal(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_struct_fields(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    name: &str,
+) -> Result<Vec<String>, String> {
+    let body = match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "vendored serde_derive does not support tuple struct `{name}`"
+            ))
+        }
+        _ => return Err(format!("struct `{name}` has no braced field list")),
+    };
+    let inner: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < inner.len() {
+        collect_attrs(&inner, &mut i);
+        skip_visibility(&inner, &mut i);
+        let field = expect_ident(&inner, &mut i).map_err(|e| format!("in struct `{name}`: {e}"))?;
+        match inner.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("field `{field}` of `{name}` missing `:`")),
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while let Some(tok) = inner.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    name: &str,
+) -> Result<Vec<Variant>, String> {
+    let body = match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err(format!("enum `{name}` has no braced variant list")),
+    };
+    let inner: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < inner.len() {
+        let attrs = collect_attrs(&inner, &mut i);
+        let vname = expect_ident(&inner, &mut i).map_err(|e| format!("in enum `{name}`: {e}"))?;
+        let mut wire = vname.clone();
+        for pairs in attrs.iter().filter_map(serde_attr_pairs) {
+            for (key, value) in pairs {
+                if key == "rename" {
+                    wire = value;
+                }
+            }
+        }
+        let mut has_payload = false;
+        match inner.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload_tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = payload_tokens
+                    .iter()
+                    .scan(0i32, |angle, t| {
+                        if let TokenTree::Punct(p) = t {
+                            match p.as_char() {
+                                '<' => *angle += 1,
+                                '>' => *angle -= 1,
+                                ',' if *angle == 0 => return Some(1),
+                                _ => {}
+                            }
+                        }
+                        Some(0)
+                    })
+                    .sum::<i32>();
+                if commas > 0 {
+                    return Err(format!(
+                        "variant `{name}::{vname}` has multiple fields; vendored serde_derive supports at most one"
+                    ));
+                }
+                has_payload = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "variant `{name}::{vname}` has named fields; vendored serde_derive supports unit and single-field tuple variants"
+                ));
+            }
+            _ => {}
+        }
+        // Skip optional discriminant and the separating comma.
+        while let Some(tok) = inner.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant {
+            name: vname,
+            wire,
+            has_payload,
+        });
+    }
+    Ok(variants)
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "map.push((::serde::__private::Value::Str({f:?}.to_owned()), \
+                     ::serde::__private::field_to_value::<_, S::Error>({f:?}, &self.{f})?));\n"
+                ));
+            }
+            format!(
+                "let mut map: ::std::vec::Vec<(::serde::__private::Value, ::serde::__private::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serializer.serialize_value(::serde::__private::Value::Map(map))"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let (vn, wire) = (&v.name, &v.wire);
+                let arm = match (&item.tag, v.has_payload) {
+                    (None, false) => format!(
+                        "{name}::{vn} => serializer.serialize_str({wire:?}),\n"
+                    ),
+                    (None, true) => format!(
+                        "{name}::{vn}(inner) => {{\n\
+                         let value = ::serde::__private::field_to_value::<_, S::Error>({wire:?}, inner)?;\n\
+                         serializer.serialize_value(::serde::__private::Value::Map(::std::vec![\
+                         (::serde::__private::Value::Str({wire:?}.to_owned()), value)]))\n}}\n"
+                    ),
+                    (Some(tag), false) => format!(
+                        "{name}::{vn} => serializer.serialize_value(::serde::__private::Value::Map(::std::vec![\
+                         (::serde::__private::Value::Str({tag:?}.to_owned()), ::serde::__private::Value::Str({wire:?}.to_owned()))])),\n"
+                    ),
+                    (Some(tag), true) => {
+                        let content = item.content.clone().unwrap_or_else(|| "content".to_string());
+                        format!(
+                            "{name}::{vn}(inner) => {{\n\
+                             let value = ::serde::__private::field_to_value::<_, S::Error>({wire:?}, inner)?;\n\
+                             serializer.serialize_value(::serde::__private::Value::Map(::std::vec![\
+                             (::serde::__private::Value::Str({tag:?}.to_owned()), ::serde::__private::Value::Str({wire:?}.to_owned())),\
+                             (::serde::__private::Value::Str({content:?}.to_owned()), value)]))\n}}\n"
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::std::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::__private::field_from_value::<_, D::Error>(&mut map, {f:?})?,\n"
+                ));
+            }
+            format!(
+                "let mut map = match deserializer.take_value()? {{\n\
+                 ::serde::__private::Value::Map(m) => m,\n\
+                 other => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 ::std::format_args!(\"expected object for struct {name}, found {{}}\", other.kind()))),\n\
+                 }};\n\
+                 let _ = &mut map;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let (vn, wire) = (&v.name, &v.wire);
+                if v.has_payload {
+                    payload_arms.push_str(&format!(
+                        "{wire:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::__private::from_value(payload)?)),\n"
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "{wire:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            let unknown = format!(
+                "other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 ::std::format_args!(\"unknown variant `{{other}}` of {name}\"))),\n"
+            );
+            match &item.tag {
+                Some(tag) => {
+                    let content = item.content.clone().unwrap_or_else(|| "content".to_string());
+                    format!(
+                        "let mut map = match deserializer.take_value()? {{\n\
+                         ::serde::__private::Value::Map(m) => m,\n\
+                         other => return ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                         ::std::format_args!(\"expected object for enum {name}, found {{}}\", other.kind()))),\n\
+                         }};\n\
+                         let tag = ::serde::__private::take_field(&mut map, {tag:?});\n\
+                         let payload = ::serde::__private::take_field(&mut map, {content:?});\n\
+                         let _ = &payload;\n\
+                         match tag {{\n\
+                         ::serde::__private::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}{payload_arms}{unknown}\
+                         }},\n\
+                         _ => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                         \"missing or non-string tag for enum {name}\")),\n\
+                         }}"
+                    )
+                }
+                None => format!(
+                    "match deserializer.take_value()? {{\n\
+                     ::serde::__private::Value::Str(s) => {{\n\
+                     match s.as_str() {{\n{unit_arms}{unknown}}}\n\
+                     }}\n\
+                     ::serde::__private::Value::Map(mut m) if m.len() == 1 => {{\n\
+                     match m.pop() {{\n\
+                     ::std::option::Option::Some((::serde::__private::Value::Str(s), payload)) => {{\n\
+                     let _ = &payload;\n\
+                     match s.as_str() {{\n{payload_arms}{unknown}}}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                     \"expected single string key for enum {name}\")),\n\
+                     }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                     ::std::format_args!(\"expected string or single-key object for enum {name}, found {{}}\", other.kind()))),\n\
+                     }}"
+                ),
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+         -> ::std::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

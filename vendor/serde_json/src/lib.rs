@@ -1,0 +1,147 @@
+//! Offline, vendored stand-in for the parts of `serde_json` this workspace
+//! uses: [`to_string`], [`from_str`], and [`Error`].
+//!
+//! The parser is a recursive-descent JSON reader with an explicit depth
+//! limit, written to the same standard as the workspace's attacker-facing
+//! decoders (detlint rule R5): malformed input returns `Err`, never panics.
+#![forbid(unsafe_code)]
+
+use serde::__private::{from_value, to_value};
+use serde::{de, ser, Deserialize, Serialize};
+use std::fmt;
+
+mod read;
+mod write;
+
+/// Error produced by JSON (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = to_value(value).map_err(|e| Error::new(e.to_string()))?;
+    write::write_value(&tree)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let tree = read::parse(text)?;
+    from_value::<T, Error>(tree)
+}
+
+/// Re-export of the value model for callers that want to inspect JSON
+/// generically (mirrors `serde_json::Value` in spirit).
+pub use serde::__private::Value as JsonValue;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(from_str::<String>(r#""a\"b\n""#).unwrap(), "a\"b\n");
+    }
+
+    #[test]
+    fn u128_beyond_u64_roundtrips() {
+        let big: u128 = 3_000_000_000_000_000_000_000; // mainnet-era TD scale
+        let json = to_string(&big).unwrap();
+        assert_eq!(json, "3000000000000000000000");
+        assert_eq!(from_str::<u128>(&json).unwrap(), big);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&json).unwrap(), v);
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        // Surrogate pair: U+1F600.
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+        // Lone surrogate is an error, not a panic.
+        assert!(from_str::<String>(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "truex",
+            "\"unterminated",
+            "01",
+            "--3",
+            "1e",
+            "{\"a\" 1}",
+            "[1 2]",
+            "\u{0}",
+        ] {
+            assert!(from_str::<Vec<u32>>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<u64>("42 x").is_err());
+        assert!(from_str::<u64>("42   ").is_ok());
+    }
+
+    #[test]
+    fn depth_limit_protects_stack() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(from_str::<Vec<u8>>(&deep).is_err());
+    }
+
+    #[test]
+    fn float_formatting_is_rereadable() {
+        let json = to_string(&1.0f64).unwrap();
+        assert_eq!(from_str::<f64>(&json).unwrap(), 1.0);
+        let json = to_string(&0.25f64).unwrap();
+        assert_eq!(from_str::<f64>(&json).unwrap(), 0.25);
+    }
+}

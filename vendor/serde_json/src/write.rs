@@ -1,0 +1,87 @@
+//! Compact JSON writer over the value model.
+
+use crate::Error;
+use serde::__private::Value;
+
+pub(crate) fn write_value(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_into(&mut out, value)?;
+    Ok(out)
+}
+
+fn write_into(out: &mut String, value: &Value) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(v) => out.push_str(&v.to_string()),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::Float(v) => write_float(out, *v)?,
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(out, item)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match key {
+                    Value::Str(s) => write_string(out, s),
+                    other => {
+                        return Err(Error::new(format!(
+                            "JSON object key must be a string, found {}",
+                            other.kind()
+                        )))
+                    }
+                }
+                out.push(':');
+                write_into(out, val)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_float(out: &mut String, v: f64) -> Result<(), Error> {
+    if !v.is_finite() {
+        return Err(Error::new("JSON cannot represent NaN or infinity"));
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    // `{}` prints integral floats without a decimal point; keep them
+    // re-readable as floats the way serde_json does.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
