@@ -177,6 +177,7 @@ mod tests {
             }),
             dao_fork: dao,
             outcome: ConnOutcome::DaoChecked,
+            failure: None,
         }
     }
 

@@ -106,6 +106,7 @@ mod tests {
             }),
             dao_fork: Some(true),
             outcome: ConnOutcome::DaoChecked,
+            failure: None,
         }
     }
 

@@ -118,6 +118,7 @@ fn crawler_config(scale: &Scale, instance: u32) -> CrawlerConfig {
         probe_timeout_ms: 30_000,
         dao_check: true,
         hold_connections: false,
+        ..CrawlerConfig::default()
     }
 }
 

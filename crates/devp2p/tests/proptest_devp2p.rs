@@ -95,4 +95,57 @@ proptest! {
             Message::Disconnect(reason)
         );
     }
+
+    /// A session never panics on arbitrary message streams — garbage
+    /// HELLOs, junk STATUS bytes, unroutable ids. Every input yields a
+    /// Result, and the session stays usable (or cleanly ended) after.
+    #[test]
+    fn session_never_panics_on_arbitrary_messages(
+        stream in proptest::collection::vec(
+            (0u64..0x40, proptest::collection::vec(any::<u8>(), 0..128)),
+            1..16,
+        ),
+    ) {
+        let local = Hello {
+            p2p_version: P2P_VERSION,
+            client_id: "fuzz".into(),
+            capabilities: vec![Capability::new("eth", 63)],
+            listen_port: 30303,
+            node_id: NodeId([1u8; 64]),
+        };
+        let mut session = Session::new(local);
+        for (id, payload) in &stream {
+            let _ = session.on_message(*id, payload);
+            let _ = session.take_outbound();
+        }
+        prop_assert!(!session.is_active() || session.remote_hello().is_some());
+    }
+
+    /// Same guarantee after a legitimate HELLO: an active session fed
+    /// arbitrary bytes in the subprotocol id space never panics.
+    #[test]
+    fn active_session_never_panics_on_arbitrary_subprotocol_bytes(
+        stream in proptest::collection::vec(
+            (0u64..0x40, proptest::collection::vec(any::<u8>(), 0..128)),
+            1..16,
+        ),
+    ) {
+        let hello = |tag: u8| Hello {
+            p2p_version: P2P_VERSION,
+            client_id: format!("peer-{tag}"),
+            capabilities: vec![Capability::new("eth", 63)],
+            listen_port: 30303,
+            node_id: NodeId([tag; 64]),
+        };
+        let mut session = Session::new(hello(1));
+        let peer_hello = Message::Hello(hello(2));
+        session
+            .on_message(peer_hello.msg_id(), &peer_hello.encode_payload())
+            .unwrap();
+        prop_assert!(session.is_active());
+        for (id, payload) in &stream {
+            let _ = session.on_message(*id, payload);
+            let _ = session.take_outbound();
+        }
+    }
 }

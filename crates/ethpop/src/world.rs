@@ -260,6 +260,7 @@ impl World {
             udp_loss: config.udp_loss,
             jitter_ms: 8,
             nat_window_ms: 120_000,
+            faults: Default::default(),
         };
         let mut sim = NetSim::new(sim_config);
         let mut nodes = Vec::new();

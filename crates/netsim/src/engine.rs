@@ -1,5 +1,6 @@
 //! The discrete-event engine: hosts, UDP, TCP, timers, churn.
 
+use crate::faults::{FaultSchedule, FaultWindow, TcpFate, UdpFate};
 use crate::topology::{latency_between, HostMeta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -103,6 +104,9 @@ pub struct SimConfig {
     pub jitter_ms: u32,
     /// How long a NAT pinhole stays open after outbound traffic, ms.
     pub nat_window_ms: u64,
+    /// Per-link fault windows (see [`crate::faults`]). Usually empty at
+    /// construction and extended later via [`NetSim::add_fault`].
+    pub faults: FaultSchedule,
 }
 
 impl Default for SimConfig {
@@ -112,8 +116,24 @@ impl Default for SimConfig {
             udp_loss: 0.01,
             jitter_ms: 8,
             nat_window_ms: 120_000,
+            faults: FaultSchedule::default(),
         }
     }
+}
+
+/// TCP-layer counters (the UDP side has [`NetSim::udp_counters`]; fault
+/// scenarios assert against these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpCounters {
+    /// Connections that reached the `Established` state.
+    pub connects: u64,
+    /// Abortive teardowns: fault-injected resets plus connections killed
+    /// by a host death.
+    pub resets: u64,
+    /// Payload bytes accepted for delivery (post-truncation).
+    pub bytes: u64,
+    /// Segments silently lost to blackhole windows.
+    pub segments_dropped: u64,
 }
 
 /// What a host asks the engine to do; applied after the callback returns.
@@ -247,6 +267,10 @@ enum Ev {
     StopHost {
         host: HostId,
     },
+    SetReachable {
+        host: HostId,
+        reachable: bool,
+    },
 }
 
 struct Scheduled {
@@ -285,6 +309,7 @@ pub struct NetSim {
     events_processed: u64,
     udp_sent: u64,
     udp_dropped: u64,
+    tcp: TcpCounters,
 }
 
 impl NetSim {
@@ -302,6 +327,7 @@ impl NetSim {
             events_processed: 0,
             udp_sent: 0,
             udp_dropped: 0,
+            tcp: TcpCounters::default(),
         }
     }
 
@@ -318,6 +344,41 @@ impl NetSim {
     /// (sent, dropped) UDP datagram counters.
     pub fn udp_counters(&self) -> (u64, u64) {
         (self.udp_sent, self.udp_dropped)
+    }
+
+    /// TCP-layer counters: establishes, abortive resets, payload bytes,
+    /// blackholed segments.
+    pub fn tcp_counters(&self) -> TcpCounters {
+        self.tcp
+    }
+
+    /// Install a fault window after construction (worlds build their own
+    /// `SimConfig`, so the robustness harness injects faults here).
+    pub fn add_fault(&mut self, window: FaultWindow) {
+        self.config.faults.push(window);
+    }
+
+    /// Take `hosts` down together at `at_ms` and bring them back
+    /// `down_ms` later — a correlated outage.
+    pub fn churn_burst(&mut self, hosts: &[HostId], at_ms: u64, down_ms: u64) {
+        for &host in hosts {
+            self.schedule_stop(host, at_ms);
+            self.schedule_start(host, at_ms + down_ms);
+        }
+    }
+
+    /// Schedule a reachability change (NAT state) at `at_ms`.
+    pub fn schedule_reachable(&mut self, host: HostId, at_ms: u64, reachable: bool) {
+        self.push(at_ms, Ev::SetReachable { host, reachable });
+    }
+
+    /// Toggle a host's public reachability off and back on `flaps` times,
+    /// `period_ms` per half-cycle, starting at `from_ms`.
+    pub fn nat_flap(&mut self, host: HostId, from_ms: u64, period_ms: u64, flaps: u32) {
+        for i in 0..flaps as u64 {
+            self.schedule_reachable(host, from_ms + 2 * i * period_ms, false);
+            self.schedule_reachable(host, from_ms + (2 * i + 1) * period_ms, true);
+        }
     }
 
     /// Register a host (initially offline; schedule a start).
@@ -438,10 +499,14 @@ impl NetSim {
                         .collect();
                     for (conn, to_initiator) in dead {
                         self.conns[conn].state = ConnState::Closed;
+                        self.tcp.resets += 1;
                         let delay = self.conn_delay(conn);
                         self.push(self.now + delay, Ev::TcpClose { conn, to_initiator });
                     }
                 }
+            }
+            Ev::SetReachable { host, reachable } => {
+                self.slots[host].meta.reachable = reachable;
             }
             Ev::Timer { host, token } => {
                 if self.slots[host].alive {
@@ -470,11 +535,17 @@ impl NetSim {
             }
             Ev::TcpSyn { conn } => {
                 let remote_addr = self.conns[conn].remote_addr;
+                let local_addr = self.conns[conn].local_addr;
                 let target = self.index.get(&remote_addr).copied();
-                let ok = match target {
-                    Some(t) => self.slots[t].alive && self.slots[t].meta.reachable,
-                    None => false,
-                };
+                let blackholed =
+                    self.config
+                        .faults
+                        .tcp_connect_blocked(self.now, local_addr, remote_addr);
+                let ok = !blackholed
+                    && match target {
+                        Some(t) => self.slots[t].alive && self.slots[t].meta.reachable,
+                        None => false,
+                    };
                 let delay = self.conn_delay(conn);
                 if ok {
                     let t = target.unwrap();
@@ -500,6 +571,7 @@ impl NetSim {
                 }
                 if ok {
                     self.conns[conn].state = ConnState::Established;
+                    self.tcp.connects += 1;
                     let peer = c.remote_addr;
                     self.with_host(c.initiator, |h, ctx| {
                         h.on_tcp(ctx, TcpEvent::Connected { conn, peer })
@@ -597,8 +669,19 @@ impl NetSim {
                         self.udp_dropped += 1;
                         continue;
                     };
-                    let lat = self.one_way_latency(host, dest);
                     let from = self.slots[host].addr;
+                    let extra = if self.config.faults.is_empty() {
+                        0
+                    } else {
+                        match self.config.faults.udp_fate(now, from, to, &mut self.rng) {
+                            UdpFate::Drop => {
+                                self.udp_dropped += 1;
+                                continue;
+                            }
+                            UdpFate::Deliver { extra_ms } => extra_ms,
+                        }
+                    };
+                    let lat = self.one_way_latency(host, dest) + extra;
                     self.push(
                         now + lat,
                         Ev::Udp {
@@ -629,7 +712,37 @@ impl NetSim {
                         continue;
                     }
                     let to_initiator = self.conns[conn].initiator != host;
-                    let delay = self.conn_delay(conn);
+                    let mut bytes = bytes;
+                    let mut extra = 0;
+                    if !self.config.faults.is_empty() {
+                        let a = self.conns[conn].local_addr;
+                        let b = self.conns[conn].remote_addr;
+                        match self
+                            .config
+                            .faults
+                            .tcp_fate(self.now, a, b, &mut bytes, &mut self.rng)
+                        {
+                            TcpFate::Drop => {
+                                self.tcp.segments_dropped += 1;
+                                continue;
+                            }
+                            TcpFate::Reset => {
+                                self.conns[conn].state = ConnState::Closed;
+                                self.tcp.resets += 1;
+                                let delay = self.conn_delay(conn);
+                                for to_initiator in [true, false] {
+                                    self.push(
+                                        self.now + delay,
+                                        Ev::TcpClose { conn, to_initiator },
+                                    );
+                                }
+                                continue;
+                            }
+                            TcpFate::Deliver { extra_ms } => extra = extra_ms,
+                        }
+                    }
+                    self.tcp.bytes += bytes.len() as u64;
+                    let delay = self.conn_delay(conn) + extra;
                     self.push(
                         self.now + delay,
                         Ev::TcpData {
@@ -974,6 +1087,248 @@ mod tests {
             sim.add_host(addr(1), meta(true), Box::new(Probe::new("b", log)));
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn tcp_counters_track_connects_bytes_and_death_resets() {
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let mut a = Probe::new("a", log.clone());
+        a.tcp_target = Some(addr(2));
+        a.tcp_payload = Some(vec![0u8; 100]);
+        let b = Probe::new("b", log.clone());
+        let ha = sim.add_host(addr(1), meta(true), Box::new(a));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.run_until(2_000);
+        let c = sim.tcp_counters();
+        assert_eq!(c.connects, 1);
+        assert_eq!(c.bytes, 100);
+        assert_eq!(c.resets, 0);
+        assert_eq!(c.segments_dropped, 0);
+        // Killing b while the connection is up counts as an abortive reset.
+        sim.schedule_stop(hb, 3_000);
+        sim.run_until(5_000);
+        assert_eq!(sim.tcp_counters().resets, 1);
+    }
+
+    #[test]
+    fn udp_burst_loss_window_only_drops_inside_window() {
+        // a pings b every 100ms via a timer; a 0.999-loss window covers
+        // [1000, 2000). Outside the window everything is delivered.
+        struct Pinger {
+            log: Log,
+            target: HostAddr,
+        }
+        impl Host for Pinger {
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(100, 1);
+            }
+            fn on_udp(&mut self, _: &mut Ctx, _: HostAddr, _: &[u8]) {}
+            fn on_tcp(&mut self, _: &mut Ctx, _: TcpEvent) {}
+            fn on_timer(&mut self, ctx: &mut Ctx, _: u64) {
+                ctx.send_udp(self.target, b"ping".to_vec());
+                ctx.set_timer(100, 1);
+            }
+            fn on_stop(&mut self, _: &mut Ctx) {
+                self.log.borrow_mut().clear();
+            }
+        }
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let mut b = Probe::new("b", log.clone());
+        b.echo = false;
+        let ha = sim.add_host(
+            addr(1),
+            meta(true),
+            Box::new(Pinger {
+                log: log.clone(),
+                target: addr(2),
+            }),
+        );
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.add_fault(crate::faults::FaultWindow {
+            link: crate::faults::LinkSelector::Pair(addr(1), addr(2)),
+            from_ms: 1_000,
+            until_ms: 2_000,
+            fault: crate::faults::Fault::UdpLoss(0.999),
+        });
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.run_until(3_000);
+        let log = log.borrow();
+        let arrivals_in = |lo: u64, hi: u64| {
+            log.iter()
+                .filter(|l| {
+                    l.starts_with("b udp@")
+                        && l.split('@')
+                            .nth(1)
+                            .and_then(|r| r.split(' ').next())
+                            .and_then(|t| t.parse::<u64>().ok())
+                            .map(|t| t >= lo && t < hi)
+                            .unwrap_or(false)
+                })
+                .count()
+        };
+        // ~10 sends per second; the window eats essentially all of them.
+        assert!(arrivals_in(0, 1_000) >= 9, "{log:?}");
+        assert!(arrivals_in(1_020, 2_000) <= 1, "{log:?}");
+        assert!(arrivals_in(2_000, 3_000) >= 9, "{log:?}");
+    }
+
+    #[test]
+    fn blackhole_fails_tcp_connects_and_reset_kills_streams() {
+        // Blackhole window: the dial fails even though b is alive.
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let mut a = Probe::new("a", log.clone());
+        a.tcp_target = Some(addr(2));
+        let b = Probe::new("b", log.clone());
+        let ha = sim.add_host(addr(1), meta(true), Box::new(a));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.add_fault(crate::faults::FaultWindow {
+            link: crate::faults::LinkSelector::Host(addr(2)),
+            from_ms: 0,
+            until_ms: 60_000,
+            fault: crate::faults::Fault::Blackhole,
+        });
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.run_until(5_000);
+        assert!(
+            log.borrow().iter().any(|l| l.starts_with("a connfail@")),
+            "{:?}",
+            log.borrow()
+        );
+
+        // Reset window: the connection establishes, then the first data
+        // segment resets it — both sides observe Closed.
+        let log2: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let mut a = Probe::new("a", log2.clone());
+        a.tcp_target = Some(addr(2));
+        a.tcp_payload = Some(vec![7u8; 64]);
+        let b = Probe::new("b", log2.clone());
+        let ha = sim.add_host(addr(1), meta(true), Box::new(a));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.add_fault(crate::faults::FaultWindow {
+            link: crate::faults::LinkSelector::Any,
+            // TcpReset only affects data segments, not the establishment
+            // handshake, so the window can cover the whole run.
+            from_ms: 0,
+            until_ms: 60_000,
+            fault: crate::faults::Fault::TcpReset,
+        });
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.run_until(5_000);
+        let log2 = log2.borrow();
+        assert!(
+            log2.iter().any(|l| l.starts_with("a connected@")),
+            "{log2:?}"
+        );
+        assert!(!log2.iter().any(|l| l.starts_with("b data@")), "{log2:?}");
+        assert!(log2.iter().any(|l| l.starts_with("a closed@")), "{log2:?}");
+        assert!(log2.iter().any(|l| l.starts_with("b closed@")), "{log2:?}");
+        assert_eq!(sim.tcp_counters().resets, 1);
+    }
+
+    #[test]
+    fn truncation_shortens_delivered_segments() {
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let mut a = Probe::new("a", log.clone());
+        a.tcp_target = Some(addr(2));
+        a.tcp_payload = Some(vec![7u8; 64]);
+        let b = Probe::new("b", log.clone());
+        let ha = sim.add_host(addr(1), meta(true), Box::new(a));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.add_fault(crate::faults::FaultWindow {
+            link: crate::faults::LinkSelector::Any,
+            from_ms: 0,
+            until_ms: 60_000,
+            fault: crate::faults::Fault::TcpTruncate(16),
+        });
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.run_until(5_000);
+        assert!(
+            log.borrow()
+                .iter()
+                .any(|l| l.starts_with("b data@") && l.ends_with("len=16")),
+            "{:?}",
+            log.borrow()
+        );
+        assert_eq!(sim.tcp_counters().bytes, 16);
+    }
+
+    #[test]
+    fn latency_spike_delays_udp() {
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let mut a = Probe::new("a", log.clone());
+        a.udp_target = Some(addr(2));
+        let b = Probe::new("b", log.clone());
+        let ha = sim.add_host(addr(1), meta(true), Box::new(a));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.add_fault(crate::faults::FaultWindow {
+            link: crate::faults::LinkSelector::Any,
+            from_ms: 0,
+            until_ms: 60_000,
+            fault: crate::faults::Fault::LatencySpike(500),
+        });
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.run_until(5_000);
+        // Base intra-region latency is 15ms; the spike pushes it to 515.
+        assert!(
+            log.borrow().iter().any(|l| l.starts_with("b udp@515 ")),
+            "{:?}",
+            log.borrow()
+        );
+    }
+
+    #[test]
+    fn nat_flap_toggles_reachability_on_schedule() {
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let a = Probe::new("a", log.clone());
+        let mut b = Probe::new("b", log.clone());
+        b.udp_target = None;
+        let ha = sim.add_host(addr(1), meta(true), Box::new(a));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        // One flap: unreachable during [1000, 2000).
+        sim.nat_flap(ha, 1_000, 1_000, 1);
+        sim.run_until(500);
+        assert!(sim.host_meta(ha).reachable);
+        sim.run_until(1_500);
+        assert!(!sim.host_meta(ha).reachable);
+        sim.run_until(2_500);
+        assert!(sim.host_meta(ha).reachable);
+    }
+
+    #[test]
+    fn churn_burst_takes_hosts_down_together() {
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let ha = sim.add_host(addr(1), meta(true), Box::new(Probe::new("a", log.clone())));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(Probe::new("b", log.clone())));
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.churn_burst(&[ha, hb], 1_000, 500);
+        sim.run_until(1_200);
+        assert!(!sim.is_alive(ha) && !sim.is_alive(hb));
+        sim.run_until(2_000);
+        assert!(sim.is_alive(ha) && sim.is_alive(hb));
+        let log = log.borrow();
+        assert!(log.iter().any(|l| l == "a stop@1000"), "{log:?}");
+        assert!(log.iter().any(|l| l == "a start@1500"), "{log:?}");
     }
 
     #[test]

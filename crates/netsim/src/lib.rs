@@ -10,6 +10,9 @@
 //!   crawler logs connection latency from the socket's sRTT);
 //! * **host lifecycle** — churn is expressed by starting/stopping hosts on
 //!   a schedule;
+//! * **fault injection** — per-link fault windows (burst loss, latency
+//!   spikes, blackholes, TCP resets, truncation/corruption), churn bursts,
+//!   and NAT flaps, all deterministic (see [`faults`]);
 //! * **geography** — every host carries a country/AS label and a region
 //!   used by the latency matrix, feeding the paper's Figures 12–13.
 //!
@@ -23,7 +26,9 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+pub mod faults;
 mod topology;
 
-pub use engine::{ConnId, Ctx, Host, HostAddr, HostId, NetSim, SimConfig, TcpEvent};
+pub use engine::{ConnId, Ctx, Host, HostAddr, HostId, NetSim, SimConfig, TcpCounters, TcpEvent};
+pub use faults::{ChurnBurst, Fault, FaultSchedule, FaultWindow, LinkSelector, NatFlap, Scenario};
 pub use topology::{latency_between, HostMeta, Region, COUNTRIES, REGION_OF_COUNTRY};

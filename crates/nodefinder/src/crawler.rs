@@ -1,7 +1,9 @@
 //! The NodeFinder crawler host (§4).
 
+use crate::backoff::{BackoffPolicy, PenaltyBox};
 use crate::log::{
-    ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, HelloInfo, StatusInfo,
+    ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, FailureClass, HelloInfo,
+    StatusInfo,
 };
 use devp2p::{Capability, DisconnectReason, Hello, P2P_VERSION};
 use discv4::{Config as DiscConfig, Discv4, Event as DiscEvent};
@@ -39,6 +41,21 @@ pub struct CrawlerConfig {
     pub max_active_dials: usize,
     /// Hard probe lifetime cap (paper: ≤2 min worst case).
     pub probe_timeout_ms: u64,
+    /// Per-stage timeout: TCP connect establishment.
+    pub connect_timeout_ms: u64,
+    /// Per-stage timeout: RLPx auth/ack after TCP is up.
+    pub handshake_timeout_ms: u64,
+    /// Per-stage timeout: DEVp2p HELLO after RLPx (catches slow-loris
+    /// peers that ACK the auth then stall).
+    pub hello_timeout_ms: u64,
+    /// Per-stage timeout: eth STATUS / DAO headers after HELLO.
+    pub status_timeout_ms: u64,
+    /// Retry backoff for failing endpoints.
+    pub backoff: BackoffPolicy,
+    /// Consecutive failures before an endpoint enters the penalty box.
+    pub penalty_threshold: u32,
+    /// Penalty-box sit-out duration, ms.
+    pub penalty_box_ms: u64,
     /// Run the DAO-fork header check after a compatible STATUS. NodeFinder
     /// does; the Ethernodes-style comparison crawler (Table 2/6) does not,
     /// which is exactly why it can't separate Mainnet from Classic.
@@ -58,6 +75,13 @@ impl Default for CrawlerConfig {
             stale_after_ms: 24 * 3600 * 1000,
             max_active_dials: 16,
             probe_timeout_ms: 120_000,
+            connect_timeout_ms: 10_000,
+            handshake_timeout_ms: 10_000,
+            hello_timeout_ms: 10_000,
+            status_timeout_ms: 15_000,
+            backoff: BackoffPolicy::default(),
+            penalty_threshold: 4,
+            penalty_box_ms: 10 * 60 * 1000,
             dao_check: true,
             hold_connections: false,
         }
@@ -79,6 +103,13 @@ impl CrawlerConfig {
             stale_after_ms: u64::MAX / 4,
             max_active_dials: 4,
             probe_timeout_ms: 120_000,
+            connect_timeout_ms: 10_000,
+            handshake_timeout_ms: 10_000,
+            hello_timeout_ms: 10_000,
+            status_timeout_ms: 15_000,
+            backoff: BackoffPolicy::default(),
+            penalty_threshold: 4,
+            penalty_box_ms: 10 * 60 * 1000,
             dao_check: false,
             hold_connections: false,
         }
@@ -97,6 +128,10 @@ struct Probe {
     record: ConnLog,
     awaiting_dao: bool,
     done: bool,
+    /// TCP is up (distinguishes ConnectTimeout from later stages).
+    connected: bool,
+    /// Current-stage deadline; the sweep reaps and classifies past it.
+    deadline_ms: u64,
 }
 
 /// The crawler. One instance per simulated measurement machine.
@@ -109,6 +144,7 @@ pub struct NodeFinder {
     dynamic_queue: VecDeque<NodeRecord>,
     queued: BTreeSet<NodeId>,
     static_nodes: BTreeMap<NodeId, StaticEntry>,
+    penalty: PenaltyBox,
     dialing: usize,
     poll_armed: bool,
     dial_armed: bool,
@@ -122,6 +158,11 @@ pub struct NodeFinder {
 impl NodeFinder {
     /// Build a crawler.
     pub fn new(key: SecretKey, config: CrawlerConfig, bootstrap: Vec<NodeRecord>) -> NodeFinder {
+        let penalty = PenaltyBox::new(
+            config.backoff.clone(),
+            config.penalty_threshold,
+            config.penalty_box_ms,
+        );
         NodeFinder {
             key,
             config,
@@ -131,6 +172,7 @@ impl NodeFinder {
             dynamic_queue: VecDeque::new(),
             queued: BTreeSet::new(),
             static_nodes: BTreeMap::new(),
+            penalty,
             dialing: 0,
             poll_armed: false,
             dial_armed: false,
@@ -151,9 +193,31 @@ impl NodeFinder {
         (self.config.static_redial_interval_ms / 8).clamp(200, 1_000)
     }
 
+    // The sweep must be finer than the shortest stage timeout or stage
+    // deadlines quantize up to the sweep period.
+    fn sweep_tick_ms(&self) -> u64 {
+        let min_stage = self
+            .config
+            .connect_timeout_ms
+            .min(self.config.handshake_timeout_ms)
+            .min(self.config.hello_timeout_ms)
+            .min(self.config.status_timeout_ms);
+        (min_stage / 2).clamp(500, self.config.probe_timeout_ms / 2)
+    }
+
     /// Static-list size (diagnostics).
     pub fn static_list_len(&self) -> usize {
         self.static_nodes.len()
+    }
+
+    /// How many endpoints have ever entered the penalty box (diagnostics).
+    pub fn penalty_boxed_total(&self) -> u64 {
+        self.penalty.boxed_total()
+    }
+
+    /// Endpoints currently tracked as failing (diagnostics).
+    pub fn penalty_tracked(&self) -> usize {
+        self.penalty.tracked()
     }
 
     /// Currently-open connections (diagnostics; the hold-connections
@@ -223,6 +287,11 @@ impl NodeFinder {
                 record.endpoint.ip,
                 DialEventKind::DiscoverySighting,
             );
+            // Endpoints in backoff / the penalty box are sighted but not
+            // queued — the retry scheduler owns them until they recover.
+            if self.penalty.is_blocked(record.id, ctx.now_ms) {
+                continue;
+            }
             // New nodes go to the dynamic queue unless already tracked.
             if !self.static_nodes.contains_key(&record.id) && self.queued.insert(record.id) {
                 self.dynamic_queue.push_back(record);
@@ -260,6 +329,7 @@ impl NodeFinder {
             status: None,
             dao_fork: None,
             outcome: ConnOutcome::DialFailed,
+            failure: None,
         };
         self.conns.insert(
             conn,
@@ -269,6 +339,8 @@ impl NodeFinder {
                 record: record_log,
                 awaiting_dao: false,
                 done: false,
+                connected: false,
+                deadline_ms: ctx.now_ms + self.config.connect_timeout_ms,
             },
         );
         if conn_type == ConnType::DynamicDial {
@@ -307,11 +379,13 @@ impl NodeFinder {
                     DialEventKind::DialResponded,
                 );
             }
-            // Successful TCP contact → (re)join the StaticNodes list.
-            if probe.conn_type != ConnType::Incoming || responded {
+            let now = ctx.now_ms;
+            let interval = self.config.static_redial_interval_ms;
+            if responded {
+                // A DEVp2p answer wipes the endpoint's failure slate and
+                // (re)joins it to the StaticNodes list.
+                self.penalty.record_success(id);
                 let record = NodeRecord::new(id, Endpoint::new(probe.record.ip, probe.record.port));
-                let now = ctx.now_ms;
-                let interval = self.config.static_redial_interval_ms;
                 let entry = self.static_nodes.entry(id).or_insert(StaticEntry {
                     record,
                     next_dial_ms: now + interval,
@@ -319,9 +393,26 @@ impl NodeFinder {
                 });
                 entry.record = record;
                 entry.last_success_ms = now;
-                // Any completed outbound attempt pushes the next re-dial
-                // back (§5.2's "slightly fewer than 48/day" effect).
                 entry.next_dial_ms = now + interval;
+            } else if probe.conn_type != ConnType::Incoming {
+                // A failed outbound attempt backs the endpoint off (and
+                // eventually boxes it). It does NOT refresh last_success,
+                // so dead static entries actually go stale.
+                let record = NodeRecord::new(id, Endpoint::new(probe.record.ip, probe.record.port));
+                self.penalty.record_failure(record, now, ctx.rng());
+                // The attempt still pushes the next static re-dial back
+                // (§5.2's "slightly fewer than 48/day" effect).
+                if let Some(entry) = self.static_nodes.get_mut(&id) {
+                    entry.next_dial_ms = now + interval;
+                }
+                // Make sure the retry actually fires even if discovery
+                // goes quiet.
+                if !self.dial_armed {
+                    if let Some(due) = self.penalty.next_due_ms() {
+                        self.dial_armed = true;
+                        ctx.set_timer(due.saturating_sub(now).max(500), T_DIAL);
+                    }
+                }
             }
             self.queued.remove(&id);
         }
@@ -332,6 +423,8 @@ impl NodeFinder {
         let rtt = ctx.rtt_ms(conn);
         let ours = self.our_status();
         let chain = self.chain.clone();
+        let hello_timeout = self.config.hello_timeout_ms;
+        let status_timeout = self.config.status_timeout_ms;
         let Some(probe) = self.conns.get_mut(&conn) else {
             return;
         };
@@ -342,6 +435,8 @@ impl NodeFinder {
             WireEvent::RlpxEstablished { peer_id } => {
                 probe.record.node_id = Some(peer_id);
                 probe.record.outcome = ConnOutcome::HandshakeFailed;
+                // Next stage: the peer's HELLO.
+                probe.deadline_ms = ctx.now_ms + hello_timeout;
             }
             WireEvent::Hello { hello, shared } => {
                 probe.record.hello = Some(HelloInfo {
@@ -350,6 +445,8 @@ impl NodeFinder {
                     p2p_version: hello.p2p_version,
                 });
                 probe.record.outcome = ConnOutcome::HelloOnly;
+                // Next stage: eth STATUS.
+                probe.deadline_ms = ctx.now_ms + status_timeout;
                 if shared.iter().any(|c| c.name == "eth") {
                     // Send our STATUS; theirs should follow.
                     let status = EthMessage::Status(ours.clone());
@@ -375,6 +472,8 @@ impl NodeFinder {
                 if ours.compatible(&st) && self.config.dao_check {
                     // Mainnet-or-Classic: run the DAO check.
                     probe.awaiting_dao = true;
+                    // Next stage: the DAO-fork headers.
+                    probe.deadline_ms = ctx.now_ms + status_timeout;
                     let req = EthMessage::GetBlockHeaders {
                         start: BlockId::Number(DAO_FORK_BLOCK),
                         max_headers: 1,
@@ -438,6 +537,7 @@ impl NodeFinder {
                 self.finish_probe(ctx, conn, false);
             }
             WireEvent::ProtocolError(_) => {
+                probe.record.failure = Some(FailureClass::ProtocolError);
                 self.finish_probe(ctx, conn, false);
             }
         }
@@ -484,7 +584,7 @@ impl Host for NodeFinder {
         self.send_disc(ctx, outgoing);
         ctx.set_timer(self.config.lookup_interval_ms, T_LOOKUP);
         ctx.set_timer(self.static_tick_ms(), T_STATIC);
-        ctx.set_timer(self.config.probe_timeout_ms / 2, T_SWEEP);
+        ctx.set_timer(self.sweep_tick_ms(), T_SWEEP);
     }
 
     fn on_udp(&mut self, ctx: &mut Ctx, from: HostAddr, datagram: &[u8]) {
@@ -505,9 +605,12 @@ impl Host for NodeFinder {
         match event {
             TcpEvent::Connected { conn, .. } => {
                 let key = self.key;
+                let handshake_timeout = self.config.handshake_timeout_ms;
                 let mut frames = Vec::new();
                 if let Some(probe) = self.conns.get_mut(&conn) {
                     probe.record.latency_ms = ctx.rtt_ms(conn);
+                    probe.connected = true;
+                    probe.deadline_ms = ctx.now_ms + handshake_timeout;
                     frames = probe.pc.on_tcp_connected(ctx.rng(), &key);
                 }
                 for f in frames {
@@ -523,6 +626,9 @@ impl Host for NodeFinder {
                 }
             }
             TcpEvent::ConnectFailed { conn } => {
+                if let Some(probe) = self.conns.get_mut(&conn) {
+                    probe.record.failure = Some(FailureClass::ConnectFailed);
+                }
                 self.finish_probe(ctx, conn, false);
             }
             TcpEvent::Incoming { conn, peer } => {
@@ -547,6 +653,7 @@ impl Host for NodeFinder {
                     status: None,
                     dao_fork: None,
                     outcome: ConnOutcome::HandshakeFailed,
+                    failure: None,
                 };
                 self.conns.insert(
                     conn,
@@ -556,6 +663,8 @@ impl Host for NodeFinder {
                         record: record_log,
                         awaiting_dao: false,
                         done: false,
+                        connected: true,
+                        deadline_ms: ctx.now_ms + self.config.handshake_timeout_ms,
                     },
                 );
             }
@@ -581,6 +690,16 @@ impl Host for NodeFinder {
                 }
             }
             TcpEvent::Closed { conn } => {
+                if let Some(probe) = self.conns.get_mut(&conn) {
+                    // The remote (or a mid-stream fault) tore the stream
+                    // down before completing DEVp2p.
+                    if probe.record.hello.is_none()
+                        && !matches!(probe.record.outcome, ConnOutcome::RemoteDisconnect(_))
+                        && probe.record.failure.is_none()
+                    {
+                        probe.record.failure = Some(FailureClass::RemoteReset);
+                    }
+                }
                 self.finish_probe(ctx, conn, false);
             }
         }
@@ -610,6 +729,19 @@ impl Host for NodeFinder {
             }
             T_DIAL => {
                 self.dial_armed = false;
+                let now = ctx.now_ms;
+                // Retries whose backoff elapsed go first: they're the
+                // oldest work, and the penalty box hands each endpoint out
+                // at most once per period.
+                let budget = self.config.max_active_dials.saturating_sub(self.dialing);
+                for record in self.penalty.due_retries(now, budget) {
+                    let conn_type = if self.static_nodes.contains_key(&record.id) {
+                        ConnType::StaticDial
+                    } else {
+                        ConnType::DynamicDial
+                    };
+                    self.dial(ctx, record, conn_type);
+                }
                 while self.dialing < self.config.max_active_dials {
                     let Some(record) = self.dynamic_queue.pop_front() else {
                         break;
@@ -623,6 +755,9 @@ impl Host for NodeFinder {
                 if !self.dynamic_queue.is_empty() {
                     self.dial_armed = true;
                     ctx.set_timer(500, T_DIAL);
+                } else if let Some(due) = self.penalty.next_due_ms() {
+                    self.dial_armed = true;
+                    ctx.set_timer(due.saturating_sub(now).max(500), T_DIAL);
                 }
             }
             T_STATIC => {
@@ -639,11 +774,12 @@ impl Host for NodeFinder {
                 for id in stale {
                     self.static_nodes.remove(&id);
                 }
-                // Fire due static dials — no concurrency cap (§4).
+                // Fire due static dials — no concurrency cap (§4), but
+                // endpoints in backoff wait for the retry scheduler.
                 let due: Vec<NodeRecord> = self
                     .static_nodes
                     .iter()
-                    .filter(|(_, e)| e.next_dial_ms <= now)
+                    .filter(|(id, e)| e.next_dial_ms <= now && !self.penalty.is_blocked(**id, now))
                     .map(|(_, e)| e.record)
                     .collect();
                 for record in due {
@@ -665,7 +801,7 @@ impl Host for NodeFinder {
             }
             T_SWEEP => {
                 let now = ctx.now_ms;
-                let expired: Vec<ConnId> = self
+                let expired: Vec<(ConnId, FailureClass)> = self
                     .conns
                     .iter()
                     .filter(|(_, p)| {
@@ -673,15 +809,37 @@ impl Host for NodeFinder {
                         // only stuck handshakes are reaped.
                         !(self.config.hold_connections && p.pc.is_active())
                     })
-                    .filter(|(_, p)| {
-                        now.saturating_sub(p.record.ts_ms) > self.config.probe_timeout_ms
+                    .filter_map(|(c, p)| {
+                        let over_stage = now >= p.deadline_ms;
+                        let over_total =
+                            now.saturating_sub(p.record.ts_ms) > self.config.probe_timeout_ms;
+                        if !(over_stage || over_total) {
+                            return None;
+                        }
+                        // Classify by how far the probe got.
+                        let class = if !over_stage {
+                            FailureClass::ProbeTimeout
+                        } else if !p.connected {
+                            FailureClass::ConnectTimeout
+                        } else if p.pc.peer_id.is_none() {
+                            FailureClass::HandshakeTimeout
+                        } else if p.record.hello.is_none() {
+                            FailureClass::HelloTimeout
+                        } else {
+                            FailureClass::StatusTimeout
+                        };
+                        Some((*c, class))
                     })
-                    .map(|(c, _)| *c)
                     .collect();
-                for conn in expired {
+                for (conn, class) in expired {
+                    if let Some(p) = self.conns.get_mut(&conn) {
+                        if p.record.failure.is_none() {
+                            p.record.failure = Some(class);
+                        }
+                    }
                     self.finish_probe(ctx, conn, true);
                 }
-                ctx.set_timer(self.config.probe_timeout_ms / 2, T_SWEEP);
+                ctx.set_timer(self.sweep_tick_ms(), T_SWEEP);
             }
             _ => {}
         }

@@ -47,6 +47,9 @@ pub struct NodeObservation {
     pub first_active_ms: Option<u64>,
     /// See `first_active_ms`.
     pub last_active_ms: Option<u64>,
+    /// Failed-probe counts by [`crate::log::FailureClass`] label.
+    #[serde(default)]
+    pub failures: BTreeMap<String, u64>,
 }
 
 impl NodeObservation {
@@ -69,6 +72,7 @@ impl NodeObservation {
             latencies_ms: Vec::new(),
             first_active_ms: None,
             last_active_ms: None,
+            failures: BTreeMap::new(),
         }
     }
 
@@ -172,6 +176,9 @@ impl DataStore {
         if conn.latency_ms > 0 {
             obs.latencies_ms.push(conn.latency_ms);
         }
+        if let Some(failure) = conn.failure {
+            *obs.failures.entry(failure.label().to_string()).or_insert(0) += 1;
+        }
         let responded = matches!(
             conn.outcome,
             ConnOutcome::HelloOnly
@@ -204,6 +211,38 @@ impl DataStore {
         self.nodes.values().filter(|n| n.is_mainnet())
     }
 
+    /// Failure counts summed across all nodes, by class label.
+    pub fn failure_totals(&self) -> BTreeMap<String, u64> {
+        let mut totals = BTreeMap::new();
+        for obs in self.nodes.values() {
+            for (label, count) in &obs.failures {
+                *totals.entry(label.clone()).or_insert(0) += count;
+            }
+        }
+        totals
+    }
+
+    /// The Figs. 6–7 funnel: how many node IDs survive each stage of the
+    /// discovery → dial → HELLO → STATUS pipeline.
+    pub fn dial_funnel(&self) -> DialFunnel {
+        DialFunnel {
+            discovered: self.nodes.len(),
+            dialed: self
+                .nodes
+                .values()
+                .filter(|n| n.dials_attempted > 0)
+                .count(),
+            responded: self.nodes.values().filter(|n| n.ever_answered_dial).count(),
+            hello: self.hello_nodes().count(),
+            status: self.status_nodes().count(),
+            unresponsive_dialed: self
+                .nodes
+                .values()
+                .filter(|n| n.dials_attempted > 0 && !n.devp2p_responsive())
+                .count(),
+        }
+    }
+
     /// Serialize the whole store as JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(&self).expect("serializable")
@@ -215,10 +254,28 @@ impl DataStore {
     }
 }
 
+/// Stage survival counts for the paper's dialed-vs-responded funnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DialFunnel {
+    /// Node IDs seen at any layer.
+    pub discovered: usize,
+    /// IDs we dialed at least once.
+    pub dialed: usize,
+    /// IDs that ever answered a dial at the DEVp2p layer.
+    pub responded: usize,
+    /// IDs with a completed HELLO.
+    pub hello: usize,
+    /// IDs with a completed STATUS.
+    pub status: usize,
+    /// IDs we dialed but that never spoke DEVp2p at all — the paper's
+    /// dominant population under degraded conditions.
+    pub unresponsive_dialed: usize,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::log::{DialEvent, HelloInfo, StatusInfo};
+    use crate::log::{DialEvent, FailureClass, HelloInfo, StatusInfo};
 
     fn id(tag: u8) -> NodeId {
         NodeId([tag; 64])
@@ -248,6 +305,7 @@ mod tests {
             }),
             dao_fork: Some(true),
             outcome: ConnOutcome::DaoChecked,
+            failure: None,
         }
     }
 
@@ -307,6 +365,54 @@ mod tests {
         assert_eq!(obs.discovery_sightings, 3);
         assert_eq!(obs.active_span_ms(), 20);
         assert!(!obs.devp2p_responsive());
+    }
+
+    #[test]
+    fn failure_classes_tallied_and_funneled() {
+        let mut log = CrawlLog::default();
+        // Node 1: dialed twice, never responded.
+        for ts in [0u64, 10_000] {
+            let mut c = conn(1, ts, ConnType::DynamicDial);
+            c.hello = None;
+            c.status = None;
+            c.dao_fork = None;
+            c.outcome = ConnOutcome::DialFailed;
+            c.failure = Some(FailureClass::ConnectTimeout);
+            log.events.push(DialEvent {
+                instance: 0,
+                ts_ms: ts,
+                node_id: id(1),
+                ip: Ipv4Addr::new(10, 0, 0, 1),
+                kind: DialEventKind::DynamicDialAttempt,
+            });
+            log.conns.push(c);
+        }
+        // Node 2: dialed, full probe.
+        log.events.push(DialEvent {
+            instance: 0,
+            ts_ms: 0,
+            node_id: id(2),
+            ip: Ipv4Addr::new(10, 0, 0, 2),
+            kind: DialEventKind::DynamicDialAttempt,
+        });
+        log.conns.push(conn(2, 0, ConnType::DynamicDial));
+        // Node 3: discovery only.
+        log.events.push(DialEvent {
+            instance: 0,
+            ts_ms: 0,
+            node_id: id(3),
+            ip: Ipv4Addr::new(10, 0, 0, 3),
+            kind: DialEventKind::DiscoverySighting,
+        });
+        let store = DataStore::from_log(&log);
+        assert_eq!(store.nodes[&id(1)].failures["connect_timeout"], 2);
+        assert_eq!(store.failure_totals()["connect_timeout"], 2);
+        let funnel = store.dial_funnel();
+        assert_eq!(funnel.discovered, 3);
+        assert_eq!(funnel.dialed, 2);
+        assert_eq!(funnel.hello, 1);
+        assert_eq!(funnel.status, 1);
+        assert_eq!(funnel.unresponsive_dialed, 1);
     }
 
     #[test]

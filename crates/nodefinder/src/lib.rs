@@ -17,19 +17,27 @@
 //! 4. **Structured logging.** Every connection logs timestamp, node id,
 //!    ip/port, connection type (dynamic/static/incoming), socket sRTT,
 //!    duration, and the decoded HELLO/STATUS/DISCONNECT payloads.
+//! 5. **Degradation hardening.** Per-stage handshake timeouts classify
+//!    every failure ([`log::FailureClass`]), and failing endpoints get
+//!    capped exponential backoff plus a penalty box ([`mod@backoff`]) so
+//!    the mostly-unresponsive live population (§4.2) can't starve the
+//!    dial scheduler.
 //!
 //! The [`mod@sanitize`] module implements §5.4's five-step filter that strips
 //! abusive node-ID spammers from the dataset.
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod crawler;
 pub mod datastore;
 pub mod log;
 pub mod sanitize;
 
+pub use backoff::{BackoffPolicy, PenaltyBox};
 pub use crawler::{CrawlerConfig, NodeFinder};
-pub use datastore::{DataStore, NodeObservation};
+pub use datastore::{DataStore, DialFunnel, NodeObservation};
 pub use log::{
-    ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, HelloInfo, StatusInfo,
+    ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, FailureClass, HelloInfo,
+    StatusInfo,
 };
 pub use sanitize::{sanitize, SanitizeParams, SanitizeReport};

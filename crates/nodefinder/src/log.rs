@@ -61,6 +61,44 @@ pub enum ConnOutcome {
     Open,
 }
 
+/// Why a failed probe failed — the per-failure-class counters behind the
+/// degraded-conditions dialed-vs-responded funnel (Figs. 6–7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// TCP connect was refused / target unreachable.
+    ConnectFailed,
+    /// TCP connect never completed within the stage timeout.
+    ConnectTimeout,
+    /// TCP up, RLPx auth/ack never completed in time.
+    HandshakeTimeout,
+    /// RLPx done, DEVp2p HELLO never arrived (slow-loris shape).
+    HelloTimeout,
+    /// HELLO done, eth STATUS / DAO headers never arrived.
+    StatusTimeout,
+    /// The peer violated the protocol (bad frame, garbage HELLO, ...).
+    ProtocolError,
+    /// The peer closed the connection before completing DEVp2p.
+    RemoteReset,
+    /// The probe exceeded its total lifetime cap.
+    ProbeTimeout,
+}
+
+impl FailureClass {
+    /// Stable string label (DataStore counter key).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureClass::ConnectFailed => "connect_failed",
+            FailureClass::ConnectTimeout => "connect_timeout",
+            FailureClass::HandshakeTimeout => "handshake_timeout",
+            FailureClass::HelloTimeout => "hello_timeout",
+            FailureClass::StatusTimeout => "status_timeout",
+            FailureClass::ProtocolError => "protocol_error",
+            FailureClass::RemoteReset => "remote_reset",
+            FailureClass::ProbeTimeout => "probe_timeout",
+        }
+    }
+}
+
 /// One connection attempt's record — the unit the paper's log lines
 /// aggregate into.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -91,6 +129,10 @@ pub struct ConnLog {
     pub dao_fork: Option<bool>,
     /// Outcome.
     pub outcome: ConnOutcome,
+    /// Failure classification, when the probe failed (`None` on success
+    /// and in logs written before this field existed).
+    #[serde(default)]
+    pub failure: Option<FailureClass>,
 }
 
 /// A discovery-layer sighting (RLPx node discovery, no TCP involved).
@@ -204,6 +246,7 @@ mod tests {
             }),
             dao_fork: Some(true),
             outcome: ConnOutcome::DaoChecked,
+            failure: None,
         }
     }
 
@@ -241,5 +284,32 @@ mod tests {
     #[test]
     fn bad_jsonl_is_an_error() {
         assert!(CrawlLog::from_jsonl("{\"type\":\"bogus\"}").is_err());
+    }
+
+    #[test]
+    fn conn_without_failure_field_still_parses() {
+        // Logs written before failure classification existed must load.
+        let json = serde_json::to_string(&sample_conn()).unwrap();
+        let pre = json.replace(",\"failure\":null", "");
+        assert_ne!(pre, json, "fixture should have carried the field");
+        let line = format!("{{\"type\":\"conn\",\"data\":{pre}}}");
+        let log = CrawlLog::from_jsonl(&line).unwrap();
+        assert_eq!(log.conns[0].failure, None);
+    }
+
+    #[test]
+    fn failure_labels_are_distinct() {
+        let all = [
+            FailureClass::ConnectFailed,
+            FailureClass::ConnectTimeout,
+            FailureClass::HandshakeTimeout,
+            FailureClass::HelloTimeout,
+            FailureClass::StatusTimeout,
+            FailureClass::ProtocolError,
+            FailureClass::RemoteReset,
+            FailureClass::ProbeTimeout,
+        ];
+        let labels: std::collections::BTreeSet<&str> = all.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), all.len());
     }
 }

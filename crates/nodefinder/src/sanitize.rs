@@ -157,6 +157,7 @@ mod tests {
             latencies_ms: Vec::new(),
             first_active_ms: None,
             last_active_ms: None,
+            failures: BTreeMap::new(),
         };
         o.ips.insert(ip);
         o

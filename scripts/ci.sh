@@ -39,6 +39,10 @@ fi
 
 step "detlint" cargo run -q -p detlint
 step "cargo test" cargo test --workspace -q
+# The adversarial/fault-injection scenarios are tier-1: call them out so a
+# failure is attributable at a glance even though the workspace run above
+# already includes them.
+step "robustness suite" cargo test -q --test robustness
 
 echo
 if [ "$failures" -ne 0 ]; then

@@ -20,6 +20,7 @@
 //! | world | [`ethpop`] | behavioral Geth/Parity/light/spammer populations |
 //! | **contribution** | [`nodefinder`] | the crawler + §5.4 sanitization |
 //! | evaluation | [`analysis`] | Tables 1–6, Figures 2–14 |
+//! | robustness | [`adversary`] | Byzantine peers for fault-injection tests |
 //!
 //! ## Quick start
 //!
@@ -47,6 +48,7 @@
 //! the per-table/figure experiment binaries.
 #![forbid(unsafe_code)]
 
+pub use adversary;
 pub use analysis;
 pub use devp2p;
 pub use discv4;

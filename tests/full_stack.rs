@@ -2,6 +2,7 @@
 //! RLPx, DEVp2p, eth — driven through the simulator via the umbrella
 //! crate's public API.
 
+use adversary::{GarbageHello, ResetAfterN, SlowLoris, Tarpit};
 use ethereum_p2p::prelude::*;
 use ethpop::ServiceKind;
 use netsim::Region;
@@ -254,6 +255,139 @@ fn dao_check_separates_classic_from_mainnet() {
     assert_eq!(classic_obs.dao_fork, Some(false));
     assert!(main_obs.is_mainnet());
     assert!(!classic_obs.is_mainnet());
+}
+
+/// Crawl a generated world, optionally salting it with ~10% adversarial
+/// hosts, and return (ground truth, datastore).
+fn crawl_population(with_adversaries: bool) -> (World, DataStore) {
+    let config = WorldConfig {
+        seed: 4242,
+        n_nodes: 36,
+        duration_ms: 10 * 60_000,
+        always_on_fraction: 1.0,
+        spammer_ips: 0,
+        udp_loss: 0.0,
+        ..WorldConfig::default()
+    };
+    let mut world = World::build(config);
+    let mut bootstrap = world.bootstrap.clone();
+    if with_adversaries {
+        // Four Byzantine hosts — ~10% of the population — each breaking
+        // the probe pipeline at a different stage.
+        type AdvFactory = Box<dyn Fn(SecretKey, Vec<Endpoint>) -> Box<dyn netsim::Host>>;
+        let boot_eps: Vec<Endpoint> = world.bootstrap.iter().map(|r| r.endpoint).collect();
+        let factories: Vec<AdvFactory> = vec![
+            Box::new(|k, b| Box::new(SlowLoris::new(k, b))),
+            Box::new(|k, b| Box::new(GarbageHello::new(k, b))),
+            Box::new(|k, b| Box::new(Tarpit::new(k, b))),
+            Box::new(|k, b| Box::new(ResetAfterN::new(k, b))),
+        ];
+        for (i, factory) in factories.into_iter().enumerate() {
+            let key = SecretKey::from_bytes(&[0xA0 + i as u8; 32]).unwrap();
+            let ep = Endpoint::new(Ipv4Addr::new(203, 0, 113, i as u8 + 1), 30303);
+            bootstrap.push(NodeRecord::new(NodeId::from_secret_key(&key), ep));
+            let host = world.sim.add_host(
+                HostAddr::new(ep.ip, ep.tcp_port),
+                meta(true),
+                factory(key, boot_eps.clone()),
+            );
+            world.sim.schedule_start(host, 0);
+        }
+    }
+    let crawler_key = SecretKey::from_bytes(&[0xCB; 32]).unwrap();
+    let crawler = NodeFinder::new(
+        crawler_key,
+        CrawlerConfig {
+            static_redial_interval_ms: 60_000,
+            stale_after_ms: 10 * 60_000,
+            probe_timeout_ms: 30_000,
+            penalty_threshold: 3,
+            penalty_box_ms: 2 * 60_000,
+            ..CrawlerConfig::default()
+        },
+        bootstrap,
+    );
+    let host = world.sim.add_host(
+        HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303),
+        HostMeta::default_cloud(),
+        Box::new(crawler),
+    );
+    world.sim.schedule_start(host, 0);
+    world.sim.run_until(10 * 60_000);
+    let crawler = world
+        .sim
+        .remove_host_behaviour(host)
+        .unwrap()
+        .into_any()
+        .downcast::<NodeFinder>()
+        .unwrap();
+    let store = DataStore::from_log(&crawler.log);
+    (world, store)
+}
+
+/// Count ground-truth reachable well-behaved hosts whose HELLO the
+/// crawler collected.
+fn helloed_honest(world: &World, store: &DataStore) -> (usize, usize) {
+    let reachable: Vec<_> = world.nodes.iter().filter(|n| n.reachable).collect();
+    let helloed = reachable
+        .iter()
+        .filter(|n| {
+            store
+                .nodes
+                .get(&n.initial_id)
+                .map(|o| o.hello.is_some())
+                .unwrap_or(false)
+        })
+        .count();
+    (helloed, reachable.len())
+}
+
+/// A 10% adversarial population must shift the dialed-vs-responded
+/// funnel in the paper's direction — more dialed-but-unresponsive IDs —
+/// without costing a single well-behaved host (the crawler's probe
+/// pipeline degrades per-peer, never globally).
+#[test]
+fn mixed_population_shifts_funnel_without_losing_honest_coverage() {
+    let (base_world, base_store) = crawl_population(false);
+    let (mixed_world, mixed_store) = crawl_population(true);
+
+    // 100% of reachable well-behaved hosts complete a HELLO — with and
+    // without the Byzantine contingent.
+    let (base_found, base_total) = helloed_honest(&base_world, &base_store);
+    let (mixed_found, mixed_total) = helloed_honest(&mixed_world, &mixed_store);
+    assert_eq!(
+        base_found, base_total,
+        "baseline crawl must HELLO every reachable well-behaved host"
+    );
+    assert_eq!(
+        mixed_found, mixed_total,
+        "adversaries must not cost the crawler a single well-behaved host"
+    );
+    assert_eq!(base_total, mixed_total, "same generated ground truth");
+
+    // The funnel widens at the bottom: every adversary (and the tarpit's
+    // fake records) lands in dialed-but-unresponsive, exactly the gap the
+    // paper measures between discovered and productive peers (Figs. 6–7).
+    let base_funnel = base_store.dial_funnel();
+    let mixed_funnel = mixed_store.dial_funnel();
+    assert!(
+        mixed_funnel.unresponsive_dialed > base_funnel.unresponsive_dialed,
+        "expected more dialed-but-unresponsive IDs, base {base_funnel:?} mixed {mixed_funnel:?}"
+    );
+    assert!(
+        mixed_funnel.discovered > base_funnel.discovered,
+        "tarpit fakes should inflate the discovered set"
+    );
+    // And the failure classifiers saw the adversaries' signatures.
+    let totals = mixed_store.failure_totals();
+    assert!(
+        totals.get("hello_timeout").copied().unwrap_or(0) > 0,
+        "slow-loris signature missing: {totals:?}"
+    );
+    assert!(
+        totals.get("protocol_error").copied().unwrap_or(0) > 0,
+        "garbage-HELLO signature missing: {totals:?}"
+    );
 }
 
 /// Profile construction sanity for non-eth services end to end: the world

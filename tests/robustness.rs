@@ -1,0 +1,420 @@
+//! Scenario-driven robustness suite: NodeFinder vs. Byzantine peers and
+//! injected network pathologies.
+//!
+//! Every scenario makes three claims, mirroring the conditions the live
+//! crawl survived (§4.2):
+//!
+//! 1. **Termination** — the crawl is bounded by `run_until`; nothing
+//!    wedges on a peer that stalls, floods, or resets.
+//! 2. **Determinism** — two fresh worlds with the same seed produce
+//!    byte-identical `DataStore`s, adversaries and faults included.
+//! 3. **Coverage** — every reachable well-behaved host still completes
+//!    a HELLO; the adversary degrades only its own funnel stage.
+
+use adversary::{GarbageHello, ResetAfterN, SlowLoris, Tarpit, WrongGenesis};
+use ethereum_p2p::prelude::*;
+use ethwire::SNAPSHOT_HEAD;
+use netsim::{Fault, FaultWindow, HostId, LinkSelector, Region};
+use std::net::Ipv4Addr;
+
+const RUN_MS: u64 = 5 * 60_000;
+const N_HONEST: u8 = 4;
+
+fn meta(reachable: bool) -> HostMeta {
+    HostMeta {
+        country: "US",
+        asn: "Test",
+        region: Region::NorthAmerica,
+        reachable,
+    }
+}
+
+fn crawler_config() -> CrawlerConfig {
+    CrawlerConfig {
+        // compress the paper's long intervals for a 5-minute world
+        static_redial_interval_ms: 60_000,
+        stale_after_ms: 10 * 60_000,
+        probe_timeout_ms: 30_000,
+        backoff: nodefinder::BackoffPolicy {
+            base_ms: 5_000,
+            cap_ms: 60_000,
+            jitter_ms: 1_000,
+        },
+        penalty_threshold: 3,
+        penalty_box_ms: 2 * 60_000,
+        ..CrawlerConfig::default()
+    }
+}
+
+type AdvFactory = dyn Fn(SecretKey, Vec<Endpoint>) -> Box<dyn netsim::Host>;
+
+/// What one scenario run leaves behind for assertions.
+struct Outcome {
+    json: String,
+    store: DataStore,
+    honest: Vec<NodeRecord>,
+    adv_id: NodeId,
+    adv: Option<Box<dyn std::any::Any>>,
+    penalty_boxed_total: u64,
+}
+
+/// Build a small controlled world — `N_HONEST` always-on Mainnet Geth
+/// nodes, optionally one adversary, one NodeFinder — apply `shape` to the
+/// simulator (fault windows, churn, flaps), and crawl it to `run_ms`.
+fn run_scenario(
+    seed: u64,
+    run_ms: u64,
+    adv: Option<&AdvFactory>,
+    shape: &dyn Fn(&mut NetSim, &[HostId]),
+) -> Outcome {
+    let mut sim = NetSim::new(SimConfig {
+        seed,
+        udp_loss: 0.0,
+        jitter_ms: 0,
+        ..SimConfig::default()
+    });
+
+    let keyed: Vec<(SecretKey, NodeRecord)> = (0..N_HONEST)
+        .map(|i| {
+            let key = SecretKey::from_bytes(&[0x10 + i; 32]).expect("valid key");
+            let record = NodeRecord::new(
+                NodeId::from_secret_key(&key),
+                Endpoint::new(Ipv4Addr::new(10, 0, 0, i + 1), 30303),
+            );
+            (key, record)
+        })
+        .collect();
+    let honest: Vec<NodeRecord> = keyed.iter().map(|(_, r)| *r).collect();
+
+    let mut honest_hosts = Vec::new();
+    for (i, (key, record)) in keyed.iter().enumerate() {
+        let peers: Vec<NodeRecord> = honest
+            .iter()
+            .copied()
+            .filter(|r| r.id != record.id)
+            .collect();
+        let node = EthNode::new(
+            NodeProfile::geth(
+                *key,
+                format!("Geth/honest-{i}/linux-amd64/go1.10"),
+                Chain::new(ChainConfig::mainnet(), SNAPSHOT_HEAD),
+            ),
+            peers,
+        );
+        let host = sim.add_host(
+            HostAddr::new(record.endpoint.ip, 30303),
+            meta(true),
+            Box::new(node),
+        );
+        sim.schedule_start(host, 0);
+        honest_hosts.push(host);
+    }
+
+    let adv_key = SecretKey::from_bytes(&[0xAD; 32]).expect("valid key");
+    let adv_id = NodeId::from_secret_key(&adv_key);
+    let adv_record = NodeRecord::new(adv_id, Endpoint::new(Ipv4Addr::new(10, 0, 9, 9), 30303));
+    let adv_host = adv.map(|factory| {
+        let endpoints: Vec<Endpoint> = honest.iter().map(|r| r.endpoint).collect();
+        let host = sim.add_host(
+            HostAddr::new(adv_record.endpoint.ip, 30303),
+            meta(true),
+            factory(adv_key, endpoints),
+        );
+        sim.schedule_start(host, 0);
+        host
+    });
+
+    let crawler_key = SecretKey::from_bytes(&[0xCC; 32]).expect("valid key");
+    let mut bootstrap = honest.clone();
+    if adv.is_some() {
+        bootstrap.push(adv_record);
+    }
+    let crawler = NodeFinder::new(crawler_key, crawler_config(), bootstrap);
+    let crawler_host = sim.add_host(
+        HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303),
+        HostMeta::default_cloud(),
+        Box::new(crawler),
+    );
+    sim.schedule_start(crawler_host, 0);
+
+    shape(&mut sim, &honest_hosts);
+    sim.run_until(run_ms);
+
+    let crawler = sim
+        .remove_host_behaviour(crawler_host)
+        .expect("crawler present")
+        .into_any()
+        .downcast::<NodeFinder>()
+        .expect("crawler type");
+    let adv_box = adv_host.map(|h| {
+        sim.remove_host_behaviour(h)
+            .expect("adversary present")
+            .into_any()
+    });
+    let store = DataStore::from_log(&crawler.log);
+    Outcome {
+        json: store.to_json(),
+        store,
+        honest,
+        adv_id,
+        adv: adv_box,
+        penalty_boxed_total: crawler.penalty_boxed_total(),
+    }
+}
+
+fn no_shape(_: &mut NetSim, _: &[HostId]) {}
+
+/// Claim 3: every honest node was discovered and completed a HELLO.
+fn assert_full_honest_coverage(outcome: &Outcome) {
+    for record in &outcome.honest {
+        let obs = outcome
+            .store
+            .nodes
+            .get(&record.id)
+            .unwrap_or_else(|| panic!("honest node {} never observed", record.endpoint.ip));
+        assert!(
+            obs.hello.is_some(),
+            "honest node {} never completed HELLO",
+            record.endpoint.ip
+        );
+    }
+}
+
+/// Claim 2: the same seed reproduces the same datastore, byte for byte.
+fn assert_deterministic(
+    seed: u64,
+    adv: Option<&AdvFactory>,
+    shape: &dyn Fn(&mut NetSim, &[HostId]),
+) -> Outcome {
+    let a = run_scenario(seed, RUN_MS, adv, shape);
+    let b = run_scenario(seed, RUN_MS, adv, shape);
+    assert_eq!(
+        a.json, b.json,
+        "two fresh worlds must produce byte-identical datastores"
+    );
+    a
+}
+
+// ---------------------------------------------------------------------
+// Byzantine-peer scenarios
+// ---------------------------------------------------------------------
+
+#[test]
+fn slow_loris_stalls_at_hello_without_hurting_coverage() {
+    let factory: &AdvFactory = &|key, boot| Box::new(SlowLoris::new(key, boot));
+    let outcome = assert_deterministic(71, Some(factory), &no_shape);
+    assert_full_honest_coverage(&outcome);
+
+    // The crawler authenticated the loris (RLPx fine) but timed out
+    // waiting for HELLO — the paper's dominant dialed-but-silent class.
+    let obs = outcome
+        .store
+        .nodes
+        .get(&outcome.adv_id)
+        .expect("loris dialed");
+    assert!(obs.dials_attempted > 0);
+    assert!(obs.hello.is_none(), "loris must never produce a HELLO");
+    assert!(
+        obs.failures.contains_key("hello_timeout"),
+        "expected hello_timeout, failures: {:?}",
+        obs.failures
+    );
+    let loris = outcome
+        .adv
+        .expect("adversary ran")
+        .downcast::<SlowLoris>()
+        .expect("loris type");
+    assert!(loris.auths_acked > 0, "loris never saw a real auth");
+}
+
+#[test]
+fn garbage_hello_is_classified_as_protocol_error() {
+    let factory: &AdvFactory = &|key, boot| Box::new(GarbageHello::new(key, boot));
+    let outcome = assert_deterministic(72, Some(factory), &no_shape);
+    assert_full_honest_coverage(&outcome);
+
+    let obs = outcome
+        .store
+        .nodes
+        .get(&outcome.adv_id)
+        .expect("garbage peer dialed");
+    assert!(obs.hello.is_none());
+    assert!(
+        obs.failures.contains_key("protocol_error"),
+        "expected protocol_error, failures: {:?}",
+        obs.failures
+    );
+    let adv = outcome
+        .adv
+        .expect("adversary ran")
+        .downcast::<GarbageHello>()
+        .expect("garbage type");
+    assert!(adv.garbage_sent > 0, "no garbage HELLO was ever delivered");
+}
+
+#[test]
+fn wrong_genesis_peer_is_responsive_but_never_mainnet() {
+    let factory: &AdvFactory = &|key, boot| Box::new(WrongGenesis::new(key, boot));
+    let outcome = assert_deterministic(73, Some(factory), &no_shape);
+    assert_full_honest_coverage(&outcome);
+
+    // Fully protocol-conformant, so it lands in the responsive funnel…
+    let obs = outcome
+        .store
+        .nodes
+        .get(&outcome.adv_id)
+        .expect("wrong-genesis peer dialed");
+    assert!(obs.hello.is_some(), "handshake should succeed");
+    let status = obs.status.expect("STATUS should be collected");
+    assert_eq!(status.genesis_hash, [0xEE; 32]);
+    // …but classification keeps it out of the Mainnet population (§5.1).
+    assert!(!obs.is_mainnet());
+    let adv = outcome
+        .adv
+        .expect("adversary ran")
+        .downcast::<WrongGenesis>()
+        .expect("wrong-genesis type");
+    assert!(adv.statuses_sent > 0);
+}
+
+#[test]
+fn findnode_tarpit_pollutes_discovery_but_crawl_terminates() {
+    let factory: &AdvFactory = &|key, boot| Box::new(Tarpit::new(key, boot));
+    let outcome = assert_deterministic(74, Some(factory), &no_shape);
+    assert_full_honest_coverage(&outcome);
+
+    let tarpit = outcome
+        .adv
+        .expect("adversary ran")
+        .downcast::<Tarpit>()
+        .expect("tarpit type");
+    assert!(tarpit.queries_served > 0, "tarpit was never queried");
+    assert!(tarpit.fakes_sent > 0);
+
+    // The junk inflates the discovered-vs-responsive gap (Figs. 6–7)…
+    let funnel = outcome.store.dial_funnel();
+    assert!(
+        funnel.discovered > outcome.honest.len() + 1,
+        "fake records should appear in the store, funnel: {funnel:?}"
+    );
+    assert!(funnel.unresponsive_dialed > 0, "funnel: {funnel:?}");
+    let totals = outcome.store.failure_totals();
+    assert!(
+        totals.get("connect_failed").copied().unwrap_or(0) > 0,
+        "dials at TEST-NET addresses must fail, totals: {totals:?}"
+    );
+    // …and the penalty box absorbs the repeat offenders instead of
+    // letting them starve the dial scheduler.
+    assert!(
+        outcome.penalty_boxed_total > 0,
+        "repeatedly failing fakes should have been boxed"
+    );
+}
+
+#[test]
+fn reset_after_n_bytes_is_a_remote_reset() {
+    let factory: &AdvFactory = &|key, boot| Box::new(ResetAfterN::new(key, boot));
+    let outcome = assert_deterministic(75, Some(factory), &no_shape);
+    assert_full_honest_coverage(&outcome);
+
+    let obs = outcome
+        .store
+        .nodes
+        .get(&outcome.adv_id)
+        .expect("resetter dialed");
+    assert!(obs.hello.is_none());
+    assert!(
+        obs.failures.contains_key("remote_reset"),
+        "expected remote_reset, failures: {:?}",
+        obs.failures
+    );
+    let adv = outcome
+        .adv
+        .expect("adversary ran")
+        .downcast::<ResetAfterN>()
+        .expect("resetter type");
+    assert!(adv.resets > 0, "no connection was ever reset");
+}
+
+// ---------------------------------------------------------------------
+// Network-fault scenarios
+// ---------------------------------------------------------------------
+
+#[test]
+fn udp_burst_loss_window_is_survivable() {
+    let shape = |sim: &mut NetSim, _: &[HostId]| {
+        sim.add_fault(FaultWindow {
+            link: LinkSelector::Any,
+            from_ms: 30_000,
+            until_ms: 90_000,
+            fault: Fault::UdpLoss(0.5),
+        });
+    };
+    let outcome = assert_deterministic(81, None, &shape);
+    // Discovery suffers inside the window, but TCP probing and the
+    // post-window discovery rounds still reach everyone.
+    assert_full_honest_coverage(&outcome);
+}
+
+#[test]
+fn blackholed_host_is_rediscovered_after_the_window() {
+    let target = Ipv4Addr::new(10, 0, 0, 2);
+    let shape = move |sim: &mut NetSim, _: &[HostId]| {
+        sim.add_fault(FaultWindow {
+            link: LinkSelector::Host(HostAddr::new(target, 30303)),
+            from_ms: 0,
+            until_ms: 60_000,
+            fault: Fault::Blackhole,
+        });
+    };
+    let outcome = assert_deterministic(82, None, &shape);
+    // The blackholed host failed its early dials and went through
+    // backoff, but a retry after the window completed the probe.
+    assert_full_honest_coverage(&outcome);
+    let obs = outcome
+        .store
+        .nodes
+        .values()
+        .find(|o| o.ips.contains(&target))
+        .expect("blackholed host observed");
+    assert!(
+        obs.failures.contains_key("connect_failed"),
+        "window dials should have failed, failures: {:?}",
+        obs.failures
+    );
+    assert!(obs.hello.is_some(), "recovery dial should have succeeded");
+}
+
+#[test]
+fn corruption_window_degrades_then_recovers() {
+    let crawler_addr = HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303);
+    let shape = move |sim: &mut NetSim, _: &[HostId]| {
+        sim.add_fault(FaultWindow {
+            link: LinkSelector::Host(crawler_addr),
+            from_ms: 0,
+            until_ms: 30_000,
+            fault: Fault::TcpCorrupt,
+        });
+    };
+    let outcome = assert_deterministic(83, None, &shape);
+    // Every in-window handshake fails some stage; the crawler classifies
+    // rather than wedges, and clean re-dials finish the job.
+    let totals = outcome.store.failure_totals();
+    assert!(
+        !totals.is_empty(),
+        "corrupted handshakes should have been classified"
+    );
+    assert_full_honest_coverage(&outcome);
+}
+
+#[test]
+fn churn_burst_and_nat_flap_are_survivable_and_deterministic() {
+    let shape = |sim: &mut NetSim, honest: &[HostId]| {
+        // Half the population drops at once for 30s…
+        sim.churn_burst(&honest[2..], 60_000, 30_000);
+        // …and one host's NAT mapping flaps twice.
+        sim.nat_flap(honest[0], 90_000, 10_000, 2);
+    };
+    let outcome = assert_deterministic(84, None, &shape);
+    assert_full_honest_coverage(&outcome);
+}
