@@ -1,0 +1,218 @@
+//! Instrumented reference crawl + trace-determinism gate.
+//!
+//! Runs the `tests/full_stack.rs` mixed-population world (36 behavioral
+//! nodes + 4 Byzantine hosts, seed 4242, 10 simulated minutes) under the
+//! `obs` recorder and emits, under `results/`:
+//!
+//! - `obs_trace.jsonl`   — flight-recorder JSONL event log
+//! - `obs_metrics.prom`  — Prometheus-style text snapshot
+//! - `BENCH_crawl.json`  — events/sec, sim-events per wall-second, peak
+//!   queue depth, per-stage handshake latency quantiles
+//!
+//! The binary is also a gate: it runs the same seed twice and exits
+//! nonzero if either export differs byte-for-byte (trace determinism),
+//! then runs once more with the recorder uninstalled and exits nonzero
+//! if the resulting `DataStore` JSON differs (observer effect).
+
+use adversary::{GarbageHello, ResetAfterN, SlowLoris, Tarpit};
+use enode::{Endpoint, NodeId, NodeRecord};
+use ethcrypto::secp256k1::SecretKey;
+use ethpop::world::{World, WorldConfig};
+use netsim::{Host, HostAddr, HostMeta, Region};
+use nodefinder::{CrawlerConfig, DataStore, NodeFinder};
+use std::net::Ipv4Addr;
+
+const SIM_MS: u64 = 10 * 60_000;
+
+fn meta(reachable: bool) -> HostMeta {
+    HostMeta {
+        country: "US",
+        asn: "Test",
+        region: Region::NorthAmerica,
+        reachable,
+    }
+}
+
+struct RunOutput {
+    store_json: String,
+    trace_jsonl: Option<String>,
+    prom: Option<String>,
+    recorder: Option<obs::Recorder>,
+    wall_ms: u64,
+}
+
+/// One full reference crawl, optionally under the obs recorder.
+fn run_crawl(instrument: bool) -> RunOutput {
+    let recorder = if instrument {
+        let r = obs::Recorder::new();
+        r.install();
+        Some(r)
+    } else {
+        None
+    };
+    // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
+    let t0 = std::time::Instant::now();
+
+    let config = WorldConfig {
+        seed: 4242,
+        n_nodes: 36,
+        duration_ms: SIM_MS,
+        always_on_fraction: 1.0,
+        spammer_ips: 0,
+        udp_loss: 0.0,
+        ..WorldConfig::default()
+    };
+    let mut world = World::build(config);
+    let mut bootstrap = world.bootstrap.clone();
+
+    // Four Byzantine hosts, each breaking the probe pipeline at a
+    // different stage (same cast as tests/full_stack.rs).
+    type AdvFactory = Box<dyn Fn(SecretKey, Vec<Endpoint>) -> Box<dyn Host>>;
+    let boot_eps: Vec<Endpoint> = world.bootstrap.iter().map(|r| r.endpoint).collect();
+    let factories: Vec<AdvFactory> = vec![
+        Box::new(|k, b| Box::new(SlowLoris::new(k, b))),
+        Box::new(|k, b| Box::new(GarbageHello::new(k, b))),
+        Box::new(|k, b| Box::new(Tarpit::new(k, b))),
+        Box::new(|k, b| Box::new(ResetAfterN::new(k, b))),
+    ];
+    for (i, factory) in factories.into_iter().enumerate() {
+        let key = SecretKey::from_bytes(&[0xA0 + i as u8; 32]).expect("adversary key");
+        let ep = Endpoint::new(Ipv4Addr::new(203, 0, 113, i as u8 + 1), 30303);
+        bootstrap.push(NodeRecord::new(NodeId::from_secret_key(&key), ep));
+        let host = world.sim.add_host(
+            HostAddr::new(ep.ip, ep.tcp_port),
+            meta(true),
+            factory(key, boot_eps.clone()),
+        );
+        world.sim.schedule_start(host, 0);
+    }
+
+    let crawler_key = SecretKey::from_bytes(&[0xCB; 32]).expect("crawler key");
+    let crawler = NodeFinder::new(
+        crawler_key,
+        CrawlerConfig {
+            static_redial_interval_ms: 60_000,
+            stale_after_ms: 10 * 60_000,
+            probe_timeout_ms: 30_000,
+            penalty_threshold: 3,
+            penalty_box_ms: 2 * 60_000,
+            ..CrawlerConfig::default()
+        },
+        bootstrap,
+    );
+    let host = world.sim.add_host(
+        HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303),
+        HostMeta::default_cloud(),
+        Box::new(crawler),
+    );
+    world.sim.schedule_start(host, 0);
+    world.sim.run_until(SIM_MS);
+
+    let crawler = world
+        .sim
+        .remove_host_behaviour(host)
+        .expect("crawler host")
+        .into_any()
+        .downcast::<NodeFinder>()
+        .expect("NodeFinder behaviour");
+    let store = DataStore::from_log(&crawler.log);
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    obs::uninstall();
+    RunOutput {
+        store_json: store.to_json(),
+        trace_jsonl: recorder.as_ref().map(|r| r.export_jsonl()),
+        prom: recorder.as_ref().map(|r| r.prometheus()),
+        recorder,
+        wall_ms,
+    }
+}
+
+/// Render one stage's quantiles as a JSON object, or `null` if the
+/// histogram never saw an observation.
+fn stage_json(rec: &obs::Recorder, name: &str) -> String {
+    match rec.histogram(name) {
+        // Quantiles report the bucket's upper bound; clamp to the exact
+        // max so p99 never reads above the largest observed value.
+        Some(h) if h.count() > 0 => format!(
+            "{{\"count\":{},\"p50_ms\":{},\"p90_ms\":{},\"p99_ms\":{},\"max_ms\":{}}}",
+            h.count(),
+            h.quantile(0.50).unwrap_or(0).min(h.max()),
+            h.quantile(0.90).unwrap_or(0).min(h.max()),
+            h.quantile(0.99).unwrap_or(0).min(h.max()),
+            h.max(),
+        ),
+        _ => "null".to_string(),
+    }
+}
+
+fn main() {
+    eprintln!("bench_crawl: instrumented reference crawl, run 1/3 ...");
+    let run_a = run_crawl(true);
+    eprintln!("bench_crawl: same-seed repeat, run 2/3 ...");
+    let run_b = run_crawl(true);
+
+    let trace = run_a.trace_jsonl.as_deref().expect("instrumented trace");
+    let prom = run_a.prom.as_deref().expect("instrumented snapshot");
+    if run_b.trace_jsonl.as_deref() != Some(trace) {
+        eprintln!("bench_crawl: FAIL — JSONL trace export differs between same-seed runs");
+        std::process::exit(1);
+    }
+    if run_b.prom.as_deref() != Some(prom) {
+        eprintln!("bench_crawl: FAIL — Prometheus snapshot differs between same-seed runs");
+        std::process::exit(1);
+    }
+
+    eprintln!("bench_crawl: uninstrumented observer-effect run 3/3 ...");
+    let run_c = run_crawl(false);
+    if run_c.store_json != run_a.store_json {
+        eprintln!(
+            "bench_crawl: FAIL — DataStore differs with the recorder installed (observer effect)"
+        );
+        std::process::exit(1);
+    }
+
+    let rec = run_a.recorder.as_ref().expect("recorder");
+    let events_total = rec.counter("netsim.events_total");
+    let sim_secs = SIM_MS / 1000;
+    let wall_ms = run_a.wall_ms.max(1);
+    let bench = format!(
+        "{{\n\
+         \x20 \"world\": \"full_stack mixed population (36 honest + 4 byzantine, seed 4242)\",\n\
+         \x20 \"sim_ms\": {SIM_MS},\n\
+         \x20 \"wall_ms\": {wall_ms},\n\
+         \x20 \"sim_events_total\": {events_total},\n\
+         \x20 \"events_per_sim_second\": {},\n\
+         \x20 \"sim_events_per_wall_second\": {},\n\
+         \x20 \"peak_queue_depth\": {},\n\
+         \x20 \"trace_events_recorded\": {},\n\
+         \x20 \"trace_events_dropped\": {},\n\
+         \x20 \"handshake_stages\": {{\n\
+         \x20   \"connect_ms\": {},\n\
+         \x20   \"auth_ms\": {},\n\
+         \x20   \"hello_ms\": {},\n\
+         \x20   \"status_ms\": {}\n\
+         \x20 }}\n\
+         }}\n",
+        events_total / sim_secs.max(1),
+        events_total * 1000 / wall_ms,
+        rec.gauge("netsim.queue_depth_peak"),
+        rec.event_count(),
+        rec.dropped_events(),
+        stage_json(rec, "crawler.stage.connect_ms"),
+        stage_json(rec, "crawler.stage.auth_ms"),
+        stage_json(rec, "crawler.stage.hello_ms"),
+        stage_json(rec, "crawler.stage.status_ms"),
+    );
+
+    let p1 = bench::write_artifact("obs_trace.jsonl", trace);
+    let p2 = bench::write_artifact("obs_metrics.prom", prom);
+    let p3 = bench::write_artifact("BENCH_crawl.json", &bench);
+    eprintln!(
+        "bench_crawl: OK — deterministic trace ({} events, {} dropped), zero observer effect",
+        rec.event_count(),
+        rec.dropped_events()
+    );
+    for p in [p1, p2, p3] {
+        println!("{}", p.display());
+    }
+}

@@ -73,7 +73,10 @@ impl Rule {
                  \n\
                  Flags: the identifiers `Instant` and `SystemTime`.\n\
                  Allowlist: vendor/criterion (benchmarks measure wall time by definition).\n\
-                 Escape hatch: `// detlint: allow(R1) -- <why>` on the same or previous line."
+                 Escape hatch: `// detlint: allow(R1) -- <why>` on the same or previous line.\n\
+                 Hard ban: under crates/obs/ the escape hatch is not honored — trace\n\
+                 records are sim-time-stamped by contract, and the annotation itself\n\
+                 is flagged there."
             }
             Rule::R2 => {
                 "R2: no ambient randomness; seeded StdRng only.\n\

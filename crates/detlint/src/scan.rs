@@ -12,6 +12,12 @@ use std::path::{Path, PathBuf};
 /// Files (by repo-relative prefix) where R1 wall-clock reads are sanctioned.
 const R1_ALLOWLIST: [&str; 1] = ["vendor/criterion/"];
 
+/// Paths where R1 is a hard ban: the `allow(R1)` escape hatch is not
+/// honored and the annotation itself is a violation. The observability
+/// layer stamps every trace record with sim-time; a single wall-clock
+/// read there would silently break byte-identical trace replay.
+const R1_NO_ESCAPE: [&str; 1] = ["crates/obs/"];
+
 /// Crates whose `src/` must be panic-free (rule R5): they decode bytes that
 /// arrive from arbitrary remote peers.
 const R5_SCOPE: [&str; 5] = [
@@ -177,6 +183,17 @@ fn parse_annotations(
             });
             continue;
         }
+        if rule == Rule::R1 && R1_NO_ESCAPE.iter().any(|prefix| path.starts_with(prefix)) {
+            violations.push(Violation {
+                rule,
+                path: path.to_string(),
+                line: comment.line,
+                message: "rule R1 has no annotation escape hatch under crates/obs/ \
+                          (trace records are sim-time-stamped by contract)"
+                    .to_string(),
+            });
+            continue;
+        }
         if reason.is_empty() {
             violations.push(Violation {
                 rule,
@@ -289,6 +306,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             .any(|&(start, end)| pos >= start && pos < end)
     };
     let r1_allowlisted = R1_ALLOWLIST.iter().any(|prefix| path.starts_with(prefix));
+    let r1_no_escape = R1_NO_ESCAPE.iter().any(|prefix| path.starts_with(prefix));
     let r5_in_scope = R5_SCOPE.iter().any(|prefix| path.starts_with(prefix));
 
     let mut push = |rule: Rule, line: usize, message: String| {
@@ -303,7 +321,8 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
     for token in &tokens {
         match token.word.as_str() {
             "Instant" | "SystemTime"
-                if !r1_allowlisted && !allowances.allows(token.line, Rule::R1) =>
+                if !r1_allowlisted
+                    && (r1_no_escape || !allowances.allows(token.line, Rule::R1)) =>
             {
                 push(
                     Rule::R1,
@@ -749,6 +768,24 @@ use std::collections::HashMap;
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::R1);
         assert!(scan_source("vendor/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_hard_ban_under_obs_ignores_annotation() {
+        let src = "\
+// detlint: allow(R1) -- trying to sneak wall clock into the tracer
+let t = std::time::Instant::now();
+";
+        let v = scan_source("crates/obs/src/lib.rs", src);
+        // Both the annotation itself and the wall-clock read are flagged.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::R1));
+        assert!(v.iter().any(|x| x
+            .message
+            .contains("no annotation escape hatch under crates/obs/")));
+        assert!(v.iter().any(|x| x.message.contains("wall-clock type")));
+        // The same source outside crates/obs/ is clean: the annotation works.
+        assert!(scan_source("crates/netsim/src/engine.rs", src).is_empty());
     }
 
     #[test]

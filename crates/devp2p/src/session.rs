@@ -108,6 +108,7 @@ impl Session {
         };
         let hello = Message::Hello(s.local_hello.clone());
         s.outbound.push((hello.msg_id(), hello.encode_payload()));
+        obs::counter_add("devp2p.hello_sent", 1);
         s
     }
 
@@ -142,6 +143,7 @@ impl Session {
             let msg = Message::Disconnect(reason);
             self.outbound.push((msg.msg_id(), msg.encode_payload()));
             self.state = State::Ended;
+            obs::counter_add("devp2p.disconnect_sent", 1);
         }
     }
 
@@ -194,6 +196,7 @@ impl Session {
                     self.shared = negotiate(&self.local_hello, &hello);
                     self.remote_hello = Some(hello.clone());
                     self.state = State::Active;
+                    obs::counter_add("devp2p.hello_received", 1);
                     Ok(SessionEvent::HelloReceived {
                         hello,
                         shared: self.shared.clone(),
@@ -201,6 +204,7 @@ impl Session {
                 }
                 Message::Disconnect(reason) => {
                     self.state = State::Ended;
+                    obs::counter_add("devp2p.disconnect_received", 1);
                     Ok(SessionEvent::Disconnected(reason))
                 }
                 Message::Ping => {

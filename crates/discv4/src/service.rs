@@ -71,6 +71,8 @@ pub enum Event {
 struct PendingPing {
     to: NodeRecord,
     deadline_ms: u64,
+    /// When the PING left, for the `discv4.ping_rtt_ms` histogram.
+    sent_ms: u64,
     /// If this ping is a liveness check for a bucket eviction, the new node
     /// waiting to take the slot.
     eviction_replacement: Option<NodeRecord>,
@@ -81,6 +83,10 @@ struct PendingPing {
 #[derive(Debug)]
 struct PendingQuery {
     deadline_ms: u64,
+    /// When the query was initiated, for `discv4.findnode_rtt_ms`. For
+    /// unbonded peers this includes the bonding PING/PONG exchange, so
+    /// the histogram measures the full time-to-NEIGHBORS a lookup sees.
+    sent_ms: u64,
 }
 
 /// Counters exposed for the paper's internal-validation figures (Fig 5).
@@ -227,11 +233,13 @@ impl Discv4 {
             PendingPing {
                 to: node,
                 deadline_ms: now_ms + self.config.request_timeout_ms,
+                sent_ms: now_ms,
                 eviction_replacement,
                 queued_findnode,
             },
         );
         self.stats.pings_sent += 1;
+        obs::counter_add("discv4.pings_sent", 1);
         Outgoing {
             to: node.endpoint,
             datagram,
@@ -250,6 +258,7 @@ impl Discv4 {
         self.lookup = Some(lookup);
         self.lookup_target_id = Some(target);
         self.stats.lookups_started += 1;
+        obs::counter_add("discv4.lookups_started", 1);
         let mut out = Vec::new();
         for node in first {
             out.extend(self.send_findnode(node, target, now_ms));
@@ -272,9 +281,11 @@ impl Discv4 {
                 node.id,
                 PendingQuery {
                     deadline_ms: now_ms + self.config.request_timeout_ms,
+                    sent_ms: now_ms,
                 },
             );
             self.stats.findnodes_sent += 1;
+            obs::counter_add("discv4.findnodes_sent", 1);
             vec![Outgoing {
                 to: node.endpoint,
                 datagram,
@@ -286,6 +297,7 @@ impl Discv4 {
                 node.id,
                 PendingQuery {
                     deadline_ms: now_ms + self.config.request_timeout_ms * 2,
+                    sent_ms: now_ms,
                 },
             );
             vec![self.ping_internal(node, now_ms, None, Some(target))]
@@ -361,6 +373,8 @@ impl Discv4 {
                     return Vec::new();
                 }
                 self.stats.pongs_received += 1;
+                obs::counter_add("discv4.pongs_received", 1);
+                obs::observe_ms("discv4.ping_rtt_ms", now_ms.saturating_sub(pending.sent_ms));
                 self.bonds.insert(sender_id, (now_ms, pending.to));
                 self.events.push(Event::NodeVerified(pending.to));
                 let mut out = Vec::new();
@@ -415,11 +429,13 @@ impl Discv4 {
                     return Vec::new();
                 }
                 self.stats.neighbors_received += 1;
+                obs::counter_add("discv4.neighbors_received", 1);
                 for n in &nodes {
                     self.events.push(Event::NodeSeen(*n));
                 }
                 let mut out = Vec::new();
-                if self.pending_queries.remove(&sender_id).is_some() {
+                if let Some(q) = self.pending_queries.remove(&sender_id) {
+                    obs::observe_ms("discv4.findnode_rtt_ms", now_ms.saturating_sub(q.sent_ms));
                     if let Some(lookup) = self.lookup.as_mut() {
                         lookup.on_response(&sender_id, nodes);
                         out.extend(self.advance_lookup(now_ms));
@@ -442,6 +458,10 @@ impl Discv4 {
                 out.push(self.ping_internal(candidate, now_ms, Some(record), None));
             }
         }
+        // World-wide high-water mark: every simulated node's table feeds
+        // the same thread-local recorder, so this tracks the best-filled
+        // table in the world (the crawler's, in practice).
+        obs::gauge_max("discv4.table_size_peak", self.table.len() as u64);
     }
 
     fn advance_lookup(&mut self, now_ms: u64) -> Vec<Outgoing> {
@@ -459,10 +479,16 @@ impl Discv4 {
         };
         if lookup.status() == LookupStatus::Done && self.pending_queries.is_empty() {
             if let Some(lookup) = self.lookup.take() {
-                self.events.push(Event::LookupDone {
-                    all_seen: lookup.all_seen(),
-                    queries: lookup.queries_sent(),
-                });
+                let all_seen = lookup.all_seen();
+                let queries = lookup.queries_sent();
+                obs::event(
+                    "discv4.lookup_done",
+                    &[
+                        ("seen", obs::Value::U64(all_seen.len() as u64)),
+                        ("queries", obs::Value::U64(queries as u64)),
+                    ],
+                );
+                self.events.push(Event::LookupDone { all_seen, queries });
             }
             self.lookup_target_id = None;
         }

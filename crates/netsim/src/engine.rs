@@ -273,6 +273,23 @@ enum Ev {
     },
 }
 
+impl Ev {
+    /// Stable per-kind metric name for the engine's event-mix counters.
+    fn obs_name(&self) -> &'static str {
+        match self {
+            Ev::Udp { .. } => "netsim.events.udp",
+            Ev::TcpSyn { .. } => "netsim.events.tcp_syn",
+            Ev::TcpEstablish { .. } => "netsim.events.tcp_establish",
+            Ev::TcpData { .. } => "netsim.events.tcp_data",
+            Ev::TcpClose { .. } => "netsim.events.tcp_close",
+            Ev::Timer { .. } => "netsim.events.timer",
+            Ev::StartHost { .. } => "netsim.events.start_host",
+            Ev::StopHost { .. } => "netsim.events.stop_host",
+            Ev::SetReachable { .. } => "netsim.events.set_reachable",
+        }
+    }
+}
+
 struct Scheduled {
     at: u64,
     seq: u64,
@@ -462,6 +479,13 @@ impl NetSim {
             }
             let Reverse(sch) = self.queue.pop().unwrap();
             self.now = sch.at;
+            // Observability is pure: it reads the scheduler state but never
+            // touches the sim RNG or the queue, so instrumented and
+            // uninstrumented runs execute identical event sequences.
+            obs::set_now(sch.at);
+            obs::gauge_max("netsim.queue_depth_peak", self.queue.len() as u64 + 1);
+            obs::counter_add("netsim.events_total", 1);
+            obs::counter_add(sch.ev.obs_name(), 1);
             self.dispatch(sch.ev);
             self.events_processed += 1;
         }
@@ -500,6 +524,7 @@ impl NetSim {
                     for (conn, to_initiator) in dead {
                         self.conns[conn].state = ConnState::Closed;
                         self.tcp.resets += 1;
+                        obs::counter_add("netsim.tcp.resets", 1);
                         let delay = self.conn_delay(conn);
                         self.push(self.now + delay, Ev::TcpClose { conn, to_initiator });
                     }
@@ -516,6 +541,7 @@ impl NetSim {
             Ev::Udp { to, from, bytes } => {
                 if !self.slots[to].alive {
                     self.udp_dropped += 1;
+                    obs::counter_add("netsim.udp_dropped", 1);
                     return;
                 }
                 // NAT: unreachable hosts accept only solicited datagrams.
@@ -528,6 +554,7 @@ impl NetSim {
                     );
                     if !solicited {
                         self.udp_dropped += 1;
+                        obs::counter_add("netsim.udp_dropped", 1);
                         return;
                     }
                 }
@@ -572,6 +599,7 @@ impl NetSim {
                 if ok {
                     self.conns[conn].state = ConnState::Established;
                     self.tcp.connects += 1;
+                    obs::counter_add("netsim.tcp.connects", 1);
                     let peer = c.remote_addr;
                     self.with_host(c.initiator, |h, ctx| {
                         h.on_tcp(ctx, TcpEvent::Connected { conn, peer })
@@ -658,15 +686,18 @@ impl NetSim {
             match action {
                 Action::SendUdp { to, bytes } => {
                     self.udp_sent += 1;
+                    obs::counter_add("netsim.udp_sent", 1);
                     // NAT pinhole for the sender.
                     let now = self.now;
                     self.slots[host].nat.insert(to, now);
                     if self.rng.gen_bool(self.config.udp_loss) {
                         self.udp_dropped += 1;
+                        obs::counter_add("netsim.udp_dropped", 1);
                         continue;
                     }
                     let Some(&dest) = self.index.get(&to) else {
                         self.udp_dropped += 1;
+                        obs::counter_add("netsim.udp_dropped", 1);
                         continue;
                     };
                     let from = self.slots[host].addr;
@@ -676,6 +707,7 @@ impl NetSim {
                         match self.config.faults.udp_fate(now, from, to, &mut self.rng) {
                             UdpFate::Drop => {
                                 self.udp_dropped += 1;
+                                obs::counter_add("netsim.udp_dropped", 1);
                                 continue;
                             }
                             UdpFate::Deliver { extra_ms } => extra_ms,
@@ -724,11 +756,13 @@ impl NetSim {
                         {
                             TcpFate::Drop => {
                                 self.tcp.segments_dropped += 1;
+                                obs::counter_add("netsim.tcp.segments_dropped", 1);
                                 continue;
                             }
                             TcpFate::Reset => {
                                 self.conns[conn].state = ConnState::Closed;
                                 self.tcp.resets += 1;
+                                obs::counter_add("netsim.tcp.resets", 1);
                                 let delay = self.conn_delay(conn);
                                 for to_initiator in [true, false] {
                                     self.push(
@@ -742,6 +776,7 @@ impl NetSim {
                         }
                     }
                     self.tcp.bytes += bytes.len() as u64;
+                    obs::counter_add("netsim.tcp.bytes", bytes.len() as u64);
                     let delay = self.conn_delay(conn) + extra;
                     self.push(
                         self.now + delay,

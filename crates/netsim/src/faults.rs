@@ -142,9 +142,14 @@ impl FaultSchedule {
     /// Evaluate the fate of a UDP datagram on link `a`↔`b` at `now`.
     pub(crate) fn udp_fate(&self, now: u64, a: HostAddr, b: HostAddr, rng: &mut StdRng) -> UdpFate {
         let mut extra_ms = 0u64;
-        for w in &self.windows {
+        for (i, w) in self.windows.iter().enumerate() {
             if !w.active(now, a, b) {
                 continue;
+            }
+            // `is_enabled` guard: skip the label format! when no recorder
+            // is installed (the counter itself would no-op anyway).
+            if obs::is_enabled() {
+                obs::counter_add(&format!("netsim.fault.window_{i}.hits"), 1);
             }
             match w.fault {
                 Fault::Blackhole => return UdpFate::Drop,
@@ -179,9 +184,12 @@ impl FaultSchedule {
         rng: &mut StdRng,
     ) -> TcpFate {
         let mut extra_ms = 0u64;
-        for w in &self.windows {
+        for (i, w) in self.windows.iter().enumerate() {
             if !w.active(now, a, b) {
                 continue;
+            }
+            if obs::is_enabled() {
+                obs::counter_add(&format!("netsim.fault.window_{i}.hits"), 1);
             }
             match w.fault {
                 Fault::Blackhole => return TcpFate::Drop,

@@ -50,6 +50,15 @@ pub struct CrawlerConfig {
     pub hello_timeout_ms: u64,
     /// Per-stage timeout: eth STATUS / DAO headers after HELLO.
     pub status_timeout_ms: u64,
+    /// Discovery poll delay after sends with pending requests (was a
+    /// hard-coded 600ms; scenarios and benches can now sweep it).
+    pub poll_delay_ms: u64,
+    /// Dial-scheduler tick: queue drain cadence and the minimum delay
+    /// before a retry timer fires (was a hard-coded 500ms).
+    pub dial_tick_ms: u64,
+    /// Delay before the first static dial of a bootstrap node (was a
+    /// hard-coded 1s).
+    pub bootstrap_dial_delay_ms: u64,
     /// Retry backoff for failing endpoints.
     pub backoff: BackoffPolicy,
     /// Consecutive failures before an endpoint enters the penalty box.
@@ -79,6 +88,9 @@ impl Default for CrawlerConfig {
             handshake_timeout_ms: 10_000,
             hello_timeout_ms: 10_000,
             status_timeout_ms: 15_000,
+            poll_delay_ms: 600,
+            dial_tick_ms: 500,
+            bootstrap_dial_delay_ms: 1_000,
             backoff: BackoffPolicy::default(),
             penalty_threshold: 4,
             penalty_box_ms: 10 * 60 * 1000,
@@ -107,6 +119,9 @@ impl CrawlerConfig {
             handshake_timeout_ms: 10_000,
             hello_timeout_ms: 10_000,
             status_timeout_ms: 15_000,
+            poll_delay_ms: 600,
+            dial_tick_ms: 500,
+            bootstrap_dial_delay_ms: 1_000,
             backoff: BackoffPolicy::default(),
             penalty_threshold: 4,
             penalty_box_ms: 10 * 60 * 1000,
@@ -132,6 +147,9 @@ struct Probe {
     connected: bool,
     /// Current-stage deadline; the sweep reaps and classifies past it.
     deadline_ms: u64,
+    /// When the current handshake stage began (sim time), for the
+    /// per-stage latency spans (connect → auth → HELLO → STATUS).
+    stage_start_ms: u64,
 }
 
 /// The crawler. One instance per simulated measurement machine.
@@ -263,7 +281,7 @@ impl NodeFinder {
         }
         if !self.poll_armed && self.disc.as_ref().map(|d| d.has_pending()).unwrap_or(false) {
             self.poll_armed = true;
-            ctx.set_timer(600, T_POLL);
+            ctx.set_timer(self.config.poll_delay_ms, T_POLL);
         }
     }
 
@@ -287,6 +305,7 @@ impl NodeFinder {
                 record.endpoint.ip,
                 DialEventKind::DiscoverySighting,
             );
+            obs::counter_add("crawler.funnel.sightings", 1);
             // Endpoints in backoff / the penalty box are sighted but not
             // queued — the retry scheduler owns them until they recover.
             if self.penalty.is_blocked(record.id, ctx.now_ms) {
@@ -299,7 +318,7 @@ impl NodeFinder {
         }
         if !self.dial_armed && !self.dynamic_queue.is_empty() {
             self.dial_armed = true;
-            ctx.set_timer(500, T_DIAL);
+            ctx.set_timer(self.config.dial_tick_ms, T_DIAL);
         }
     }
 
@@ -314,6 +333,13 @@ impl NodeFinder {
             ConnType::Incoming => unreachable!("incoming is not dialed"),
         };
         self.event(ctx.now_ms, record.id, record.endpoint.ip, kind);
+        obs::counter_add(
+            match conn_type {
+                ConnType::StaticDial => "crawler.dial.static",
+                _ => "crawler.dial.dynamic",
+            },
+            1,
+        );
         let conn = ctx.tcp_connect(HostAddr::new(record.endpoint.ip, record.endpoint.tcp_port));
         let hello = self.hello(ctx.local_addr());
         let record_log = ConnLog {
@@ -341,11 +367,14 @@ impl NodeFinder {
                 done: false,
                 connected: false,
                 deadline_ms: ctx.now_ms + self.config.connect_timeout_ms,
+                stage_start_ms: ctx.now_ms,
             },
         );
         if conn_type == ConnType::DynamicDial {
             self.dialing += 1;
         }
+        obs::gauge_set("crawler.dialing", self.dialing as u64);
+        obs::gauge_max("crawler.open_conns_peak", self.conns.len() as u64);
     }
 
     /// A probe finished (or died): close the socket, finalize the log
@@ -367,6 +396,41 @@ impl NodeFinder {
         probe.record.duration_ms = ctx.now_ms.saturating_sub(probe.record.ts_ms);
         let responded = probe.record.hello.is_some()
             || matches!(probe.record.outcome, ConnOutcome::RemoteDisconnect(_));
+        // Live dial-funnel counters (mirroring DataStore::dial_funnel) and
+        // a per-probe flight-recorder event. `is_enabled` skips the field
+        // allocations when no recorder is installed.
+        if obs::is_enabled() {
+            if responded && probe.conn_type == ConnType::DynamicDial {
+                obs::counter_add("crawler.funnel.responded", 1);
+            }
+            if probe.record.hello.is_some() {
+                obs::counter_add("crawler.funnel.hello", 1);
+            }
+            if probe.record.status.is_some() {
+                obs::counter_add("crawler.funnel.status", 1);
+            }
+            if let Some(class) = probe.record.failure {
+                obs::counter_add(&format!("crawler.failure.{}", class.label()), 1);
+            }
+            obs::event(
+                "crawler.probe.done",
+                &[
+                    (
+                        "conn_type",
+                        obs::Value::Str(
+                            match probe.conn_type {
+                                ConnType::DynamicDial => "dynamic",
+                                ConnType::StaticDial => "static",
+                                ConnType::Incoming => "incoming",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("responded", obs::Value::Bool(responded)),
+                    ("dur_ms", obs::Value::U64(probe.record.duration_ms)),
+                ],
+            );
+        }
         if let Some(id) = probe.record.node_id {
             // Only *dials* that get an answer prove reachability; incoming
             // conns say nothing about whether the node accepts inbound TCP.
@@ -410,13 +474,20 @@ impl NodeFinder {
                 if !self.dial_armed {
                     if let Some(due) = self.penalty.next_due_ms() {
                         self.dial_armed = true;
-                        ctx.set_timer(due.saturating_sub(now).max(500), T_DIAL);
+                        ctx.set_timer(
+                            due.saturating_sub(now).max(self.config.dial_tick_ms),
+                            T_DIAL,
+                        );
                     }
                 }
             }
             self.queued.remove(&id);
         }
         self.log.conns.push(probe.record);
+        obs::gauge_set("crawler.dialing", self.dialing as u64);
+        obs::gauge_set("crawler.penalty.tracked", self.penalty.tracked() as u64);
+        obs::gauge_set("crawler.penalty.boxed_total", self.penalty.boxed_total());
+        obs::gauge_set("crawler.static_list", self.static_nodes.len() as u64);
     }
 
     fn handle_wire_event(&mut self, ctx: &mut Ctx, conn: ConnId, event: WireEvent) {
@@ -437,6 +508,8 @@ impl NodeFinder {
                 probe.record.outcome = ConnOutcome::HandshakeFailed;
                 // Next stage: the peer's HELLO.
                 probe.deadline_ms = ctx.now_ms + hello_timeout;
+                obs::span("crawler.stage.auth_ms", probe.stage_start_ms, &[]);
+                probe.stage_start_ms = ctx.now_ms;
             }
             WireEvent::Hello { hello, shared } => {
                 probe.record.hello = Some(HelloInfo {
@@ -447,6 +520,8 @@ impl NodeFinder {
                 probe.record.outcome = ConnOutcome::HelloOnly;
                 // Next stage: eth STATUS.
                 probe.deadline_ms = ctx.now_ms + status_timeout;
+                obs::span("crawler.stage.hello_ms", probe.stage_start_ms, &[]);
+                probe.stage_start_ms = ctx.now_ms;
                 if shared.iter().any(|c| c.name == "eth") {
                     // Send our STATUS; theirs should follow.
                     let status = EthMessage::Status(ours.clone());
@@ -468,6 +543,8 @@ impl NodeFinder {
                     genesis_hash: st.genesis_hash,
                 });
                 probe.record.outcome = ConnOutcome::StatusCollected;
+                obs::span("crawler.stage.status_ms", probe.stage_start_ms, &[]);
+                probe.stage_start_ms = ctx.now_ms;
                 // `ours` computed above, before borrowing the probe.
                 if ours.compatible(&st) && self.config.dao_check {
                     // Mainnet-or-Classic: run the DAO check.
@@ -574,7 +651,7 @@ impl Host for NodeFinder {
                     b.id,
                     StaticEntry {
                         record: b,
-                        next_dial_ms: now + 1_000,
+                        next_dial_ms: now + self.config.bootstrap_dial_delay_ms,
                         last_success_ms: now,
                     },
                 );
@@ -582,6 +659,24 @@ impl Host for NodeFinder {
         }
         self.disc = Some(disc);
         self.send_disc(ctx, outgoing);
+        // Record the configured stage deadlines and scheduler cadences as
+        // gauges so every exported snapshot is self-describing.
+        obs::gauge_set(
+            "crawler.cfg.connect_timeout_ms",
+            self.config.connect_timeout_ms,
+        );
+        obs::gauge_set(
+            "crawler.cfg.handshake_timeout_ms",
+            self.config.handshake_timeout_ms,
+        );
+        obs::gauge_set("crawler.cfg.hello_timeout_ms", self.config.hello_timeout_ms);
+        obs::gauge_set(
+            "crawler.cfg.status_timeout_ms",
+            self.config.status_timeout_ms,
+        );
+        obs::gauge_set("crawler.cfg.probe_timeout_ms", self.config.probe_timeout_ms);
+        obs::gauge_set("crawler.cfg.poll_delay_ms", self.config.poll_delay_ms);
+        obs::gauge_set("crawler.cfg.dial_tick_ms", self.config.dial_tick_ms);
         ctx.set_timer(self.config.lookup_interval_ms, T_LOOKUP);
         ctx.set_timer(self.static_tick_ms(), T_STATIC);
         ctx.set_timer(self.sweep_tick_ms(), T_SWEEP);
@@ -611,6 +706,8 @@ impl Host for NodeFinder {
                     probe.record.latency_ms = ctx.rtt_ms(conn);
                     probe.connected = true;
                     probe.deadline_ms = ctx.now_ms + handshake_timeout;
+                    obs::span("crawler.stage.connect_ms", probe.stage_start_ms, &[]);
+                    probe.stage_start_ms = ctx.now_ms;
                     frames = probe.pc.on_tcp_connected(ctx.rng(), &key);
                 }
                 for f in frames {
@@ -665,8 +762,11 @@ impl Host for NodeFinder {
                         done: false,
                         connected: true,
                         deadline_ms: ctx.now_ms + self.config.handshake_timeout_ms,
+                        stage_start_ms: ctx.now_ms,
                     },
                 );
+                obs::counter_add("crawler.conn.incoming", 1);
+                obs::gauge_max("crawler.open_conns_peak", self.conns.len() as u64);
             }
             TcpEvent::Data { conn, bytes } => {
                 let key = self.key;
@@ -754,10 +854,13 @@ impl Host for NodeFinder {
                 }
                 if !self.dynamic_queue.is_empty() {
                     self.dial_armed = true;
-                    ctx.set_timer(500, T_DIAL);
+                    ctx.set_timer(self.config.dial_tick_ms, T_DIAL);
                 } else if let Some(due) = self.penalty.next_due_ms() {
                     self.dial_armed = true;
-                    ctx.set_timer(due.saturating_sub(now).max(500), T_DIAL);
+                    ctx.set_timer(
+                        due.saturating_sub(now).max(self.config.dial_tick_ms),
+                        T_DIAL,
+                    );
                 }
             }
             T_STATIC => {

@@ -116,7 +116,7 @@ pub fn sanitize(store: &DataStore, params: SanitizeParams) -> (DataStore, Saniti
         if all_abusive || is_nodefinder {
             removed_nodes.insert(*id);
         } else {
-            sanitized.nodes.insert(*id, obs.clone());
+            sanitized.insert_observation(obs.clone());
         }
     }
 
@@ -166,7 +166,7 @@ mod tests {
     fn store_of(observations: Vec<NodeObservation>) -> DataStore {
         let mut s = DataStore::default();
         for o in observations {
-            s.nodes.insert(o.id, o);
+            s.insert_observation(o);
         }
         s
     }

@@ -1,0 +1,387 @@
+//! # obs — deterministic observability for the simulated protocol stack
+//!
+//! A dependency-free tracing + metrics layer shared by every crate in the
+//! workspace. Three pieces:
+//!
+//! * a **metrics registry** — counters, gauges and fixed-bucket histograms,
+//!   all backed by `BTreeMap` so iteration (and therefore every exporter)
+//!   is deterministic;
+//! * a **flight recorder** — a bounded ring buffer of structured trace
+//!   events and spans, stamped with *sim-time* and a monotonically
+//!   increasing sequence number, dumpable on any failure or checkpoint;
+//! * **exporters** — a JSONL event log and a Prometheus-style text
+//!   snapshot, plus a [`TraceQuery`] API so tests can assert on spans
+//!   ("p99 HELLO latency under burst loss") instead of only end-state.
+//!
+//! ## Sim-time stamping rule
+//!
+//! Events are stamped with the timestamp last supplied via [`set_now`] —
+//! the `netsim` engine calls it with the scheduler's virtual clock before
+//! dispatching each event. **Wall-clock sources are banned in this crate**
+//! (detlint rule R1 applies with no annotation escape hatch under
+//! `crates/obs/`), so a trace export is a pure function of the simulation
+//! seed and is byte-identical across runs.
+//!
+//! ## Observer-effect guarantee
+//!
+//! Instrumentation call sites are free functions ([`counter_add`],
+//! [`observe_ms`], [`event`], …) that no-op unless a [`Recorder`] is
+//! installed for the current thread. They never touch the simulation's
+//! RNG, never schedule events, and never feed back into protocol logic,
+//! so enabling or disabling observability cannot change a crawl's
+//! `DataStore` by construction.
+//!
+//! ```
+//! let rec = obs::Recorder::new();
+//! rec.install();
+//! obs::set_now(42);
+//! obs::counter_add("demo.hits", 1);
+//! obs::event("demo.fired", &[("value", obs::Value::U64(7))]);
+//! obs::uninstall();
+//! assert_eq!(rec.counter("demo.hits"), 1);
+//! assert!(rec.export_jsonl().contains("\"ts\":42"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod query;
+mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BOUNDS_MS};
+pub use query::TraceQuery;
+pub use trace::{EventKind, FlightRecorder, TraceEvent, Value};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default flight-recorder capacity (events retained before dropping).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+struct Core {
+    now_ms: u64,
+    seq: u64,
+    metrics: MetricsRegistry,
+    ring: FlightRecorder,
+}
+
+impl Core {
+    fn new(capacity: usize) -> Self {
+        Core {
+            now_ms: 0,
+            seq: 0,
+            metrics: MetricsRegistry::default(),
+            ring: FlightRecorder::new(capacity),
+        }
+    }
+
+    fn record(&mut self, kind: EventKind, name: &str, fields: &[(&str, Value)]) {
+        let ev = TraceEvent {
+            seq: self.seq,
+            ts_ms: self.now_ms,
+            kind,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        };
+        self.seq += 1;
+        self.ring.push(ev);
+    }
+}
+
+/// Handle to an observability session. Cloning is cheap (shared core).
+///
+/// A `Recorder` is thread-local by design: the simulation is
+/// single-threaded, and per-thread installation keeps parallel test
+/// threads fully isolated from each other. When behavioural hosts inside
+/// a world also emit metrics (every simulated node runs discv4, RLPx,
+/// …), those aggregate into the same recorder as the crawler's — the
+/// recorder observes the *world*, not one host.
+#[derive(Clone)]
+pub struct Recorder {
+    core: Rc<RefCell<Core>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let core = self.core.borrow();
+        f.debug_struct("Recorder")
+            .field("now_ms", &core.now_ms)
+            .field("seq", &core.seq)
+            .field("ring_len", &core.ring.len())
+            .finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// New recorder with the default flight-recorder capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// New recorder retaining at most `capacity` trace events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            core: Rc::new(RefCell::new(Core::new(capacity))),
+        }
+    }
+
+    /// Install this recorder for the current thread. Subsequent calls to
+    /// the free functions ([`counter_add`], [`event`], …) feed it.
+    /// Replaces any previously installed recorder.
+    pub fn install(&self) {
+        RECORDER.with(|r| *r.borrow_mut() = Some(self.clone()));
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.core.borrow().metrics.counter(name)
+    }
+
+    /// Current value of a gauge (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.core.borrow().metrics.gauge(name)
+    }
+
+    /// Snapshot of a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.core.borrow().metrics.histogram(name).cloned()
+    }
+
+    /// Number of trace events evicted from the ring so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.core.borrow().ring.dropped()
+    }
+
+    /// Number of trace events currently retained.
+    pub fn event_count(&self) -> usize {
+        self.core.borrow().ring.len()
+    }
+
+    /// Export every retained trace event as JSON Lines (one event per
+    /// line, oldest first). Byte-identical across same-seed runs.
+    pub fn export_jsonl(&self) -> String {
+        let core = self.core.borrow();
+        let mut out = String::new();
+        for ev in core.ring.iter() {
+            ev.write_jsonl_line(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Export the metrics registry as a Prometheus-style text snapshot.
+    pub fn prometheus(&self) -> String {
+        self.core.borrow().metrics.render_prometheus()
+    }
+
+    /// Human-readable dump of the last `n` trace events (oldest of the
+    /// tail first) — the "flight recorder" view for failed scenarios.
+    pub fn flight_dump(&self, n: usize) -> String {
+        let core = self.core.borrow();
+        let len = core.ring.len();
+        let skip = len.saturating_sub(n);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "--- flight recorder: last {} of {} events ({} dropped) ---\n",
+            len - skip,
+            len,
+            core.ring.dropped()
+        ));
+        for ev in core.ring.iter().skip(skip) {
+            out.push_str(&ev.render_human());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Query API over the retained trace events.
+    pub fn query(&self) -> TraceQuery {
+        TraceQuery::new(self.core.borrow().ring.iter().cloned().collect())
+    }
+
+    /// Drop all retained events and metrics (capacity is kept).
+    pub fn clear(&self) {
+        let mut core = self.core.borrow_mut();
+        core.metrics = MetricsRegistry::default();
+        core.ring.clear();
+        core.seq = 0;
+        core.now_ms = 0;
+    }
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Remove the current thread's recorder, if any. Returns it so callers
+/// can still export after tearing down instrumentation.
+pub fn uninstall() -> Option<Recorder> {
+    RECORDER.with(|r| r.borrow_mut().take())
+}
+
+/// True if a recorder is installed on this thread. Use to skip
+/// *expensive* label construction (e.g. `format!`) at call sites; the
+/// plain free functions already no-op when disabled.
+pub fn is_enabled() -> bool {
+    RECORDER.with(|r| r.borrow().is_some())
+}
+
+fn with_core<F: FnOnce(&mut Core)>(f: F) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow().as_ref() {
+            f(&mut rec.core.borrow_mut());
+        }
+    });
+}
+
+/// Advance the observability clock to simulation time `now_ms`. Called
+/// by the `netsim` engine before dispatching each scheduled event; all
+/// subsequently recorded events and spans are stamped with this value.
+pub fn set_now(now_ms: u64) {
+    with_core(|c| c.now_ms = now_ms);
+}
+
+/// Add `v` to the counter `name` (created at 0 on first use).
+pub fn counter_add(name: &str, v: u64) {
+    with_core(|c| c.metrics.counter_add(name, v));
+}
+
+/// Set the gauge `name` to `v`.
+pub fn gauge_set(name: &str, v: u64) {
+    with_core(|c| c.metrics.gauge_set(name, v));
+}
+
+/// Raise the gauge `name` to `v` if `v` is larger (high-water mark).
+pub fn gauge_max(name: &str, v: u64) {
+    with_core(|c| c.metrics.gauge_max(name, v));
+}
+
+/// Record `v` (milliseconds) into the fixed-bucket latency histogram
+/// `name` (created with [`DEFAULT_LATENCY_BOUNDS_MS`] on first use).
+pub fn observe_ms(name: &str, v: u64) {
+    with_core(|c| c.metrics.observe(name, v));
+}
+
+/// Record a point-in-time trace event stamped with the current sim time.
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    with_core(|c| c.record(EventKind::Event, name, fields));
+}
+
+/// Record a completed span: `start_ms` is when the spanned work began
+/// (sim time); the event is stamped with the current sim time, so its
+/// duration is `ts - start`. Also feeds the histogram `name` with the
+/// duration, so spans show up in the Prometheus snapshot for free.
+pub fn span(name: &str, start_ms: u64, fields: &[(&str, Value)]) {
+    with_core(|c| {
+        let dur = c.now_ms.saturating_sub(start_ms);
+        c.metrics.observe(name, dur);
+        c.record(EventKind::Span { start_ms }, name, fields);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_functions_noop_without_recorder() {
+        uninstall();
+        // Must not panic or accumulate anywhere.
+        set_now(5);
+        counter_add("x", 1);
+        gauge_set("g", 2);
+        observe_ms("h", 3);
+        event("e", &[]);
+        span("s", 0, &[]);
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn recorder_collects_and_uninstall_stops() {
+        let rec = Recorder::new();
+        rec.install();
+        assert!(is_enabled());
+        set_now(10);
+        counter_add("c", 2);
+        counter_add("c", 3);
+        gauge_set("g", 7);
+        gauge_max("g", 4); // lower: no change
+        gauge_max("g", 9);
+        event("hello", &[("peer", Value::Str("n1".into()))]);
+        set_now(25);
+        span("stage", 10, &[]);
+        uninstall();
+        counter_add("c", 100); // after uninstall: ignored
+
+        assert_eq!(rec.counter("c"), 5);
+        assert_eq!(rec.gauge("g"), 9);
+        assert_eq!(rec.event_count(), 2);
+        let q = rec.query();
+        assert_eq!(q.count("hello"), 1);
+        assert_eq!(q.span_durations("stage"), vec![15]);
+    }
+
+    #[test]
+    fn jsonl_export_is_stable_and_stamped() {
+        let rec = Recorder::new();
+        rec.install();
+        set_now(42);
+        event(
+            "a",
+            &[("k", Value::U64(1)), ("s", Value::Str("x\"y".into()))],
+        );
+        set_now(50);
+        span("b", 42, &[("ok", Value::Bool(true))]);
+        uninstall();
+        let out = rec.export_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"seq":0,"ts":42,"type":"event","name":"a","fields":{"k":1,"s":"x\"y"}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"ts":50,"type":"span","name":"b","start":42,"dur":8,"fields":{"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let rec = Recorder::new();
+        rec.install();
+        set_now(1);
+        counter_add("c", 1);
+        event("e", &[]);
+        uninstall();
+        rec.clear();
+        assert_eq!(rec.counter("c"), 0);
+        assert_eq!(rec.event_count(), 0);
+        assert_eq!(rec.export_jsonl(), "");
+    }
+
+    #[test]
+    fn flight_dump_mentions_drops_and_tail() {
+        let rec = Recorder::with_capacity(4);
+        rec.install();
+        for i in 0..10u64 {
+            set_now(i);
+            event("tick", &[("i", Value::U64(i))]);
+        }
+        uninstall();
+        assert_eq!(rec.dropped_events(), 6);
+        let dump = rec.flight_dump(2);
+        assert!(dump.contains("last 2 of 4 events (6 dropped)"));
+        assert!(dump.contains("i=9"));
+        assert!(!dump.contains("i=7"));
+    }
+}

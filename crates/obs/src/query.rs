@@ -1,0 +1,134 @@
+//! `TraceQuery`: an assertion-friendly view over the flight recorder's
+//! retained events, so tests and `crates/analysis` can ask questions
+//! like "how many HELLO spans completed?" or "what was the p99 connect
+//! latency?" instead of only inspecting end-of-run aggregates.
+
+use crate::trace::{EventKind, TraceEvent};
+
+/// Immutable snapshot of the recorder's event ring (oldest first).
+#[derive(Debug, Clone)]
+pub struct TraceQuery {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceQuery {
+    pub(crate) fn new(events: Vec<TraceEvent>) -> Self {
+        TraceQuery { events }
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose name matches exactly.
+    pub fn named(&self, name: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.name == name).collect()
+    }
+
+    /// Events whose name starts with `prefix` (span taxonomy is dotted:
+    /// `crawler.stage.connect_ms`, `discv4.lookup_done`, …).
+    pub fn with_prefix(&self, prefix: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .collect()
+    }
+
+    /// Number of events with this exact name.
+    pub fn count(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// First event with this name, by sequence order.
+    pub fn first(&self, name: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.name == name)
+    }
+
+    /// Last event with this name, by sequence order.
+    pub fn last(&self, name: &str) -> Option<&TraceEvent> {
+        self.events.iter().rev().find(|e| e.name == name)
+    }
+
+    /// Durations (ms) of all completed spans with this name, in
+    /// completion order.
+    pub fn span_durations(&self, name: &str) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.name == name && matches!(e.kind, EventKind::Span { .. }))
+            .map(|e| e.duration_ms())
+            .collect()
+    }
+
+    /// Exact quantile (`0.0..=1.0`, nearest-rank) over the retained span
+    /// durations for `name`. Unlike `Histogram::quantile` this is not
+    /// bucketed — but it only sees spans still in the ring.
+    pub fn span_quantile_ms(&self, name: &str, q: f64) -> Option<u64> {
+        let mut durs = self.span_durations(name);
+        if durs.is_empty() {
+            return None;
+        }
+        durs.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * durs.len() as f64).ceil() as usize).clamp(1, durs.len());
+        Some(durs[rank - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Value;
+
+    fn span(seq: u64, name: &str, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ts_ms: end,
+            kind: EventKind::Span { start_ms: start },
+            name: name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    fn point(seq: u64, name: &str, ts: u64) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ts_ms: ts,
+            kind: EventKind::Event,
+            name: name.into(),
+            fields: vec![("seq".into(), Value::U64(seq))],
+        }
+    }
+
+    fn q() -> TraceQuery {
+        TraceQuery::new(vec![
+            point(0, "a.x", 1),
+            span(1, "a.lat", 0, 10),
+            span(2, "a.lat", 5, 35),
+            point(3, "b.y", 40),
+            span(4, "a.lat", 40, 60),
+        ])
+    }
+
+    #[test]
+    fn filters_and_counts() {
+        let q = q();
+        assert_eq!(q.count("a.lat"), 3);
+        assert_eq!(q.named("b.y").len(), 1);
+        assert_eq!(q.with_prefix("a.").len(), 4);
+        assert_eq!(q.first("a.lat").map(|e| e.seq), Some(1));
+        assert_eq!(q.last("a.lat").map(|e| e.seq), Some(4));
+    }
+
+    #[test]
+    fn span_durations_and_quantiles() {
+        let q = q();
+        assert_eq!(q.span_durations("a.lat"), vec![10, 30, 20]);
+        assert_eq!(q.span_quantile_ms("a.lat", 0.0), Some(10));
+        assert_eq!(q.span_quantile_ms("a.lat", 0.5), Some(20));
+        assert_eq!(q.span_quantile_ms("a.lat", 1.0), Some(30));
+        assert_eq!(q.span_quantile_ms("missing", 0.5), None);
+        // Point events are not spans.
+        assert_eq!(q.span_durations("a.x"), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,36 @@
+//! Golden-file test: the Prometheus text snapshot for a fixed metric
+//! population must match `tests/golden.prom` byte for byte. Any change
+//! to the exposition format is a deliberate, reviewed diff.
+
+use obs::{counter_add, gauge_max, gauge_set, observe_ms, set_now, uninstall, Recorder};
+
+fn populate() -> Recorder {
+    let rec = Recorder::new();
+    rec.install();
+    set_now(1_000);
+    counter_add("netsim.events_total", 12);
+    counter_add("netsim.udp_sent", 4);
+    gauge_set("crawler.dialing", 3);
+    gauge_max("netsim.queue_depth_peak", 17);
+    for v in [1, 2, 9, 10, 11, 250, 70_000] {
+        observe_ms("crawler.stage.connect_ms", v);
+    }
+    uninstall();
+    rec
+}
+
+#[test]
+fn prometheus_snapshot_matches_golden_file() {
+    let rendered = populate().prometheus();
+    let golden = include_str!("golden.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus text format drifted from tests/golden.prom; \
+         if intentional, regenerate the golden file"
+    );
+}
+
+#[test]
+fn prometheus_snapshot_is_deterministic() {
+    assert_eq!(populate().prometheus(), populate().prometheus());
+}

@@ -123,6 +123,7 @@ impl FrameCodec {
         out.extend_from_slice(&header_mac);
         out.extend_from_slice(&body);
         out.extend_from_slice(&frame_mac);
+        obs::counter_add("rlpx.frames_written", 1);
         out
     }
 
@@ -142,6 +143,7 @@ impl FrameCodec {
             let claimed_mac: [u8; 16] = buf[16..32].try_into().unwrap();
             let computed = Self::update_mac(&self.mac_cipher, &mut self.ingress_mac, &header_ct);
             if computed != claimed_mac {
+                obs::counter_add("rlpx.frame_errors", 1);
                 return Err(FrameError::BadHeaderMac);
             }
             let mut header = header_ct;
@@ -170,6 +172,7 @@ impl FrameCodec {
         let seed = Self::mac_digest(&self.ingress_mac);
         let computed = Self::update_mac(&self.mac_cipher, &mut self.ingress_mac, &seed);
         if computed != claimed_mac {
+            obs::counter_add("rlpx.frame_errors", 1);
             return Err(FrameError::BadFrameMac);
         }
         buf.advance(padded + 16);
@@ -177,6 +180,7 @@ impl FrameCodec {
         let mut body = body_ct;
         self.dec.apply(&mut body);
         body.truncate(size);
+        obs::counter_add("rlpx.frames_read", 1);
         Ok(Some(body))
     }
 }

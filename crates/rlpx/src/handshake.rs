@@ -153,6 +153,7 @@ impl Handshake {
 
         let msg = seal_eip8(rng, &remote_pub, &plain)?;
         self.auth_bytes = Some(msg.clone());
+        obs::counter_add("rlpx.auth_written", 1);
         Ok(msg)
     }
 
@@ -219,6 +220,7 @@ impl Handshake {
         let plain = body.out();
         let msg = seal_eip8(rng, &initiator_pub, &plain)?;
         self.ack_bytes = Some(msg.clone());
+        obs::counter_add("rlpx.auth_read", 1);
         Ok(msg)
     }
 
@@ -251,6 +253,7 @@ impl Handshake {
         );
         self.remote_nonce = Some(nonce);
         self.ack_bytes = Some(ack.to_vec());
+        obs::counter_add("rlpx.ack_read", 1);
         Ok(())
     }
 

@@ -7,6 +7,8 @@
 #   3. detlint   -- determinism & panic-safety rules R1-R6 (see DESIGN.md)
 #   4. tests     -- the whole workspace, including tests/static_analysis.rs
 #                   which re-runs detlint as a tier-1 test
+#   5. bench     -- the instrumented reference crawl; fails on any trace
+#                   non-determinism or observer effect, emits BENCH_crawl.json
 #
 # Everything runs offline: external deps are vendored under vendor/.
 # Clippy is best-effort -- some container images ship a toolchain without
@@ -43,6 +45,11 @@ step "cargo test" cargo test --workspace -q
 # failure is attributable at a glance even though the workspace run above
 # already includes them.
 step "robustness suite" cargo test -q --test robustness
+# Instrumented reference crawl: runs the mixed-population world twice and
+# fails if the trace export is non-deterministic, then once more without
+# the recorder and fails on any observer effect. Writes results/
+# obs_trace.jsonl, obs_metrics.prom and BENCH_crawl.json.
+step "bench crawl (obs determinism)" cargo run -q --release -p bench --bin bench_crawl
 
 echo
 if [ "$failures" -ne 0 ]; then

@@ -21,6 +21,7 @@
 //! | **contribution** | [`nodefinder`] | the crawler + §5.4 sanitization |
 //! | evaluation | [`analysis`] | Tables 1–6, Figures 2–14 |
 //! | robustness | [`adversary`] | Byzantine peers for fault-injection tests |
+//! | observability | [`obs`] | deterministic sim-time tracing, metrics & flight recorder |
 //!
 //! ## Quick start
 //!
@@ -59,6 +60,7 @@ pub use ethwire;
 pub use kad;
 pub use netsim;
 pub use nodefinder;
+pub use obs;
 pub use rlp;
 pub use rlpx;
 

@@ -1,0 +1,132 @@
+//! Observability guarantees, end to end: same-seed crawls export
+//! byte-identical traces, and installing the recorder never perturbs the
+//! simulation (zero observer effect).
+
+use ethereum_p2p::prelude::*;
+use std::net::Ipv4Addr;
+
+const SIM_MS: u64 = 2 * 60_000;
+
+/// A small always-on world crawled start to finish, optionally under the
+/// obs recorder. Returns the aggregated store's JSON plus the recorder.
+fn crawl(instrument: bool) -> (String, Option<obs::Recorder>) {
+    let recorder = if instrument {
+        let r = obs::Recorder::new();
+        r.install();
+        Some(r)
+    } else {
+        None
+    };
+    let config = WorldConfig {
+        seed: 77,
+        n_nodes: 12,
+        duration_ms: SIM_MS,
+        always_on_fraction: 1.0,
+        spammer_ips: 0,
+        udp_loss: 0.0,
+        ..WorldConfig::default()
+    };
+    let mut world = World::build(config);
+    let key = SecretKey::from_bytes(&[0xCB; 32]).unwrap();
+    let crawler = NodeFinder::new(key, CrawlerConfig::default(), world.bootstrap.clone());
+    let host = world.sim.add_host(
+        HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303),
+        HostMeta::default_cloud(),
+        Box::new(crawler),
+    );
+    world.sim.schedule_start(host, 0);
+    world.sim.run_until(SIM_MS);
+    let crawler = world
+        .sim
+        .remove_host_behaviour(host)
+        .unwrap()
+        .into_any()
+        .downcast::<NodeFinder>()
+        .unwrap();
+    let store = DataStore::from_log(&crawler.log);
+    obs::uninstall();
+    (store.to_json(), recorder)
+}
+
+/// Two fresh same-seed runs must export byte-identical JSONL traces and
+/// Prometheus snapshots — the replay guarantee the flight recorder is
+/// built on.
+#[test]
+fn trace_export_is_byte_identical_across_same_seed_runs() {
+    let (store_a, rec_a) = crawl(true);
+    let (store_b, rec_b) = crawl(true);
+    let rec_a = rec_a.unwrap();
+    let rec_b = rec_b.unwrap();
+    assert!(rec_a.event_count() > 0, "trace must not be empty");
+    assert_eq!(rec_a.export_jsonl(), rec_b.export_jsonl());
+    assert_eq!(rec_a.prometheus(), rec_b.prometheus());
+    assert_eq!(store_a, store_b);
+}
+
+/// Installing the recorder must not change a single byte of the
+/// resulting DataStore: obs never touches the sim RNG or schedules
+/// events, so the instrumented world replays the uninstrumented one.
+#[test]
+fn recorder_has_zero_observer_effect() {
+    let (instrumented, _rec) = crawl(true);
+    let (bare, _) = crawl(false);
+    assert_eq!(instrumented, bare);
+}
+
+/// Every instrumented layer shows up in the metrics: discovery traffic,
+/// RLPx frames, DEVp2p HELLOs, crawler funnel counters, engine totals.
+#[test]
+fn all_layers_report_metrics() {
+    let (_store, rec) = crawl(true);
+    let rec = rec.unwrap();
+    for counter in [
+        "netsim.events_total",
+        "netsim.udp_sent",
+        "discv4.pings_sent",
+        "discv4.pongs_received",
+        "discv4.findnodes_sent",
+        "discv4.neighbors_received",
+        "rlpx.auth_written",
+        "rlpx.frames_written",
+        "devp2p.hello_sent",
+        "devp2p.hello_received",
+        "crawler.funnel.sightings",
+        "crawler.funnel.responded",
+        "crawler.funnel.hello",
+        "crawler.funnel.status",
+    ] {
+        assert!(
+            rec.counter(counter) > 0,
+            "counter {counter} never incremented"
+        );
+    }
+    assert!(rec.gauge("netsim.queue_depth_peak") > 0);
+    assert!(rec.gauge("discv4.table_size_peak") > 0);
+    assert!(rec.gauge("crawler.cfg.probe_timeout_ms") > 0);
+}
+
+/// The TraceQuery API answers per-stage latency questions directly from
+/// the flight recorder, without touching the DataStore.
+#[test]
+fn trace_query_exposes_stage_latencies() {
+    let (_store, rec) = crawl(true);
+    let rec = rec.unwrap();
+    let q = rec.query();
+    for stage in [
+        "crawler.stage.connect_ms",
+        "crawler.stage.auth_ms",
+        "crawler.stage.hello_ms",
+        "crawler.stage.status_ms",
+    ] {
+        let p99 = q.span_quantile_ms(stage, 0.99);
+        assert!(p99.is_some(), "no {stage} spans recorded");
+        assert!(
+            p99.unwrap() < 30_000,
+            "{stage} p99 {p99:?} exceeds the probe timeout"
+        );
+    }
+    // Probe completions carry their connection type and outcome.
+    let done = q.named("crawler.probe.done");
+    assert!(!done.is_empty());
+    assert!(done.iter().any(|e| e.field("responded").is_some()));
+}
