@@ -1,0 +1,238 @@
+//! Engine scale benchmark: ethpop worlds at 250 / 1,000 / 5,000 hosts.
+//!
+//! Each tier builds a mixed honest+byzantine world, drops one NodeFinder
+//! crawler into it, runs a fixed slice of simulated time under the `obs`
+//! recorder, and reports:
+//!
+//! - sim events processed and sim-events per wall-second (the headline
+//!   scheduler/payload/metrics hot-path number);
+//! - peak event-queue depth (from the engine's own high-water mark);
+//! - an RSS proxy read from `/proc/self/status` (`VmRSS` before the
+//!   build, after the run, and the process-wide `VmHWM` peak — the
+//!   workspace forbids `unsafe`, so a counting allocator is out);
+//! - per-handshake-stage latency quantiles from the crawler.
+//!
+//! Results land in `results/BENCH_scale.json` with one record per tier.
+//! Set `TIERS=250` (comma-separated host counts) to run a subset — CI
+//! runs just the smallest tier as a smoke test, written to
+//! `results/BENCH_scale_smoke.json` so the committed three-tier artifact
+//! is never overwritten by a partial run.
+
+use adversary::{GarbageHello, ResetAfterN, SlowLoris, Tarpit};
+use enode::{Endpoint, NodeId, NodeRecord};
+use ethcrypto::secp256k1::SecretKey;
+use ethpop::world::{World, WorldConfig};
+use netsim::{Host, HostAddr, HostMeta, Region};
+use nodefinder::{CrawlerConfig, NodeFinder};
+use std::net::Ipv4Addr;
+
+/// Simulated milliseconds per tier. Constant across tiers so event rates
+/// are comparable; sized so the 5,000-host tier finishes on a laptop.
+const SIM_MS: u64 = 60_000;
+
+struct TierResult {
+    hosts: usize,
+    byzantine: usize,
+    build_wall_ms: u64,
+    run_wall_ms: u64,
+    sim_events_total: u64,
+    peak_queue_depth: u64,
+    rss_before_kb: u64,
+    rss_after_kb: u64,
+    rss_peak_kb: u64,
+    stages: String,
+}
+
+/// `VmRSS` / `VmHWM` from `/proc/self/status`, in kB (0 off-Linux).
+fn rss_kb(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn stage_json(rec: &obs::Recorder, name: &str) -> String {
+    match rec.histogram(name) {
+        Some(h) if h.count() > 0 => format!(
+            "{{\"count\":{},\"p50_ms\":{},\"p90_ms\":{},\"p99_ms\":{},\"max_ms\":{}}}",
+            h.count(),
+            h.quantile(0.50).unwrap_or(0).min(h.max()),
+            h.quantile(0.90).unwrap_or(0).min(h.max()),
+            h.quantile(0.99).unwrap_or(0).min(h.max()),
+            h.max(),
+        ),
+        _ => "null".to_string(),
+    }
+}
+
+/// Build and run one tier; returns its measurements.
+fn run_tier(n_hosts: usize) -> TierResult {
+    // ~2% of the population misbehaves, cycling through the four
+    // adversary archetypes; all of them are advertised to the crawler.
+    let byzantine = (n_hosts / 50).max(4);
+    let honest = n_hosts - byzantine;
+
+    let recorder = obs::Recorder::new();
+    recorder.install();
+
+    let rss_before_kb = rss_kb("VmRSS");
+    // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
+    let t0 = std::time::Instant::now();
+
+    let config = WorldConfig {
+        seed: 9000 + n_hosts as u64,
+        n_nodes: honest,
+        duration_ms: SIM_MS,
+        tx_interval_ms: 20_000,
+        ..WorldConfig::default()
+    };
+    let mut world = World::build(config);
+    let mut bootstrap = world.bootstrap.clone();
+
+    type AdvFactory = fn(SecretKey, Vec<Endpoint>) -> Box<dyn Host>;
+    let factories: [AdvFactory; 4] = [
+        |k, b| Box::new(SlowLoris::new(k, b)),
+        |k, b| Box::new(GarbageHello::new(k, b)),
+        |k, b| Box::new(Tarpit::new(k, b)),
+        |k, b| Box::new(ResetAfterN::new(k, b)),
+    ];
+    let boot_eps: Vec<Endpoint> = world.bootstrap.iter().map(|r| r.endpoint).collect();
+    for i in 0..byzantine {
+        let mut key_bytes = [0xB0u8; 32];
+        key_bytes[30] = (i >> 8) as u8;
+        key_bytes[31] = i as u8;
+        let key = SecretKey::from_bytes(&key_bytes).expect("adversary key");
+        let ep = Endpoint::new(
+            Ipv4Addr::new(203, 0, (113 + i / 250) as u8, (i % 250) as u8 + 1),
+            30303,
+        );
+        bootstrap.push(NodeRecord::new(NodeId::from_secret_key(&key), ep));
+        let host = world.sim.add_host(
+            HostAddr::new(ep.ip, ep.tcp_port),
+            HostMeta {
+                country: "US",
+                asn: "Test",
+                region: Region::NorthAmerica,
+                reachable: true,
+            },
+            factories[i % factories.len()](key, boot_eps.clone()),
+        );
+        world.sim.schedule_start(host, 0);
+    }
+
+    let crawler_key = SecretKey::from_bytes(&[0xCB; 32]).expect("crawler key");
+    let crawler = NodeFinder::new(
+        crawler_key,
+        CrawlerConfig {
+            static_redial_interval_ms: 30_000,
+            stale_after_ms: SIM_MS,
+            probe_timeout_ms: 30_000,
+            ..CrawlerConfig::default()
+        },
+        bootstrap,
+    );
+    let host = world.sim.add_host(
+        HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303),
+        HostMeta::default_cloud(),
+        Box::new(crawler),
+    );
+    world.sim.schedule_start(host, 0);
+    let build_wall_ms = t0.elapsed().as_millis() as u64;
+
+    // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
+    let t1 = std::time::Instant::now();
+    world.sim.run_until(SIM_MS);
+    let run_wall_ms = t1.elapsed().as_millis() as u64;
+
+    let result = TierResult {
+        hosts: n_hosts,
+        byzantine,
+        build_wall_ms,
+        run_wall_ms,
+        sim_events_total: world.sim.events_processed(),
+        peak_queue_depth: world.sim.queue_depth_peak(),
+        rss_before_kb,
+        rss_after_kb: rss_kb("VmRSS"),
+        rss_peak_kb: rss_kb("VmHWM"),
+        stages: format!(
+            "{{\n      \"connect_ms\": {},\n      \"auth_ms\": {},\n      \"hello_ms\": {},\n      \"status_ms\": {}\n    }}",
+            stage_json(&recorder, "crawler.stage.connect_ms"),
+            stage_json(&recorder, "crawler.stage.auth_ms"),
+            stage_json(&recorder, "crawler.stage.hello_ms"),
+            stage_json(&recorder, "crawler.stage.status_ms"),
+        ),
+    };
+    obs::uninstall();
+    result
+}
+
+fn tier_json(t: &TierResult) -> String {
+    let rate = t.sim_events_total * 1000 / t.run_wall_ms.max(1);
+    format!(
+        "  {{\n\
+         \x20   \"hosts\": {},\n\
+         \x20   \"byzantine\": {},\n\
+         \x20   \"sim_ms\": {SIM_MS},\n\
+         \x20   \"build_wall_ms\": {},\n\
+         \x20   \"run_wall_ms\": {},\n\
+         \x20   \"sim_events_total\": {},\n\
+         \x20   \"sim_events_per_wall_second\": {rate},\n\
+         \x20   \"peak_queue_depth\": {},\n\
+         \x20   \"rss_before_kb\": {},\n\
+         \x20   \"rss_after_kb\": {},\n\
+         \x20   \"rss_peak_kb\": {},\n\
+         \x20   \"handshake_stages\": {}\n\
+         \x20 }}",
+        t.hosts,
+        t.byzantine,
+        t.build_wall_ms,
+        t.run_wall_ms,
+        t.sim_events_total,
+        t.peak_queue_depth,
+        t.rss_before_kb,
+        t.rss_after_kb,
+        t.rss_peak_kb,
+        t.stages,
+    )
+}
+
+fn main() {
+    // A TIERS subset (e.g. the CI smoke run) writes to its own artifact
+    // so it never clobbers the committed full three-tier sweep.
+    let (tiers, artifact): (Vec<usize>, &str) = match std::env::var("TIERS") {
+        Ok(v) => (
+            v.split(',')
+                .map(|s| s.trim().parse().expect("TIERS must be host counts"))
+                .collect(),
+            "BENCH_scale_smoke.json",
+        ),
+        Err(_) => (vec![250, 1_000, 5_000], "BENCH_scale.json"),
+    };
+
+    let mut results = Vec::new();
+    for &n in &tiers {
+        eprintln!("bench_scale: tier {n} hosts ...");
+        let t = run_tier(n);
+        eprintln!(
+            "bench_scale: tier {n}: {} events in {} ms wall ({} ev/wall-s), peak queue {}",
+            t.sim_events_total,
+            t.run_wall_ms,
+            t.sim_events_total * 1000 / t.run_wall_ms.max(1),
+            t.peak_queue_depth,
+        );
+        results.push(t);
+    }
+
+    let body: Vec<String> = results.iter().map(tier_json).collect();
+    let json = format!(
+        "{{\n  \"sim_ms_per_tier\": {SIM_MS},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    let path = bench::write_artifact(artifact, &json);
+    println!("{}", path.display());
+}

@@ -4,6 +4,10 @@
 //! the domain-separation byte is `0x01` rather than `0x06`. The RLPx
 //! handshake additionally uses Keccak-512 for key material expansion, and
 //! the node-distance metric in discovery hashes node IDs with Keccak-256.
+//!
+//! The state is kept as a flat `[u64; 25]` (lane `(x, y)` at index
+//! `x + 5*y`) and absorption works directly from the caller's slice, so a
+//! one-shot hash performs no heap allocation besides the digest itself.
 
 const ROUNDS: usize = 24;
 
@@ -43,44 +47,76 @@ const ROTC: [[u32; 5]; 5] = [
     [27, 20, 39, 8, 14],
 ];
 
-/// The Keccak-f[1600] permutation applied to a 5×5 lane state.
-fn keccak_f(state: &mut [[u64; 5]; 5]) {
+/// Per-lane rotation for the flat state: `FLAT_ROT[x + 5*y] = ROTC[x][y]`.
+const FLAT_ROT: [u32; 25] = build_flat_rot();
+
+/// ρ+π destination index: lane `(x, y)` moves to `(y, (2x + 3y) mod 5)`.
+const PI_DST: [usize; 25] = build_pi_dst();
+
+const fn build_flat_rot() -> [u32; 25] {
+    let mut out = [0u32; 25];
+    let mut i = 0;
+    while i < 25 {
+        out[i] = ROTC[i % 5][i / 5];
+        i += 1;
+    }
+    out
+}
+
+const fn build_pi_dst() -> [usize; 25] {
+    let mut out = [0usize; 25];
+    let mut i = 0;
+    while i < 25 {
+        let (x, y) = (i % 5, i / 5);
+        out[i] = y + 5 * ((2 * x + 3 * y) % 5);
+        i += 1;
+    }
+    out
+}
+
+/// The Keccak-f[1600] permutation applied to a flat 25-lane state.
+fn keccak_f(a: &mut [u64; 25]) {
     for &rc in RC.iter() {
         // θ
         let mut c = [0u64; 5];
         for (x, cx) in c.iter_mut().enumerate() {
-            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+            *cx = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
         }
-        for (x, column) in state.iter_mut().enumerate() {
+        for x in 0..5 {
             let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
-            for lane in column.iter_mut() {
-                *lane ^= d;
-            }
+            a[x] ^= d;
+            a[x + 5] ^= d;
+            a[x + 10] ^= d;
+            a[x + 15] ^= d;
+            a[x + 20] ^= d;
         }
         // ρ and π
-        let mut b = [[0u64; 5]; 5];
-        for x in 0..5 {
-            for y in 0..5 {
-                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(ROTC[x][y]);
-            }
+        let mut b = [0u64; 25];
+        for i in 0..25 {
+            b[PI_DST[i]] = a[i].rotate_left(FLAT_ROT[i]);
         }
         // χ
-        for x in 0..5 {
-            for y in 0..5 {
-                state[x][y] = b[x][y] ^ ((!b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+        for y in 0..5 {
+            let o = 5 * y;
+            for x in 0..5 {
+                a[o + x] = b[o + x] ^ ((!b[o + (x + 1) % 5]) & b[o + (x + 2) % 5]);
             }
         }
         // ι
-        state[0][0] ^= rc;
+        a[0] ^= rc;
     }
 }
+
+/// Largest rate used (Keccak-256); the partial-block buffer is sized for it.
+const MAX_RATE: usize = 136;
 
 /// Incremental Keccak hasher with a configurable output length.
 #[derive(Clone)]
 pub struct Keccak {
-    state: [[u64; 5]; 5],
+    state: [u64; 25],
     rate: usize, // in bytes
-    buf: Vec<u8>,
+    buf: [u8; MAX_RATE],
+    buf_len: usize,
     output_len: usize,
 }
 
@@ -88,9 +124,10 @@ impl Keccak {
     /// Keccak-256 (rate 136, 32-byte output).
     pub fn v256() -> Keccak {
         Keccak {
-            state: [[0; 5]; 5],
+            state: [0; 25],
             rate: 136,
-            buf: Vec::with_capacity(136),
+            buf: [0; MAX_RATE],
+            buf_len: 0,
             output_len: 32,
         }
     }
@@ -98,29 +135,45 @@ impl Keccak {
     /// Keccak-512 (rate 72, 64-byte output).
     pub fn v512() -> Keccak {
         Keccak {
-            state: [[0; 5]; 5],
+            state: [0; 25],
             rate: 72,
-            buf: Vec::with_capacity(72),
+            buf: [0; MAX_RATE],
+            buf_len: 0,
             output_len: 64,
         }
     }
 
     /// Absorb input bytes.
-    pub fn update(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data);
-        while self.buf.len() >= self.rate {
-            let block: Vec<u8> = self.buf.drain(..self.rate).collect();
-            self.absorb_block(&block);
+    pub fn update(&mut self, mut data: &[u8]) {
+        // Top up a pending partial block first.
+        if self.buf_len > 0 {
+            let need = self.rate - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < self.rate {
+                return; // input exhausted, block still partial
+            }
+            let block = self.buf;
+            self.absorb_block(&block[..self.rate]);
+            self.buf_len = 0;
         }
+        // Absorb full blocks straight from the input.
+        let mut chunks = data.chunks_exact(self.rate);
+        for block in &mut chunks {
+            self.absorb_block(block);
+        }
+        // Stash the tail.
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
     }
 
     fn absorb_block(&mut self, block: &[u8]) {
         debug_assert_eq!(block.len(), self.rate);
-        for (i, chunk) in block.chunks_exact(8).enumerate() {
-            let lane = u64::from_le_bytes(chunk.try_into().unwrap());
-            let x = i % 5;
-            let y = i / 5;
-            self.state[x][y] ^= lane;
+        for (lane, chunk) in self.state.iter_mut().zip(block.chunks_exact(8)) {
+            *lane ^= u64::from_le_bytes(chunk.try_into().unwrap());
         }
         keccak_f(&mut self.state);
     }
@@ -129,29 +182,23 @@ impl Keccak {
     pub fn finalize(mut self) -> Vec<u8> {
         // Original Keccak padding: 0x01 ... 0x80 (multi-rate pad10*1 with
         // domain bits 01).
-        let mut block = std::mem::take(&mut self.buf);
-        block.push(0x01);
-        while block.len() < self.rate {
-            block.push(0x00);
-        }
-        *block.last_mut().unwrap() |= 0x80;
-        self.absorb_block(&block);
+        self.buf[self.buf_len] = 0x01;
+        self.buf[self.buf_len + 1..self.rate].fill(0);
+        self.buf[self.rate - 1] |= 0x80;
+        let block = self.buf;
+        self.absorb_block(&block[..self.rate]);
 
         let mut out = Vec::with_capacity(self.output_len);
-        'squeeze: loop {
-            for i in 0..self.rate / 8 {
-                let x = i % 5;
-                let y = i / 5;
-                for b in self.state[x][y].to_le_bytes() {
-                    out.push(b);
-                    if out.len() == self.output_len {
-                        break 'squeeze;
-                    }
+        loop {
+            for lane in self.state.iter().take(self.rate / 8) {
+                out.extend_from_slice(&lane.to_le_bytes());
+                if out.len() >= self.output_len {
+                    out.truncate(self.output_len);
+                    return out;
                 }
             }
             keccak_f(&mut self.state);
         }
-        out
     }
 }
 
@@ -231,15 +278,26 @@ mod tests {
     }
 
     #[test]
+    fn keccak512_one_block_plus() {
+        // crosses the 72-byte rate boundary of the 512 variant
+        let h72 = keccak512(&[0x5a; 72]);
+        let h73 = keccak512(&[0x5a; 73]);
+        assert_ne!(h72, h73);
+        assert_eq!(h72.len(), 64);
+    }
+
+    #[test]
     fn incremental_matches_oneshot() {
         let data: Vec<u8> = (0..=255).cycle().take(1000).collect();
         let oneshot = keccak256(&data);
-        let mut h = Keccak::v256();
-        for chunk in data.chunks(7) {
-            h.update(chunk);
+        for chunk_size in [1, 7, 64, 135, 136, 137, 500] {
+            let mut h = Keccak::v256();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            let incr: [u8; 32] = h.finalize().try_into().unwrap();
+            assert_eq!(incr, oneshot, "chunk size {chunk_size}");
         }
-        let incr: [u8; 32] = h.finalize().try_into().unwrap();
-        assert_eq!(incr, oneshot);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod aes;
 pub mod ecies;
 pub mod hmac;
 pub mod keccak;
+mod modinv;
 pub mod secp256k1;
 pub mod sha256;
 mod u256;

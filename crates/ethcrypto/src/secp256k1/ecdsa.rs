@@ -6,7 +6,9 @@
 //! recovery is a first-class operation here rather than an afterthought.
 
 use super::field::Fe;
+use super::memo;
 use super::point::{double_scalar_mul, scalar_mul_generator, Affine, N};
+use super::scalar::mul_mod_n;
 use super::{PublicKey, SecretKey};
 use crate::hmac::hmac_sha256;
 use crate::u256::U256;
@@ -136,8 +138,8 @@ pub fn sign(key: &SecretKey, digest: &[u8; 32]) -> RecoverableSignature {
         }
         // s = k^-1 (z + r d) mod n
         let kinv = nonce.inv_mod(&N).expect("nonce nonzero");
-        let rd = r.mul_mod(&key.scalar, &N);
-        let mut s = kinv.mul_mod(&z.add_mod(&rd, &N), &N);
+        let rd = mul_mod_n(&r, &key.scalar);
+        let mut s = mul_mod_n(&kinv, &z.add_mod(&rd, &N));
         if s.is_zero() {
             nonce = nonce.add_mod(&U256::ONE, &N);
             continue;
@@ -150,10 +152,15 @@ pub fn sign(key: &SecretKey, digest: &[u8; 32]) -> RecoverableSignature {
             y_odd = !y_odd;
         }
         let recovery_id = (y_odd as u8) | ((overflowed as u8) << 1);
-        return RecoverableSignature {
+        let rsig = RecoverableSignature {
             sig: Signature { r, s },
             recovery_id,
         };
+        // Recovering this exact (digest, signature) pair returns the
+        // signer's public key by construction of the recovery id — record
+        // it now so in-process receivers can skip the group arithmetic.
+        memo::sig_put(*digest, rsig.to_bytes(), memo::public_point(&key.scalar));
+        return rsig;
     }
 }
 
@@ -166,8 +173,8 @@ pub fn verify(pk: &PublicKey, digest: &[u8; 32], sig: &Signature) -> bool {
     let Some(sinv) = sig.s.inv_mod(&N) else {
         return false;
     };
-    let u1 = z.mul_mod(&sinv, &N);
-    let u2 = sig.r.mul_mod(&sinv, &N);
+    let u1 = mul_mod_n(&z, &sinv);
+    let u2 = mul_mod_n(&sig.r, &sinv);
     let p = double_scalar_mul(&u1, &u2, &pk.point);
     let Affine::Point { x, .. } = p else {
         return false;
@@ -187,6 +194,13 @@ pub fn recover(digest: &[u8; 32], rsig: &RecoverableSignature) -> Result<PublicK
     if sig.r.is_zero() || sig.s.is_zero() || sig.r.ge(&N) || sig.s.ge(&N) || rsig.recovery_id > 3 {
         return Err(CryptoError::InvalidSignature);
     }
+    // Fast path: a signature produced (or previously recovered) in this
+    // process under the same digest — the memo holds exactly the point the
+    // computation below would return.
+    let wire = rsig.to_bytes();
+    if let Some(point) = memo::sig_get(digest, &wire) {
+        return Ok(PublicKey { point });
+    }
     // Reconstruct the nonce point R from r (+ n if the overflow bit is set).
     let mut x_int = sig.r;
     if rsig.recovery_id & 2 != 0 {
@@ -203,13 +217,14 @@ pub fn recover(digest: &[u8; 32], rsig: &RecoverableSignature) -> Result<PublicK
     // Q = r^-1 (s*R - z*G)
     let z = digest_to_scalar(digest);
     let rinv = sig.r.inv_mod(&N).ok_or(CryptoError::InvalidSignature)?;
-    let u1 = N.wrapping_sub(&z.mul_mod(&rinv, &N)); // -z/r mod n
+    let u1 = N.wrapping_sub(&mul_mod_n(&z, &rinv)); // -z/r mod n
     let u1 = if u1 == N { U256::ZERO } else { u1 };
-    let u2 = sig.s.mul_mod(&rinv, &N); // s/r mod n
+    let u2 = mul_mod_n(&sig.s, &rinv); // s/r mod n
     let q = double_scalar_mul(&u1, &u2, &r_point);
     if q.is_infinity() {
         return Err(CryptoError::InvalidSignature);
     }
+    memo::sig_put(*digest, wire, q);
     Ok(PublicKey { point: q })
 }
 

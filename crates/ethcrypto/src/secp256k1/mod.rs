@@ -11,6 +11,8 @@ pub mod field;
 pub mod point;
 
 mod ecdsa;
+mod memo;
+mod scalar;
 
 pub use ecdsa::{recover, RecoverableSignature, Signature};
 pub use field::Fe;
@@ -67,7 +69,7 @@ impl SecretKey {
     /// The corresponding public key.
     pub fn public_key(&self) -> PublicKey {
         PublicKey {
-            point: point::scalar_mul_generator(&self.scalar),
+            point: memo::public_point(&self.scalar),
         }
     }
 
@@ -82,10 +84,27 @@ impl SecretKey {
     /// ECDH: the x coordinate of `self * peer_point`, as used by RLPx
     /// (NIST-style "shared secret = x coordinate" agreement).
     pub fn ecdh(&self, peer: &PublicKey) -> Result<[u8; 32], CryptoError> {
-        let shared = point::scalar_mul(&self.scalar, &peer.point);
-        match shared {
+        // `a*B == b*A`, so the shared secret is a pure function of the
+        // unordered public-key pair: whichever side computes it first
+        // populates the cache for the other.
+        let own_xy = memo::public_point(&self.scalar)
+            .to_xy_bytes()
+            .ok_or(CryptoError::InvalidSecretKey)?;
+        let peer_xy = peer
+            .point
+            .to_xy_bytes()
+            .ok_or(CryptoError::InvalidPublicKey)?;
+        let key = memo::ecdh_key(own_xy, peer_xy);
+        if let Some(x) = memo::ecdh_get(&key) {
+            return Ok(x);
+        }
+        match point::scalar_mul(&self.scalar, &peer.point) {
             Affine::Infinity => Err(CryptoError::InvalidPublicKey),
-            Affine::Point { x, .. } => Ok(x.to_be_bytes()),
+            Affine::Point { x, .. } => {
+                let xb = x.to_be_bytes();
+                memo::ecdh_put(key, xb);
+                Ok(xb)
+            }
         }
     }
 }

@@ -218,6 +218,15 @@ impl Jacobian {
         }
     }
 
+    /// Negate (reflect across the x axis).
+    pub fn neg(&self) -> Jacobian {
+        Jacobian {
+            x: self.x,
+            y: self.y.neg(),
+            z: self.z,
+        }
+    }
+
     /// General Jacobian + Jacobian addition.
     pub fn add(&self, other: &Jacobian) -> Jacobian {
         if self.is_infinity() {
@@ -254,19 +263,86 @@ impl Jacobian {
     }
 }
 
-/// Scalar multiplication `k * P` (double-and-add, MSB first).
-pub fn scalar_mul(k: &U256, p: &Affine) -> Affine {
+/// Convert a batch of finite Jacobian points to affine with a single field
+/// inversion (Montgomery's trick). All inputs must have nonzero Z.
+fn batch_to_affine(pts: &[Jacobian]) -> Vec<Affine> {
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    let mut prefix = Vec::with_capacity(pts.len());
+    let mut acc = Fe::ONE;
+    for p in pts {
+        acc = acc.mul(&p.z);
+        prefix.push(acc);
+    }
+    let mut inv = acc.inv().expect("all Z coordinates nonzero");
+    let mut out = vec![Affine::Infinity; pts.len()];
+    for i in (0..pts.len()).rev() {
+        let zinv = if i == 0 { inv } else { inv.mul(&prefix[i - 1]) };
+        inv = inv.mul(&pts[i].z);
+        let zinv2 = zinv.square();
+        let zinv3 = zinv2.mul(&zinv);
+        out[i] = Affine::Point {
+            x: pts[i].x.mul(&zinv2),
+            y: pts[i].y.mul(&zinv3),
+        };
+    }
+    out
+}
+
+/// Width-5 wNAF digits of `k`, least-significant first. Nonzero digits are
+/// odd and in `[-15, 15]`; returns the digit array and its length.
+fn wnaf5(k: &U256) -> ([i8; 257], usize) {
+    let mut d = *k;
+    let mut digits = [0i8; 257];
+    let mut i = 0;
+    while !d.is_zero() {
+        if d.is_odd() {
+            let low = (d.0[0] & 31) as i8; // d mod 32, odd
+            let digit = if low >= 16 { low - 32 } else { low };
+            digits[i] = digit;
+            if digit > 0 {
+                d = d.wrapping_sub(&U256::from_u64(digit as u64));
+            } else {
+                // d < n < 2^256 - 2^129, so adding at most 15 cannot wrap.
+                d = d.overflowing_add(&U256::from_u64((-digit) as u64)).0;
+            }
+        }
+        d = d.shr1();
+        i += 1;
+    }
+    (digits, i)
+}
+
+/// `k * P` in Jacobian form: width-5 wNAF over a table of odd multiples
+/// (P, 3P, …, 15P), ~43 additions instead of ~128 for double-and-add.
+pub(crate) fn scalar_mul_jac(k: &U256, p: &Affine) -> Jacobian {
+    if k.is_zero() || p.is_infinity() {
+        return Jacobian::infinity();
+    }
+    let p_jac = Jacobian::from_affine(p);
+    let two_p = p_jac.double();
+    let mut tbl = [p_jac; 8];
+    for i in 1..8 {
+        tbl[i] = tbl[i - 1].add(&two_p);
+    }
+    let (digits, len) = wnaf5(k);
     let mut acc = Jacobian::infinity();
-    let Some(top) = k.highest_bit() else {
-        return Affine::Infinity;
-    };
-    for i in (0..=top).rev() {
+    for i in (0..len).rev() {
         acc = acc.double();
-        if k.bit(i) {
-            acc = acc.add_affine(p);
+        let d = digits[i];
+        if d > 0 {
+            acc = acc.add(&tbl[d as usize / 2]);
+        } else if d < 0 {
+            acc = acc.add(&tbl[(-d) as usize / 2].neg());
         }
     }
-    acc.to_affine()
+    acc
+}
+
+/// Scalar multiplication `k * P`.
+pub fn scalar_mul(k: &U256, p: &Affine) -> Affine {
+    scalar_mul_jac(k, p).to_affine()
 }
 
 /// Precomputed table of G, 2G, 4G, … 2^255·G for fast generator
@@ -293,27 +369,66 @@ fn gen_table() -> &'static GenTable {
     TABLE.get_or_init(GenTable::build)
 }
 
-/// Fast `k * G` using the precomputed power-of-two table.
-pub fn scalar_mul_generator(k: &U256) -> Affine {
-    let table = gen_table();
-    let mut acc = Jacobian::infinity();
-    let Some(top) = k.highest_bit() else {
-        return Affine::Infinity;
-    };
-    for i in 0..=top {
-        if k.bit(i) {
-            acc = acc.add_affine(&table.powers[i]);
+/// Fixed-base comb table: one 8-bit window per scalar byte,
+/// `entries[w * 255 + (d - 1)] = d * 2^(8w) * G` for `d` in `1..=255`.
+/// Generator multiplication becomes at most 32 mixed additions with no
+/// doublings at all.
+struct GenCombTable {
+    entries: Vec<Affine>,
+}
+
+impl GenCombTable {
+    fn build() -> GenCombTable {
+        let powers = &gen_table().powers;
+        let mut jac: Vec<Jacobian> = Vec::with_capacity(32 * 255);
+        for w in 0..32 {
+            let base = &powers[8 * w];
+            let mut acc = Jacobian::from_affine(base);
+            for _d in 1..=255 {
+                jac.push(acc);
+                acc = acc.add_affine(base);
+            }
+        }
+        GenCombTable {
+            entries: batch_to_affine(&jac),
         }
     }
-    acc.to_affine()
+}
+
+fn comb_table() -> &'static GenCombTable {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<GenCombTable> = OnceLock::new();
+    TABLE.get_or_init(GenCombTable::build)
+}
+
+/// `k * G` in Jacobian form via the comb table (≤ 32 mixed additions).
+pub(crate) fn scalar_mul_generator_jac(k: &U256) -> Jacobian {
+    if k.is_zero() {
+        return Jacobian::infinity();
+    }
+    let table = comb_table();
+    let mut acc = Jacobian::infinity();
+    for w in 0..32 {
+        let d = (k.0[w / 8] >> (8 * (w % 8))) & 0xff;
+        if d != 0 {
+            acc = acc.add_affine(&table.entries[w * 255 + d as usize - 1]);
+        }
+    }
+    acc
+}
+
+/// Fast `k * G` using the precomputed comb table.
+pub fn scalar_mul_generator(k: &U256) -> Affine {
+    scalar_mul_generator_jac(k).to_affine()
 }
 
 /// Double-scalar multiplication `a*G + b*P`, the core of ECDSA verification
-/// and public-key recovery.
+/// and public-key recovery. Both halves stay in Jacobian coordinates so the
+/// whole computation costs a single field inversion.
 pub fn double_scalar_mul(a: &U256, b: &U256, p: &Affine) -> Affine {
-    let ag = Jacobian::from_affine(&scalar_mul_generator(a));
-    let bp = Jacobian::from_affine(&scalar_mul(b, p));
-    ag.add(&bp).to_affine()
+    scalar_mul_generator_jac(a)
+        .add(&scalar_mul_jac(b, p))
+        .to_affine()
 }
 
 #[cfg(test)]
@@ -412,6 +527,74 @@ mod tests {
         let got = double_scalar_mul(&U256::from_u64(3), &U256::from_u64(4), &p);
         let want = scalar_mul(&U256::from_u64(399), &g);
         assert_eq!(got, want);
+    }
+
+    /// Reference double-and-add, MSB first — the pre-wNAF implementation.
+    fn scalar_mul_reference(k: &U256, p: &Affine) -> Affine {
+        let mut acc = Jacobian::infinity();
+        let Some(top) = k.highest_bit() else {
+            return Affine::Infinity;
+        };
+        for i in (0..=top).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add_affine(p);
+            }
+        }
+        acc.to_affine()
+    }
+
+    #[test]
+    fn wnaf_matches_reference_on_pseudorandom_scalars() {
+        let mut s: u64 = 0xD1B54A32D192ED03;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let p = scalar_mul(&U256::from_u64(7777), &Affine::generator());
+        for _ in 0..16 {
+            let k = U256([next(), next(), next(), next()]);
+            assert_eq!(scalar_mul(&k, &p), scalar_mul_reference(&k, &p));
+            assert_eq!(
+                scalar_mul_generator(&k),
+                scalar_mul_reference(&k, &Affine::generator())
+            );
+        }
+    }
+
+    #[test]
+    fn comb_covers_boundary_scalars() {
+        for k in [
+            U256::ONE,
+            U256::from_u64(255),
+            U256::from_u64(256),
+            U256([0xFF; 4].map(|_| u64::MAX)),
+            N.wrapping_sub(&U256::ONE),
+            N,
+        ] {
+            assert_eq!(
+                scalar_mul_generator(&k),
+                scalar_mul_reference(&k, &Affine::generator()),
+                "k={k:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_to_affine_matches_individual() {
+        let g = Affine::generator();
+        let mut pts = Vec::new();
+        let mut acc = Jacobian::from_affine(&g);
+        for _ in 0..7 {
+            pts.push(acc);
+            acc = acc.add_affine(&g);
+        }
+        let batched = batch_to_affine(&pts);
+        for (j, a) in pts.iter().zip(&batched) {
+            assert_eq!(j.to_affine(), *a);
+        }
     }
 
     pub(crate) fn hex32(s: &str) -> [u8; 32] {

@@ -1,0 +1,90 @@
+//! Fast arithmetic modulo the curve order n.
+//!
+//! The generic [`U256::reduce512`] walks all 512 product bits and costs
+//! microseconds per multiplication; every ECDSA sign/verify/recover pays it
+//! several times. Like the base field, the scalar field admits a folding
+//! reduction: 2^256 ≡ c (mod n) with c = 2^256 - n (a 129-bit constant), so
+//! a 512-bit product collapses in a handful of 256-bit multiply-adds.
+
+use super::point::N;
+use crate::u256::U256;
+
+/// c = 2^256 mod n = 2^256 - n (129 bits).
+const C_N: U256 = U256([0x402DA1732FC9BEBF, 0x4551231950B75FC4, 1, 0]);
+
+/// Reduce a 512-bit value modulo n by repeated folding of the high half.
+///
+/// Each fold replaces `hi·2^256` with `hi·c`, shrinking the high half by
+/// ~127 bits, so the loop runs at most four times.
+pub fn reduce_wide_n(wide: &[u64; 8]) -> U256 {
+    let mut lo = U256([wide[0], wide[1], wide[2], wide[3]]);
+    let mut hi = U256([wide[4], wide[5], wide[6], wide[7]]);
+    while !hi.is_zero() {
+        let prod = hi.widening_mul(&C_N); // <= 385 bits
+        let (sum, carry) = lo.overflowing_add(&U256([prod[0], prod[1], prod[2], prod[3]]));
+        lo = sum;
+        hi = U256([prod[4], prod[5], prod[6], prod[7]]);
+        if carry {
+            // prod's high half is far below 2^256 - 1, so this cannot wrap.
+            hi = hi.overflowing_add(&U256::ONE).0;
+        }
+    }
+    while lo.ge(&N) {
+        lo = lo.wrapping_sub(&N);
+    }
+    lo
+}
+
+/// `(a * b) mod n` with the folding reduction.
+pub fn mul_mod_n(a: &U256, b: &U256) -> U256 {
+    let wide = a.widening_mul(b);
+    reduce_wide_n(&wide)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_n_constant_is_correct() {
+        // n + c == 2^256
+        let (sum, carry) = N.overflowing_add(&C_N);
+        assert!(carry);
+        assert!(sum.is_zero());
+    }
+
+    #[test]
+    fn matches_generic_reduction() {
+        let samples = [
+            U256::ZERO,
+            U256::ONE,
+            U256::from_u64(0xdeadbeef),
+            N.wrapping_sub(&U256::ONE),
+            U256([u64::MAX; 4]),
+            U256([0x1234567890abcdef, 0xfedcba0987654321, 0x1111, 0x2222]),
+            C_N,
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(mul_mod_n(a, b), a.mul_mod(b, &N), "a={a:?} b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_generic_on_pseudorandom_inputs() {
+        // Deterministic xorshift walk over limb patterns.
+        let mut s: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..64 {
+            let a = U256([next(), next(), next(), next()]);
+            let b = U256([next(), next(), next(), next()]);
+            assert_eq!(mul_mod_n(&a, &b), a.mul_mod(&b, &N));
+        }
+    }
+}

@@ -20,7 +20,8 @@ const H0: [u32; 8] = [
 #[derive(Clone)]
 pub struct Sha256 {
     h: [u32; 8],
-    buf: Vec<u8>,
+    buf: [u8; 64],
+    buf_len: usize,
     total_len: u64,
 }
 
@@ -35,20 +36,37 @@ impl Sha256 {
     pub fn new() -> Sha256 {
         Sha256 {
             h: H0,
-            buf: Vec::with_capacity(64),
+            buf: [0; 64],
+            buf_len: 0,
             total_len: 0,
         }
     }
 
     /// Absorb data.
-    pub fn update(&mut self, data: &[u8]) {
+    pub fn update(&mut self, mut data: &[u8]) {
         self.total_len += data.len() as u64;
-        self.buf.extend_from_slice(data);
-        while self.buf.len() >= 64 {
-            let block: [u8; 64] = self.buf[..64].try_into().unwrap();
-            self.buf.drain(..64);
+        // Top up a pending partial block first.
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                return; // input exhausted, block still partial
+            }
+            let block = self.buf;
             self.compress(&block);
+            self.buf_len = 0;
         }
+        // Compress full blocks straight from the input.
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            self.compress(block.try_into().unwrap());
+        }
+        // Stash the tail.
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
@@ -98,19 +116,20 @@ impl Sha256 {
     /// Finish and return the digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len * 8;
-        let mut pad = vec![0x80u8];
-        let rem = (self.total_len as usize + 1) % 64;
-        let zeros = if rem <= 56 { 56 - rem } else { 120 - rem };
-        pad.extend(std::iter::repeat_n(0u8, zeros));
-        pad.extend_from_slice(&bit_len.to_be_bytes());
-        // bypass update()'s length accounting for the pad
-        self.buf.extend_from_slice(&pad);
-        while self.buf.len() >= 64 {
-            let block: [u8; 64] = self.buf[..64].try_into().unwrap();
-            self.buf.drain(..64);
+        // Pad in place: 0x80, zeros to 56 mod 64, then the bit length. The
+        // pad spills into a second block when fewer than 9 bytes remain.
+        self.buf[self.buf_len] = 0x80;
+        if self.buf_len + 1 > 56 {
+            self.buf[self.buf_len + 1..].fill(0);
+            let block = self.buf;
             self.compress(&block);
+            self.buf = [0; 64];
+        } else {
+            self.buf[self.buf_len + 1..56].fill(0);
         }
-        debug_assert!(self.buf.is_empty());
+        self.buf[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
         let mut out = [0u8; 32];
         for (i, word) in self.h.iter().enumerate() {
             out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());

@@ -218,57 +218,14 @@ impl U256 {
         }
     }
 
-    /// Modular inverse via the binary extended GCD (returns `None` for 0 or
-    /// non-coprime input; `m` must be odd, which both curve moduli are).
+    /// Modular inverse (returns `None` for 0 or non-coprime input; `m` must
+    /// be odd, which both curve moduli are).
+    ///
+    /// Implemented with batched division steps (`crate::modinv`); the
+    /// differential oracle against the classic binary extended GCD lives in
+    /// that module's tests.
     pub fn inv_mod(&self, m: &U256) -> Option<U256> {
-        if self.is_zero() {
-            return None;
-        }
-        // Kaliski/binary inversion over odd modulus.
-        let mut a = *self;
-        let mut b = *m;
-        let mut x = U256::ONE; // coefficient for a
-        let mut y = U256::ZERO; // coefficient for b
-        while !a.is_zero() {
-            while !a.is_odd() {
-                a = a.shr1();
-                x = if x.is_odd() {
-                    let (s, c) = x.overflowing_add(m);
-                    let mut h = s.shr1();
-                    if c {
-                        h.0[3] |= 1 << 63;
-                    }
-                    h
-                } else {
-                    x.shr1()
-                };
-            }
-            while !b.is_odd() {
-                b = b.shr1();
-                y = if y.is_odd() {
-                    let (s, c) = y.overflowing_add(m);
-                    let mut h = s.shr1();
-                    if c {
-                        h.0[3] |= 1 << 63;
-                    }
-                    h
-                } else {
-                    y.shr1()
-                };
-            }
-            if a.ge(&b) {
-                a = a.wrapping_sub(&b);
-                x = x.sub_mod(&y, m);
-            } else {
-                b = b.wrapping_sub(&a);
-                y = y.sub_mod(&x, m);
-            }
-        }
-        if b == U256::ONE {
-            Some(y)
-        } else {
-            None
-        }
+        crate::modinv::inv_mod_odd(&self.0, &m.0).map(U256)
     }
 }
 

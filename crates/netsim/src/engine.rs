@@ -1,11 +1,13 @@
 //! The discrete-event engine: hosts, UDP, TCP, timers, churn.
 
 use crate::faults::{FaultSchedule, FaultWindow, TcpFate, UdpFate};
+use crate::payload::Payload;
+use crate::sched::TimerWheel;
 use crate::topology::{latency_between, HostMeta};
+use obs::MetricId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Identifies a host inside one simulation.
@@ -62,10 +64,11 @@ pub enum TcpEvent {
     },
     /// Ordered stream data arrived.
     Data {
+        /// Payload bytes (cheaply clonable shared buffer; derefs to
+        /// `&[u8]`).
+        bytes: Payload,
         /// The connection.
         conn: ConnId,
-        /// Payload bytes.
-        bytes: Vec<u8>,
     },
     /// The peer closed (or died).
     Closed {
@@ -138,9 +141,9 @@ pub struct TcpCounters {
 
 /// What a host asks the engine to do; applied after the callback returns.
 enum Action {
-    SendUdp { to: HostAddr, bytes: Vec<u8> },
+    SendUdp { to: HostAddr, bytes: Payload },
     TcpConnect { conn: ConnId, to: HostAddr },
-    TcpSend { conn: ConnId, bytes: Vec<u8> },
+    TcpSend { conn: ConnId, bytes: Payload },
     TcpClose { conn: ConnId },
     SetTimer { delay_ms: u64, token: u64 },
 }
@@ -174,9 +177,13 @@ impl<'a> Ctx<'a> {
         self.rng
     }
 
-    /// Send a UDP datagram.
-    pub fn send_udp(&mut self, to: HostAddr, bytes: Vec<u8>) {
-        self.actions.push(Action::SendUdp { to, bytes });
+    /// Send a UDP datagram. Accepts a `Vec<u8>` or a shared [`Payload`]
+    /// (e.g. to fan one buffer out to many peers without copies).
+    pub fn send_udp(&mut self, to: HostAddr, bytes: impl Into<Payload>) {
+        self.actions.push(Action::SendUdp {
+            to,
+            bytes: bytes.into(),
+        });
     }
 
     /// Open a TCP connection; resolves to `Connected` or `ConnectFailed`.
@@ -187,9 +194,13 @@ impl<'a> Ctx<'a> {
         conn
     }
 
-    /// Send bytes on an established connection.
-    pub fn tcp_send(&mut self, conn: ConnId, bytes: Vec<u8>) {
-        self.actions.push(Action::TcpSend { conn, bytes });
+    /// Send bytes on an established connection. Accepts a `Vec<u8>` or a
+    /// shared [`Payload`].
+    pub fn tcp_send(&mut self, conn: ConnId, bytes: impl Into<Payload>) {
+        self.actions.push(Action::TcpSend {
+            conn,
+            bytes: bytes.into(),
+        });
     }
 
     /// Close a connection (peer gets `Closed` after one latency).
@@ -233,13 +244,17 @@ struct Slot {
     alive: bool,
     /// Outbound UDP contacts for NAT pinholes: peer addr → last send time.
     nat: BTreeMap<HostAddr, u64>,
+    /// Established connections this host participates in. Lets a host
+    /// stop tear down exactly its own connections instead of scanning
+    /// every connection ever created.
+    live_conns: Vec<ConnId>,
 }
 
 enum Ev {
     Udp {
         to: HostId,
         from: HostAddr,
-        bytes: Vec<u8>,
+        bytes: Payload,
     },
     TcpSyn {
         conn: ConnId,
@@ -251,7 +266,7 @@ enum Ev {
     TcpData {
         conn: ConnId,
         to_initiator: bool,
-        bytes: Vec<u8>,
+        bytes: Payload,
     },
     TcpClose {
         conn: ConnId,
@@ -274,42 +289,68 @@ enum Ev {
 }
 
 impl Ev {
-    /// Stable per-kind metric name for the engine's event-mix counters.
-    fn obs_name(&self) -> &'static str {
+    /// Interned handle of the per-kind event-mix counter.
+    fn obs_id(&self, ids: &EngineIds) -> MetricId {
         match self {
-            Ev::Udp { .. } => "netsim.events.udp",
-            Ev::TcpSyn { .. } => "netsim.events.tcp_syn",
-            Ev::TcpEstablish { .. } => "netsim.events.tcp_establish",
-            Ev::TcpData { .. } => "netsim.events.tcp_data",
-            Ev::TcpClose { .. } => "netsim.events.tcp_close",
-            Ev::Timer { .. } => "netsim.events.timer",
-            Ev::StartHost { .. } => "netsim.events.start_host",
-            Ev::StopHost { .. } => "netsim.events.stop_host",
-            Ev::SetReachable { .. } => "netsim.events.set_reachable",
+            Ev::Udp { .. } => ids.ev_udp,
+            Ev::TcpSyn { .. } => ids.ev_tcp_syn,
+            Ev::TcpEstablish { .. } => ids.ev_tcp_establish,
+            Ev::TcpData { .. } => ids.ev_tcp_data,
+            Ev::TcpClose { .. } => ids.ev_tcp_close,
+            Ev::Timer { .. } => ids.ev_timer,
+            Ev::StartHost { .. } => ids.ev_start_host,
+            Ev::StopHost { .. } => ids.ev_stop_host,
+            Ev::SetReachable { .. } => ids.ev_set_reachable,
         }
     }
 }
 
-struct Scheduled {
-    at: u64,
-    seq: u64,
-    ev: Ev,
+/// Interned metric handles for every counter the engine touches per
+/// event. Interning once at construction keeps the hot loop free of
+/// string allocation and registry lookups; the exported names and values
+/// are identical to the string-addressed equivalents.
+#[derive(Clone, Copy)]
+struct EngineIds {
+    events_total: MetricId,
+    queue_depth_peak: MetricId,
+    udp_sent: MetricId,
+    udp_dropped: MetricId,
+    tcp_connects: MetricId,
+    tcp_resets: MetricId,
+    tcp_bytes: MetricId,
+    tcp_segments_dropped: MetricId,
+    ev_udp: MetricId,
+    ev_tcp_syn: MetricId,
+    ev_tcp_establish: MetricId,
+    ev_tcp_data: MetricId,
+    ev_tcp_close: MetricId,
+    ev_timer: MetricId,
+    ev_start_host: MetricId,
+    ev_stop_host: MetricId,
+    ev_set_reachable: MetricId,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl EngineIds {
+    fn intern() -> EngineIds {
+        EngineIds {
+            events_total: obs::handle("netsim.events_total"),
+            queue_depth_peak: obs::handle("netsim.queue_depth_peak"),
+            udp_sent: obs::handle("netsim.udp_sent"),
+            udp_dropped: obs::handle("netsim.udp_dropped"),
+            tcp_connects: obs::handle("netsim.tcp.connects"),
+            tcp_resets: obs::handle("netsim.tcp.resets"),
+            tcp_bytes: obs::handle("netsim.tcp.bytes"),
+            tcp_segments_dropped: obs::handle("netsim.tcp.segments_dropped"),
+            ev_udp: obs::handle("netsim.events.udp"),
+            ev_tcp_syn: obs::handle("netsim.events.tcp_syn"),
+            ev_tcp_establish: obs::handle("netsim.events.tcp_establish"),
+            ev_tcp_data: obs::handle("netsim.events.tcp_data"),
+            ev_tcp_close: obs::handle("netsim.events.tcp_close"),
+            ev_timer: obs::handle("netsim.events.timer"),
+            ev_start_host: obs::handle("netsim.events.start_host"),
+            ev_stop_host: obs::handle("netsim.events.stop_host"),
+            ev_set_reachable: obs::handle("netsim.events.set_reachable"),
+        }
     }
 }
 
@@ -317,7 +358,8 @@ impl Ord for Scheduled {
 pub struct NetSim {
     now: u64,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: TimerWheel<Ev>,
+    queue_depth_peak: u64,
     slots: Vec<Slot>,
     index: BTreeMap<HostAddr, HostId>,
     conns: Vec<ConnInfo>,
@@ -327,6 +369,7 @@ pub struct NetSim {
     udp_sent: u64,
     udp_dropped: u64,
     tcp: TcpCounters,
+    ids: EngineIds,
 }
 
 impl NetSim {
@@ -335,7 +378,8 @@ impl NetSim {
         NetSim {
             now: 0,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
+            queue_depth_peak: 0,
             slots: Vec::new(),
             index: BTreeMap::new(),
             conns: Vec::new(),
@@ -345,6 +389,7 @@ impl NetSim {
             udp_sent: 0,
             udp_dropped: 0,
             tcp: TcpCounters::default(),
+            ids: EngineIds::intern(),
         }
     }
 
@@ -356,6 +401,13 @@ impl NetSim {
     /// Total events dispatched (diagnostics / benches).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// High-water mark of the scheduler queue depth (diagnostics /
+    /// benches; tracked engine-side so it is available without a
+    /// recorder installed).
+    pub fn queue_depth_peak(&self) -> u64 {
+        self.queue_depth_peak
     }
 
     /// (sent, dropped) UDP datagram counters.
@@ -415,6 +467,7 @@ impl NetSim {
             meta,
             alive: false,
             nat: BTreeMap::new(),
+            live_conns: Vec::new(),
         });
         self.index.insert(addr, id);
         id
@@ -458,7 +511,7 @@ impl NetSim {
     fn push(&mut self, at: u64, ev: Ev) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, ev }));
+        self.queue.push(at, seq, ev);
     }
 
     fn one_way_latency(&mut self, a: HostId, b: HostId) -> u64 {
@@ -473,20 +526,20 @@ impl NetSim {
 
     /// Run until the queue is empty or simulated time exceeds `until_ms`.
     pub fn run_until(&mut self, until_ms: u64) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > until_ms {
-                break;
-            }
-            let Reverse(sch) = self.queue.pop().unwrap();
-            self.now = sch.at;
+        while let Some((at, _seq, ev)) = self.queue.pop_at_most(until_ms) {
+            self.now = at;
+            let depth = self.queue.len() as u64 + 1;
+            self.queue_depth_peak = self.queue_depth_peak.max(depth);
             // Observability is pure: it reads the scheduler state but never
             // touches the sim RNG or the queue, so instrumented and
-            // uninstrumented runs execute identical event sequences.
-            obs::set_now(sch.at);
-            obs::gauge_max("netsim.queue_depth_peak", self.queue.len() as u64 + 1);
-            obs::counter_add("netsim.events_total", 1);
-            obs::counter_add(sch.ev.obs_name(), 1);
-            self.dispatch(sch.ev);
+            // uninstrumented runs execute identical event sequences. All
+            // per-event counters go through interned handles — no string
+            // work on this path.
+            obs::set_now(at);
+            obs::gauge_max_id(self.ids.queue_depth_peak, depth);
+            obs::counter_add_id(self.ids.events_total, 1);
+            obs::counter_add_id(ev.obs_id(&self.ids), 1);
+            self.dispatch(ev);
             self.events_processed += 1;
         }
         self.now = self.now.max(until_ms);
@@ -506,25 +559,21 @@ impl NetSim {
                     self.slots[host].alive = false;
                     self.slots[host].nat.clear();
                     // Close all of its live connections toward the peers.
-                    let dead: Vec<(ConnId, bool)> = self
-                        .conns
+                    // The per-slot index holds exactly this host's
+                    // established connections; sorting restores the
+                    // ConnId order the old full-table scan emitted in.
+                    let mut dead: Vec<(ConnId, bool)> = self.slots[host]
+                        .live_conns
                         .iter()
-                        .enumerate()
-                        .filter(|(_, c)| c.state == ConnState::Established)
-                        .filter_map(|(id, c)| {
-                            if c.initiator == host {
-                                Some((id, false))
-                            } else if c.acceptor == Some(host) {
-                                Some((id, true))
-                            } else {
-                                None
-                            }
-                        })
+                        .map(|&id| (id, self.conns[id].initiator != host))
                         .collect();
+                    dead.sort_unstable();
                     for (conn, to_initiator) in dead {
+                        debug_assert_eq!(self.conns[conn].state, ConnState::Established);
                         self.conns[conn].state = ConnState::Closed;
+                        self.unlink_conn(conn);
                         self.tcp.resets += 1;
-                        obs::counter_add("netsim.tcp.resets", 1);
+                        obs::counter_add_id(self.ids.tcp_resets, 1);
                         let delay = self.conn_delay(conn);
                         self.push(self.now + delay, Ev::TcpClose { conn, to_initiator });
                     }
@@ -541,7 +590,7 @@ impl NetSim {
             Ev::Udp { to, from, bytes } => {
                 if !self.slots[to].alive {
                     self.udp_dropped += 1;
-                    obs::counter_add("netsim.udp_dropped", 1);
+                    obs::counter_add_id(self.ids.udp_dropped, 1);
                     return;
                 }
                 // NAT: unreachable hosts accept only solicited datagrams.
@@ -554,7 +603,7 @@ impl NetSim {
                     );
                     if !solicited {
                         self.udp_dropped += 1;
-                        obs::counter_add("netsim.udp_dropped", 1);
+                        obs::counter_add_id(self.ids.udp_dropped, 1);
                         return;
                     }
                 }
@@ -598,8 +647,9 @@ impl NetSim {
                 }
                 if ok {
                     self.conns[conn].state = ConnState::Established;
+                    self.link_conn(conn);
                     self.tcp.connects += 1;
-                    obs::counter_add("netsim.tcp.connects", 1);
+                    obs::counter_add_id(self.ids.tcp_connects, 1);
                     let peer = c.remote_addr;
                     self.with_host(c.initiator, |h, ctx| {
                         h.on_tcp(ctx, TcpEvent::Connected { conn, peer })
@@ -656,6 +706,29 @@ impl NetSim {
         (self.conns[conn].rtt_ms / 2).max(1) as u64
     }
 
+    /// Record an established connection in both endpoints' live lists.
+    fn link_conn(&mut self, conn: ConnId) {
+        let c = self.conns[conn];
+        self.slots[c.initiator].live_conns.push(conn);
+        if let Some(acc) = c.acceptor {
+            if acc != c.initiator {
+                self.slots[acc].live_conns.push(conn);
+            }
+        }
+    }
+
+    /// Remove a connection from both endpoints' live lists (call on
+    /// every Established → Closed transition).
+    fn unlink_conn(&mut self, conn: ConnId) {
+        let c = self.conns[conn];
+        self.slots[c.initiator].live_conns.retain(|&id| id != conn);
+        if let Some(acc) = c.acceptor {
+            if acc != c.initiator {
+                self.slots[acc].live_conns.retain(|&id| id != conn);
+            }
+        }
+    }
+
     /// Take the host out of its slot, run `f` with a fresh Ctx, apply the
     /// resulting actions.
     fn with_host<F>(&mut self, host: HostId, f: F)
@@ -686,18 +759,18 @@ impl NetSim {
             match action {
                 Action::SendUdp { to, bytes } => {
                     self.udp_sent += 1;
-                    obs::counter_add("netsim.udp_sent", 1);
+                    obs::counter_add_id(self.ids.udp_sent, 1);
                     // NAT pinhole for the sender.
                     let now = self.now;
                     self.slots[host].nat.insert(to, now);
                     if self.rng.gen_bool(self.config.udp_loss) {
                         self.udp_dropped += 1;
-                        obs::counter_add("netsim.udp_dropped", 1);
+                        obs::counter_add_id(self.ids.udp_dropped, 1);
                         continue;
                     }
                     let Some(&dest) = self.index.get(&to) else {
                         self.udp_dropped += 1;
-                        obs::counter_add("netsim.udp_dropped", 1);
+                        obs::counter_add_id(self.ids.udp_dropped, 1);
                         continue;
                     };
                     let from = self.slots[host].addr;
@@ -707,7 +780,7 @@ impl NetSim {
                         match self.config.faults.udp_fate(now, from, to, &mut self.rng) {
                             UdpFate::Drop => {
                                 self.udp_dropped += 1;
-                                obs::counter_add("netsim.udp_dropped", 1);
+                                obs::counter_add_id(self.ids.udp_dropped, 1);
                                 continue;
                             }
                             UdpFate::Deliver { extra_ms } => extra_ms,
@@ -756,13 +829,14 @@ impl NetSim {
                         {
                             TcpFate::Drop => {
                                 self.tcp.segments_dropped += 1;
-                                obs::counter_add("netsim.tcp.segments_dropped", 1);
+                                obs::counter_add_id(self.ids.tcp_segments_dropped, 1);
                                 continue;
                             }
                             TcpFate::Reset => {
                                 self.conns[conn].state = ConnState::Closed;
+                                self.unlink_conn(conn);
                                 self.tcp.resets += 1;
-                                obs::counter_add("netsim.tcp.resets", 1);
+                                obs::counter_add_id(self.ids.tcp_resets, 1);
                                 let delay = self.conn_delay(conn);
                                 for to_initiator in [true, false] {
                                     self.push(
@@ -776,7 +850,7 @@ impl NetSim {
                         }
                     }
                     self.tcp.bytes += bytes.len() as u64;
-                    obs::counter_add("netsim.tcp.bytes", bytes.len() as u64);
+                    obs::counter_add_id(self.ids.tcp_bytes, bytes.len() as u64);
                     let delay = self.conn_delay(conn) + extra;
                     self.push(
                         self.now + delay,
@@ -790,8 +864,12 @@ impl NetSim {
                 Action::TcpClose { conn } => {
                     if let Some(c) = self.conns.get(conn) {
                         if c.state == ConnState::Established || c.state == ConnState::Dialing {
+                            let was_established = c.state == ConnState::Established;
                             let to_initiator = c.initiator != host;
                             self.conns[conn].state = ConnState::Closed;
+                            if was_established {
+                                self.unlink_conn(conn);
+                            }
                             let delay = self.conn_delay(conn);
                             self.push(self.now + delay, Ev::TcpClose { conn, to_initiator });
                         }
@@ -1364,6 +1442,38 @@ mod tests {
         let log = log.borrow();
         assert!(log.iter().any(|l| l == "a stop@1000"), "{log:?}");
         assert!(log.iter().any(|l| l == "a start@1500"), "{log:?}");
+    }
+
+    #[test]
+    fn queue_depth_peak_export_matches_engine_high_water_mark() {
+        // The per-event gauge now flows through an interned MetricId; the
+        // exported value must still equal the engine-side high-water mark
+        // and keep its exact Prometheus rendering.
+        let rec = obs::Recorder::new();
+        rec.install();
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let mut a = Probe::new("a", log.clone());
+        a.udp_target = Some(addr(2));
+        a.tcp_target = Some(addr(2));
+        a.tcp_payload = Some(vec![7u8; 32]);
+        let mut b = Probe::new("b", log.clone());
+        b.echo = true;
+        let ha = sim.add_host(addr(1), meta(true), Box::new(a));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.run_until(10_000);
+
+        let peak = sim.queue_depth_peak();
+        assert!(peak >= 2, "ping-pong world should stack events, got {peak}");
+        assert_eq!(rec.gauge("netsim.queue_depth_peak"), peak);
+        assert!(
+            rec.prometheus()
+                .contains(&format!("netsim_queue_depth_peak {peak}\n")),
+            "gauge missing from the Prometheus export"
+        );
+        obs::uninstall();
     }
 
     #[test]

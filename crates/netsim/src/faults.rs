@@ -17,6 +17,7 @@
 //! bursts and NAT flaps into one reusable, deterministic description.
 
 use crate::engine::{HostAddr, HostId, NetSim};
+use crate::payload::Payload;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -174,13 +175,15 @@ impl FaultSchedule {
     }
 
     /// Evaluate the fate of a TCP segment on link `a`↔`b` at `now`,
-    /// mutating `bytes` in place for truncation/corruption faults.
+    /// mutating `bytes` for truncation/corruption faults. Truncation
+    /// only narrows the payload window (no copy); corruption copies on
+    /// write if the buffer is shared.
     pub(crate) fn tcp_fate(
         &self,
         now: u64,
         a: HostAddr,
         b: HostAddr,
-        bytes: &mut Vec<u8>,
+        bytes: &mut Payload,
         rng: &mut StdRng,
     ) -> TcpFate {
         let mut extra_ms = 0u64;
@@ -198,7 +201,7 @@ impl FaultSchedule {
                 Fault::TcpCorrupt => {
                     if !bytes.is_empty() {
                         let i = rng.gen_range(0..bytes.len());
-                        bytes[i] ^= 0xA5;
+                        bytes.make_mut()[i] ^= 0xA5;
                     }
                 }
                 Fault::LatencySpike(ms) => extra_ms += ms,
@@ -339,7 +342,7 @@ mod tests {
             sched.udp_fate(10, addr(1), addr(2), &mut rng),
             UdpFate::Deliver { extra_ms: 100 }
         );
-        let mut bytes = vec![1, 2, 3];
+        let mut bytes = Payload::from(vec![1, 2, 3]);
         assert_eq!(
             sched.tcp_fate(10, addr(1), addr(2), &mut bytes, &mut rng),
             TcpFate::Deliver { extra_ms: 100 }
@@ -356,7 +359,7 @@ mod tests {
             until_ms: 1_000,
             fault: Fault::TcpTruncate(4),
         });
-        let mut bytes = vec![9u8; 10];
+        let mut bytes = Payload::from(vec![9u8; 10]);
         assert_eq!(
             sched.tcp_fate(5, addr(1), addr(2), &mut bytes, &mut rng),
             TcpFate::Deliver { extra_ms: 0 }
@@ -370,11 +373,14 @@ mod tests {
             until_ms: 1_000,
             fault: Fault::TcpCorrupt,
         });
-        let clean = vec![9u8; 10];
+        let clean = Payload::from(vec![9u8; 10]);
+        // Shared with `clean`: corruption must copy-on-write, leaving the
+        // sender's view intact.
         let mut bytes = clean.clone();
         sched.tcp_fate(5, addr(1), addr(2), &mut bytes, &mut rng);
         assert_eq!(bytes.len(), 10);
         assert_ne!(bytes, clean, "exactly one byte must differ");
+        assert_eq!(&*clean, &[9u8; 10], "the shared original is untouched");
     }
 
     #[test]
@@ -387,7 +393,7 @@ mod tests {
             until_ms: 1_000,
             fault: Fault::TcpReset,
         });
-        let mut bytes = vec![1u8; 8];
+        let mut bytes = Payload::from(vec![1u8; 8]);
         assert_eq!(
             sched.tcp_fate(5, addr(1), addr(2), &mut bytes, &mut rng),
             TcpFate::Reset

@@ -27,8 +27,11 @@
 
 mod engine;
 pub mod faults;
+pub mod payload;
+pub mod sched;
 mod topology;
 
 pub use engine::{ConnId, Ctx, Host, HostAddr, HostId, NetSim, SimConfig, TcpCounters, TcpEvent};
 pub use faults::{ChurnBurst, Fault, FaultSchedule, FaultWindow, LinkSelector, NatFlap, Scenario};
+pub use payload::Payload;
 pub use topology::{latency_between, HostMeta, Region, COUNTRIES, REGION_OF_COUNTRY};

@@ -1,0 +1,335 @@
+//! Hierarchical timer wheel — the engine's event scheduler.
+//!
+//! The simulator's previous scheduler was a `BinaryHeap<Reverse<Scheduled>>`:
+//! every push and pop paid an `O(log n)` sift over a comparison on
+//! `(at, seq)`. Discrete-event workloads are overwhelmingly *near-future*
+//! (RTT-scale deliveries and second-scale timers), which is exactly the
+//! shape a hashed hierarchical timer wheel turns into `O(1)` pushes and
+//! amortized-`O(1)` pops:
+//!
+//! * **L0** — 1024 slots of 1 ms each. An event whose `at` falls inside the
+//!   current 1024 ms window indexes a slot directly with `at & 1023`.
+//!   Because a slot within one window corresponds to exactly one `at`,
+//!   FIFO order within a slot *is* `seq` order (sequence numbers are
+//!   assigned in push order).
+//! * **L1** — 512 slots of 1024 ms each, covering the next ~8.7 minutes.
+//!   A slot holds events for exactly one future L0 window; when the
+//!   wheel's cursor enters that window the slot is cascaded into L0.
+//! * **Overflow** — everything farther out sits in a `BTreeMap` keyed by
+//!   `(at, seq)` and is drained into the wheels when the cursor crosses
+//!   into its L1 window.
+//!
+//! ## Ordering contract
+//!
+//! [`TimerWheel::pop_at_most`] yields events in exactly ascending
+//! `(at, seq)` order — byte-identical to the binary heap it replaces (the
+//! property test in `tests/` drives both against each other). The argument:
+//! `seq` strictly increases with push order, a window's L1 slot is
+//! cascaded exactly once — on cursor entry, *before* any direct push can
+//! target that window — and the overflow drain walks its `BTreeMap` in
+//! `(at, seq)` order, so arrival order within any L0 slot is always
+//! ascending `seq`.
+//!
+//! ## Past pushes
+//!
+//! The wheel cannot represent times behind its cursor. The engine never
+//! schedules into the past (every event is pushed at `now + delay`), so
+//! [`TimerWheel::push`] clamps `at` up to the cursor and debug-asserts —
+//! a clamp firing outside tests indicates a world-builder bug.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// log2 of the L0 span: 1024 slots × 1 ms.
+const L0_BITS: u32 = 10;
+/// log2 of the L1 slot count: 512 slots × 1024 ms.
+const L1_BITS: u32 = 9;
+const L0_SLOTS: usize = 1 << L0_BITS;
+const L1_SLOTS: usize = 1 << L1_BITS;
+const L0_MASK: u64 = (L0_SLOTS as u64) - 1;
+const L1_MASK: u64 = (L1_SLOTS as u64) - 1;
+
+/// Min-scheduler over `(at, seq)` keys (ms-granularity sim time plus a
+/// strictly increasing sequence number for same-time ties).
+pub struct TimerWheel<T> {
+    /// All stored events have `at >= cursor`.
+    cursor: u64,
+    len: usize,
+    /// L0 slot: `(seq, item)` in ascending-seq (== FIFO) order; all
+    /// entries share the same `at`. Drained deques keep their capacity.
+    l0: Vec<VecDeque<(u64, T)>>,
+    l0_occ: [u64; L0_SLOTS / 64],
+    /// L1 slot: `(at, seq, item)` for one future L0 window, in push order.
+    l1: Vec<Vec<(u64, u64, T)>>,
+    l1_occ: [u64; L1_SLOTS / 64],
+    overflow: BTreeMap<(u64, u64), T>,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for TimerWheel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("cursor", &self.cursor)
+            .field("len", &self.len)
+            .field("overflow_len", &self.overflow.len())
+            .finish()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// Empty wheel with its cursor at time 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            cursor: 0,
+            len: 0,
+            l0: (0..L0_SLOTS).map(|_| VecDeque::new()).collect(),
+            l0_occ: [0; L0_SLOTS / 64],
+            l1: (0..L1_SLOTS).map(|_| Vec::new()).collect(),
+            l1_occ: [0; L1_SLOTS / 64],
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `item` at `(at, seq)`. `seq` values must be distinct and
+    /// assigned in push order (the engine uses a monotone counter). `at`
+    /// values behind the cursor are clamped up to it.
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        debug_assert!(at >= self.cursor, "push into the past: {at} < cursor");
+        let at = at.max(self.cursor);
+        self.len += 1;
+        self.place(at, seq, item);
+    }
+
+    /// Route an event with `at >= cursor` into the right layer.
+    fn place(&mut self, at: u64, seq: u64, item: T) {
+        if at >> L0_BITS == self.cursor >> L0_BITS {
+            let slot = (at & L0_MASK) as usize;
+            debug_assert!(self.l0[slot].back().map(|(s, _)| *s) < Some(seq));
+            self.l0[slot].push_back((seq, item));
+            self.l0_occ[slot / 64] |= 1 << (slot % 64);
+        } else if at >> (L0_BITS + L1_BITS) == self.cursor >> (L0_BITS + L1_BITS) {
+            let slot = ((at >> L0_BITS) & L1_MASK) as usize;
+            self.l1[slot].push((at, seq, item));
+            self.l1_occ[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.overflow.insert((at, seq), item);
+        }
+    }
+
+    /// First occupied L0 slot index at or after `from`, if any.
+    fn l0_next_occupied(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        let mut bits = self.l0_occ[word] & (u64::MAX << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word == self.l0_occ.len() {
+                return None;
+            }
+            bits = self.l0_occ[word];
+        }
+    }
+
+    /// Pop the earliest event if its time is `<= until`. Yields ascending
+    /// `(at, seq)` across calls; pushes made between pops (the engine
+    /// pushes while dispatching, including at the current time) slot into
+    /// that order exactly as the binary heap did.
+    pub fn pop_at_most(&mut self, until: u64) -> Option<(u64, u64, T)> {
+        if self.len == 0 || self.cursor > until {
+            return None;
+        }
+        loop {
+            if let Some(slot) = self.l0_next_occupied((self.cursor & L0_MASK) as usize) {
+                let at = (self.cursor & !L0_MASK) | slot as u64;
+                if at > until {
+                    // Nothing in [cursor, until]; `until` sits in this
+                    // same window (cursor <= until < at), so the jump
+                    // crosses no cascade boundary.
+                    self.cursor = until;
+                    return None;
+                }
+                let q = &mut self.l0[slot];
+                let (seq, item) = q.pop_front().expect("occupancy bit set on empty slot");
+                if q.is_empty() {
+                    self.l0_occ[slot / 64] &= !(1 << (slot % 64));
+                }
+                self.len -= 1;
+                // Do not advance past `at`: dispatching this event may
+                // push more work at the same time (zero-delay timers),
+                // which must land back in this slot behind higher seqs.
+                self.cursor = at;
+                return Some((at, seq, item));
+            }
+            // Current L0 window exhausted.
+            let window_end = self.cursor | L0_MASK;
+            if until <= window_end {
+                self.cursor = until;
+                return None;
+            }
+            self.advance_window(window_end + 1);
+        }
+    }
+
+    /// Move the cursor to `window_start` (the first ms of the next L0
+    /// window), pulling newly in-range overflow events and cascading the
+    /// window's L1 slot into L0.
+    fn advance_window(&mut self, window_start: u64) {
+        let old = self.cursor;
+        self.cursor = window_start;
+        if window_start >> (L0_BITS + L1_BITS) != old >> (L0_BITS + L1_BITS) {
+            // New L1 epoch: route the overflow events that now fit the
+            // wheels. BTreeMap iteration gives (at, seq) order, so
+            // same-`at` runs arrive in ascending seq.
+            let bound = ((window_start >> (L0_BITS + L1_BITS)) + 1) << (L0_BITS + L1_BITS);
+            let rest = self.overflow.split_off(&(bound, 0));
+            let in_range = std::mem::replace(&mut self.overflow, rest);
+            for ((at, seq), item) in in_range {
+                self.place(at, seq, item);
+            }
+        }
+        let slot = ((window_start >> L0_BITS) & L1_MASK) as usize;
+        if self.l1_occ[slot / 64] & (1 << (slot % 64)) != 0 {
+            self.l1_occ[slot / 64] &= !(1 << (slot % 64));
+            let pending = std::mem::take(&mut self.l1[slot]);
+            for (at, seq, item) in pending {
+                debug_assert_eq!(at >> L0_BITS, window_start >> L0_BITS);
+                self.place(at, seq, item);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(w: &mut TimerWheel<u32>, until: u64) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = w.pop_at_most(until) {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_at_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(30, 0, 1);
+        w.push(10, 1, 2);
+        w.push(20, 2, 3);
+        w.push(10, 3, 4); // same time as seq 1: ties break by seq
+        assert_eq!(w.len(), 4);
+        assert_eq!(
+            drain_all(&mut w, 100),
+            vec![(10, 1, 2), (10, 3, 4), (20, 2, 3), (30, 0, 1)]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn until_bound_is_inclusive_and_resumable() {
+        let mut w = TimerWheel::new();
+        w.push(5, 0, 10);
+        w.push(7, 1, 11);
+        w.push(9, 2, 12);
+        assert_eq!(drain_all(&mut w, 7), vec![(5, 0, 10), (7, 1, 11)]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain_all(&mut w, 8), vec![]);
+        assert_eq!(drain_all(&mut w, 9), vec![(9, 2, 12)]);
+    }
+
+    #[test]
+    fn same_time_pushes_between_pops_keep_seq_order() {
+        // A zero-delay timer: dispatching the event at t pushes another
+        // event at t, which must pop next.
+        let mut w = TimerWheel::new();
+        w.push(50, 0, 1);
+        w.push(50, 1, 2);
+        assert_eq!(w.pop_at_most(1_000), Some((50, 0, 1)));
+        w.push(50, 2, 3);
+        assert_eq!(w.pop_at_most(1_000), Some((50, 1, 2)));
+        assert_eq!(w.pop_at_most(1_000), Some((50, 2, 3)));
+        assert_eq!(w.pop_at_most(1_000), None);
+    }
+
+    #[test]
+    fn crosses_l0_windows_and_cascades_l1() {
+        let mut w = TimerWheel::new();
+        // Spread events across several L0 windows inside one L1 epoch.
+        let times = [3u64, 1_024, 1_030, 5_000, 250_000, 250_001];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(t, i as u64, i as u32);
+        }
+        let got = drain_all(&mut w, 300_000);
+        let ats: Vec<u64> = got.iter().map(|e| e.0).collect();
+        assert_eq!(ats, vec![3, 1_024, 1_030, 5_000, 250_000, 250_001]);
+    }
+
+    #[test]
+    fn far_future_overflow_drains_in_order() {
+        let mut w = TimerWheel::new();
+        // Beyond the L1 horizon (2^19 ms ≈ 524 s): these live in overflow.
+        w.push(2_000_000, 0, 1);
+        w.push(600_000, 1, 2);
+        w.push(2_000_000, 2, 3);
+        w.push(5, 3, 4);
+        let got = drain_all(&mut w, 3_000_000);
+        assert_eq!(
+            got,
+            vec![
+                (5, 3, 4),
+                (600_000, 1, 2),
+                (2_000_000, 0, 1),
+                (2_000_000, 2, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_is_none_when_head_is_beyond_until() {
+        let mut w = TimerWheel::new();
+        w.push(10_000, 0, 1);
+        assert_eq!(w.pop_at_most(9_999), None);
+        assert_eq!(w.len(), 1);
+        // Pushing nearer work after a bounded pop still works.
+        w.push(9_999, 1, 2);
+        assert_eq!(w.pop_at_most(10_000), Some((9_999, 1, 2)));
+        assert_eq!(w.pop_at_most(10_000), Some((10_000, 0, 1)));
+    }
+
+    #[test]
+    fn empty_wheel_pops_none_at_any_bound() {
+        let mut w: TimerWheel<u32> = TimerWheel::new();
+        assert_eq!(w.pop_at_most(0), None);
+        assert_eq!(w.pop_at_most(u64::MAX / 2), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn window_boundary_times_route_correctly() {
+        let mut w = TimerWheel::new();
+        // Exactly at the L0 window edge (1023/1024) and the L1 horizon
+        // edge (2^19 - 1 / 2^19).
+        for (i, t) in [1_023u64, 1_024, (1 << 19) - 1, 1 << 19].iter().enumerate() {
+            w.push(*t, i as u64, i as u32);
+        }
+        let ats: Vec<u64> = drain_all(&mut w, 1 << 20).iter().map(|e| e.0).collect();
+        assert_eq!(ats, vec![1_023, 1_024, (1 << 19) - 1, 1 << 19]);
+    }
+}

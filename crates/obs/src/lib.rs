@@ -58,11 +58,61 @@ use std::rc::Rc;
 /// Default flight-recorder capacity (events retained before dropping).
 pub const DEFAULT_RING_CAPACITY: usize = 65_536;
 
+/// An interned metric name, obtained from [`handle`]. Adding to a counter
+/// or raising a high-water gauge through an id is a plain vector index —
+/// no string allocation, no tree lookup — which matters at per-event call
+/// sites inside the simulator's hot loop.
+///
+/// Ids are thread-local and live for the life of the thread, so a handle
+/// interned once (e.g. at engine construction) stays valid across
+/// [`Recorder`] install/uninstall/clear cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId(u32);
+
+#[derive(Default)]
+struct Intern {
+    names: Vec<&'static str>,
+    index: std::collections::BTreeMap<&'static str, u32>,
+}
+
+thread_local! {
+    static INTERN: RefCell<Intern> = RefCell::new(Intern::default());
+}
+
+/// Intern a metric name, returning a copyable id for the `*_id` fast-path
+/// functions ([`counter_add_id`], [`gauge_max_id`]). Interning the same
+/// name twice returns the same id. Works whether or not a recorder is
+/// installed.
+pub fn handle(name: &'static str) -> MetricId {
+    INTERN.with(|i| {
+        let mut i = i.borrow_mut();
+        if let Some(&id) = i.index.get(name) {
+            return MetricId(id);
+        }
+        let id = u32::try_from(i.names.len()).expect("metric id space exhausted");
+        i.names.push(name);
+        i.index.insert(name, id);
+        MetricId(id)
+    })
+}
+
+fn interned_name(id: u32) -> &'static str {
+    INTERN.with(|i| i.borrow().names[id as usize])
+}
+
 struct Core {
     now_ms: u64,
     seq: u64,
     metrics: MetricsRegistry,
     ring: FlightRecorder,
+    /// Pending deltas for id-addressed counters, folded into `metrics`
+    /// (by interned name) whenever the registry is read or exported, so
+    /// string- and id-addressed updates to the same name are
+    /// indistinguishable from the outside.
+    fast_counters: Vec<u64>,
+    /// Pending high-water marks for id-addressed gauges, folded in the
+    /// same way via `gauge_max` semantics.
+    fast_gauge_hw: Vec<u64>,
 }
 
 impl Core {
@@ -72,7 +122,41 @@ impl Core {
             seq: 0,
             metrics: MetricsRegistry::default(),
             ring: FlightRecorder::new(capacity),
+            fast_counters: Vec::new(),
+            fast_gauge_hw: Vec::new(),
         }
+    }
+
+    fn fast_slot(v: &mut Vec<u64>, id: MetricId) -> &mut u64 {
+        let i = id.0 as usize;
+        if i >= v.len() {
+            v.resize(i + 1, 0);
+        }
+        &mut v[i]
+    }
+
+    /// Fold pending id-addressed updates into the named registry. A
+    /// pending value of zero is a no-op (a zero counter delta is
+    /// invisible, and `gauge_max(_, 0)` cannot lower anything), so only
+    /// touched ids ever materialize a named entry — exports stay
+    /// byte-identical to the string-addressed equivalent.
+    fn flush_fast(&mut self) {
+        let mut counters = std::mem::take(&mut self.fast_counters);
+        for (i, v) in counters.iter_mut().enumerate() {
+            if *v != 0 {
+                self.metrics.counter_add(interned_name(i as u32), *v);
+                *v = 0;
+            }
+        }
+        self.fast_counters = counters;
+        let mut gauges = std::mem::take(&mut self.fast_gauge_hw);
+        for (i, v) in gauges.iter_mut().enumerate() {
+            if *v != 0 {
+                self.metrics.gauge_max(interned_name(i as u32), *v);
+                *v = 0;
+            }
+        }
+        self.fast_gauge_hw = gauges;
     }
 
     fn record(&mut self, kind: EventKind, name: &str, fields: &[(&str, Value)]) {
@@ -143,12 +227,16 @@ impl Recorder {
 
     /// Current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.core.borrow().metrics.counter(name)
+        let mut core = self.core.borrow_mut();
+        core.flush_fast();
+        core.metrics.counter(name)
     }
 
     /// Current value of a gauge (0 if never set).
     pub fn gauge(&self, name: &str) -> u64 {
-        self.core.borrow().metrics.gauge(name)
+        let mut core = self.core.borrow_mut();
+        core.flush_fast();
+        core.metrics.gauge(name)
     }
 
     /// Snapshot of a histogram by name.
@@ -180,7 +268,9 @@ impl Recorder {
 
     /// Export the metrics registry as a Prometheus-style text snapshot.
     pub fn prometheus(&self) -> String {
-        self.core.borrow().metrics.render_prometheus()
+        let mut core = self.core.borrow_mut();
+        core.flush_fast();
+        core.metrics.render_prometheus()
     }
 
     /// Human-readable dump of the last `n` trace events (oldest of the
@@ -212,6 +302,8 @@ impl Recorder {
     pub fn clear(&self) {
         let mut core = self.core.borrow_mut();
         core.metrics = MetricsRegistry::default();
+        core.fast_counters.fill(0);
+        core.fast_gauge_hw.fill(0);
         core.ring.clear();
         core.seq = 0;
         core.now_ms = 0;
@@ -253,6 +345,24 @@ pub fn set_now(now_ms: u64) {
 /// Add `v` to the counter `name` (created at 0 on first use).
 pub fn counter_add(name: &str, v: u64) {
     with_core(|c| c.metrics.counter_add(name, v));
+}
+
+/// Add `v` to the counter behind an interned [`handle`]. Equivalent to
+/// [`counter_add`] with the interned name, but O(1) with no allocation —
+/// intended for per-event hot paths like the simulator's dispatch loop.
+pub fn counter_add_id(id: MetricId, v: u64) {
+    with_core(|c| *Core::fast_slot(&mut c.fast_counters, id) += v);
+}
+
+/// Raise the gauge behind an interned [`handle`] to `v` if `v` is larger
+/// (high-water mark). Equivalent to [`gauge_max`] with the interned name,
+/// except that a value of 0 leaves the gauge uncreated (a 0 high-water
+/// update is indistinguishable from no update anyway).
+pub fn gauge_max_id(id: MetricId, v: u64) {
+    with_core(|c| {
+        let slot = Core::fast_slot(&mut c.fast_gauge_hw, id);
+        *slot = (*slot).max(v);
+    });
 }
 
 /// Set the gauge `name` to `v`.
@@ -328,6 +438,46 @@ mod tests {
         let q = rec.query();
         assert_eq!(q.count("hello"), 1);
         assert_eq!(q.span_durations("stage"), vec![15]);
+    }
+
+    #[test]
+    fn handle_interning_is_stable() {
+        let a = handle("intern.same");
+        let b = handle("intern.same");
+        let c = handle("intern.other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interned_and_named_updates_merge() {
+        let rec = Recorder::new();
+        rec.install();
+        let id = handle("merge.counter");
+        counter_add("merge.counter", 2);
+        counter_add_id(id, 3);
+        counter_add_id(id, 5);
+        let hw = handle("merge.peak");
+        gauge_max("merge.peak", 4);
+        gauge_max_id(hw, 9);
+        gauge_max_id(hw, 6); // lower: no change
+        uninstall();
+        assert_eq!(rec.counter("merge.counter"), 10);
+        assert_eq!(rec.gauge("merge.peak"), 9);
+        // The export renders the merged values under the plain names —
+        // byte-identical to a purely string-addressed run.
+        let text = rec.prometheus();
+        assert!(text.contains("merge_counter 10\n"), "{text}");
+        assert!(text.contains("merge_peak 9\n"), "{text}");
+    }
+
+    #[test]
+    fn interned_updates_noop_without_recorder() {
+        uninstall();
+        let id = handle("noop.counter");
+        counter_add_id(id, 1);
+        gauge_max_id(id, 1);
+        assert!(!is_enabled());
     }
 
     #[test]

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Throughput regression guard.
+#
+# Compares the sim_events_per_wall_second in a freshly generated
+# results/BENCH_crawl.json against the committed baseline (the same file
+# at HEAD). Fails if throughput dropped more than 20% — wall-clock noise
+# on shared runners sits well inside that band, a scheduler or payload
+# regression does not.
+#
+# Usage:
+#   scripts/bench_compare.sh            # compare results/BENCH_crawl.json vs HEAD
+#   scripts/bench_compare.sh <current> <baseline>   # explicit files
+set -u
+cd "$(dirname "$0")/.."
+
+current_file="${1:-results/BENCH_crawl.json}"
+
+extract() {
+    sed -n 's/.*"sim_events_per_wall_second": *\([0-9][0-9]*\).*/\1/p' | head -n 1
+}
+
+if [ $# -ge 2 ]; then
+    baseline=$(extract <"$2")
+else
+    baseline=$(git show HEAD:results/BENCH_crawl.json 2>/dev/null | extract)
+fi
+current=$(extract <"$current_file")
+
+if [ -z "${baseline:-}" ]; then
+    echo "bench_compare: no committed baseline found — recording $current as the new baseline"
+    exit 0
+fi
+if [ -z "${current:-}" ]; then
+    echo "bench_compare: FAIL — $current_file has no sim_events_per_wall_second"
+    exit 1
+fi
+
+# Regression threshold: current must be >= 80% of baseline.
+floor=$((baseline * 80 / 100))
+echo "bench_compare: baseline=$baseline ev/wall-s, current=$current ev/wall-s, floor=$floor"
+if [ "$current" -lt "$floor" ]; then
+    echo "bench_compare: FAIL — throughput regressed more than 20% vs the committed baseline"
+    exit 1
+fi
+echo "bench_compare: OK"

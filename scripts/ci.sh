@@ -9,6 +9,9 @@
 #                   which re-runs detlint as a tier-1 test
 #   5. bench     -- the instrumented reference crawl; fails on any trace
 #                   non-determinism or observer effect, emits BENCH_crawl.json
+#   6. compare   -- fails if crawl throughput regressed >20% vs the
+#                   committed BENCH_crawl.json baseline
+#   7. scale     -- the smallest bench_scale tier as an engine smoke test
 #
 # Everything runs offline: external deps are vendored under vendor/.
 # Clippy is best-effort -- some container images ship a toolchain without
@@ -50,6 +53,13 @@ step "robustness suite" cargo test -q --test robustness
 # the recorder and fails on any observer effect. Writes results/
 # obs_trace.jsonl, obs_metrics.prom and BENCH_crawl.json.
 step "bench crawl (obs determinism)" cargo run -q --release -p bench --bin bench_crawl
+# Throughput guard: the crawl above rewrote results/BENCH_crawl.json; fail
+# if sim-events per wall-second regressed >20% vs the committed baseline.
+step "bench compare (throughput guard)" scripts/bench_compare.sh
+# Scale smoke test: the smallest bench_scale tier (250 hosts). The full
+# 250/1,000/5,000 sweep is run manually when results/BENCH_scale.json is
+# refreshed.
+step "bench scale (250-host tier)" env TIERS=250 cargo run -q --release -p bench --bin bench_scale
 
 echo
 if [ "$failures" -ne 0 ]; then
