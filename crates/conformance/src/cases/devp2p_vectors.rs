@@ -1,0 +1,256 @@
+//! DEVp2p session-layer golden vectors: HELLO / DISCONNECT / PING / PONG
+//! base-protocol payloads plus the eth-subprotocol STATUS family. Vectors
+//! store the frame *payload*; the base-protocol or eth message id is part
+//! of the case definition.
+
+// Builders construct fixed, known-good values; a panic here is a broken
+// registry, which the golden test surfaces immediately.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::{expect_eq, Built, Case};
+use devp2p::{Capability, DisconnectReason, Hello, Message, P2P_VERSION};
+use enode::NodeId;
+use ethwire::{BlockId, EthMessage, Status};
+use rlp::RlpStream;
+
+pub const HEADER: &str = "DEVp2p base-protocol and eth-subprotocol golden vectors.
+Provenance: hand-constructed from the devp2p spec message layouts with
+2018-era field values (Geth client id, eth/62+63 capabilities, Mainnet
+network id). Lenient cases append EIP-8-style extra fields; `wire` carries
+the extras, `canonical` is the clean re-encoding.
+Regenerate with CONFORMANCE_BLESS=1 cargo test -p conformance --test golden";
+
+fn hello() -> Hello {
+    Hello {
+        p2p_version: P2P_VERSION,
+        client_id: "Geth/v1.8.11-stable/linux-amd64/go1.10".into(),
+        capabilities: vec![Capability::eth62(), Capability::eth63()],
+        listen_port: 30303,
+        node_id: NodeId([0x42; 64]),
+    }
+}
+
+fn status() -> Status {
+    Status {
+        protocol_version: 63,
+        network_id: 1,
+        total_difficulty: 5_435_298_245_465_093_205_802u128,
+        best_hash: [0xbe; 32],
+        genesis_hash: [0xd4; 32],
+    }
+}
+
+/// Base-protocol case: wire == canonical == `encode_payload()`.
+fn message_case(msg: Message) -> Built {
+    let wire = msg.encode_payload();
+    let id = msg.msg_id();
+    Built {
+        canonical: wire.clone(),
+        check: Box::new(move |b| {
+            let got = Message::decode(id, b).map_err(|e| format!("decode: {e}"))?;
+            expect_eq(&msg, &got)
+        }),
+        wire,
+    }
+}
+
+/// Base-protocol lenient case: `wire` carries extras, `canonical` is the
+/// clean `encode_payload()` of the same expected message.
+fn message_lenient_case(msg: Message, wire: Vec<u8>) -> Built {
+    let canonical = msg.encode_payload();
+    let id = msg.msg_id();
+    Built {
+        wire,
+        canonical,
+        check: Box::new(move |b| {
+            let got = Message::decode(id, b).map_err(|e| format!("decode: {e}"))?;
+            expect_eq(&msg, &got)
+        }),
+    }
+}
+
+/// eth-subprotocol case.
+fn eth_case(msg: EthMessage) -> Built {
+    let wire = msg.encode_payload();
+    let id = msg.msg_id();
+    Built {
+        canonical: wire.clone(),
+        check: Box::new(move |b| {
+            let got = EthMessage::decode(id, b).map_err(|e| format!("decode: {e}"))?;
+            expect_eq(&msg, &got)
+        }),
+        wire,
+    }
+}
+
+fn eth_lenient_case(msg: EthMessage, wire: Vec<u8>) -> Built {
+    let canonical = msg.encode_payload();
+    let id = msg.msg_id();
+    Built {
+        wire,
+        canonical,
+        check: Box::new(move |b| {
+            let got = EthMessage::decode(id, b).map_err(|e| format!("decode: {e}"))?;
+            expect_eq(&msg, &got)
+        }),
+    }
+}
+
+pub fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "hello_geth_typical",
+            build: || message_case(Message::Hello(hello())),
+        },
+        Case {
+            // a peer that advertises nothing still completes the handshake
+            // (the paper counts such peers; they get Useless peer later)
+            name: "hello_zero_capabilities",
+            build: || {
+                message_case(Message::Hello(Hello {
+                    capabilities: Vec::new(),
+                    ..hello()
+                }))
+            },
+        },
+        Case {
+            name: "hello_eip8_extra_field",
+            build: || {
+                let h = hello();
+                let mut s = RlpStream::new_list(6);
+                s.append(&h.p2p_version);
+                s.append(&h.client_id);
+                s.begin_list(h.capabilities.len());
+                for c in &h.capabilities {
+                    s.append(c);
+                }
+                s.append(&h.listen_port);
+                s.append(&h.node_id);
+                s.append(&"from-the-future");
+                message_lenient_case(Message::Hello(h), s.out())
+            },
+        },
+        Case {
+            name: "capability_eth63",
+            build: || {
+                let cap = Capability::eth63();
+                let wire = rlp::encode(&cap);
+                Built {
+                    canonical: wire.clone(),
+                    check: Box::new(move |b| {
+                        let got: Capability = rlp::decode(b).map_err(|e| format!("decode: {e}"))?;
+                        expect_eq(&cap, &got)
+                    }),
+                    wire,
+                }
+            },
+        },
+        Case {
+            name: "capability_extra_field",
+            build: || {
+                let cap = Capability::eth63();
+                let mut s = RlpStream::new_list(3);
+                s.append(&cap.name).append(&cap.version).append(&7u8);
+                let wire = s.out();
+                let canonical = rlp::encode(&cap);
+                Built {
+                    wire,
+                    canonical,
+                    check: Box::new(move |b| {
+                        let got: Capability = rlp::decode(b).map_err(|e| format!("decode: {e}"))?;
+                        expect_eq(&cap, &got)
+                    }),
+                }
+            },
+        },
+        Case {
+            // the dominant reason on the 2018 network (paper Table 1)
+            name: "disconnect_too_many_peers",
+            build: || message_case(Message::Disconnect(DisconnectReason::TooManyPeers)),
+        },
+        Case {
+            name: "disconnect_requested",
+            build: || message_case(Message::Disconnect(DisconnectReason::Requested)),
+        },
+        Case {
+            // Geth occasionally sends the bare integer instead of the
+            // one-element list; both must decode to the same reason
+            name: "disconnect_bare_integer",
+            build: || {
+                message_lenient_case(
+                    Message::Disconnect(DisconnectReason::TooManyPeers),
+                    rlp::encode(&0x04u8),
+                )
+            },
+        },
+        Case {
+            name: "disconnect_extra_list_element",
+            build: || {
+                let mut s = RlpStream::new_list(2);
+                s.append(&0x08u8).append(&"shutting down");
+                message_lenient_case(
+                    Message::Disconnect(DisconnectReason::ClientQuitting),
+                    s.out(),
+                )
+            },
+        },
+        Case {
+            name: "ping_empty_list",
+            build: || message_case(Message::Ping),
+        },
+        Case {
+            name: "pong_empty_list",
+            build: || message_case(Message::Pong),
+        },
+        Case {
+            name: "status_mainnet",
+            build: || eth_case(EthMessage::Status(status())),
+        },
+        Case {
+            name: "status_eip8_extra_field",
+            build: || {
+                let st = status();
+                let mut s = RlpStream::new_list(6);
+                s.append(&st.protocol_version);
+                s.append(&st.network_id);
+                s.append(&st.total_difficulty);
+                s.append(&st.best_hash);
+                s.append(&st.genesis_hash);
+                s.begin_list(2);
+                s.append(&"fork-id").append(&1u8);
+                eth_lenient_case(EthMessage::Status(st), s.out())
+            },
+        },
+        Case {
+            name: "get_block_headers_by_number",
+            build: || {
+                eth_case(EthMessage::GetBlockHeaders {
+                    start: BlockId::Number(4_000_000),
+                    max_headers: 192,
+                    skip: 0,
+                    reverse: false,
+                })
+            },
+        },
+        Case {
+            name: "get_block_headers_by_hash",
+            build: || {
+                eth_case(EthMessage::GetBlockHeaders {
+                    start: BlockId::Hash([0xaa; 32]),
+                    max_headers: 1,
+                    skip: 5,
+                    reverse: true,
+                })
+            },
+        },
+        Case {
+            name: "new_block_opaque_body",
+            build: || {
+                eth_case(EthMessage::NewBlock {
+                    block: vec![0xbb; 40],
+                    total_difficulty: 98_765_432_101_234u128,
+                })
+            },
+        },
+    ]
+}

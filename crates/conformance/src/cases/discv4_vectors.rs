@@ -1,0 +1,211 @@
+//! discv4 golden vectors: canonical PING/PONG/FINDNODE/NEIGHBORS datagrams
+//! plus EIP-8-style lenient variants carrying extra trailing list elements
+//! that MUST still decode.
+//!
+//! Vectors are generated from fixed secret keys — RFC 6979 deterministic
+//! signing makes the full datagram (hash ‖ sig ‖ type ‖ body) reproducible
+//! byte-for-byte, so these serve as provenance-documented stand-ins for
+//! the official EIP-8 test vectors (which use throwaway keys we do not
+//! transcribe from memory).
+
+// Builders construct fixed, known-good values; a panic here is a broken
+// registry, which the golden test surfaces immediately.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::{expect_eq, Built, Case, CheckFn};
+use discv4::{decode_packet, encode_packet, Packet, MAX_NEIGHBORS_PER_PACKET};
+use enode::{Endpoint, NodeId, NodeRecord};
+use ethcrypto::keccak256;
+use ethcrypto::secp256k1::SecretKey;
+use rlp::RlpStream;
+use std::net::Ipv4Addr;
+
+pub const HEADER: &str = "discv4 golden vectors.
+Provenance: generated from the fixed signing key 0x31..31 (RFC 6979 makes
+the signature, and therefore the whole datagram, deterministic). Lenient
+cases append EIP-8-style extra list elements; `wire` carries the extras,
+`canonical` is the clean re-encoding of the same expected packet.
+Regenerate with CONFORMANCE_BLESS=1 cargo test -p conformance --test golden";
+
+/// The fixed signing key all vectors use.
+fn signer() -> SecretKey {
+    SecretKey::from_bytes(&[0x31; 32]).unwrap()
+}
+
+fn ep(last: u8) -> Endpoint {
+    Endpoint::new(Ipv4Addr::new(10, 0, 0, last), 30303)
+}
+
+fn record(seed: u8) -> NodeRecord {
+    let mut id = [0u8; 64];
+    for (i, b) in id.iter_mut().enumerate() {
+        *b = seed.wrapping_mul(31).wrapping_add(i as u8);
+    }
+    NodeRecord::new(NodeId(id), ep(seed))
+}
+
+/// Assemble a full signed datagram around a hand-built RLP body — the same
+/// layout `encode_packet` produces, but with the body under our control so
+/// lenient vectors can carry extra trailing fields.
+fn sign_raw_body(ptype: u8, body: &[u8]) -> Vec<u8> {
+    let k = signer();
+    let mut type_and_data = vec![ptype];
+    type_and_data.extend_from_slice(body);
+    let sig = k.sign_recoverable(&keccak256(&type_and_data)).to_bytes();
+    let mut hashed = sig.to_vec();
+    hashed.extend_from_slice(&type_and_data);
+    let mut datagram = keccak256(&hashed).to_vec();
+    datagram.extend_from_slice(&hashed);
+    datagram
+}
+
+/// Decode-check against an expected packet: sender ID and packet must
+/// match (the datagram hash differs between wire and canonical for lenient
+/// cases, so it is not compared).
+fn packet_check(expected: Packet) -> CheckFn {
+    let sender = NodeId::from_secret_key(&signer());
+    Box::new(move |b| {
+        let (id, packet, _hash) = decode_packet(b).map_err(|e| format!("decode_packet: {e}"))?;
+        expect_eq(&sender, &id)?;
+        expect_eq(&expected, &packet)
+    })
+}
+
+/// A canonical vector: `encode_packet` output, wire == canonical.
+fn canonical_case(p: Packet) -> Built {
+    let (wire, _) = encode_packet(&signer(), &p);
+    Built {
+        canonical: wire.clone(),
+        check: packet_check(p),
+        wire,
+    }
+}
+
+/// A lenient vector: `wire` is a signed datagram whose body carries extra
+/// trailing list elements, `canonical` the clean encoding of the same
+/// expected packet.
+fn lenient_case(p: Packet, extended_body: Vec<u8>) -> Built {
+    let wire = sign_raw_body(p.packet_type(), &extended_body);
+    let (canonical, _) = encode_packet(&signer(), &p);
+    Built {
+        wire,
+        canonical,
+        check: packet_check(p),
+    }
+}
+
+fn ping() -> Packet {
+    Packet::Ping {
+        version: 4,
+        from: ep(1),
+        to: ep(2),
+        expiration: 1_600_000_000,
+    }
+}
+
+fn pong() -> Packet {
+    Packet::Pong {
+        to: ep(1),
+        ping_hash: [0x77; 32],
+        expiration: 1_600_000_020,
+    }
+}
+
+fn findnode() -> Packet {
+    Packet::FindNode {
+        target: NodeId([0x44; 64]),
+        expiration: 1_600_000_040,
+    }
+}
+
+fn neighbors(n: usize) -> Packet {
+    Packet::Neighbors {
+        nodes: (0..n as u8).map(record).collect(),
+        expiration: 1_600_000_060,
+    }
+}
+
+pub fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "ping_canonical",
+            build: || canonical_case(ping()),
+        },
+        Case {
+            name: "pong_canonical",
+            build: || canonical_case(pong()),
+        },
+        Case {
+            name: "findnode_canonical",
+            build: || canonical_case(findnode()),
+        },
+        Case {
+            name: "neighbors_empty",
+            build: || canonical_case(neighbors(0)),
+        },
+        Case {
+            // the largest NEIGHBORS a conforming sender emits (Geth's
+            // maxNeighbors = 12 keeps the datagram under 1280 bytes)
+            name: "neighbors_max",
+            build: || canonical_case(neighbors(MAX_NEIGHBORS_PER_PACKET)),
+        },
+        Case {
+            name: "ping_eip8_extras",
+            build: || {
+                let mut s = RlpStream::new_list(5);
+                s.append(&4u32)
+                    .append(&ep(1))
+                    .append(&ep(2))
+                    .append(&1_600_000_000u64)
+                    .append(&"from-the-future");
+                lenient_case(ping(), s.out())
+            },
+        },
+        Case {
+            name: "pong_eip8_extras",
+            build: || {
+                let mut s = RlpStream::new_list(4);
+                s.append(&ep(1));
+                s.append_bytes(&[0x77; 32]);
+                s.append(&1_600_000_020u64).append(&0xdeadu64);
+                lenient_case(pong(), s.out())
+            },
+        },
+        Case {
+            name: "findnode_eip8_extras",
+            build: || {
+                let mut s = RlpStream::new_list(3);
+                s.append(&NodeId([0x44; 64]))
+                    .append(&1_600_000_040u64)
+                    .append(&"extra");
+                lenient_case(findnode(), s.out())
+            },
+        },
+        Case {
+            name: "neighbors_eip8_extras",
+            build: || {
+                let mut s = RlpStream::new_list(3);
+                s.begin_list(2);
+                s.append(&record(0)).append(&record(1));
+                s.append(&1_600_000_060u64);
+                s.begin_list(1);
+                s.append(&"trailing-list");
+                lenient_case(neighbors(2), s.out())
+            },
+        },
+        Case {
+            // the extra element hides inside the nested `from` endpoint,
+            // exercising the nested decoders' lenient policy
+            name: "ping_nested_endpoint_extra",
+            build: || {
+                let mut s = RlpStream::new_list(4);
+                s.append(&4u32);
+                s.begin_list(4);
+                s.append_bytes(&[10, 0, 0, 1]);
+                s.append(&30303u16).append(&30303u16).append(&"x");
+                s.append(&ep(2)).append(&1_600_000_000u64);
+                lenient_case(ping(), s.out())
+            },
+        },
+    ]
+}

@@ -1,0 +1,219 @@
+//! RLP golden vectors: the Yellow Paper Appendix B examples plus every
+//! length-form boundary (55/56-byte strings and list payloads, 2^8 and
+//! 2^16 byte strings that widen the length-of-length field).
+
+// Builders construct fixed, known-good values; a panic here is a broken
+// registry, which the golden test surfaces immediately.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::{expect_eq, Built, Case};
+use rlp::{Rlp, RlpStream};
+
+pub const HEADER: &str = "RLP golden vectors.
+Provenance: canonical examples from the Ethereum Yellow Paper (Appendix B)
+and this crate's boundary analysis of the two length forms. Regenerate with
+CONFORMANCE_BLESS=1 cargo test -p conformance --test golden";
+
+fn bytes_case(data: Vec<u8>) -> Built {
+    let wire = rlp::encode(&data.as_slice());
+    let expected = data;
+    Built {
+        canonical: wire.clone(),
+        check: Box::new(move |b| {
+            let got: Vec<u8> = rlp::decode(b).map_err(|e| format!("decode: {e}"))?;
+            expect_eq(&expected, &got)
+        }),
+        wire,
+    }
+}
+
+fn string_case(text: &'static str) -> Built {
+    let wire = rlp::encode(&text);
+    Built {
+        canonical: wire.clone(),
+        check: Box::new(move |b| {
+            let got: String = rlp::decode(b).map_err(|e| format!("decode: {e}"))?;
+            expect_eq(&text.to_string(), &got)
+        }),
+        wire,
+    }
+}
+
+fn u64_case(v: u64) -> Built {
+    let wire = rlp::encode(&v);
+    Built {
+        canonical: wire.clone(),
+        check: Box::new(move |b| {
+            let got: u64 = rlp::decode(b).map_err(|e| format!("decode: {e}"))?;
+            expect_eq(&v, &got)
+        }),
+        wire,
+    }
+}
+
+/// Deterministic filler for the big boundary strings.
+fn filler(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+pub fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "empty_string",
+            build: || string_case(""),
+        },
+        Case {
+            name: "single_byte_zero",
+            build: || bytes_case(vec![0x00]),
+        },
+        Case {
+            name: "single_byte_7f",
+            build: || bytes_case(vec![0x7f]),
+        },
+        Case {
+            // 0x80 is the first byte that no longer encodes as itself.
+            name: "byte_80_needs_header",
+            build: || bytes_case(vec![0x80]),
+        },
+        Case {
+            name: "short_string_dog",
+            build: || string_case("dog"),
+        },
+        Case {
+            // longest string that still uses the short form (0x80 + len)
+            name: "string_55_short_form_max",
+            build: || bytes_case(filler(55)),
+        },
+        Case {
+            // shortest string forced into the long form (0xb8, len)
+            name: "string_56_long_form_min",
+            build: || string_case("Lorem ipsum dolor sit amet, consectetur adipisicing elit"),
+        },
+        Case {
+            // first length needing two big-endian length bytes (0xb9)
+            name: "string_256_two_byte_length",
+            build: || bytes_case(filler(256)),
+        },
+        Case {
+            // first length needing three length bytes (0xba, 0x01 0x00 0x00)
+            name: "string_65536_three_byte_length",
+            build: || bytes_case(filler(65536)),
+        },
+        Case {
+            name: "uint_zero",
+            build: || u64_case(0),
+        },
+        Case {
+            name: "uint_1024",
+            build: || u64_case(1024),
+        },
+        Case {
+            name: "uint_u64_max",
+            build: || u64_case(u64::MAX),
+        },
+        Case {
+            name: "uint_u128_max",
+            build: || {
+                let v = u128::MAX;
+                let wire = rlp::encode(&v);
+                Built {
+                    canonical: wire.clone(),
+                    check: Box::new(move |b| {
+                        let got: u128 = rlp::decode(b).map_err(|e| format!("decode: {e}"))?;
+                        expect_eq(&v, &got)
+                    }),
+                    wire,
+                }
+            },
+        },
+        Case {
+            name: "empty_list",
+            build: || {
+                let wire = RlpStream::new_list(0).out();
+                Built {
+                    canonical: wire.clone(),
+                    check: Box::new(|b| {
+                        let r = Rlp::new(b);
+                        if !r.is_list() {
+                            return Err("not a list".into());
+                        }
+                        expect_eq(&0usize, &r.item_count().map_err(|e| e.to_string())?)
+                    }),
+                    wire,
+                }
+            },
+        },
+        Case {
+            name: "list_cat_dog",
+            build: || {
+                let expected = vec!["cat".to_string(), "dog".to_string()];
+                let wire = rlp::encode_list(&expected);
+                Built {
+                    canonical: wire.clone(),
+                    check: Box::new(move |b| {
+                        let got: Vec<String> =
+                            rlp::decode_list(b).map_err(|e| format!("decode: {e}"))?;
+                        expect_eq(&expected, &got)
+                    }),
+                    wire,
+                }
+            },
+        },
+        Case {
+            // [ [], [[]], [ [], [[]] ] ] — the Yellow Paper's "set
+            // theoretical representation of three".
+            name: "nested_set_theoretic_three",
+            build: || {
+                let mut s = RlpStream::new_list(3);
+                s.begin_list(0);
+                s.begin_list(1);
+                s.begin_list(0);
+                s.begin_list(2);
+                s.begin_list(0);
+                s.begin_list(1);
+                s.begin_list(0);
+                let wire = s.out();
+                Built {
+                    canonical: wire.clone(),
+                    check: Box::new(|b| {
+                        let r = Rlp::new(b);
+                        expect_eq(&3usize, &r.item_count().map_err(|e| e.to_string())?)?;
+                        let counts: Result<Vec<usize>, _> = (0..3)
+                            .map(|i| r.at(i).and_then(|x| x.item_count()))
+                            .collect();
+                        expect_eq(&vec![0usize, 1, 2], &counts.map_err(|e| e.to_string())?)
+                    }),
+                    wire,
+                }
+            },
+        },
+        Case {
+            // longest list payload still using the short form (0xc0 + len):
+            // 55 one-byte items.
+            name: "list_payload_55_short_form_max",
+            build: || list_payload_case(55),
+        },
+        Case {
+            // shortest list payload forced into the long form (0xf8, len)
+            name: "list_payload_56_long_form_min",
+            build: || list_payload_case(56),
+        },
+    ]
+}
+
+/// A list of `n` single-byte items: payload length is exactly `n`.
+fn list_payload_case(n: usize) -> Built {
+    let expected: Vec<u64> = (0..n as u64).map(|i| i % 0x70).collect();
+    let wire = rlp::encode_list(&expected);
+    // Confirm the intended form boundary at build time.
+    let want_head = if n <= 55 { 0xc0 + n as u8 } else { 0xf8 };
+    assert_eq!(wire[0], want_head, "list header form changed");
+    Built {
+        canonical: wire.clone(),
+        check: Box::new(move |b| {
+            let got: Vec<u64> = rlp::decode_list(b).map_err(|e| format!("decode: {e}"))?;
+            expect_eq(&expected, &got)
+        }),
+        wire,
+    }
+}

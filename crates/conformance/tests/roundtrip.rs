@@ -1,0 +1,191 @@
+//! Property round-trips over the session-layer message space: every
+//! discv4 packet type (each under its own property, so coverage is
+//! explicit), DEVp2p HELLO, and eth STATUS — including the two shapes the
+//! zoo actually sends that caught real decoders out: a NEIGHBORS packet at
+//! the full 12-node size cap and a HELLO advertising zero capabilities.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use devp2p::{Capability, Hello, Message};
+use discv4::{decode_packet, encode_packet, Packet, MAX_NEIGHBORS_PER_PACKET};
+use enode::{Endpoint, NodeId, NodeRecord};
+use ethcrypto::secp256k1::SecretKey;
+use ethwire::{EthMessage, Status};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (any::<[u8; 4]>(), any::<u16>(), any::<u16>()).prop_map(|(ip, udp, tcp)| Endpoint {
+        ip: Ipv4Addr::from(ip),
+        udp_port: udp,
+        tcp_port: tcp,
+    })
+}
+
+fn arb_node_id() -> impl Strategy<Value = NodeId> {
+    (
+        proptest::array::uniform32(any::<u8>()),
+        proptest::array::uniform32(any::<u8>()),
+    )
+        .prop_map(|(a, b)| {
+            let mut id = [0u8; 64];
+            id[..32].copy_from_slice(&a);
+            id[32..].copy_from_slice(&b);
+            NodeId(id)
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = NodeRecord> {
+    (arb_node_id(), arb_endpoint()).prop_map(|(id, ep)| NodeRecord::new(id, ep))
+}
+
+fn arb_key() -> impl Strategy<Value = SecretKey> {
+    proptest::array::uniform32(1u8..=255)
+        .prop_filter_map("valid secret key", |b| SecretKey::from_bytes(&b).ok())
+}
+
+/// Printable-ASCII strings (client ids, capability names are ASCII on the
+/// real network; RLP itself is byte-transparent).
+fn arb_ascii(max_len: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0x20u8..0x7f, 0..max_len)
+        .prop_map(|b| b.into_iter().map(char::from).collect())
+}
+
+fn arb_capability() -> impl Strategy<Value = Capability> {
+    (arb_ascii(8), any::<u32>()).prop_map(|(name, version)| Capability { name, version })
+}
+
+fn arb_hello() -> impl Strategy<Value = Hello> {
+    (
+        any::<u32>(),
+        arb_ascii(48),
+        proptest::collection::vec(arb_capability(), 0..5),
+        any::<u16>(),
+        arb_node_id(),
+    )
+        .prop_map(
+            |(p2p_version, client_id, capabilities, listen_port, node_id)| Hello {
+                p2p_version,
+                client_id,
+                capabilities,
+                listen_port,
+                node_id,
+            },
+        )
+}
+
+fn arb_status() -> impl Strategy<Value = Status> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u128>(),
+        proptest::array::uniform32(any::<u8>()),
+        proptest::array::uniform32(any::<u8>()),
+    )
+        .prop_map(
+            |(protocol_version, network_id, total_difficulty, best_hash, genesis_hash)| Status {
+                protocol_version,
+                network_id,
+                total_difficulty,
+                best_hash,
+                genesis_hash,
+            },
+        )
+}
+
+fn assert_packet_roundtrip(key: &SecretKey, packet: Packet) -> Result<(), TestCaseError> {
+    let (datagram, hash) = encode_packet(key, &packet);
+    let (sender, decoded, rhash) = decode_packet(&datagram).unwrap();
+    prop_assert_eq!(sender, NodeId::from_secret_key(key));
+    prop_assert_eq!(decoded, packet);
+    prop_assert_eq!(rhash, hash);
+    Ok(())
+}
+
+fn assert_message_roundtrip(msg: Message) -> Result<(), TestCaseError> {
+    let payload = msg.encode_payload();
+    let decoded = Message::decode(msg.msg_id(), &payload).unwrap();
+    prop_assert_eq!(decoded, msg);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ping_roundtrip(
+        key in arb_key(),
+        version in any::<u32>(),
+        from in arb_endpoint(),
+        to in arb_endpoint(),
+        expiration in any::<u64>(),
+    ) {
+        assert_packet_roundtrip(&key, Packet::Ping { version, from, to, expiration })?;
+    }
+
+    #[test]
+    fn pong_roundtrip(
+        key in arb_key(),
+        to in arb_endpoint(),
+        ping_hash in proptest::array::uniform32(any::<u8>()),
+        expiration in any::<u64>(),
+    ) {
+        assert_packet_roundtrip(&key, Packet::Pong { to, ping_hash, expiration })?;
+    }
+
+    #[test]
+    fn findnode_roundtrip(
+        key in arb_key(),
+        target in arb_node_id(),
+        expiration in any::<u64>(),
+    ) {
+        assert_packet_roundtrip(&key, Packet::FindNode { target, expiration })?;
+    }
+
+    #[test]
+    fn neighbors_roundtrip(
+        key in arb_key(),
+        nodes in proptest::collection::vec(arb_record(), 0..=MAX_NEIGHBORS_PER_PACKET),
+        expiration in any::<u64>(),
+    ) {
+        assert_packet_roundtrip(&key, Packet::Neighbors { nodes, expiration })?;
+    }
+
+    /// The size cap is load-bearing: a max-size NEIGHBORS with arbitrary
+    /// records must stay round-trippable (and under the datagram budget).
+    #[test]
+    fn neighbors_max_size_roundtrip(
+        key in arb_key(),
+        nodes in proptest::collection::vec(
+            arb_record(),
+            MAX_NEIGHBORS_PER_PACKET..=MAX_NEIGHBORS_PER_PACKET,
+        ),
+        expiration in any::<u64>(),
+    ) {
+        let packet = Packet::Neighbors { nodes, expiration };
+        let (datagram, _) = encode_packet(&key, &packet);
+        prop_assert!(datagram.len() < 1280, "datagram {} bytes", datagram.len());
+        assert_packet_roundtrip(&key, packet)?;
+    }
+
+    #[test]
+    fn hello_roundtrip(hello in arb_hello()) {
+        assert_message_roundtrip(Message::Hello(hello))?;
+    }
+
+    /// Zero-capability HELLOs exist in the wild (and get Useless peer
+    /// later); the codec must not conflate "empty list" with "missing".
+    #[test]
+    fn hello_zero_capability_roundtrip(hello in arb_hello()) {
+        let hello = Hello { capabilities: Vec::new(), ..hello };
+        assert_message_roundtrip(Message::Hello(hello))?;
+    }
+
+    #[test]
+    fn status_roundtrip(status in arb_status()) {
+        let msg = EthMessage::Status(status);
+        let payload = msg.encode_payload();
+        let decoded = EthMessage::decode(msg.msg_id(), &payload).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+}

@@ -1,4 +1,4 @@
-//! The six determinism & panic-safety rules.
+//! The seven determinism, panic-safety & wire-policy rules.
 
 use std::fmt;
 
@@ -17,10 +17,21 @@ pub enum Rule {
     R5,
     /// Only offline-approved dependencies in any manifest.
     R6,
+    /// Strict trailing-data rejection in protocol decoders needs a
+    /// `// conformance: strict -- <why>` justification.
+    R7,
 }
 
 /// All rules, in order.
-pub const ALL: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
+pub const ALL: [Rule; 7] = [
+    Rule::R1,
+    Rule::R2,
+    Rule::R3,
+    Rule::R4,
+    Rule::R5,
+    Rule::R6,
+    Rule::R7,
+];
 
 impl Rule {
     /// Short identifier, e.g. `R3`.
@@ -32,10 +43,11 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
         }
     }
 
-    /// Parse `R1`..`R6` (case-insensitive).
+    /// Parse `R1`..`R7` (case-insensitive).
     pub fn parse(text: &str) -> Option<Rule> {
         match text.trim().to_ascii_uppercase().as_str() {
             "R1" => Some(Rule::R1),
@@ -44,6 +56,7 @@ impl Rule {
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
             _ => None,
         }
     }
@@ -57,6 +70,7 @@ impl Rule {
             Rule::R4 => "no unsafe code; every crate root must forbid it",
             Rule::R5 => "no unwrap/expect in non-test code of attacker-facing crates",
             Rule::R6 => "only offline-approved dependencies in manifests",
+            Rule::R7 => "strict trailing-data rejection needs a conformance justification",
         }
     }
 
@@ -145,6 +159,27 @@ impl Rule {
                  Flags: git deps, registry deps outside the approved set, and path deps\n\
                  escaping the repository root.\n\
                  Escape hatch: none — vendor a stand-in instead (see vendor/README.md)."
+            }
+            Rule::R7 => {
+                "R7: strict trailing-data rejection needs a conformance justification.\n\
+                 \n\
+                 EIP-8 made lenient decoding the network's compatibility contract: protocol\n\
+                 decoders must tolerate extra trailing list elements (counting them through\n\
+                 the wire.extra.* observables) so newer clients can extend messages without\n\
+                 being dropped by older ones. A decoder that hard-rejects trailing data is\n\
+                 therefore an interop liability by default, and each such site must say why\n\
+                 strictness is the right call there. The conformance crate's golden vectors\n\
+                 pin the tolerated shapes; this rule keeps new code honest about the policy.\n\
+                 \n\
+                 Flags, in the protocol crates' src/ outside test code: the identifier\n\
+                 `ensure_exact`, construction of `RlpError::TrailingBytes` (match arms that\n\
+                 merely inspect the error are exempt), and an `item_count` call compared\n\
+                 with `!=` on the same line (use a `< n` reject / `> n` tolerate-and-count\n\
+                 split instead).\n\
+                 Escape hatch: `// conformance: strict -- <why>` on the same or previous\n\
+                 line — the annotation doubles as in-source documentation of the\n\
+                 strictness decision. `// detlint: allow(R7) -- <why>` also works but the\n\
+                 conformance form is preferred."
             }
         }
     }

@@ -1,5 +1,5 @@
 //! The workspace scanner: walks every `.rs` and `Cargo.toml` under the
-//! repository root and applies rules R1–R6.
+//! repository root and applies rules R1–R7.
 
 use crate::lexer::{self, LineComment};
 use crate::rules::Rule;
@@ -26,6 +26,19 @@ const R5_SCOPE: [&str; 5] = [
     "crates/rlpx/src/",
     "crates/devp2p/src/",
     "crates/ethwire/src/",
+];
+
+/// Crates whose `src/` decoders fall under the EIP-8 lenient-decode policy
+/// (rule R7): strict trailing-data rejection there must be justified. Same
+/// crates as R5 plus enode, whose Endpoint/NodeRecord decoders are nested
+/// inside every discv4 packet.
+const R7_SCOPE: [&str; 6] = [
+    "crates/rlp/src/",
+    "crates/discv4/src/",
+    "crates/rlpx/src/",
+    "crates/devp2p/src/",
+    "crates/ethwire/src/",
+    "crates/enode/src/",
 ];
 
 /// Registry-style dependency names that are approved because an offline
@@ -147,6 +160,40 @@ fn parse_annotations(
     let mut by_line: BTreeMap<usize, BTreeSet<Rule>> = BTreeMap::new();
     for comment in comments {
         let body = comment.text.trim_start_matches('/').trim();
+        // `// conformance: strict -- <why>` is R7's dedicated escape hatch:
+        // it both suppresses the finding and documents the policy decision.
+        if let Some(directive) = body.strip_prefix("conformance:") {
+            let directive = directive.trim();
+            let (spec, reason) = match directive.split_once("--") {
+                Some((spec, reason)) => (spec.trim(), reason.trim()),
+                None => (directive, ""),
+            };
+            if spec != "strict" {
+                violations.push(Violation {
+                    rule: Rule::R7,
+                    path: path.to_string(),
+                    line: comment.line,
+                    message: format!(
+                        "unrecognized conformance annotation `{directive}` \
+                         (expected `strict -- <why>`)"
+                    ),
+                });
+            } else if reason.is_empty() {
+                violations.push(Violation {
+                    rule: Rule::R7,
+                    path: path.to_string(),
+                    line: comment.line,
+                    message: "conformance annotation without a justification \
+                              (append ` -- <why>`)"
+                        .to_string(),
+                });
+            } else {
+                for line in [comment.line, comment.line + 1] {
+                    by_line.entry(line).or_default().insert(Rule::R7);
+                }
+            }
+            continue;
+        }
         let Some(directive) = body.strip_prefix("detlint:") else {
             continue;
         };
@@ -294,6 +341,18 @@ fn preceded_by(masked: &[char], start: usize, suffix: &str) -> bool {
     true
 }
 
+/// True if a `!=` operator appears between `from` and the end of its line.
+fn neq_on_rest_of_line(masked: &[char], from: usize) -> bool {
+    let mut i = from;
+    while i < masked.len() && masked[i] != '\n' {
+        if masked[i] == '!' && masked.get(i + 1) == Some(&'=') {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
 fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
     let masked_file = lexer::mask(source);
     let masked: Vec<char> = masked_file.code.chars().collect();
@@ -308,6 +367,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
     let r1_allowlisted = R1_ALLOWLIST.iter().any(|prefix| path.starts_with(prefix));
     let r1_no_escape = R1_NO_ESCAPE.iter().any(|prefix| path.starts_with(prefix));
     let r5_in_scope = R5_SCOPE.iter().any(|prefix| path.starts_with(prefix));
+    let r7_in_scope = R7_SCOPE.iter().any(|prefix| path.starts_with(prefix));
 
     let mut push = |rule: Rule, line: usize, message: String| {
         violations.push(Violation {
@@ -390,6 +450,55 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
                          instead (see --explain R5)",
                         token.word
                     ),
+                );
+            }
+            "ensure_exact"
+                if r7_in_scope
+                    && !in_test_region(token.start)
+                    && !allowances.allows(token.line, Rule::R7) =>
+            {
+                push(
+                    Rule::R7,
+                    token.line,
+                    "`ensure_exact` rejects trailing data; EIP-8 policy is \
+                     tolerate-and-count — justify with `// conformance: strict \
+                     -- <why>` (see --explain R7)"
+                        .to_string(),
+                );
+            }
+            // Constructing the strict error imposes the policy; a match arm
+            // (`TrailingBytes =>`) or variant declaration (no leading `::`)
+            // merely handles or defines it.
+            "TrailingBytes"
+                if r7_in_scope
+                    && !in_test_region(token.start)
+                    && preceded_by(&masked, token.start, "::")
+                    && next_nonspace(&masked, token.end) != Some('=')
+                    && !allowances.allows(token.line, Rule::R7) =>
+            {
+                push(
+                    Rule::R7,
+                    token.line,
+                    "constructing `TrailingBytes` hard-rejects trailing data; \
+                     justify with `// conformance: strict -- <why>` \
+                     (see --explain R7)"
+                        .to_string(),
+                );
+            }
+            "item_count"
+                if r7_in_scope
+                    && !in_test_region(token.start)
+                    && neq_on_rest_of_line(&masked, token.end)
+                    && !allowances.allows(token.line, Rule::R7) =>
+            {
+                push(
+                    Rule::R7,
+                    token.line,
+                    "exact `item_count` check (`!=`) rejects EIP-8 extra list \
+                     elements; use a `<` reject / `>` tolerate-and-count split, \
+                     or justify with `// conformance: strict -- <why>` \
+                     (see --explain R7)"
+                        .to_string(),
                 );
             }
             _ => {}
@@ -836,6 +945,72 @@ fn f(x: [u8; 4]) -> u32 {
 }
 ";
         assert!(scan_source("crates/rlp/src/decode.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_strict_decode_only_in_scope_and_outside_tests() {
+        let src = "fn f(b: &[u8]) { let r = Rlp::new(b); r.ensure_exact().ok(); }\n";
+        let v = scan_source("crates/devp2p/src/messages.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::R7);
+        // Out of scope (netsim, tests dir) and inside test regions: clean.
+        assert!(scan_source("crates/netsim/src/engine.rs", src).is_empty());
+        assert!(scan_source("crates/devp2p/tests/wire.rs", src).is_empty());
+        let test_fn = "#[test]\nfn t() { Rlp::new(b\"x\").ensure_exact().ok(); }\n";
+        assert!(scan_source("crates/devp2p/src/messages.rs", test_fn).is_empty());
+    }
+
+    #[test]
+    fn r7_conformance_annotation_suppresses_with_reason() {
+        let src = "\
+// conformance: strict -- one-shot decode is whole-buffer by contract
+fn f(r: &Rlp<'_>) { r.ensure_exact().ok(); }
+";
+        assert!(scan_source("crates/rlp/src/lib.rs", src).is_empty());
+        let trailing =
+            "fn f(r: &Rlp<'_>) { r.ensure_exact().ok(); } // conformance: strict -- contract\n";
+        assert!(scan_source("crates/rlp/src/lib.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn r7_annotation_without_reason_or_unknown_spec_is_itself_a_violation() {
+        let src = "// conformance: strict\nfn f(r: &Rlp<'_>) { r.ensure_exact().ok(); }\n";
+        let v = scan_source("crates/rlp/src/lib.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|x| x.message.contains("without a justification")));
+
+        let v = scan_source("a.rs", "// conformance: lenient -- nope\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("unrecognized conformance annotation"));
+    }
+
+    #[test]
+    fn r7_flags_trailing_bytes_construction_but_not_handling() {
+        let construct = "fn f() -> Result<(), RlpError> { Err(RlpError::TrailingBytes) }\n";
+        let v = scan_source("crates/rlp/src/decode.rs", construct);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("TrailingBytes"));
+
+        // Match arms inspect the error; the enum declares it. Neither
+        // imposes strictness.
+        let handle =
+            "fn g(e: &RlpError) -> u8 { match e { RlpError::TrailingBytes => 1, _ => 0 } }\n";
+        assert!(scan_source("crates/rlp/src/decode.rs", handle).is_empty());
+        let declare = "enum RlpError { TrailingBytes, Other }\n";
+        assert!(scan_source("crates/rlp/src/error.rs", declare).is_empty());
+    }
+
+    #[test]
+    fn r7_flags_exact_item_count_check_but_not_range_split() {
+        let strict = "fn f(r: &Rlp<'_>) -> bool { r.item_count().unwrap_or(0) != 4 }\n";
+        let v = scan_source("crates/enode/src/record.rs", strict);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::R7);
+
+        let lenient = "fn f(r: &Rlp<'_>) -> bool { r.item_count().unwrap_or(0) < 4 }\n";
+        assert!(scan_source("crates/enode/src/record.rs", lenient).is_empty());
     }
 
     #[test]

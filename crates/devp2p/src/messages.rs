@@ -51,8 +51,14 @@ impl rlp::Encodable for Capability {
 
 impl rlp::Decodable for Capability {
     fn rlp_decode(r: &Rlp<'_>) -> Result<Self, rlp::RlpError> {
-        if r.item_count()? != 2 {
-            return Err(rlp::RlpError::Custom("capability needs 2 fields"));
+        // Lenient-decode policy (EIP-8 style): >= 2 fields, extras
+        // tolerated and counted. See DESIGN.md § Wire conformance.
+        let count = r.item_count()?;
+        if count < 2 {
+            return Err(rlp::RlpError::Custom("capability needs >= 2 fields"));
+        }
+        if count > 2 {
+            obs::counter_add("wire.extra.capability", 1);
         }
         Ok(Capability {
             name: r.at(0)?.as_val()?,
@@ -249,6 +255,9 @@ impl Message {
                         "hello needs 5 fields",
                     )));
                 }
+                if count > 5 {
+                    obs::counter_add("wire.extra.hello", 1);
+                }
                 Ok(Message::Hello(Hello {
                     p2p_version: r
                         .at(0)
@@ -277,6 +286,9 @@ impl Message {
                 // one-element list; accept both (the paper's scanner must
                 // parse everything the zoo sends).
                 let code: u8 = if r.is_list() {
+                    if r.item_count().map_err(MessageError::Rlp)? > 1 {
+                        obs::counter_add("wire.extra.disconnect", 1);
+                    }
                     r.at(0)
                         .and_then(|i| i.as_val())
                         .map_err(MessageError::Rlp)?
@@ -376,6 +388,58 @@ mod tests {
     #[test]
     fn capability_display() {
         assert_eq!(Capability::eth63().to_string(), "eth/63");
+    }
+
+    #[test]
+    fn hello_extra_trailing_fields_tolerated_and_counted() {
+        // EIP-8-style HELLO: a sixth field from a future DEVp2p version
+        // must decode and be counted, not dropped.
+        let h = hello();
+        let mut s = RlpStream::new_list(6);
+        s.append(&h.p2p_version);
+        s.append(&h.client_id);
+        s.begin_list(h.capabilities.len());
+        for c in &h.capabilities {
+            s.append(c);
+        }
+        s.append(&h.listen_port);
+        s.append(&h.node_id);
+        s.append_bytes(b"from-the-future");
+        let payload = s.out();
+
+        let rec = obs::Recorder::new();
+        rec.install();
+        let decoded = Message::decode(0x00, &payload).unwrap();
+        obs::uninstall();
+        assert_eq!(decoded, Message::Hello(h));
+        assert_eq!(rec.counter("wire.extra.hello"), 1);
+    }
+
+    #[test]
+    fn capability_extra_field_tolerated_and_counted() {
+        let mut s = RlpStream::new_list(3);
+        s.append(&"eth");
+        s.append(&63u32);
+        s.append(&1u8);
+        let rec = obs::Recorder::new();
+        rec.install();
+        let cap = rlp::decode::<Capability>(&s.out()).unwrap();
+        obs::uninstall();
+        assert_eq!(cap, Capability::eth63());
+        assert_eq!(rec.counter("wire.extra.capability"), 1);
+    }
+
+    #[test]
+    fn disconnect_extra_list_elements_tolerated_and_counted() {
+        let mut s = RlpStream::new_list(2);
+        s.append(&0x04u8);
+        s.append(&"why");
+        let rec = obs::Recorder::new();
+        rec.install();
+        let decoded = Message::decode(0x01, &s.out()).unwrap();
+        obs::uninstall();
+        assert_eq!(decoded, Message::Disconnect(DisconnectReason::TooManyPeers));
+        assert_eq!(rec.counter("wire.extra.disconnect"), 1);
     }
 
     #[test]

@@ -101,9 +101,14 @@ impl Packet {
         let r = Rlp::new(body);
         let packet = match ptype {
             0x01 => {
-                // Forward-compatibly ignore extra trailing fields (EIP-8).
-                if r.item_count().map_err(PacketError::Rlp)? < 4 {
+                // Forward-compatibly tolerate-and-count extra trailing
+                // fields (EIP-8). See DESIGN.md § Wire conformance.
+                let count = r.item_count().map_err(PacketError::Rlp)?;
+                if count < 4 {
                     return Err(PacketError::Malformed("ping needs 4 fields"));
+                }
+                if count > 4 {
+                    obs::counter_add("wire.extra.ping", 1);
                 }
                 Packet::Ping {
                     version: r.at(0).and_then(|i| i.as_val()).map_err(PacketError::Rlp)?,
@@ -113,8 +118,12 @@ impl Packet {
                 }
             }
             0x02 => {
-                if r.item_count().map_err(PacketError::Rlp)? < 3 {
+                let count = r.item_count().map_err(PacketError::Rlp)?;
+                if count < 3 {
                     return Err(PacketError::Malformed("pong needs 3 fields"));
+                }
+                if count > 3 {
+                    obs::counter_add("wire.extra.pong", 1);
                 }
                 Packet::Pong {
                     to: r.at(0).and_then(|i| i.as_val()).map_err(PacketError::Rlp)?,
@@ -126,8 +135,12 @@ impl Packet {
                 }
             }
             0x03 => {
-                if r.item_count().map_err(PacketError::Rlp)? < 2 {
+                let count = r.item_count().map_err(PacketError::Rlp)?;
+                if count < 2 {
                     return Err(PacketError::Malformed("findnode needs 2 fields"));
+                }
+                if count > 2 {
+                    obs::counter_add("wire.extra.findnode", 1);
                 }
                 Packet::FindNode {
                     target: r.at(0).and_then(|i| i.as_val()).map_err(PacketError::Rlp)?,
@@ -135,8 +148,12 @@ impl Packet {
                 }
             }
             0x04 => {
-                if r.item_count().map_err(PacketError::Rlp)? < 2 {
+                let count = r.item_count().map_err(PacketError::Rlp)?;
+                if count < 2 {
                     return Err(PacketError::Malformed("neighbors needs 2 fields"));
+                }
+                if count > 2 {
+                    obs::counter_add("wire.extra.neighbors", 1);
                 }
                 Packet::Neighbors {
                     nodes: r
@@ -382,6 +399,18 @@ mod tests {
         assert_eq!(decode_packet(&d), Err(PacketError::UnknownType(0x09)));
     }
 
+    /// Hand-assemble a signed datagram around an arbitrary body.
+    fn sign_raw_body(k: &SecretKey, ptype: u8, body: &[u8]) -> Vec<u8> {
+        let mut type_and_data = vec![ptype];
+        type_and_data.extend_from_slice(body);
+        let sig = k.sign_recoverable(&keccak256(&type_and_data)).to_bytes();
+        let mut hashed = sig.to_vec();
+        hashed.extend_from_slice(&type_and_data);
+        let mut d = keccak256(&hashed).to_vec();
+        d.extend_from_slice(&hashed);
+        d
+    }
+
     #[test]
     fn eip8_trailing_fields_tolerated() {
         // A ping with 5 fields (one extra) must still decode.
@@ -395,14 +424,91 @@ mod tests {
                 .append(&"future-field");
             s.out()
         };
-        let mut type_and_data = vec![0x01];
-        type_and_data.extend_from_slice(&body);
-        let sig = k.sign_recoverable(&keccak256(&type_and_data)).to_bytes();
-        let mut hashed = sig.to_vec();
-        hashed.extend_from_slice(&type_and_data);
-        let mut d = keccak256(&hashed).to_vec();
-        d.extend_from_slice(&hashed);
+        let d = sign_raw_body(&k, 0x01, &body);
         let (_, p, _) = decode_packet(&d).unwrap();
         assert!(matches!(p, Packet::Ping { version: 4, .. }));
+    }
+
+    #[test]
+    fn eip8_extras_tolerated_and_counted_for_every_packet_type() {
+        // Regression for the EIP-8 forward-compat rule: each packet type
+        // with one extra trailing list element decodes to the same struct
+        // as its canonical form, and the toleration is counted.
+        let k = key(7);
+        let cases: Vec<(Packet, u8, Vec<u8>, &str)> = vec![
+            (
+                Packet::Ping {
+                    version: 4,
+                    from: ep(1),
+                    to: ep(2),
+                    expiration: 42,
+                },
+                0x01,
+                {
+                    let mut s = RlpStream::new_list(5);
+                    s.append(&4u32)
+                        .append(&ep(1))
+                        .append(&ep(2))
+                        .append(&42u64)
+                        .append(&"x");
+                    s.out()
+                },
+                "wire.extra.ping",
+            ),
+            (
+                Packet::Pong {
+                    to: ep(3),
+                    ping_hash: [7u8; 32],
+                    expiration: 43,
+                },
+                0x02,
+                {
+                    let mut s = RlpStream::new_list(4);
+                    s.append(&ep(3));
+                    s.append_bytes(&[7u8; 32]);
+                    s.append(&43u64).append(&"x");
+                    s.out()
+                },
+                "wire.extra.pong",
+            ),
+            (
+                Packet::FindNode {
+                    target: NodeId([0x11u8; 64]),
+                    expiration: 44,
+                },
+                0x03,
+                {
+                    let mut s = RlpStream::new_list(3);
+                    s.append(&NodeId([0x11u8; 64])).append(&44u64).append(&"x");
+                    s.out()
+                },
+                "wire.extra.findnode",
+            ),
+            (
+                Packet::Neighbors {
+                    nodes: vec![NodeRecord::new(NodeId([0x22u8; 64]), ep(4))],
+                    expiration: 45,
+                },
+                0x04,
+                {
+                    let mut s = RlpStream::new_list(3);
+                    s.begin_list(1);
+                    s.append(&NodeRecord::new(NodeId([0x22u8; 64]), ep(4)));
+                    s.append(&45u64).append(&"x");
+                    s.out()
+                },
+                "wire.extra.neighbors",
+            ),
+        ];
+        for (expected, ptype, extended_body, counter) in cases {
+            let d = sign_raw_body(&k, ptype, &extended_body);
+            let rec = obs::Recorder::new();
+            rec.install();
+            let (sender, decoded, _) = decode_packet(&d).unwrap();
+            obs::uninstall();
+            assert_eq!(sender, NodeId::from_secret_key(&k));
+            assert_eq!(decoded, expected, "type {ptype:#x}");
+            assert_eq!(rec.counter(counter), 1, "counter {counter}");
+        }
     }
 }

@@ -104,6 +104,10 @@ pub struct Stats {
     pub neighbors_received: u64,
     /// Datagrams dropped (expired, malformed, bad signature).
     pub drops: u64,
+    /// Subset of `drops`: packets whose `expiration` predates sim-time —
+    /// the spec check a delayed datagram must fail (no PONG for a stale
+    /// PING).
+    pub expired_drops: u64,
 }
 
 /// The discv4 engine for one node.
@@ -203,6 +207,14 @@ impl Discv4 {
 
     fn is_expired(&self, expiration: u64, now_ms: u64) -> bool {
         expiration < now_ms / 1000
+    }
+
+    /// Account a packet dropped by the expiration check (spec: stale
+    /// datagrams must not be processed — a delayed PING elicits no PONG).
+    fn drop_expired(&mut self) {
+        self.stats.drops += 1;
+        self.stats.expired_drops += 1;
+        obs::counter_add("discv4.expired_dropped", 1);
     }
 
     fn bonded(&self, id: &NodeId, now_ms: u64) -> bool {
@@ -320,7 +332,7 @@ impl Discv4 {
                 ..
             } => {
                 if self.is_expired(expiration, now_ms) {
-                    self.stats.drops += 1;
+                    self.drop_expired();
                     return Vec::new();
                 }
                 // Real source IP wins over the advertised one (NAT), but the
@@ -360,7 +372,7 @@ impl Discv4 {
                 ..
             } => {
                 if self.is_expired(expiration, now_ms) {
-                    self.stats.drops += 1;
+                    self.drop_expired();
                     return Vec::new();
                 }
                 let Some(pending) = self.pending_pings.remove(&ping_hash) else {
@@ -388,7 +400,7 @@ impl Discv4 {
             }
             Packet::FindNode { target, expiration } => {
                 if self.is_expired(expiration, now_ms) {
-                    self.stats.drops += 1;
+                    self.drop_expired();
                     return Vec::new();
                 }
                 // Only answer bonded peers (endpoint proof), in either
@@ -425,7 +437,7 @@ impl Discv4 {
             }
             Packet::Neighbors { nodes, expiration } => {
                 if self.is_expired(expiration, now_ms) {
-                    self.stats.drops += 1;
+                    self.drop_expired();
                     return Vec::new();
                 }
                 self.stats.neighbors_received += 1;

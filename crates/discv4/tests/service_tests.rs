@@ -232,3 +232,36 @@ fn stats_track_traffic() {
     let sb = net.engine(&ep_b).stats();
     assert_eq!(sb.pings_sent, 1, "B pings back to bond");
 }
+
+#[test]
+fn delayed_ping_is_dropped_as_expired_and_elicits_no_pong() {
+    // Regression for the expiration check: a PING stamped at t=0 carries
+    // expiration = now/1000 + 20s. Delivered after that window (a 25 s
+    // latency spike), it must be dropped and counted — NOT answered.
+    let mut net = Net::new();
+    let (rec_a, ep_a) = net.add(50, 1);
+    let (rec_b, ep_b) = net.add(51, 2);
+
+    let ping = net.engine(&ep_a).ping(rec_b, 0);
+
+    let rec = obs::Recorder::new();
+    rec.install();
+    let replies = net.engine(&ep_b).on_datagram(ep_a, &ping.datagram, 25_000);
+    obs::uninstall();
+    assert!(replies.is_empty(), "stale PING must not elicit a PONG");
+    let stats = net.engine(&ep_b).stats();
+    assert_eq!(stats.expired_drops, 1);
+    assert_eq!(stats.drops, 1);
+    assert_eq!(rec.counter("discv4.expired_dropped"), 1);
+
+    // The same datagram delivered inside the window is answered normally.
+    let replies = net.engine(&ep_b).on_datagram(ep_a, &ping.datagram, 5_000);
+    assert!(
+        !replies.is_empty(),
+        "fresh PING must be answered with a PONG"
+    );
+    let (_, reply, _) = discv4::decode_packet(&replies[0].datagram).unwrap();
+    assert!(matches!(reply, discv4::Packet::Pong { .. }));
+    assert_eq!(replies[0].to, rec_a.endpoint);
+    assert_eq!(net.engine(&ep_b).stats().expired_drops, 1);
+}

@@ -54,8 +54,15 @@ impl rlp::Encodable for Endpoint {
 
 impl rlp::Decodable for Endpoint {
     fn rlp_decode(r: &rlp::Rlp<'_>) -> Result<Self, rlp::RlpError> {
-        if r.item_count()? != 3 {
-            return Err(rlp::RlpError::Custom("endpoint must have 3 fields"));
+        // Lenient-decode policy (EIP-8 forward compatibility): require the
+        // three known fields, tolerate-and-count any extra list elements a
+        // newer client may append. See DESIGN.md § Wire conformance.
+        let count = r.item_count()?;
+        if count < 3 {
+            return Err(rlp::RlpError::Custom("endpoint must have >= 3 fields"));
+        }
+        if count > 3 {
+            obs::counter_add("wire.extra.endpoint", 1);
         }
         let ip_bytes = r.at(0)?.as_array::<4>()?;
         Ok(Endpoint {
@@ -113,8 +120,14 @@ impl rlp::Encodable for NodeRecord {
 
 impl rlp::Decodable for NodeRecord {
     fn rlp_decode(r: &rlp::Rlp<'_>) -> Result<Self, rlp::RlpError> {
-        if r.item_count()? != 4 {
-            return Err(rlp::RlpError::Custom("node record must have 4 fields"));
+        // Lenient-decode policy (EIP-8): >= 4 fields, extras tolerated and
+        // counted. See DESIGN.md § Wire conformance.
+        let count = r.item_count()?;
+        if count < 4 {
+            return Err(rlp::RlpError::Custom("node record must have >= 4 fields"));
+        }
+        if count > 4 {
+            obs::counter_add("wire.extra.node_record", 1);
         }
         let ip_bytes = r.at(0)?.as_array::<4>()?;
         Ok(NodeRecord {
@@ -176,6 +189,39 @@ mod tests {
         let mut s = rlp::RlpStream::new_list(2);
         s.append(&1u8).append(&2u8);
         assert!(rlp::decode::<NodeRecord>(&s.out()).is_err());
+    }
+
+    #[test]
+    fn extra_trailing_fields_tolerated_and_counted() {
+        // EIP-8-style: a future client appends fields we don't know about.
+        let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 30303);
+        let mut s = rlp::RlpStream::new_list(4);
+        s.append_bytes(&ep.ip.octets());
+        s.append(&ep.udp_port);
+        s.append(&ep.tcp_port);
+        s.append_bytes(b"future");
+        let bytes = s.out();
+
+        let rec = obs::Recorder::new();
+        rec.install();
+        assert_eq!(rlp::decode::<Endpoint>(&bytes).unwrap(), ep);
+        obs::uninstall();
+        assert_eq!(rec.counter("wire.extra.endpoint"), 1);
+
+        let node = sample();
+        let mut s = rlp::RlpStream::new_list(5);
+        s.append_bytes(&node.endpoint.ip.octets());
+        s.append(&node.endpoint.udp_port);
+        s.append(&node.endpoint.tcp_port);
+        s.append(&node.id);
+        s.append(&7u8);
+        let bytes = s.out();
+
+        let rec = obs::Recorder::new();
+        rec.install();
+        assert_eq!(rlp::decode::<NodeRecord>(&bytes).unwrap(), node);
+        obs::uninstall();
+        assert_eq!(rec.counter("wire.extra.node_record"), 1);
     }
 
     #[test]

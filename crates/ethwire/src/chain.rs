@@ -54,6 +54,7 @@ impl rlp::Encodable for BlockHeader {
 
 impl rlp::Decodable for BlockHeader {
     fn rlp_decode(r: &Rlp<'_>) -> Result<Self, rlp::RlpError> {
+        // conformance: strict -- header layout is consensus-fixed at 7 fields; a count mismatch means corruption, not EIP-8 version skew
         if r.item_count()? != 7 {
             return Err(rlp::RlpError::Custom("header needs 7 fields"));
         }

@@ -199,8 +199,14 @@ impl EthMessage {
         let r = Rlp::new(payload);
         match msg_id {
             0x00 => {
-                if r.item_count().map_err(rlp_err)? < 5 {
+                // Lenient-decode policy (EIP-8 style): >= 5 fields, extras
+                // tolerated and counted. See DESIGN.md § Wire conformance.
+                let count = r.item_count().map_err(rlp_err)?;
+                if count < 5 {
                     return Err(EthMessageError::Malformed("status needs 5 fields"));
+                }
+                if count > 5 {
+                    obs::counter_add("wire.extra.status", 1);
                 }
                 Ok(EthMessage::Status(Status {
                     protocol_version: r.at(0).and_then(|i| i.as_val()).map_err(rlp_err)?,
@@ -221,8 +227,12 @@ impl EthMessage {
             }
             0x02 => Ok(EthMessage::Transactions(decode_blob_list(&r)?)),
             0x03 => {
-                if r.item_count().map_err(rlp_err)? != 4 {
+                let count = r.item_count().map_err(rlp_err)?;
+                if count < 4 {
                     return Err(EthMessageError::Malformed("getblockheaders needs 4 fields"));
+                }
+                if count > 4 {
+                    obs::counter_add("wire.extra.get_block_headers", 1);
                 }
                 let origin = r.at(0).map_err(rlp_err)?;
                 let data = origin.data().map_err(rlp_err)?;
@@ -242,8 +252,12 @@ impl EthMessage {
             0x05 => Ok(EthMessage::GetBlockBodies(decode_hash_list(&r)?)),
             0x06 => Ok(EthMessage::BlockBodies(decode_blob_list(&r)?)),
             0x07 => {
-                if r.item_count().map_err(rlp_err)? != 2 {
+                let count = r.item_count().map_err(rlp_err)?;
+                if count < 2 {
                     return Err(EthMessageError::Malformed("newblock needs 2 fields"));
+                }
+                if count > 2 {
+                    obs::counter_add("wire.extra.new_block", 1);
                 }
                 Ok(EthMessage::NewBlock {
                     block: r.at(0).and_then(|i| i.as_val()).map_err(rlp_err)?,

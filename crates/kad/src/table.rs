@@ -151,11 +151,20 @@ impl RoutingTable {
     }
 
     /// The `k` nodes closest to `target` **according to this table's
-    /// metric**, with raw-XOR tiebreaking inside equal log-distance groups.
+    /// metric**, with raw-XOR tiebreaking inside equal log-distance groups
+    /// and a final deterministic NodeId tiebreak.
     ///
     /// This is what a node returns in a NEIGHBORS response — and under the
     /// Parity metric the result barely correlates with true XOR closeness,
     /// which is exactly the §6.3 dysfunction.
+    ///
+    /// The sort key is total — `(metric distance, raw XOR distance,
+    /// NodeId)` — so the result is a pure function of the table's
+    /// *contents*, independent of bucket iteration or insertion order.
+    /// Without the id tiebreak, two entries whose `kad_hash` collide
+    /// would be ordered by whatever the underlying storage yields, and a
+    /// same-seed crawl could diverge after a BTree/iteration-order
+    /// refactor.
     pub fn closest(&self, target: &[u8; 32], k: usize) -> Vec<NodeRecord> {
         let mut all: Vec<(&BucketEntry, u32)> = self
             .buckets
@@ -164,7 +173,9 @@ impl RoutingTable {
             .map(|e| (e, self.metric.distance(target, &e.hash)))
             .collect();
         all.sort_by(|(ea, da), (eb, db)| {
-            da.cmp(db).then_with(|| xor_cmp(target, &ea.hash, &eb.hash))
+            da.cmp(db)
+                .then_with(|| xor_cmp(target, &ea.hash, &eb.hash))
+                .then_with(|| ea.record.id.0.cmp(&eb.record.id.0))
         });
         all.into_iter().take(k).map(|(e, _)| e.record).collect()
     }
@@ -322,6 +333,92 @@ mod tests {
         t.add(record(2), 1);
         let got = t.closest(&[0u8; 32], 16);
         assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn self_distance_is_zero_and_bucket_index_is_valid() {
+        // distance(x, x) = 0 under both metrics, so the self bucket index
+        // is 0 — in range, never a panic — and `add` still refuses to
+        // store the local node (the IsSelf guard, not an index trick).
+        for metric in [Metric::GethLog2, Metric::ParityByteSum] {
+            let local = NodeId([0xEEu8; 64]);
+            let mut t = RoutingTable::new(local, metric);
+            assert_eq!(t.bucket_index(&local), 0, "{metric:?}");
+            let me = NodeRecord::new(local, Endpoint::new(Ipv4Addr::LOCALHOST, 1));
+            assert_eq!(t.add(me, 1), AddOutcome::IsSelf);
+            assert!(t.is_empty());
+            // A populated table queried AT the local node's own hash must
+            // not misbehave either: plain metric ordering, no panics.
+            for s in 0..20u8 {
+                t.add(record(s), s as u64);
+            }
+            let local_hash = local.kad_hash();
+            let got = t.closest(&local_hash, 5);
+            assert_eq!(got.len(), 5);
+            for w in got.windows(2) {
+                let da = metric.distance(&local_hash, &w[0].id.kad_hash());
+                let db = metric.distance(&local_hash, &w[1].id.kad_hash());
+                assert!(da <= db);
+            }
+        }
+    }
+
+    #[test]
+    fn closest_is_independent_of_insertion_order() {
+        // `closest` must be a pure function of table *contents*: the same
+        // record set inserted in any order (and with different activity
+        // timestamps) yields the identical NEIGHBORS ordering. This is
+        // what keeps same-seed crawls reproducible across storage/
+        // iteration-order refactors.
+        for metric in [Metric::GethLog2, Metric::ParityByteSum] {
+            // Admission itself is order-dependent once a bucket fills (a
+            // full bucket favours residents), so build the stored set
+            // first, then re-insert exactly that set in reverse order:
+            // bucket membership is content-determined, so both tables end
+            // up with identical contents.
+            let mut forward = RoutingTable::new(NodeId([0xEEu8; 64]), metric);
+            let mut stored = Vec::new();
+            for (i, r) in (0..60u8).map(record).enumerate() {
+                if forward.add(r, i as u64) == AddOutcome::Added {
+                    stored.push(r);
+                }
+            }
+            let mut reverse = RoutingTable::new(NodeId([0xEEu8; 64]), metric);
+            for (i, r) in stored.iter().rev().enumerate() {
+                assert_eq!(reverse.add(*r, 1000 + i as u64), AddOutcome::Added);
+            }
+            let target = record(200).id.kad_hash();
+            assert_eq!(
+                forward.closest(&target, 16),
+                reverse.closest(&target, 16),
+                "{metric:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn closest_ties_broken_by_xor_then_node_id() {
+        // Under ParityByteSum, distinct hashes frequently collide on the
+        // metric distance; the result must then follow raw XOR closeness,
+        // with NodeId as the final total-order guard. Verify the full
+        // returned ordering against an independently computed sort key.
+        let mut t = RoutingTable::new(NodeId([0xEEu8; 64]), Metric::ParityByteSum);
+        for s in 0..80u8 {
+            t.add(record(s), s as u64);
+        }
+        let target = record(123).id.kad_hash();
+        let got = t.closest(&target, 32);
+        let mut expected: Vec<NodeRecord> = t.entries().map(|e| e.record).collect();
+        expected.sort_by(|a, b| {
+            let (ha, hb) = (a.id.kad_hash(), b.id.kad_hash());
+            Metric::ParityByteSum
+                .distance(&target, &ha)
+                .cmp(&Metric::ParityByteSum.distance(&target, &hb))
+                .then_with(|| xor_cmp(&target, &ha, &hb))
+                .then_with(|| a.id.0.cmp(&b.id.0))
+        });
+        expected.truncate(32);
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -21,11 +21,18 @@ use std::net::Ipv4Addr;
 /// Filter thresholds (defaults = the paper's).
 #[derive(Debug, Clone, Copy)]
 pub struct SanitizeParams {
-    /// Step 1: "short-lived" means active less than this, ms.
+    /// Step 1: "short-lived" means active **strictly less** than this, ms.
+    /// The window is half-open — `span ∈ [0, short_lived_ms)` — so a node
+    /// active for exactly the window length is NOT short-lived, matching
+    /// the paper's "active for less than 30 minutes" and its daily-bucket
+    /// convention (a boundary observation lands in the *longer* bucket).
     pub short_lived_ms: u64,
     /// Step 3: minimum short-lived nodes per IP to consider it.
     pub min_nodes_per_ip: usize,
     /// Step 5: flag IPs generating a new node at least this often, ms.
+    /// Closed boundary — an IP minting a node every
+    /// `max_generation_interval_ms` **exactly** ("every 30 minutes or
+    /// faster") is flagged.
     pub max_generation_interval_ms: u64,
 }
 
@@ -72,6 +79,8 @@ pub fn sanitize(store: &DataStore, params: SanitizeParams) -> (DataStore, Saniti
     // Step 2: group by IP (a node seen at several IPs counts toward each).
     let mut by_ip: BTreeMap<Ipv4Addr, Vec<(u64, NodeId)>> = BTreeMap::new();
     for obs in store.nodes.values() {
+        // Half-open window: strictly less. `span == short_lived_ms` is
+        // long-lived (see SanitizeParams::short_lived_ms).
         if obs.active_span_ms() < params.short_lived_ms {
             for ip in &obs.ips {
                 by_ip
@@ -235,6 +244,54 @@ mod tests {
         dual_id[0] = (500u16 >> 8) as u8;
         dual_id[1] = 500u16 as u8;
         assert!(clean.nodes.contains_key(&NodeId(dual_id)));
+    }
+
+    #[test]
+    fn short_lived_window_is_half_open_at_exactly_window() {
+        // Boundary pin for the §5.4 step-1 window: spans of window-1,
+        // window, and window+1 must classify as short-lived, long-lived,
+        // long-lived respectively. A node whose `first_seen + span` lands
+        // exactly on the window edge is consistently in the longer bucket.
+        let ip = Ipv4Addr::new(5, 5, 5, 5);
+        for (span, expect_flagged) in [(MIN30 - 1, true), (MIN30, false), (MIN30 + 1, false)] {
+            // 10 nodes of identical span minted every 5 minutes: abusive
+            // iff the span counts as short-lived.
+            let observations = (0..10u16)
+                .map(|i| obs(i, ip, i as u64 * 5 * 60_000, span))
+                .collect();
+            let store = store_of(observations);
+            let (clean, report) = sanitize(&store, SanitizeParams::paper());
+            assert_eq!(
+                report.abusive_ips.contains(&ip),
+                expect_flagged,
+                "span {span}"
+            );
+            assert_eq!(
+                clean.total_ids(),
+                if expect_flagged { 0 } else { 10 },
+                "span {span}"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_interval_boundary_is_closed() {
+        // Step-5 pin: "a new node every 30 minutes or faster" — an IP
+        // minting exactly one node per window is flagged; one minting a
+        // hair slower is not.
+        let ip = Ipv4Addr::new(6, 6, 6, 6);
+        for (interval, expect_flagged) in [(MIN30, true), (MIN30 + 60, false)] {
+            let observations = (0..4u16)
+                .map(|i| obs(i, ip, i as u64 * interval, 1000))
+                .collect();
+            let store = store_of(observations);
+            let (_, report) = sanitize(&store, SanitizeParams::paper());
+            assert_eq!(
+                report.abusive_ips.contains(&ip),
+                expect_flagged,
+                "interval {interval}"
+            );
+        }
     }
 
     #[test]

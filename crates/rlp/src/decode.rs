@@ -120,8 +120,10 @@ impl<'a> Rlp<'a> {
 
     /// Error unless the buffer contains exactly one item with no trailing
     /// bytes.
+    // conformance: strict -- this is the named opt-in point for whole-buffer decoding
     pub fn ensure_exact(&self) -> Result<(), RlpError> {
         if self.item_len()? != self.bytes.len() {
+            // conformance: strict -- sole construction site of the error R7 gates
             return Err(RlpError::TrailingBytes);
         }
         Ok(())

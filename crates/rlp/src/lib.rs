@@ -76,6 +76,7 @@ pub fn encode_list<T: Encodable>(values: &[T]) -> Vec<u8> {
 /// error — wire messages must be fully consumed).
 pub fn decode<T: Decodable>(bytes: &[u8]) -> Result<T, RlpError> {
     let rlp = Rlp::new(bytes);
+    // conformance: strict -- one-shot decode is documented as whole-buffer-exact
     rlp.ensure_exact()?;
     T::rlp_decode(&rlp)
 }
@@ -83,6 +84,7 @@ pub fn decode<T: Decodable>(bytes: &[u8]) -> Result<T, RlpError> {
 /// Decode an RLP list into a vector of `T`.
 pub fn decode_list<T: Decodable>(bytes: &[u8]) -> Result<Vec<T>, RlpError> {
     let rlp = Rlp::new(bytes);
+    // conformance: strict -- same whole-buffer contract as `decode` above
     rlp.ensure_exact()?;
     rlp.as_list()
 }

@@ -171,12 +171,19 @@ impl Handshake {
         }
         let plain = open_eip8(&self.static_key, auth)?;
         let r = Rlp::new(&plain);
-        if !r.is_list()
-            || r.item_count()
-                .map_err(|_| HandshakeError::BadMessage("rlp"))?
-                < 3
-        {
+        if !r.is_list() {
+            return Err(HandshakeError::BadMessage("auth not a list"));
+        }
+        // Lenient-decode policy (EIP-8): >= 4 fields (sig, id, nonce, vsn),
+        // extras tolerated and counted. See DESIGN.md § Wire conformance.
+        let count = r
+            .item_count()
+            .map_err(|_| HandshakeError::BadMessage("rlp"))?;
+        if count < 3 {
             return Err(HandshakeError::BadMessage("auth needs >=3 fields"));
+        }
+        if count > 4 {
+            obs::counter_add("wire.extra.auth", 1);
         }
         let sig_bytes: [u8; 65] = r
             .at(0)
@@ -231,12 +238,19 @@ impl Handshake {
         }
         let plain = open_eip8(&self.static_key, ack)?;
         let r = Rlp::new(&plain);
-        if !r.is_list()
-            || r.item_count()
-                .map_err(|_| HandshakeError::BadMessage("rlp"))?
-                < 2
-        {
+        if !r.is_list() {
+            return Err(HandshakeError::BadMessage("ack not a list"));
+        }
+        // Lenient-decode policy (EIP-8): >= 3 fields (ephemeral, nonce,
+        // vsn), extras tolerated and counted.
+        let count = r
+            .item_count()
+            .map_err(|_| HandshakeError::BadMessage("rlp"))?;
+        if count < 2 {
             return Err(HandshakeError::BadMessage("ack needs >=2 fields"));
+        }
+        if count > 3 {
+            obs::counter_add("wire.extra.ack", 1);
         }
         let ephemeral_id: NodeId = r
             .at(0)

@@ -4,14 +4,18 @@
 #   1. rustfmt   -- formatting is canonical (no diff)
 #   2. clippy    -- workspace lint-clean; protocol crates additionally deny
 #                   unwrap/expect (see each crate's [lints] table)
-#   3. detlint   -- determinism & panic-safety rules R1-R6 (see DESIGN.md)
+#   3. detlint   -- determinism, panic-safety & wire-policy rules R1-R7
+#                   (see DESIGN.md)
 #   4. tests     -- the whole workspace, including tests/static_analysis.rs
 #                   which re-runs detlint as a tier-1 test
-#   5. bench     -- the instrumented reference crawl; fails on any trace
+#   5. conform   -- golden wire vectors + capped differential drivers from
+#                   crates/conformance; CONFORMANCE_FULL=1 additionally runs
+#                   the 10^5-case differential sweep in release mode
+#   6. bench     -- the instrumented reference crawl; fails on any trace
 #                   non-determinism or observer effect, emits BENCH_crawl.json
-#   6. compare   -- fails if crawl throughput regressed >20% vs the
+#   7. compare   -- fails if crawl throughput regressed >20% vs the
 #                   committed BENCH_crawl.json baseline
-#   7. scale     -- the smallest bench_scale tier as an engine smoke test
+#   8. scale     -- the smallest bench_scale tier as an engine smoke test
 #
 # Everything runs offline: external deps are vendored under vendor/.
 # Clippy is best-effort -- some container images ship a toolchain without
@@ -48,6 +52,16 @@ step "cargo test" cargo test --workspace -q
 # failure is attributable at a glance even though the workspace run above
 # already includes them.
 step "robustness suite" cargo test -q --test robustness
+# Wire conformance is likewise tier-1 (the workspace run covers the golden
+# vectors and the capped differential drivers); name it so a golden-vector
+# mismatch is attributable at a glance. The full 10^5-case differential
+# sweep is too slow for every CI run in debug mode, so it rides behind
+# CONFORMANCE_FULL=1 and switches to release.
+step "conformance (golden + capped differential)" cargo test -q -p conformance
+if [ "${CONFORMANCE_FULL:-0}" = "1" ]; then
+    step "conformance differential (full 10^5 cases)" \
+        cargo test -q --release -p conformance --test differential
+fi
 # Instrumented reference crawl: runs the mixed-population world twice and
 # fails if the trace export is non-deterministic, then once more without
 # the recorder and fails on any observer effect. Writes results/

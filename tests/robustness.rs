@@ -418,3 +418,55 @@ fn churn_burst_and_nat_flap_are_survivable_and_deterministic() {
     let outcome = assert_deterministic(84, None, &shape);
     assert_full_honest_coverage(&outcome);
 }
+
+#[test]
+fn latency_spike_beyond_expiry_drops_stale_pings_without_pongs() {
+    // A 25 s one-way latency spike exceeds discv4's 20 s packet
+    // expiration window: every discovery datagram sent through it lands
+    // stale. The receivers' expiration check must drop-and-count those
+    // packets (a delayed PING elicits no PONG) instead of processing
+    // them as fresh — and the crawl must recover once the spike lifts.
+    let shape = |sim: &mut NetSim, _: &[HostId]| {
+        sim.add_fault(FaultWindow {
+            link: LinkSelector::Any,
+            from_ms: 0,
+            until_ms: 60_000,
+            fault: Fault::LatencySpike(25_000),
+        });
+    };
+
+    let run_with_recorder = |shape: &dyn Fn(&mut NetSim, &[HostId])| {
+        let rec = obs::Recorder::new();
+        rec.install();
+        let outcome = run_scenario(91, RUN_MS, None, shape);
+        obs::uninstall();
+        (rec, outcome)
+    };
+
+    let (rec_a, outcome_a) = run_with_recorder(&shape);
+    let (rec_b, outcome_b) = run_with_recorder(&shape);
+    assert_eq!(
+        outcome_a.json, outcome_b.json,
+        "spiked worlds must stay deterministic"
+    );
+    assert_eq!(
+        rec_a.counter("discv4.expired_dropped"),
+        rec_b.counter("discv4.expired_dropped"),
+        "expiry accounting must be deterministic"
+    );
+    assert!(
+        rec_a.counter("discv4.expired_dropped") > 0,
+        "in-window datagrams arrive 25 s late and must be dropped as expired"
+    );
+    // TCP probing retries after the window still reach every honest host.
+    assert_full_honest_coverage(&outcome_a);
+
+    // Control: the identical world without the spike never trips the
+    // expiration check — the drops above are caused by delay alone.
+    let (rec_c, _) = run_with_recorder(&no_shape);
+    assert_eq!(
+        rec_c.counter("discv4.expired_dropped"),
+        0,
+        "without the spike nothing should expire in flight"
+    );
+}
