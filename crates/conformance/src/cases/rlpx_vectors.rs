@@ -42,6 +42,7 @@ fn recipient_key() -> SecretKey {
 /// Replay the full deterministic handshake; returns the auth and ack
 /// messages plus both sides' derived secrets.
 fn run_handshake() -> (Vec<u8>, Vec<u8>, Secrets, Secrets) {
+    // detlint: allow(R9) -- the pinned seed IS the golden vector: these bytes are frozen by construction
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut init = Handshake::new(Role::Initiator, initiator_key(), &mut rng);
     let mut resp = Handshake::new(Role::Recipient, recipient_key(), &mut rng);
@@ -56,6 +57,7 @@ fn run_handshake() -> (Vec<u8>, Vec<u8>, Secrets, Secrets) {
 /// Check that `b` is an auth the recipient accepts and that it
 /// authenticates the expected initiator identity.
 fn check_auth(b: &[u8]) -> Result<(), String> {
+    // detlint: allow(R9) -- recipient replay needs any fixed rng; the checked bytes come from `b`
     let mut rng = StdRng::seed_from_u64(7);
     let mut resp = Handshake::new(Role::Recipient, recipient_key(), &mut rng);
     resp.read_auth(&mut rng, b)
@@ -86,6 +88,7 @@ pub fn cases() -> Vec<Case> {
                     check: Box::new(|b| {
                         // replay up to read_ack, feed the vector, then the
                         // two sides must agree on every derived secret
+                        // detlint: allow(R9) -- the pinned seed IS the golden vector: frozen by construction
                         let mut rng = StdRng::seed_from_u64(SEED);
                         let mut init = Handshake::new(Role::Initiator, initiator_key(), &mut rng);
                         let mut resp = Handshake::new(Role::Recipient, recipient_key(), &mut rng);

@@ -1,0 +1,5 @@
+// R1 fail: wall-clock time in simulation code.
+fn elapsed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

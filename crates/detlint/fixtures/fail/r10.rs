@@ -1,0 +1,7 @@
+// R10 fail: a protocol crate importing the simulation layer.
+use netsim::NetSim;
+use nodefinder::Crawler;
+
+fn run(sim: &mut NetSim, crawler: &Crawler) {
+    let _ = (sim, crawler);
+}

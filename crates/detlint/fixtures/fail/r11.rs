@@ -1,0 +1,10 @@
+// R11 fail: a shard-crossing type holding single-thread shared state.
+use std::cell::RefCell;
+use std::rc::Rc;
+
+// shard-state -- moves between workers in the sharded engine
+struct ConnTable {
+    entries: Rc<Vec<u8>>,
+    scratch: RefCell<u64>,
+    raw: *const u8,
+}

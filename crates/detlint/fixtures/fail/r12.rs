@@ -1,0 +1,10 @@
+// R12 fail: allocation and formatting on the per-event path.
+// hotpath -- runs once per simulated event
+fn dispatch(ev: u64, label: &str) -> u64 {
+    let tag = format!("ev-{ev}");
+    let out: Vec<u8> = Vec::new();
+    let copy = vec![0u8; 4];
+    let owned = label.to_string();
+    let dup = owned.clone();
+    tag.len() as u64 + out.len() as u64 + copy.len() as u64 + dup.len() as u64
+}

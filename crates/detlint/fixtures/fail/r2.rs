@@ -1,0 +1,6 @@
+// R2 fail: ambient entropy sources.
+fn roll() -> u8 {
+    let mut rng = rand::thread_rng();
+    let noise: u8 = rand::random();
+    noise
+}

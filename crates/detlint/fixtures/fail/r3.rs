@@ -1,0 +1,3 @@
+// R3 fail: hash collections iterate in random order.
+use std::collections::HashMap;
+use std::collections::HashSet;

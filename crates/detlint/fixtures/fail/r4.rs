@@ -1,0 +1,4 @@
+// R4 fail: unsafe is banned workspace-wide.
+fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+// R5 fail: panic escape in an attacker-facing decoder.
+fn read_u8(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap()
+}

@@ -1,0 +1,8 @@
+// R7 fail: strict trailing-data rejection without justification.
+fn decode(r: &Rlp<'_>) -> Result<(), RlpError> {
+    r.ensure_exact()?;
+    if r.item_count()? != 4 {
+        return Err(RlpError::TrailingBytes);
+    }
+    Ok(())
+}

@@ -1,0 +1,6 @@
+// R8 fail: shared mutable state in three flavors.
+static mut COUNTER: u64 = 0;
+static CACHE: OnceLock<u64> = OnceLock::new();
+thread_local! {
+    static LOCAL: RefCell<u64> = RefCell::new(0);
+}

@@ -1,0 +1,12 @@
+// R9 fail: seeds pinned or pulled from thin air.
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn jitter() -> u64 {
+    let mut rng = StdRng::seed_from_u64(42);
+    rng.gen()
+}
+
+fn fork() -> StdRng {
+    let pid = std::process::id() as u64;
+    StdRng::seed_from_u64(pid)
+}

@@ -1,0 +1,10 @@
+// R1 pass: simulated time is threaded in; wall-clock reads are justified.
+fn elapsed(now_ms: u64, start_ms: u64) -> u64 {
+    now_ms - start_ms
+}
+
+fn wall_profile() -> u64 {
+    // detlint: allow(R1) -- bench-only wall profiling, never in sim results
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

@@ -1,0 +1,8 @@
+// R10 pass: protocol crates reach down (std, sibling codecs), never up.
+use std::fmt;
+
+use enode::NodeId;
+
+fn describe(id: &NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{id:?}")
+}

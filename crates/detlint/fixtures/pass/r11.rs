@@ -1,0 +1,13 @@
+// R11 pass: shard-state types own their data, or justify the exception.
+// shard-state -- per-host record handed between workers
+struct HostState {
+    id: u64,
+    peers: Vec<u64>,
+    meta: Option<Box<[u8]>>,
+}
+
+// shard-state -- wraps the payload buffer
+struct Buf {
+    // detlint: allow(R11) -- swapped for Arc in the sharding change itself
+    bytes: std::rc::Rc<[u8]>,
+}

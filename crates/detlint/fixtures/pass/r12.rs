@@ -1,0 +1,11 @@
+// R12 pass: the hot path reuses buffers; Payload clones are refcount
+// bumps; cold functions may allocate freely.
+// hotpath -- runs once per simulated event
+fn dispatch(ev: u64, bytes: Payload, buf: &mut Vec<u8>) -> Payload {
+    buf.push(ev as u8);
+    bytes.clone()
+}
+
+fn cold_label(ev: u64) -> String {
+    format!("ev-{ev}")
+}

@@ -1,0 +1,7 @@
+// R2 pass: all randomness flows from the experiment seed.
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn roll(seed: u64) -> u8 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}

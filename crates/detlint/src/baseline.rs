@@ -3,6 +3,20 @@
 //! The policy of this workspace is an **empty baseline** — the file exists
 //! so that the mechanism is exercised and so that an emergency grandfather
 //! is a one-line diff with an audit trail, not a tool change.
+//!
+//! # Format (version 2)
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! version 2
+//! R3.hash_collection crates/x/src/a.rs `HashMap` has randomized ...
+//! ```
+//!
+//! The first non-comment line must be the `version 2` directive; every
+//! following non-comment line is a [`Violation::baseline_key`]
+//! (`{code} {path} {message}`). Version 1 files keyed on `{rule} {path}
+//! {message}` and carried no directive — they are rejected loudly so a
+//! stale baseline can never silently grandfather the wrong findings.
 
 use crate::scan::Violation;
 use std::collections::BTreeSet;
@@ -13,21 +27,88 @@ use std::path::Path;
 /// Default baseline filename at the workspace root.
 pub const BASELINE_FILE: &str = "detlint.baseline";
 
-/// Load baseline keys from `path`. A missing file is an empty baseline.
-/// Lines starting with `#` and blank lines are ignored; every other line is
-/// a [`Violation::baseline_key`].
+/// The baseline format this build reads and writes.
+pub const BASELINE_VERSION: u64 = 2;
+
+/// Load baseline keys from `path`. A missing file is an empty baseline, as
+/// is a file containing only comments. Any entry lines must be preceded by
+/// a matching `version 2` directive; a missing or mismatched directive is
+/// an [`io::ErrorKind::InvalidData`] error with a migration hint.
 pub fn load(path: &Path) -> io::Result<BTreeSet<String>> {
     let text = match fs::read_to_string(path) {
         Ok(text) => text,
         Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
         Err(err) => return Err(err),
     };
-    Ok(text
-        .lines()
-        .map(str::trim)
-        .filter(|line| !line.is_empty() && !line.starts_with('#'))
-        .map(str::to_string)
-        .collect())
+    parse(&text).map_err(|message| io::Error::new(io::ErrorKind::InvalidData, message))
+}
+
+fn parse(text: &str) -> Result<BTreeSet<String>, String> {
+    let mut keys = BTreeSet::new();
+    let mut version: Option<u64> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("version") {
+            let rest = rest.trim();
+            if version.is_some() {
+                return Err(format!("line {}: duplicate version directive", idx + 1));
+            }
+            let parsed: u64 = rest
+                .parse()
+                .map_err(|_| format!("line {}: malformed version directive `{line}`", idx + 1))?;
+            if parsed != BASELINE_VERSION {
+                return Err(format!(
+                    "baseline is format version {parsed}, this detlint reads version \
+                     {BASELINE_VERSION}; re-generate the entries as \
+                     `{{code}} {{path}} {{message}}` keys (codes like R3.hash_collection \
+                     — run detlint and copy the `[code]` suffix of each finding)"
+                ));
+            }
+            version = Some(parsed);
+            continue;
+        }
+        if version.is_none() {
+            return Err(format!(
+                "line {}: baseline entry before a `version {BASELINE_VERSION}` directive \
+                 — this is a pre-version (v1) baseline keyed on `{{rule}} {{path}} \
+                 {{message}}`; migrate each entry to `{{code}} {{path}} {{message}}` \
+                 and add `version {BASELINE_VERSION}` as the first non-comment line",
+                idx + 1
+            ));
+        }
+        if !looks_like_key(line) {
+            return Err(format!(
+                "line {}: `{line}` is not a baseline key (expected \
+                 `Rn.slug path message`)",
+                idx + 1
+            ));
+        }
+        keys.insert(line.to_string());
+    }
+    Ok(keys)
+}
+
+/// A key must start with a diagnostic code: `R`, digits, `.`, a slug, then
+/// a space before the path.
+fn looks_like_key(line: &str) -> bool {
+    let Some(rest) = line.strip_prefix('R') else {
+        return false;
+    };
+    let digits = rest.chars().take_while(char::is_ascii_digit).count();
+    if digits == 0 {
+        return false;
+    }
+    let Some(rest) = rest[digits..].strip_prefix('.') else {
+        return false;
+    };
+    let slug = rest
+        .chars()
+        .take_while(|c| c.is_ascii_lowercase() || *c == '_')
+        .count();
+    slug > 0 && rest[slug..].starts_with(' ')
 }
 
 /// Split violations into (new, baselined) against the loaded keys.
@@ -48,6 +129,7 @@ mod tests {
     fn violation(msg: &str) -> Violation {
         Violation {
             rule: Rule::R3,
+            code: "R3.hash_collection",
             path: "crates/x/src/a.rs".to_string(),
             line: 7,
             message: msg.to_string(),
@@ -58,6 +140,42 @@ mod tests {
     fn missing_baseline_is_empty() {
         let set = load(Path::new("/nonexistent/detlint.baseline")).unwrap();
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn comment_only_baseline_is_empty() {
+        assert!(parse("# nothing grandfathered\n\n").unwrap().is_empty());
+        assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn versioned_entries_load() {
+        let keys =
+            parse("# header\nversion 2\nR3.hash_collection crates/x/src/a.rs probe-only map\n")
+                .unwrap();
+        assert_eq!(keys.len(), 1);
+        assert!(keys.contains("R3.hash_collection crates/x/src/a.rs probe-only map"));
+    }
+
+    #[test]
+    fn v1_baseline_fails_loudly_with_migration_hint() {
+        let err = parse("R3 crates/x/src/a.rs old-style key\n").unwrap_err();
+        assert!(err.contains("version 2"), "{err}");
+        assert!(err.contains("migrate"), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_fails_loudly() {
+        let err = parse("version 1\nR3.hash_collection a.rs msg\n").unwrap_err();
+        assert!(err.contains("format version 1"), "{err}");
+        let err = parse("version two\n").unwrap_err();
+        assert!(err.contains("malformed version directive"), "{err}");
+    }
+
+    #[test]
+    fn non_key_entry_fails_loudly() {
+        let err = parse("version 2\nnot a key at all\n").unwrap_err();
+        assert!(err.contains("not a baseline key"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,615 @@
+//! The workspace dependency graph: crates, their `Cargo.toml` edges, and
+//! the layering rule (R10) checked on top of it.
+//!
+//! Built from every manifest the scanner collects: `[package] name` plus
+//! the `[dependencies]` / `[dev-dependencies]` sections, with
+//! `workspace = true` inheritance resolved against the root manifest's
+//! `[workspace.dependencies]` table and `path` dependencies normalized to
+//! repo-relative directories. The graph feeds two consumers:
+//!
+//! * [`WorkspaceGraph::layering_violations`] — R10's manifest half;
+//! * [`WorkspaceGraph::cycles`] — a structural sanity check exercised by
+//!   the graph's own tests (cargo would also reject a cycle, but detlint
+//!   runs before cargo and reports the offending edge, not a solver error).
+//!
+//! The `use`-import half of R10 lives in [`crate::semantic`], keyed on the
+//! same crate lists defined here; a test in `crates/detlint/tests` proves
+//! those lists match `Cargo.toml` reality for every workspace member.
+
+use crate::rules::Rule;
+use crate::scan::Violation;
+use std::collections::BTreeMap;
+
+/// Protocol-layer crates: pure byte-in/byte-out libraries that must be
+/// hostable by any driver (rule R10).
+pub const PROTOCOL_CRATES: [&str; 7] =
+    ["rlp", "enode", "kad", "discv4", "rlpx", "devp2p", "ethwire"];
+
+/// Upper layers the protocol crates must never reach (rule R10).
+pub const UPPER_LAYERS: [&str; 3] = ["netsim", "nodefinder", "bench"];
+
+/// Every workspace member under `crates/` (the obs import check and the
+/// layering-matrix test key on this list).
+pub const WORKSPACE_CRATES: [&str; 17] = [
+    "adversary",
+    "analysis",
+    "bench",
+    "conformance",
+    "detlint",
+    "devp2p",
+    "discv4",
+    "enode",
+    "ethcrypto",
+    "ethpop",
+    "ethwire",
+    "kad",
+    "netsim",
+    "nodefinder",
+    "obs",
+    "rlp",
+    "rlpx",
+];
+
+/// Where a dependency declaration points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepSource {
+    /// Repo-relative directory the `path` resolves to.
+    Path(String),
+    /// `workspace = true`, not yet resolved against the root table.
+    Workspace,
+    /// Bare or `version = …` registry dependency.
+    Registry,
+    Git,
+    Unknown,
+}
+
+/// One dependency edge as written in a manifest.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    pub name: String,
+    /// 1-based line of the declaration in its `Cargo.toml`.
+    pub line: usize,
+    /// Declared under `[dev-dependencies]`.
+    pub dev: bool,
+    pub source: DepSource,
+}
+
+/// One workspace member.
+#[derive(Debug, Clone)]
+pub struct CrateNode {
+    pub name: String,
+    /// Repo-relative directory (`crates/rlp`), empty for the root package.
+    pub dir: String,
+    /// Repo-relative manifest path.
+    pub manifest: String,
+    pub deps: Vec<Dep>,
+}
+
+/// The crate-level dependency graph of the workspace.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceGraph {
+    /// Keyed by package name.
+    pub crates: BTreeMap<String, CrateNode>,
+    /// Repo-relative dir → package name, for resolving path deps.
+    dir_index: BTreeMap<String, String>,
+}
+
+impl WorkspaceGraph {
+    /// Build from `(repo-relative manifest path, source)` pairs, as
+    /// collected by the workspace scanner.
+    pub fn from_manifests(manifests: &[(String, String)]) -> WorkspaceGraph {
+        let mut graph = WorkspaceGraph::default();
+        let mut workspace_deps: BTreeMap<String, DepSource> = BTreeMap::new();
+        for (path, source) in manifests {
+            let parsed = parse_manifest(path, source);
+            for dep in &parsed.workspace_deps {
+                workspace_deps.insert(dep.name.clone(), dep.source.clone());
+            }
+            if let Some(name) = parsed.package_name {
+                let dir = match path.rfind('/') {
+                    Some(idx) => path[..idx].to_string(),
+                    None => String::new(),
+                };
+                graph.dir_index.insert(dir.clone(), name.clone());
+                graph.crates.insert(
+                    name.clone(),
+                    CrateNode {
+                        name,
+                        dir,
+                        manifest: path.clone(),
+                        deps: parsed.deps,
+                    },
+                );
+            }
+        }
+        // Resolve `workspace = true` inheritance now that the root table is
+        // fully known.
+        for node in graph.crates.values_mut() {
+            for dep in &mut node.deps {
+                if dep.source == DepSource::Workspace {
+                    if let Some(inherited) = workspace_deps.get(&dep.name) {
+                        dep.source = inherited.clone();
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// Builder for synthetic graphs in tests.
+    pub fn add_crate(&mut self, name: &str, dir: &str) {
+        self.dir_index.insert(dir.to_string(), name.to_string());
+        self.crates.insert(
+            name.to_string(),
+            CrateNode {
+                name: name.to_string(),
+                dir: dir.to_string(),
+                manifest: if dir.is_empty() {
+                    "Cargo.toml".to_string()
+                } else {
+                    format!("{dir}/Cargo.toml")
+                },
+                deps: Vec::new(),
+            },
+        );
+    }
+
+    /// Builder for synthetic edges in tests: a path dep from `from` to the
+    /// directory of `to`.
+    pub fn add_path_dep(&mut self, from: &str, to: &str, line: usize, dev: bool) {
+        let to_dir = self
+            .crates
+            .get(to)
+            .map(|n| n.dir.clone())
+            .unwrap_or_default();
+        if let Some(node) = self.crates.get_mut(from) {
+            node.deps.push(Dep {
+                name: to.to_string(),
+                line,
+                dev,
+                source: DepSource::Path(to_dir),
+            });
+        }
+    }
+
+    /// The in-workspace crate a dependency resolves to, if any: by resolved
+    /// path directory first, by package name as a fallback.
+    pub fn resolve_dep(&self, dep: &Dep) -> Option<&CrateNode> {
+        if let DepSource::Path(dir) = &dep.source {
+            if let Some(name) = self.dir_index.get(dir) {
+                return self.crates.get(name);
+            }
+        }
+        self.crates.get(&dep.name)
+    }
+
+    /// In-workspace dependency edges of `name` (dev edges included).
+    pub fn resolved_deps(&self, name: &str) -> Vec<(&CrateNode, &Dep)> {
+        let Some(node) = self.crates.get(name) else {
+            return Vec::new();
+        };
+        node.deps
+            .iter()
+            .filter_map(|dep| self.resolve_dep(dep).map(|target| (target, dep)))
+            .collect()
+    }
+
+    /// Dependency cycles among workspace crates (non-dev edges; cargo
+    /// permits dev-dependency cycles). Each cycle is reported once, as the
+    /// path of crate names with the repeated crate first and last.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            InStack,
+            Done,
+        }
+        fn visit(
+            graph: &WorkspaceGraph,
+            name: &str,
+            state: &mut BTreeMap<String, State>,
+            stack: &mut Vec<String>,
+            cycles: &mut Vec<Vec<String>>,
+        ) {
+            state.insert(name.to_string(), State::InStack);
+            stack.push(name.to_string());
+            for (target, dep) in graph.resolved_deps(name) {
+                if dep.dev {
+                    continue;
+                }
+                match state.get(target.name.as_str()) {
+                    Some(State::InStack) => {
+                        let from = stack.iter().position(|n| n == &target.name).unwrap_or(0);
+                        let mut cycle = stack[from..].to_vec();
+                        cycle.push(target.name.clone());
+                        cycles.push(cycle);
+                    }
+                    None => {
+                        visit(graph, &target.name, state, stack, cycles);
+                    }
+                    Some(State::Done) => {}
+                }
+            }
+            stack.pop();
+            state.insert(name.to_string(), State::Done);
+        }
+
+        let mut state: BTreeMap<String, State> = BTreeMap::new();
+        let mut cycles = Vec::new();
+        for name in self.crates.keys() {
+            if !matches!(state.get(name.as_str()), Some(State::Done)) {
+                let mut stack = Vec::new();
+                visit(self, name, &mut state, &mut stack, &mut cycles);
+            }
+        }
+        cycles
+    }
+
+    /// R10's manifest half: protocol crates must not depend on the upper
+    /// layers, and obs must not depend on any `crates/` member.
+    pub fn layering_violations(&self) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for &protocol in &PROTOCOL_CRATES {
+            let Some(node) = self.crates.get(protocol) else {
+                continue;
+            };
+            for (target, dep) in self.resolved_deps(protocol) {
+                if UPPER_LAYERS.contains(&target.name.as_str()) {
+                    violations.push(Violation {
+                        rule: Rule::R10,
+                        code: "R10.layer_dep",
+                        path: node.manifest.clone(),
+                        line: dep.line,
+                        message: format!(
+                            "protocol crate `{protocol}` depends on upper layer \
+                             `{}` (see --explain R10)",
+                            target.name
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(node) = self.crates.get("obs") {
+            for (target, dep) in self.resolved_deps("obs") {
+                if target.dir.starts_with("crates/") {
+                    violations.push(Violation {
+                        rule: Rule::R10,
+                        code: "R10.obs_dep",
+                        path: node.manifest.clone(),
+                        line: dep.line,
+                        message: format!(
+                            "obs must depend on nothing in-workspace, found `{}` \
+                             (see --explain R10)",
+                            target.name
+                        ),
+                    });
+                }
+            }
+        }
+        violations
+    }
+}
+
+struct ParsedManifest {
+    package_name: Option<String>,
+    deps: Vec<Dep>,
+    /// Entries of a `[workspace.dependencies]` table (root manifest only).
+    workspace_deps: Vec<Dep>,
+}
+
+/// Extract the package name and dependency edges from one manifest. This is
+/// a structural reader, not a validator — R6 judges the entries separately.
+fn parse_manifest(path: &str, source: &str) -> ParsedManifest {
+    let manifest_dir = match path.rfind('/') {
+        Some(idx) => &path[..idx],
+        None => "",
+    };
+
+    #[derive(PartialEq)]
+    enum Section {
+        Other,
+        Package,
+        Deps {
+            dev: bool,
+            workspace_table: bool,
+        },
+        SingleDep {
+            name: String,
+            dev: bool,
+            workspace_table: bool,
+        },
+    }
+    let mut section = Section::Other;
+    let mut parsed = ParsedManifest {
+        package_name: None,
+        deps: Vec::new(),
+        workspace_deps: Vec::new(),
+    };
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            let name = line.trim_start_matches('[').trim_end_matches(']').trim();
+            section = if name == "package" {
+                Section::Package
+            } else if name.ends_with("dependencies") {
+                Section::Deps {
+                    dev: name.contains("dev-dependencies"),
+                    workspace_table: name.starts_with("workspace."),
+                }
+            } else if let Some((head, dep)) = name.rsplit_once('.') {
+                if head.ends_with("dependencies") {
+                    Section::SingleDep {
+                        name: dep.trim_matches('"').to_string(),
+                        dev: head.contains("dev-dependencies"),
+                        workspace_table: head.starts_with("workspace."),
+                    }
+                } else {
+                    Section::Other
+                }
+            } else {
+                Section::Other
+            };
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match &section {
+            Section::Other => {}
+            Section::Package => {
+                if key == "name" {
+                    parsed.package_name = Some(value.trim_matches('"').to_string());
+                }
+            }
+            Section::Deps {
+                dev,
+                workspace_table,
+            } => {
+                let (dep_name, sub_key) = match key.split_once('.') {
+                    Some((name, sub)) => (name.trim_matches('"'), Some(sub.trim())),
+                    None => (key.trim_matches('"'), None),
+                };
+                let source = classify_source(manifest_dir, sub_key, value);
+                push_dep(
+                    &mut parsed,
+                    *workspace_table,
+                    dep_name.to_string(),
+                    line_no,
+                    *dev,
+                    source,
+                );
+            }
+            Section::SingleDep {
+                name,
+                dev,
+                workspace_table,
+            } => {
+                // Multi-line table: only source-defining keys create/refine
+                // the edge; the first one seen wins.
+                if matches!(key, "workspace" | "path" | "git" | "version") {
+                    let source = classify_source(manifest_dir, Some(key), value);
+                    push_dep(
+                        &mut parsed,
+                        *workspace_table,
+                        name.clone(),
+                        line_no,
+                        *dev,
+                        source,
+                    );
+                }
+            }
+        }
+    }
+    parsed
+}
+
+fn push_dep(
+    parsed: &mut ParsedManifest,
+    workspace_table: bool,
+    name: String,
+    line: usize,
+    dev: bool,
+    source: DepSource,
+) {
+    let out = if workspace_table {
+        &mut parsed.workspace_deps
+    } else {
+        &mut parsed.deps
+    };
+    if let Some(existing) = out.iter_mut().find(|d| d.name == name) {
+        // Refine an Unknown edge from an earlier key of the same table.
+        if existing.source == DepSource::Unknown {
+            existing.source = source;
+        }
+        return;
+    }
+    out.push(Dep {
+        name,
+        line,
+        dev,
+        source,
+    });
+}
+
+fn classify_source(manifest_dir: &str, sub_key: Option<&str>, value: &str) -> DepSource {
+    match sub_key {
+        Some("workspace") => DepSource::Workspace,
+        Some("path") => DepSource::Path(normalize_path(manifest_dir, value.trim_matches('"'))),
+        Some("git") => DepSource::Git,
+        Some("version") => DepSource::Registry,
+        Some(_) => DepSource::Unknown,
+        None => {
+            if value.starts_with('{') {
+                let table = value.trim_start_matches('{').trim_end_matches('}');
+                for part in split_inline(table) {
+                    let Some((key, val)) = part.split_once('=') else {
+                        continue;
+                    };
+                    let (key, val) = (key.trim(), val.trim());
+                    match key {
+                        "workspace" => return DepSource::Workspace,
+                        "path" => {
+                            return DepSource::Path(normalize_path(
+                                manifest_dir,
+                                val.trim_matches('"'),
+                            ))
+                        }
+                        "git" => return DepSource::Git,
+                        "version" => return DepSource::Registry,
+                        _ => {}
+                    }
+                }
+                DepSource::Unknown
+            } else {
+                DepSource::Registry
+            }
+        }
+    }
+}
+
+/// Normalize `manifest_dir` + `rel` into a repo-relative directory;
+/// components that escape the root are clamped (R6 rejects them anyway).
+fn normalize_path(manifest_dir: &str, rel: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let rel = rel.replace('\\', "/");
+    for component in manifest_dir.split('/').chain(rel.split('/')) {
+        match component {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    parts.join("/")
+}
+
+/// Drop a trailing `# comment` (respecting quoted strings).
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Split an inline TOML table body on commas outside quotes/brackets.
+fn split_inline(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut depth = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth = depth.saturating_sub(1),
+            ',' if !in_string && depth == 0 => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_edges_resolve_paths_and_workspace_inheritance() {
+        let root = "\
+[workspace]
+members = [\"crates/*\"]
+
+[workspace.dependencies]
+rand = { path = \"vendor/rand\" }
+
+[package]
+name = \"root-pkg\"
+
+[dependencies]
+rlp = { path = \"crates/rlp\" }
+";
+        let rlp = "\
+[package]
+name = \"rlp\"
+
+[dependencies]
+bytes = { path = \"../../vendor/bytes\" }
+rand.workspace = true
+";
+        let graph = WorkspaceGraph::from_manifests(&[
+            ("Cargo.toml".to_string(), root.to_string()),
+            ("crates/rlp/Cargo.toml".to_string(), rlp.to_string()),
+        ]);
+        let rlp_node = graph.crates.get("rlp").expect("rlp parsed");
+        assert_eq!(rlp_node.dir, "crates/rlp");
+        let bytes = rlp_node.deps.iter().find(|d| d.name == "bytes").unwrap();
+        assert_eq!(bytes.source, DepSource::Path("vendor/bytes".to_string()));
+        let rand = rlp_node.deps.iter().find(|d| d.name == "rand").unwrap();
+        assert_eq!(rand.source, DepSource::Path("vendor/rand".to_string()));
+        // root-pkg's dep on rlp resolves to the workspace member.
+        let edges = graph.resolved_deps("root-pkg");
+        assert!(edges.iter().any(|(t, _)| t.name == "rlp"));
+    }
+
+    #[test]
+    fn layering_flags_protocol_to_upper_edges() {
+        let mut graph = WorkspaceGraph::default();
+        graph.add_crate("rlp", "crates/rlp");
+        graph.add_crate("netsim", "crates/netsim");
+        graph.add_path_dep("rlp", "netsim", 7, false);
+        let violations = graph.layering_violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].code, "R10.layer_dep");
+        assert_eq!(violations[0].path, "crates/rlp/Cargo.toml");
+        assert_eq!(violations[0].line, 7);
+    }
+
+    #[test]
+    fn obs_must_not_depend_in_workspace() {
+        let mut graph = WorkspaceGraph::default();
+        graph.add_crate("obs", "crates/obs");
+        graph.add_crate("rlp", "crates/rlp");
+        graph.add_path_dep("obs", "rlp", 3, false);
+        let violations = graph.layering_violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].code, "R10.obs_dep");
+    }
+
+    #[test]
+    fn cycle_detection_reports_the_loop_and_ignores_dev_edges() {
+        let mut graph = WorkspaceGraph::default();
+        graph.add_crate("a", "crates/a");
+        graph.add_crate("b", "crates/b");
+        graph.add_crate("c", "crates/c");
+        graph.add_path_dep("a", "b", 1, false);
+        graph.add_path_dep("b", "c", 1, false);
+        graph.add_path_dep("c", "a", 1, false);
+        let cycles = graph.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].first(), cycles[0].last());
+        assert_eq!(cycles[0].len(), 4);
+
+        // A dev-dependency back-edge is not a cycle (cargo allows it).
+        let mut graph = WorkspaceGraph::default();
+        graph.add_crate("a", "crates/a");
+        graph.add_crate("b", "crates/b");
+        graph.add_path_dep("a", "b", 1, false);
+        graph.add_path_dep("b", "a", 1, true);
+        assert!(graph.cycles().is_empty());
+    }
+}

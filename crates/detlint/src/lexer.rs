@@ -108,7 +108,12 @@ impl Masker {
         while self.peek(0).is_some_and(|c| c != '\n') {
             self.blank();
         }
-        let text: String = self.chars[start..self.pos].iter().collect();
+        let mut text: String = self.chars[start..self.pos].iter().collect();
+        // CRLF sources leave the `\r` on the comment tail; strip it so
+        // annotation directives (`-- why\r`) parse identically to LF files.
+        if text.ends_with('\r') {
+            text.pop();
+        }
         self.line_comments.push(LineComment { line, text });
     }
 
@@ -328,5 +333,35 @@ mod tests {
     fn multibyte_chars_survive() {
         let m = mask("let s = \"héllo wörld\"; let x = 1;");
         assert!(m.code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn crlf_comments_lose_the_carriage_return() {
+        let m = mask("// detlint: allow(R5) -- why\r\nlet x = 1;\r\n");
+        assert_eq!(m.line_comments.len(), 1);
+        assert_eq!(m.line_comments[0].text, "// detlint: allow(R5) -- why");
+        // The \r stays in the masked code (blanked like any other char),
+        // so char positions keep lining up with the source.
+        assert_eq!(m.code.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn tab_indented_comments_are_recorded() {
+        let m = mask("\t\t// detlint: allow(R5) -- tabbed in\nlet x = 1;\n");
+        assert_eq!(m.line_comments.len(), 1);
+        assert_eq!(m.line_comments[0].line, 1);
+        assert_eq!(
+            m.line_comments[0].text,
+            "// detlint: allow(R5) -- tabbed in"
+        );
+    }
+
+    #[test]
+    fn comment_on_last_line_without_newline_is_recorded() {
+        let m = mask("let x = 1; // trailing note");
+        assert_eq!(m.line_comments.len(), 1);
+        assert_eq!(m.line_comments[0].text, "// trailing note");
+        let m = mask("// whole file is one comment, no newline");
+        assert_eq!(m.line_comments.len(), 1);
     }
 }

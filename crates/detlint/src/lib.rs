@@ -1,8 +1,8 @@
 //! detlint — the workspace's determinism & panic-safety linter.
 //!
 //! A from-scratch, dependency-free static-analysis pass that walks every
-//! `.rs` file and `Cargo.toml` in the repository and enforces the six rules
-//! the paper reproduction depends on (see [`rules::Rule`] or run
+//! `.rs` file and `Cargo.toml` in the repository and enforces the twelve
+//! rules the paper reproduction depends on (see [`rules::Rule`] or run
 //! `cargo run -p detlint -- --explain R1`):
 //!
 //! * **R1** no wall-clock time outside the allowlist;
@@ -12,24 +12,37 @@
 //! * **R4** no `unsafe`, and `#![forbid(unsafe_code)]` in every crate root;
 //! * **R5** no `unwrap`/`expect` in non-test code of attacker-facing
 //!   crates;
-//! * **R6** only offline-approved dependencies in any manifest.
+//! * **R6** only offline-approved dependencies in any manifest;
+//! * **R7** lenient EIP-8 decoding — strictness must be justified;
+//! * **R8** no shared mutable state (statics, `thread_local!` cells);
+//! * **R9** every RNG construction derives from a threaded seed parameter;
+//! * **R10** protocol crates never import simulation/measurement layers;
+//! * **R11** `// shard-state` types hold no `Rc`/`RefCell`/raw pointers;
+//! * **R12** no allocation in `// hotpath` functions.
 //!
-//! detlint does not parse Rust. It masks comments and string/char literal
+//! R1–R7 are token rules: detlint masks comments and string/char literal
 //! bodies (so their contents can never trigger a rule), then scans
 //! identifier tokens — a deliberate trade: a few constructs are
 //! over-approximated (any mention of `HashMap` counts, not just iteration),
-//! which keeps the tool ~1k lines, dependency-free, and impossible to
-//! silently bypass via macro tricks. Escape hatches are explicit,
-//! greppable comments carrying a mandatory justification.
+//! which keeps the tool dependency-free and impossible to silently bypass
+//! via macro tricks. R8–R12 run on a second level: an item-level parse
+//! ([`parser`]) of each file's `use`/`static`/type/fn/impl structure, plus
+//! a workspace dependency graph ([`graph`]) built from every manifest.
+//! Escape hatches are explicit, greppable comments carrying a mandatory
+//! justification.
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
+pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod semantic;
 
 pub use rules::Rule;
-pub use scan::{scan_workspace, Violation};
+pub use scan::{scan_manifest_source, scan_rust_source, scan_workspace, Violation, WorkspaceScan};
 
 use std::path::{Path, PathBuf};
 
@@ -55,4 +68,17 @@ pub fn check(root: &Path) -> std::io::Result<(Vec<Violation>, Vec<Violation>)> {
     let violations = scan_workspace(root)?;
     let baseline = baseline::load(&root.join(baseline::BASELINE_FILE))?;
     Ok(baseline::partition(violations, &baseline))
+}
+
+/// Scan the workspace into a full [`report::Report`]: violations split
+/// against the baseline plus the R11 shard-state inventory.
+pub fn check_report(root: &Path) -> std::io::Result<report::Report> {
+    let scanned = scan::scan_workspace_full(root)?;
+    let baseline = baseline::load(&root.join(baseline::BASELINE_FILE))?;
+    let (new, baselined) = baseline::partition(scanned.violations, &baseline);
+    Ok(report::Report {
+        new,
+        baselined,
+        shard_state: scanned.shard_state,
+    })
 }

@@ -1,19 +1,23 @@
 //! CLI for detlint. Run from anywhere inside the workspace:
 //!
 //! ```text
-//! cargo run -p detlint                 # scan, exit 1 on new violations
-//! cargo run -p detlint -- --explain R3 # print a rule's rationale
-//! cargo run -p detlint -- --root PATH  # scan a different tree
+//! cargo run -p detlint                     # scan, exit 1 on new violations
+//! cargo run -p detlint -- --explain R3     # print a rule's rationale
+//! cargo run -p detlint -- --json           # machine-readable report, exit 0
+//! cargo run -p detlint -- --report r.json  # summarize a saved report, gate
+//! cargo run -p detlint -- --root PATH      # scan a different tree
 //! ```
 #![forbid(unsafe_code)]
 
-use detlint::{baseline, rules, Rule};
+use detlint::{baseline, report, rules, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut report_path: Option<PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -29,15 +33,23 @@ fn main() -> ExitCode {
             }
             "--explain" => {
                 let Some(id) = iter.next() else {
-                    eprintln!("--explain requires a rule id (R1..R6)");
+                    eprintln!("--explain requires a rule id (R1..R12)");
                     return ExitCode::FAILURE;
                 };
                 let Some(rule) = Rule::parse(id) else {
-                    eprintln!("unknown rule `{id}` (expected R1..R6)");
+                    eprintln!("unknown rule `{id}` (expected R1..R12)");
                     return ExitCode::FAILURE;
                 };
                 println!("{}", rule.explain());
                 return ExitCode::SUCCESS;
+            }
+            "--json" => json = true,
+            "--report" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("--report requires a path to a --json report file");
+                    return ExitCode::FAILURE;
+                };
+                report_path = Some(PathBuf::from(path));
             }
             "--root" => {
                 let Some(path) = iter.next() else {
@@ -51,6 +63,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // --report consumes a previously written --json file; no scan happens.
+    if let Some(path) = report_path {
+        return run_report(&path);
     }
 
     let root = match root {
@@ -72,6 +89,22 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    if json {
+        // Machine-readable mode always exits 0: the report itself carries
+        // the verdict, and the CI gate (`--report`) reads it back. This
+        // keeps `detlint --json > a && detlint --json > b && cmp a b`
+        // usable as a determinism check even on a dirty tree.
+        let full = match detlint::check_report(&root) {
+            Ok(full) => full,
+            Err(err) => {
+                eprintln!("detlint: scan failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", report::render_json(&full));
+        return ExitCode::SUCCESS;
+    }
 
     let (new, baselined) = match detlint::check(&root) {
         Ok(result) => result,
@@ -103,6 +136,45 @@ fn main() -> ExitCode {
     }
 }
 
+/// Read a saved `--json` report, print the per-rule summary table, and exit
+/// 1 listing the offending codes if any new violations are recorded.
+fn run_report(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("detlint: cannot read report {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match report::parse_json(&text) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!(
+                "detlint: report {} is not valid JSON: {err}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match report::read_report(&doc) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("detlint: report {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report::render_summary(&parsed));
+    if parsed.offending.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        println!("detlint: {} new violation(s):", parsed.offending.len());
+        for (code, file, line) in &parsed.offending {
+            println!("  {code} {file}:{line}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn print_help() {
     println!(
         "detlint — determinism & panic-safety linter for this workspace\n\
@@ -111,13 +183,18 @@ fn print_help() {
          \x20   cargo run -p detlint [-- OPTIONS]\n\
          \n\
          OPTIONS:\n\
-         \x20   --explain <R1..R6>  print a rule's rationale and escape hatch\n\
+         \x20   --explain <R1..R12> print a rule's rationale and escape hatch\n\
          \x20   --list-rules        one-line summary of every rule\n\
+         \x20   --json              emit the machine-readable report (format {}) \n\
+         \x20                       on stdout and exit 0; CI gates via --report\n\
+         \x20   --report <path>     read a saved --json report, print the\n\
+         \x20                       per-rule summary, exit 1 on new violations\n\
          \x20   --root <path>       workspace root (default: walk up from cwd)\n\
          \x20   --help              this text\n\
          \n\
          Exit status is 0 when no violations are found beyond the checked-in\n\
          baseline file ({}), 1 otherwise.",
+        report::FORMAT_VERSION,
         baseline::BASELINE_FILE,
     );
 }

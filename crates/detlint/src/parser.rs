@@ -1,0 +1,1041 @@
+//! Item-level parsing on top of [`crate::lexer`].
+//!
+//! The lexer masks comments and literal bodies; this module turns the masked
+//! text into a flat token stream (words + single-char punctuation) and then
+//! into a per-file **item table**: `use` roots, `static` / `thread_local!`
+//! declarations, type definitions with field lists, `fn` signatures with
+//! parameter lists and body spans, and `impl` blocks. It is still not a Rust
+//! parser — it is a recoverable recognizer that over-approximates where it
+//! must (anything it cannot classify is skipped, never misattributed), which
+//! is the right failure mode for a linter: a construct the parser misses is
+//! a construct the semantic rules silently tolerate, not a false positive.
+//!
+//! The item table also carries the two *marker annotations* the semantic
+//! rules key on:
+//!
+//! * `// hotpath` on a fn enables the R12 allocation lint for its body;
+//! * `// shard-state` on a type enters it into the R11 shard inventory.
+//!
+//! A marker applies to the item it directly precedes: the walk from the
+//! item's first line skips upward over attribute lines, doc comments and
+//! ordinary comments, and stops at the first line holding real code.
+
+use crate::lexer::MaskedFile;
+use std::collections::BTreeMap;
+
+/// One token of masked source: an identifier/number word or a single
+/// punctuation char.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Char index into the masked text (comparable with test-region spans).
+    pub pos: usize,
+    /// True for identifier/number words, false for punctuation.
+    pub word: bool,
+}
+
+/// Tokenize masked code into words and punctuation.
+pub fn lex(masked: &[char]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut line = 1;
+    let mut i = 0;
+    while i < masked.len() {
+        let c = masked[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < masked.len() && (masked[i].is_alphanumeric() || masked[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                text: masked[start..i].iter().collect(),
+                line,
+                pos: start,
+                word: true,
+            });
+        } else {
+            toks.push(Tok {
+                text: c.to_string(),
+                line,
+                pos: i,
+                word: false,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// A `use` declaration, reduced to its root path segment (`use rlp::Rlp` →
+/// `rlp`) — all the workspace graph needs.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    pub root: String,
+    pub line: usize,
+}
+
+/// A `static` declaration, either free-standing or inside `thread_local!`.
+#[derive(Debug, Clone)]
+pub struct StaticDecl {
+    pub name: String,
+    pub line: usize,
+    /// Char position of the `static` keyword (for test-region checks).
+    pub pos: usize,
+    pub is_mut: bool,
+    /// Type tokens (words and punctuation), in order.
+    pub ty: Vec<String>,
+    pub thread_local: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeKind {
+    Struct,
+    Enum,
+    Union,
+}
+
+/// One field of a type. Enum variant fields are named `Variant.field`
+/// (tuple fields get positional names: `Variant.0`, or plain `0` for tuple
+/// structs).
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    pub name: String,
+    pub ty: Vec<String>,
+    pub line: usize,
+}
+
+/// A `struct`/`enum`/`union` definition with its flattened field list.
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    pub name: String,
+    pub kind: TypeKind,
+    pub line: usize,
+    pub pos: usize,
+    pub fields: Vec<FieldDef>,
+    /// Carries a `// shard-state` marker (R11 inventory).
+    pub shard_state: bool,
+}
+
+/// One fn parameter: the pattern's bound names and the ascribed type tokens
+/// (empty for `self` receivers).
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub names: Vec<String>,
+    pub ty: Vec<String>,
+}
+
+/// Token-index span of a brace-delimited body, with the matching char span.
+#[derive(Debug, Clone, Copy)]
+pub struct BodySpan {
+    /// Index of the opening `{` token.
+    pub tok_lo: usize,
+    /// Index one past the closing `}` token.
+    pub tok_hi: usize,
+    /// Char position of the opening `{` (for test-region checks).
+    pub pos: usize,
+}
+
+/// A fn definition (free, in an impl, or in a trait; bodyless trait
+/// signatures have `body: None`).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    pub line: usize,
+    pub pos: usize,
+    pub params: Vec<Param>,
+    pub body: Option<BodySpan>,
+    /// Carries a `// hotpath` marker (R12 allocation lint).
+    pub hotpath: bool,
+}
+
+/// An `impl` block header (inherent or trait impl).
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// The implementing type's root name (`impl Trait for Type` → `Type`).
+    pub ty: String,
+    pub line: usize,
+}
+
+/// Everything the semantic rules need from one file.
+#[derive(Debug, Clone, Default)]
+pub struct ItemTable {
+    pub uses: Vec<UseDecl>,
+    pub statics: Vec<StaticDecl>,
+    pub types: Vec<TypeDef>,
+    pub fns: Vec<FnDef>,
+    pub impls: Vec<ImplBlock>,
+}
+
+/// Parse the masked file into tokens plus an item table.
+pub fn parse(masked_file: &MaskedFile) -> (Vec<Tok>, ItemTable) {
+    let masked: Vec<char> = masked_file.code.chars().collect();
+    let toks = lex(&masked);
+    let table = parse_items(masked_file, &toks);
+    (toks, table)
+}
+
+/// Parse an already-lexed token stream (callers that also need the tokens).
+pub fn parse_items(masked_file: &MaskedFile, toks: &[Tok]) -> ItemTable {
+    let ctx = MarkerCtx::new(masked_file);
+    let mut table = ItemTable::default();
+    parse_range(toks, 0, toks.len(), false, &ctx, &mut table);
+    table
+}
+
+/// Which marker comments exist, and which lines are "passive" (attributes,
+/// comments, doc comments) for the upward attachment walk.
+struct MarkerCtx {
+    hotpath: BTreeMap<usize, ()>,
+    shard_state: BTreeMap<usize, ()>,
+    /// Lines whose masked content is empty but carried a `//` comment.
+    comment_only: BTreeMap<usize, ()>,
+    /// Masked source split into lines (index 0 = line 1).
+    lines: Vec<String>,
+}
+
+impl MarkerCtx {
+    fn new(masked_file: &MaskedFile) -> Self {
+        let mut hotpath = BTreeMap::new();
+        let mut shard_state = BTreeMap::new();
+        let mut comment_lines = BTreeMap::new();
+        for comment in &masked_file.line_comments {
+            comment_lines.insert(comment.line, ());
+            let body = comment.text.trim_start_matches('/').trim();
+            if marker_matches(body, "hotpath") {
+                hotpath.insert(comment.line, ());
+            }
+            if marker_matches(body, "shard-state") {
+                shard_state.insert(comment.line, ());
+            }
+        }
+        let lines: Vec<String> = masked_file.code.lines().map(str::to_string).collect();
+        let mut comment_only = BTreeMap::new();
+        for (&line, ()) in &comment_lines {
+            let code = lines.get(line - 1).map(|l| l.trim()).unwrap_or("");
+            if code.is_empty() {
+                comment_only.insert(line, ());
+            }
+        }
+        MarkerCtx {
+            hotpath,
+            shard_state,
+            comment_only,
+            lines,
+        }
+    }
+
+    /// A line the attachment walk may step over: an attribute, or a line
+    /// that was entirely comment. Blank lines and code lines stop the walk.
+    fn passive(&self, line: usize) -> bool {
+        if self.comment_only.contains_key(&line) {
+            return true;
+        }
+        self.lines
+            .get(line - 1)
+            .map(|l| l.trim().starts_with('#'))
+            .unwrap_or(false)
+    }
+
+    fn attached(&self, markers: &BTreeMap<usize, ()>, item_line: usize) -> bool {
+        // Trailing form: marker comment on the item's own first line.
+        if markers.contains_key(&item_line) {
+            return true;
+        }
+        let mut line = item_line;
+        while line > 1 {
+            line -= 1;
+            if markers.contains_key(&line) && self.comment_only.contains_key(&line) {
+                return true;
+            }
+            if !self.passive(line) {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// `body` matches `name` bare or with a ` -- note` suffix.
+fn marker_matches(body: &str, name: &str) -> bool {
+    match body.strip_prefix(name) {
+        Some(rest) => rest.is_empty() || rest.trim_start().starts_with("--"),
+        None => false,
+    }
+}
+
+fn is_punct(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i)
+        .is_some_and(|t| !t.word && t.text.starts_with(c))
+}
+
+fn word_at(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i)
+        .and_then(|t| if t.word { Some(t.text.as_str()) } else { None })
+}
+
+/// From `i` pointing at `open`, return the index one past the matching
+/// `close`. Falls back to the end of the range on unbalanced input.
+fn skip_balanced(toks: &[Tok], mut i: usize, hi: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    while i < hi {
+        if is_punct(toks, i, open) {
+            depth += 1;
+        } else if is_punct(toks, i, close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// From `i` pointing at `<`, return the index one past the matching `>`,
+/// treating the `>` of a `->` arrow as not-a-closer.
+fn skip_generics(toks: &[Tok], mut i: usize, hi: usize) -> usize {
+    let mut depth = 0usize;
+    while i < hi {
+        if is_punct(toks, i, '<') {
+            depth += 1;
+        } else if is_punct(toks, i, '>') && !(i > 0 && is_punct(toks, i - 1, '-')) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    hi
+}
+
+/// Collect type tokens from `i` until a top-level terminator char, tracking
+/// `()[]{}<>` nesting. Returns (tokens, index at the terminator).
+fn collect_type(toks: &[Tok], mut i: usize, hi: usize, stop: &[char]) -> (Vec<String>, usize) {
+    let mut out = Vec::new();
+    let mut paren = 0isize;
+    let mut angle = 0isize;
+    while i < hi {
+        let t = &toks[i];
+        if !t.word {
+            let c = t.text.chars().next().unwrap_or(' ');
+            if paren == 0 && angle == 0 && stop.contains(&c) {
+                return (out, i);
+            }
+            match c {
+                '(' | '[' | '{' => paren += 1,
+                ')' | ']' | '}' => paren -= 1,
+                '<' => angle += 1,
+                '>' if !(i > 0 && is_punct(toks, i - 1, '-')) => angle -= 1,
+                _ => {}
+            }
+            if paren < 0 {
+                // Closing the caller's delimiter (e.g. the `)` of a param
+                // list we were called inside of).
+                return (out, i);
+            }
+        }
+        out.push(t.text.clone());
+        i += 1;
+    }
+    (out, hi)
+}
+
+fn parse_range(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    thread_local: bool,
+    ctx: &MarkerCtx,
+    table: &mut ItemTable,
+) {
+    let mut i = lo;
+    while i < hi {
+        let Some(word) = word_at(toks, i) else {
+            if is_punct(toks, i, '{') {
+                // A brace at item level (e.g. a const initializer's struct
+                // expression): skip it wholesale so its contents are never
+                // misread as items.
+                i = skip_balanced(toks, i, hi, '{', '}');
+            } else {
+                i += 1;
+            }
+            continue;
+        };
+        match word {
+            "pub" => {
+                i += 1;
+                if is_punct(toks, i, '(') {
+                    i = skip_balanced(toks, i, hi, '(', ')');
+                }
+            }
+            "use" => i = parse_use(toks, i, hi, table),
+            "static" if !(i > 0 && is_punct(toks, i - 1, '\'')) => {
+                i = parse_static(toks, i, hi, thread_local, table);
+            }
+            "thread_local" if is_punct(toks, i + 1, '!') && is_punct(toks, i + 2, '{') => {
+                let end = skip_balanced(toks, i + 2, hi, '{', '}');
+                parse_range(toks, i + 3, end.saturating_sub(1), true, ctx, table);
+                i = end;
+            }
+            "struct" | "enum" | "union" => i = parse_type(toks, i, hi, ctx, table),
+            "fn" => i = parse_fn(toks, i, hi, ctx, table),
+            "impl" => i = parse_impl(toks, i, hi, ctx, table),
+            "mod" => {
+                // `mod name { … }`: recurse into the block; `mod name;` skip.
+                i += 1;
+                while i < hi && !is_punct(toks, i, '{') && !is_punct(toks, i, ';') {
+                    i += 1;
+                }
+                if is_punct(toks, i, '{') {
+                    let end = skip_balanced(toks, i, hi, '{', '}');
+                    parse_range(toks, i + 1, end.saturating_sub(1), thread_local, ctx, table);
+                    i = end;
+                }
+            }
+            "trait" => {
+                while i < hi && !is_punct(toks, i, '{') && !is_punct(toks, i, ';') {
+                    i += 1;
+                }
+                if is_punct(toks, i, '{') {
+                    let end = skip_balanced(toks, i, hi, '{', '}');
+                    parse_range(toks, i + 1, end.saturating_sub(1), false, ctx, table);
+                    i = end;
+                }
+            }
+            "macro_rules" => {
+                // Skip macro definitions entirely: their arms are patterns,
+                // not items.
+                while i < hi && !is_punct(toks, i, '{') {
+                    i += 1;
+                }
+                i = skip_balanced(toks, i, hi, '{', '}');
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+fn parse_use(toks: &[Tok], mut i: usize, hi: usize, table: &mut ItemTable) -> usize {
+    let line = toks[i].line;
+    i += 1;
+    while is_punct(toks, i, ':') {
+        i += 1;
+    }
+    if let Some(root) = word_at(toks, i) {
+        table.uses.push(UseDecl {
+            root: root.to_string(),
+            line,
+        });
+    }
+    // Skip the rest of the use tree (may contain `{…}` groups) to `;`.
+    let mut depth = 0usize;
+    while i < hi {
+        if is_punct(toks, i, '{') {
+            depth += 1;
+        } else if is_punct(toks, i, '}') {
+            depth = depth.saturating_sub(1);
+        } else if is_punct(toks, i, ';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    hi
+}
+
+fn parse_static(
+    toks: &[Tok],
+    start: usize,
+    hi: usize,
+    thread_local: bool,
+    table: &mut ItemTable,
+) -> usize {
+    let line = toks[start].line;
+    let pos = toks[start].pos;
+    let mut i = start + 1;
+    let is_mut = word_at(toks, i) == Some("mut");
+    if is_mut {
+        i += 1;
+    }
+    let Some(name) = word_at(toks, i) else {
+        return i;
+    };
+    let name = name.to_string();
+    i += 1;
+    let mut ty = Vec::new();
+    if is_punct(toks, i, ':') {
+        let (collected, at) = collect_type(toks, i + 1, hi, &['=', ';']);
+        ty = collected;
+        i = at;
+    }
+    // Skip the initializer expression (may contain braces) to `;`.
+    let mut depth = 0usize;
+    while i < hi {
+        if is_punct(toks, i, '{') || is_punct(toks, i, '(') || is_punct(toks, i, '[') {
+            depth += 1;
+        } else if is_punct(toks, i, '}') || is_punct(toks, i, ')') || is_punct(toks, i, ']') {
+            depth = depth.saturating_sub(1);
+        } else if is_punct(toks, i, ';') && depth == 0 {
+            i += 1;
+            break;
+        }
+        i += 1;
+    }
+    table.statics.push(StaticDecl {
+        name,
+        line,
+        pos,
+        is_mut,
+        ty,
+        thread_local,
+    });
+    i
+}
+
+fn parse_type(
+    toks: &[Tok],
+    start: usize,
+    hi: usize,
+    ctx: &MarkerCtx,
+    table: &mut ItemTable,
+) -> usize {
+    let kind = match word_at(toks, start) {
+        Some("struct") => TypeKind::Struct,
+        Some("enum") => TypeKind::Enum,
+        _ => TypeKind::Union,
+    };
+    let line = toks[start].line;
+    let pos = toks[start].pos;
+    let mut i = start + 1;
+    let Some(name) = word_at(toks, i) else {
+        return i;
+    };
+    let name = name.to_string();
+    i += 1;
+    if is_punct(toks, i, '<') {
+        i = skip_generics(toks, i, hi);
+    }
+    let mut fields = Vec::new();
+    // Tuple struct: `struct Name(T, U);`
+    if kind == TypeKind::Struct && is_punct(toks, i, '(') {
+        let end = skip_balanced(toks, i, hi, '(', ')');
+        parse_tuple_fields(toks, i + 1, end.saturating_sub(1), "", &mut fields);
+        i = end;
+        while i < hi && !is_punct(toks, i, ';') {
+            i += 1;
+        }
+        i += 1;
+    } else {
+        // Skip a where clause to the body (or a unit struct's `;`).
+        while i < hi && !is_punct(toks, i, '{') && !is_punct(toks, i, ';') {
+            i += 1;
+        }
+        if is_punct(toks, i, '{') {
+            let end = skip_balanced(toks, i, hi, '{', '}');
+            match kind {
+                TypeKind::Enum => {
+                    parse_variants(toks, i + 1, end.saturating_sub(1), &mut fields);
+                }
+                _ => parse_named_fields(toks, i + 1, end.saturating_sub(1), "", &mut fields),
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    let shard_state = ctx.attached(&ctx.shard_state, line);
+    table.types.push(TypeDef {
+        name,
+        kind,
+        line,
+        pos,
+        fields,
+        shard_state,
+    });
+    i
+}
+
+/// `name: Type, …` fields inside `{ }`. `prefix` is `Variant.` for enum
+/// struct-variants, empty otherwise.
+fn parse_named_fields(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    prefix: &str,
+    fields: &mut Vec<FieldDef>,
+) {
+    let mut i = lo;
+    while i < hi {
+        if is_punct(toks, i, '#') {
+            i += 1;
+            if is_punct(toks, i, '[') {
+                i = skip_balanced(toks, i, hi, '[', ']');
+            }
+            continue;
+        }
+        if word_at(toks, i) == Some("pub") {
+            i += 1;
+            if is_punct(toks, i, '(') {
+                i = skip_balanced(toks, i, hi, '(', ')');
+            }
+            continue;
+        }
+        let Some(name) = word_at(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let name = name.to_string();
+        let line = toks[i].line;
+        i += 1;
+        if !is_punct(toks, i, ':') {
+            continue;
+        }
+        let (ty, at) = collect_type(toks, i + 1, hi, &[',']);
+        fields.push(FieldDef {
+            name: format!("{prefix}{name}"),
+            ty,
+            line,
+        });
+        i = at + 1;
+    }
+}
+
+/// `T, U, …` positional fields inside `( )`, named by index.
+fn parse_tuple_fields(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    prefix: &str,
+    fields: &mut Vec<FieldDef>,
+) {
+    let mut i = lo;
+    let mut index = 0usize;
+    while i < hi {
+        if is_punct(toks, i, '#') {
+            i += 1;
+            if is_punct(toks, i, '[') {
+                i = skip_balanced(toks, i, hi, '[', ']');
+            }
+            continue;
+        }
+        if word_at(toks, i) == Some("pub") {
+            i += 1;
+            if is_punct(toks, i, '(') {
+                i = skip_balanced(toks, i, hi, '(', ')');
+            }
+            continue;
+        }
+        let line = toks[i].line;
+        let (ty, at) = collect_type(toks, i, hi, &[',']);
+        if !ty.is_empty() {
+            fields.push(FieldDef {
+                name: format!("{prefix}{index}"),
+                ty,
+                line,
+            });
+            index += 1;
+        }
+        i = at.max(i) + 1;
+    }
+}
+
+/// Enum variants, flattening each variant's payload into the field list.
+fn parse_variants(toks: &[Tok], lo: usize, hi: usize, fields: &mut Vec<FieldDef>) {
+    let mut i = lo;
+    while i < hi {
+        if is_punct(toks, i, '#') {
+            i += 1;
+            if is_punct(toks, i, '[') {
+                i = skip_balanced(toks, i, hi, '[', ']');
+            }
+            continue;
+        }
+        let Some(variant) = word_at(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let variant = variant.to_string();
+        i += 1;
+        if is_punct(toks, i, '(') {
+            let end = skip_balanced(toks, i, hi, '(', ')');
+            parse_tuple_fields(
+                toks,
+                i + 1,
+                end.saturating_sub(1),
+                &format!("{variant}."),
+                fields,
+            );
+            i = end;
+        } else if is_punct(toks, i, '{') {
+            let end = skip_balanced(toks, i, hi, '{', '}');
+            parse_named_fields(
+                toks,
+                i + 1,
+                end.saturating_sub(1),
+                &format!("{variant}."),
+                fields,
+            );
+            i = end;
+        } else if is_punct(toks, i, '=') {
+            // Discriminant: skip the expression to the next `,`.
+            while i < hi && !is_punct(toks, i, ',') {
+                i += 1;
+            }
+        }
+        if is_punct(toks, i, ',') {
+            i += 1;
+        }
+    }
+}
+
+fn parse_fn(
+    toks: &[Tok],
+    start: usize,
+    hi: usize,
+    ctx: &MarkerCtx,
+    table: &mut ItemTable,
+) -> usize {
+    let line = toks[start].line;
+    let pos = toks[start].pos;
+    let mut i = start + 1;
+    let Some(name) = word_at(toks, i) else {
+        return i;
+    };
+    let name = name.to_string();
+    i += 1;
+    if is_punct(toks, i, '<') {
+        i = skip_generics(toks, i, hi);
+    }
+    let mut params = Vec::new();
+    if is_punct(toks, i, '(') {
+        let end = skip_balanced(toks, i, hi, '(', ')');
+        parse_params(toks, i + 1, end.saturating_sub(1), &mut params);
+        i = end;
+    }
+    // Return type / where clause, then the body (or `;` for a signature).
+    while i < hi && !is_punct(toks, i, '{') && !is_punct(toks, i, ';') {
+        i += 1;
+    }
+    let mut body = None;
+    if is_punct(toks, i, '{') {
+        let end = skip_balanced(toks, i, hi, '{', '}');
+        body = Some(BodySpan {
+            tok_lo: i,
+            tok_hi: end,
+            pos: toks[i].pos,
+        });
+        // Function-local statics (the lazy-init pattern: `static TABLE:
+        // OnceLock<…>` inside an accessor fn) are still global shared
+        // state — collect them so R8 sees them.
+        scan_body_statics(toks, i + 1, end.saturating_sub(1), false, table);
+        i = end;
+    } else {
+        i += 1;
+    }
+    let hotpath = ctx.attached(&ctx.hotpath, line);
+    table.fns.push(FnDef {
+        name,
+        line,
+        pos,
+        params,
+        body,
+        hotpath,
+    });
+    i
+}
+
+/// Walk a function body collecting `static` and `thread_local!` statement
+/// declarations only — expressions are never misread as items because the
+/// scan keys on the two keywords alone.
+fn scan_body_statics(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    thread_local: bool,
+    table: &mut ItemTable,
+) {
+    let mut i = lo;
+    while i < hi {
+        match word_at(toks, i) {
+            Some("static") if !(i > 0 && is_punct(toks, i - 1, '\'')) => {
+                i = parse_static(toks, i, hi, thread_local, table);
+            }
+            Some("thread_local") if is_punct(toks, i + 1, '!') && is_punct(toks, i + 2, '{') => {
+                let end = skip_balanced(toks, i + 2, hi, '{', '}');
+                scan_body_statics(toks, i + 3, end.saturating_sub(1), true, table);
+                i = end;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parameter list: split on top-level `,`; within each part, bound names
+/// are the words before the top-level `:` (minus pattern keywords), the
+/// type is everything after it. `self` receivers have no ascription.
+fn parse_params(toks: &[Tok], lo: usize, hi: usize, params: &mut Vec<Param>) {
+    let mut i = lo;
+    while i < hi {
+        let part_lo = i;
+        // Find the end of this parameter (top-level comma).
+        let mut depth = 0isize;
+        let mut colon: Option<usize> = None;
+        while i < hi {
+            let t = &toks[i];
+            if !t.word {
+                match t.text.chars().next().unwrap_or(' ') {
+                    '(' | '[' | '{' | '<' => depth += 1,
+                    ')' | ']' | '}' => depth -= 1,
+                    '>' if !(i > 0 && is_punct(toks, i - 1, '-')) => depth -= 1,
+                    ':' if depth == 0 && colon.is_none() && !is_punct(toks, i + 1, ':') => {
+                        colon = Some(i);
+                    }
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        let part_hi = i;
+        i += 1; // past the comma
+        if part_lo >= part_hi {
+            continue;
+        }
+        let (name_hi, ty): (usize, Vec<String>) = match colon {
+            Some(c) => (
+                c,
+                toks[c + 1..part_hi]
+                    .iter()
+                    .map(|t| t.text.clone())
+                    .collect(),
+            ),
+            None => (part_hi, Vec::new()),
+        };
+        let names: Vec<String> = toks[part_lo..name_hi]
+            .iter()
+            .filter(|t| t.word && t.text != "mut" && t.text != "ref")
+            .map(|t| t.text.clone())
+            .collect();
+        if !names.is_empty() || !ty.is_empty() {
+            params.push(Param { names, ty });
+        }
+    }
+}
+
+fn parse_impl(
+    toks: &[Tok],
+    start: usize,
+    hi: usize,
+    ctx: &MarkerCtx,
+    table: &mut ItemTable,
+) -> usize {
+    let line = toks[start].line;
+    let mut i = start + 1;
+    if is_punct(toks, i, '<') {
+        i = skip_generics(toks, i, hi);
+    }
+    // Collect header words up to the body; `impl Trait for Type` names the
+    // type after `for`, `impl Type` names it directly.
+    let mut first: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while i < hi && !is_punct(toks, i, '{') && !is_punct(toks, i, ';') {
+        if is_punct(toks, i, '<') {
+            i = skip_generics(toks, i, hi);
+            continue;
+        }
+        if let Some(w) = word_at(toks, i) {
+            if w == "for" {
+                saw_for = true;
+            } else if w == "where" {
+                break;
+            } else if saw_for {
+                after_for.get_or_insert_with(|| w.to_string());
+            } else {
+                first.get_or_insert_with(|| w.to_string());
+            }
+        }
+        i += 1;
+    }
+    while i < hi && !is_punct(toks, i, '{') && !is_punct(toks, i, ';') {
+        i += 1;
+    }
+    if let Some(ty) = after_for.or(first) {
+        table.impls.push(ImplBlock { ty, line });
+    }
+    if is_punct(toks, i, '{') {
+        let end = skip_balanced(toks, i, hi, '{', '}');
+        parse_range(toks, i + 1, end.saturating_sub(1), false, ctx, table);
+        return end;
+    }
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn table(src: &str) -> ItemTable {
+        parse(&lexer::mask(src)).1
+    }
+
+    #[test]
+    fn uses_reduce_to_root_segments() {
+        let t = table("use std::collections::BTreeMap;\nuse crate::engine::{NetSim, Ev};\nuse netsim::NetSim;\n");
+        let roots: Vec<&str> = t.uses.iter().map(|u| u.root.as_str()).collect();
+        assert_eq!(roots, ["std", "crate", "netsim"]);
+        assert_eq!(t.uses[2].line, 3);
+    }
+
+    #[test]
+    fn statics_and_thread_locals() {
+        let src = "\
+static mut COUNTER: u64 = 0;
+static NAME: &str = \"x\";
+thread_local! {
+    static CACHE: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+}
+";
+        let t = table(src);
+        assert_eq!(t.statics.len(), 3);
+        assert!(t.statics[0].is_mut);
+        assert_eq!(t.statics[0].name, "COUNTER");
+        assert!(!t.statics[1].is_mut);
+        assert!(t.statics[2].thread_local);
+        assert_eq!(t.statics[2].name, "CACHE");
+        assert!(t.statics[2].ty.contains(&"RefCell".to_string()));
+        assert_eq!(t.statics[2].line, 4);
+    }
+
+    #[test]
+    fn static_lifetimes_are_not_declarations() {
+        let t = table("fn f(x: &'static str) -> &'static str { x }\n");
+        assert!(t.statics.is_empty());
+        assert_eq!(t.fns.len(), 1);
+    }
+
+    #[test]
+    fn struct_fields_with_generics() {
+        let src = "\
+pub struct Slot {
+    pub host: Option<Box<dyn Host>>,
+    nat: BTreeMap<HostAddr, u64>,
+}
+";
+        let t = table(src);
+        assert_eq!(t.types.len(), 1);
+        let ty = &t.types[0];
+        assert_eq!(ty.name, "Slot");
+        assert_eq!(ty.fields.len(), 2);
+        assert_eq!(ty.fields[0].name, "host");
+        assert!(ty.fields[1].ty.contains(&"BTreeMap".to_string()));
+        assert_eq!(ty.fields[1].line, 3);
+    }
+
+    #[test]
+    fn tuple_structs_and_enums() {
+        let src = "\
+struct Pair(u8, Rc<[u8]>);
+enum Ev {
+    Timer { at: u64 },
+    Udp(HostAddr, Payload),
+    Quit,
+}
+";
+        let t = table(src);
+        assert_eq!(t.types.len(), 2);
+        let pair = &t.types[0];
+        assert_eq!(pair.fields.len(), 2);
+        assert_eq!(pair.fields[1].name, "1");
+        assert!(pair.fields[1].ty.contains(&"Rc".to_string()));
+        let ev = &t.types[1];
+        let names: Vec<&str> = ev.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["Timer.at", "Udp.0", "Udp.1"]);
+    }
+
+    #[test]
+    fn fns_params_and_bodies() {
+        let src = "\
+impl NetSim {
+    pub fn with_host(&mut self, addr: HostAddr, f: impl FnOnce(&mut Ctx)) -> bool {
+        let x = 1;
+        x > 0
+    }
+}
+fn free(seed: u64) {}
+fn sig_only(x: u8);
+";
+        let t = table(src);
+        assert_eq!(t.impls.len(), 1);
+        assert_eq!(t.impls[0].ty, "NetSim");
+        assert_eq!(t.fns.len(), 3);
+        let wh = &t.fns[0];
+        assert_eq!(wh.name, "with_host");
+        assert!(wh.body.is_some());
+        let param_names: Vec<String> = wh.params.iter().flat_map(|p| p.names.clone()).collect();
+        assert_eq!(param_names, ["self", "addr", "f"]);
+        assert!(t.fns[2].body.is_none());
+    }
+
+    #[test]
+    fn markers_attach_through_attrs_and_comments() {
+        let src = "\
+// hotpath
+#[inline]
+pub fn dispatch(&mut self) {}
+
+// shard-state
+// carried across worker boundaries
+#[derive(Clone)]
+struct Slot { x: u8 }
+
+fn cold() {}
+
+struct Plain { y: u8 }
+";
+        let t = table(src);
+        assert!(t.fns[0].hotpath);
+        assert!(!t.fns[1].hotpath);
+        assert!(t.types[0].shard_state);
+        assert!(!t.types[1].shard_state);
+    }
+
+    #[test]
+    fn marker_does_not_leak_past_code_lines() {
+        let src = "\
+// hotpath
+fn hot() {}
+fn also_after() {}
+";
+        let t = table(src);
+        assert!(t.fns[0].hotpath);
+        assert!(!t.fns[1].hotpath);
+    }
+
+    #[test]
+    fn trailing_marker_on_fn_line() {
+        let src = "fn hot() { // hotpath\n}\n";
+        let t = table(src);
+        assert!(t.fns[0].hotpath);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let src = "\
+macro_rules! m {
+    ($x:ident) => { static FAKE: u8 = 0; };
+}
+static REAL: u8 = 0;
+";
+        let t = table(src);
+        assert_eq!(t.statics.len(), 1);
+        assert_eq!(t.statics[0].name, "REAL");
+    }
+}

@@ -1,0 +1,523 @@
+//! The machine-readable report: a deterministic JSON serialization of a
+//! scan (consumed by `scripts/ci.sh`) plus the tiny parser and summary
+//! renderer the `--report` mode uses to read it back.
+//!
+//! Determinism is load-bearing: CI emits the report twice and fails on any
+//! byte difference, which pins the whole analysis pipeline — file
+//! collection order, rule evaluation, inventory sorting — as
+//! order-deterministic. Nothing here reads a clock, a map with randomized
+//! iteration, or an environment variable.
+
+use crate::rules::{self, Rule};
+use crate::scan::Violation;
+use crate::semantic::ShardType;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Format version of the JSON report (and of `detlint.baseline` keys).
+pub const FORMAT_VERSION: u64 = 2;
+
+/// A full scan result: violations split against the baseline, plus the R11
+/// shard-state inventory.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub new: Vec<Violation>,
+    pub baselined: Vec<Violation>,
+    pub shard_state: Vec<ShardType>,
+}
+
+impl Report {
+    /// New-violation counts per rule, every rule present.
+    pub fn summary(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> =
+            rules::ALL.iter().map(|r| (r.id(), 0)).collect();
+        for violation in &self.new {
+            *counts.entry(violation.rule.id()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Serialize the report. Byte-identical across runs on identical trees.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"format\": {FORMAT_VERSION},");
+    out.push_str("  \"summary\": {");
+    let summary = report.summary();
+    for (i, rule) in rules::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "\"{}\": {}",
+            rule.id(),
+            summary.get(rule.id()).copied().unwrap_or(0)
+        );
+    }
+    out.push_str("},\n");
+    render_violations(&mut out, "new", &report.new);
+    out.push_str(",\n");
+    render_violations(&mut out, "baselined", &report.baselined);
+    out.push_str(",\n");
+    render_shard_state(&mut out, &report.shard_state);
+    out.push_str("\n}\n");
+    out
+}
+
+fn render_violations(out: &mut String, key: &str, violations: &[Violation]) {
+    let _ = write!(out, "  \"{key}\": [");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"code\": {}, \"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(v.code),
+            json_string(v.rule.id()),
+            json_string(&v.path),
+            v.line,
+            json_string(&v.message)
+        );
+    }
+    if violations.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+}
+
+fn render_shard_state(out: &mut String, inventory: &[ShardType]) {
+    out.push_str("  \"shard_state\": [");
+    for (i, ty) in inventory.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"type\": {}, \"path\": {}, \"line\": {}, \"fields\": [",
+            json_string(&ty.name),
+            json_string(&ty.path),
+            ty.line
+        );
+        for (j, field) in ty.fields.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"name\": {}, \"type\": {}, \"line\": {}, \"banned\": {}, \
+                 \"via\": {}, \"justified\": {}}}",
+                json_string(&field.name),
+                json_string(&field.ty),
+                field.line,
+                field
+                    .banned
+                    .as_deref()
+                    .map(json_string)
+                    .unwrap_or_else(|| "null".to_string()),
+                field
+                    .via
+                    .as_deref()
+                    .map(json_string)
+                    .unwrap_or_else(|| "null".to_string()),
+                field.justified
+            );
+        }
+        if ty.fields.is_empty() {
+            out.push_str("]}");
+        } else {
+            out.push_str("\n    ]}");
+        }
+    }
+    if inventory.is_empty() {
+        out.push(']');
+    } else {
+        out.push_str("\n  ]");
+    }
+}
+
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser (for --report: CI consumes the JSON artifact, not human output)
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a char offset.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(chars: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(chars, pos);
+                let key = parse_string(chars, pos)?;
+                expect(chars, pos, ':')?;
+                let value = parse_value(chars, pos)?;
+                entries.push((key, value));
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(chars, pos)?);
+                skip_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some('"') => Ok(Json::Str(parse_string(chars, pos)?)),
+        Some('t') if chars[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some('f') if chars[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some('n') if chars[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *pos;
+            *pos += 1;
+            while chars
+                .get(*pos)
+                .is_some_and(|c| c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *pos += 1;
+            }
+            let text: String = chars[start..*pos].iter().collect();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number `{text}` at offset {start}"))
+        }
+        _ => Err(format!("unexpected input at offset {pos}", pos = *pos)),
+    }
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    if chars.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = chars.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = chars.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = chars
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        *pos += 4;
+                        let code = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape `\\{other}`")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Summary table
+// ---------------------------------------------------------------------------
+
+/// What `--report` extracts from a parsed report file.
+#[derive(Debug)]
+pub struct ParsedReport {
+    /// Per-rule new-violation counts, in rule order.
+    pub counts: Vec<(String, usize)>,
+    /// Offending `(code, path, line)` triples of new violations.
+    pub offending: Vec<(String, String, u64)>,
+    pub baselined: usize,
+    pub shard_types: usize,
+}
+
+/// Interpret a parsed JSON document as a detlint report.
+pub fn read_report(doc: &Json) -> Result<ParsedReport, String> {
+    let format = doc
+        .get("format")
+        .and_then(Json::as_u64)
+        .ok_or("report has no `format` field")?;
+    if format != FORMAT_VERSION {
+        return Err(format!(
+            "report format {format} unsupported (this detlint reads format \
+             {FORMAT_VERSION}); regenerate with `cargo run -p detlint -- --json`"
+        ));
+    }
+    let summary = doc.get("summary").ok_or("report has no `summary`")?;
+    let mut counts = Vec::new();
+    for rule in rules::ALL {
+        let count = summary
+            .get(rule.id())
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("summary missing rule {}", rule.id()))?;
+        counts.push((rule.id().to_string(), count as usize));
+    }
+    let mut offending = Vec::new();
+    for entry in doc
+        .get("new")
+        .and_then(Json::as_arr)
+        .ok_or("report has no `new` array")?
+    {
+        let code = entry
+            .get("code")
+            .and_then(Json::as_str)
+            .ok_or("violation entry has no `code`")?;
+        let path = entry.get("path").and_then(Json::as_str).unwrap_or("");
+        let line = entry.get("line").and_then(Json::as_u64).unwrap_or(0);
+        offending.push((code.to_string(), path.to_string(), line));
+    }
+    let baselined = doc
+        .get("baselined")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+    let shard_types = doc
+        .get("shard_state")
+        .and_then(Json::as_arr)
+        .map(<[Json]>::len)
+        .unwrap_or(0);
+    Ok(ParsedReport {
+        counts,
+        offending,
+        baselined,
+        shard_types,
+    })
+}
+
+/// Render the per-rule summary table `--report` prints.
+pub fn render_summary(parsed: &ParsedReport) -> String {
+    let mut out = String::new();
+    out.push_str("rule  new  title\n");
+    out.push_str("----  ---  -----\n");
+    for (rule_id, count) in &parsed.counts {
+        let title = Rule::parse(rule_id)
+            .map(Rule::title)
+            .unwrap_or("(unknown rule)");
+        let _ = writeln!(out, "{rule_id:<4}  {count:>3}  {title}");
+    }
+    let total: usize = parsed.counts.iter().map(|(_, c)| *c).sum();
+    let _ = writeln!(
+        out,
+        "----  ---\ntotal {total:>3}  ({} baselined, {} shard-state type{} in inventory)",
+        parsed.baselined,
+        parsed.shard_types,
+        if parsed.shard_types == 1 { "" } else { "s" },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::ShardField;
+
+    fn sample_report() -> Report {
+        Report {
+            new: vec![Violation {
+                rule: Rule::R8,
+                code: "R8.static_mut",
+                path: "crates/x/src/a.rs".to_string(),
+                line: 3,
+                message: "`static mut X` is shared mutable state".to_string(),
+            }],
+            baselined: vec![],
+            shard_state: vec![ShardType {
+                path: "crates/netsim/src/payload.rs".to_string(),
+                line: 10,
+                name: "Payload".to_string(),
+                fields: vec![ShardField {
+                    name: "data".to_string(),
+                    ty: "Rc<[u8]>".to_string(),
+                    line: 12,
+                    banned: Some("Rc".to_string()),
+                    via: None,
+                    justified: true,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let rendered = render_json(&sample_report());
+        let doc = parse_json(&rendered).expect("self-rendered JSON parses");
+        let parsed = read_report(&doc).expect("self-rendered JSON reads back");
+        assert_eq!(parsed.offending.len(), 1);
+        assert_eq!(parsed.offending[0].0, "R8.static_mut");
+        assert_eq!(parsed.shard_types, 1);
+        let r8 = parsed.counts.iter().find(|(r, _)| r == "R8").unwrap();
+        assert_eq!(r8.1, 1);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = render_json(&sample_report());
+        let b = render_json(&sample_report());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_escaping_survives_roundtrip() {
+        let escaped = json_string("quote \" backslash \\ newline \n tab \t");
+        let parsed = parse_json(&escaped).unwrap();
+        assert_eq!(
+            parsed.as_str().unwrap(),
+            "quote \" backslash \\ newline \n tab \t"
+        );
+    }
+
+    #[test]
+    fn stale_format_fails_loudly() {
+        let doc = parse_json("{\"format\": 1, \"summary\": {}}").unwrap();
+        let err = read_report(&doc).unwrap_err();
+        assert!(err.contains("format 1 unsupported"), "{err}");
+    }
+
+    #[test]
+    fn summary_table_lists_every_rule() {
+        let rendered = render_json(&sample_report());
+        let parsed = read_report(&parse_json(&rendered).unwrap()).unwrap();
+        let table = render_summary(&parsed);
+        for rule in rules::ALL {
+            assert!(table.contains(rule.id()), "missing {}", rule.id());
+        }
+        assert!(table.contains("total   1"));
+    }
+}

@@ -1,4 +1,4 @@
-//! The seven determinism, panic-safety & wire-policy rules.
+//! The twelve determinism, panic-safety, wire-policy & parallelism rules.
 
 use std::fmt;
 
@@ -20,10 +20,25 @@ pub enum Rule {
     /// Strict trailing-data rejection in protocol decoders needs a
     /// `// conformance: strict -- <why>` justification.
     R7,
+    /// No shared mutable state: `static mut`, interior-mutability
+    /// statics, or `thread_local!` cells outside `crates/obs/`.
+    R8,
+    /// RNG stream discipline: every RNG constructed from a seed that
+    /// flows in through a function parameter, never pinned ambiently.
+    R9,
+    /// Layering: protocol crates never import the simulation/crawler
+    /// layers, and `obs` depends on nothing in-workspace.
+    R10,
+    /// `// shard-state` types must contain no `Rc`/`RefCell`/raw-pointer
+    /// fields, directly or through in-workspace field types.
+    R11,
+    /// No allocation/formatting (`format!`, `to_string`, `Vec::new`,
+    /// `vec![]`, non-`Payload` `.clone()`) inside `// hotpath` fns.
+    R12,
 }
 
 /// All rules, in order.
-pub const ALL: [Rule; 7] = [
+pub const ALL: [Rule; 12] = [
     Rule::R1,
     Rule::R2,
     Rule::R3,
@@ -31,6 +46,11 @@ pub const ALL: [Rule; 7] = [
     Rule::R5,
     Rule::R6,
     Rule::R7,
+    Rule::R8,
+    Rule::R9,
+    Rule::R10,
+    Rule::R11,
+    Rule::R12,
 ];
 
 impl Rule {
@@ -44,10 +64,15 @@ impl Rule {
             Rule::R5 => "R5",
             Rule::R6 => "R6",
             Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
+            Rule::R10 => "R10",
+            Rule::R11 => "R11",
+            Rule::R12 => "R12",
         }
     }
 
-    /// Parse `R1`..`R7` (case-insensitive).
+    /// Parse `R1`..`R12` (case-insensitive).
     pub fn parse(text: &str) -> Option<Rule> {
         match text.trim().to_ascii_uppercase().as_str() {
             "R1" => Some(Rule::R1),
@@ -57,7 +82,31 @@ impl Rule {
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
             "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
+            "R9" => Some(Rule::R9),
+            "R10" => Some(Rule::R10),
+            "R11" => Some(Rule::R11),
+            "R12" => Some(Rule::R12),
             _ => None,
+        }
+    }
+
+    /// Stable diagnostic code for a malformed/unjustified annotation of
+    /// this rule (the non-annotation codes live at each check site).
+    pub fn annotation_code(self) -> &'static str {
+        match self {
+            Rule::R1 => "R1.annotation",
+            Rule::R2 => "R2.annotation",
+            Rule::R3 => "R3.annotation",
+            Rule::R4 => "R4.annotation",
+            Rule::R5 => "R5.annotation",
+            Rule::R6 => "R6.annotation",
+            Rule::R7 => "R7.annotation",
+            Rule::R8 => "R8.annotation",
+            Rule::R9 => "R9.annotation",
+            Rule::R10 => "R10.annotation",
+            Rule::R11 => "R11.annotation",
+            Rule::R12 => "R12.annotation",
         }
     }
 
@@ -71,6 +120,13 @@ impl Rule {
             Rule::R5 => "no unwrap/expect in non-test code of attacker-facing crates",
             Rule::R6 => "only offline-approved dependencies in manifests",
             Rule::R7 => "strict trailing-data rejection needs a conformance justification",
+            Rule::R8 => "no shared mutable state (static mut, interior-mutability statics)",
+            Rule::R9 => "RNG seeds must flow in through parameters, never be pinned ambiently",
+            Rule::R10 => {
+                "protocol crates never import netsim/nodefinder/bench; obs imports nothing"
+            }
+            Rule::R11 => "shard-state types carry no Rc/RefCell/raw-pointer fields",
+            Rule::R12 => "no allocation or formatting inside hotpath functions",
         }
     }
 
@@ -181,6 +237,107 @@ impl Rule {
                  strictness decision. `// detlint: allow(R7) -- <why>` also works but the\n\
                  conformance form is preferred."
             }
+            Rule::R8 => {
+                "R8: no shared mutable state (static mut, interior-mutability statics).\n\
+                 \n\
+                 ROADMAP item 1 shards the deterministic netsim across threads with the\n\
+                 contract that shard-count must not change exports. Any global a host\n\
+                 callback can mutate — a `static mut`, a `static` whose type has interior\n\
+                 mutability (Cell, RefCell, Mutex, RwLock, OnceLock, atomics, ...), or a\n\
+                 `thread_local!` cell — turns into cross-shard coupling (divergent traces)\n\
+                 or silent per-shard forking (divergent caches) the moment the event loop\n\
+                 is partitioned. State must live in a struct that is explicitly owned by\n\
+                 one shard and handed across boundaries on purpose.\n\
+                 \n\
+                 Flags, in src/ outside test code: `static mut` declarations; `static`\n\
+                 declarations whose type names an interior-mutability container; and\n\
+                 `thread_local!` entries holding `Cell`/`RefCell`/`UnsafeCell` outside\n\
+                 crates/obs/ (the observability recorder is thread-local by design —\n\
+                 per-shard recorders merge at barrier epochs).\n\
+                 Escape hatch: `// detlint: allow(R8) -- <why>` for state proved\n\
+                 value-deterministic (e.g. a memo cache of a pure function, or a\n\
+                 write-once table of constants where every writer computes the same\n\
+                 value)."
+            }
+            Rule::R9 => {
+                "R9: RNG seeds must flow in through parameters, never be pinned ambiently.\n\
+                 \n\
+                 Extends R2 from call-site tokens to constructor dataflow. R2 bans\n\
+                 entropy that differs across runs; R9 bans seeds that cannot be\n\
+                 *threaded*: an RNG built from a literal or module-level constant inside\n\
+                 library code is a hidden second stream that ignores `SimConfig.seed`,\n\
+                 so two worlds with different experiment seeds share it (correlated\n\
+                 draws), and a sharded netsim cannot give each shard a derived stream.\n\
+                 Every RNG constructor argument must be reachable from a function\n\
+                 parameter (e.g. `config.seed`, a `seed: u64` argument, or a local\n\
+                 computed from one).\n\
+                 \n\
+                 Flags, in library src/ (bin targets, examples and test code are\n\
+                 experiment roots and exempt): `seed_from_u64(...)` / `from_seed(...)`\n\
+                 whose argument contains no identifier derived from a parameter of the\n\
+                 enclosing fn — a numeric literal or SCREAMING_CASE constant is reported\n\
+                 as a pinned seed, any other underived identifier as an ambient seed.\n\
+                 Escape hatch: `// detlint: allow(R9) -- <why>` (e.g. conformance golden\n\
+                 vectors, whose fixed seeds are the fixture format)."
+            }
+            Rule::R10 => {
+                "R10: protocol crates never import netsim/nodefinder/bench; obs imports\n\
+                 nothing in-workspace.\n\
+                 \n\
+                 The layering that keeps the stack testable and shardable: protocol\n\
+                 crates (rlp, enode, kad, discv4, rlpx, devp2p, ethwire) are pure\n\
+                 byte-in/byte-out libraries that any driver — simulator, conformance\n\
+                 harness, or a future real-socket runner — can host; the simulation and\n\
+                 crawler layers sit above them. `obs` is the root of the tree: every\n\
+                 crate may emit into it, so an obs dependency on anything in-workspace\n\
+                 would be a cycle and would let instrumentation reach back into\n\
+                 behaviour. Enforced from the workspace graph: Cargo.toml dependency\n\
+                 edges (dev-dependencies included) plus resolved `use` imports.\n\
+                 \n\
+                 Flags: a protocol crate whose manifest or sources reach netsim,\n\
+                 nodefinder or bench; any in-workspace dependency or import in obs.\n\
+                 Escape hatch: none — layering is architecture, not a per-site call;\n\
+                 move the code instead."
+            }
+            Rule::R11 => {
+                "R11: shard-state types carry no Rc/RefCell/raw-pointer fields.\n\
+                 \n\
+                 Types annotated `// shard-state` are the inventory of state that\n\
+                 ROADMAP item 1 will move across shard boundaries. `Rc` clones are not\n\
+                 atomic, `RefCell` borrows are not Sync, and raw pointers carry no\n\
+                 ownership story — any of them inside shard-state is a data race or a\n\
+                 double-free waiting for the parallel refactor. The rule checks the\n\
+                 annotated type's fields and, transitively, every field type that\n\
+                 resolves to an in-workspace definition, so wrapping the Rc one struct\n\
+                 deeper does not hide it. The full inventory (every annotated type,\n\
+                 every field, flagged or clean) is emitted in the --json report so the\n\
+                 migration has a checked worklist of what must become Arc or\n\
+                 message-passing.\n\
+                 \n\
+                 Flags: a `// shard-state` type with a field whose type (direct or via\n\
+                 in-workspace types) names `Rc`, `RefCell`, `UnsafeCell`, `*const` or\n\
+                 `*mut`.\n\
+                 Escape hatch: `// detlint: allow(R11) -- <why>` on the field, stating\n\
+                 the migration plan (the field stays in the JSON inventory, marked\n\
+                 justified)."
+            }
+            Rule::R12 => {
+                "R12: no allocation or formatting inside hotpath functions.\n\
+                 \n\
+                 Functions annotated `// hotpath` — the netsim dispatch loop, the timer\n\
+                 wheel's push/pop, the obs interned-id emission path — run once per\n\
+                 simulated event, millions of times per run. PR 4 bought its 5.8x by\n\
+                 removing exactly the constructs this rule now forbids from creeping\n\
+                 back: per-event heap allocation and string formatting dominate those\n\
+                 profiles long before algorithmic cost does.\n\
+                 \n\
+                 Flags, inside `// hotpath` fns: `format!`, `.to_string()`,\n\
+                 `Vec::new()`, `vec![...]`, and `.clone()` on anything not known to be\n\
+                 a `Payload` (whose clone is a reference-count bump by design; detlint\n\
+                 tracks `Payload`-typed parameters and `let` ascriptions).\n\
+                 Escape hatch: `// detlint: allow(R12) -- <why>` (e.g. a cold error\n\
+                 path inside a hot fn)."
+            }
         }
     }
 }
@@ -201,7 +358,8 @@ mod tests {
             assert_eq!(Rule::parse(rule.id()), Some(rule));
             assert_eq!(Rule::parse(&rule.id().to_lowercase()), Some(rule));
         }
-        assert_eq!(Rule::parse("R9"), None);
+        assert_eq!(Rule::parse("R13"), None);
+        assert_eq!(Rule::parse("R0"), None);
     }
 
     #[test]
@@ -209,6 +367,7 @@ mod tests {
         for rule in ALL {
             assert!(rule.explain().starts_with(rule.id()));
             assert!(!rule.title().is_empty());
+            assert!(rule.annotation_code().starts_with(rule.id()));
         }
     }
 }

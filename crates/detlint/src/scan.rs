@@ -1,8 +1,16 @@
 //! The workspace scanner: walks every `.rs` and `Cargo.toml` under the
-//! repository root and applies rules R1–R7.
+//! repository root and applies rules R1–R12.
+//!
+//! R1–R7 are token rules evaluated directly here; R8–R12 are semantic
+//! rules evaluated in [`crate::semantic`] over the item table each file
+//! parse produces, plus the workspace graph ([`crate::graph`]) built from
+//! every manifest.
 
+use crate::graph::WorkspaceGraph;
 use crate::lexer::{self, LineComment};
+use crate::parser::{self, ItemTable, Tok};
 use crate::rules::Rule;
+use crate::semantic::{self, FileItems, ShardType};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
@@ -56,10 +64,18 @@ const APPROVED_DEPS: [&str; 7] = [
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 2] = ["target", ".git"];
 
+/// Repo-relative directory prefixes never scanned: detlint's own fixture
+/// corpus deliberately violates every rule and must not contaminate the
+/// workspace verdict.
+const SKIP_PREFIXES: [&str; 1] = ["crates/detlint/fixtures"];
+
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Violation {
     pub rule: Rule,
+    /// Stable diagnostic code (`R8.static_mut`), the identity CI and the
+    /// baseline key on.
+    pub code: &'static str,
     /// Repo-relative path with `/` separators.
     pub path: String,
     /// 1-based line number.
@@ -71,46 +87,121 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {}:{} {}",
-            self.rule, self.path, self.line, self.message
+            "{} {}:{} {} [{}]",
+            self.rule, self.path, self.line, self.message, self.code
         )
     }
 }
 
 impl Violation {
-    /// Baseline identity: rule + path + message, line number excluded so
-    /// unrelated edits above a baselined site don't un-baseline it.
+    /// Baseline identity (format 2): code + path + message, line number
+    /// excluded so unrelated edits above a baselined site don't
+    /// un-baseline it.
     pub fn baseline_key(&self) -> String {
-        format!("{} {} {}", self.rule, self.path, self.message)
+        format!("{} {} {}", self.code, self.path, self.message)
     }
+}
+
+/// A full workspace scan: the sorted violations plus the R11 shard-state
+/// inventory.
+#[derive(Debug, Clone)]
+pub struct WorkspaceScan {
+    pub violations: Vec<Violation>,
+    pub shard_state: Vec<ShardType>,
+}
+
+/// One parsed `.rs` file, retained for the cross-file passes (R11's type
+/// resolution needs every file's item table at once).
+struct FileRecord {
+    path: String,
+    table: ItemTable,
+    allowances: Allowances,
 }
 
 /// Scan the workspace rooted at `root`, returning all violations sorted by
 /// path, line, rule.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(scan_workspace_full(root)?.violations)
+}
+
+/// Scan the workspace and also return the shard-state inventory.
+pub fn scan_workspace_full(root: &Path) -> io::Result<WorkspaceScan> {
     let mut files = Vec::new();
     collect_files(root, root, &mut files)?;
     files.sort();
 
     let mut violations = Vec::new();
     let mut lib_roots = Vec::new();
+    let mut manifests = Vec::new();
+    let mut records = Vec::new();
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if SKIP_PREFIXES
+            .iter()
+            .any(|prefix| rel_str.starts_with(prefix))
+        {
+            continue;
+        }
         if rel.file_name().is_some_and(|n| n == "Cargo.toml") {
             check_manifest(&rel_str, &source, &mut violations);
+            manifests.push((rel_str, source));
             continue;
         }
         if rel_str.ends_with("src/lib.rs") {
             lib_roots.push((rel_str.clone(), source.clone()));
         }
-        check_rust_file(&rel_str, &source, &mut violations);
+        records.push(check_rust_file(&rel_str, &source, &mut violations));
     }
     for (rel_str, source) in lib_roots {
         check_forbid_header(&rel_str, &source, &mut violations);
     }
+
+    // Workspace graph: R10's manifest half.
+    let graph = WorkspaceGraph::from_manifests(&manifests);
+    violations.extend(graph.layering_violations());
+
+    // R11 works across all item tables at once (transitive field types).
+    let file_items: Vec<FileItems<'_>> = records
+        .iter()
+        .map(|r| FileItems {
+            path: &r.path,
+            table: &r.table,
+            allowances: &r.allowances,
+        })
+        .collect();
+    let shard_state = semantic::check_r11(&file_items, &mut violations);
+
     violations.sort();
-    Ok(violations)
+    Ok(WorkspaceScan {
+        violations,
+        shard_state,
+    })
+}
+
+/// Scan a single Rust source as the fixture harness does: token rules,
+/// item rules, and a file-local R11 pass. `path` scopes the path-sensitive
+/// rules exactly as in a workspace scan.
+pub fn scan_rust_source(path: &str, source: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let record = check_rust_file(path, source, &mut violations);
+    let file_items = [FileItems {
+        path: &record.path,
+        table: &record.table,
+        allowances: &record.allowances,
+    }];
+    semantic::check_r11(&file_items, &mut violations);
+    violations.sort();
+    violations
+}
+
+/// Scan a single manifest source (rule R6). `path` must be the manifest's
+/// would-be repo-relative path, since path deps resolve against it.
+pub fn scan_manifest_source(path: &str, source: &str) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_manifest(path, source, &mut violations);
+    violations.sort();
+    violations
 }
 
 fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -140,12 +231,13 @@ fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<
 /// Per-line allowances parsed from `// detlint:` comments. An annotation
 /// applies to its own line (trailing form) and the next line (preceding
 /// form).
-struct Allowances {
+#[derive(Debug)]
+pub struct Allowances {
     by_line: BTreeMap<usize, BTreeSet<Rule>>,
 }
 
 impl Allowances {
-    fn allows(&self, line: usize, rule: Rule) -> bool {
+    pub fn allows(&self, line: usize, rule: Rule) -> bool {
         self.by_line
             .get(&line)
             .is_some_and(|set| set.contains(&rule))
@@ -171,6 +263,7 @@ fn parse_annotations(
             if spec != "strict" {
                 violations.push(Violation {
                     rule: Rule::R7,
+                    code: "R7.annotation",
                     path: path.to_string(),
                     line: comment.line,
                     message: format!(
@@ -181,6 +274,7 @@ fn parse_annotations(
             } else if reason.is_empty() {
                 violations.push(Violation {
                     rule: Rule::R7,
+                    code: "R7.annotation",
                     path: path.to_string(),
                     line: comment.line,
                     message: "conformance annotation without a justification \
@@ -212,6 +306,7 @@ fn parse_annotations(
         let Some(rule) = rule else {
             violations.push(Violation {
                 rule: Rule::R3,
+                code: "R3.annotation",
                 path: path.to_string(),
                 line: comment.line,
                 message: format!(
@@ -221,9 +316,12 @@ fn parse_annotations(
             });
             continue;
         };
-        if rule == Rule::R4 || rule == Rule::R6 {
+        // R4 (memory safety), R6 (offline build) and R10 (layering) have no
+        // per-site escape: they are architectural, not judgment calls.
+        if rule == Rule::R4 || rule == Rule::R6 || rule == Rule::R10 {
             violations.push(Violation {
                 rule,
+                code: rule.annotation_code(),
                 path: path.to_string(),
                 line: comment.line,
                 message: format!("rule {rule} has no annotation escape hatch"),
@@ -233,6 +331,7 @@ fn parse_annotations(
         if rule == Rule::R1 && R1_NO_ESCAPE.iter().any(|prefix| path.starts_with(prefix)) {
             violations.push(Violation {
                 rule,
+                code: "R1.no_escape",
                 path: path.to_string(),
                 line: comment.line,
                 message: "rule R1 has no annotation escape hatch under crates/obs/ \
@@ -244,6 +343,7 @@ fn parse_annotations(
         if reason.is_empty() {
             violations.push(Violation {
                 rule,
+                code: rule.annotation_code(),
                 path: path.to_string(),
                 line: comment.line,
                 message: "detlint annotation without a justification \
@@ -353,7 +453,7 @@ fn neq_on_rest_of_line(masked: &[char], from: usize) -> bool {
     false
 }
 
-fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
+fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) -> FileRecord {
     let masked_file = lexer::mask(source);
     let masked: Vec<char> = masked_file.code.chars().collect();
     let allowances = parse_annotations(path, &masked_file.line_comments, violations);
@@ -369,9 +469,10 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
     let r5_in_scope = R5_SCOPE.iter().any(|prefix| path.starts_with(prefix));
     let r7_in_scope = R7_SCOPE.iter().any(|prefix| path.starts_with(prefix));
 
-    let mut push = |rule: Rule, line: usize, message: String| {
+    let mut push = |rule: Rule, code: &'static str, line: usize, message: String| {
         violations.push(Violation {
             rule,
+            code,
             path: path.to_string(),
             line,
             message,
@@ -386,6 +487,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             {
                 push(
                     Rule::R1,
+                    "R1.wall_clock",
                     token.line,
                     format!(
                         "wall-clock type `{}` (simulation time must come from the \
@@ -399,6 +501,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             {
                 push(
                     Rule::R2,
+                    "R2.ambient_entropy",
                     token.line,
                     format!(
                         "ambient entropy source `{}` (all randomness must flow from \
@@ -413,6 +516,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             {
                 push(
                     Rule::R2,
+                    "R2.ambient_entropy",
                     token.line,
                     "ambient entropy source `rand::random` (see --explain R2)".to_string(),
                 );
@@ -420,6 +524,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             "HashMap" | "HashSet" if !allowances.allows(token.line, Rule::R3) => {
                 push(
                     Rule::R3,
+                    "R3.hash_collection",
                     token.line,
                     format!(
                         "`{}` has randomized iteration order; use BTreeMap/BTreeSet \
@@ -431,6 +536,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             "unsafe" => {
                 push(
                     Rule::R4,
+                    "R4.unsafe_code",
                     token.line,
                     "`unsafe` is banned workspace-wide (see --explain R4)".to_string(),
                 );
@@ -444,6 +550,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             {
                 push(
                     Rule::R5,
+                    "R5.panic_escape",
                     token.line,
                     format!(
                         "`.{}()` in attacker-facing decode path; return Result \
@@ -459,6 +566,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             {
                 push(
                     Rule::R7,
+                    "R7.ensure_exact",
                     token.line,
                     "`ensure_exact` rejects trailing data; EIP-8 policy is \
                      tolerate-and-count — justify with `// conformance: strict \
@@ -478,6 +586,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             {
                 push(
                     Rule::R7,
+                    "R7.trailing_bytes",
                     token.line,
                     "constructing `TrailingBytes` hard-rejects trailing data; \
                      justify with `// conformance: strict -- <why>` \
@@ -493,6 +602,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             {
                 push(
                     Rule::R7,
+                    "R7.item_count",
                     token.line,
                     "exact `item_count` check (`!=`) rejects EIP-8 extra list \
                      elements; use a `<` reject / `>` tolerate-and-count split, \
@@ -504,6 +614,32 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) {
             _ => {}
         }
     }
+
+    // Item-level pass: parse the file once and run the semantic rules.
+    let (toks, table) = item_parse(&masked_file, &masked);
+    semantic::check_r8(path, &table, &allowances, &in_test_region, violations);
+    semantic::check_r9(
+        path,
+        &table,
+        &toks,
+        &allowances,
+        &in_test_region,
+        violations,
+    );
+    semantic::check_r10_uses(path, &table, violations);
+    semantic::check_r12(path, &table, &toks, &allowances, violations);
+
+    FileRecord {
+        path: path.to_string(),
+        table,
+        allowances,
+    }
+}
+
+fn item_parse(masked_file: &lexer::MaskedFile, masked: &[char]) -> (Vec<Tok>, ItemTable) {
+    let toks = parser::lex(masked);
+    let table = parser::parse_items(masked_file, &toks);
+    (toks, table)
 }
 
 /// Whitespace-tolerant match of `pattern` (which must not itself contain
@@ -574,6 +710,7 @@ fn check_forbid_header(path: &str, source: &str, violations: &mut Vec<Violation>
     if !found {
         violations.push(Violation {
             rule: Rule::R4,
+            code: "R4.missing_forbid",
             path: path.to_string(),
             line: 1,
             message: "crate root missing `#![forbid(unsafe_code)]` (see --explain R4)".to_string(),
@@ -590,9 +727,10 @@ fn check_manifest(path: &str, source: &str, violations: &mut Vec<Violation>) {
         Some(idx) => &path[..idx],
         None => "",
     };
-    let mut push = |line: usize, message: String| {
+    let mut push = |code: &'static str, line: usize, message: String| {
         violations.push(Violation {
             rule: Rule::R6,
+            code,
             path: path.to_string(),
             line,
             message,
@@ -672,7 +810,7 @@ fn check_dep_entry(
     sub_key: Option<&str>,
     value: &str,
     line_no: usize,
-    push: &mut impl FnMut(usize, String),
+    push: &mut impl FnMut(&'static str, usize, String),
 ) {
     match sub_key {
         Some("workspace") => {
@@ -684,6 +822,7 @@ fn check_dep_entry(
         }
         Some("git") => {
             push(
+                "R6.git_dep",
                 line_no,
                 format!(
                     "dependency `{dep_name}` uses a git source (offline build; \
@@ -699,6 +838,7 @@ fn check_dep_entry(
             // is caught below via the version key.
             if sub_key == Some("version") && !APPROVED_DEPS.contains(&dep_name) {
                 push(
+                    "R6.registry_dep",
                     line_no,
                     format!(
                         "registry dependency `{dep_name}` is not offline-approved \
@@ -726,6 +866,7 @@ fn check_dep_entry(
                 }
                 if !saw_source {
                     push(
+                        "R6.unknown_source",
                         line_no,
                         format!(
                             "dependency `{dep_name}` has no recognizable source \
@@ -737,6 +878,7 @@ fn check_dep_entry(
                 // Bare version string: registry dependency.
                 if !APPROVED_DEPS.contains(&dep_name) {
                     push(
+                        "R6.registry_dep",
                         line_no,
                         format!(
                             "registry dependency `{dep_name}` is not offline-approved \
@@ -755,11 +897,12 @@ fn check_dep_path(
     dep_name: &str,
     value: &str,
     line_no: usize,
-    push: &mut impl FnMut(usize, String),
+    push: &mut impl FnMut(&'static str, usize, String),
 ) {
     let rel = value.trim().trim_matches('"');
     if rel.starts_with('/') || rel.chars().nth(1) == Some(':') {
         push(
+            "R6.abs_path",
             line_no,
             format!("dependency `{dep_name}` uses an absolute path (see --explain R6)"),
         );
@@ -776,6 +919,7 @@ fn check_dep_path(
             depth -= 1;
             if depth < 0 {
                 push(
+                    "R6.escaping_path",
                     line_no,
                     format!(
                         "dependency `{dep_name}` path `{rel}` escapes the repository \
@@ -862,6 +1006,27 @@ use std::collections::HashMap;
         assert!(v
             .iter()
             .any(|x| x.message.contains("without a justification")));
+    }
+
+    #[test]
+    fn annotations_survive_crlf_tabs_and_eof() {
+        // CRLF: the \r must not end up inside the justification.
+        let crlf =
+            "// detlint: order-insensitive -- probe only\r\nuse std::collections::HashMap;\r\n";
+        assert!(scan_source("a.rs", crlf).is_empty(), "CRLF annotation");
+        // Tab / leading-whitespace indentation.
+        let tabbed =
+            "\t// detlint: order-insensitive -- probe only\n\tuse std::collections::HashMap;\n";
+        assert!(scan_source("a.rs", tabbed).is_empty(), "tabbed annotation");
+        // Trailing annotation on the file's unterminated last line.
+        let eof = "use std::collections::HashMap; // detlint: order-insensitive -- probe only";
+        assert!(scan_source("a.rs", eof).is_empty(), "EOF annotation");
+        // CRLF conformance variant too (different directive parser arm).
+        let conf = "// conformance: strict -- whole-buffer by contract\r\nfn f(r: &Rlp<'_>) { r.ensure_exact().ok(); }\r\n";
+        assert!(
+            scan_source("crates/rlp/src/lib.rs", conf).is_empty(),
+            "CRLF conformance annotation"
+        );
     }
 
     #[test]

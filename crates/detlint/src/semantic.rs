@@ -1,0 +1,802 @@
+//! Semantic rules over the item table: R8 (shared mutable state), R9 (RNG
+//! stream discipline), R10's `use`-import half, R11 (shard-state field
+//! audit) and R12 (hot-path allocation lint).
+//!
+//! These rules see structure — declarations, fn bodies, field types — where
+//! R1–R7 see tokens. They still over-approximate deliberately: R9's
+//! dataflow is a linear walk of `let` bindings, not an SSA graph, and R11's
+//! type resolution is by unique name, not by import resolution. Both err on
+//! the side of asking for an explicit justification.
+
+use crate::graph::{PROTOCOL_CRATES, UPPER_LAYERS, WORKSPACE_CRATES};
+use crate::parser::{FnDef, ItemTable, Tok};
+use crate::rules::Rule;
+use crate::scan::{Allowances, Violation};
+use std::collections::BTreeSet;
+
+/// Types with interior mutability through a shared reference: a `static`
+/// holding one is writable global state (rule R8).
+const INTERIOR_MUT: [&str; 9] = [
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "LazyCell",
+    "Mutex",
+    "RwLock",
+    "OnceLock",
+    "LazyLock",
+];
+
+/// The single-threaded subset flagged inside `thread_local!` blocks.
+const CELL_LIKE: [&str; 5] = ["Cell", "RefCell", "UnsafeCell", "OnceCell", "LazyCell"];
+
+/// Field types that must not appear in `// shard-state` types (rule R11).
+const SHARD_BANNED: [&str; 3] = ["Rc", "RefCell", "UnsafeCell"];
+
+/// RNG constructors whose argument R9 traces to a parameter.
+const SEEDED_CTORS: [&str; 2] = ["seed_from_u64", "from_seed"];
+
+/// True for `crates/<name>/src/…` and the root package's `src/…` — the
+/// library code the parallelism rules govern. Vendored stand-ins, tests/,
+/// benches/ and examples/ directories fall outside.
+pub fn in_library_src(path: &str) -> bool {
+    match path.strip_prefix("crates/") {
+        Some(rest) => match rest.split_once('/') {
+            Some((_, rest)) => rest.starts_with("src/"),
+            None => false,
+        },
+        None => path.starts_with("src/"),
+    }
+}
+
+/// Binary targets and `main.rs` are experiment roots: they pin concrete
+/// seeds on purpose (rule R9 exempts them).
+fn is_experiment_root(path: &str) -> bool {
+    path.contains("/src/bin/") || path.ends_with("src/main.rs")
+}
+
+fn interior_marker(ty: &[String]) -> Option<&str> {
+    ty.iter().find_map(|word| {
+        INTERIOR_MUT
+            .iter()
+            .find(|&&m| m == word)
+            .copied()
+            .or_else(|| {
+                if word.starts_with("Atomic") && word.len() > "Atomic".len() {
+                    Some("Atomic*")
+                } else {
+                    None
+                }
+            })
+    })
+}
+
+fn cell_marker(ty: &[String]) -> Option<&str> {
+    ty.iter()
+        .find_map(|word| CELL_LIKE.iter().find(|&&m| m == word).copied())
+}
+
+/// Render type tokens back into a readable string (`Rc < [ u8 ] >` →
+/// `Rc<[u8]>`): spaces only between adjacent words and after commas.
+pub fn render_type(ty: &[String]) -> String {
+    let mut out = String::new();
+    let mut prev_word = false;
+    let mut prev_comma = false;
+    for tok in ty {
+        let word = tok
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if (word && prev_word) || prev_comma {
+            out.push(' ');
+        }
+        out.push_str(tok);
+        prev_word = word;
+        prev_comma = tok == ",";
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// R8: shared mutable state
+// ---------------------------------------------------------------------------
+
+pub fn check_r8(
+    path: &str,
+    table: &ItemTable,
+    allowances: &Allowances,
+    in_test: &dyn Fn(usize) -> bool,
+    violations: &mut Vec<Violation>,
+) {
+    if !in_library_src(path) {
+        return;
+    }
+    let in_obs = path.starts_with("crates/obs/");
+    for decl in &table.statics {
+        if in_test(decl.pos) {
+            continue;
+        }
+        let allowed = allowances.allows(decl.line, Rule::R8);
+        if decl.is_mut {
+            if !allowed {
+                violations.push(Violation {
+                    rule: Rule::R8,
+                    code: "R8.static_mut",
+                    path: path.to_string(),
+                    line: decl.line,
+                    message: format!(
+                        "`static mut {}` is shared mutable state; a sharded \
+                         netsim cannot replay it deterministically (see \
+                         --explain R8)",
+                        decl.name
+                    ),
+                });
+            }
+            continue;
+        }
+        if decl.thread_local {
+            if in_obs {
+                // The observability recorder is thread-local by design:
+                // per-shard recorders merge at barrier epochs.
+                continue;
+            }
+            if let Some(marker) = cell_marker(&decl.ty) {
+                if !allowed {
+                    violations.push(Violation {
+                        rule: Rule::R8,
+                        code: "R8.thread_local_cell",
+                        path: path.to_string(),
+                        line: decl.line,
+                        message: format!(
+                            "`thread_local! {}: {}` holds `{marker}` outside \
+                             crates/obs/; per-shard copies fork silently (see \
+                             --explain R8)",
+                            decl.name,
+                            render_type(&decl.ty)
+                        ),
+                    });
+                }
+            }
+        } else if let Some(marker) = interior_marker(&decl.ty) {
+            if !allowed {
+                violations.push(Violation {
+                    rule: Rule::R8,
+                    code: "R8.interior_mut",
+                    path: path.to_string(),
+                    line: decl.line,
+                    message: format!(
+                        "`static {}: {}` has interior mutability (`{marker}`); \
+                         shared mutable state (see --explain R8)",
+                        decl.name,
+                        render_type(&decl.ty)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R9: RNG stream discipline
+// ---------------------------------------------------------------------------
+
+pub fn check_r9(
+    path: &str,
+    table: &ItemTable,
+    toks: &[Tok],
+    allowances: &Allowances,
+    in_test: &dyn Fn(usize) -> bool,
+    violations: &mut Vec<Violation>,
+) {
+    if !in_library_src(path) || is_experiment_root(path) {
+        return;
+    }
+    for fn_def in &table.fns {
+        let Some(body) = fn_def.body else {
+            continue;
+        };
+        if in_test(fn_def.pos) || in_test(body.pos) {
+            continue;
+        }
+        let seed_ok = seed_ok_idents(fn_def, toks, body.tok_lo, body.tok_hi);
+        let mut i = body.tok_lo;
+        while i < body.tok_hi {
+            let t = &toks[i];
+            if t.word
+                && SEEDED_CTORS.contains(&t.text.as_str())
+                && is_punct(toks, i + 1, '(')
+                && word_before(toks, i) != Some("fn")
+            {
+                let end = skip_balanced(toks, i + 1, body.tok_hi, '(', ')');
+                let args: Vec<&Tok> = toks[i + 2..end.saturating_sub(1)].iter().collect();
+                let derived = args
+                    .iter()
+                    .any(|a| a.word && seed_ok.contains(a.text.as_str()));
+                if !derived && !allowances.allows(t.line, Rule::R9) {
+                    let ambient = args.iter().find(|a| {
+                        a.word
+                            && a.text
+                                .chars()
+                                .next()
+                                .is_some_and(|c| c.is_ascii_lowercase())
+                    });
+                    match ambient {
+                        Some(arg) => violations.push(Violation {
+                            rule: Rule::R9,
+                            code: "R9.ambient_seed",
+                            path: path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`{}` seed `{}` does not derive from a parameter \
+                                 of `{}`; thread it from SimConfig (see \
+                                 --explain R9)",
+                                t.text, arg.text, fn_def.name
+                            ),
+                        }),
+                        None => violations.push(Violation {
+                            rule: Rule::R9,
+                            code: "R9.literal_seed",
+                            path: path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`{}` pins a literal/constant seed inside `{}`; \
+                                 library code must take the seed as a parameter \
+                                 (see --explain R9)",
+                                t.text, fn_def.name
+                            ),
+                        }),
+                    }
+                }
+                i = end;
+                continue;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// The set of identifiers known to derive from the fn's parameters: the
+/// parameters themselves (plus `self`), `let` bindings whose right-hand
+/// side mentions a derived identifier (processed in order), and closure
+/// parameters.
+fn seed_ok_idents(fn_def: &FnDef, toks: &[Tok], lo: usize, hi: usize) -> BTreeSet<String> {
+    let mut ok: BTreeSet<String> = fn_def
+        .params
+        .iter()
+        .flat_map(|p| p.names.iter().cloned())
+        .collect();
+    ok.insert("self".to_string());
+
+    // Pass 1: closure parameter lists anywhere in the body. This runs
+    // before the `let` pass because a closure usually sits on a `let` RHS
+    // (`let seal = |plain, seed| { … };`) whose scan consumes it whole.
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if !t.word && t.text == "|" && !is_punct(toks, i + 1, '|') {
+            let mut j = i + 1;
+            let mut names = Vec::new();
+            let mut closed = false;
+            while j < hi && j - i < 64 {
+                let p = &toks[j];
+                if p.word {
+                    names.push(p.text.clone());
+                } else {
+                    match p.text.as_str() {
+                        "|" => {
+                            closed = true;
+                            break;
+                        }
+                        "," | ":" | "&" | "(" | ")" | "[" | "]" | "<" | ">" | "_" | "'" => {}
+                        _ => break,
+                    }
+                }
+                j += 1;
+            }
+            if closed {
+                ok.extend(names.into_iter().filter(|n| n != "mut" && n != "ref"));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: `let` derivation chains, in statement order.
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.word && t.text == "let" {
+            // Pattern words until a top-level `=` (or `;` for `let x;`).
+            let mut j = i + 1;
+            let mut depth = 0isize;
+            let mut pattern = Vec::new();
+            while j < hi {
+                let p = &toks[j];
+                if p.word {
+                    if p.text != "mut" && p.text != "ref" {
+                        pattern.push(p.text.clone());
+                    }
+                } else {
+                    match p.text.chars().next().unwrap_or(' ') {
+                        '(' | '[' | '<' => depth += 1,
+                        ')' | ']' => depth -= 1,
+                        '>' if !(j > 0 && is_punct(toks, j - 1, '-')) => depth -= 1,
+                        '=' if depth <= 0 && !is_punct(toks, j + 1, '=') => break,
+                        ';' | '{' if depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            // RHS until the statement ends; if it mentions a derived
+            // identifier, the whole pattern becomes derived.
+            let mut derived = false;
+            let mut depth = 0isize;
+            while j < hi {
+                let p = &toks[j];
+                if p.word && ok.contains(p.text.as_str()) {
+                    derived = true;
+                }
+                if !p.word {
+                    match p.text.chars().next().unwrap_or(' ') {
+                        '(' | '[' | '{' => depth += 1,
+                        ')' | ']' | '}' => depth -= 1,
+                        ';' if depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if derived {
+                ok.extend(pattern);
+            }
+            i = j.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    ok
+}
+
+// ---------------------------------------------------------------------------
+// R10: use-import half
+// ---------------------------------------------------------------------------
+
+pub fn check_r10_uses(path: &str, table: &ItemTable, violations: &mut Vec<Violation>) {
+    let Some(rest) = path.strip_prefix("crates/") else {
+        return;
+    };
+    let Some((crate_name, rest)) = rest.split_once('/') else {
+        return;
+    };
+    if !rest.starts_with("src/") {
+        return;
+    }
+    if PROTOCOL_CRATES.contains(&crate_name) {
+        for use_decl in &table.uses {
+            if UPPER_LAYERS.contains(&use_decl.root.as_str()) {
+                violations.push(Violation {
+                    rule: Rule::R10,
+                    code: "R10.layer_use",
+                    path: path.to_string(),
+                    line: use_decl.line,
+                    message: format!(
+                        "protocol crate `{crate_name}` imports upper layer \
+                         `{}` (see --explain R10)",
+                        use_decl.root
+                    ),
+                });
+            }
+        }
+    }
+    if crate_name == "obs" {
+        for use_decl in &table.uses {
+            if WORKSPACE_CRATES.contains(&use_decl.root.as_str()) {
+                violations.push(Violation {
+                    rule: Rule::R10,
+                    code: "R10.obs_use",
+                    path: path.to_string(),
+                    line: use_decl.line,
+                    message: format!(
+                        "obs must import nothing in-workspace, found `{}` \
+                         (see --explain R10)",
+                        use_decl.root
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R11: shard-state field audit + inventory
+// ---------------------------------------------------------------------------
+
+/// One file's parsed items plus its annotation allowances, as collected by
+/// the scanner; the R11 pass works across all of them.
+#[derive(Debug)]
+pub struct FileItems<'a> {
+    pub path: &'a str,
+    pub table: &'a ItemTable,
+    pub allowances: &'a Allowances,
+}
+
+/// Inventory entry: a `// shard-state` type and the audit of its fields.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardType {
+    pub path: String,
+    pub line: usize,
+    pub name: String,
+    pub fields: Vec<ShardField>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardField {
+    pub name: String,
+    pub ty: String,
+    pub line: usize,
+    /// The banned construct reached through this field, if any.
+    pub banned: Option<String>,
+    /// `Type.field: ty` chain when the construct is inherited from an
+    /// in-workspace field type rather than named directly.
+    pub via: Option<String>,
+    /// A `// detlint: allow(R11)` justification covers the construct
+    /// (either on this field or where the inner field declares it).
+    pub justified: bool,
+}
+
+struct Banned {
+    marker: String,
+    via: Option<String>,
+    justified: bool,
+}
+
+/// Audit every `// shard-state` type across `files`; returns the inventory
+/// (all annotated types, flagged or clean) and pushes violations for
+/// unjustified banned fields.
+pub fn check_r11(files: &[FileItems<'_>], violations: &mut Vec<Violation>) -> Vec<ShardType> {
+    let mut inventory = Vec::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        for ty in &file.table.types {
+            if !ty.shard_state {
+                continue;
+            }
+            let mut fields = Vec::new();
+            for field in &ty.fields {
+                let mut visited = BTreeSet::new();
+                visited.insert((file_idx, ty.name.clone()));
+                let banned = field_banned(files, file_idx, field, &mut visited);
+                let locally_justified = file.allowances.allows(field.line, Rule::R11);
+                let (marker, via, justified) = match banned {
+                    Some(b) => (Some(b.marker), b.via, b.justified || locally_justified),
+                    None => (None, None, false),
+                };
+                if let Some(marker) = &marker {
+                    if !justified {
+                        let via_note = via
+                            .as_deref()
+                            .map(|v| format!(" via `{v}`"))
+                            .unwrap_or_default();
+                        violations.push(Violation {
+                            rule: Rule::R11,
+                            code: "R11.shard_field",
+                            path: file.path.to_string(),
+                            line: field.line,
+                            message: format!(
+                                "shard-state type `{}` field `{}: {}` contains \
+                                 `{marker}`{via_note}; not safe to move across \
+                                 shard boundaries (see --explain R11)",
+                                ty.name,
+                                field.name,
+                                render_type(&field.ty)
+                            ),
+                        });
+                    }
+                }
+                fields.push(ShardField {
+                    name: field.name.clone(),
+                    ty: render_type(&field.ty),
+                    line: field.line,
+                    banned: marker,
+                    via,
+                    justified,
+                });
+            }
+            inventory.push(ShardType {
+                path: file.path.to_string(),
+                line: ty.line,
+                name: ty.name.clone(),
+                fields,
+            });
+        }
+    }
+    inventory.sort();
+    inventory
+}
+
+/// Does `field`'s type reach a banned construct, directly or through an
+/// in-workspace type? Resolution is by unique type name, same-crate first.
+fn field_banned(
+    files: &[FileItems<'_>],
+    file_idx: usize,
+    field: &crate::parser::FieldDef,
+    visited: &mut BTreeSet<(usize, String)>,
+) -> Option<Banned> {
+    // Direct: the type tokens name a banned container or a raw pointer.
+    for (i, word) in field.ty.iter().enumerate() {
+        if SHARD_BANNED.contains(&word.as_str()) {
+            return Some(Banned {
+                marker: word.clone(),
+                via: None,
+                justified: false,
+            });
+        }
+        if word == "*"
+            && field
+                .ty
+                .get(i + 1)
+                .is_some_and(|w| w == "const" || w == "mut")
+        {
+            return Some(Banned {
+                marker: format!("*{}", field.ty[i + 1]),
+                via: None,
+                justified: false,
+            });
+        }
+    }
+    // Transitive: resolve capitalized type words in-workspace and recurse.
+    for word in &field.ty {
+        if !word.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            continue;
+        }
+        let Some((target_idx, target_ty)) = resolve_type(files, file_idx, word) else {
+            continue;
+        };
+        let key = (target_idx, target_ty.name.clone());
+        if !visited.insert(key) {
+            continue;
+        }
+        for inner in &target_ty.fields {
+            if let Some(banned) = field_banned(files, target_idx, inner, visited) {
+                let inner_justified =
+                    banned.justified || files[target_idx].allowances.allows(inner.line, Rule::R11);
+                let chain = format!(
+                    "{}.{}: {}",
+                    target_ty.name,
+                    inner.name,
+                    render_type(&inner.ty)
+                );
+                return Some(Banned {
+                    marker: banned.marker,
+                    via: Some(banned.via.unwrap_or(chain)),
+                    justified: inner_justified,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Find the definition of `name`: same crate first, then a unique match
+/// anywhere in the workspace. Ambiguous cross-crate names stay unresolved
+/// (silently tolerated — the over-approximation R11 accepts).
+fn resolve_type<'a>(
+    files: &'a [FileItems<'_>],
+    from_idx: usize,
+    name: &str,
+) -> Option<(usize, &'a crate::parser::TypeDef)> {
+    let crate_dir = |path: &str| -> String {
+        match path.strip_prefix("crates/") {
+            Some(rest) => match rest.split_once('/') {
+                Some((krate, _)) => format!("crates/{krate}/"),
+                None => String::new(),
+            },
+            None => String::new(),
+        }
+    };
+    let from_crate = crate_dir(files[from_idx].path);
+    let mut matches: Vec<(usize, &crate::parser::TypeDef)> = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        for ty in &file.table.types {
+            if ty.name == name {
+                matches.push((idx, ty));
+            }
+        }
+    }
+    let same_crate: Vec<&(usize, &crate::parser::TypeDef)> = matches
+        .iter()
+        .filter(|(idx, _)| !from_crate.is_empty() && crate_dir(files[*idx].path) == from_crate)
+        .collect();
+    match same_crate.len() {
+        1 => Some(*same_crate[0]),
+        0 if matches.len() == 1 => Some(matches[0]),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R12: hot-path allocation lint
+// ---------------------------------------------------------------------------
+
+pub fn check_r12(
+    path: &str,
+    table: &ItemTable,
+    toks: &[Tok],
+    allowances: &Allowances,
+    violations: &mut Vec<Violation>,
+) {
+    for fn_def in &table.fns {
+        if !fn_def.hotpath {
+            continue;
+        }
+        let Some(body) = fn_def.body else {
+            continue;
+        };
+        let payload_idents = payload_idents(fn_def, toks, body.tok_lo, body.tok_hi);
+        let mut push = |code: &'static str, line: usize, message: String| {
+            if !allowances.allows(line, Rule::R12) {
+                violations.push(Violation {
+                    rule: Rule::R12,
+                    code,
+                    path: path.to_string(),
+                    line,
+                    message,
+                });
+            }
+        };
+        let mut i = body.tok_lo;
+        while i < body.tok_hi {
+            let t = &toks[i];
+            if t.word {
+                match t.text.as_str() {
+                    "format" if is_punct(toks, i + 1, '!') => {
+                        push(
+                            "R12.format",
+                            t.line,
+                            format!(
+                                "`format!` allocates in hotpath fn `{}` (see \
+                                 --explain R12)",
+                                fn_def.name
+                            ),
+                        );
+                    }
+                    "vec" if is_punct(toks, i + 1, '!') => {
+                        push(
+                            "R12.vec_macro",
+                            t.line,
+                            format!(
+                                "`vec![…]` allocates in hotpath fn `{}` (see \
+                                 --explain R12)",
+                                fn_def.name
+                            ),
+                        );
+                    }
+                    "Vec"
+                        if is_punct(toks, i + 1, ':')
+                            && is_punct(toks, i + 2, ':')
+                            && word_at(toks, i + 3) == Some("new") =>
+                    {
+                        push(
+                            "R12.vec_new",
+                            t.line,
+                            format!(
+                                "`Vec::new()` allocates in hotpath fn `{}`; reuse \
+                                 a buffer (see --explain R12)",
+                                fn_def.name
+                            ),
+                        );
+                    }
+                    "to_string" if preceded_by_dot(toks, i) && is_punct(toks, i + 1, '(') => {
+                        push(
+                            "R12.to_string",
+                            t.line,
+                            format!(
+                                "`.to_string()` allocates in hotpath fn `{}` \
+                                 (see --explain R12)",
+                                fn_def.name
+                            ),
+                        );
+                    }
+                    "clone" if preceded_by_dot(toks, i) && is_punct(toks, i + 1, '(') => {
+                        let receiver = (i >= 2)
+                            .then(|| &toks[i - 2])
+                            .filter(|r| r.word)
+                            .map(|r| r.text.clone());
+                        let exempt = receiver
+                            .as_deref()
+                            .is_some_and(|r| payload_idents.contains(r));
+                        if !exempt {
+                            push(
+                                "R12.clone",
+                                t.line,
+                                format!(
+                                    "`.clone()` on `{}` (not a known Payload) in \
+                                     hotpath fn `{}` (see --explain R12)",
+                                    receiver.as_deref().unwrap_or("<expr>"),
+                                    fn_def.name
+                                ),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Identifiers known to hold a `Payload` (whose clone is a refcount bump):
+/// parameters ascribed `Payload` and `let name: Payload = …` bindings.
+fn payload_idents(fn_def: &FnDef, toks: &[Tok], lo: usize, hi: usize) -> BTreeSet<String> {
+    let mut idents: BTreeSet<String> = fn_def
+        .params
+        .iter()
+        .filter(|p| p.ty.iter().any(|w| w == "Payload"))
+        .flat_map(|p| p.names.iter().cloned())
+        .collect();
+    let mut i = lo;
+    while i < hi {
+        if word_at(toks, i) == Some("let") {
+            let mut j = i + 1;
+            if word_at(toks, j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = word_at(toks, j) {
+                if is_punct(toks, j + 1, ':') {
+                    let name = name.to_string();
+                    let mut k = j + 2;
+                    while k < hi && !is_punct(toks, k, '=') && !is_punct(toks, k, ';') {
+                        if word_at(toks, k) == Some("Payload") {
+                            idents.insert(name.clone());
+                            break;
+                        }
+                        k += 1;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    idents
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers (shared with the parser's conventions)
+// ---------------------------------------------------------------------------
+
+fn is_punct(toks: &[Tok], i: usize, c: char) -> bool {
+    toks.get(i)
+        .is_some_and(|t| !t.word && t.text.starts_with(c))
+}
+
+fn word_at(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i)
+        .and_then(|t| if t.word { Some(t.text.as_str()) } else { None })
+}
+
+fn word_before(toks: &[Tok], i: usize) -> Option<&str> {
+    i.checked_sub(1).and_then(|j| word_at(toks, j))
+}
+
+fn preceded_by_dot(toks: &[Tok], i: usize) -> bool {
+    i.checked_sub(1).is_some_and(|j| is_punct(toks, j, '.'))
+}
+
+fn skip_balanced(toks: &[Tok], mut i: usize, hi: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    while i < hi {
+        if is_punct(toks, i, open) {
+            depth += 1;
+        } else if is_punct(toks, i, close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    hi
+}

@@ -74,12 +74,15 @@ type SigKey = ([u8; 32], [u8; 65]);
 
 thread_local! {
     /// secret scalar bytes -> public key point.
+    // detlint: allow(R8) -- pure-function memo cache: hit or miss changes speed, never results
     static PUBKEY: RefCell<FifoCache<[u8; 32], Affine>> =
         RefCell::new(FifoCache::new(4096));
     /// unordered (pk, pk) pair -> ECDH shared x coordinate.
+    // detlint: allow(R8) -- pure-function memo cache: hit or miss changes speed, never results
     static ECDH: RefCell<FifoCache<EcdhPair, [u8; 32]>> =
         RefCell::new(FifoCache::new(8192));
     /// (digest, r‖s‖v) -> signer public key point.
+    // detlint: allow(R8) -- pure-function memo cache: hit or miss changes speed, never results
     static SIG: RefCell<FifoCache<SigKey, Affine>> =
         RefCell::new(FifoCache::new(16384));
 }

@@ -365,6 +365,7 @@ impl GenTable {
 
 fn gen_table() -> &'static GenTable {
     use std::sync::OnceLock;
+    // detlint: allow(R8) -- write-once table of curve constants; every init computes the same value
     static TABLE: OnceLock<GenTable> = OnceLock::new();
     TABLE.get_or_init(GenTable::build)
 }
@@ -397,6 +398,7 @@ impl GenCombTable {
 
 fn comb_table() -> &'static GenCombTable {
     use std::sync::OnceLock;
+    // detlint: allow(R8) -- write-once table of curve constants; every init computes the same value
     static TABLE: OnceLock<GenCombTable> = OnceLock::new();
     TABLE.get_or_init(GenCombTable::build)
 }

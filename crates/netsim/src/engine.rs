@@ -227,6 +227,7 @@ enum ConnState {
     Closed,
 }
 
+// shard-state -- per-connection record; migrates with whichever shard owns the connection
 #[derive(Debug, Clone, Copy)]
 struct ConnInfo {
     initiator: HostId,
@@ -237,6 +238,7 @@ struct ConnInfo {
     rtt_ms: u32,
 }
 
+// shard-state -- per-host record; the unit a sharded engine partitions across workers
 struct Slot {
     host: Option<Box<dyn Host>>,
     addr: HostAddr,
@@ -250,6 +252,7 @@ struct Slot {
     live_conns: Vec<ConnId>,
 }
 
+// shard-state -- events cross shard boundaries when sender and receiver land on different workers
 enum Ev {
     Udp {
         to: HostId,
@@ -370,6 +373,11 @@ pub struct NetSim {
     udp_dropped: u64,
     tcp: TcpCounters,
     ids: EngineIds,
+    /// Recycled action vector for [`NetSim::with_host`]: taken before each
+    /// host callback, returned by [`NetSim::apply_actions`], so the hot
+    /// path reuses one allocation instead of building a fresh `Vec` per
+    /// event.
+    action_buf: Vec<Action>,
 }
 
 impl NetSim {
@@ -390,6 +398,7 @@ impl NetSim {
             udp_dropped: 0,
             tcp: TcpCounters::default(),
             ids: EngineIds::intern(),
+            action_buf: Vec::new(),
         }
     }
 
@@ -525,6 +534,7 @@ impl NetSim {
     }
 
     /// Run until the queue is empty or simulated time exceeds `until_ms`.
+    // hotpath -- the main event loop: every simulated event funnels through here
     pub fn run_until(&mut self, until_ms: u64) {
         while let Some((at, _seq, ev)) = self.queue.pop_at_most(until_ms) {
             self.now = at;
@@ -545,6 +555,7 @@ impl NetSim {
         self.now = self.now.max(until_ms);
     }
 
+    // hotpath -- per-event demux; runs once per event popped by run_until
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::StartHost { host } => {
@@ -730,7 +741,11 @@ impl NetSim {
     }
 
     /// Take the host out of its slot, run `f` with a fresh Ctx, apply the
-    /// resulting actions.
+    /// resulting actions. The action vector is recycled through
+    /// `action_buf` so steady-state event handling never allocates it;
+    /// `apply_actions` never re-enters `with_host`, so the take/restore
+    /// pair cannot nest.
+    // hotpath -- runs once per host callback; allocation here scales with event count
     fn with_host<F>(&mut self, host: HostId, f: F)
     where
         F: FnOnce(&mut dyn Host, &mut Ctx),
@@ -744,7 +759,7 @@ impl NetSim {
             local: self.slots[host].addr,
             rng: &mut self.rng,
             conn_info: &self.conns,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_buf),
             next_conn: self.conns.len(),
             new_conns: 0,
         };
@@ -754,8 +769,9 @@ impl NetSim {
         self.apply_actions(host, actions);
     }
 
-    fn apply_actions(&mut self, host: HostId, actions: Vec<Action>) {
-        for action in actions {
+    // hotpath -- executes every action a host callback emits
+    fn apply_actions(&mut self, host: HostId, mut actions: Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::SendUdp { to, bytes } => {
                     self.udp_sent += 1;
@@ -880,6 +896,8 @@ impl NetSim {
                 }
             }
         }
+        // Hand the (now empty) vector back for the next with_host call.
+        self.action_buf = actions;
     }
 }
 

@@ -127,6 +127,7 @@ impl Core {
         }
     }
 
+    // hotpath -- interned-metric slot lookup behind every *_id call
     fn fast_slot(v: &mut Vec<u64>, id: MetricId) -> &mut u64 {
         let i = id.0 as usize;
         if i >= v.len() {
@@ -338,6 +339,7 @@ fn with_core<F: FnOnce(&mut Core)>(f: F) {
 /// Advance the observability clock to simulation time `now_ms`. Called
 /// by the `netsim` engine before dispatching each scheduled event; all
 /// subsequently recorded events and spans are stamped with this value.
+// hotpath -- called by the engine before dispatching every event
 pub fn set_now(now_ms: u64) {
     with_core(|c| c.now_ms = now_ms);
 }
@@ -350,6 +352,7 @@ pub fn counter_add(name: &str, v: u64) {
 /// Add `v` to the counter behind an interned [`handle`]. Equivalent to
 /// [`counter_add`] with the interned name, but O(1) with no allocation —
 /// intended for per-event hot paths like the simulator's dispatch loop.
+// hotpath -- per-event counter bump; must stay allocation-free
 pub fn counter_add_id(id: MetricId, v: u64) {
     with_core(|c| *Core::fast_slot(&mut c.fast_counters, id) += v);
 }
@@ -358,6 +361,7 @@ pub fn counter_add_id(id: MetricId, v: u64) {
 /// (high-water mark). Equivalent to [`gauge_max`] with the interned name,
 /// except that a value of 0 leaves the gauge uncreated (a 0 high-water
 /// update is indistinguishable from no update anyway).
+// hotpath -- per-event high-water update; must stay allocation-free
 pub fn gauge_max_id(id: MetricId, v: u64) {
     with_core(|c| {
         let slot = Core::fast_slot(&mut c.fast_gauge_hw, id);

@@ -4,8 +4,12 @@
 #   1. rustfmt   -- formatting is canonical (no diff)
 #   2. clippy    -- workspace lint-clean; protocol crates additionally deny
 #                   unwrap/expect (see each crate's [lints] table)
-#   3. detlint   -- determinism, panic-safety & wire-policy rules R1-R7
-#                   (see DESIGN.md)
+#   3. detlint   -- determinism, panic-safety, wire-policy & parallelism-
+#                   readiness rules R1-R12 (see DESIGN.md): the JSON report
+#                   is generated twice and byte-compared (the linter must
+#                   be deterministic about determinism), then gated via
+#                   --report, which prints the per-rule summary table and
+#                   fails listing the offending codes
 #   4. tests     -- the whole workspace, including tests/static_analysis.rs
 #                   which re-runs detlint as a tier-1 test
 #   5. conform   -- golden wire vectors + capped differential drivers from
@@ -46,7 +50,20 @@ else
     echo "    SKIPPED: clippy component not installed"
 fi
 
-step "detlint" cargo run -q -p detlint
+# detlint: write the machine-readable report twice and require the two to
+# be byte-identical, then gate on the report's contents. --json always
+# exits 0 (the verdict lives in the report); --report exits 1 listing the
+# offending codes when new violations are present.
+detlint_json() {
+    mkdir -p results \
+        && cargo run -q -p detlint -- --json >results/detlint.json \
+        && cargo run -q -p detlint -- --json >results/detlint.json.2 \
+        && cmp -s results/detlint.json results/detlint.json.2 \
+        && rm -f results/detlint.json.2
+}
+step "detlint --json (byte-identical across runs)" detlint_json
+step "detlint --report (rule summary + gate)" \
+    cargo run -q -p detlint -- --report results/detlint.json
 step "cargo test" cargo test --workspace -q
 # The adversarial/fault-injection scenarios are tier-1: call them out so a
 # failure is attributable at a glance even though the workspace run above

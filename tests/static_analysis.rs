@@ -45,6 +45,64 @@ fn baseline_is_empty() {
 }
 
 #[test]
+fn json_report_is_byte_identical_across_runs() {
+    // scripts/ci.sh renders the report twice and `cmp`s the files; this is
+    // the same gate as a tier-1 test, pinning the whole pipeline — file
+    // collection order, rule evaluation, shard-state inventory sorting —
+    // as order-deterministic.
+    let first = detlint::report::render_json(
+        &detlint::check_report(workspace_root()).expect("first report scan"),
+    );
+    let second = detlint::report::render_json(
+        &detlint::check_report(workspace_root()).expect("second report scan"),
+    );
+    assert_eq!(
+        first, second,
+        "detlint --json must be byte-identical across runs on an unchanged tree"
+    );
+}
+
+#[test]
+fn shard_state_inventory_covers_the_netsim_event_state() {
+    // The R11 inventory is the input to ROADMAP item 1 (sharding the
+    // simulation): the per-host state that a shard boundary would have to
+    // move must be listed, and every banned handle inside it must carry an
+    // explicit justification.
+    let report = detlint::check_report(workspace_root()).expect("report scan");
+    let names: Vec<&str> = report
+        .shard_state
+        .iter()
+        .map(|ty| ty.name.as_str())
+        .collect();
+    for expected in ["ConnInfo", "Slot", "Ev", "Payload"] {
+        assert!(
+            names.contains(&expected),
+            "shard-state inventory lost `{expected}` (have {names:?}); \
+             was its `// shard-state` marker removed?"
+        );
+    }
+    for ty in &report.shard_state {
+        assert!(
+            ty.path.starts_with("crates/netsim/"),
+            "unexpected shard-state type outside netsim: {} in {}",
+            ty.name,
+            ty.path
+        );
+        for field in &ty.fields {
+            if field.banned.is_some() {
+                assert!(
+                    field.justified,
+                    "{}.{} holds {} without a detlint allow(R11) justification",
+                    ty.name,
+                    field.name,
+                    field.banned.as_deref().unwrap_or("?")
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn workspace_is_clean_even_without_the_baseline() {
     // Stronger than the baseline-filtered check: the raw scan itself must
     // come back empty, so the two tests together pin both "no new debt"
