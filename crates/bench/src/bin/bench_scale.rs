@@ -1,4 +1,5 @@
-//! Engine scale benchmark: ethpop worlds at 250 / 1,000 / 5,000 hosts.
+//! Engine scale benchmark: ethpop worlds at 250 / 1,000 / 5,000 / 50,000
+//! hosts.
 //!
 //! Each tier builds a mixed honest+byzantine world, drops one NodeFinder
 //! crawler into it, runs a fixed slice of simulated time under the `obs`
@@ -6,17 +7,28 @@
 //!
 //! - sim events processed and sim-events per wall-second (the headline
 //!   scheduler/payload/metrics hot-path number);
-//! - peak event-queue depth (from the engine's own high-water mark);
+//! - peak event-queue depth (from the engine's own high-water mark) and
+//!   per-shard event counts (the sharded scheduler's load split);
 //! - an RSS proxy read from `/proc/self/status` (`VmRSS` before the
-//!   build, after the run, and the process-wide `VmHWM` peak — the
-//!   workspace forbids `unsafe`, so a counting allocator is out);
+//!   build, after the run, after tearing the world down, and the
+//!   process-wide `VmHWM` peak — the workspace forbids `unsafe`, so a
+//!   counting allocator is out);
 //! - per-handshake-stage latency quantiles from the crawler.
 //!
+//! The artifact also carries a shard-divergence check: a small world run
+//! at shard counts {1, 4} whose obs exports are byte-compared
+//! (`"identical"` must be true — a sharded trace that drifts from the
+//! single-wheel reference is a correctness bug, not a perf tradeoff).
+//!
 //! Results land in `results/BENCH_scale.json` with one record per tier.
-//! Set `TIERS=250` (comma-separated host counts) to run a subset — CI
-//! runs just the smallest tier as a smoke test, written to
-//! `results/BENCH_scale_smoke.json` so the committed three-tier artifact
-//! is never overwritten by a partial run.
+//! Knobs:
+//!
+//! - `TIERS=250,1000` — run a subset of host counts; the artifact goes to
+//!   `results/BENCH_scale_smoke.json` so the committed full sweep is
+//!   never overwritten by a partial run (CI smokes the 250 and 50,000
+//!   tiers this way).
+//! - `SCALE_SIM_MS=2000` — override each tier's simulated duration.
+//! - `SCALE_SHARD_CHECK=0` — skip the divergence check.
 
 use adversary::{GarbageHello, ResetAfterN, SlowLoris, Tarpit};
 use enode::{Endpoint, NodeId, NodeRecord};
@@ -26,19 +38,29 @@ use netsim::{Host, HostAddr, HostMeta, Region};
 use nodefinder::{CrawlerConfig, NodeFinder};
 use std::net::Ipv4Addr;
 
-/// Simulated milliseconds per tier. Constant across tiers so event rates
-/// are comparable; sized so the 5,000-host tier finishes on a laptop.
-const SIM_MS: u64 = 60_000;
+/// The full sweep: (hosts, simulated ms, scheduler shards). Durations are
+/// sized so the largest tier finishes on a laptop; the 50,000-host tier
+/// runs sharded to exercise the barrier-epoch scheduler at scale.
+const TIERS: [(usize, u64, usize); 4] = [
+    (250, 60_000, 1),
+    (1_000, 60_000, 1),
+    (5_000, 60_000, 1),
+    (50_000, 10_000, 8),
+];
 
 struct TierResult {
     hosts: usize,
     byzantine: usize,
+    sim_ms: u64,
+    shards: usize,
     build_wall_ms: u64,
     run_wall_ms: u64,
     sim_events_total: u64,
+    shard_events: Vec<u64>,
     peak_queue_depth: u64,
     rss_before_kb: u64,
     rss_after_kb: u64,
+    rss_after_drop_kb: u64,
     rss_peak_kb: u64,
     stages: String,
 }
@@ -70,25 +92,17 @@ fn stage_json(rec: &obs::Recorder, name: &str) -> String {
     }
 }
 
-/// Build and run one tier; returns its measurements.
-fn run_tier(n_hosts: usize) -> TierResult {
-    // ~2% of the population misbehaves, cycling through the four
-    // adversary archetypes; all of them are advertised to the crawler.
+/// Build the standard benchmark world: `n_hosts` total population (~2%
+/// byzantine), one crawler, everything scheduled from t=0.
+fn build_world(n_hosts: usize, sim_ms: u64, shards: usize) -> (World, usize) {
     let byzantine = (n_hosts / 50).max(4);
     let honest = n_hosts - byzantine;
-
-    let recorder = obs::Recorder::new();
-    recorder.install();
-
-    let rss_before_kb = rss_kb("VmRSS");
-    // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
-    let t0 = std::time::Instant::now();
-
     let config = WorldConfig {
         seed: 9000 + n_hosts as u64,
         n_nodes: honest,
-        duration_ms: SIM_MS,
+        duration_ms: sim_ms,
         tx_interval_ms: 20_000,
+        shards,
         ..WorldConfig::default()
     };
     let mut world = World::build(config);
@@ -130,7 +144,7 @@ fn run_tier(n_hosts: usize) -> TierResult {
         crawler_key,
         CrawlerConfig {
             static_redial_interval_ms: 30_000,
-            stale_after_ms: SIM_MS,
+            stale_after_ms: sim_ms,
             probe_timeout_ms: 30_000,
             ..CrawlerConfig::default()
         },
@@ -142,23 +156,49 @@ fn run_tier(n_hosts: usize) -> TierResult {
         Box::new(crawler),
     );
     world.sim.schedule_start(host, 0);
+    (world, byzantine)
+}
+
+/// Build and run one tier; returns its measurements.
+fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
+    let recorder = obs::Recorder::new();
+    recorder.install();
+
+    let rss_before_kb = rss_kb("VmRSS");
+    // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
+    let t0 = std::time::Instant::now();
+    let (mut world, byzantine) = build_world(n_hosts, sim_ms, shards);
     let build_wall_ms = t0.elapsed().as_millis() as u64;
 
     // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
     let t1 = std::time::Instant::now();
-    world.sim.run_until(SIM_MS);
+    world.sim.run_until(sim_ms);
     let run_wall_ms = t1.elapsed().as_millis() as u64;
+
+    let sim_events_total = world.sim.events_processed();
+    let shard_events = world.sim.shard_event_counts();
+    let peak_queue_depth = world.sim.queue_depth_peak();
+    let rss_after_kb = rss_kb("VmRSS");
+    let rss_peak_kb = rss_kb("VmHWM");
+    // Post-teardown residency: what the world actually pinned, as opposed
+    // to allocator noise that survives the drop.
+    drop(world);
+    let rss_after_drop_kb = rss_kb("VmRSS");
 
     let result = TierResult {
         hosts: n_hosts,
         byzantine,
+        sim_ms,
+        shards,
         build_wall_ms,
         run_wall_ms,
-        sim_events_total: world.sim.events_processed(),
-        peak_queue_depth: world.sim.queue_depth_peak(),
+        sim_events_total,
+        shard_events,
+        peak_queue_depth,
         rss_before_kb,
-        rss_after_kb: rss_kb("VmRSS"),
-        rss_peak_kb: rss_kb("VmHWM"),
+        rss_after_kb,
+        rss_after_drop_kb,
+        rss_peak_kb,
         stages: format!(
             "{{\n      \"connect_ms\": {},\n      \"auth_ms\": {},\n      \"hello_ms\": {},\n      \"status_ms\": {}\n    }}",
             stage_json(&recorder, "crawler.stage.connect_ms"),
@@ -171,67 +211,130 @@ fn run_tier(n_hosts: usize) -> TierResult {
     result
 }
 
+/// Run a small world at the given shard count and return its full obs
+/// export (JSONL trace + Prometheus snapshot) as one string.
+fn shard_check_export(shards: usize) -> String {
+    let recorder = obs::Recorder::new();
+    recorder.install();
+    let (mut world, _) = build_world(250, 10_000, shards);
+    world.sim.run_until(10_000);
+    let export = format!("{}\n{}", recorder.export_jsonl(), recorder.prometheus());
+    obs::uninstall();
+    export
+}
+
+/// Byte-compare the obs exports of a 250-host world at shard counts 1
+/// and 4. Any drift is a shard-invariance regression.
+fn shard_divergence_check() -> bool {
+    let reference = shard_check_export(1);
+    let sharded = shard_check_export(4);
+    reference == sharded
+}
+
 fn tier_json(t: &TierResult) -> String {
     let rate = t.sim_events_total * 1000 / t.run_wall_ms.max(1);
+    let shard_events: Vec<String> = t.shard_events.iter().map(u64::to_string).collect();
     format!(
         "  {{\n\
          \x20   \"hosts\": {},\n\
          \x20   \"byzantine\": {},\n\
-         \x20   \"sim_ms\": {SIM_MS},\n\
+         \x20   \"sim_ms\": {},\n\
+         \x20   \"shards\": {},\n\
          \x20   \"build_wall_ms\": {},\n\
          \x20   \"run_wall_ms\": {},\n\
          \x20   \"sim_events_total\": {},\n\
          \x20   \"sim_events_per_wall_second\": {rate},\n\
+         \x20   \"shard_events\": [{}],\n\
          \x20   \"peak_queue_depth\": {},\n\
          \x20   \"rss_before_kb\": {},\n\
          \x20   \"rss_after_kb\": {},\n\
+         \x20   \"rss_after_drop_kb\": {},\n\
          \x20   \"rss_peak_kb\": {},\n\
          \x20   \"handshake_stages\": {}\n\
          \x20 }}",
         t.hosts,
         t.byzantine,
+        t.sim_ms,
+        t.shards,
         t.build_wall_ms,
         t.run_wall_ms,
         t.sim_events_total,
+        shard_events.join(","),
         t.peak_queue_depth,
         t.rss_before_kb,
         t.rss_after_kb,
+        t.rss_after_drop_kb,
         t.rss_peak_kb,
         t.stages,
     )
 }
 
+/// Tier parameters for a host count: the sweep-table entry when there is
+/// one, otherwise 60 s single-shard (large ad-hoc tiers get 8 shards).
+fn tier_params(n: usize) -> (u64, usize) {
+    TIERS
+        .iter()
+        .find(|(hosts, _, _)| *hosts == n)
+        .map(|&(_, sim_ms, shards)| (sim_ms, shards))
+        .unwrap_or((60_000, if n >= 50_000 { 8 } else { 1 }))
+}
+
 fn main() {
     // A TIERS subset (e.g. the CI smoke run) writes to its own artifact
-    // so it never clobbers the committed full three-tier sweep.
-    let (tiers, artifact): (Vec<usize>, &str) = match std::env::var("TIERS") {
+    // so it never clobbers the committed full four-tier sweep.
+    let (tiers, artifact): (Vec<(usize, u64, usize)>, &str) = match std::env::var("TIERS") {
         Ok(v) => (
             v.split(',')
-                .map(|s| s.trim().parse().expect("TIERS must be host counts"))
+                .map(|s| {
+                    let n = s.trim().parse().expect("TIERS must be host counts");
+                    let (sim_ms, shards) = tier_params(n);
+                    (n, sim_ms, shards)
+                })
                 .collect(),
             "BENCH_scale_smoke.json",
         ),
-        Err(_) => (vec![250, 1_000, 5_000], "BENCH_scale.json"),
+        Err(_) => (TIERS.to_vec(), "BENCH_scale.json"),
     };
+    let sim_override: Option<u64> = std::env::var("SCALE_SIM_MS")
+        .ok()
+        .map(|v| v.parse().expect("SCALE_SIM_MS must be milliseconds"));
 
     let mut results = Vec::new();
-    for &n in &tiers {
-        eprintln!("bench_scale: tier {n} hosts ...");
-        let t = run_tier(n);
+    for &(n, tier_sim_ms, shards) in &tiers {
+        let sim_ms = sim_override.unwrap_or(tier_sim_ms);
+        eprintln!("bench_scale: tier {n} hosts, {sim_ms} sim-ms, {shards} shard(s) ...");
+        let t = run_tier(n, sim_ms, shards);
         eprintln!(
-            "bench_scale: tier {n}: {} events in {} ms wall ({} ev/wall-s), peak queue {}",
+            "bench_scale: tier {n}: {} events in {} ms wall ({} ev/wall-s), peak queue {}, rss peak {} kB",
             t.sim_events_total,
             t.run_wall_ms,
             t.sim_events_total * 1000 / t.run_wall_ms.max(1),
             t.peak_queue_depth,
+            t.rss_peak_kb,
         );
         results.push(t);
     }
 
+    let shard_check = if std::env::var("SCALE_SHARD_CHECK").as_deref() == Ok("0") {
+        "null".to_string()
+    } else {
+        eprintln!("bench_scale: shard-divergence check (250 hosts, shards 1 vs 4) ...");
+        let identical = shard_divergence_check();
+        if !identical {
+            eprintln!(
+                "bench_scale: WARNING — sharded trace diverged from the single-wheel reference"
+            );
+        }
+        format!(
+            "{{\n    \"hosts\": 250,\n    \"sim_ms\": 10000,\n    \"shard_counts\": [1, 4],\n    \"identical\": {identical}\n  }}"
+        )
+    };
+
     let body: Vec<String> = results.iter().map(tier_json).collect();
     let json = format!(
-        "{{\n  \"sim_ms_per_tier\": {SIM_MS},\n  \"tiers\": [\n{}\n  ]\n}}\n",
-        body.join(",\n")
+        "{{\n  \"tiers\": [\n{}\n  ],\n  \"shard_check\": {}\n}}\n",
+        body.join(",\n"),
+        shard_check
     );
     let path = bench::write_artifact(artifact, &json);
     println!("{}", path.display());

@@ -5,6 +5,7 @@ use enode::NodeId;
 use ethcrypto::secp256k1::SecretKey;
 use ethwire::Chain;
 use kad::Metric;
+use std::rc::Rc;
 
 /// Client family, driving behavioral differences observed in §3 and §6.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,8 +58,11 @@ pub struct NodeProfile {
     pub kind: ClientKind,
     /// HELLO client-id string.
     pub client_id: String,
-    /// Advertised capabilities.
-    pub capabilities: Vec<Capability>,
+    /// Advertised capabilities. Flyweight state: the list is immutable
+    /// after construction, so nodes built from the same archetype share
+    /// one allocation (cloning the profile clones a pointer, not the
+    /// strings inside).
+    pub capabilities: Rc<[Capability]>,
     /// Service behaviour.
     pub service: ServiceKind,
     /// Maximum concurrent session peers.
@@ -150,7 +154,7 @@ impl NodeProfile {
             key,
             kind: ClientKind::Geth,
             client_id,
-            capabilities: vec![Capability::eth62(), Capability::eth63()],
+            capabilities: vec![Capability::eth62(), Capability::eth63()].into(),
             service: ServiceKind::Eth { chain },
             max_peers: 25,
             metric: Metric::GethLog2,
@@ -167,7 +171,7 @@ impl NodeProfile {
             key,
             kind: ClientKind::Parity,
             client_id,
-            capabilities: vec![Capability::eth62(), Capability::eth63()],
+            capabilities: vec![Capability::eth62(), Capability::eth63()].into(),
             service: ServiceKind::Eth { chain },
             max_peers: 50,
             metric: Metric::ParityByteSum,
@@ -184,7 +188,7 @@ impl NodeProfile {
             key,
             kind: ClientKind::Other,
             client_id,
-            capabilities: vec![cap],
+            capabilities: vec![cap].into(),
             service: ServiceKind::OtherService,
             max_peers: 25,
             metric: Metric::GethLog2,
@@ -201,7 +205,7 @@ impl NodeProfile {
             key,
             kind: ClientKind::Other,
             client_id,
-            capabilities: vec![cap],
+            capabilities: vec![cap].into(),
             service: ServiceKind::Light,
             max_peers: 25,
             metric: Metric::GethLog2,
@@ -222,7 +226,7 @@ impl NodeProfile {
             key,
             kind: ClientKind::EthereumJs,
             client_id: "ethereumjs-devp2p/v2.1.3/linux/node8.9.0".into(),
-            capabilities: vec![Capability::eth63()],
+            capabilities: vec![Capability::eth63()].into(),
             service: ServiceKind::Eth { chain },
             max_peers: 10,
             metric: Metric::GethLog2,
@@ -231,6 +235,16 @@ impl NodeProfile {
             identity_rotation_ms: Some(rotation_ms),
             release_plan: None,
         }
+    }
+
+    /// A deep, unshared copy of this profile: every flyweight (`Rc`)
+    /// field is re-allocated privately. The flyweight equivalence tests
+    /// run the same behavior against shared and unshared state to prove
+    /// the shared representation is observationally identical.
+    pub fn unshared(&self) -> NodeProfile {
+        let mut p = self.clone();
+        p.capabilities = p.capabilities.to_vec().into();
+        p
     }
 
     /// How many of `n` peers receive a transaction broadcast round.

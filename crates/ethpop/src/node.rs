@@ -20,6 +20,8 @@ use ethwire::{BlockId, EthMessage, Status};
 use netsim::{ConnId, Ctx, Host, HostAddr, TcpEvent};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::mem::size_of;
+use std::rc::Rc;
 
 // Timer tokens.
 const T_DISC: u64 = 1;
@@ -97,16 +99,27 @@ pub fn eth_label(msg: &EthMessage) -> &'static str {
     }
 }
 
+/// Fingerprint of a node ID for the `known` dedup set. Node IDs are
+/// secp256k1 public keys, so the leading 8 bytes are effectively uniform:
+/// at a million distinct IDs the collision odds are ~2⁻²⁵, and a collision
+/// merely suppresses one redial candidate. Storing 8 bytes instead of 64
+/// cuts the largest per-host set by 8× at crawl scale.
+fn node_fp(id: &NodeId) -> u64 {
+    u64::from_be_bytes(id.0[..8].try_into().unwrap())
+}
+
 /// A population node.
 pub struct EthNode {
     profile: NodeProfile,
-    bootstrap: Vec<NodeRecord>,
+    /// Shared flyweight: every node in a world points at the same
+    /// bootstrap allocation (the list is immutable after `World::build`).
+    bootstrap: Rc<[NodeRecord]>,
     disc: Option<Discv4>,
     conns: BTreeMap<ConnId, PeerConn>,
     /// Conns that have completed the eth STATUS check (true peers).
     eth_ready: BTreeSet<ConnId>,
     candidates: VecDeque<NodeRecord>,
-    known: BTreeSet<NodeId>,
+    known: BTreeSet<u64>,
     dialing: usize,
     /// Armed-timer flags (event-budget discipline).
     disc_armed: bool,
@@ -123,11 +136,13 @@ pub struct EthNode {
 }
 
 impl EthNode {
-    /// Build a node from its profile and bootstrap list.
-    pub fn new(profile: NodeProfile, bootstrap: Vec<NodeRecord>) -> EthNode {
+    /// Build a node from its profile and bootstrap list. Accepts either an
+    /// owned `Vec<NodeRecord>` or a pre-shared `Rc<[NodeRecord]>`; worlds
+    /// build the `Rc` once and hand every node the same allocation.
+    pub fn new(profile: NodeProfile, bootstrap: impl Into<Rc<[NodeRecord]>>) -> EthNode {
         EthNode {
             profile,
-            bootstrap,
+            bootstrap: bootstrap.into(),
             disc: None,
             conns: BTreeMap::new(),
             eth_ready: BTreeSet::new(),
@@ -165,6 +180,51 @@ impl EthNode {
         self.disc.as_ref().map(|d| d.table().len()).unwrap_or(0)
     }
 
+    /// Deterministic estimate of this node's heap footprint in bytes.
+    ///
+    /// Used by the flyweight regression tests as an RSS proxy: unlike real
+    /// RSS it is allocator-independent and replay-stable. Shared (`Rc`)
+    /// state is amortized over its reference count, so the estimate sums
+    /// to roughly the true total across a whole world. Container entries
+    /// are charged `size_of` plus a fixed 16-byte node-overhead constant;
+    /// discv4 table internals are charged per entry.
+    pub fn approx_heap_bytes(&self) -> usize {
+        const NODE_OVERHEAD: usize = 16;
+        let shared = |len_bytes: usize, strong: usize| len_bytes / strong.max(1);
+        let mut total = size_of::<EthNode>();
+        total += shared(
+            self.bootstrap.len() * size_of::<NodeRecord>(),
+            Rc::strong_count(&self.bootstrap),
+        );
+        total += shared(
+            self.profile.capabilities.len() * size_of::<devp2p::Capability>(),
+            Rc::strong_count(&self.profile.capabilities),
+        );
+        total += self.profile.client_id.len();
+        total += self
+            .conns
+            .len()
+            .saturating_mul(size_of::<(ConnId, PeerConn)>() + NODE_OVERHEAD);
+        total += self
+            .eth_ready
+            .len()
+            .saturating_mul(size_of::<ConnId>() + NODE_OVERHEAD);
+        total += self
+            .known
+            .len()
+            .saturating_mul(size_of::<u64>() + NODE_OVERHEAD);
+        total += self.candidates.capacity() * size_of::<NodeRecord>();
+        total += self.table_size() * (size_of::<NodeRecord>() + NODE_OVERHEAD);
+        total += self.stats.peer_samples.capacity() * size_of::<(u64, usize)>();
+        total += self.stats.identities.capacity() * size_of::<NodeId>();
+        total += (self.stats.sent.len()
+            + self.stats.received.len()
+            + self.stats.disconnects_sent.len()
+            + self.stats.disconnects_received.len())
+            * (size_of::<(&'static str, u64)>() + NODE_OVERHEAD);
+        total
+    }
+
     fn endpoint(addr: HostAddr) -> Endpoint {
         Endpoint {
             ip: addr.ip,
@@ -177,7 +237,7 @@ impl EthNode {
         Hello {
             p2p_version: P2P_VERSION,
             client_id: self.profile.client_id.clone(),
-            capabilities: self.profile.capabilities.clone(),
+            capabilities: self.profile.capabilities.to_vec(),
             listen_port: addr.port,
             node_id: self.profile.node_id(),
         }
@@ -253,7 +313,7 @@ impl EthNode {
             if let Some(record) = record {
                 if record.id != own_id
                     && record.endpoint.tcp_port != 0
-                    && self.known.insert(record.id)
+                    && self.known.insert(node_fp(&record.id))
                 {
                     self.candidates.push_back(record);
                     self.dry_lookups = 0;
@@ -379,7 +439,7 @@ impl EthNode {
             }
             WireEvent::Hello { hello, shared } => {
                 self.stats.count_received("HELLO");
-                self.known.insert(hello.node_id);
+                self.known.insert(node_fp(&hello.node_id));
                 // Policy 1: peer cap (counts the new conn itself).
                 if self.active_peers() > self.profile.max_peers {
                     self.disconnect_conn(ctx, conn, DisconnectReason::TooManyPeers);
@@ -551,7 +611,7 @@ impl EthNode {
         let mut disc = Discv4::new(new_key, Self::endpoint(addr), config);
         // Re-announce to bootstraps under the new identity.
         let mut outgoing = Vec::new();
-        for b in &self.bootstrap {
+        for b in self.bootstrap.iter() {
             if b.id != self.profile.node_id() {
                 outgoing.push(disc.ping(*b, ctx.now_ms));
             }
@@ -585,7 +645,7 @@ impl Host for EthNode {
         let mut disc = Discv4::new(self.profile.key, Self::endpoint(addr), config);
         self.stats.identities.push(self.profile.node_id());
         let mut outgoing = Vec::new();
-        for b in &self.bootstrap {
+        for b in self.bootstrap.iter() {
             if b.id != self.profile.node_id() {
                 outgoing.push(disc.ping(*b, ctx.now_ms));
             }

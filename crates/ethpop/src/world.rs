@@ -14,6 +14,7 @@ use netsim::{HostAddr, HostId, HostMeta, NetSim, SimConfig, REGION_OF_COUNTRY};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 /// Scale and composition knobs. Defaults target a world that runs in
 /// seconds-to-minutes while preserving the paper's proportions.
@@ -53,6 +54,10 @@ pub struct WorldConfig {
     /// Override Parity's share of the Mainnet client mix (default 0.17,
     /// Table 4). The eclipse experiment saturates a world with Parity.
     pub parity_share: Option<f64>,
+    /// Scheduler shards for the simulator (see [`SimConfig::shards`]).
+    /// Any value replays the identical trace; >1 partitions the event
+    /// wheels for large worlds.
+    pub shards: usize,
 }
 
 impl Default for WorldConfig {
@@ -73,6 +78,7 @@ impl Default for WorldConfig {
             udp_loss: 0.01,
             parity_metric_fixed: false,
             parity_share: None,
+            shards: 1,
         }
     }
 }
@@ -260,6 +266,7 @@ impl World {
             udp_loss: config.udp_loss,
             jitter_ms: 8,
             nat_window_ms: 120_000,
+            shards: config.shards,
             faults: Default::default(),
         };
         let mut sim = NetSim::new(sim_config);
@@ -276,6 +283,9 @@ impl World {
             );
             bootstrap.push(record);
         }
+        // Bootstrap hosts share one flyweight copy of the (throwaway)
+        // record set; it is replaced wholesale after key re-derivation.
+        let boot_peers: Rc<[NodeRecord]> = bootstrap.clone().into();
         for (i, record) in bootstrap.iter().enumerate() {
             let key_i = i; // bootstrap i's profile uses its own record set
             let chain = Chain::new(ChainConfig::mainnet(), SNAPSHOT_HEAD);
@@ -293,7 +303,7 @@ impl World {
                 region: REGION_OF_COUNTRY("US"),
                 reachable: true,
             };
-            let peers = bootstrap.clone();
+            let peers = boot_peers.clone();
             let host = sim.add_host(addr, meta, Box::new(EthNode::new(profile.clone(), peers)));
             sim.schedule_start(host, 0);
             nodes.push(GroundTruthNode {
@@ -319,6 +329,9 @@ impl World {
                 )
             })
             .collect();
+        // One shared allocation for the whole population: 50k hosts hold
+        // 50k `Rc` pointers to this list, not 50k copies of it.
+        let bootstrap_shared: Rc<[NodeRecord]> = bootstrap.clone().into();
 
         // --- regular population ----------------------------------------
         for i in 0..config.n_nodes {
@@ -347,7 +360,7 @@ impl World {
                 reachable,
             };
             let always_on = rng.gen_bool(config.always_on_fraction);
-            let node = EthNode::new(profile, bootstrap.clone());
+            let node = EthNode::new(profile, bootstrap_shared.clone());
             let host = sim.add_host(addr, meta, Box::new(node));
             schedule_churn(&mut sim, &mut rng, host, always_on, &config);
             nodes.push(GroundTruthNode {
@@ -380,7 +393,7 @@ impl World {
             let host = sim.add_host(
                 addr,
                 meta,
-                Box::new(EthNode::new(profile, bootstrap.clone())),
+                Box::new(EthNode::new(profile, bootstrap_shared.clone())),
             );
             sim.schedule_start(host, 0);
             nodes.push(GroundTruthNode {

@@ -34,4 +34,6 @@ mod topology;
 pub use engine::{ConnId, Ctx, Host, HostAddr, HostId, NetSim, SimConfig, TcpCounters, TcpEvent};
 pub use faults::{ChurnBurst, Fault, FaultSchedule, FaultWindow, LinkSelector, NatFlap, Scenario};
 pub use payload::Payload;
-pub use topology::{latency_between, HostMeta, Region, COUNTRIES, REGION_OF_COUNTRY};
+pub use topology::{
+    latency_between, min_link_latency_ms, HostMeta, Region, COUNTRIES, REGION_OF_COUNTRY,
+};

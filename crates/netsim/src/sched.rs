@@ -21,14 +21,16 @@
 //!
 //! ## Ordering contract
 //!
-//! [`TimerWheel::pop_at_most`] yields events in exactly ascending
-//! `(at, seq)` order — byte-identical to the binary heap it replaces (the
-//! property test in `tests/` drives both against each other). The argument:
-//! `seq` strictly increases with push order, a window's L1 slot is
-//! cascaded exactly once — on cursor entry, *before* any direct push can
-//! target that window — and the overflow drain walks its `BTreeMap` in
-//! `(at, seq)` order, so arrival order within any L0 slot is always
-//! ascending `seq`.
+//! [`TimerWheel::pop_at_most`] always yields the *minimum pending*
+//! `(at, seq)` key. `seq` keys need not arrive in push order (the sharded
+//! engine assigns per-origin keys, so a later push may carry a smaller
+//! key): an L0 slot keeps its entries sorted by binary-search insertion,
+//! an L1 slot is cascaded exactly once — on cursor entry, *before* any
+//! direct push can target that window — and the overflow drain walks its
+//! `BTreeMap` in `(at, seq)` order. When every key is pushed in ascending
+//! order this degenerates to the classic FIFO wheel and pops are
+//! byte-identical to the binary heap the wheel replaced (the property
+//! test in `tests/` drives both against each other).
 //!
 //! ## Past pushes
 //!
@@ -54,8 +56,9 @@ pub struct TimerWheel<T> {
     /// All stored events have `at >= cursor`.
     cursor: u64,
     len: usize,
-    /// L0 slot: `(seq, item)` in ascending-seq (== FIFO) order; all
-    /// entries share the same `at`. Drained deques keep their capacity.
+    /// L0 slot: `(seq, item)` kept in ascending-seq order (sorted
+    /// insertion); all entries share the same `at`. Drained deques keep
+    /// their capacity.
     l0: Vec<VecDeque<(u64, T)>>,
     l0_occ: [u64; L0_SLOTS / 64],
     /// L1 slot: `(at, seq, item)` for one future L0 window, in push order.
@@ -104,9 +107,9 @@ impl<T> TimerWheel<T> {
         self.len == 0
     }
 
-    /// Schedule `item` at `(at, seq)`. `seq` values must be distinct and
-    /// assigned in push order (the engine uses a monotone counter). `at`
-    /// values behind the cursor are clamped up to it.
+    /// Schedule `item` at `(at, seq)`. `seq` values must be distinct but
+    /// may arrive in any order (the engine derives them from per-origin
+    /// counters). `at` values behind the cursor are clamped up to it.
     // hotpath -- one call per scheduled event
     pub fn push(&mut self, at: u64, seq: u64, item: T) {
         debug_assert!(at >= self.cursor, "push into the past: {at} < cursor");
@@ -120,8 +123,15 @@ impl<T> TimerWheel<T> {
     fn place(&mut self, at: u64, seq: u64, item: T) {
         if at >> L0_BITS == self.cursor >> L0_BITS {
             let slot = (at & L0_MASK) as usize;
-            debug_assert!(self.l0[slot].back().map(|(s, _)| *s) < Some(seq));
-            self.l0[slot].push_back((seq, item));
+            let q = &mut self.l0[slot];
+            // Ascending pushes append; a smaller key (another origin's
+            // counter) binary-searches its slot position.
+            if q.back().is_none_or(|(s, _)| *s < seq) {
+                q.push_back((seq, item));
+            } else {
+                let pos = q.partition_point(|(s, _)| *s < seq);
+                q.insert(pos, (seq, item));
+            }
             self.l0_occ[slot / 64] |= 1 << (slot % 64);
         } else if at >> (L0_BITS + L1_BITS) == self.cursor >> (L0_BITS + L1_BITS) {
             let slot = ((at >> L0_BITS) & L1_MASK) as usize;
@@ -188,6 +198,77 @@ impl<T> TimerWheel<T> {
             }
             self.advance_window(window_end + 1);
         }
+    }
+
+    /// Key of the earliest event if its time is `<= until`, without
+    /// removing it. Advances the cursor (and cascades) exactly like
+    /// [`TimerWheel::pop_at_most`], so the sharded engine can bound a
+    /// shard's cursor to the current barrier epoch while scanning heads.
+    // hotpath -- head refresh for the cross-shard merge loop
+    pub fn peek_at_most(&mut self, until: u64) -> Option<(u64, u64)> {
+        if self.len == 0 || self.cursor > until {
+            return None;
+        }
+        loop {
+            if let Some(slot) = self.l0_next_occupied((self.cursor & L0_MASK) as usize) {
+                let at = (self.cursor & !L0_MASK) | slot as u64;
+                if at > until {
+                    self.cursor = until;
+                    return None;
+                }
+                self.cursor = at;
+                let (seq, _) = self.l0[slot]
+                    .front()
+                    .expect("occupancy bit set on empty slot");
+                return Some((at, *seq));
+            }
+            let window_end = self.cursor | L0_MASK;
+            if until <= window_end {
+                self.cursor = until;
+                return None;
+            }
+            self.advance_window(window_end + 1);
+        }
+    }
+
+    /// Time of the earliest pending event, touching neither the cursor nor
+    /// the layers — a pure read. The barrier scheduler uses this to pick
+    /// the next epoch start without committing any shard's cursor past a
+    /// time other shards may still push to.
+    pub fn min_pending_at(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        // The layers hold strictly increasing time ranges: L0 covers the
+        // cursor's window, L1 the rest of its epoch, overflow everything
+        // beyond — so the first non-empty layer owns the minimum.
+        if let Some(slot) = self.l0_next_occupied((self.cursor & L0_MASK) as usize) {
+            return Some((self.cursor & !L0_MASK) | slot as u64);
+        }
+        let l1_from = (((self.cursor >> L0_BITS) & L1_MASK) as usize + 1).min(L1_SLOTS);
+        let mut word = l1_from / 64;
+        let mut bits = if word < self.l1_occ.len() {
+            self.l1_occ[word] & (u64::MAX.checked_shl((l1_from % 64) as u32).unwrap_or(0))
+        } else {
+            0
+        };
+        loop {
+            if bits != 0 {
+                let slot = word * 64 + bits.trailing_zeros() as usize;
+                let at = self.l1[slot]
+                    .iter()
+                    .map(|(at, _, _)| *at)
+                    .min()
+                    .expect("occupancy bit set on empty L1 slot");
+                return Some(at);
+            }
+            word += 1;
+            if word >= self.l1_occ.len() {
+                break;
+            }
+            bits = self.l1_occ[word];
+        }
+        self.overflow.keys().next().map(|(at, _)| *at)
     }
 
     /// Move the cursor to `window_start` (the first ms of the next L0
@@ -324,6 +405,75 @@ mod tests {
         assert_eq!(w.pop_at_most(0), None);
         assert_eq!(w.pop_at_most(u64::MAX / 2), None);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_keys_in_one_slot_pop_sorted() {
+        // Per-origin keys: a later push may carry a smaller key for the
+        // same `at`; the slot must keep ascending-key order.
+        let mut w = TimerWheel::new();
+        w.push(40, 500, 1);
+        w.push(40, 7, 2);
+        w.push(40, 900, 3);
+        w.push(40, 100, 4);
+        assert_eq!(
+            drain_all(&mut w, 100),
+            vec![(40, 7, 2), (40, 100, 4), (40, 500, 1), (40, 900, 3)]
+        );
+    }
+
+    #[test]
+    fn smaller_key_pushed_after_pop_at_same_time_pops_next() {
+        // Popping (50, 10) then receiving (50, 3) from a different origin
+        // must yield the new event before (50, 20).
+        let mut w = TimerWheel::new();
+        w.push(50, 10, 1);
+        w.push(50, 20, 2);
+        assert_eq!(w.pop_at_most(1_000), Some((50, 10, 1)));
+        w.push(50, 3, 3);
+        assert_eq!(w.pop_at_most(1_000), Some((50, 3, 3)));
+        assert_eq!(w.pop_at_most(1_000), Some((50, 20, 2)));
+    }
+
+    #[test]
+    fn peek_does_not_consume_and_respects_bound() {
+        let mut w = TimerWheel::new();
+        w.push(30, 0, 1);
+        w.push(2_500, 1, 2);
+        assert_eq!(w.peek_at_most(20), None);
+        assert_eq!(w.peek_at_most(100), Some((30, 0)));
+        assert_eq!(w.peek_at_most(100), Some((30, 0))); // still there
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop_at_most(100), Some((30, 0, 1)));
+        // The next head sits in a later L0 window: peeking cascades to it.
+        assert_eq!(w.peek_at_most(10_000), Some((2_500, 1)));
+        assert_eq!(w.pop_at_most(10_000), Some((2_500, 1, 2)));
+        assert!(w.is_empty());
+        assert_eq!(w.peek_at_most(20_000), None);
+    }
+
+    #[test]
+    fn min_pending_at_reads_all_layers_without_moving_the_cursor() {
+        let mut w = TimerWheel::new();
+        assert_eq!(w.min_pending_at(), None);
+        // Overflow only.
+        w.push(2_000_000, 0, 1);
+        assert_eq!(w.min_pending_at(), Some(2_000_000));
+        // L1 beats overflow.
+        w.push(5_000, 1, 2);
+        assert_eq!(w.min_pending_at(), Some(5_000));
+        // L0 beats both.
+        w.push(17, 2, 3);
+        assert_eq!(w.min_pending_at(), Some(17));
+        // The read is pure: a later push at an earlier time still lands
+        // ahead of the reported minimum (the cursor did not advance).
+        w.push(4, 3, 4);
+        assert_eq!(w.min_pending_at(), Some(4));
+        assert_eq!(w.pop_at_most(10_000), Some((4, 3, 4)));
+        assert_eq!(w.pop_at_most(10_000), Some((17, 2, 3)));
+        assert_eq!(w.min_pending_at(), Some(5_000));
+        assert_eq!(w.pop_at_most(10_000), Some((5_000, 1, 2)));
+        assert_eq!(w.min_pending_at(), Some(2_000_000));
     }
 
     #[test]

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Throughput regression guard.
+# Performance regression guards.
 #
-# Compares the sim_events_per_wall_second in a freshly generated
-# results/BENCH_crawl.json against the committed baseline (the same file
-# at HEAD). Fails if throughput dropped more than 20% — wall-clock noise
-# on shared runners sits well inside that band, a scheduler or payload
-# regression does not.
+# 1. Crawl throughput: compares the sim_events_per_wall_second in a
+#    freshly generated results/BENCH_crawl.json against the committed
+#    baseline (the same file at HEAD). Fails if throughput dropped more
+#    than 20% — wall-clock noise on shared runners sits well inside that
+#    band, a scheduler or payload regression does not.
+# 2. Scaling curve (results/BENCH_scale.json): the 5,000-host tier must
+#    hold >= 80% of the 1,000-host tier's throughput — the flat-scaling
+#    property the timer wheel + slab work bought.
+# 3. Shard invariance: the scale artifact's embedded shard-divergence
+#    check must report "identical": true.
+# 4. Memory budget: the 5,000-host tier's measured RSS growth must stay
+#    under 210 kB/host (the pre-flyweight footprint).
 #
 # Usage:
 #   scripts/bench_compare.sh            # compare results/BENCH_crawl.json vs HEAD
@@ -41,5 +48,52 @@ echo "bench_compare: baseline=$baseline ev/wall-s, current=$current ev/wall-s, f
 if [ "$current" -lt "$floor" ]; then
     echo "bench_compare: FAIL — throughput regressed more than 20% vs the committed baseline"
     exit 1
+fi
+
+# ---- scale-artifact guards -------------------------------------------
+# The committed full sweep carries its own invariants; a partial (smoke)
+# artifact never overwrites it, so these check whatever is at
+# results/BENCH_scale.json.
+scale_file="results/BENCH_scale.json"
+if [ -f "$scale_file" ]; then
+    # Per-tier field extraction from the hand-formatted JSON: track the
+    # enclosing tier's "hosts" value, print the wanted field when inside
+    # the matching tier.
+    tier_field() { # tier_field <hosts> <field>
+        awk -v want="$1" -v field="\"$2\":" '
+            $1 == "\"hosts\":" { h = $2; gsub(/[^0-9]/, "", h) }
+            $1 == field && h == want { v = $2; gsub(/[^0-9]/, "", v); print v; exit }
+        ' "$scale_file"
+    }
+
+    rate_1k=$(tier_field 1000 sim_events_per_wall_second)
+    rate_5k=$(tier_field 5000 sim_events_per_wall_second)
+    if [ -n "${rate_1k:-}" ] && [ -n "${rate_5k:-}" ]; then
+        scale_floor=$((rate_1k * 80 / 100))
+        echo "bench_compare: scaling curve 1k=$rate_1k ev/wall-s, 5k=$rate_5k ev/wall-s, floor=$scale_floor"
+        if [ "$rate_5k" -lt "$scale_floor" ]; then
+            echo "bench_compare: FAIL — 5k-host throughput below 80% of the 1k tier (scaling regression)"
+            exit 1
+        fi
+    else
+        echo "bench_compare: scale artifact lacks 1k/5k tiers — skipping scaling-curve check"
+    fi
+
+    if grep -q '"identical": false' "$scale_file"; then
+        echo "bench_compare: FAIL — sharded trace diverged from the single-wheel reference (see $scale_file)"
+        exit 1
+    fi
+
+    rss_before=$(tier_field 5000 rss_before_kb)
+    rss_after=$(tier_field 5000 rss_after_kb)
+    if [ -n "${rss_before:-}" ] && [ -n "${rss_after:-}" ] && [ "$rss_after" -gt 0 ]; then
+        rss_delta=$((rss_after - rss_before))
+        rss_budget=$((210 * 5000)) # 210 kB/host at the 5k tier
+        echo "bench_compare: 5k-tier RSS growth ${rss_delta} kB (budget ${rss_budget} kB)"
+        if [ "$rss_delta" -gt "$rss_budget" ]; then
+            echo "bench_compare: FAIL — 5k-tier RSS exceeds the 210 kB/host budget"
+            exit 1
+        fi
+    fi
 fi
 echo "bench_compare: OK"

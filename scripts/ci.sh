@@ -18,8 +18,12 @@
 #   6. bench     -- the instrumented reference crawl; fails on any trace
 #                   non-determinism or observer effect, emits BENCH_crawl.json
 #   7. compare   -- fails if crawl throughput regressed >20% vs the
-#                   committed BENCH_crawl.json baseline
-#   8. scale     -- the smallest bench_scale tier as an engine smoke test
+#                   committed BENCH_crawl.json baseline, if the committed
+#                   scale artifact's 5k/1k curve dips below 0.8, if its
+#                   shard check diverged, or if 5k-tier RSS blows budget
+#   8. scale     -- bench_scale smoke tiers: 250 hosts (with the embedded
+#                   shards-{1,4} divergence byte-check) and a sharded
+#                   50,000-host world at a shortened sim slice
 #
 # Everything runs offline: external deps are vendored under vendor/.
 # Clippy is best-effort -- some container images ship a toolchain without
@@ -69,6 +73,11 @@ step "cargo test" cargo test --workspace -q
 # failure is attributable at a glance even though the workspace run above
 # already includes them.
 step "robustness suite" cargo test -q --test robustness
+# Shard-count invariance is likewise tier-1: the same seeded world at
+# shard counts {1,2,4,7} must export byte-identical artifacts, faults and
+# all (plus the netsim-level property test over arbitrary assignments).
+step "shard equivalence suite" cargo test -q --test shard_determinism
+step "shard dispatch property (netsim)" cargo test -q -p netsim --test proptest_shards
 # Wire conformance is likewise tier-1 (the workspace run covers the golden
 # vectors and the capped differential drivers); name it so a golden-vector
 # mismatch is attributable at a glance. The full 10^5-case differential
@@ -87,10 +96,15 @@ step "bench crawl (obs determinism)" cargo run -q --release -p bench --bin bench
 # Throughput guard: the crawl above rewrote results/BENCH_crawl.json; fail
 # if sim-events per wall-second regressed >20% vs the committed baseline.
 step "bench compare (throughput guard)" scripts/bench_compare.sh
-# Scale smoke test: the smallest bench_scale tier (250 hosts). The full
-# 250/1,000/5,000 sweep is run manually when results/BENCH_scale.json is
-# refreshed.
+# Scale smoke tests: the smallest bench_scale tier (250 hosts, including
+# the shards-{1,4} divergence byte-check), then a sharded 50,000-host
+# world on a shortened sim slice to smoke the barrier-epoch scheduler and
+# flyweight memory path at full population. The full 250/1k/5k/50k sweep
+# is run manually when results/BENCH_scale.json is refreshed.
 step "bench scale (250-host tier)" env TIERS=250 cargo run -q --release -p bench --bin bench_scale
+step "bench scale (50k-host sharded smoke)" \
+    env TIERS=50000 SCALE_SIM_MS=2000 SCALE_SHARD_CHECK=0 \
+    cargo run -q --release -p bench --bin bench_scale
 
 echo
 if [ "$failures" -ne 0 ]; then
