@@ -38,11 +38,13 @@ struct RunOutput {
     trace_jsonl: Option<String>,
     prom: Option<String>,
     recorder: Option<obs::Recorder>,
+    profile_json: Option<String>,
     wall_ms: u64,
 }
 
-/// One full reference crawl, optionally under the obs recorder.
-fn run_crawl(instrument: bool) -> RunOutput {
+/// One full reference crawl, optionally under the obs recorder and the
+/// shard-aware self-profiler.
+fn run_crawl(instrument: bool, profile: bool) -> RunOutput {
     let recorder = if instrument {
         let r = obs::Recorder::new();
         r.install();
@@ -50,6 +52,9 @@ fn run_crawl(instrument: bool) -> RunOutput {
     } else {
         None
     };
+    if profile {
+        obs::profile::install();
+    }
     // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
     let t0 = std::time::Instant::now();
 
@@ -64,6 +69,13 @@ fn run_crawl(instrument: bool) -> RunOutput {
     };
     let mut world = World::build(config);
     let mut bootstrap = world.bootstrap.clone();
+    // Archetype labels for the profiler's cost rollup: population hosts
+    // by client family, adversaries and the crawler by role (below).
+    if profile {
+        for n in &world.nodes {
+            obs::profile::host_label(n.host as u64, n.client_family);
+        }
+    }
 
     // Four Byzantine hosts, each breaking the probe pipeline at a
     // different stage (same cast as tests/full_stack.rs).
@@ -75,6 +87,7 @@ fn run_crawl(instrument: bool) -> RunOutput {
         Box::new(|k, b| Box::new(Tarpit::new(k, b))),
         Box::new(|k, b| Box::new(ResetAfterN::new(k, b))),
     ];
+    let adversary_labels = ["SlowLoris", "GarbageHello", "Tarpit", "ResetAfterN"];
     for (i, factory) in factories.into_iter().enumerate() {
         let key = SecretKey::from_bytes(&[0xA0 + i as u8; 32]).expect("adversary key");
         let ep = Endpoint::new(Ipv4Addr::new(203, 0, 113, i as u8 + 1), 30303);
@@ -84,6 +97,9 @@ fn run_crawl(instrument: bool) -> RunOutput {
             meta(true),
             factory(key, boot_eps.clone()),
         );
+        if profile {
+            obs::profile::host_label(host as u64, adversary_labels[i]);
+        }
         world.sim.schedule_start(host, 0);
     }
 
@@ -105,6 +121,9 @@ fn run_crawl(instrument: bool) -> RunOutput {
         HostMeta::default_cloud(),
         Box::new(crawler),
     );
+    if profile {
+        obs::profile::host_label(host as u64, "crawler");
+    }
     world.sim.schedule_start(host, 0);
     world.sim.run_until(SIM_MS);
 
@@ -117,12 +136,15 @@ fn run_crawl(instrument: bool) -> RunOutput {
         .expect("NodeFinder behaviour");
     let store = DataStore::from_log(&crawler.log);
     let wall_ms = t0.elapsed().as_millis() as u64;
+    let profile_json = obs::profile::export_json();
+    obs::profile::uninstall();
     obs::uninstall();
     RunOutput {
         store_json: store.to_json(),
         trace_jsonl: recorder.as_ref().map(|r| r.export_jsonl()),
         prom: recorder.as_ref().map(|r| r.prometheus()),
         recorder,
+        profile_json,
         wall_ms,
     }
 }
@@ -146,24 +168,33 @@ fn stage_json(rec: &obs::Recorder, name: &str) -> String {
 }
 
 fn main() {
-    eprintln!("bench_crawl: instrumented reference crawl, run 1/3 ...");
-    let run_a = run_crawl(true);
-    eprintln!("bench_crawl: same-seed repeat, run 2/3 ...");
-    let run_b = run_crawl(true);
+    eprintln!("bench_crawl: instrumented + profiled reference crawl, run 1/3 ...");
+    let run_a = run_crawl(true, true);
+    eprintln!("bench_crawl: same-seed repeat (no profiler), run 2/3 ...");
+    let run_b = run_crawl(true, false);
 
     let trace = run_a.trace_jsonl.as_deref().expect("instrumented trace");
     let prom = run_a.prom.as_deref().expect("instrumented snapshot");
+    // Run 1 carries the profiler, run 2 does not: matching exports prove
+    // both same-seed determinism and the profiler's zero observer effect
+    // on trace and metrics.
     if run_b.trace_jsonl.as_deref() != Some(trace) {
-        eprintln!("bench_crawl: FAIL — JSONL trace export differs between same-seed runs");
+        eprintln!(
+            "bench_crawl: FAIL — JSONL trace differs between same-seed runs \
+             (profiler observer effect?)"
+        );
         std::process::exit(1);
     }
     if run_b.prom.as_deref() != Some(prom) {
-        eprintln!("bench_crawl: FAIL — Prometheus snapshot differs between same-seed runs");
+        eprintln!(
+            "bench_crawl: FAIL — Prometheus snapshot differs between same-seed runs \
+             (profiler observer effect?)"
+        );
         std::process::exit(1);
     }
 
     eprintln!("bench_crawl: uninstrumented observer-effect run 3/3 ...");
-    let run_c = run_crawl(false);
+    let run_c = run_crawl(false, false);
     if run_c.store_json != run_a.store_json {
         eprintln!(
             "bench_crawl: FAIL — DataStore differs with the recorder installed (observer effect)"
@@ -207,12 +238,14 @@ fn main() {
     let p1 = bench::write_artifact("obs_trace.jsonl", trace);
     let p2 = bench::write_artifact("obs_metrics.prom", prom);
     let p3 = bench::write_artifact("BENCH_crawl.json", &bench);
+    let profile_json = run_a.profile_json.as_deref().expect("profiler export");
+    let p4 = bench::write_artifact("obs_profile.json", profile_json);
     eprintln!(
         "bench_crawl: OK — deterministic trace ({} events, {} dropped), zero observer effect",
         rec.event_count(),
         rec.dropped_events()
     );
-    for p in [p1, p2, p3] {
+    for p in [p1, p2, p3, p4] {
         println!("{}", p.display());
     }
 }

@@ -63,6 +63,17 @@ struct TierResult {
     rss_after_drop_kb: u64,
     rss_peak_kb: u64,
     stages: String,
+    /// Deterministic load-split ratio: max/min per-shard event count. This
+    /// is what `bench_compare.sh` gates on, so it must not depend on
+    /// wall-clock jitter.
+    imbalance_ratio: f64,
+    /// Per-shard busy/wall utilization from the self-profiler (wall-clock,
+    /// informational only).
+    shard_utilization: Vec<f64>,
+    /// Per-shard barrier stall from the self-profiler, in ms.
+    barrier_stall_ms: Vec<u64>,
+    /// Top event kinds by aggregate dispatch cost, as a JSON array.
+    top_kinds: String,
 }
 
 /// `VmRSS` / `VmHWM` from `/proc/self/status`, in kB (0 off-Linux).
@@ -103,10 +114,25 @@ fn build_world(n_hosts: usize, sim_ms: u64, shards: usize) -> (World, usize) {
         duration_ms: sim_ms,
         tx_interval_ms: 20_000,
         shards,
+        // Bootstrap hosts absorb the whole population's initial ping
+        // storm, and they get the lowest host ids — with the default 3
+        // they all land on shards {0,1,2} under round-robin assignment
+        // and the 50k×8 tier's shard imbalance blows past the 2.0 gate
+        // (the profiler's archetype rollup is how this was found). A
+        // constant 16 gives the 8-shard tier two per shard; it must NOT
+        // scale with `shards`, or world content would depend on shard
+        // count and the shard-divergence check below would compare two
+        // different worlds.
+        n_bootstrap: 16,
         ..WorldConfig::default()
     };
     let mut world = World::build(config);
     let mut bootstrap = world.bootstrap.clone();
+    // Archetype labels for the profiler's cost rollup (no-ops when the
+    // profiler is not installed, e.g. in the shard-divergence check).
+    for n in &world.nodes {
+        obs::profile::host_label(n.host as u64, n.client_family);
+    }
 
     type AdvFactory = fn(SecretKey, Vec<Endpoint>) -> Box<dyn Host>;
     let factories: [AdvFactory; 4] = [
@@ -115,6 +141,7 @@ fn build_world(n_hosts: usize, sim_ms: u64, shards: usize) -> (World, usize) {
         |k, b| Box::new(Tarpit::new(k, b)),
         |k, b| Box::new(ResetAfterN::new(k, b)),
     ];
+    let adversary_labels = ["SlowLoris", "GarbageHello", "Tarpit", "ResetAfterN"];
     let boot_eps: Vec<Endpoint> = world.bootstrap.iter().map(|r| r.endpoint).collect();
     for i in 0..byzantine {
         let mut key_bytes = [0xB0u8; 32];
@@ -136,6 +163,7 @@ fn build_world(n_hosts: usize, sim_ms: u64, shards: usize) -> (World, usize) {
             },
             factories[i % factories.len()](key, boot_eps.clone()),
         );
+        obs::profile::host_label(host as u64, adversary_labels[i % adversary_labels.len()]);
         world.sim.schedule_start(host, 0);
     }
 
@@ -155,6 +183,7 @@ fn build_world(n_hosts: usize, sim_ms: u64, shards: usize) -> (World, usize) {
         HostMeta::default_cloud(),
         Box::new(crawler),
     );
+    obs::profile::host_label(host as u64, "crawler");
     world.sim.schedule_start(host, 0);
     (world, byzantine)
 }
@@ -163,6 +192,9 @@ fn build_world(n_hosts: usize, sim_ms: u64, shards: usize) -> (World, usize) {
 fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
     let recorder = obs::Recorder::new();
     recorder.install();
+    // Self-profiler: installed before the build so host labels registered
+    // by `build_world` land in its archetype table.
+    obs::profile::install();
 
     let rss_before_kb = rss_kb("VmRSS");
     // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
@@ -185,6 +217,38 @@ fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
     drop(world);
     let rss_after_drop_kb = rss_kb("VmRSS");
 
+    // Imbalance is gated in CI, so derive it from the deterministic
+    // per-shard event counts rather than wall-clock busy time.
+    let max_ev = shard_events.iter().copied().max().unwrap_or(0);
+    let min_ev = shard_events.iter().copied().min().unwrap_or(0);
+    let imbalance_ratio = max_ev as f64 / min_ev.max(1) as f64;
+
+    let prof = obs::profile::summary();
+    let (shard_utilization, barrier_stall_ms) = prof
+        .as_ref()
+        .map(|s| {
+            (
+                s.shards.iter().map(|&(_, _, _, util)| util).collect(),
+                s.shards.iter().map(|&(_, _, stall, _)| stall).collect(),
+            )
+        })
+        .unwrap_or_default();
+    let top_kinds = prof
+        .as_ref()
+        .map(|s| {
+            let items: Vec<String> = s
+                .kinds
+                .iter()
+                .take(3)
+                .map(|(name, count, total_ms)| {
+                    format!("{{\"kind\":\"{name}\",\"count\":{count},\"total_ms\":{total_ms}}}")
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        })
+        .unwrap_or_else(|| "[]".to_string());
+    obs::profile::uninstall();
+
     let result = TierResult {
         hosts: n_hosts,
         byzantine,
@@ -206,6 +270,10 @@ fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
             stage_json(&recorder, "crawler.stage.hello_ms"),
             stage_json(&recorder, "crawler.stage.status_ms"),
         ),
+        imbalance_ratio,
+        shard_utilization,
+        barrier_stall_ms,
+        top_kinds,
     };
     obs::uninstall();
     result
@@ -218,7 +286,16 @@ fn shard_check_export(shards: usize) -> String {
     recorder.install();
     let (mut world, _) = build_world(250, 10_000, shards);
     world.sim.run_until(10_000);
-    let export = format!("{}\n{}", recorder.export_jsonl(), recorder.prometheus());
+    // Per-shard queue-depth gauges are inherently shard-count-dependent
+    // (one gauge per shard), so they are stripped before the cross-shard
+    // byte comparison; everything else must match exactly.
+    let prom: String = recorder
+        .prometheus()
+        .lines()
+        .filter(|l| !l.contains("netsim_shard_"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let export = format!("{}\n{}", recorder.export_jsonl(), prom);
     obs::uninstall();
     export
 }
@@ -234,6 +311,12 @@ fn shard_divergence_check() -> bool {
 fn tier_json(t: &TierResult) -> String {
     let rate = t.sim_events_total * 1000 / t.run_wall_ms.max(1);
     let shard_events: Vec<String> = t.shard_events.iter().map(u64::to_string).collect();
+    let utilization: Vec<String> = t
+        .shard_utilization
+        .iter()
+        .map(|u| format!("{u:.4}"))
+        .collect();
+    let stalls: Vec<String> = t.barrier_stall_ms.iter().map(u64::to_string).collect();
     format!(
         "  {{\n\
          \x20   \"hosts\": {},\n\
@@ -245,6 +328,10 @@ fn tier_json(t: &TierResult) -> String {
          \x20   \"sim_events_total\": {},\n\
          \x20   \"sim_events_per_wall_second\": {rate},\n\
          \x20   \"shard_events\": [{}],\n\
+         \x20   \"imbalance_ratio\": {:.2},\n\
+         \x20   \"shard_utilization\": [{}],\n\
+         \x20   \"barrier_stall_ms\": [{}],\n\
+         \x20   \"top_kinds\": {},\n\
          \x20   \"peak_queue_depth\": {},\n\
          \x20   \"rss_before_kb\": {},\n\
          \x20   \"rss_after_kb\": {},\n\
@@ -260,6 +347,10 @@ fn tier_json(t: &TierResult) -> String {
         t.run_wall_ms,
         t.sim_events_total,
         shard_events.join(","),
+        t.imbalance_ratio,
+        utilization.join(","),
+        stalls.join(","),
+        t.top_kinds,
         t.peak_queue_depth,
         t.rss_before_kb,
         t.rss_after_kb,

@@ -142,11 +142,16 @@ impl Rule {
                  breaks bit-for-bit reproducibility of every table and figure.\n\
                  \n\
                  Flags: the identifiers `Instant` and `SystemTime`.\n\
-                 Allowlist: vendor/criterion (benchmarks measure wall time by definition).\n\
+                 Allowlist: vendor/criterion (benchmarks measure wall time by definition)\n\
+                 and crates/obs/src/profile.rs — the self-profiler's wall-clock\n\
+                 quarantine. Its readings attribute dispatch cost per shard/kind/host\n\
+                 and are exported only to results/obs_profile.json; they never reach\n\
+                 sim state, and a tier-1 test proves byte-identical sim outputs with\n\
+                 the profiler on vs off.\n\
                  Escape hatch: `// detlint: allow(R1) -- <why>` on the same or previous line.\n\
-                 Hard ban: under crates/obs/ the escape hatch is not honored — trace\n\
-                 records are sim-time-stamped by contract, and the annotation itself\n\
-                 is flagged there."
+                 Hard ban: under crates/obs/ (profile.rs aside) the escape hatch is not\n\
+                 honored — trace records are sim-time-stamped by contract, and the\n\
+                 annotation itself is flagged there."
             }
             Rule::R2 => {
                 "R2: no ambient randomness; seeded StdRng only.\n\

@@ -18,7 +18,13 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Files (by repo-relative prefix) where R1 wall-clock reads are sanctioned.
-const R1_ALLOWLIST: [&str; 1] = ["vendor/criterion/"];
+/// `obs::profile` is the self-profiler's wall-clock quarantine: the ONLY
+/// first-party file allowed to read `Instant`. Its readings feed a side
+/// table exported to `results/obs_profile.json` and never reach sim state
+/// (`tests/observability.rs` proves byte-identical outputs with the
+/// profiler on vs off). The allowlist is checked before the no-escape
+/// ban below, so this entry punches a deliberate, single-file hole in it.
+const R1_ALLOWLIST: [&str; 2] = ["vendor/criterion/", "crates/obs/src/profile.rs"];
 
 /// Paths where R1 is a hard ban: the `allow(R1)` escape hatch is not
 /// honored and the annotation itself is a violation. The observability
@@ -1042,6 +1048,37 @@ use std::collections::HashMap;
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::R1);
         assert!(scan_source("vendor/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r1_profile_module_is_the_only_obs_quarantine() {
+        // The self-profiler file is sanctioned — the allowlist entry wins
+        // over the crates/obs/ hard ban …
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(scan_source("crates/obs/src/profile.rs", src).is_empty());
+        // … but every other obs file stays hard-banned.
+        for path in [
+            "crates/obs/src/lib.rs",
+            "crates/obs/src/trace.rs",
+            "crates/obs/src/bin/obsctl.rs",
+        ] {
+            let v = scan_source(path, src);
+            assert_eq!(v.len(), 1, "{path} should flag: {v:?}");
+            assert_eq!(v[0].rule, Rule::R1);
+        }
+    }
+
+    #[test]
+    fn r10_obs_bin_may_import_its_own_lib() {
+        // `use obs::…` inside obs's own bin target is self-reference, not
+        // an in-workspace import …
+        let own = "use obs::TraceQuery;\n";
+        assert!(scan_source("crates/obs/src/bin/obsctl.rs", own).is_empty());
+        // … but any other workspace crate stays banned there.
+        let other = "use netsim::NetSim;\n";
+        let v = scan_source("crates/obs/src/bin/obsctl.rs", other);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code, "R10.obs_use");
     }
 
     #[test]

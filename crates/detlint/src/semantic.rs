@@ -393,6 +393,11 @@ pub fn check_r10_uses(path: &str, table: &ItemTable, violations: &mut Vec<Violat
     }
     if crate_name == "obs" {
         for use_decl in &table.uses {
+            // A bin target importing its own crate's lib (`use obs::…`
+            // in src/bin/obsctl.rs) is self-reference, not layering.
+            if use_decl.root == "obs" {
+                continue;
+            }
             if WORKSPACE_CRATES.contains(&use_decl.root.as_str()) {
                 violations.push(Violation {
                     rule: Rule::R10,

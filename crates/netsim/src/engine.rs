@@ -320,6 +320,36 @@ struct Slot {
     live_conns: Vec<ConnId>,
 }
 
+// shard-state -- provenance rides with its queued event across shard boundaries
+/// Causal provenance minted at push time: the scheduler key of the
+/// nearest causal-ancestor dispatch that recorded a trace event
+/// (`cause`, 0 = no traced ancestor / pushed from outside any dispatch)
+/// and the number of traced hops back to such an external root
+/// (`depth`). Skipping silent dispatches keeps every recorded chain
+/// link resolvable from the trace export alone. Both are pure functions
+/// of per-host event histories, so they are identical under any shard
+/// count.
+#[derive(Clone, Copy)]
+struct Prov {
+    cause: u64,
+    depth: u32,
+}
+
+/// Event-kind names for profiler attribution, indexed by
+/// [`Ev::kind_idx`]. `&'static` so the profiler hotpath stores indices
+/// and never allocates.
+const EV_KIND_NAMES: [&str; 9] = [
+    "udp",
+    "tcp_syn",
+    "tcp_establish",
+    "tcp_data",
+    "tcp_close",
+    "timer",
+    "start_host",
+    "stop_host",
+    "set_reachable",
+];
+
 // shard-state -- events cross shard boundaries when sender and receiver land on different workers
 enum Ev {
     Udp {
@@ -369,6 +399,21 @@ impl Ev {
             | Ev::TcpData { conn, .. }
             | Ev::TcpClose { conn, .. } => Some(*conn),
             _ => None,
+        }
+    }
+
+    /// Index into [`EV_KIND_NAMES`] for profiler cost attribution.
+    fn kind_idx(&self) -> usize {
+        match self {
+            Ev::Udp { .. } => 0,
+            Ev::TcpSyn { .. } => 1,
+            Ev::TcpEstablish { .. } => 2,
+            Ev::TcpData { .. } => 3,
+            Ev::TcpClose { .. } => 4,
+            Ev::Timer { .. } => 5,
+            Ev::StartHost { .. } => 6,
+            Ev::StopHost { .. } => 7,
+            Ev::SetReachable { .. } => 8,
         }
     }
 
@@ -440,7 +485,7 @@ impl EngineIds {
 /// One scheduler shard: a timer wheel owning a disjoint subset of hosts,
 /// plus the merge loop's cached view of that wheel's head.
 struct Shard {
-    queue: TimerWheel<(HostId, Ev)>,
+    queue: TimerWheel<(HostId, Prov, Ev)>,
     /// `(at, key)` of the earliest event within the current epoch, cached
     /// from the last peek. `None` = nothing left this epoch.
     head: Option<(u64, u64)>,
@@ -448,6 +493,9 @@ struct Shard {
     stale: bool,
     /// Events dispatched by this shard (load-balance diagnostics).
     events: u64,
+    /// Peak of this shard's own queue depth (its wheel length + the
+    /// dispatching event), mirrored to `netsim.shard.<i>.queue_depth_peak`.
+    depth_peak: u64,
 }
 
 /// Mix a world seed and a host id into one RNG-stream seed (splitmix64
@@ -463,7 +511,9 @@ fn host_stream_seed(seed: u64, host: u64) -> u64 {
 pub struct NetSim {
     now: u64,
     /// Key counter for events pushed from outside any dispatch (origin 0:
-    /// world building, schedules, public APIs between runs).
+    /// world building, schedules, public APIs between runs). Starts at 1:
+    /// key 0 is the provenance sentinel for "no dispatch" (external
+    /// root), so no real event may own it.
     ext_seq: u32,
     /// `owner + 1` of the event currently dispatching; 0 outside dispatch.
     /// Keys minted under origin `o` sort after all external keys and are
@@ -471,7 +521,18 @@ pub struct NetSim {
     /// order a pure function of per-host event histories — the property
     /// that lets any shard count replay the same trace.
     origin: u32,
+    /// Scheduler key of the event currently dispatching (0 outside
+    /// dispatch), its own cause, and its causal depth — the provenance
+    /// that `push` stamps onto children. `cur_cause` lets a dispatch
+    /// that recorded no trace events forward its ancestor instead of
+    /// itself, so recorded chains never dead-end on a silent dispatch.
+    cur_key: u64,
+    cur_cause: u64,
+    cur_depth: u32,
     shards: Vec<Shard>,
+    /// Interned `netsim.shard.<i>.queue_depth_peak` gauge handles, one
+    /// per shard.
+    shard_gauge_ids: Vec<MetricId>,
     /// Conservative synchronization window for the sharded merge loop:
     /// the minimum cross-host link latency (see DESIGN.md § Sharded
     /// execution).
@@ -501,15 +562,22 @@ impl NetSim {
         let n_shards = config.shards.max(1);
         NetSim {
             now: 0,
-            ext_seq: 0,
+            ext_seq: 1,
             origin: 0,
+            cur_key: 0,
+            cur_cause: 0,
+            cur_depth: 0,
             shards: (0..n_shards)
                 .map(|_| Shard {
                     queue: TimerWheel::new(),
                     head: None,
                     stale: true,
                     events: 0,
+                    depth_peak: 0,
                 })
+                .collect(),
+            shard_gauge_ids: (0..n_shards)
+                .map(|i| obs::handle_dynamic(&format!("netsim.shard.{i}.queue_depth_peak")))
                 .collect(),
             lookahead_ms: crate::topology::min_link_latency_ms() as u64,
             queue_depth_peak: 0,
@@ -658,6 +726,16 @@ impl NetSim {
         self.shards.iter().map(|s| s.events).collect()
     }
 
+    /// Peak per-shard queue depth (own wheel + the dispatching event).
+    /// With one shard this equals [`NetSim::queue_depth_peak`]; the same
+    /// values are exported as `netsim.shard.<i>.queue_depth_peak` gauges
+    /// — which inherently depend on the shard count, so cross-shard-count
+    /// comparisons must strip `netsim_shard_` lines (the carve-out the
+    /// determinism suite applies).
+    pub fn shard_queue_depth_peaks(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.depth_peak).collect()
+    }
+
     /// Reassign a host to a scheduler shard. Call before scheduling
     /// anything for the host — events already queued stay on the wheel
     /// they were pushed to.
@@ -700,9 +778,28 @@ impl NetSim {
             "cross-shard push inside the lookahead window (at={at}, now={})",
             self.now
         );
+        // Provenance: the nearest *traced* ancestor is the cause — a
+        // pushing dispatch that recorded no trace events forwards its own
+        // cause unchanged, so every recorded `cause` resolves within the
+        // exported trace. Depth counts traced hops from an external root.
+        // Whether a dispatch traced anything is a pure function of its
+        // event history, so the stamps stay shard-invariant.
+        let prov = if self.cur_key == 0 {
+            Prov { cause: 0, depth: 0 }
+        } else if obs::dispatch_emitted() {
+            Prov {
+                cause: self.cur_key,
+                depth: self.cur_depth + 1,
+            }
+        } else {
+            Prov {
+                cause: self.cur_cause,
+                depth: self.cur_depth,
+            }
+        };
         let shard = &mut self.shards[sh];
         shard.stale = true;
-        shard.queue.push(at, key, (owner, ev));
+        shard.queue.push(at, key, (owner, prov, ev));
     }
 
     /// One-way latency from `a` to `b`; the jitter draw comes from
@@ -722,15 +819,19 @@ impl NetSim {
     /// `until_ms`.
     // hotpath -- the main event loop: every simulated event funnels through here
     pub fn run_until(&mut self, until_ms: u64) {
+        obs::profile::run_mark_start();
         if self.shards.len() == 1 {
             // Single-wheel fast path: no merge bookkeeping at all.
-            while let Some((at, _key, (owner, ev))) = self.shards[0].queue.pop_at_most(until_ms) {
-                self.dispatch_at(at, 0, owner, ev);
+            while let Some((at, key, (owner, prov, ev))) =
+                self.shards[0].queue.pop_at_most(until_ms)
+            {
+                self.dispatch_at(at, key, 0, owner, prov, ev);
             }
         } else {
             self.run_sharded(until_ms);
         }
         self.now = self.now.max(until_ms);
+        obs::profile::run_mark_end();
     }
 
     /// The sharded merge loop: conservative barrier-epoch synchronization.
@@ -748,8 +849,11 @@ impl NetSim {
     fn run_sharded(&mut self, until_ms: u64) {
         loop {
             // Barrier: fold observability's pending fast counters at a
-            // deterministic point, then pick the next epoch.
+            // deterministic point, then pick the next epoch. The profiler
+            // marks the barrier too (stall accounting) — wall-clock only,
+            // quarantined from sim state.
             obs::fold_pending();
+            obs::profile::barrier_mark(self.shards.len());
             let mut epoch_start = u64::MAX;
             for s in &self.shards {
                 if let Some(at) = s.queue.min_pending_at() {
@@ -778,41 +882,64 @@ impl NetSim {
                     }
                 }
                 let Some((_, _, winner)) = best else { break };
-                let Some((at, _key, (owner, ev))) =
+                let Some((at, key, (owner, prov, ev))) =
                     self.shards[winner].queue.pop_at_most(epoch_end - 1)
                 else {
                     break;
                 };
                 self.shards[winner].stale = true;
-                self.dispatch_at(at, winner, owner, ev);
+                self.dispatch_at(at, key, winner, owner, prov, ev);
             }
         }
     }
 
     /// Per-event bookkeeping shared by the single- and sharded loops:
-    /// clock, depth gauge, obs counters, origin bracketing, and the
-    /// pending-count decrement that may recycle a connection cell.
+    /// clock, depth gauges, obs counters, provenance bracketing, profiler
+    /// timing, origin bracketing, and the pending-count decrement that
+    /// may recycle a connection cell.
     // hotpath -- runs once per dispatched event
-    fn dispatch_at(&mut self, at: u64, shard: usize, owner: HostId, ev: Ev) {
+    fn dispatch_at(&mut self, at: u64, key: u64, shard: usize, owner: HostId, prov: Prov, ev: Ev) {
         self.now = at;
         let mut depth = 1u64;
         for s in &self.shards {
             depth += s.queue.len() as u64;
         }
         self.queue_depth_peak = self.queue_depth_peak.max(depth);
+        // The dispatching shard's own share of that depth: its wheel
+        // plus the event in flight.
+        let shard_depth = self.shards[shard].queue.len() as u64 + 1;
+        self.shards[shard].depth_peak = self.shards[shard].depth_peak.max(shard_depth);
         // Observability is pure: it reads the scheduler state but never
         // touches a sim RNG or a queue, so instrumented and
         // uninstrumented runs execute identical event sequences. All
         // per-event counters go through interned handles — no string
         // work on this path.
         obs::set_now(at);
+        obs::set_cause(key, prov.cause, prov.depth);
         obs::gauge_max_id(self.ids.queue_depth_peak, depth);
+        obs::gauge_max_id(self.shard_gauge_ids[shard], shard_depth);
         obs::counter_add_id(self.ids.events_total, 1);
         obs::counter_add_id(ev.obs_id(&self.ids), 1);
         let pinned = ev.conn_ref();
+        let kind_idx = ev.kind_idx();
+        self.cur_key = key;
+        self.cur_cause = prov.cause;
+        self.cur_depth = prov.depth;
         self.origin = owner as u32 + 1;
+        let timer = obs::profile::dispatch_start();
         self.dispatch(ev);
+        obs::profile::dispatch_end(
+            timer,
+            shard,
+            kind_idx,
+            EV_KIND_NAMES[kind_idx],
+            owner as u64,
+        );
         self.origin = 0;
+        self.cur_key = 0;
+        self.cur_cause = 0;
+        self.cur_depth = 0;
+        obs::set_cause(0, 0, 0);
         self.events_processed += 1;
         self.shards[shard].events += 1;
         if let Some(id) = pinned {
@@ -1308,6 +1435,9 @@ mod tests {
             }
         }
         fn logit(&self, s: String) {
+            // Mirror every callback into the obs trace (no-op without a
+            // recorder) so provenance tests see dispatch-stamped events.
+            obs::event("probe.cb", &[]);
             self.log.borrow_mut().push(format!("{} {}", self.name, s));
         }
     }
@@ -1864,6 +1994,129 @@ mod tests {
             "gauge missing from the Prometheus export"
         );
         obs::uninstall();
+    }
+
+    #[test]
+    fn per_shard_depth_gauges_partition_the_peak() {
+        // Single shard: netsim.shard.0.queue_depth_peak must equal the
+        // global gauge byte-for-byte (the shard IS the whole scheduler).
+        let rec = obs::Recorder::new();
+        rec.install();
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(lossless());
+        let mut a = Probe::new("a", log.clone());
+        a.udp_target = Some(addr(2));
+        let mut b = Probe::new("b", log);
+        b.echo = true;
+        let ha = sim.add_host(addr(1), meta(true), Box::new(a));
+        let hb = sim.add_host(addr(2), meta(true), Box::new(b));
+        sim.schedule_start(ha, 0);
+        sim.schedule_start(hb, 0);
+        sim.run_until(5_000);
+        let peaks = sim.shard_queue_depth_peaks();
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0], sim.queue_depth_peak());
+        assert_eq!(rec.gauge("netsim.shard.0.queue_depth_peak"), peaks[0]);
+        assert!(rec
+            .prometheus()
+            .contains(&format!("netsim_shard_0_queue_depth_peak {}\n", peaks[0])));
+        obs::uninstall();
+    }
+
+    #[test]
+    fn sharded_depth_gauges_bound_the_global_peak() {
+        let rec = obs::Recorder::new();
+        rec.install();
+        let log: Log = Rc::default();
+        let mut sim = NetSim::new(SimConfig {
+            shards: 3,
+            ..lossless()
+        });
+        for i in 0..6u8 {
+            let mut p = Probe::new("p", log.clone());
+            p.echo = i % 2 == 0;
+            p.udp_target = Some(addr(((i + 1) % 6) + 1));
+            let h = sim.add_host(addr(i + 1), meta(true), Box::new(p));
+            sim.schedule_start(h, 0);
+        }
+        sim.run_until(5_000);
+        let peaks = sim.shard_queue_depth_peaks();
+        assert_eq!(peaks.len(), 3);
+        for (i, &p) in peaks.iter().enumerate() {
+            assert!(p >= 1, "shard {i} never dispatched");
+            assert!(p <= sim.queue_depth_peak());
+            assert_eq!(rec.gauge(&format!("netsim.shard.{i}.queue_depth_peak")), p);
+        }
+        obs::uninstall();
+    }
+
+    #[test]
+    fn provenance_chains_reach_roots_and_survive_sharding() {
+        // Every obs trace event emitted during dispatch must carry a
+        // causal chain that walks back to an external root (cause 0),
+        // and the (key, cause, depth) stamps must be identical under
+        // any shard count.
+        fn run(shards: usize) -> Vec<(u64, u64, u32, String)> {
+            let rec = obs::Recorder::new();
+            rec.install();
+            let log: Log = Rc::default();
+            let mut sim = NetSim::new(SimConfig {
+                seed: 7,
+                shards,
+                ..SimConfig::default()
+            });
+            let mut hosts = Vec::new();
+            for i in 0..4u8 {
+                let mut p = Probe::new("p", log.clone());
+                p.echo = i % 2 == 0;
+                p.udp_target = Some(addr(((i + 1) % 4) + 1));
+                p.tcp_target = (i == 1).then(|| addr(((i + 2) % 4) + 1));
+                p.tcp_payload = Some(vec![0u8; 16]);
+                let m = HostMeta {
+                    country: "US",
+                    asn: "Test",
+                    region: Region::ALL[i as usize],
+                    reachable: true,
+                };
+                hosts.push(sim.add_host(addr(i + 1), m, Box::new(p)));
+            }
+            for &h in &hosts {
+                sim.schedule_start(h, 0);
+            }
+            sim.run_until(4_000);
+            let q = rec.query();
+            // Dispatch-emitted events carry keys; chains terminate at
+            // cause 0 without cycling.
+            let keyed: Vec<&obs::TraceEvent> = q.events().iter().filter(|e| e.key != 0).collect();
+            assert!(!keyed.is_empty(), "no dispatched trace events recorded");
+            assert!(!q.roots().is_empty(), "no external roots visible");
+            for e in &keyed {
+                let chain = q.chain(e.key);
+                let last = *chain.last().unwrap();
+                assert_eq!(
+                    q.cause_of(last),
+                    Some(0),
+                    "chain from key {} stops at non-root {}",
+                    e.key,
+                    last
+                );
+                assert_eq!(chain.len() as u32, e.depth + 1, "depth mismatch");
+            }
+            let stamps = q
+                .events()
+                .iter()
+                .map(|e| (e.key, e.cause, e.depth, e.name.clone()))
+                .collect();
+            obs::uninstall();
+            stamps
+        }
+        let base = run(1);
+        assert!(
+            base.iter().any(|s| s.2 >= 2),
+            "world too shallow: no chains of depth >= 2"
+        );
+        assert_eq!(run(2), base, "provenance diverged under 2 shards");
+        assert_eq!(run(4), base, "provenance diverged under 4 shards");
     }
 
     #[test]

@@ -162,6 +162,10 @@ pub struct NodeFinder {
     dynamic_queue: VecDeque<NodeRecord>,
     queued: BTreeSet<NodeId>,
     static_nodes: BTreeMap<NodeId, StaticEntry>,
+    /// Last sighting/contact time per distinct node ever seen — feeds
+    /// the fresh/stale campaign gauges (`crawler.nodes_fresh`/`_stale`,
+    /// freshness window = `stale_after_ms`, the paper's 24h rule).
+    seen: BTreeMap<NodeId, u64>,
     penalty: PenaltyBox,
     dialing: usize,
     poll_armed: bool,
@@ -190,6 +194,7 @@ impl NodeFinder {
             dynamic_queue: VecDeque::new(),
             queued: BTreeSet::new(),
             static_nodes: BTreeMap::new(),
+            seen: BTreeMap::new(),
             penalty,
             dialing: 0,
             poll_armed: false,
@@ -306,6 +311,7 @@ impl NodeFinder {
                 DialEventKind::DiscoverySighting,
             );
             obs::counter_add("crawler.funnel.sightings", 1);
+            self.seen.insert(record.id, ctx.now_ms);
             // Endpoints in backoff / the penalty box are sighted but not
             // queued — the retry scheduler owns them until they recover.
             if self.penalty.is_blocked(record.id, ctx.now_ms) {
@@ -428,10 +434,14 @@ impl NodeFinder {
                     ),
                     ("responded", obs::Value::Bool(responded)),
                     ("dur_ms", obs::Value::U64(probe.record.duration_ms)),
+                    ("conn", obs::Value::U64(conn as u64)),
                 ],
             );
         }
         if let Some(id) = probe.record.node_id {
+            if responded {
+                self.seen.insert(id, ctx.now_ms);
+            }
             // Only *dials* that get an answer prove reachability; incoming
             // conns say nothing about whether the node accepts inbound TCP.
             // Fig 7 counts nodes responding to *dynamic* dials.
@@ -508,7 +518,11 @@ impl NodeFinder {
                 probe.record.outcome = ConnOutcome::HandshakeFailed;
                 // Next stage: the peer's HELLO.
                 probe.deadline_ms = ctx.now_ms + hello_timeout;
-                obs::span("crawler.stage.auth_ms", probe.stage_start_ms, &[]);
+                obs::span(
+                    "crawler.stage.auth_ms",
+                    probe.stage_start_ms,
+                    &[("conn", obs::Value::U64(conn as u64))],
+                );
                 probe.stage_start_ms = ctx.now_ms;
             }
             WireEvent::Hello { hello, shared } => {
@@ -520,7 +534,11 @@ impl NodeFinder {
                 probe.record.outcome = ConnOutcome::HelloOnly;
                 // Next stage: eth STATUS.
                 probe.deadline_ms = ctx.now_ms + status_timeout;
-                obs::span("crawler.stage.hello_ms", probe.stage_start_ms, &[]);
+                obs::span(
+                    "crawler.stage.hello_ms",
+                    probe.stage_start_ms,
+                    &[("conn", obs::Value::U64(conn as u64))],
+                );
                 probe.stage_start_ms = ctx.now_ms;
                 if shared.iter().any(|c| c.name == "eth") {
                     // Send our STATUS; theirs should follow.
@@ -543,7 +561,11 @@ impl NodeFinder {
                     genesis_hash: st.genesis_hash,
                 });
                 probe.record.outcome = ConnOutcome::StatusCollected;
-                obs::span("crawler.stage.status_ms", probe.stage_start_ms, &[]);
+                obs::span(
+                    "crawler.stage.status_ms",
+                    probe.stage_start_ms,
+                    &[("conn", obs::Value::U64(conn as u64))],
+                );
                 probe.stage_start_ms = ctx.now_ms;
                 // `ours` computed above, before borrowing the probe.
                 if ours.compatible(&st) && self.config.dao_check {
@@ -706,7 +728,11 @@ impl Host for NodeFinder {
                     probe.record.latency_ms = ctx.rtt_ms(conn);
                     probe.connected = true;
                     probe.deadline_ms = ctx.now_ms + handshake_timeout;
-                    obs::span("crawler.stage.connect_ms", probe.stage_start_ms, &[]);
+                    obs::span(
+                        "crawler.stage.connect_ms",
+                        probe.stage_start_ms,
+                        &[("conn", obs::Value::U64(conn as u64))],
+                    );
                     probe.stage_start_ms = ctx.now_ms;
                     frames = probe.pc.on_tcp_connected(ctx.rng(), &key);
                 }
@@ -865,6 +891,19 @@ impl Host for NodeFinder {
             }
             T_STATIC => {
                 let now = ctx.now_ms;
+                // Campaign-progress gauges: how much of the discovered
+                // population is fresh (seen within the 24h window) vs
+                // stale. Sampled here because the static tick is the
+                // crawler's steady heartbeat.
+                if obs::is_enabled() {
+                    let fresh = self
+                        .seen
+                        .values()
+                        .filter(|&&ts| now.saturating_sub(ts) <= self.config.stale_after_ms)
+                        .count() as u64;
+                    obs::gauge_set("crawler.nodes_fresh", fresh);
+                    obs::gauge_set("crawler.nodes_stale", self.seen.len() as u64 - fresh);
+                }
                 // Remove stale addresses (no TCP success in stale_after).
                 let stale: Vec<NodeId> = self
                     .static_nodes

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 mod metrics;
+pub mod profile;
 mod query;
 mod trace;
 
@@ -96,12 +97,43 @@ pub fn handle(name: &'static str) -> MetricId {
     })
 }
 
+/// Intern a *computed* metric name (e.g. `netsim.shard.3.queue_depth_peak`,
+/// built from a runtime shard index). The first interning of each unique
+/// name leaks one copy of the string so it can live in the same
+/// `&'static str` table as [`handle`] names; callers must therefore only
+/// use this for small, bounded name families (per-shard, per-tier — never
+/// per-event or per-node).
+pub fn handle_dynamic(name: &str) -> MetricId {
+    INTERN.with(|i| {
+        let mut i = i.borrow_mut();
+        if let Some(&id) = i.index.get(name) {
+            return MetricId(id);
+        }
+        let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let id = u32::try_from(i.names.len()).expect("metric id space exhausted");
+        i.names.push(name);
+        i.index.insert(name, id);
+        MetricId(id)
+    })
+}
+
 fn interned_name(id: u32) -> &'static str {
     INTERN.with(|i| i.borrow().names[id as usize])
 }
 
 struct Core {
     now_ms: u64,
+    /// Provenance of the dispatch currently executing, as last supplied
+    /// via [`set_cause`]: (scheduler key, causing key, chain depth).
+    /// All-zero outside any dispatch.
+    cur_key: u64,
+    cur_cause: u64,
+    cur_depth: u32,
+    /// Whether the current dispatch has recorded at least one trace
+    /// event. The engine consults this when minting child provenance so
+    /// `cause` always names a key that appears in the trace — chains are
+    /// resolvable from the JSONL export alone, with no side table.
+    cur_emitted: bool,
     seq: u64,
     metrics: MetricsRegistry,
     ring: FlightRecorder,
@@ -119,6 +151,10 @@ impl Core {
     fn new(capacity: usize) -> Self {
         Core {
             now_ms: 0,
+            cur_key: 0,
+            cur_cause: 0,
+            cur_depth: 0,
+            cur_emitted: false,
             seq: 0,
             metrics: MetricsRegistry::default(),
             ring: FlightRecorder::new(capacity),
@@ -161,9 +197,13 @@ impl Core {
     }
 
     fn record(&mut self, kind: EventKind, name: &str, fields: &[(&str, Value)]) {
+        self.cur_emitted = true;
         let ev = TraceEvent {
             seq: self.seq,
             ts_ms: self.now_ms,
+            key: self.cur_key,
+            cause: self.cur_cause,
+            depth: self.cur_depth,
             kind,
             name: name.to_string(),
             fields: fields
@@ -250,6 +290,17 @@ impl Recorder {
         self.core.borrow().ring.dropped()
     }
 
+    /// Ring evictions attributed per event name, sorted by name — the
+    /// flight recorder's answer to "what did the overflow lose?".
+    pub fn dropped_by_kind(&self) -> Vec<(String, u64)> {
+        self.core
+            .borrow()
+            .ring
+            .dropped_by_kind()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
     /// Number of trace events currently retained.
     pub fn event_count(&self) -> usize {
         self.core.borrow().ring.len()
@@ -308,6 +359,10 @@ impl Recorder {
         core.ring.clear();
         core.seq = 0;
         core.now_ms = 0;
+        core.cur_key = 0;
+        core.cur_cause = 0;
+        core.cur_depth = 0;
+        core.cur_emitted = false;
     }
 }
 
@@ -353,6 +408,37 @@ pub fn fold_pending() {
 // hotpath -- called by the engine before dispatching every event
 pub fn set_now(now_ms: u64) {
     with_core(|c| c.now_ms = now_ms);
+}
+
+/// Set the causal provenance stamped onto subsequently recorded trace
+/// events: `key` is the scheduler key of the dispatch about to run,
+/// `cause` the key of the dispatch that scheduled it, `depth` the
+/// happens-before chain length from an external root. The `netsim`
+/// engine calls this alongside [`set_now`] before every dispatch and
+/// resets it to `(0, 0, 0)` afterwards, so events emitted outside any
+/// dispatch carry no (all-zero) provenance.
+// hotpath -- called by the engine around every dispatched event
+pub fn set_cause(key: u64, cause: u64, depth: u32) {
+    with_core(|c| {
+        c.cur_key = key;
+        c.cur_cause = cause;
+        c.cur_depth = depth;
+        c.cur_emitted = false;
+    });
+}
+
+/// Whether the dispatch currently executing has recorded at least one
+/// trace event (always `false` with no recorder installed). The engine
+/// uses this to mint child provenance that skips silent dispatches: a
+/// queued event's `cause` is the nearest *traced* ancestor, so every
+/// chain link resolves within the exported trace itself.
+// hotpath -- consulted by the engine on every event push
+pub fn dispatch_emitted() -> bool {
+    RECORDER.with(|r| {
+        r.borrow()
+            .as_ref()
+            .is_some_and(|rec| rec.core.borrow().cur_emitted)
+    })
 }
 
 /// Add `v` to the counter `name` (created at 0 on first use).
@@ -512,12 +598,48 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            r#"{"seq":0,"ts":42,"type":"event","name":"a","fields":{"k":1,"s":"x\"y"}}"#
+            r#"{"seq":0,"ts":42,"key":0,"cause":0,"depth":0,"type":"event","name":"a","fields":{"k":1,"s":"x\"y"}}"#
         );
         assert_eq!(
             lines[1],
-            r#"{"seq":1,"ts":50,"type":"span","name":"b","start":42,"dur":8,"fields":{"ok":true}}"#
+            r#"{"seq":1,"ts":50,"key":0,"cause":0,"depth":0,"type":"span","name":"b","start":42,"dur":8,"fields":{"ok":true}}"#
         );
+    }
+
+    #[test]
+    fn set_cause_stamps_provenance_until_reset() {
+        let rec = Recorder::new();
+        rec.install();
+        set_now(10);
+        set_cause(7, 3, 2);
+        event("in.dispatch", &[]);
+        span("in.dispatch.span", 5, &[]);
+        set_cause(0, 0, 0);
+        event("outside", &[]);
+        uninstall();
+        let q = rec.query();
+        let ev = q.first("in.dispatch").unwrap();
+        assert_eq!((ev.key, ev.cause, ev.depth), (7, 3, 2));
+        let sp = q.first("in.dispatch.span").unwrap();
+        assert_eq!((sp.key, sp.cause, sp.depth), (7, 3, 2));
+        let out = q.first("outside").unwrap();
+        assert_eq!((out.key, out.cause, out.depth), (0, 0, 0));
+        let jsonl = rec.export_jsonl();
+        assert!(jsonl.contains(r#""key":7,"cause":3,"depth":2"#), "{jsonl}");
+    }
+
+    #[test]
+    fn handle_dynamic_interns_computed_names() {
+        let a = handle_dynamic(&format!("dyn.shard.{}", 0));
+        let b = handle_dynamic("dyn.shard.0");
+        let c = handle("dyn.shard.0");
+        assert_eq!(a, b);
+        assert_eq!(a, c); // shares the table with static interning
+        let rec = Recorder::new();
+        rec.install();
+        gauge_max_id(a, 5);
+        uninstall();
+        assert_eq!(rec.gauge("dyn.shard.0"), 5);
     }
 
     #[test]

@@ -16,6 +16,13 @@ impl TraceQuery {
         TraceQuery { events }
     }
 
+    /// Build a query over events from outside the recorder — e.g.
+    /// `obsctl` re-hydrating a trace from `obs_trace.jsonl`, or
+    /// property tests fabricating causal forests.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        TraceQuery::new(events)
+    }
+
     /// All retained events, oldest first.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -73,6 +80,70 @@ impl TraceQuery {
         let rank = ((q * durs.len() as f64).ceil() as usize).clamp(1, durs.len());
         Some(durs[rank - 1])
     }
+
+    // ---- causal provenance -------------------------------------------
+
+    /// Events recorded under scheduler key `key` (every obs emission made
+    /// while that dispatch executed), in sequence order.
+    pub fn events_for_key(&self, key: u64) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.key == key).collect()
+    }
+
+    /// The key of the dispatch that caused dispatch `key`, if any event
+    /// recorded under `key` is still in the ring.
+    pub fn cause_of(&self, key: u64) -> Option<u64> {
+        self.events.iter().find(|e| e.key == key).map(|e| e.cause)
+    }
+
+    /// The happens-before chain of dispatch `key`: `[key, parent, …]`
+    /// walking `cause` links back toward an external root (`cause = 0`).
+    /// The walk stops when the cause is 0, when the causing dispatch
+    /// recorded nothing still retained in the ring, or when a key repeats
+    /// (a cycle — impossible for engine-minted keys, but the walk must
+    /// terminate on arbitrary trace data too).
+    pub fn chain(&self, key: u64) -> Vec<u64> {
+        // key -> cause, one entry per dispatch seen in the ring.
+        let causes: std::collections::BTreeMap<u64, u64> = self
+            .events
+            .iter()
+            .filter(|e| e.key != 0)
+            .map(|e| (e.key, e.cause))
+            .collect();
+        let mut chain = vec![key];
+        let mut seen = std::collections::BTreeSet::from([key]);
+        let mut cur = key;
+        while let Some(&cause) = causes.get(&cur) {
+            if cause == 0 || !seen.insert(cause) {
+                break;
+            }
+            chain.push(cause);
+            cur = cause;
+        }
+        chain
+    }
+
+    /// Keys of root dispatches still visible in the ring: dispatches of
+    /// externally scheduled events (`cause = 0`), sorted ascending.
+    pub fn roots(&self) -> Vec<u64> {
+        let keys: std::collections::BTreeSet<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.key != 0 && e.cause == 0)
+            .map(|e| e.key)
+            .collect();
+        keys.into_iter().collect()
+    }
+
+    /// Event count per causal depth, sorted by depth — the shape of the
+    /// happens-before forest (depth 0 = emitted at roots or outside any
+    /// dispatch).
+    pub fn depth_histogram(&self) -> Vec<(u32, u64)> {
+        let mut hist = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *hist.entry(e.depth).or_insert(0u64) += 1;
+        }
+        hist.into_iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +155,9 @@ mod tests {
         TraceEvent {
             seq,
             ts_ms: end,
+            key: 0,
+            cause: 0,
+            depth: 0,
             kind: EventKind::Span { start_ms: start },
             name: name.into(),
             fields: Vec::new(),
@@ -94,9 +168,21 @@ mod tests {
         TraceEvent {
             seq,
             ts_ms: ts,
+            key: 0,
+            cause: 0,
+            depth: 0,
             kind: EventKind::Event,
             name: name.into(),
             fields: vec![("seq".into(), Value::U64(seq))],
+        }
+    }
+
+    fn caused(seq: u64, name: &str, key: u64, cause: u64, depth: u32) -> TraceEvent {
+        TraceEvent {
+            key,
+            cause,
+            depth,
+            ..point(seq, name, seq)
         }
     }
 
@@ -130,5 +216,50 @@ mod tests {
         assert_eq!(q.span_quantile_ms("missing", 0.5), None);
         // Point events are not spans.
         assert_eq!(q.span_durations("a.x"), Vec::<u64>::new());
+    }
+
+    // Two causal trees plus an outside-dispatch event:
+    //   root 1 -> 10 -> 20        (depths 0, 1, 2)
+    //   root 2 -> 11              (depths 0, 1)
+    //   key 0: recorded outside any dispatch
+    fn causal_q() -> TraceQuery {
+        TraceQuery::new(vec![
+            caused(0, "disc", 1, 0, 0),
+            caused(1, "disc", 2, 0, 0),
+            caused(2, "dial", 10, 1, 1),
+            caused(3, "dial", 11, 2, 1),
+            caused(4, "hello", 20, 10, 2),
+            point(5, "outside", 99),
+        ])
+    }
+
+    #[test]
+    fn chain_walks_to_root() {
+        let q = causal_q();
+        assert_eq!(q.chain(20), vec![20, 10, 1]);
+        assert_eq!(q.chain(11), vec![11, 2]);
+        assert_eq!(q.chain(1), vec![1]);
+        // Unknown key: the walk has nowhere to go.
+        assert_eq!(q.chain(777), vec![777]);
+        assert_eq!(q.cause_of(20), Some(10));
+        assert_eq!(q.cause_of(1), Some(0));
+        assert_eq!(q.cause_of(777), None);
+        assert_eq!(q.events_for_key(10).len(), 1);
+    }
+
+    #[test]
+    fn roots_and_depths() {
+        let q = causal_q();
+        assert_eq!(q.roots(), vec![1, 2]);
+        // depth 0: two roots + the outside-dispatch event.
+        assert_eq!(q.depth_histogram(), vec![(0, 3), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn chain_terminates_on_cyclic_trace_data() {
+        // Hand-forged cycle 5 -> 6 -> 5: engine keys can never do this,
+        // but chain() must not loop forever on corrupt input.
+        let q = TraceQuery::new(vec![caused(0, "a", 5, 6, 1), caused(1, "b", 6, 5, 1)]);
+        assert_eq!(q.chain(5), vec![5, 6]);
     }
 }

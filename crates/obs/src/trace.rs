@@ -84,10 +84,27 @@ pub enum EventKind {
 /// One entry in the flight recorder, stamped with sim-time (`ts_ms`, as
 /// last supplied via [`crate::set_now`]) and a per-recorder sequence
 /// number that breaks ties between events at the same sim instant.
+///
+/// The `key` / `cause` / `depth` triple is causal provenance, supplied by
+/// the engine via [`crate::set_cause`] before each dispatch: `key` is the
+/// scheduler key of the event being dispatched when this entry was
+/// recorded, `cause` is the key of the nearest causal-ancestor dispatch
+/// that itself recorded a trace event (silent dispatches are skipped, so
+/// every chain link resolves within the trace), and `depth` is the number
+/// of traced hops back to an external root (`cause = 0`, `depth = 0`).
+/// Entries recorded outside any dispatch carry all-zero provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     pub seq: u64,
     pub ts_ms: u64,
+    /// Scheduler key of the dispatch this entry was recorded under
+    /// (0 = outside any dispatch).
+    pub key: u64,
+    /// Scheduler key of the nearest traced ancestor dispatch (0 =
+    /// external root).
+    pub cause: u64,
+    /// Number of traced hops back to the external root.
+    pub depth: u32,
     pub kind: EventKind,
     pub name: String,
     pub fields: Vec<(String, Value)>,
@@ -109,7 +126,10 @@ impl TraceEvent {
 
     /// Append this event as a single JSONL line (no trailing newline).
     pub fn write_jsonl_line(&self, out: &mut String) {
-        out.push_str(&format!("{{\"seq\":{},\"ts\":{},", self.seq, self.ts_ms));
+        out.push_str(&format!(
+            "{{\"seq\":{},\"ts\":{},\"key\":{},\"cause\":{},\"depth\":{},",
+            self.seq, self.ts_ms, self.key, self.cause, self.depth
+        ));
         match self.kind {
             EventKind::Event => {
                 out.push_str("\"type\":\"event\",\"name\":");
@@ -158,6 +178,12 @@ impl TraceEvent {
                 Value::Str(s) => line.push_str(&format!(" {k}={s:?}")),
             }
         }
+        if self.key != 0 {
+            line.push_str(&format!(
+                " key={} cause={} depth={}",
+                self.key, self.cause, self.depth
+            ));
+        }
         line
     }
 }
@@ -165,11 +191,16 @@ impl TraceEvent {
 /// Bounded ring buffer of trace events: pushing beyond capacity evicts
 /// the oldest entry and increments the drop counter, so the recorder's
 /// memory use is O(capacity) no matter how long the simulation runs.
+/// Evictions are attributed per event name (`dropped_by_kind`), so an
+/// overflowing trace still says *what* it lost — a drop total alone
+/// cannot distinguish "lost 10k heartbeats" from "lost the one span that
+/// explains the failure".
 #[derive(Debug, Clone)]
 pub struct FlightRecorder {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    dropped_by_kind: std::collections::BTreeMap<String, u64>,
 }
 
 impl FlightRecorder {
@@ -178,13 +209,16 @@ impl FlightRecorder {
             buf: VecDeque::with_capacity(capacity.min(1024)),
             capacity: capacity.max(1),
             dropped: 0,
+            dropped_by_kind: std::collections::BTreeMap::new(),
         }
     }
 
     pub fn push(&mut self, ev: TraceEvent) {
         if self.buf.len() == self.capacity {
-            self.buf.pop_front();
-            self.dropped += 1;
+            if let Some(evicted) = self.buf.pop_front() {
+                self.dropped += 1;
+                *self.dropped_by_kind.entry(evicted.name).or_insert(0) += 1;
+            }
         }
         self.buf.push_back(ev);
     }
@@ -206,6 +240,12 @@ impl FlightRecorder {
         self.dropped
     }
 
+    /// Evictions attributed per event name, sorted by name (BTreeMap
+    /// iteration order — deterministic for exports).
+    pub fn dropped_by_kind(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.dropped_by_kind.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
     /// Oldest-first iteration over retained events.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
         self.buf.iter()
@@ -214,6 +254,7 @@ impl FlightRecorder {
     pub fn clear(&mut self) {
         self.buf.clear();
         self.dropped = 0;
+        self.dropped_by_kind.clear();
     }
 }
 
@@ -222,11 +263,18 @@ mod tests {
     use super::*;
 
     fn ev(seq: u64) -> TraceEvent {
+        named_ev(seq, format!("e{seq}"))
+    }
+
+    fn named_ev(seq: u64, name: String) -> TraceEvent {
         TraceEvent {
             seq,
             ts_ms: seq * 10,
+            key: 0,
+            cause: 0,
+            depth: 0,
             kind: EventKind::Event,
-            name: format!("e{seq}"),
+            name,
             fields: Vec::new(),
         }
     }
@@ -244,6 +292,36 @@ mod tests {
         ring.clear();
         assert!(ring.is_empty());
         assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.dropped_by_kind().count(), 0);
+    }
+
+    #[test]
+    fn drops_are_attributed_per_kind() {
+        // Overflow a 2-slot ring with a skewed name mix: the per-kind
+        // tally must say exactly which names were evicted, sorted by
+        // name, and must sum to the drop total.
+        let mut ring = FlightRecorder::new(2);
+        for i in 0..5 {
+            ring.push(named_ev(i, "noisy.tick".into()));
+        }
+        ring.push(named_ev(5, "rare.span".into()));
+        ring.push(named_ev(6, "noisy.tick".into()));
+        ring.push(named_ev(7, "noisy.tick".into()));
+        // 8 pushes, 2 retained: 6 dropped — five noisy ticks and, once
+        // the tail churned past it, the rare span as well.
+        assert_eq!(ring.dropped(), 6);
+        let by_kind: Vec<(String, u64)> = ring
+            .dropped_by_kind()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        assert_eq!(
+            by_kind,
+            vec![("noisy.tick".to_string(), 5), ("rare.span".to_string(), 1)]
+        );
+        assert_eq!(
+            ring.dropped_by_kind().map(|(_, v)| v).sum::<u64>(),
+            ring.dropped()
+        );
     }
 
     #[test]
@@ -267,6 +345,9 @@ mod tests {
         let e = TraceEvent {
             seq: 0,
             ts_ms: 5,
+            key: 0,
+            cause: 0,
+            depth: 0,
             kind: EventKind::Span { start_ms: 9 },
             name: "x".into(),
             fields: Vec::new(),
@@ -279,6 +360,9 @@ mod tests {
         let e = TraceEvent {
             seq: 7,
             ts_ms: 1234,
+            key: 0,
+            cause: 0,
+            depth: 0,
             kind: EventKind::Event,
             name: "dial".into(),
             fields: vec![("ip".into(), Value::Str("10.0.0.1".into()))],
@@ -287,5 +371,16 @@ mod tests {
         assert!(line.contains("1234ms"));
         assert!(line.contains("dial"));
         assert!(line.contains("ip=\"10.0.0.1\""));
+        // Zero provenance renders without causal noise …
+        assert!(!line.contains("cause="));
+        // … while a dispatched event shows its chain link.
+        let caused = TraceEvent {
+            key: 9,
+            cause: 4,
+            depth: 2,
+            ..e
+        };
+        let line = caused.render_human();
+        assert!(line.contains("key=9 cause=4 depth=2"), "{line}");
     }
 }

@@ -1,0 +1,92 @@
+//! Property tests for causal-chain traversal: `TraceQuery::chain()`
+//! must terminate without cycling on *arbitrary* trace data (even
+//! corrupt), and on well-formed engine-like traces must always walk
+//! back to an external root (`cause = 0`).
+
+use obs::{EventKind, TraceEvent, TraceQuery};
+use proptest::prelude::*;
+
+fn ev(seq: u64, key: u64, cause: u64, depth: u32) -> TraceEvent {
+    TraceEvent {
+        seq,
+        ts_ms: seq,
+        key,
+        cause,
+        depth,
+        kind: EventKind::Event,
+        name: "p.ev".to_string(),
+        fields: Vec::new(),
+    }
+}
+
+proptest! {
+    /// Arbitrary (key, cause) pairs — including self-loops and mutual
+    /// cycles that the engine can never mint: chain() must still
+    /// terminate and never revisit a key.
+    #[test]
+    fn chain_never_cycles_on_arbitrary_traces(
+        links in proptest::collection::vec((1u64..32, 0u64..32), 0..64),
+        probe in 0u64..40,
+    ) {
+        let events: Vec<TraceEvent> = links
+            .iter()
+            .enumerate()
+            .map(|(i, &(key, cause))| ev(i as u64, key, cause, 0))
+            .collect();
+        let q = TraceQuery::from_events(events);
+        let chain = q.chain(probe);
+        // Termination is implied by returning at all; no key repeats.
+        let mut seen = std::collections::BTreeSet::new();
+        for k in &chain {
+            prop_assert!(seen.insert(*k), "key {k} repeated in {chain:?}");
+        }
+        prop_assert!(chain.len() <= 33);
+        prop_assert_eq!(chain[0], probe);
+    }
+
+    /// Engine-shaped traces: every dispatch's cause is either 0
+    /// (external root) or a previously minted key. chain() from any
+    /// recorded key must end at a dispatch whose cause is 0.
+    #[test]
+    fn chain_reaches_root_on_wellformed_traces(
+        shape in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let mut minted: Vec<u64> = Vec::new();
+        let mut events = Vec::new();
+        for (i, pick) in shape.iter().enumerate() {
+            let key = i as u64 + 1;
+            // Choice 0 = external root; otherwise pick an
+            // already-minted key as the cause.
+            let choice = (pick % (minted.len() as u64 + 1)) as usize;
+            let (cause, depth) = if choice == 0 {
+                (0, 0)
+            } else {
+                let c = minted[choice - 1];
+                let parent_depth = events
+                    .iter()
+                    .find(|e: &&TraceEvent| e.key == c)
+                    .map(|e| e.depth)
+                    .unwrap();
+                (c, parent_depth + 1)
+            };
+            events.push(ev(i as u64, key, cause, depth));
+            minted.push(key);
+        }
+        let q = TraceQuery::from_events(events);
+        for &key in &minted {
+            let chain = q.chain(key);
+            let last = *chain.last().unwrap();
+            prop_assert_eq!(q.cause_of(last), Some(0),
+                "chain from {} ended at {} which is not a root", key, last);
+            // Depth decreases by exactly 1 per hop, reaching 0 at root.
+            let depths: Vec<u32> = chain
+                .iter()
+                .map(|k| q.events_for_key(*k)[0].depth)
+                .collect();
+            for w in depths.windows(2) {
+                prop_assert_eq!(w[0], w[1] + 1);
+            }
+            prop_assert_eq!(*depths.last().unwrap(), 0);
+        }
+    }
+}

@@ -13,6 +13,9 @@
 #    check must report "identical": true.
 # 4. Memory budget: the 5,000-host tier's measured RSS growth must stay
 #    under 210 kB/host (the pre-flyweight footprint).
+# 5. Shard balance: the 50,000-host 8-shard tier's imbalance_ratio
+#    (max/min deterministic per-shard event counts) must stay <= 2.0 —
+#    a skewed owner assignment serialises the barrier-epoch scheduler.
 #
 # Usage:
 #   scripts/bench_compare.sh            # compare results/BENCH_crawl.json vs HEAD
@@ -82,6 +85,20 @@ if [ -f "$scale_file" ]; then
     if grep -q '"identical": false' "$scale_file"; then
         echo "bench_compare: FAIL — sharded trace diverged from the single-wheel reference (see $scale_file)"
         exit 1
+    fi
+
+    # imbalance_ratio is fractional, so it bypasses the digits-only
+    # tier_field helper; comparison is done in awk to keep this POSIX.
+    imbalance=$(awk '
+        $1 == "\"hosts\":" { h = $2; gsub(/[^0-9]/, "", h) }
+        $1 == "\"imbalance_ratio\":" && h == 50000 { v = $2; gsub(/,/, "", v); print v; exit }
+    ' "$scale_file")
+    if [ -n "${imbalance:-}" ]; then
+        echo "bench_compare: 50k-tier shard imbalance ratio $imbalance (ceiling 2.0)"
+        if awk -v r="$imbalance" 'BEGIN { exit !(r > 2.0) }'; then
+            echo "bench_compare: FAIL — 50k-tier shard imbalance above 2.0 (skewed owner assignment)"
+            exit 1
+        fi
     fi
 
     rss_before=$(tier_field 5000 rss_before_kb)

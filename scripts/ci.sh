@@ -16,7 +16,9 @@
 #                   crates/conformance; CONFORMANCE_FULL=1 additionally runs
 #                   the 10^5-case differential sweep in release mode
 #   6. bench     -- the instrumented reference crawl; fails on any trace
-#                   non-determinism or observer effect, emits BENCH_crawl.json
+#                   non-determinism or observer effect, emits BENCH_crawl.json;
+#                   obsctl's profile/campaign --json reports over those
+#                   artifacts are then generated twice and byte-compared
 #   7. compare   -- fails if crawl throughput regressed >20% vs the
 #                   committed BENCH_crawl.json baseline, if the committed
 #                   scale artifact's 5k/1k curve dips below 0.8, if its
@@ -93,6 +95,21 @@ fi
 # the recorder and fails on any observer effect. Writes results/
 # obs_trace.jsonl, obs_metrics.prom and BENCH_crawl.json.
 step "bench crawl (obs determinism)" cargo run -q --release -p bench --bin bench_crawl
+# obsctl determinism: the trace tooling's --json reports over the crawl
+# artifacts above must be byte-identical across back-to-back runs — the
+# CLI may not inject timestamps, map ordering, or any other run-local
+# state into its output.
+obsctl_json() {
+    cargo run -q -p obs --bin obsctl -- profile --json >results/obsctl_profile.json \
+        && cargo run -q -p obs --bin obsctl -- profile --json >results/obsctl_profile.json.2 \
+        && cmp -s results/obsctl_profile.json results/obsctl_profile.json.2 \
+        && rm -f results/obsctl_profile.json.2 \
+        && cargo run -q -p obs --bin obsctl -- campaign --json >results/obsctl_campaign.json \
+        && cargo run -q -p obs --bin obsctl -- campaign --json >results/obsctl_campaign.json.2 \
+        && cmp -s results/obsctl_campaign.json results/obsctl_campaign.json.2 \
+        && rm -f results/obsctl_campaign.json.2
+}
+step "obsctl --json (byte-identical across runs)" obsctl_json
 # Throughput guard: the crawl above rewrote results/BENCH_crawl.json; fail
 # if sim-events per wall-second regressed >20% vs the committed baseline.
 step "bench compare (throughput guard)" scripts/bench_compare.sh

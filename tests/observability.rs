@@ -8,8 +8,9 @@ use std::net::Ipv4Addr;
 const SIM_MS: u64 = 2 * 60_000;
 
 /// A small always-on world crawled start to finish, optionally under the
-/// obs recorder. Returns the aggregated store's JSON plus the recorder.
-fn crawl(instrument: bool) -> (String, Option<obs::Recorder>) {
+/// obs recorder and/or the shard-aware self-profiler. Returns the
+/// aggregated store's JSON plus the recorder.
+fn crawl(instrument: bool, profile: bool) -> (String, Option<obs::Recorder>) {
     let recorder = if instrument {
         let r = obs::Recorder::new();
         r.install();
@@ -17,6 +18,9 @@ fn crawl(instrument: bool) -> (String, Option<obs::Recorder>) {
     } else {
         None
     };
+    if profile {
+        obs::profile::install();
+    }
     let config = WorldConfig {
         seed: 77,
         n_nodes: 12,
@@ -44,6 +48,13 @@ fn crawl(instrument: bool) -> (String, Option<obs::Recorder>) {
         .downcast::<NodeFinder>()
         .unwrap();
     let store = DataStore::from_log(&crawler.log);
+    if profile {
+        assert!(
+            obs::profile::export_json().is_some(),
+            "profiler was installed but produced no export"
+        );
+        obs::profile::uninstall();
+    }
     obs::uninstall();
     (store.to_json(), recorder)
 }
@@ -53,8 +64,8 @@ fn crawl(instrument: bool) -> (String, Option<obs::Recorder>) {
 /// built on.
 #[test]
 fn trace_export_is_byte_identical_across_same_seed_runs() {
-    let (store_a, rec_a) = crawl(true);
-    let (store_b, rec_b) = crawl(true);
+    let (store_a, rec_a) = crawl(true, false);
+    let (store_b, rec_b) = crawl(true, false);
     let rec_a = rec_a.unwrap();
     let rec_b = rec_b.unwrap();
     assert!(rec_a.event_count() > 0, "trace must not be empty");
@@ -68,8 +79,8 @@ fn trace_export_is_byte_identical_across_same_seed_runs() {
 /// events, so the instrumented world replays the uninstrumented one.
 #[test]
 fn recorder_has_zero_observer_effect() {
-    let (instrumented, _rec) = crawl(true);
-    let (bare, _) = crawl(false);
+    let (instrumented, _rec) = crawl(true, false);
+    let (bare, _) = crawl(false, false);
     assert_eq!(instrumented, bare);
 }
 
@@ -77,7 +88,7 @@ fn recorder_has_zero_observer_effect() {
 /// RLPx frames, DEVp2p HELLOs, crawler funnel counters, engine totals.
 #[test]
 fn all_layers_report_metrics() {
-    let (_store, rec) = crawl(true);
+    let (_store, rec) = crawl(true, false);
     let rec = rec.unwrap();
     for counter in [
         "netsim.events_total",
@@ -109,7 +120,7 @@ fn all_layers_report_metrics() {
 /// the flight recorder, without touching the DataStore.
 #[test]
 fn trace_query_exposes_stage_latencies() {
-    let (_store, rec) = crawl(true);
+    let (_store, rec) = crawl(true, false);
     let rec = rec.unwrap();
     let q = rec.query();
     for stage in [
@@ -129,4 +140,106 @@ fn trace_query_exposes_stage_latencies() {
     let done = q.named("crawler.probe.done");
     assert!(!done.is_empty());
     assert!(done.iter().any(|e| e.field("responded").is_some()));
+}
+
+/// The wall-clock self-profiler is quarantined: running the same seed
+/// with profiling on must leave every exported byte — trace, metrics,
+/// DataStore — identical to a run with profiling off. Wall time may only
+/// ever surface in the profiler's own report.
+#[test]
+fn profiler_has_zero_observer_effect() {
+    let (store_prof, rec_prof) = crawl(true, true);
+    let (store_bare, rec_bare) = crawl(true, false);
+    let rec_prof = rec_prof.unwrap();
+    let rec_bare = rec_bare.unwrap();
+    assert_eq!(
+        rec_prof.export_jsonl(),
+        rec_bare.export_jsonl(),
+        "profiler perturbed the JSONL trace"
+    );
+    assert_eq!(
+        rec_prof.prometheus(),
+        rec_bare.prometheus(),
+        "profiler perturbed the Prometheus snapshot"
+    );
+    assert_eq!(store_prof, store_bare, "profiler perturbed the DataStore");
+}
+
+/// Causal provenance end to end: a completed STATUS handshake's trace
+/// event chains back through the handshake stages of the same connection
+/// to an external root, with depth matching the chain length exactly.
+///
+/// The peer pipelines its responses: the RLPx ack and its HELLO both
+/// answer the crawler's auth (sent during the connect dispatch), and
+/// its STATUS answers the crawler's HELLO (sent during the auth
+/// dispatch). So the recorded causal forest for one connection is
+/// connect → {auth, hello} and auth → status — the STATUS receipt
+/// chains status → auth → connect, with the hello receipt a sibling
+/// branch off the same connect root.
+#[test]
+fn status_span_chains_back_through_the_handshake_to_a_root() {
+    let (_store, rec) = crawl(true, false);
+    let rec = rec.unwrap();
+    let q = rec.query();
+
+    let status = q.named("crawler.stage.status_ms");
+    assert!(!status.is_empty(), "no STATUS spans recorded");
+    // Join the four stages of one connection via the conn field each
+    // stage span carries. Not every probed connection walks all four
+    // stages (a probe can ride an already-established connection), so
+    // pick the first STATUS completion whose conn has the full set.
+    let stage_key = |name: &str, conn: &obs::Value| {
+        q.named(name)
+            .into_iter()
+            .find(|e| e.field("conn") == Some(conn))
+            .map(|e| e.key)
+    };
+    let (status_ev, hello_key, auth_key, connect_key) = status
+        .iter()
+        .find_map(|ev| {
+            let conn = ev.field("conn")?;
+            Some((
+                ev,
+                stage_key("crawler.stage.hello_ms", conn)?,
+                stage_key("crawler.stage.auth_ms", conn)?,
+                stage_key("crawler.stage.connect_ms", conn)?,
+            ))
+        })
+        .expect("no connection completed all four handshake stages");
+    assert_ne!(status_ev.key, 0, "stage span missing its dispatch key");
+
+    let chain = q.chain(status_ev.key);
+    assert_eq!(chain[0], status_ev.key);
+    // The chain visits the earlier stages in reverse causal order.
+    let pos = |key: u64| {
+        chain
+            .iter()
+            .position(|&k| k == key)
+            .unwrap_or_else(|| panic!("key {key} not on the causal chain {chain:?}"))
+    };
+    assert!(
+        pos(auth_key) < pos(connect_key),
+        "auth must be causally downstream of connect in {chain:?}"
+    );
+    // The pipelined hello receipt branches off the same connect root.
+    let hello_chain = q.chain(hello_key);
+    assert_eq!(
+        hello_chain.get(1),
+        Some(&connect_key),
+        "hello's causal parent must be the connect stage"
+    );
+    // Both chains terminate at an external root (cause 0), and depth
+    // counts the links exactly.
+    for (chain, ev_depth) in [
+        (&chain, status_ev.depth),
+        (&hello_chain, q.events_for_key(hello_key)[0].depth),
+    ] {
+        let root = *chain.last().unwrap();
+        assert_eq!(q.cause_of(root), Some(0), "chain did not reach a root");
+        assert_eq!(
+            chain.len(),
+            ev_depth as usize + 1,
+            "depth must equal the number of causal links"
+        );
+    }
 }
