@@ -40,6 +40,10 @@ struct RunOutput {
     recorder: Option<obs::Recorder>,
     profile_json: Option<String>,
     wall_ms: u64,
+    /// Retained crawler heap at end of run (`NodeFinder::approx_heap_bytes`):
+    /// intern table + dense tables + penalty box, excluding the event log.
+    /// Deterministic for a fixed seed, so `bench_compare.sh` can gate it.
+    crawler_heap_bytes: usize,
 }
 
 /// One full reference crawl, optionally under the obs recorder and the
@@ -135,6 +139,7 @@ fn run_crawl(instrument: bool, profile: bool) -> RunOutput {
         .downcast::<NodeFinder>()
         .expect("NodeFinder behaviour");
     let store = DataStore::from_log(&crawler.log);
+    let crawler_heap_bytes = crawler.approx_heap_bytes();
     let wall_ms = t0.elapsed().as_millis() as u64;
     let profile_json = obs::profile::export_json();
     obs::profile::uninstall();
@@ -146,6 +151,7 @@ fn run_crawl(instrument: bool, profile: bool) -> RunOutput {
         recorder,
         profile_json,
         wall_ms,
+        crawler_heap_bytes,
     }
 }
 
@@ -206,6 +212,13 @@ fn main() {
     let events_total = rec.counter("netsim.events_total");
     let sim_secs = SIM_MS / 1000;
     let wall_ms = run_a.wall_ms.max(1);
+    // Retained-heap-per-event allocation proxy: the crawler's dense
+    // tables grow with the population, not with event count, so this
+    // ratio shrinks as the compact-id layout gets tighter. Deterministic
+    // (integer heap bytes over an integer event count at a fixed seed),
+    // which is what lets bench_compare gate it against the committed
+    // baseline without a noise band.
+    let alloc_bytes_per_event = run_a.crawler_heap_bytes as f64 / events_total.max(1) as f64;
     let bench = format!(
         "{{\n\
          \x20 \"world\": \"full_stack mixed population (36 honest + 4 byzantine, seed 4242)\",\n\
@@ -215,6 +228,8 @@ fn main() {
          \x20 \"events_per_sim_second\": {},\n\
          \x20 \"sim_events_per_wall_second\": {},\n\
          \x20 \"peak_queue_depth\": {},\n\
+         \x20 \"crawler_heap_bytes\": {},\n\
+         \x20 \"alloc_bytes_per_event\": {alloc_bytes_per_event:.3},\n\
          \x20 \"trace_events_recorded\": {},\n\
          \x20 \"trace_events_dropped\": {},\n\
          \x20 \"handshake_stages\": {{\n\
@@ -227,6 +242,7 @@ fn main() {
         events_total / sim_secs.max(1),
         events_total * 1000 / wall_ms,
         rec.gauge("netsim.queue_depth_peak"),
+        run_a.crawler_heap_bytes,
         rec.event_count(),
         rec.dropped_events(),
         stage_json(rec, "crawler.stage.connect_ms"),

@@ -10,10 +10,20 @@
 //! - peak event-queue depth (from the engine's own high-water mark) and
 //!   per-shard event counts (the sharded scheduler's load split);
 //! - an RSS proxy read from `/proc/self/status` (`VmRSS` before the
-//!   build, after the run, after tearing the world down, and the
-//!   process-wide `VmHWM` peak — the workspace forbids `unsafe`, so a
-//!   counting allocator is out);
+//!   build, after the run, after tearing the world down, and the `VmHWM`
+//!   peak — the workspace forbids `unsafe`, so a counting allocator is
+//!   out);
 //! - per-handshake-stage latency quantiles from the crawler.
+//!
+//! Each tier runs in its own child process (the binary re-execs itself
+//! with `SCALE_TIER_WORKER` set). This is what makes the RSS proxy
+//! honest: in a single-process sweep, tier N's `rss_before_kb` reads the
+//! allocator's retained pages from tier N−1 (glibc rarely returns freed
+//! arenas to the kernel), and `VmHWM` is a process-lifetime high-water
+//! mark, so every tier after the largest one reports the largest tier's
+//! peak. A fresh process per tier gives each row its own baseline and
+//! its own peak. `SCALE_IN_PROCESS=1` forces the old single-process
+//! path (useful under ptrace or when re-exec is unavailable).
 //!
 //! The artifact also carries a shard-divergence check: a small world run
 //! at shard counts {1, 4} whose obs exports are byte-compared
@@ -29,6 +39,9 @@
 //!   tiers this way).
 //! - `SCALE_SIM_MS=2000` — override each tier's simulated duration.
 //! - `SCALE_SHARD_CHECK=0` — skip the divergence check.
+//! - `SCALE_FULL=1` — append the 250,000-host tier to the sweep (short
+//!   simulated slice; the committed full artifact is regenerated this
+//!   way, CI smokes never run it).
 
 use adversary::{GarbageHello, ResetAfterN, SlowLoris, Tarpit};
 use enode::{Endpoint, NodeId, NodeRecord};
@@ -38,15 +51,26 @@ use netsim::{Host, HostAddr, HostMeta, Region};
 use nodefinder::{CrawlerConfig, NodeFinder};
 use std::net::Ipv4Addr;
 
-/// The full sweep: (hosts, simulated ms, scheduler shards). Durations are
-/// sized so the largest tier finishes on a laptop; the 50,000-host tier
-/// runs sharded to exercise the barrier-epoch scheduler at scale.
+/// The full sweep: (hosts, simulated ms, scheduler shards). Every curve
+/// tier runs the same simulated window so cross-tier rates compare
+/// per-event cost on the same workload phase mix — a short window on one
+/// tier and a long window on another would weight the join storm and the
+/// first-encounter handshake burst (both population-proportional, both
+/// crypto-heavy) differently per tier and turn the ratio guard into a
+/// workload comparison. The 50,000-host tier runs sharded to exercise
+/// the barrier-epoch scheduler at scale.
 const TIERS: [(usize, u64, usize); 4] = [
-    (250, 60_000, 1),
-    (1_000, 60_000, 1),
-    (5_000, 60_000, 1),
-    (50_000, 10_000, 8),
+    (250, 20_000, 1),
+    (1_000, 20_000, 1),
+    (5_000, 20_000, 1),
+    (50_000, 20_000, 8),
 ];
+
+/// The quarter-million-host tier, appended to the sweep only under
+/// `SCALE_FULL=1`. The slice is short — the point of the tier is that a
+/// 250k world *builds and runs at all* inside the per-host memory
+/// budget, and that throughput stays on the flat part of the curve.
+const FULL_TIER: (usize, u64, usize) = (250_000, 2_000, 8);
 
 struct TierResult {
     hosts: usize,
@@ -55,6 +79,13 @@ struct TierResult {
     shards: usize,
     build_wall_ms: u64,
     run_wall_ms: u64,
+    /// Simulated warmup boundary (`sim_ms / 5`): everything before it is
+    /// the join storm, everything after is steady state.
+    warmup_ms: u64,
+    /// Wall-clock spent inside the warmup window.
+    warm_wall_ms: u64,
+    /// Events dispatched inside the warmup window.
+    warm_events: u64,
     sim_events_total: u64,
     shard_events: Vec<u64>,
     peak_queue_depth: u64,
@@ -131,7 +162,15 @@ fn build_world(n_hosts: usize, sim_ms: u64, shards: usize) -> (World, usize) {
     // Archetype labels for the profiler's cost rollup (no-ops when the
     // profiler is not installed, e.g. in the shard-divergence check).
     for n in &world.nodes {
-        obs::profile::host_label(n.host as u64, n.client_family);
+        // Bootstrap hosts get their own rollup bucket: they absorb the
+        // join storm, so their cost curve is the first place to look
+        // when a tier's throughput regresses.
+        let label = if n.bootstrap {
+            "bootstrap"
+        } else {
+            n.client_family
+        };
+        obs::profile::host_label(n.host as u64, label);
     }
 
     type AdvFactory = fn(SecretKey, Vec<Endpoint>) -> Box<dyn Host>;
@@ -202,8 +241,20 @@ fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
     let (mut world, byzantine) = build_world(n_hosts, sim_ms, shards);
     let build_wall_ms = t0.elapsed().as_millis() as u64;
 
+    // Steady-state split: the first fifth of the slice is the join storm
+    // (every fresh node bonding against the same 16 bootstrap hosts, a
+    // pure-crypto burst whose *size* scales with the population while the
+    // rest of the slice does not). Running to the warmup boundary first is
+    // trace-invariant — the scheduler always dispatches the globally
+    // minimal `(at, key)`, so an extra outer boundary changes nothing —
+    // and lets the tier report a post-storm steady-state rate alongside
+    // the whole-slice rate.
+    let warmup_ms = sim_ms / 5;
     // detlint: allow(R1) -- bench harness measures wall-clock throughput outside the simulation
     let t1 = std::time::Instant::now();
+    world.sim.run_until(warmup_ms);
+    let warm_wall_ms = t1.elapsed().as_millis() as u64;
+    let warm_events = world.sim.events_processed();
     world.sim.run_until(sim_ms);
     let run_wall_ms = t1.elapsed().as_millis() as u64;
 
@@ -256,6 +307,9 @@ fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
         shards,
         build_wall_ms,
         run_wall_ms,
+        warmup_ms,
+        warm_wall_ms,
+        warm_events,
         sim_events_total,
         shard_events,
         peak_queue_depth,
@@ -275,6 +329,19 @@ fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
         barrier_stall_ms,
         top_kinds,
     };
+    // Debug aid for tier-cost triage: dump the full Prometheus snapshot
+    // (protocol counters per tier) next to the requested path.
+    if let Ok(path) = std::env::var("SCALE_DUMP_METRICS") {
+        let _ = std::fs::write(format!("{path}.{n_hosts}"), recorder.prometheus());
+        if let Some(s) = prof.as_ref() {
+            let lines: String = s
+                .archetypes
+                .iter()
+                .map(|(l, h, e, ms)| format!("{l} hosts={h} events={e} total_ms={ms}\n"))
+                .collect();
+            let _ = std::fs::write(format!("{path}.{n_hosts}.arch"), lines);
+        }
+    }
     obs::uninstall();
     result
 }
@@ -310,6 +377,14 @@ fn shard_divergence_check() -> bool {
 
 fn tier_json(t: &TierResult) -> String {
     let rate = t.sim_events_total * 1000 / t.run_wall_ms.max(1);
+    // Post-warmup throughput: events and wall time after the join-storm
+    // window. This is what the cross-tier ratio guard compares — the
+    // storm's *size* scales with the population (50k fresh nodes all
+    // bonding against the same 16 bootstrap hosts), so the whole-slice
+    // rate mixes a population-proportional crypto burst into what is
+    // otherwise a per-event cost comparison.
+    let steady_rate =
+        (t.sim_events_total - t.warm_events) * 1000 / (t.run_wall_ms - t.warm_wall_ms).max(1);
     let shard_events: Vec<String> = t.shard_events.iter().map(u64::to_string).collect();
     let utilization: Vec<String> = t
         .shard_utilization
@@ -327,6 +402,9 @@ fn tier_json(t: &TierResult) -> String {
          \x20   \"run_wall_ms\": {},\n\
          \x20   \"sim_events_total\": {},\n\
          \x20   \"sim_events_per_wall_second\": {rate},\n\
+         \x20   \"warmup_ms\": {},\n\
+         \x20   \"warmup_events\": {},\n\
+         \x20   \"steady_events_per_wall_second\": {steady_rate},\n\
          \x20   \"shard_events\": [{}],\n\
          \x20   \"imbalance_ratio\": {:.2},\n\
          \x20   \"shard_utilization\": [{}],\n\
@@ -346,6 +424,8 @@ fn tier_json(t: &TierResult) -> String {
         t.build_wall_ms,
         t.run_wall_ms,
         t.sim_events_total,
+        t.warmup_ms,
+        t.warm_events,
         shard_events.join(","),
         t.imbalance_ratio,
         utilization.join(","),
@@ -361,19 +441,99 @@ fn tier_json(t: &TierResult) -> String {
 }
 
 /// Tier parameters for a host count: the sweep-table entry when there is
-/// one, otherwise 60 s single-shard (large ad-hoc tiers get 8 shards).
+/// one, otherwise the standard 20 s window (large ad-hoc tiers get 8
+/// shards).
 fn tier_params(n: usize) -> (u64, usize) {
     TIERS
         .iter()
+        .chain(std::iter::once(&FULL_TIER))
         .find(|(hosts, _, _)| *hosts == n)
         .map(|&(_, sim_ms, shards)| (sim_ms, shards))
-        .unwrap_or((60_000, if n >= 50_000 { 8 } else { 1 }))
+        .unwrap_or((20_000, if n >= 50_000 { 8 } else { 1 }))
+}
+
+/// Run one tier and print its JSON record plus a human summary. Shared
+/// by the child-process worker and the `SCALE_IN_PROCESS=1` fallback.
+fn run_tier_to_json(n: usize, sim_ms: u64, shards: usize) -> String {
+    eprintln!("bench_scale: tier {n} hosts, {sim_ms} sim-ms, {shards} shard(s) ...");
+    let t = run_tier(n, sim_ms, shards);
+    eprintln!(
+        "bench_scale: tier {n}: {} events in {} ms wall ({} ev/wall-s whole-slice, {} steady), peak queue {}, rss peak {} kB",
+        t.sim_events_total,
+        t.run_wall_ms,
+        t.sim_events_total * 1000 / t.run_wall_ms.max(1),
+        (t.sim_events_total - t.warm_events) * 1000 / (t.run_wall_ms - t.warm_wall_ms).max(1),
+        t.peak_queue_depth,
+        t.rss_peak_kb,
+    );
+    tier_json(&t)
+}
+
+/// Re-exec this binary to run one tier in a fresh process, so the tier's
+/// RSS baseline and `VmHWM` peak are its own. Falls back to in-process
+/// on spawn failure (and under `SCALE_IN_PROCESS=1`).
+fn run_tier_isolated(n: usize, sim_ms: u64, shards: usize) -> String {
+    if std::env::var("SCALE_IN_PROCESS").as_deref() == Ok("1") {
+        return run_tier_to_json(n, sim_ms, shards);
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench_scale: current_exe unavailable ({e}); running tier in-process");
+            return run_tier_to_json(n, sim_ms, shards);
+        }
+    };
+    let out = std::process::Command::new(exe)
+        .env("SCALE_TIER_WORKER", format!("{n},{sim_ms},{shards}"))
+        .output();
+    match out {
+        Ok(out) if out.status.success() => {
+            // The worker's stderr (progress lines) is replayed, its
+            // stdout is exactly the tier's JSON record.
+            eprint!("{}", String::from_utf8_lossy(&out.stderr));
+            String::from_utf8(out.stdout)
+                .expect("tier worker emitted non-UTF-8 JSON")
+                .trim_end()
+                .to_string()
+        }
+        Ok(out) => {
+            eprint!("{}", String::from_utf8_lossy(&out.stderr));
+            eprintln!(
+                "bench_scale: FAIL — tier {n} worker exited with {}",
+                out.status
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench_scale: re-exec failed ({e}); running tier in-process");
+            run_tier_to_json(n, sim_ms, shards)
+        }
+    }
 }
 
 fn main() {
+    // Child-process mode: run exactly one tier, print its JSON record on
+    // stdout, and exit. The parent sweep below spawns one of these per
+    // tier so every row gets a fresh-process RSS baseline.
+    if let Ok(spec) = std::env::var("SCALE_TIER_WORKER") {
+        let parts: Vec<u64> = spec
+            .split(',')
+            .map(|s| {
+                s.parse()
+                    .expect("SCALE_TIER_WORKER must be n,sim_ms,shards")
+            })
+            .collect();
+        assert_eq!(parts.len(), 3, "SCALE_TIER_WORKER must be n,sim_ms,shards");
+        println!(
+            "{}",
+            run_tier_to_json(parts[0] as usize, parts[1], parts[2] as usize)
+        );
+        return;
+    }
+
     // A TIERS subset (e.g. the CI smoke run) writes to its own artifact
-    // so it never clobbers the committed full four-tier sweep.
-    let (tiers, artifact): (Vec<(usize, u64, usize)>, &str) = match std::env::var("TIERS") {
+    // so it never clobbers the committed full sweep.
+    let (mut tiers, artifact): (Vec<(usize, u64, usize)>, &str) = match std::env::var("TIERS") {
         Ok(v) => (
             v.split(',')
                 .map(|s| {
@@ -386,6 +546,9 @@ fn main() {
         ),
         Err(_) => (TIERS.to_vec(), "BENCH_scale.json"),
     };
+    if std::env::var("SCALE_FULL").as_deref() == Ok("1") && artifact == "BENCH_scale.json" {
+        tiers.push(FULL_TIER);
+    }
     let sim_override: Option<u64> = std::env::var("SCALE_SIM_MS")
         .ok()
         .map(|v| v.parse().expect("SCALE_SIM_MS must be milliseconds"));
@@ -393,17 +556,7 @@ fn main() {
     let mut results = Vec::new();
     for &(n, tier_sim_ms, shards) in &tiers {
         let sim_ms = sim_override.unwrap_or(tier_sim_ms);
-        eprintln!("bench_scale: tier {n} hosts, {sim_ms} sim-ms, {shards} shard(s) ...");
-        let t = run_tier(n, sim_ms, shards);
-        eprintln!(
-            "bench_scale: tier {n}: {} events in {} ms wall ({} ev/wall-s), peak queue {}, rss peak {} kB",
-            t.sim_events_total,
-            t.run_wall_ms,
-            t.sim_events_total * 1000 / t.run_wall_ms.max(1),
-            t.peak_queue_depth,
-            t.rss_peak_kb,
-        );
-        results.push(t);
+        results.push(run_tier_isolated(n, sim_ms, shards));
     }
 
     let shard_check = if std::env::var("SCALE_SHARD_CHECK").as_deref() == Ok("0") {
@@ -421,7 +574,7 @@ fn main() {
         )
     };
 
-    let body: Vec<String> = results.iter().map(tier_json).collect();
+    let body: Vec<String> = results;
     let json = format!(
         "{{\n  \"tiers\": [\n{}\n  ],\n  \"shard_check\": {}\n}}\n",
         body.join(",\n"),

@@ -1,0 +1,8 @@
+// R13 fail: fat-keyed ordered maps probed on the per-event path.
+// hotpath -- runs once per simulated event
+fn dispatch(id: NodeId, addr: HostAddr, now: u64) -> usize {
+    let seen: BTreeMap<NodeId, u64> = BTreeMap::new();
+    let nat: BTreeSet<HostAddr> = BTreeSet::new();
+    let routed: BTreeMap<enode::NodeId, u64> = BTreeMap::new();
+    seen.len() + nat.len() + routed.len()
+}

@@ -152,6 +152,9 @@ pub struct FnDef {
     pub body: Option<BodySpan>,
     /// Carries a `// hotpath` marker (R12 allocation lint).
     pub hotpath: bool,
+    /// Carries the `// hotpath: fat-key -- <why>` variant: hotpath with
+    /// the fat-keyed-map lint (R13) waived.
+    pub hotpath_fatkey: bool,
 }
 
 /// An `impl` block header (inherent or trait impl).
@@ -192,6 +195,9 @@ pub fn parse_items(masked_file: &MaskedFile, toks: &[Tok]) -> ItemTable {
 /// comments, doc comments) for the upward attachment walk.
 struct MarkerCtx {
     hotpath: BTreeMap<usize, ()>,
+    /// `// hotpath: fat-key -- <why>` lines: still hotpath (R12), but the
+    /// fat-keyed-map lint (R13) is waived for the attached fn.
+    hotpath_fatkey: BTreeMap<usize, ()>,
     shard_state: BTreeMap<usize, ()>,
     /// Lines whose masked content is empty but carried a `//` comment.
     comment_only: BTreeMap<usize, ()>,
@@ -202,6 +208,7 @@ struct MarkerCtx {
 impl MarkerCtx {
     fn new(masked_file: &MaskedFile) -> Self {
         let mut hotpath = BTreeMap::new();
+        let mut hotpath_fatkey = BTreeMap::new();
         let mut shard_state = BTreeMap::new();
         let mut comment_lines = BTreeMap::new();
         for comment in &masked_file.line_comments {
@@ -209,6 +216,12 @@ impl MarkerCtx {
             let body = comment.text.trim_start_matches('/').trim();
             if marker_matches(body, "hotpath") {
                 hotpath.insert(comment.line, ());
+            }
+            if marker_variant_matches(body, "hotpath", "fat-key") {
+                // The variant is still a hotpath marker (R12 applies);
+                // it additionally waives R13 for the attached fn.
+                hotpath.insert(comment.line, ());
+                hotpath_fatkey.insert(comment.line, ());
             }
             if marker_matches(body, "shard-state") {
                 shard_state.insert(comment.line, ());
@@ -224,6 +237,7 @@ impl MarkerCtx {
         }
         MarkerCtx {
             hotpath,
+            hotpath_fatkey,
             shard_state,
             comment_only,
             lines,
@@ -264,6 +278,21 @@ impl MarkerCtx {
 /// `body` matches `name` bare or with a ` -- note` suffix.
 fn marker_matches(body: &str, name: &str) -> bool {
     match body.strip_prefix(name) {
+        Some(rest) => rest.is_empty() || rest.trim_start().starts_with("--"),
+        None => false,
+    }
+}
+
+/// `body` matches `name: variant`, bare or with a ` -- note` suffix
+/// (e.g. `hotpath: fat-key -- cold diagnostic scan`).
+fn marker_variant_matches(body: &str, name: &str, variant: &str) -> bool {
+    let Some(rest) = body.strip_prefix(name) else {
+        return false;
+    };
+    let Some(rest) = rest.trim_start().strip_prefix(':') else {
+        return false;
+    };
+    match rest.trim_start().strip_prefix(variant) {
         Some(rest) => rest.is_empty() || rest.trim_start().starts_with("--"),
         None => false,
     }
@@ -739,6 +768,7 @@ fn parse_fn(
         i += 1;
     }
     let hotpath = ctx.attached(&ctx.hotpath, line);
+    let hotpath_fatkey = ctx.attached(&ctx.hotpath_fatkey, line);
     table.fns.push(FnDef {
         name,
         line,
@@ -746,6 +776,7 @@ fn parse_fn(
         params,
         body,
         hotpath,
+        hotpath_fatkey,
     });
     i
 }

@@ -1,4 +1,4 @@
-//! The twelve determinism, panic-safety, wire-policy & parallelism rules.
+//! The thirteen determinism, panic-safety, wire-policy & parallelism rules.
 
 use std::fmt;
 
@@ -35,10 +35,13 @@ pub enum Rule {
     /// No allocation/formatting (`format!`, `to_string`, `Vec::new`,
     /// `vec![]`, non-`Payload` `.clone()`) inside `// hotpath` fns.
     R12,
+    /// No fat-keyed ordered maps (`BTreeMap`/`BTreeSet` keyed by `NodeId`
+    /// or `HostAddr`) inside `// hotpath` fns — intern to compact ids.
+    R13,
 }
 
 /// All rules, in order.
-pub const ALL: [Rule; 12] = [
+pub const ALL: [Rule; 13] = [
     Rule::R1,
     Rule::R2,
     Rule::R3,
@@ -51,6 +54,7 @@ pub const ALL: [Rule; 12] = [
     Rule::R10,
     Rule::R11,
     Rule::R12,
+    Rule::R13,
 ];
 
 impl Rule {
@@ -69,10 +73,11 @@ impl Rule {
             Rule::R10 => "R10",
             Rule::R11 => "R11",
             Rule::R12 => "R12",
+            Rule::R13 => "R13",
         }
     }
 
-    /// Parse `R1`..`R12` (case-insensitive).
+    /// Parse `R1`..`R13` (case-insensitive).
     pub fn parse(text: &str) -> Option<Rule> {
         match text.trim().to_ascii_uppercase().as_str() {
             "R1" => Some(Rule::R1),
@@ -87,6 +92,7 @@ impl Rule {
             "R10" => Some(Rule::R10),
             "R11" => Some(Rule::R11),
             "R12" => Some(Rule::R12),
+            "R13" => Some(Rule::R13),
             _ => None,
         }
     }
@@ -107,6 +113,7 @@ impl Rule {
             Rule::R10 => "R10.annotation",
             Rule::R11 => "R11.annotation",
             Rule::R12 => "R12.annotation",
+            Rule::R13 => "R13.annotation",
         }
     }
 
@@ -127,6 +134,7 @@ impl Rule {
             }
             Rule::R11 => "shard-state types carry no Rc/RefCell/raw-pointer fields",
             Rule::R12 => "no allocation or formatting inside hotpath functions",
+            Rule::R13 => "no BTreeMap/BTreeSet keyed by NodeId/HostAddr inside hotpath functions",
         }
     }
 
@@ -343,6 +351,27 @@ impl Rule {
                  Escape hatch: `// detlint: allow(R12) -- <why>` (e.g. a cold error\n\
                  path inside a hot fn)."
             }
+            Rule::R13 => {
+                "R13: no BTreeMap/BTreeSet keyed by NodeId/HostAddr inside hotpath\n\
+                 functions.\n\
+                 \n\
+                 A `BTreeMap<NodeId, _>` probe walks a comparison chain of 64-byte\n\
+                 memcmps; on the crawler and netsim hot paths that chain runs once per\n\
+                 simulated event. PR 9 interned node ids into world-scoped `u32`\n\
+                 compact ids (`enode::Interner`) and converted the hot tables to dense\n\
+                 vec-indexed layouts (`nodefinder::dense`, netsim's `AddrIndex`), with\n\
+                 the boundary rule that wire and exports still only ever see the full\n\
+                 id. This rule keeps fat-keyed ordered maps from creeping back into\n\
+                 the paths that were converted: name a type, not a profile, and the\n\
+                 regression is caught at lint time instead of at the 250k-host tier.\n\
+                 \n\
+                 Flags, inside `// hotpath` fns: a `BTreeMap<K, _>` or `BTreeSet<K>`\n\
+                 token whose first type argument is `NodeId` or `HostAddr`.\n\
+                 Escape hatch: mark the fn `// hotpath: fat-key -- <why>` (stating why\n\
+                 a fat-keyed tree is correct there, e.g. a cold diagnostic path that\n\
+                 must iterate in NodeId order), or `// detlint: allow(R13) -- <why>`\n\
+                 on the flagged line."
+            }
         }
     }
 }
@@ -363,7 +392,7 @@ mod tests {
             assert_eq!(Rule::parse(rule.id()), Some(rule));
             assert_eq!(Rule::parse(&rule.id().to_lowercase()), Some(rule));
         }
-        assert_eq!(Rule::parse("R13"), None);
+        assert_eq!(Rule::parse("R14"), None);
         assert_eq!(Rule::parse("R0"), None);
     }
 

@@ -634,6 +634,7 @@ fn check_rust_file(path: &str, source: &str, violations: &mut Vec<Violation>) ->
     );
     semantic::check_r10_uses(path, &table, violations);
     semantic::check_r12(path, &table, &toks, &allowances, violations);
+    semantic::check_r13(path, &table, &toks, &allowances, violations);
 
     FileRecord {
         path: path.to_string(),

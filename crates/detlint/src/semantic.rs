@@ -1,6 +1,7 @@
 //! Semantic rules over the item table: R8 (shared mutable state), R9 (RNG
 //! stream discipline), R10's `use`-import half, R11 (shard-state field
-//! audit) and R12 (hot-path allocation lint).
+//! audit), R12 (hot-path allocation lint) and R13 (hot-path fat-keyed
+//! ordered maps).
 //!
 //! These rules see structure — declarations, fn bodies, field types — where
 //! R1–R7 see tokens. They still over-approximate deliberately: R9's
@@ -731,6 +732,88 @@ pub fn check_r12(
             i += 1;
         }
     }
+}
+
+/// Fat key types whose BTree comparisons are multi-word memcmp chains on
+/// a per-event path (rule R13): the 64-byte node id and the transport
+/// address. Intern to `CompactId` / pack to a scalar instead.
+const FAT_KEYS: [&str; 2] = ["NodeId", "HostAddr"];
+
+/// R13: no `BTreeMap`/`BTreeSet` keyed by `NodeId`/`HostAddr` inside
+/// `// hotpath` fns. Every probe of such a map walks a comparison chain
+/// of fat-key memcmps; the hot tables were converted to compact-id dense
+/// layouts in PR 9 and this rule keeps the fat-keyed form from creeping
+/// back. The `// hotpath: fat-key -- <why>` marker variant waives the
+/// rule for a whole fn; `// detlint: allow(R13) -- <why>` waives one line.
+pub fn check_r13(
+    path: &str,
+    table: &ItemTable,
+    toks: &[Tok],
+    allowances: &Allowances,
+    violations: &mut Vec<Violation>,
+) {
+    for fn_def in &table.fns {
+        if !fn_def.hotpath || fn_def.hotpath_fatkey {
+            continue;
+        }
+        let Some(body) = fn_def.body else {
+            continue;
+        };
+        let mut i = body.tok_lo;
+        while i < body.tok_hi {
+            if let Some(container @ ("BTreeMap" | "BTreeSet")) = word_at(toks, i) {
+                if is_punct(toks, i + 1, '<') {
+                    if let Some(key) = first_type_arg(toks, i + 2, body.tok_hi) {
+                        if FAT_KEYS.contains(&key) {
+                            let line = toks[i].line;
+                            if !allowances.allows(line, Rule::R13) {
+                                violations.push(Violation {
+                                    rule: Rule::R13,
+                                    code: match container {
+                                        "BTreeMap" => "R13.btreemap",
+                                        _ => "R13.btreeset",
+                                    },
+                                    path: path.to_string(),
+                                    line,
+                                    message: format!(
+                                        "`{container}<{key}, …>` in hotpath fn `{}` probes \
+                                         fat keys; intern to CompactId (see --explain R13)",
+                                        fn_def.name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// The last path segment of the first type argument starting at `i` (just
+/// past the `<`): skips `&` borrows and `path::` qualifiers, so
+/// `BTreeMap<enode::NodeId, u64>` resolves to `NodeId`.
+fn first_type_arg(toks: &[Tok], mut i: usize, hi: usize) -> Option<&str> {
+    while i < hi && is_punct(toks, i, '&') {
+        i += 1;
+    }
+    let mut last = None;
+    while i < hi {
+        match word_at(toks, i) {
+            Some(w) => {
+                last = Some(w);
+                i += 1;
+            }
+            None => break,
+        }
+        if is_punct(toks, i, ':') && is_punct(toks, i + 1, ':') {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    last
 }
 
 /// Identifiers known to hold a `Payload` (whose clone is a refcount bump):

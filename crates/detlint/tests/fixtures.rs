@@ -1,4 +1,4 @@
-//! Fixture self-test: every rule R1–R12 has one minimal passing and one
+//! Fixture self-test: every rule R1–R13 has one minimal passing and one
 //! minimal failing fixture under `fixtures/{pass,fail}/`, and the failing
 //! fixture produces exactly the expected diagnostic codes at the expected
 //! lines. This pins both halves of each rule: that it fires, and that its
@@ -118,6 +118,16 @@ const FIXTURES: &[Fixture] = &[
             ("R12.vec_macro", 6),
             ("R12.to_string", 7),
             ("R12.clone", 8),
+        ],
+    },
+    Fixture {
+        rule: "R13",
+        file: "r13.rs",
+        vpath: "crates/nodefinder/src/crawl.rs",
+        expected_fail: &[
+            ("R13.btreemap", 4),
+            ("R13.btreeset", 5),
+            ("R13.btreemap", 6),
         ],
     },
 ];

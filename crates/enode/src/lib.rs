@@ -14,9 +14,11 @@
 #![forbid(unsafe_code)]
 
 mod id;
+pub mod intern;
 mod record;
 mod url;
 
 pub use id::NodeId;
+pub use intern::{CompactId, Interner};
 pub use record::{Endpoint, NodeRecord};
 pub use url::EnodeUrlError;

@@ -1,0 +1,72 @@
+//! Property tests for the compact-id interner.
+//!
+//! The interner is the foundation of every dense hot-path table: ids
+//! must be dense (0..n in first-use order, so they double as vector
+//! indexes), stable (re-interning never moves an id), and lossless (the
+//! full 64-byte NodeId is always recoverable). These properties are what
+//! let exports print full hex NodeIds while the hot paths only ever
+//! touch `u32`s.
+
+// Tests assert on impossible-failure paths freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use enode::{Interner, NodeId};
+use proptest::prelude::*;
+
+/// Arbitrary 64-byte NodeId from two 32-byte halves (proptest generates
+/// arrays only up to 32 elements).
+fn arb_node_id() -> impl Strategy<Value = NodeId> {
+    (any::<[u8; 32]>(), any::<[u8; 32]>()).prop_map(|(a, b)| {
+        let mut id = [0u8; 64];
+        id[..32].copy_from_slice(&a);
+        id[32..].copy_from_slice(&b);
+        NodeId(id)
+    })
+}
+
+proptest! {
+    /// Round trip: every interned id resolves back to the exact NodeId,
+    /// and re-interning returns the same compact id.
+    #[test]
+    fn intern_round_trips(ids in proptest::collection::vec(arb_node_id(), 1..200)) {
+        let mut interner = Interner::new();
+        let cids: Vec<_> = ids.iter().map(|id| interner.intern(id)).collect();
+        for (id, cid) in ids.iter().zip(&cids) {
+            prop_assert_eq!(interner.resolve(*cid), id);
+            prop_assert_eq!(interner.intern(id), *cid, "re-intern moved an id");
+            prop_assert_eq!(interner.get(id), Some(*cid));
+        }
+    }
+
+    /// Ids are dense and assigned in first-occurrence order: the k-th
+    /// distinct NodeId gets compact id k. This is what makes compact ids
+    /// valid vector indexes *and* deterministic across same-seed runs.
+    #[test]
+    fn ids_are_dense_in_first_use_order(ids in proptest::collection::vec(arb_node_id(), 1..200)) {
+        let mut interner = Interner::new();
+        let mut first_seen: Vec<NodeId> = Vec::new();
+        for id in &ids {
+            let cid = interner.intern(id);
+            match first_seen.iter().position(|s| s == id) {
+                Some(k) => prop_assert_eq!(cid.index(), k),
+                None => {
+                    prop_assert_eq!(cid.index(), first_seen.len());
+                    first_seen.push(*id);
+                }
+            }
+        }
+        prop_assert_eq!(interner.len(), first_seen.len());
+    }
+
+    /// Two interners fed the same id sequence assign identical compact
+    /// ids — interning is a pure function of insertion history, with no
+    /// capacity- or hash-order dependence observable from outside.
+    #[test]
+    fn interning_is_deterministic(ids in proptest::collection::vec(arb_node_id(), 1..200)) {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        for id in &ids {
+            prop_assert_eq!(a.intern(id), b.intern(id));
+        }
+    }
+}

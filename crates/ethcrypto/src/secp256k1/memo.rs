@@ -72,19 +72,43 @@ type EcdhPair = ([u8; 64], [u8; 64]);
 /// (digest, r‖s‖v) cache key.
 type SigKey = ([u8; 32], [u8; 65]);
 
+// Capacity sizing: each cache must be large enough that an entry survives
+// from the operation that populates it to the operation that reads it back
+// — under FIFO eviction that means the cap must exceed the number of
+// *inserts* that can land in between. The signature cache is populated at
+// signing time and read at delivery, so its survival window is one network
+// latency's worth of signed packets: at 250,000 hosts the simulator signs
+// tens of thousands of packets per 300 simulated ms, and a 16k cap meant
+// every entry was evicted before its datagram arrived — recovery paid the
+// full scalar-mul at exactly the scales where it mattered most. The pubkey
+// cache is keyed by signing secret and hit once per signature, so it wants
+// one slot per live host key. Worst-case retained memory across all three
+// is ~100 MB, a rounding error against the per-host budget of the worlds
+// that need them.
+
+/// One slot per live signing key: ≥ the largest world's host count.
+const PUBKEY_CACHE_CAP: usize = 1 << 19;
+/// Static-static pairs must survive from a pair's *first* handshake to
+/// its redials minutes later — the cap has to cover every distinct peer
+/// pair a large world forms, not just one round trip's ephemerals.
+const ECDH_CACHE_CAP: usize = 1 << 19;
+/// Signed-packet survival window: signatures produced between a packet's
+/// signing and its delivery, with headroom for the 250k-host join storm.
+const SIG_CACHE_CAP: usize = 1 << 18;
+
 thread_local! {
     /// secret scalar bytes -> public key point.
     // detlint: allow(R8) -- pure-function memo cache: hit or miss changes speed, never results
     static PUBKEY: RefCell<FifoCache<[u8; 32], Affine>> =
-        RefCell::new(FifoCache::new(4096));
+        RefCell::new(FifoCache::new(PUBKEY_CACHE_CAP));
     /// unordered (pk, pk) pair -> ECDH shared x coordinate.
     // detlint: allow(R8) -- pure-function memo cache: hit or miss changes speed, never results
     static ECDH: RefCell<FifoCache<EcdhPair, [u8; 32]>> =
-        RefCell::new(FifoCache::new(8192));
+        RefCell::new(FifoCache::new(ECDH_CACHE_CAP));
     /// (digest, r‖s‖v) -> signer public key point.
     // detlint: allow(R8) -- pure-function memo cache: hit or miss changes speed, never results
     static SIG: RefCell<FifoCache<SigKey, Affine>> =
-        RefCell::new(FifoCache::new(16384));
+        RefCell::new(FifoCache::new(SIG_CACHE_CAP));
 }
 
 pub(crate) fn pubkey_get(scalar: &[u8; 32]) -> Option<Affine> {

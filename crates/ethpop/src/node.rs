@@ -116,6 +116,12 @@ pub struct EthNode {
     bootstrap: Rc<[NodeRecord]>,
     disc: Option<Discv4>,
     conns: BTreeMap<ConnId, PeerConn>,
+    /// Count of `conns` entries whose `is_active()` is true, maintained
+    /// incrementally by [`EthNode::with_conn_mut`] / [`EthNode::drop_conn`].
+    /// `at_capacity` runs on every datagram (via `arm_disc`), and bootstrap
+    /// nodes accumulate population-sized `conns` maps — a scan there is the
+    /// dominant join-storm cost at 50k hosts.
+    active_conns: usize,
     /// Conns that have completed the eth STATUS check (true peers).
     eth_ready: BTreeSet<ConnId>,
     candidates: VecDeque<NodeRecord>,
@@ -145,6 +151,7 @@ impl EthNode {
             bootstrap: bootstrap.into(),
             disc: None,
             conns: BTreeMap::new(),
+            active_conns: 0,
             eth_ready: BTreeSet::new(),
             candidates: VecDeque::new(),
             known: BTreeSet::new(),
@@ -243,12 +250,35 @@ impl EthNode {
         }
     }
 
+    // hotpath -- `at_capacity` runs per datagram via arm_disc; the count is
+    // maintained incrementally, never by scanning `conns`
     fn active_peers(&self) -> usize {
-        self.conns.values().filter(|c| c.is_active()).count()
+        debug_assert_eq!(
+            self.active_conns,
+            self.conns.values().filter(|c| c.is_active()).count(),
+            "active_conns counter out of sync with conns map"
+        );
+        self.active_conns
     }
 
     fn at_capacity(&self) -> bool {
         self.active_peers() >= self.profile.max_peers
+    }
+
+    /// Run `f` on the connection's [`PeerConn`], keeping `active_conns` in
+    /// sync across any stage transition `f` causes. Every mutable access
+    /// to an entry of `conns` must go through here (or `drop_conn`).
+    fn with_conn_mut<R>(&mut self, conn: ConnId, f: impl FnOnce(&mut PeerConn) -> R) -> Option<R> {
+        let pc = self.conns.get_mut(&conn)?;
+        let was_active = pc.is_active();
+        let r = f(pc);
+        let is_active = pc.is_active();
+        match (was_active, is_active) {
+            (false, true) => self.active_conns += 1,
+            (true, false) => self.active_conns -= 1,
+            _ => {}
+        }
+        Some(r)
     }
 
     // ---- discovery ----------------------------------------------------
@@ -381,8 +411,7 @@ impl EthNode {
     }
 
     fn send_eth_on(&mut self, ctx: &mut Ctx, conn: ConnId, msg: &EthMessage) {
-        if let Some(pc) = self.conns.get_mut(&conn) {
-            let frames = pc.send_eth(msg);
+        if let Some(frames) = self.with_conn_mut(conn, |pc| pc.send_eth(msg)) {
             if !frames.is_empty() {
                 self.count_eth_sent(msg);
             }
@@ -393,8 +422,7 @@ impl EthNode {
     }
 
     fn disconnect_conn(&mut self, ctx: &mut Ctx, conn: ConnId, reason: DisconnectReason) {
-        if let Some(pc) = self.conns.get_mut(&conn) {
-            let frames = pc.send_disconnect(reason);
+        if let Some(frames) = self.with_conn_mut(conn, |pc| pc.send_disconnect(reason)) {
             if !frames.is_empty() {
                 self.stats.count_sent("DISCONNECT");
                 *self
@@ -412,7 +440,11 @@ impl EthNode {
     }
 
     fn drop_conn(&mut self, ctx: &mut Ctx, conn: ConnId) {
-        self.conns.remove(&conn);
+        if let Some(pc) = self.conns.remove(&conn) {
+            if pc.is_active() {
+                self.active_conns -= 1;
+            }
+        }
         self.eth_ready.remove(&conn);
         // A slot may have freed: resume discovery/dialing.
         self.arm_disc(ctx);
@@ -475,8 +507,8 @@ impl EthNode {
             WireEvent::Ping => {
                 self.stats.count_received("PING");
                 self.stats.count_sent("PONG");
-                if let Some(pc) = self.conns.get_mut(&conn) {
-                    for f in pc.flush_session() {
+                if let Some(frames) = self.with_conn_mut(conn, |pc| pc.flush_session()) {
+                    for f in frames {
                         ctx.tcp_send(conn, f);
                     }
                 }
@@ -683,10 +715,9 @@ impl Host for EthNode {
             TcpEvent::Connected { conn, .. } => {
                 self.dialing = self.dialing.saturating_sub(1);
                 let key = self.profile.key;
-                let mut frames = Vec::new();
-                if let Some(pc) = self.conns.get_mut(&conn) {
-                    frames = pc.on_tcp_connected(ctx.rng(), &key);
-                }
+                let frames = self
+                    .with_conn_mut(conn, |pc| pc.on_tcp_connected(ctx.rng(), &key))
+                    .unwrap_or_default();
                 for f in frames {
                     ctx.tcp_send(conn, f);
                 }
@@ -714,10 +745,11 @@ impl Host for EthNode {
             }
             TcpEvent::Data { conn, bytes } => {
                 let key = self.profile.key;
-                let Some(pc) = self.conns.get_mut(&conn) else {
+                let Some((events, out)) =
+                    self.with_conn_mut(conn, |pc| pc.on_data(ctx.rng(), &key, &bytes))
+                else {
                     return;
                 };
-                let (events, out) = pc.on_data(ctx.rng(), &key, &bytes);
                 for f in out {
                     ctx.tcp_send(conn, f);
                 }
@@ -794,6 +826,7 @@ impl Host for EthNode {
 
     fn on_stop(&mut self, _ctx: &mut Ctx) {
         self.conns.clear();
+        self.active_conns = 0;
         self.eth_ready.clear();
         self.dialing = 0;
         self.disc = None;

@@ -24,6 +24,22 @@ pub struct BucketEntry {
     pub last_seen: u64,
     /// Cached `keccak256(id)` — distance math runs on this constantly.
     pub hash: [u8; 32],
+    /// The id's first 8 bytes, big-endian — an **order-preserving prefix**
+    /// of the full 64-byte id. Equality probes and the `closest()`
+    /// tiebreak compare this word first and touch the full id only when
+    /// the prefixes collide, so the common case is one u64 compare
+    /// instead of a 64-byte memcmp.
+    pub fp: u64,
+}
+
+/// Order-preserving 8-byte fingerprint of a node id (big-endian prefix):
+/// `id_fp(a) < id_fp(b)` ⇒ `a < b`, and equal fingerprints fall back to
+/// the full id, so substituting the fingerprint first never changes a
+/// comparison's outcome.
+fn id_fp(id: &NodeId) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&id.0[..8]);
+    u64::from_be_bytes(word)
 }
 
 /// Result of attempting to add a node.
@@ -47,12 +63,22 @@ pub enum AddOutcome {
 }
 
 /// A Kademlia routing table keyed by the configured distance metric.
+///
+/// Buckets are stored **sparsely**: a sorted vector of `(index, residents)`
+/// pairs instead of a dense `Vec` of [`MAX_BUCKETS`] empty vectors. Under
+/// the Geth metric a host's residents concentrate in a handful of
+/// top-distance buckets, so the dense layout paid ~`MAX_BUCKETS` × 24 bytes
+/// of fixed cost per host for slots that stay empty forever — the dominant
+/// per-host term at 250k-host scale. Iteration order (ascending bucket
+/// index, insertion order within a bucket) is identical to the dense form.
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     local_id: NodeId,
     local_hash: [u8; 32],
     metric: Metric,
-    buckets: Vec<Vec<BucketEntry>>,
+    /// `(bucket index, residents)`, ascending by index; indices present
+    /// only once populated (an emptied bucket keeps its slot).
+    buckets: Vec<(u16, Vec<BucketEntry>)>,
 }
 
 impl RoutingTable {
@@ -62,7 +88,29 @@ impl RoutingTable {
             local_hash: local_id.kad_hash(),
             local_id,
             metric,
-            buckets: vec![Vec::new(); MAX_BUCKETS],
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The residents of bucket `idx`, if it was ever populated.
+    fn bucket(&self, idx: usize) -> Option<&Vec<BucketEntry>> {
+        self.buckets
+            .binary_search_by_key(&(idx as u16), |(i, _)| *i)
+            .ok()
+            .map(|pos| &self.buckets[pos].1)
+    }
+
+    /// Mutable residents of bucket `idx`, creating its slot on first use.
+    fn bucket_mut(&mut self, idx: usize) -> &mut Vec<BucketEntry> {
+        match self
+            .buckets
+            .binary_search_by_key(&(idx as u16), |(i, _)| *i)
+        {
+            Ok(pos) => &mut self.buckets[pos].1,
+            Err(pos) => {
+                self.buckets.insert(pos, (idx as u16, Vec::new()));
+                &mut self.buckets[pos].1
+            }
         }
     }
 
@@ -83,7 +131,7 @@ impl RoutingTable {
 
     /// Total number of stored nodes.
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.len()).sum()
+        self.buckets.iter().map(|(_, b)| b.len()).sum()
     }
 
     /// Whether the table is empty.
@@ -93,8 +141,9 @@ impl RoutingTable {
 
     /// Whether a node is present.
     pub fn contains(&self, id: &NodeId) -> bool {
-        let idx = self.bucket_index(id);
-        self.buckets[idx].iter().any(|e| e.record.id == *id)
+        let fp = id_fp(id);
+        self.bucket(self.bucket_index(id))
+            .is_some_and(|b| b.iter().any(|e| e.fp == fp && e.record.id == *id))
     }
 
     /// Attempt to add (or refresh) a node observed at `now`.
@@ -103,8 +152,12 @@ impl RoutingTable {
             return AddOutcome::IsSelf;
         }
         let idx = self.bucket_index(&record.id);
-        let bucket = &mut self.buckets[idx];
-        if let Some(entry) = bucket.iter_mut().find(|e| e.record.id == record.id) {
+        let fp = id_fp(&record.id);
+        let bucket = self.bucket_mut(idx);
+        if let Some(entry) = bucket
+            .iter_mut()
+            .find(|e| e.fp == fp && e.record.id == record.id)
+        {
             entry.last_seen = now;
             entry.record = record;
             return AddOutcome::Refreshed;
@@ -115,6 +168,7 @@ impl RoutingTable {
                 record,
                 last_seen: now,
                 hash,
+                fp,
             });
             return AddOutcome::Added;
         }
@@ -130,7 +184,12 @@ impl RoutingTable {
     /// keeps the old node and the new one is dropped).
     pub fn confirm_alive(&mut self, id: &NodeId, now: u64) {
         let idx = self.bucket_index(id);
-        if let Some(entry) = self.buckets[idx].iter_mut().find(|e| e.record.id == *id) {
+        let fp = id_fp(id);
+        if let Some(entry) = self
+            .bucket_mut(idx)
+            .iter_mut()
+            .find(|e| e.fp == fp && e.record.id == *id)
+        {
             entry.last_seen = now;
         }
     }
@@ -138,8 +197,7 @@ impl RoutingTable {
     /// Evict `dead` (it failed a liveness check) and insert `record` in its
     /// place. No-op insert if the bucket does not actually contain `dead`.
     pub fn evict_and_insert(&mut self, dead: &NodeId, record: NodeRecord, now: u64) {
-        let idx = self.bucket_index(dead);
-        self.buckets[idx].retain(|e| e.record.id != *dead);
+        self.remove(dead);
         // The replacement belongs in its own bucket, which may differ.
         let _ = self.add(record, now);
     }
@@ -147,7 +205,9 @@ impl RoutingTable {
     /// Remove a node outright (e.g. repeated dial failures).
     pub fn remove(&mut self, id: &NodeId) {
         let idx = self.bucket_index(id);
-        self.buckets[idx].retain(|e| e.record.id != *id);
+        let fp = id_fp(id);
+        self.bucket_mut(idx)
+            .retain(|e| !(e.fp == fp && e.record.id == *id));
     }
 
     /// The `k` nodes closest to `target` **according to this table's
@@ -167,27 +227,45 @@ impl RoutingTable {
     /// refactor.
     pub fn closest(&self, target: &[u8; 32], k: usize) -> Vec<NodeRecord> {
         let mut all: Vec<(&BucketEntry, u32)> = self
-            .buckets
-            .iter()
-            .flatten()
+            .entries()
             .map(|e| (e, self.metric.distance(target, &e.hash)))
             .collect();
-        all.sort_by(|(ea, da), (eb, db)| {
+        // The id tiebreak goes through the order-preserving fingerprint
+        // first: same total order as a bare `id.0.cmp`, but almost every
+        // comparison resolves on one u64 instead of 64 bytes.
+        let by_metric = |(ea, da): &(&BucketEntry, u32), (eb, db): &(&BucketEntry, u32)| {
             da.cmp(db)
                 .then_with(|| xor_cmp(target, &ea.hash, &eb.hash))
+                .then_with(|| ea.fp.cmp(&eb.fp))
                 .then_with(|| ea.record.id.0.cmp(&eb.record.id.0))
-        });
-        all.into_iter().take(k).map(|(e, _)| e.record).collect()
+        };
+        // hotpath -- every FINDNODE answered runs this against a saturated
+        // table. The key is a total order over distinct ids, so selecting
+        // the k smallest and sorting only those returns the identical
+        // sequence a full sort would, in O(n + k log k) comparisons.
+        if k < all.len() {
+            all.select_nth_unstable_by(k, by_metric);
+            all.truncate(k);
+        }
+        all.sort_unstable_by(by_metric);
+        all.into_iter().map(|(e, _)| e.record).collect()
     }
 
-    /// All records currently in the table (bucket order).
+    /// All records currently in the table (ascending bucket index,
+    /// insertion order within a bucket — identical to the former dense
+    /// layout's iteration order).
     pub fn entries(&self) -> impl Iterator<Item = &BucketEntry> {
-        self.buckets.iter().flatten()
+        self.buckets.iter().flat_map(|(_, b)| b.iter())
     }
 
     /// Per-bucket occupancy, for diagnostics and the ablation benches.
+    /// Keeps the dense [`MAX_BUCKETS`]-length shape callers index into.
     pub fn bucket_sizes(&self) -> Vec<usize> {
-        self.buckets.iter().map(|b| b.len()).collect()
+        let mut sizes = vec![0usize; MAX_BUCKETS];
+        for (idx, bucket) in &self.buckets {
+            sizes[*idx as usize] = bucket.len();
+        }
+        sizes
     }
 
     /// A uniformly random resident, used for table refresh lookups.

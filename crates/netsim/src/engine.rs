@@ -7,7 +7,6 @@ use crate::topology::{latency_between, HostMeta};
 use obs::MetricId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Identifies a host inside one simulation.
@@ -313,7 +312,7 @@ struct Slot {
     /// (see [`NetSim::push`]).
     next_key: u32,
     /// Outbound UDP contacts for NAT pinholes: peer addr → last send time.
-    nat: BTreeMap<HostAddr, u64>,
+    nat: NatTable,
     /// Established connections this host participates in. Lets a host
     /// stop tear down exactly its own connections instead of scanning
     /// every connection ever created.
@@ -507,6 +506,137 @@ fn host_stream_seed(seed: u64, host: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Pack an address into 48 bits: `ip << 16 | port`. The all-ones value can
+/// never be produced (the top 16 bits are always zero), so it serves as the
+/// empty-slot sentinel in [`AddrIndex`].
+fn addr_key(addr: HostAddr) -> u64 {
+    ((u32::from(addr.ip) as u64) << 16) | addr.port as u64
+}
+
+/// Empty-slot sentinel for [`AddrIndex`]: not a representable packed addr.
+const ADDR_EMPTY: u64 = u64::MAX;
+
+/// Splitmix64 finalizer over a packed address — the probe hash for
+/// [`AddrIndex`].
+fn addr_probe_hash(key: u64) -> u64 {
+    let mut z = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `HostAddr → HostId`, open addressing over packed 48-bit keys. Replaces
+/// the former `BTreeMap<HostAddr, HostId>`, whose every probe on the UDP
+/// send and SYN routing paths walked a 6-byte-key comparison chain. The
+/// table is probed and inserted into, **never iterated**, so its layout
+/// cannot reach event ordering or any export.
+struct AddrIndex {
+    /// `(packed addr, host id)`; key `ADDR_EMPTY` marks a free slot.
+    /// Power-of-two length, linear probing.
+    slots: Vec<(u64, u32)>,
+    len: usize,
+}
+
+impl AddrIndex {
+    fn new() -> AddrIndex {
+        AddrIndex {
+            slots: vec![(ADDR_EMPTY, 0); 64],
+            len: 0,
+        }
+    }
+
+    // hotpath -- one probe per UDP send and per TCP SYN routed
+    fn get(&self, addr: HostAddr) -> Option<HostId> {
+        let key = addr_key(addr);
+        let mask = self.slots.len() - 1;
+        let mut slot = (addr_probe_hash(key) as usize) & mask;
+        loop {
+            let (k, id) = self.slots[slot];
+            if k == key {
+                return Some(id as HostId);
+            }
+            if k == ADDR_EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn contains(&self, addr: HostAddr) -> bool {
+        self.get(addr).is_some()
+    }
+
+    /// Insert a fresh address (the caller has ruled out duplicates).
+    fn insert(&mut self, addr: HostAddr, id: HostId) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let key = addr_key(addr);
+        let mask = self.slots.len() - 1;
+        let mut slot = (addr_probe_hash(key) as usize) & mask;
+        while self.slots[slot].0 != ADDR_EMPTY {
+            debug_assert_ne!(self.slots[slot].0, key, "duplicate address");
+            slot = (slot + 1) & mask;
+        }
+        self.slots[slot] = (key, id as u32);
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![(ADDR_EMPTY, 0); doubled]);
+        let mask = self.slots.len() - 1;
+        for (key, id) in old {
+            if key == ADDR_EMPTY {
+                continue;
+            }
+            let mut slot = (addr_probe_hash(key) as usize) & mask;
+            while self.slots[slot].0 != ADDR_EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = (key, id);
+        }
+    }
+}
+
+/// Per-host NAT pinhole table: peer addr → last outbound send time. A
+/// sorted vector over packed addresses replaces the former
+/// `BTreeMap<HostAddr, u64>`: most sends hit an existing entry (binary
+/// search + in-place timestamp update, no allocation); only the first
+/// contact with a new peer pays an ordered insert. Probed by key only —
+/// never iterated — so the representation is invisible to event order.
+// shard-state -- rides inside Slot; plain Vec storage
+#[derive(Default)]
+struct NatTable {
+    /// `(packed addr, last send ms)`, ascending by key.
+    entries: Vec<(u64, u64)>,
+}
+
+impl NatTable {
+    // hotpath -- one update per outbound UDP datagram
+    fn note_send(&mut self, to: HostAddr, now: u64) {
+        let key = addr_key(to);
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(pos) => self.entries[pos].1 = now,
+            Err(pos) => self.entries.insert(pos, (key, now)),
+        }
+    }
+
+    /// Was `from` contacted within the last `window_ms`?
+    // hotpath -- one probe per inbound datagram at an unreachable host
+    fn solicited(&self, from: HostAddr, now: u64, window_ms: u64) -> bool {
+        let key = addr_key(from);
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(pos) => now.saturating_sub(self.entries[pos].1) <= window_ms,
+            Err(_) => false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 /// The simulator.
 pub struct NetSim {
     now: u64,
@@ -539,7 +669,7 @@ pub struct NetSim {
     lookahead_ms: u64,
     queue_depth_peak: u64,
     slots: Vec<Slot>,
-    index: BTreeMap<HostAddr, HostId>,
+    index: AddrIndex,
     conns: Vec<ConnEntry>,
     /// Recycled slab cells, reused LIFO.
     conn_free: Vec<u32>,
@@ -582,7 +712,7 @@ impl NetSim {
             lookahead_ms: crate::topology::min_link_latency_ms() as u64,
             queue_depth_peak: 0,
             slots: Vec::new(),
-            index: BTreeMap::new(),
+            index: AddrIndex::new(),
             conns: Vec::new(),
             conn_free: Vec::new(),
             config,
@@ -658,10 +788,7 @@ impl NetSim {
     /// Panics if `addr` is already taken — the world generator owns the
     /// address plan, and a collision is a bug there.
     pub fn add_host(&mut self, addr: HostAddr, meta: HostMeta, host: Box<dyn Host>) -> HostId {
-        assert!(
-            !self.index.contains_key(&addr),
-            "address {addr} already in use"
-        );
+        assert!(!self.index.contains(addr), "address {addr} already in use");
         let id = self.slots.len();
         self.slots.push(Slot {
             host: Some(host),
@@ -671,7 +798,7 @@ impl NetSim {
             shard: (id % self.shards.len()) as u32,
             rng: StdRng::seed_from_u64(host_stream_seed(self.config.seed, id as u64)),
             next_key: 0,
-            nat: BTreeMap::new(),
+            nat: NatTable::default(),
             live_conns: Vec::new(),
         });
         self.index.insert(addr, id);
@@ -1050,11 +1177,7 @@ impl NetSim {
                 if !self.slots[to].meta.reachable {
                     let window = self.config.nat_window_ms;
                     let now = self.now;
-                    let solicited = matches!(
-                        self.slots[to].nat.get(&from),
-                        Some(t) if now.saturating_sub(*t) <= window
-                    );
-                    if !solicited {
+                    if !self.slots[to].nat.solicited(from, now, window) {
                         self.udp_dropped += 1;
                         obs::counter_add_id(self.ids.udp_dropped, 1);
                         return;
@@ -1066,7 +1189,7 @@ impl NetSim {
                 let Some(c) = self.conn(conn).copied() else {
                     return;
                 };
-                let target = self.index.get(&c.remote_addr).copied();
+                let target = self.index.get(c.remote_addr);
                 let blackholed =
                     self.config
                         .faults
@@ -1239,13 +1362,13 @@ impl NetSim {
                     obs::counter_add_id(self.ids.udp_sent, 1);
                     // NAT pinhole for the sender.
                     let now = self.now;
-                    self.slots[host].nat.insert(to, now);
+                    self.slots[host].nat.note_send(to, now);
                     if self.slots[host].rng.gen_bool(self.config.udp_loss) {
                         self.udp_dropped += 1;
                         obs::counter_add_id(self.ids.udp_dropped, 1);
                         continue;
                     }
-                    let Some(&dest) = self.index.get(&to) else {
+                    let Some(dest) = self.index.get(to) else {
                         self.udp_dropped += 1;
                         obs::counter_add_id(self.ids.udp_dropped, 1);
                         continue;
@@ -1311,7 +1434,7 @@ impl NetSim {
                     let id = conn_pack(self.conns[idx].generation, idx);
                     debug_assert_eq!(id, conn, "conn id allocation out of sync");
                     let delay = self.conn_delay(id);
-                    let owner = self.index.get(&to).copied().unwrap_or(host);
+                    let owner = self.index.get(to).unwrap_or(host);
                     self.push(self.now + delay, owner, Ev::TcpSyn { conn: id });
                 }
                 Action::TcpSend { conn, bytes } => {

@@ -65,6 +65,12 @@ pub struct TimerWheel<T> {
     l1: Vec<Vec<(u64, u64, T)>>,
     l1_occ: [u64; L1_SLOTS / 64],
     overflow: BTreeMap<(u64, u64), T>,
+    /// Free list of drained L1 slot buffers. A cascade drains a slot's
+    /// vector; instead of dropping the buffer (and paying a fresh
+    /// allocation the next time any slot in that window fills), the empty
+    /// buffer parks here and the next L1 push into a capacity-less slot
+    /// adopts it. Steady-state cascading therefore allocates nothing.
+    l1_spare: Vec<Vec<(u64, u64, T)>>,
 }
 
 impl<T> Default for TimerWheel<T> {
@@ -94,6 +100,7 @@ impl<T> TimerWheel<T> {
             l1: (0..L1_SLOTS).map(|_| Vec::new()).collect(),
             l1_occ: [0; L1_SLOTS / 64],
             overflow: BTreeMap::new(),
+            l1_spare: Vec::new(),
         }
     }
 
@@ -135,6 +142,11 @@ impl<T> TimerWheel<T> {
             self.l0_occ[slot / 64] |= 1 << (slot % 64);
         } else if at >> (L0_BITS + L1_BITS) == self.cursor >> (L0_BITS + L1_BITS) {
             let slot = ((at >> L0_BITS) & L1_MASK) as usize;
+            if self.l1[slot].capacity() == 0 {
+                if let Some(buf) = self.l1_spare.pop() {
+                    self.l1[slot] = buf;
+                }
+            }
             self.l1[slot].push((at, seq, item));
             self.l1_occ[slot / 64] |= 1 << (slot % 64);
         } else {
@@ -292,11 +304,15 @@ impl<T> TimerWheel<T> {
         let slot = ((window_start >> L0_BITS) & L1_MASK) as usize;
         if self.l1_occ[slot / 64] & (1 << (slot % 64)) != 0 {
             self.l1_occ[slot / 64] &= !(1 << (slot % 64));
-            let pending = std::mem::take(&mut self.l1[slot]);
-            for (at, seq, item) in pending {
+            // Cascading only places into L0 (every event in this slot
+            // belongs to the window just entered), so the slot's buffer can
+            // be drained in place and recycled through the free list.
+            let mut pending = std::mem::take(&mut self.l1[slot]);
+            for (at, seq, item) in pending.drain(..) {
                 debug_assert_eq!(at >> L0_BITS, window_start >> L0_BITS);
                 self.place(at, seq, item);
             }
+            self.l1_spare.push(pending);
         }
     }
 }
@@ -474,6 +490,79 @@ mod tests {
         assert_eq!(w.min_pending_at(), Some(5_000));
         assert_eq!(w.pop_at_most(10_000), Some((5_000, 1, 2)));
         assert_eq!(w.min_pending_at(), Some(2_000_000));
+    }
+
+    /// Pre-arena pin: with L1 buffers recycled through the free list, an
+    /// interleaved push/pop workload spanning many cascades must dispatch
+    /// in exactly the `(at, seq)` order of a reference binary heap — the
+    /// scheduler the wheel originally replaced.
+    #[test]
+    fn cascade_recycling_reproduces_reference_heap_order() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut wheel = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        let mut next = |m: u64| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 33) % m
+        };
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for round in 0..2_000u32 {
+            // A burst of pushes at mixed horizons: same-window, L1-range,
+            // and overflow-range targets, so cascades recycle constantly.
+            for _ in 0..3 {
+                let horizon = match next(10) {
+                    0..=5 => next(900),             // L0 window
+                    6..=8 => 1_000 + next(500_000), // L1 range
+                    _ => 600_000 + next(2_000_000), // overflow
+                };
+                let at = now + horizon;
+                wheel.push(at, seq, round);
+                heap.push(Reverse((at, seq, round)));
+                seq += 1;
+            }
+            now += next(3_000);
+            loop {
+                let got = wheel.pop_at_most(now);
+                let want = match heap.peek() {
+                    Some(Reverse((at, _, _))) if *at <= now => heap.pop().map(|Reverse(e)| e),
+                    _ => None,
+                };
+                assert_eq!(got, want, "divergence at round {round} now {now}");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+        // Drain the tails against each other too.
+        while let Some(Reverse(want)) = heap.pop() {
+            assert_eq!(wheel.pop_at_most(u64::MAX / 2), Some(want));
+        }
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn drained_l1_buffers_are_recycled_not_dropped() {
+        let mut w = TimerWheel::new();
+        // Fill one L1 slot, cascade it, and check the buffer parked in the
+        // free list with its capacity intact.
+        for i in 0..32u64 {
+            w.push(5_000, i, i as u32);
+        }
+        assert!(w.l1_spare.is_empty());
+        while w.pop_at_most(10_000).is_some() {}
+        assert_eq!(w.l1_spare.len(), 1);
+        let cap = w.l1_spare[0].capacity();
+        assert!(cap >= 32, "recycled buffer lost its capacity");
+        // The next L1 push adopts the spare buffer instead of allocating.
+        w.push(20_000, 99, 7);
+        assert!(w.l1_spare.is_empty());
+        let slot = ((20_000u64 >> L0_BITS) & L1_MASK) as usize;
+        assert!(w.l1[slot].capacity() >= 32);
     }
 
     #[test]

@@ -9,10 +9,16 @@
 //!
 //! Everything here is pure state + a caller-supplied RNG, so two runs
 //! with the same seed schedule byte-identical retries.
+//!
+//! Endpoints are keyed by their world-scoped [`CompactId`] (see
+//! `enode::intern`): the crawler interns each discovered id once and every
+//! probe here is an indexed load instead of a 64-byte-key BTreeMap walk.
+//! [`PenaltyBox::due_retries`] still hands endpoints out in full-`NodeId`
+//! order, byte-identical to the `BTreeMap<NodeId, _>` it replaced.
 
-use enode::{NodeId, NodeRecord};
+use crate::dense::{KeyedById, OrderedDenseMap};
+use enode::{CompactId, NodeId, NodeRecord};
 use rand::Rng;
-use std::collections::BTreeMap;
 
 /// Exponential-backoff parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +71,12 @@ struct PenaltyEntry {
     boxed: bool,
 }
 
+impl KeyedById for PenaltyEntry {
+    fn node_id(&self) -> &NodeId {
+        &self.record.id
+    }
+}
+
 /// Per-endpoint failure tracking: backoff, then the box.
 #[derive(Debug, Clone)]
 pub struct PenaltyBox {
@@ -73,7 +85,7 @@ pub struct PenaltyBox {
     pub threshold: u32,
     /// How long a boxed endpoint sits out, ms.
     pub box_ms: u64,
-    entries: BTreeMap<NodeId, PenaltyEntry>,
+    entries: OrderedDenseMap<PenaltyEntry>,
     boxed_total: u64,
 }
 
@@ -84,25 +96,33 @@ impl PenaltyBox {
             policy,
             threshold,
             box_ms,
-            entries: BTreeMap::new(),
+            entries: OrderedDenseMap::new(),
             boxed_total: 0,
         }
     }
 
-    /// Record a failed dial. Returns the time before which the endpoint
+    /// Record a failed dial for the endpoint interned as `cid` (which must
+    /// resolve to `record.id`). Returns the time before which the endpoint
     /// must not be re-dialed.
     pub fn record_failure<R: Rng + ?Sized>(
         &mut self,
+        cid: CompactId,
         record: NodeRecord,
         now_ms: u64,
         rng: &mut R,
     ) -> u64 {
-        let entry = self.entries.entry(record.id).or_insert(PenaltyEntry {
-            record,
-            failures: 0,
-            next_allowed_ms: now_ms,
-            boxed: false,
-        });
+        if self.entries.get(cid).is_none() {
+            self.entries.insert(
+                cid,
+                PenaltyEntry {
+                    record,
+                    failures: 0,
+                    next_allowed_ms: now_ms,
+                    boxed: false,
+                },
+            );
+        }
+        let entry = self.entries.get_mut(cid).expect("entry just ensured");
         entry.record = record;
         entry.failures = entry.failures.saturating_add(1);
         if entry.failures >= self.threshold {
@@ -119,27 +139,32 @@ impl PenaltyBox {
     }
 
     /// Record a successful contact: the endpoint's slate is wiped clean.
-    pub fn record_success(&mut self, id: NodeId) {
-        self.entries.remove(&id);
+    pub fn record_success(&mut self, cid: CompactId) {
+        self.entries.remove(cid);
     }
 
-    /// Whether dialing `id` is currently blocked by backoff or the box.
-    pub fn is_blocked(&self, id: NodeId, now_ms: u64) -> bool {
+    /// Whether dialing the endpoint interned as `cid` is currently blocked
+    /// by backoff or the box.
+    // hotpath -- one probe per discovery sighting and static due-scan entry
+    pub fn is_blocked(&self, cid: CompactId, now_ms: u64) -> bool {
         self.entries
-            .get(&id)
+            .get(cid)
             .map(|e| e.next_allowed_ms > now_ms)
             .unwrap_or(false)
     }
 
-    /// Hand out up to `limit` endpoints whose backoff has elapsed. Each is
-    /// returned at most once per backoff period: the entry is marked
-    /// in-flight until the next `record_failure`/`record_success`.
+    /// Hand out up to `limit` endpoints whose backoff has elapsed, in
+    /// full-`NodeId` order. Each is returned at most once per backoff
+    /// period: the entry is marked in-flight until the next
+    /// `record_failure`/`record_success`.
     pub fn due_retries(&mut self, now_ms: u64, limit: usize) -> Vec<NodeRecord> {
         let mut due = Vec::new();
-        for entry in self.entries.values_mut() {
+        for i in 0..self.entries.len() {
             if due.len() >= limit {
                 break;
             }
+            let cid = self.entries.cid_at(i);
+            let entry = self.entries.get_mut(cid).expect("ordered cid is live");
             if entry.next_allowed_ms <= now_ms {
                 entry.next_allowed_ms = u64::MAX;
                 due.push(entry.record);
@@ -176,9 +201,15 @@ impl PenaltyBox {
         self.boxed_total
     }
 
-    /// Consecutive-failure count for `id` (0 if untracked).
-    pub fn failures(&self, id: NodeId) -> u32 {
-        self.entries.get(&id).map(|e| e.failures).unwrap_or(0)
+    /// Consecutive-failure count for the endpoint interned as `cid`
+    /// (0 if untracked).
+    pub fn failures(&self, cid: CompactId) -> u32 {
+        self.entries.get(cid).map(|e| e.failures).unwrap_or(0)
+    }
+
+    /// Approximate owned heap bytes, for the benchmark memory proxy.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.entries.approx_heap_bytes()
     }
 }
 
@@ -210,25 +241,28 @@ mod tests {
     #[test]
     fn box_engages_at_threshold_and_success_clears() {
         let mut rng = StdRng::seed_from_u64(9);
+        let mut interner = enode::Interner::new();
         let mut pb = PenaltyBox::new(BackoffPolicy::default(), 3, 600_000);
         let r = rec(1);
-        pb.record_failure(r, 0, &mut rng);
-        pb.record_failure(r, 10_000, &mut rng);
+        let cid = interner.intern(&r.id);
+        pb.record_failure(cid, r, 0, &mut rng);
+        pb.record_failure(cid, r, 10_000, &mut rng);
         assert_eq!(pb.boxed_total(), 0);
-        let until = pb.record_failure(r, 30_000, &mut rng);
+        let until = pb.record_failure(cid, r, 30_000, &mut rng);
         assert_eq!(until, 630_000);
         assert_eq!(pb.boxed_total(), 1);
-        assert!(pb.is_blocked(r.id, 600_000));
-        assert!(!pb.is_blocked(r.id, 630_000));
-        pb.record_success(r.id);
-        assert_eq!(pb.failures(r.id), 0);
-        assert!(!pb.is_blocked(r.id, 0));
+        assert!(pb.is_blocked(cid, 600_000));
+        assert!(!pb.is_blocked(cid, 630_000));
+        pb.record_success(cid);
+        assert_eq!(pb.failures(cid), 0);
+        assert!(!pb.is_blocked(cid, 0));
         assert_eq!(pb.boxed_total(), 1, "total is monotone");
     }
 
     #[test]
     fn due_retries_hand_out_each_endpoint_once() {
         let mut rng = StdRng::seed_from_u64(9);
+        let mut interner = enode::Interner::new();
         let mut pb = PenaltyBox::new(
             BackoffPolicy {
                 jitter_ms: 0,
@@ -237,8 +271,8 @@ mod tests {
             10,
             600_000,
         );
-        pb.record_failure(rec(1), 0, &mut rng);
-        pb.record_failure(rec(2), 0, &mut rng);
+        pb.record_failure(interner.intern(&rec(1).id), rec(1), 0, &mut rng);
+        pb.record_failure(interner.intern(&rec(2).id), rec(2), 0, &mut rng);
         assert!(pb.due_retries(1_000, 8).is_empty(), "backoff not elapsed");
         let due = pb.due_retries(10_000, 8);
         assert_eq!(due.len(), 2);
@@ -252,6 +286,7 @@ mod tests {
     #[test]
     fn due_respects_limit() {
         let mut rng = StdRng::seed_from_u64(9);
+        let mut interner = enode::Interner::new();
         let mut pb = PenaltyBox::new(
             BackoffPolicy {
                 jitter_ms: 0,
@@ -261,9 +296,37 @@ mod tests {
             600_000,
         );
         for t in 0..6 {
-            pb.record_failure(rec(t + 1), 0, &mut rng);
+            let r = rec(t + 1);
+            pb.record_failure(interner.intern(&r.id), r, 0, &mut rng);
         }
         assert_eq!(pb.due_retries(10_000, 4).len(), 4);
         assert_eq!(pb.due_retries(10_000, 4).len(), 2);
+    }
+
+    #[test]
+    fn due_retries_come_out_in_node_id_order() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut interner = enode::Interner::new();
+        let mut pb = PenaltyBox::new(
+            BackoffPolicy {
+                jitter_ms: 0,
+                ..BackoffPolicy::default()
+            },
+            100,
+            600_000,
+        );
+        // Fail endpoints in an order hostile to NodeId order.
+        for tag in [9u8, 2, 7, 1, 5] {
+            let r = rec(tag);
+            pb.record_failure(interner.intern(&r.id), r, 0, &mut rng);
+        }
+        let ids: Vec<NodeId> = pb
+            .due_retries(10_000, 8)
+            .into_iter()
+            .map(|r| r.id)
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "handout preserves BTreeMap NodeId order");
     }
 }

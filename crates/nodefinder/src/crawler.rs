@@ -1,13 +1,14 @@
 //! The NodeFinder crawler host (§4).
 
 use crate::backoff::{BackoffPolicy, PenaltyBox};
+use crate::dense::{ConnTable, IdSet, KeyedById, OrderedDenseMap, SeenTable};
 use crate::log::{
     ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, FailureClass, HelloInfo,
     StatusInfo,
 };
 use devp2p::{Capability, DisconnectReason, Hello, P2P_VERSION};
 use discv4::{Config as DiscConfig, Discv4, Event as DiscEvent};
-use enode::{Endpoint, NodeId, NodeRecord};
+use enode::{CompactId, Endpoint, Interner, NodeId, NodeRecord};
 use ethcrypto::secp256k1::SecretKey;
 use ethpop::wire::{PeerConn, WireEvent};
 use ethwire::{
@@ -16,7 +17,7 @@ use ethwire::{
 use kad::Metric;
 use netsim::{ConnId, Ctx, Host, HostAddr, TcpEvent};
 use rand::Rng;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 const T_LOOKUP: u64 = 1;
 const T_DIAL: u64 = 2;
@@ -137,6 +138,12 @@ struct StaticEntry {
     last_success_ms: u64,
 }
 
+impl KeyedById for StaticEntry {
+    fn node_id(&self) -> &NodeId {
+        &self.record.id
+    }
+}
+
 struct Probe {
     pc: PeerConn,
     conn_type: ConnType,
@@ -158,14 +165,18 @@ pub struct NodeFinder {
     config: CrawlerConfig,
     bootstrap: Vec<NodeRecord>,
     disc: Option<Discv4>,
-    conns: BTreeMap<ConnId, Probe>,
+    /// World-scoped `NodeId` ↔ `CompactId` table: every per-node structure
+    /// below is keyed by the compact id. Wire and exports never see
+    /// compact ids (see `enode::intern`).
+    interner: Interner,
+    conns: ConnTable<Probe>,
     dynamic_queue: VecDeque<NodeRecord>,
-    queued: BTreeSet<NodeId>,
-    static_nodes: BTreeMap<NodeId, StaticEntry>,
+    queued: IdSet,
+    static_nodes: OrderedDenseMap<StaticEntry>,
     /// Last sighting/contact time per distinct node ever seen — feeds
     /// the fresh/stale campaign gauges (`crawler.nodes_fresh`/`_stale`,
     /// freshness window = `stale_after_ms`, the paper's 24h rule).
-    seen: BTreeMap<NodeId, u64>,
+    seen: SeenTable,
     penalty: PenaltyBox,
     dialing: usize,
     poll_armed: bool,
@@ -190,11 +201,12 @@ impl NodeFinder {
             config,
             bootstrap,
             disc: None,
-            conns: BTreeMap::new(),
+            interner: Interner::new(),
+            conns: ConnTable::new(),
             dynamic_queue: VecDeque::new(),
-            queued: BTreeSet::new(),
-            static_nodes: BTreeMap::new(),
-            seen: BTreeMap::new(),
+            queued: IdSet::new(),
+            static_nodes: OrderedDenseMap::new(),
+            seen: SeenTable::new(),
             penalty,
             dialing: 0,
             poll_armed: false,
@@ -247,6 +259,18 @@ impl NodeFinder {
     /// ablation watches this grow without bound).
     pub fn open_conns(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Approximate owned heap bytes of the intern table and every dense
+    /// per-node table (the benchmark allocation proxy). Excludes the
+    /// structured log, whose size tracks output volume, not table layout.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.interner.approx_heap_bytes()
+            + self.conns.approx_heap_bytes()
+            + self.queued.approx_heap_bytes()
+            + self.static_nodes.approx_heap_bytes()
+            + self.seen.approx_heap_bytes()
+            + self.penalty.approx_heap_bytes()
     }
 
     fn hello(&self, addr: HostAddr) -> Hello {
@@ -311,14 +335,15 @@ impl NodeFinder {
                 DialEventKind::DiscoverySighting,
             );
             obs::counter_add("crawler.funnel.sightings", 1);
-            self.seen.insert(record.id, ctx.now_ms);
+            let cid = self.interner.intern(&record.id);
+            self.seen.note(cid, ctx.now_ms);
             // Endpoints in backoff / the penalty box are sighted but not
             // queued — the retry scheduler owns them until they recover.
-            if self.penalty.is_blocked(record.id, ctx.now_ms) {
+            if self.penalty.is_blocked(cid, ctx.now_ms) {
                 continue;
             }
             // New nodes go to the dynamic queue unless already tracked.
-            if !self.static_nodes.contains_key(&record.id) && self.queued.insert(record.id) {
+            if !self.static_nodes.contains(cid) && self.queued.insert(cid) {
                 self.dynamic_queue.push_back(record);
             }
         }
@@ -386,7 +411,7 @@ impl NodeFinder {
     /// A probe finished (or died): close the socket, finalize the log
     /// entry, update the static list.
     fn finish_probe(&mut self, ctx: &mut Ctx, conn: ConnId, polite: bool) {
-        let Some(mut probe) = self.conns.remove(&conn) else {
+        let Some(mut probe) = self.conns.remove(conn) else {
             return;
         };
         if probe.conn_type == ConnType::DynamicDial && !probe.done {
@@ -439,8 +464,9 @@ impl NodeFinder {
             );
         }
         if let Some(id) = probe.record.node_id {
+            let cid = self.interner.intern(&id);
             if responded {
-                self.seen.insert(id, ctx.now_ms);
+                self.seen.note(cid, ctx.now_ms);
             }
             // Only *dials* that get an answer prove reachability; incoming
             // conns say nothing about whether the node accepts inbound TCP.
@@ -458,25 +484,31 @@ impl NodeFinder {
             if responded {
                 // A DEVp2p answer wipes the endpoint's failure slate and
                 // (re)joins it to the StaticNodes list.
-                self.penalty.record_success(id);
+                self.penalty.record_success(cid);
                 let record = NodeRecord::new(id, Endpoint::new(probe.record.ip, probe.record.port));
-                let entry = self.static_nodes.entry(id).or_insert(StaticEntry {
-                    record,
-                    next_dial_ms: now + interval,
-                    last_success_ms: now,
-                });
-                entry.record = record;
-                entry.last_success_ms = now;
-                entry.next_dial_ms = now + interval;
+                if let Some(entry) = self.static_nodes.get_mut(cid) {
+                    entry.record = record;
+                    entry.last_success_ms = now;
+                    entry.next_dial_ms = now + interval;
+                } else {
+                    self.static_nodes.insert(
+                        cid,
+                        StaticEntry {
+                            record,
+                            next_dial_ms: now + interval,
+                            last_success_ms: now,
+                        },
+                    );
+                }
             } else if probe.conn_type != ConnType::Incoming {
                 // A failed outbound attempt backs the endpoint off (and
                 // eventually boxes it). It does NOT refresh last_success,
                 // so dead static entries actually go stale.
                 let record = NodeRecord::new(id, Endpoint::new(probe.record.ip, probe.record.port));
-                self.penalty.record_failure(record, now, ctx.rng());
+                self.penalty.record_failure(cid, record, now, ctx.rng());
                 // The attempt still pushes the next static re-dial back
                 // (§5.2's "slightly fewer than 48/day" effect).
-                if let Some(entry) = self.static_nodes.get_mut(&id) {
+                if let Some(entry) = self.static_nodes.get_mut(cid) {
                     entry.next_dial_ms = now + interval;
                 }
                 // Make sure the retry actually fires even if discovery
@@ -491,7 +523,7 @@ impl NodeFinder {
                     }
                 }
             }
-            self.queued.remove(&id);
+            self.queued.remove(cid);
         }
         self.log.conns.push(probe.record);
         obs::gauge_set("crawler.dialing", self.dialing as u64);
@@ -506,7 +538,7 @@ impl NodeFinder {
         let chain = self.chain.clone();
         let hello_timeout = self.config.hello_timeout_ms;
         let status_timeout = self.config.status_timeout_ms;
-        let Some(probe) = self.conns.get_mut(&conn) else {
+        let Some(probe) = self.conns.get_mut(conn) else {
             return;
         };
         if rtt > 0 {
@@ -669,8 +701,9 @@ impl Host for NodeFinder {
             if b.id != self.node_id() {
                 outgoing.push(disc.ping(b, now));
                 // Bootstraps are static-dialed like anyone else (§4).
+                let cid = self.interner.intern(&b.id);
                 self.static_nodes.insert(
-                    b.id,
+                    cid,
                     StaticEntry {
                         record: b,
                         next_dial_ms: now + self.config.bootstrap_dial_delay_ms,
@@ -724,7 +757,7 @@ impl Host for NodeFinder {
                 let key = self.key;
                 let handshake_timeout = self.config.handshake_timeout_ms;
                 let mut frames = Vec::new();
-                if let Some(probe) = self.conns.get_mut(&conn) {
+                if let Some(probe) = self.conns.get_mut(conn) {
                     probe.record.latency_ms = ctx.rtt_ms(conn);
                     probe.connected = true;
                     probe.deadline_ms = ctx.now_ms + handshake_timeout;
@@ -741,7 +774,7 @@ impl Host for NodeFinder {
                 }
                 if self
                     .conns
-                    .get(&conn)
+                    .get(conn)
                     .map(|p| p.pc.is_dead())
                     .unwrap_or(false)
                 {
@@ -749,13 +782,13 @@ impl Host for NodeFinder {
                 }
             }
             TcpEvent::ConnectFailed { conn } => {
-                if let Some(probe) = self.conns.get_mut(&conn) {
+                if let Some(probe) = self.conns.get_mut(conn) {
                     probe.record.failure = Some(FailureClass::ConnectFailed);
                 }
                 self.finish_probe(ctx, conn, false);
             }
             TcpEvent::Incoming { conn, peer } => {
-                if self.conns.contains_key(&conn) {
+                if self.conns.contains(conn) {
                     // Self-connection guard (shouldn't occur given the dial
                     // filter, but cheap to be safe).
                     self.finish_probe(ctx, conn, false);
@@ -796,7 +829,7 @@ impl Host for NodeFinder {
             }
             TcpEvent::Data { conn, bytes } => {
                 let key = self.key;
-                let Some(probe) = self.conns.get_mut(&conn) else {
+                let Some(probe) = self.conns.get_mut(conn) else {
                     return;
                 };
                 let (events, out) = probe.pc.on_data(ctx.rng(), &key, &bytes);
@@ -808,7 +841,7 @@ impl Host for NodeFinder {
                 }
                 if self
                     .conns
-                    .get(&conn)
+                    .get(conn)
                     .map(|p| p.pc.is_dead())
                     .unwrap_or(false)
                 {
@@ -816,7 +849,7 @@ impl Host for NodeFinder {
                 }
             }
             TcpEvent::Closed { conn } => {
-                if let Some(probe) = self.conns.get_mut(&conn) {
+                if let Some(probe) = self.conns.get_mut(conn) {
                     // The remote (or a mid-stream fault) tore the stream
                     // down before completing DEVp2p.
                     if probe.record.hello.is_none()
@@ -861,7 +894,8 @@ impl Host for NodeFinder {
                 // at most once per period.
                 let budget = self.config.max_active_dials.saturating_sub(self.dialing);
                 for record in self.penalty.due_retries(now, budget) {
-                    let conn_type = if self.static_nodes.contains_key(&record.id) {
+                    let cid = self.interner.intern(&record.id);
+                    let conn_type = if self.static_nodes.contains(cid) {
                         ConnType::StaticDial
                     } else {
                         ConnType::DynamicDial
@@ -872,8 +906,9 @@ impl Host for NodeFinder {
                     let Some(record) = self.dynamic_queue.pop_front() else {
                         break;
                     };
-                    if self.static_nodes.contains_key(&record.id) {
-                        self.queued.remove(&record.id);
+                    let cid = self.interner.intern(&record.id);
+                    if self.static_nodes.contains(cid) {
+                        self.queued.remove(cid);
                         continue;
                     }
                     self.dial(ctx, record, ConnType::DynamicDial);
@@ -896,36 +931,34 @@ impl Host for NodeFinder {
                 // stale. Sampled here because the static tick is the
                 // crawler's steady heartbeat.
                 if obs::is_enabled() {
-                    let fresh = self
-                        .seen
-                        .values()
-                        .filter(|&&ts| now.saturating_sub(ts) <= self.config.stale_after_ms)
-                        .count() as u64;
+                    let fresh = self.seen.fresh(now, self.config.stale_after_ms) as u64;
                     obs::gauge_set("crawler.nodes_fresh", fresh);
                     obs::gauge_set("crawler.nodes_stale", self.seen.len() as u64 - fresh);
                 }
                 // Remove stale addresses (no TCP success in stale_after).
-                let stale: Vec<NodeId> = self
+                // Both scans run in full-NodeId order (`iter_ordered`),
+                // byte-identical to the BTreeMap walks they replaced.
+                let stale: Vec<CompactId> = self
                     .static_nodes
-                    .iter()
+                    .iter_ordered()
                     .filter(|(_, e)| {
                         now.saturating_sub(e.last_success_ms) > self.config.stale_after_ms
                     })
-                    .map(|(id, _)| *id)
+                    .map(|(cid, _)| cid)
                     .collect();
-                for id in stale {
-                    self.static_nodes.remove(&id);
+                for cid in stale {
+                    self.static_nodes.remove(cid);
                 }
                 // Fire due static dials — no concurrency cap (§4), but
                 // endpoints in backoff wait for the retry scheduler.
-                let due: Vec<NodeRecord> = self
+                let due: Vec<(CompactId, NodeRecord)> = self
                     .static_nodes
-                    .iter()
-                    .filter(|(id, e)| e.next_dial_ms <= now && !self.penalty.is_blocked(**id, now))
-                    .map(|(_, e)| e.record)
+                    .iter_ordered()
+                    .filter(|(cid, e)| e.next_dial_ms <= now && !self.penalty.is_blocked(*cid, now))
+                    .map(|(cid, e)| (cid, e.record))
                     .collect();
-                for record in due {
-                    if let Some(e) = self.static_nodes.get_mut(&record.id) {
+                for (cid, record) in due {
+                    if let Some(e) = self.static_nodes.get_mut(cid) {
                         e.next_dial_ms = now + self.config.static_redial_interval_ms;
                     }
                     self.dial(ctx, record, ConnType::StaticDial);
@@ -943,9 +976,13 @@ impl Host for NodeFinder {
             }
             T_SWEEP => {
                 let now = ctx.now_ms;
+                // `ids_sorted` walks probes in numeric ConnId order —
+                // byte-identical to the BTreeMap scan it replaced.
                 let expired: Vec<(ConnId, FailureClass)> = self
                     .conns
-                    .iter()
+                    .ids_sorted()
+                    .into_iter()
+                    .filter_map(|c| self.conns.get(c).map(|p| (c, p)))
                     .filter(|(_, p)| {
                         // In hold mode, active sessions are kept forever;
                         // only stuck handshakes are reaped.
@@ -970,11 +1007,11 @@ impl Host for NodeFinder {
                         } else {
                             FailureClass::StatusTimeout
                         };
-                        Some((*c, class))
+                        Some((c, class))
                     })
                     .collect();
                 for (conn, class) in expired {
-                    if let Some(p) = self.conns.get_mut(&conn) {
+                    if let Some(p) = self.conns.get_mut(conn) {
                         if p.record.failure.is_none() {
                             p.record.failure = Some(class);
                         }
@@ -988,10 +1025,10 @@ impl Host for NodeFinder {
     }
 
     fn on_stop(&mut self, ctx: &mut Ctx) {
-        // Flush open probes with Open outcome so nothing is lost.
-        let open: Vec<ConnId> = self.conns.keys().copied().collect();
-        for conn in open {
-            if let Some(p) = self.conns.get_mut(&conn) {
+        // Flush open probes with Open outcome so nothing is lost, in
+        // numeric ConnId order (the BTreeMap key order this replaced).
+        for conn in self.conns.ids_sorted() {
+            if let Some(p) = self.conns.get_mut(conn) {
                 if p.record.hello.is_none() {
                     p.record.outcome = ConnOutcome::Open;
                 }

@@ -30,6 +30,7 @@
 pub mod backoff;
 pub mod crawler;
 pub mod datastore;
+pub mod dense;
 pub mod log;
 pub mod sanitize;
 

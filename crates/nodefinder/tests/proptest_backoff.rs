@@ -3,7 +3,7 @@
 // Tests assert on impossible-failure paths freely.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use enode::{Endpoint, NodeId, NodeRecord};
+use enode::{Endpoint, Interner, NodeId, NodeRecord};
 use nodefinder::{BackoffPolicy, PenaltyBox};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -67,9 +67,11 @@ proptest! {
     #[test]
     fn box_engages_exactly_at_threshold(threshold in 1u32..12, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut interner = Interner::new();
         let mut pb = PenaltyBox::new(BackoffPolicy::default(), threshold, 600_000);
+        let cid = interner.intern(&rec(1).id);
         for n in 1..=threshold {
-            pb.record_failure(rec(1), u64::from(n) * 1_000, &mut rng);
+            pb.record_failure(cid, rec(1), u64::from(n) * 1_000, &mut rng);
             prop_assert_eq!(pb.boxed_total(), u64::from(n == threshold));
         }
     }
@@ -79,13 +81,15 @@ proptest! {
     #[test]
     fn success_always_clears(failures in 1u32..20, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut interner = Interner::new();
         let mut pb = PenaltyBox::new(BackoffPolicy::default(), 5, 600_000);
+        let cid = interner.intern(&rec(1).id);
         for n in 0..failures {
-            pb.record_failure(rec(1), u64::from(n) * 1_000, &mut rng);
+            pb.record_failure(cid, rec(1), u64::from(n) * 1_000, &mut rng);
         }
-        pb.record_success(rec(1).id);
-        prop_assert_eq!(pb.failures(rec(1).id), 0);
-        prop_assert!(!pb.is_blocked(rec(1).id, 0));
+        pb.record_success(cid);
+        prop_assert_eq!(pb.failures(cid), 0);
+        prop_assert!(!pb.is_blocked(cid, 0));
         prop_assert_eq!(pb.tracked(), 0);
     }
 
@@ -103,8 +107,10 @@ proptest! {
             100,
             600_000,
         );
+        let mut interner = Interner::new();
         for t in 0..n_endpoints {
-            pb.record_failure(rec(t as u8 + 1), 0, &mut rng);
+            let r = rec(t as u8 + 1);
+            pb.record_failure(interner.intern(&r.id), r, 0, &mut rng);
         }
         let mut handed = Vec::new();
         loop {
@@ -128,16 +134,18 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut interner = Interner::new();
         let mut pb = PenaltyBox::new(BackoffPolicy::default(), 100, 600_000);
         let mut deadlines = Vec::new();
         for (i, t) in times.iter().enumerate() {
-            deadlines.push(pb.record_failure(rec(i as u8 + 1), *t, &mut rng));
+            let r = rec(i as u8 + 1);
+            deadlines.push(pb.record_failure(interner.intern(&r.id), r, *t, &mut rng));
         }
         prop_assert_eq!(pb.next_due_ms(), deadlines.iter().copied().min());
         for (i, d) in deadlines.iter().enumerate() {
-            let id = rec(i as u8 + 1).id;
-            prop_assert!(pb.is_blocked(id, d.saturating_sub(1)));
-            prop_assert!(!pb.is_blocked(id, *d));
+            let cid = interner.intern(&rec(i as u8 + 1).id);
+            prop_assert!(pb.is_blocked(cid, d.saturating_sub(1)));
+            prop_assert!(!pb.is_blocked(cid, *d));
         }
     }
 }

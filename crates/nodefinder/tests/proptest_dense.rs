@@ -1,0 +1,333 @@
+//! Dense-table equivalence suites.
+//!
+//! PR 9 swapped the crawler's hot-path `BTreeMap<NodeId, _>` /
+//! `BTreeSet<NodeId>` structures for compact-id dense tables
+//! (`nodefinder::dense`). The exports must stay byte-identical, so the
+//! new tables must be *observationally equivalent* to the trees they
+//! replaced — same answers, same iteration order, same handout order —
+//! under every interleaving of operations, not just the ones the crawler
+//! happens to issue today.
+//!
+//! Each suite drives the dense structure and a reference `BTreeMap`/
+//! `BTreeSet` model through the same randomly generated op sequence and
+//! compares every observable after every step. The penalty-box reference
+//! is the pre-PR-9 `BTreeMap<NodeId, PenaltyEntry>` implementation,
+//! kept verbatim here as the model; both sides draw jitter from
+//! identically seeded RNGs, so even the jittered deadlines must match
+//! exactly.
+
+// Tests assert on impossible-failure paths freely.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use enode::{Endpoint, Interner, NodeId, NodeRecord};
+use nodefinder::dense::{IdSet, KeyedById, OrderedDenseMap, SeenTable};
+use nodefinder::{BackoffPolicy, PenaltyBox};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// The pre-dense-table penalty box: `BTreeMap<NodeId, _>` keyed by the
+/// full 64-byte id, exactly as it shipped before the compact-id
+/// conversion. This is the semantic model the dense version must match.
+mod reference {
+    use super::*;
+    use rand::Rng;
+
+    #[derive(Debug, Clone)]
+    struct PenaltyEntry {
+        record: NodeRecord,
+        failures: u32,
+        next_allowed_ms: u64,
+        boxed: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct RefPenaltyBox {
+        policy: BackoffPolicy,
+        threshold: u32,
+        box_ms: u64,
+        entries: BTreeMap<NodeId, PenaltyEntry>,
+        boxed_total: u64,
+    }
+
+    impl RefPenaltyBox {
+        pub fn new(policy: BackoffPolicy, threshold: u32, box_ms: u64) -> RefPenaltyBox {
+            RefPenaltyBox {
+                policy,
+                threshold,
+                box_ms,
+                entries: BTreeMap::new(),
+                boxed_total: 0,
+            }
+        }
+
+        pub fn record_failure<R: Rng + ?Sized>(
+            &mut self,
+            record: NodeRecord,
+            now_ms: u64,
+            rng: &mut R,
+        ) -> u64 {
+            let entry = self.entries.entry(record.id).or_insert(PenaltyEntry {
+                record,
+                failures: 0,
+                next_allowed_ms: now_ms,
+                boxed: false,
+            });
+            entry.record = record;
+            entry.failures = entry.failures.saturating_add(1);
+            if entry.failures >= self.threshold {
+                if !entry.boxed {
+                    entry.boxed = true;
+                    self.boxed_total += 1;
+                }
+                entry.next_allowed_ms = now_ms + self.box_ms;
+            } else {
+                entry.boxed = false;
+                entry.next_allowed_ms = now_ms + self.policy.delay_ms(entry.failures, rng);
+            }
+            entry.next_allowed_ms
+        }
+
+        pub fn record_success(&mut self, id: NodeId) {
+            self.entries.remove(&id);
+        }
+
+        pub fn is_blocked(&self, id: NodeId, now_ms: u64) -> bool {
+            self.entries
+                .get(&id)
+                .map(|e| e.next_allowed_ms > now_ms)
+                .unwrap_or(false)
+        }
+
+        pub fn due_retries(&mut self, now_ms: u64, limit: usize) -> Vec<NodeRecord> {
+            let mut due = Vec::new();
+            for entry in self.entries.values_mut() {
+                if due.len() >= limit {
+                    break;
+                }
+                if entry.next_allowed_ms <= now_ms {
+                    entry.next_allowed_ms = u64::MAX;
+                    due.push(entry.record);
+                }
+            }
+            due
+        }
+
+        pub fn next_due_ms(&self) -> Option<u64> {
+            self.entries
+                .values()
+                .map(|e| e.next_allowed_ms)
+                .filter(|t| *t != u64::MAX)
+                .min()
+        }
+
+        pub fn tracked(&self) -> usize {
+            self.entries.len()
+        }
+
+        pub fn boxed_now(&self, now_ms: u64) -> usize {
+            self.entries
+                .values()
+                .filter(|e| e.boxed && e.next_allowed_ms > now_ms)
+                .count()
+        }
+
+        pub fn boxed_total(&self) -> u64 {
+            self.boxed_total
+        }
+
+        pub fn failures(&self, id: NodeId) -> u32 {
+            self.entries.get(&id).map(|e| e.failures).unwrap_or(0)
+        }
+    }
+}
+
+/// A pool node: the tag is spread through the 64-byte id so NodeId sort
+/// order follows the tag, while *intern* order follows first use — the
+/// two orders disagree for almost every op sequence, which is exactly
+/// the case the order-preserving tables must survive.
+fn rec(tag: u8) -> NodeRecord {
+    NodeRecord::new(
+        NodeId([tag; 64]),
+        Endpoint::new(Ipv4Addr::new(10, 0, 0, tag), 30303),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum PbOp {
+    /// Advance time by `dt` and record a failure for pool node `idx`.
+    Fail { idx: u8, dt: u64 },
+    /// Record a success for pool node `idx`.
+    Success { idx: u8 },
+    /// Advance time by `dt` and hand out up to `limit` due retries.
+    Due { dt: u64, limit: usize },
+    /// Probe `is_blocked`/`failures` for pool node `idx`.
+    Probe { idx: u8 },
+}
+
+fn arb_pb_op() -> impl Strategy<Value = PbOp> {
+    // The vendored prop_oneof! picks uniformly, so the Fail bias is
+    // expressed by repeating its arm.
+    prop_oneof![
+        (0u8..24, 0u64..30_000).prop_map(|(idx, dt)| PbOp::Fail { idx, dt }),
+        (0u8..24, 0u64..30_000).prop_map(|(idx, dt)| PbOp::Fail { idx, dt }),
+        (0u8..24).prop_map(|idx| PbOp::Success { idx }),
+        (0u64..300_000, 0usize..10).prop_map(|(dt, limit)| PbOp::Due { dt, limit }),
+        (0u8..24).prop_map(|idx| PbOp::Probe { idx }),
+    ]
+}
+
+proptest! {
+    /// The dense penalty box and the reference BTreeMap penalty box give
+    /// identical answers — deadlines, blocking, handout contents *and
+    /// order*, counters — under arbitrary op interleavings.
+    #[test]
+    fn penalty_box_matches_btreemap_reference(
+        ops in proptest::collection::vec(arb_pb_op(), 1..120),
+        threshold in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let policy = BackoffPolicy::default();
+        let mut dense = PenaltyBox::new(policy.clone(), threshold, 600_000);
+        let mut model = reference::RefPenaltyBox::new(policy, threshold, 600_000);
+        let mut interner = Interner::new();
+        // Identical seeds: both sides must draw the same jitter for the
+        // same failure, or their deadlines drift apart.
+        let mut rng_dense = StdRng::seed_from_u64(seed);
+        let mut rng_model = StdRng::seed_from_u64(seed);
+
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                PbOp::Fail { idx, dt } => {
+                    now += dt;
+                    let r = rec(idx + 1);
+                    let cid = interner.intern(&r.id);
+                    let until_dense = dense.record_failure(cid, r, now, &mut rng_dense);
+                    let until_model = model.record_failure(r, now, &mut rng_model);
+                    prop_assert_eq!(until_dense, until_model);
+                }
+                PbOp::Success { idx } => {
+                    let r = rec(idx + 1);
+                    dense.record_success(interner.intern(&r.id));
+                    model.record_success(r.id);
+                }
+                PbOp::Due { dt, limit } => {
+                    now += dt;
+                    let due_dense = dense.due_retries(now, limit);
+                    let due_model = model.due_retries(now, limit);
+                    prop_assert_eq!(due_dense, due_model, "handout contents or order diverged");
+                }
+                PbOp::Probe { idx } => {
+                    let r = rec(idx + 1);
+                    let cid = interner.intern(&r.id);
+                    prop_assert_eq!(dense.is_blocked(cid, now), model.is_blocked(r.id, now));
+                    prop_assert_eq!(dense.failures(cid), model.failures(r.id));
+                }
+            }
+            prop_assert_eq!(dense.tracked(), model.tracked());
+            prop_assert_eq!(dense.boxed_now(now), model.boxed_now(now));
+            prop_assert_eq!(dense.boxed_total(), model.boxed_total());
+            prop_assert_eq!(dense.next_due_ms(), model.next_due_ms());
+        }
+    }
+
+    /// `SeenTable` answers exactly like a `BTreeMap<NodeId, u64>`
+    /// last-seen map: same stamps, same freshness counts, same size.
+    #[test]
+    fn seen_table_matches_btreemap_reference(
+        ops in proptest::collection::vec(
+            (0u8..40, 0u64..50_000, 1u64..200_000),
+            1..200,
+        ),
+    ) {
+        let mut interner = Interner::new();
+        let mut dense = SeenTable::new();
+        let mut model: BTreeMap<NodeId, u64> = BTreeMap::new();
+
+        let mut now = 0u64;
+        for (idx, dt, window) in ops {
+            now += dt;
+            let id = NodeId([idx + 1; 64]);
+            let cid = interner.intern(&id);
+            dense.note(cid, now);
+            model.insert(id, now);
+
+            prop_assert_eq!(dense.get(cid), model.get(&id).copied());
+            prop_assert_eq!(dense.len(), model.len());
+            let fresh_model = model
+                .values()
+                .filter(|&&t| now.saturating_sub(t) < window)
+                .count();
+            prop_assert_eq!(dense.fresh(now, window), fresh_model);
+        }
+    }
+
+    /// `IdSet` mirrors `BTreeSet<NodeId>` insert/remove/contains
+    /// semantics, including the returned "was new / was present" bools
+    /// the crawler's queue-dedup logic branches on.
+    #[test]
+    fn id_set_matches_btreeset_reference(
+        ops in proptest::collection::vec((0u8..40, any::<bool>()), 1..200),
+    ) {
+        let mut interner = Interner::new();
+        let mut dense = IdSet::new();
+        let mut model: BTreeSet<NodeId> = BTreeSet::new();
+
+        for (idx, insert) in ops {
+            let id = NodeId([idx + 1; 64]);
+            let cid = interner.intern(&id);
+            if insert {
+                prop_assert_eq!(dense.insert(cid), model.insert(id));
+            } else {
+                prop_assert_eq!(dense.remove(cid), model.remove(&id));
+            }
+            prop_assert_eq!(dense.contains(cid), model.contains(&id));
+        }
+    }
+
+    /// `OrderedDenseMap` iterates in full-NodeId order — the exact order
+    /// a `BTreeMap<NodeId, V>` would give — no matter how insert/remove/
+    /// replace interleave with intern order.
+    #[test]
+    fn ordered_dense_map_iterates_in_btreemap_order(
+        ops in proptest::collection::vec((0u8..40, any::<bool>(), 0u64..1000), 1..200),
+    ) {
+        #[derive(Debug, Clone, PartialEq)]
+        struct Entry {
+            record: NodeRecord,
+            stamp: u64,
+        }
+        impl KeyedById for Entry {
+            fn node_id(&self) -> &NodeId {
+                &self.record.id
+            }
+        }
+
+        let mut interner = Interner::new();
+        let mut dense: OrderedDenseMap<Entry> = OrderedDenseMap::new();
+        let mut model: BTreeMap<NodeId, Entry> = BTreeMap::new();
+
+        for (idx, insert, stamp) in ops {
+            let r = rec(idx + 1);
+            let cid = interner.intern(&r.id);
+            if insert {
+                let e = Entry { record: r, stamp };
+                prop_assert_eq!(dense.insert(cid, e.clone()), model.insert(r.id, e));
+            } else {
+                prop_assert_eq!(dense.remove(cid), model.remove(&r.id));
+            }
+            // Observable equivalence after every step: same ordered
+            // (id, value) sequence as the reference tree.
+            let got: Vec<(NodeId, Entry)> = dense
+                .iter_ordered()
+                .map(|(cid, e)| (*interner.resolve(cid), e.clone()))
+                .collect();
+            let want: Vec<(NodeId, Entry)> =
+                model.iter().map(|(id, e)| (*id, e.clone())).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

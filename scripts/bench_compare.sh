@@ -7,15 +7,30 @@
 #    than 20% — wall-clock noise on shared runners sits well inside that
 #    band, a scheduler or payload regression does not.
 # 2. Scaling curve (results/BENCH_scale.json): the 5,000-host tier must
-#    hold >= 80% of the 1,000-host tier's throughput — the flat-scaling
-#    property the timer wheel + slab work bought.
+#    hold >= 80% of the 1,000-host tier's steady-state throughput, and
+#    the 50,000-host tier >= 85% of the 5,000-host tier — the
+#    flat-scaling property the timer wheel + slab + compact-id +
+#    crypto-memo work bought. Steady-state rates
+#    (steady_events_per_wall_second, the post-join-storm window) are what
+#    the cross-tier ratios compare: the storm is a crypto burst whose
+#    *size* grows with the population, so whole-slice rates would fold a
+#    workload-composition difference into what is meant to be a
+#    per-event-cost comparison. The measured ratio sits at ~0.90; the
+#    floor is set at 0.85 because back-to-back identical runs on a shared
+#    box differ by up to ~4%, and the guard must catch structural
+#    regressions, not machine weather.
 # 3. Shard invariance: the scale artifact's embedded shard-divergence
 #    check must report "identical": true.
-# 4. Memory budget: the 5,000-host tier's measured RSS growth must stay
-#    under 210 kB/host (the pre-flyweight footprint).
+# 4. Memory budget: per-tier RSS growth (each tier now runs in its own
+#    child process, so rss_before/rss_after deltas are uncontaminated)
+#    must stay under 210 kB/host at 5,000 hosts and 70 kB/host at
+#    50,000 hosts (the compact-id footprint).
 # 5. Shard balance: the 50,000-host 8-shard tier's imbalance_ratio
 #    (max/min deterministic per-shard event counts) must stay <= 2.0 —
 #    a skewed owner assignment serialises the barrier-epoch scheduler.
+# 6. Allocation proxy: BENCH_crawl.json's alloc_bytes_per_event (crawler
+#    retained heap over total sim events, deterministic at a fixed seed)
+#    must not grow past 1.5x the committed baseline.
 #
 # Usage:
 #   scripts/bench_compare.sh            # compare results/BENCH_crawl.json vs HEAD
@@ -69,17 +84,28 @@ if [ -f "$scale_file" ]; then
         ' "$scale_file"
     }
 
-    rate_1k=$(tier_field 1000 sim_events_per_wall_second)
-    rate_5k=$(tier_field 5000 sim_events_per_wall_second)
+    rate_1k=$(tier_field 1000 steady_events_per_wall_second)
+    rate_5k=$(tier_field 5000 steady_events_per_wall_second)
+    rate_50k=$(tier_field 50000 steady_events_per_wall_second)
     if [ -n "${rate_1k:-}" ] && [ -n "${rate_5k:-}" ]; then
         scale_floor=$((rate_1k * 80 / 100))
-        echo "bench_compare: scaling curve 1k=$rate_1k ev/wall-s, 5k=$rate_5k ev/wall-s, floor=$scale_floor"
+        echo "bench_compare: scaling curve 1k=$rate_1k ev/wall-s steady, 5k=$rate_5k ev/wall-s steady, floor=$scale_floor"
         if [ "$rate_5k" -lt "$scale_floor" ]; then
-            echo "bench_compare: FAIL — 5k-host throughput below 80% of the 1k tier (scaling regression)"
+            echo "bench_compare: FAIL — 5k-host steady throughput below 80% of the 1k tier (scaling regression)"
             exit 1
         fi
     else
-        echo "bench_compare: scale artifact lacks 1k/5k tiers — skipping scaling-curve check"
+        echo "bench_compare: scale artifact lacks 1k/5k steady rates — skipping scaling-curve check"
+    fi
+    if [ -n "${rate_5k:-}" ] && [ -n "${rate_50k:-}" ]; then
+        curve_floor=$((rate_5k * 85 / 100))
+        echo "bench_compare: scaling curve 5k=$rate_5k ev/wall-s steady, 50k=$rate_50k ev/wall-s steady, floor=$curve_floor"
+        if [ "$rate_50k" -lt "$curve_floor" ]; then
+            echo "bench_compare: FAIL — 50k-host steady throughput below 85% of the 5k tier (scaling regression)"
+            exit 1
+        fi
+    else
+        echo "bench_compare: scale artifact lacks 5k/50k steady rates — skipping 50k-curve check"
     fi
 
     if grep -q '"identical": false' "$scale_file"; then
@@ -101,16 +127,48 @@ if [ -f "$scale_file" ]; then
         fi
     fi
 
-    rss_before=$(tier_field 5000 rss_before_kb)
-    rss_after=$(tier_field 5000 rss_after_kb)
-    if [ -n "${rss_before:-}" ] && [ -n "${rss_after:-}" ] && [ "$rss_after" -gt 0 ]; then
-        rss_delta=$((rss_after - rss_before))
-        rss_budget=$((210 * 5000)) # 210 kB/host at the 5k tier
-        echo "bench_compare: 5k-tier RSS growth ${rss_delta} kB (budget ${rss_budget} kB)"
-        if [ "$rss_delta" -gt "$rss_budget" ]; then
-            echo "bench_compare: FAIL — 5k-tier RSS exceeds the 210 kB/host budget"
-            exit 1
+    # Per-tier RSS budgets, in kB/host. Tiers run in their own child
+    # processes, so rss_after - rss_before is that tier's own growth.
+    check_rss() { # check_rss <hosts> <budget_kb_per_host>
+        rss_before=$(tier_field "$1" rss_before_kb)
+        rss_after=$(tier_field "$1" rss_after_kb)
+        if [ -n "${rss_before:-}" ] && [ -n "${rss_after:-}" ] && [ "$rss_after" -gt 0 ]; then
+            rss_delta=$((rss_after - rss_before))
+            rss_budget=$(($2 * $1))
+            echo "bench_compare: ${1}-host tier RSS growth ${rss_delta} kB (budget ${rss_budget} kB = $2 kB/host)"
+            if [ "$rss_delta" -gt "$rss_budget" ]; then
+                echo "bench_compare: FAIL — ${1}-host tier RSS exceeds the $2 kB/host budget"
+                exit 1
+            fi
         fi
+    }
+    check_rss 5000 210
+    check_rss 50000 70
+fi
+
+# ---- allocation-proxy guard ------------------------------------------
+# alloc_bytes_per_event is deterministic at a fixed seed (integer heap
+# bytes over an integer event count), so regressions here are structural
+# — a table that started retaining per-event garbage — not noise.
+alloc_extract() {
+    sed -n 's/.*"alloc_bytes_per_event": *\([0-9.][0-9.]*\).*/\1/p' | head -n 1
+}
+if [ $# -ge 2 ]; then
+    alloc_baseline=$(alloc_extract <"$2")
+else
+    alloc_baseline=$(git show HEAD:results/BENCH_crawl.json 2>/dev/null | alloc_extract)
+fi
+alloc_current=$(alloc_extract <"$current_file")
+if [ -z "${alloc_baseline:-}" ]; then
+    echo "bench_compare: no committed alloc_bytes_per_event baseline — skipping allocation-proxy check"
+elif [ -z "${alloc_current:-}" ]; then
+    echo "bench_compare: FAIL — $current_file has no alloc_bytes_per_event"
+    exit 1
+else
+    echo "bench_compare: alloc proxy baseline=$alloc_baseline B/event, current=$alloc_current B/event (ceiling 1.5x)"
+    if awk -v c="$alloc_current" -v b="$alloc_baseline" 'BEGIN { exit !(c > b * 1.5) }'; then
+        echo "bench_compare: FAIL — alloc_bytes_per_event grew past 1.5x the committed baseline"
+        exit 1
     fi
 fi
 echo "bench_compare: OK"

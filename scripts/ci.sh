@@ -21,8 +21,10 @@
 #                   artifacts are then generated twice and byte-compared
 #   7. compare   -- fails if crawl throughput regressed >20% vs the
 #                   committed BENCH_crawl.json baseline, if the committed
-#                   scale artifact's 5k/1k curve dips below 0.8, if its
-#                   shard check diverged, or if 5k-tier RSS blows budget
+#                   scale artifact's 5k/1k curve dips below 0.8 or its
+#                   50k/5k curve below 0.9, if its shard check diverged,
+#                   if a tier's RSS blows its per-host budget, or if the
+#                   crawl's alloc_bytes_per_event proxy grew past 1.5x
 #   8. scale     -- bench_scale smoke tiers: 250 hosts (with the embedded
 #                   shards-{1,4} divergence byte-check) and a sharded
 #                   50,000-host world at a shortened sim slice
@@ -116,8 +118,9 @@ step "bench compare (throughput guard)" scripts/bench_compare.sh
 # Scale smoke tests: the smallest bench_scale tier (250 hosts, including
 # the shards-{1,4} divergence byte-check), then a sharded 50,000-host
 # world on a shortened sim slice to smoke the barrier-epoch scheduler and
-# flyweight memory path at full population. The full 250/1k/5k/50k sweep
-# is run manually when results/BENCH_scale.json is refreshed.
+# flyweight memory path at full population. The full sweep — 250/1k/5k/50k
+# plus the 250,000-host tier under SCALE_FULL=1 — is run manually when
+# results/BENCH_scale.json is refreshed.
 step "bench scale (250-host tier)" env TIERS=250 cargo run -q --release -p bench --bin bench_scale
 step "bench scale (50k-host sharded smoke)" \
     env TIERS=50000 SCALE_SIM_MS=2000 SCALE_SHARD_CHECK=0 \
