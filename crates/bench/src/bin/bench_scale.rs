@@ -13,7 +13,12 @@
 //!   build, after the run, after tearing the world down, and the `VmHWM`
 //!   peak — the workspace forbids `unsafe`, so a counting allocator is
 //!   out);
-//! - per-handshake-stage latency quantiles from the crawler.
+//! - per-handshake-stage latency quantiles from the crawler;
+//! - the checkpoint-cycle price at tier scale (`snapshot_bytes`,
+//!   `snapshot_ms`, `restore_ms`): an honest-population world of the same
+//!   size is run to the warmup boundary, serialized, and restored into a
+//!   freshly built shell. `bench_compare.sh` gates the 5,000-host cycle
+//!   at <10% of the tier's steady-state wall time.
 //!
 //! Each tier runs in its own child process (the binary re-execs itself
 //! with `SCALE_TIER_WORKER` set). This is what makes the RSS proxy
@@ -39,6 +44,8 @@
 //!   tiers this way).
 //! - `SCALE_SIM_MS=2000` — override each tier's simulated duration.
 //! - `SCALE_SHARD_CHECK=0` — skip the divergence check.
+//! - `SCALE_SNAPSHOT_PROBE=0` — skip the checkpoint-cycle probe (its
+//!   three fields report 0).
 //! - `SCALE_FULL=1` — append the 250,000-host tier to the sweep (short
 //!   simulated slice; the committed full artifact is regenerated this
 //!   way, CI smokes never run it).
@@ -105,6 +112,13 @@ struct TierResult {
     barrier_stall_ms: Vec<u64>,
     /// Top event kinds by aggregate dispatch cost, as a JSON array.
     top_kinds: String,
+    /// Engine snapshot size at the warmup boundary, from the
+    /// snapshot/restore probe (0 when the probe is disabled).
+    snapshot_bytes: u64,
+    /// Wall-clock to serialize the probe world.
+    snapshot_ms: u64,
+    /// Wall-clock to restore the snapshot into a freshly built shell.
+    restore_ms: u64,
 }
 
 /// `VmRSS` / `VmHWM` from `/proc/self/status`, in kB (0 off-Linux).
@@ -227,6 +241,69 @@ fn build_world(n_hosts: usize, sim_ms: u64, shards: usize) -> (World, usize) {
     (world, byzantine)
 }
 
+/// Measure the checkpoint cycle at tier scale: build an honest world
+/// plus the crawler, run to the warmup boundary (post join storm, live
+/// probes and routing tables populated), serialize the engine, rebuild
+/// the shell from config, and restore. Returns `(snapshot_bytes,
+/// snapshot_ms, restore_ms)`.
+///
+/// The tier's main world is not snapshotted because its adversary hosts
+/// intentionally do not implement `save_state` — their probe-breaking
+/// state machines are outside the checkpoint contract — so the probe
+/// runs the honest population at the same scale. Correctness of the
+/// cycle (byte-identical resumed artifacts) is the tier-1
+/// `resume_determinism` suite's job; this probe only prices it.
+/// `SCALE_SNAPSHOT_PROBE=0` skips it (all three numbers report 0).
+fn snapshot_probe(n_hosts: usize, sim_ms: u64, shards: usize) -> (u64, u64, u64) {
+    if std::env::var("SCALE_SNAPSHOT_PROBE").as_deref() == Ok("0") {
+        return (0, 0, 0);
+    }
+    let build = || {
+        let config = WorldConfig {
+            seed: 9000 + n_hosts as u64,
+            n_nodes: n_hosts,
+            duration_ms: sim_ms,
+            tx_interval_ms: 20_000,
+            shards,
+            n_bootstrap: 16,
+            ..WorldConfig::default()
+        };
+        let mut world = World::build(config);
+        let crawler_key = SecretKey::from_bytes(&[0xCB; 32]).expect("crawler key");
+        let crawler = NodeFinder::new(
+            crawler_key,
+            CrawlerConfig {
+                static_redial_interval_ms: 30_000,
+                stale_after_ms: sim_ms,
+                probe_timeout_ms: 30_000,
+                ..CrawlerConfig::default()
+            },
+            world.bootstrap.clone(),
+        );
+        let host = world.sim.add_host(
+            HostAddr::new(Ipv4Addr::new(192, 17, 100, 1), 30303),
+            HostMeta::default_cloud(),
+            Box::new(crawler),
+        );
+        world.sim.schedule_start(host, 0);
+        world
+    };
+    let mut world = build();
+    world.sim.run_until(sim_ms / 5);
+    // detlint: allow(R1) -- bench harness measures wall-clock snapshot cost outside the simulation
+    let t = std::time::Instant::now();
+    let snap = world.sim.snapshot().expect("snapshot probe");
+    let snapshot_ms = t.elapsed().as_millis() as u64;
+    let snapshot_bytes = snap.len() as u64;
+    drop(world);
+    let mut shell = build();
+    // detlint: allow(R1) -- bench harness measures wall-clock restore cost outside the simulation
+    let t = std::time::Instant::now();
+    shell.sim.restore(&snap).expect("restore probe");
+    let restore_ms = t.elapsed().as_millis() as u64;
+    (snapshot_bytes, snapshot_ms, restore_ms)
+}
+
 /// Build and run one tier; returns its measurements.
 fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
     let recorder = obs::Recorder::new();
@@ -300,7 +377,34 @@ fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
         .unwrap_or_else(|| "[]".to_string());
     obs::profile::uninstall();
 
-    let result = TierResult {
+    let stages = format!(
+        "{{\n      \"connect_ms\": {},\n      \"auth_ms\": {},\n      \"hello_ms\": {},\n      \"status_ms\": {}\n    }}",
+        stage_json(&recorder, "crawler.stage.connect_ms"),
+        stage_json(&recorder, "crawler.stage.auth_ms"),
+        stage_json(&recorder, "crawler.stage.hello_ms"),
+        stage_json(&recorder, "crawler.stage.status_ms"),
+    );
+    // Debug aid for tier-cost triage: dump the full Prometheus snapshot
+    // (protocol counters per tier) next to the requested path.
+    if let Ok(path) = std::env::var("SCALE_DUMP_METRICS") {
+        let _ = std::fs::write(format!("{path}.{n_hosts}"), recorder.prometheus());
+        if let Some(s) = prof.as_ref() {
+            let lines: String = s
+                .archetypes
+                .iter()
+                .map(|(l, h, e, ms)| format!("{l} hosts={h} events={e} total_ms={ms}\n"))
+                .collect();
+            let _ = std::fs::write(format!("{path}.{n_hosts}.arch"), lines);
+        }
+    }
+    obs::uninstall();
+
+    // Checkpoint-cycle cost, priced after the tier's RSS reads and with
+    // the recorder uninstalled, so the probe's second world contaminates
+    // neither the memory numbers nor the stage histograms.
+    let (snapshot_bytes, snapshot_ms, restore_ms) = snapshot_probe(n_hosts, sim_ms, shards);
+
+    TierResult {
         hosts: n_hosts,
         byzantine,
         sim_ms,
@@ -317,33 +421,15 @@ fn run_tier(n_hosts: usize, sim_ms: u64, shards: usize) -> TierResult {
         rss_after_kb,
         rss_after_drop_kb,
         rss_peak_kb,
-        stages: format!(
-            "{{\n      \"connect_ms\": {},\n      \"auth_ms\": {},\n      \"hello_ms\": {},\n      \"status_ms\": {}\n    }}",
-            stage_json(&recorder, "crawler.stage.connect_ms"),
-            stage_json(&recorder, "crawler.stage.auth_ms"),
-            stage_json(&recorder, "crawler.stage.hello_ms"),
-            stage_json(&recorder, "crawler.stage.status_ms"),
-        ),
+        stages,
         imbalance_ratio,
         shard_utilization,
         barrier_stall_ms,
         top_kinds,
-    };
-    // Debug aid for tier-cost triage: dump the full Prometheus snapshot
-    // (protocol counters per tier) next to the requested path.
-    if let Ok(path) = std::env::var("SCALE_DUMP_METRICS") {
-        let _ = std::fs::write(format!("{path}.{n_hosts}"), recorder.prometheus());
-        if let Some(s) = prof.as_ref() {
-            let lines: String = s
-                .archetypes
-                .iter()
-                .map(|(l, h, e, ms)| format!("{l} hosts={h} events={e} total_ms={ms}\n"))
-                .collect();
-            let _ = std::fs::write(format!("{path}.{n_hosts}.arch"), lines);
-        }
+        snapshot_bytes,
+        snapshot_ms,
+        restore_ms,
     }
-    obs::uninstall();
-    result
 }
 
 /// Run a small world at the given shard count and return its full obs
@@ -383,8 +469,8 @@ fn tier_json(t: &TierResult) -> String {
     // bonding against the same 16 bootstrap hosts), so the whole-slice
     // rate mixes a population-proportional crypto burst into what is
     // otherwise a per-event cost comparison.
-    let steady_rate =
-        (t.sim_events_total - t.warm_events) * 1000 / (t.run_wall_ms - t.warm_wall_ms).max(1);
+    let steady_wall_ms = t.run_wall_ms - t.warm_wall_ms;
+    let steady_rate = (t.sim_events_total - t.warm_events) * 1000 / steady_wall_ms.max(1);
     let shard_events: Vec<String> = t.shard_events.iter().map(u64::to_string).collect();
     let utilization: Vec<String> = t
         .shard_utilization
@@ -404,6 +490,7 @@ fn tier_json(t: &TierResult) -> String {
          \x20   \"sim_events_per_wall_second\": {rate},\n\
          \x20   \"warmup_ms\": {},\n\
          \x20   \"warmup_events\": {},\n\
+         \x20   \"steady_wall_ms\": {steady_wall_ms},\n\
          \x20   \"steady_events_per_wall_second\": {steady_rate},\n\
          \x20   \"shard_events\": [{}],\n\
          \x20   \"imbalance_ratio\": {:.2},\n\
@@ -415,6 +502,9 @@ fn tier_json(t: &TierResult) -> String {
          \x20   \"rss_after_kb\": {},\n\
          \x20   \"rss_after_drop_kb\": {},\n\
          \x20   \"rss_peak_kb\": {},\n\
+         \x20   \"snapshot_bytes\": {},\n\
+         \x20   \"snapshot_ms\": {},\n\
+         \x20   \"restore_ms\": {},\n\
          \x20   \"handshake_stages\": {}\n\
          \x20 }}",
         t.hosts,
@@ -436,6 +526,9 @@ fn tier_json(t: &TierResult) -> String {
         t.rss_after_kb,
         t.rss_after_drop_kb,
         t.rss_peak_kb,
+        t.snapshot_bytes,
+        t.snapshot_ms,
+        t.restore_ms,
         t.stages,
     )
 }

@@ -166,6 +166,27 @@ impl AesCtr {
         }
     }
 
+    /// Capture the CTR stream position for checkpoint/restore:
+    /// `(counter block, buffered keystream, bytes of keystream consumed)`.
+    /// The expanded key is NOT captured — the caller re-derives it from the
+    /// session secrets it already persists and passes it to
+    /// [`AesCtr::from_parts`].
+    pub fn to_parts(&self) -> ([u8; 16], [u8; 16], usize) {
+        (self.counter, self.keystream, self.used)
+    }
+
+    /// Rebuild a CTR stream from a key plus [`AesCtr::to_parts`] output.
+    pub fn from_parts(key: &[u8], parts: ([u8; 16], [u8; 16], usize)) -> AesCtr {
+        let (counter, keystream, used) = parts;
+        assert!(used <= 16, "corrupt AES-CTR snapshot");
+        AesCtr {
+            cipher: Aes::new(key),
+            counter,
+            keystream,
+            used,
+        }
+    }
+
     /// XOR the keystream over `data` in place (encrypt or decrypt).
     pub fn apply(&mut self, data: &mut [u8]) {
         for byte in data.iter_mut() {

@@ -108,7 +108,7 @@ fn keccak_f(a: &mut [u64; 25]) {
 }
 
 /// Largest rate used (Keccak-256); the partial-block buffer is sized for it.
-const MAX_RATE: usize = 136;
+pub const MAX_RATE: usize = 136;
 
 /// Incremental Keccak hasher with a configurable output length.
 #[derive(Clone)]
@@ -140,6 +140,36 @@ impl Keccak {
             buf: [0; MAX_RATE],
             buf_len: 0,
             output_len: 64,
+        }
+    }
+
+    /// Capture the full sponge state for checkpoint/restore:
+    /// `(state lanes, rate, partial-block buffer, buffered length,
+    /// output length)`. Feeding the tuple back through
+    /// [`Keccak::from_parts`] resumes the exact absorb position.
+    pub fn to_parts(&self) -> ([u64; 25], usize, [u8; MAX_RATE], usize, usize) {
+        (
+            self.state,
+            self.rate,
+            self.buf,
+            self.buf_len,
+            self.output_len,
+        )
+    }
+
+    /// Rebuild a hasher from [`Keccak::to_parts`] output.
+    pub fn from_parts(parts: ([u64; 25], usize, [u8; MAX_RATE], usize, usize)) -> Keccak {
+        let (state, rate, buf, buf_len, output_len) = parts;
+        assert!(
+            rate <= MAX_RATE && buf_len < rate,
+            "corrupt keccak snapshot"
+        );
+        Keccak {
+            state,
+            rate,
+            buf,
+            buf_len,
+            output_len,
         }
     }
 

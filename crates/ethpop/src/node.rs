@@ -11,13 +11,14 @@
 //! slots).
 
 use crate::clients::{ClientKind, NodeProfile, ServiceKind};
+use crate::state;
 use crate::wire::{PeerConn, WireEvent};
 use devp2p::{DisconnectReason, Hello, P2P_VERSION};
 use discv4::{Config as DiscConfig, Discv4, Event as DiscEvent};
 use enode::{Endpoint, NodeId, NodeRecord};
 use ethcrypto::secp256k1::SecretKey;
 use ethwire::{BlockId, EthMessage, Status};
-use netsim::{ConnId, Ctx, Host, HostAddr, TcpEvent};
+use netsim::{ConnId, Ctx, Host, HostAddr, SnapError, SnapReader, SnapWriter, TcpEvent};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::mem::size_of;
@@ -50,6 +51,11 @@ const POLL_TICK_MS: u64 = 600;
 /// pacing, a node below its peer cap would hammer unreachable targets
 /// every dial tick.
 const RETRY_REFILL_MS: u64 = 20_000;
+
+/// Magic prefixing an [`EthNode`] behaviour-state section.
+const NODE_SNAP_MAGIC: [u8; 4] = *b"ETHN";
+/// Current behaviour-state format version.
+const NODE_SNAP_VERSION: u8 = 1;
 
 /// Instrumentation counters — Figures 2, 3, 4 and Table 1 read these.
 #[derive(Debug, Clone, Default)]
@@ -657,6 +663,176 @@ impl EthNode {
         }
         self.send_disc(ctx, outgoing);
     }
+
+    // ---- checkpoint/restore -------------------------------------------
+
+    /// Serialize every piece of dynamic state a restore cannot rebuild
+    /// from the profile. Static structure — the bootstrap flyweight, the
+    /// capability list, the chain, the service kind — is deliberately
+    /// absent: the world shell reconstructs it, which is what keeps `Rc`
+    /// allocations shared after a restore.
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::with_header(NODE_SNAP_MAGIC, NODE_SNAP_VERSION);
+        // Mutable profile slices: rotation rewrites the key, release
+        // plans rewrite the client id on (re)start.
+        w.raw(&self.profile.key.to_bytes());
+        w.str(&self.profile.client_id);
+        w.bool(self.disc.is_some());
+        if let Some(disc) = &self.disc {
+            state::w_endpoint(&mut w, &disc.endpoint());
+            state::w_discv4(&mut w, &disc.to_state());
+        }
+        w.usize(self.conns.len());
+        for pc in self.conns.values() {
+            pc.encode_into(&mut w);
+        }
+        w.usize(self.eth_ready.len());
+        for conn in &self.eth_ready {
+            w.usize(*conn);
+        }
+        w.usize(self.candidates.len());
+        for rec in &self.candidates {
+            state::w_record(&mut w, rec);
+        }
+        w.usize(self.known.len());
+        for fp in &self.known {
+            w.u64(*fp);
+        }
+        w.usize(self.dialing);
+        w.bool(self.disc_armed);
+        w.bool(self.dial_armed);
+        w.bool(self.poll_armed);
+        w.u32(self.dry_lookups);
+        w.u64(self.next_retry_ms);
+        w.bool(self.sample_peers);
+        let label_map = |w: &mut SnapWriter, m: &BTreeMap<&'static str, u64>| {
+            w.usize(m.len());
+            for (label, v) in m {
+                w.str(label);
+                w.u64(*v);
+            }
+        };
+        label_map(&mut w, &self.stats.sent);
+        label_map(&mut w, &self.stats.received);
+        label_map(&mut w, &self.stats.disconnects_sent);
+        label_map(&mut w, &self.stats.disconnects_received);
+        w.usize(self.stats.peer_samples.len());
+        for (t, n) in &self.stats.peer_samples {
+            w.u64(*t);
+            w.usize(*n);
+        }
+        w.usize(self.stats.identities.len());
+        for id in &self.stats.identities {
+            state::w_node_id(&mut w, id);
+        }
+        w.u64(self.stats.lookups);
+        w.u64(self.stats.dials);
+        w.finish()
+    }
+
+    /// Overwrite this (shell-rebuilt) node's dynamic state from
+    /// [`EthNode::encode_state`] output.
+    fn apply_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::with_header(bytes, NODE_SNAP_MAGIC, NODE_SNAP_VERSION)?;
+        let key = SecretKey::from_bytes(&r.array::<32>()?)
+            .map_err(|_| SnapError::Corrupt("node identity key does not decode"))?;
+        let client_id = r.str()?.to_string();
+        let disc = if r.bool()? {
+            let endpoint = state::r_endpoint(&mut r)?;
+            let disc_state = state::r_discv4(&mut r)?;
+            let config = DiscConfig {
+                metric: self.profile.metric,
+                ..DiscConfig::default()
+            };
+            Some(Discv4::from_state(key, endpoint, config, disc_state))
+        } else {
+            None
+        };
+        let n = r.usize()?;
+        let mut conns = BTreeMap::new();
+        for _ in 0..n {
+            let pc = PeerConn::decode_from(&mut r, &key)?;
+            conns.insert(pc.conn, pc);
+        }
+        let n = r.usize()?;
+        let mut eth_ready = BTreeSet::new();
+        for _ in 0..n {
+            eth_ready.insert(r.usize()?);
+        }
+        let n = r.usize()?;
+        let mut candidates = VecDeque::with_capacity(n.min(1024));
+        for _ in 0..n {
+            candidates.push_back(state::r_record(&mut r)?);
+        }
+        let n = r.usize()?;
+        let mut known = BTreeSet::new();
+        for _ in 0..n {
+            known.insert(r.u64()?);
+        }
+        let dialing = r.usize()?;
+        let disc_armed = r.bool()?;
+        let dial_armed = r.bool()?;
+        let poll_armed = r.bool()?;
+        let dry_lookups = r.u32()?;
+        let next_retry_ms = r.u64()?;
+        let sample_peers = r.bool()?;
+        let label_map = |r: &mut SnapReader<'_>| -> Result<BTreeMap<&'static str, u64>, SnapError> {
+            let n = r.usize()?;
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                let label = state::intern_label(r.str()?);
+                let v = r.u64()?;
+                m.insert(label, v);
+            }
+            Ok(m)
+        };
+        let sent = label_map(&mut r)?;
+        let received = label_map(&mut r)?;
+        let disconnects_sent = label_map(&mut r)?;
+        let disconnects_received = label_map(&mut r)?;
+        let n = r.usize()?;
+        let mut peer_samples = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let t = r.u64()?;
+            let c = r.usize()?;
+            peer_samples.push((t, c));
+        }
+        let n = r.usize()?;
+        let mut identities = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            identities.push(state::r_node_id(&mut r)?);
+        }
+        let lookups = r.u64()?;
+        let dials = r.u64()?;
+        r.finish()?;
+
+        self.profile.key = key;
+        self.profile.client_id = client_id;
+        self.disc = disc;
+        self.active_conns = conns.values().filter(|c| c.is_active()).count();
+        self.conns = conns;
+        self.eth_ready = eth_ready;
+        self.candidates = candidates;
+        self.known = known;
+        self.dialing = dialing;
+        self.disc_armed = disc_armed;
+        self.dial_armed = dial_armed;
+        self.poll_armed = poll_armed;
+        self.dry_lookups = dry_lookups;
+        self.next_retry_ms = next_retry_ms;
+        self.sample_peers = sample_peers;
+        self.stats = NodeStats {
+            sent,
+            received,
+            disconnects_sent,
+            disconnects_received,
+            peer_samples,
+            identities,
+            lookups,
+            dials,
+        };
+        Ok(())
+    }
 }
 
 impl Host for EthNode {
@@ -822,6 +998,14 @@ impl Host for EthNode {
             }
             _ => {}
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.encode_state())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        self.apply_state(bytes).is_ok()
     }
 
     fn on_stop(&mut self, _ctx: &mut Ctx) {

@@ -1,0 +1,616 @@
+//! Snapshot codec helpers for the protocol-state images the host layer
+//! embeds in a world checkpoint.
+//!
+//! The protocol crates (`discv4`, `devp2p`, `rlpx`, `kad`) expose plain-data
+//! `*State` structs and stay codec-free; this module maps those structs onto
+//! the simulator's [`SnapWriter`]/[`SnapReader`] byte format. Static
+//! structure (profiles, bootstrap flyweights, capability lists) is *not*
+//! encoded here — the world shell rebuilds it deterministically, which is
+//! what preserves `Rc` sharing across a restore.
+
+use devp2p::{Capability, Hello, SessionState, SharedCapability};
+use discv4::{Discv4State, Event as DiscEvent, Stats as DiscStats};
+use enode::{Endpoint, NodeId, NodeRecord};
+use netsim::{SnapError, SnapReader, SnapWriter};
+use rlpx::{FrameCodecState, HandshakeState, MacState};
+use std::net::Ipv4Addr;
+
+/// Write a raw 64-byte node id.
+pub fn w_node_id(w: &mut SnapWriter, id: &NodeId) {
+    w.raw(&id.0);
+}
+
+/// Read a raw 64-byte node id.
+pub fn r_node_id(r: &mut SnapReader<'_>) -> Result<NodeId, SnapError> {
+    Ok(NodeId(r.array::<64>()?))
+}
+
+/// Write an optional node id as presence bool + id.
+pub fn w_opt_node_id(w: &mut SnapWriter, id: &Option<NodeId>) {
+    w.bool(id.is_some());
+    if let Some(id) = id {
+        w_node_id(w, id);
+    }
+}
+
+/// Read an optional node id written by [`w_opt_node_id`].
+pub fn r_opt_node_id(r: &mut SnapReader<'_>) -> Result<Option<NodeId>, SnapError> {
+    Ok(if r.bool()? { Some(r_node_id(r)?) } else { None })
+}
+
+/// Write an endpoint as ip u32 + udp u16 + tcp u16.
+pub fn w_endpoint(w: &mut SnapWriter, ep: &Endpoint) {
+    w.u32(u32::from(ep.ip));
+    w.u16(ep.udp_port);
+    w.u16(ep.tcp_port);
+}
+
+/// Read an endpoint written by [`w_endpoint`].
+pub fn r_endpoint(r: &mut SnapReader<'_>) -> Result<Endpoint, SnapError> {
+    Ok(Endpoint {
+        ip: Ipv4Addr::from(r.u32()?),
+        udp_port: r.u16()?,
+        tcp_port: r.u16()?,
+    })
+}
+
+/// Write a node record (id + endpoint).
+pub fn w_record(w: &mut SnapWriter, rec: &NodeRecord) {
+    w_node_id(w, &rec.id);
+    w_endpoint(w, &rec.endpoint);
+}
+
+/// Read a node record written by [`w_record`].
+pub fn r_record(r: &mut SnapReader<'_>) -> Result<NodeRecord, SnapError> {
+    Ok(NodeRecord {
+        id: r_node_id(r)?,
+        endpoint: r_endpoint(r)?,
+    })
+}
+
+/// Write an optional node record as presence bool + record.
+pub fn w_opt_record(w: &mut SnapWriter, rec: &Option<NodeRecord>) {
+    w.bool(rec.is_some());
+    if let Some(rec) = rec {
+        w_record(w, rec);
+    }
+}
+
+/// Read an optional node record written by [`w_opt_record`].
+pub fn r_opt_record(r: &mut SnapReader<'_>) -> Result<Option<NodeRecord>, SnapError> {
+    Ok(if r.bool()? { Some(r_record(r)?) } else { None })
+}
+
+// ---- devp2p ------------------------------------------------------------
+
+pub(crate) fn w_hello(w: &mut SnapWriter, h: &Hello) {
+    w.u32(h.p2p_version);
+    w.str(&h.client_id);
+    w.usize(h.capabilities.len());
+    for c in &h.capabilities {
+        w.str(&c.name);
+        w.u32(c.version);
+    }
+    w.u16(h.listen_port);
+    w_node_id(w, &h.node_id);
+}
+
+pub(crate) fn r_hello(r: &mut SnapReader<'_>) -> Result<Hello, SnapError> {
+    let p2p_version = r.u32()?;
+    let client_id = r.str()?.to_string();
+    let n = r.usize()?;
+    let mut capabilities = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let name = r.str()?.to_string();
+        let version = r.u32()?;
+        capabilities.push(Capability { name, version });
+    }
+    Ok(Hello {
+        p2p_version,
+        client_id,
+        capabilities,
+        listen_port: r.u16()?,
+        node_id: r_node_id(r)?,
+    })
+}
+
+pub(crate) fn w_session(w: &mut SnapWriter, s: &SessionState) {
+    w_hello(w, &s.local_hello);
+    w.u8(s.phase);
+    w.bool(s.remote_hello.is_some());
+    if let Some(h) = &s.remote_hello {
+        w_hello(w, h);
+    }
+    w.usize(s.shared.len());
+    for c in &s.shared {
+        w.str(&c.name);
+        w.u32(c.version);
+        w.u64(c.offset);
+        w.usize(c.length);
+    }
+    w.usize(s.outbound.len());
+    for (id, payload) in &s.outbound {
+        w.u64(*id);
+        w.bytes(payload);
+    }
+}
+
+pub(crate) fn r_session(r: &mut SnapReader<'_>) -> Result<SessionState, SnapError> {
+    let local_hello = r_hello(r)?;
+    let phase = r.u8()?;
+    if phase > 2 {
+        return Err(SnapError::Corrupt("session phase out of range"));
+    }
+    let remote_hello = if r.bool()? { Some(r_hello(r)?) } else { None };
+    let n = r.usize()?;
+    let mut shared = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        shared.push(SharedCapability {
+            name: r.str()?.to_string(),
+            version: r.u32()?,
+            offset: r.u64()?,
+            length: r.usize()?,
+        });
+    }
+    let n = r.usize()?;
+    let mut outbound = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let id = r.u64()?;
+        let payload = r.bytes()?.to_vec();
+        outbound.push((id, payload));
+    }
+    Ok(SessionState {
+        local_hello,
+        phase,
+        remote_hello,
+        shared,
+        outbound,
+    })
+}
+
+// ---- rlpx --------------------------------------------------------------
+
+pub(crate) fn w_handshake(w: &mut SnapWriter, s: &HandshakeState) {
+    w.bool(s.initiator);
+    w.raw(&s.ephemeral_key);
+    w.raw(&s.nonce);
+    w_opt_node_id(w, &s.remote_static);
+    w_opt_node_id(w, &s.remote_ephemeral);
+    w.bool(s.remote_nonce.is_some());
+    if let Some(n) = &s.remote_nonce {
+        w.raw(n);
+    }
+    w.bool(s.auth_bytes.is_some());
+    if let Some(b) = &s.auth_bytes {
+        w.bytes(b);
+    }
+    w.bool(s.ack_bytes.is_some());
+    if let Some(b) = &s.ack_bytes {
+        w.bytes(b);
+    }
+}
+
+pub(crate) fn r_handshake(r: &mut SnapReader<'_>) -> Result<HandshakeState, SnapError> {
+    Ok(HandshakeState {
+        initiator: r.bool()?,
+        ephemeral_key: r.array::<32>()?,
+        nonce: r.array::<32>()?,
+        remote_static: r_opt_node_id(r)?,
+        remote_ephemeral: r_opt_node_id(r)?,
+        remote_nonce: if r.bool()? {
+            Some(r.array::<32>()?)
+        } else {
+            None
+        },
+        auth_bytes: if r.bool()? {
+            Some(r.bytes()?.to_vec())
+        } else {
+            None
+        },
+        ack_bytes: if r.bool()? {
+            Some(r.bytes()?.to_vec())
+        } else {
+            None
+        },
+    })
+}
+
+fn w_mac(w: &mut SnapWriter, m: &MacState) {
+    let (lanes, rate, buf, buf_len, absorbed) = m;
+    for lane in lanes {
+        w.u64(*lane);
+    }
+    w.usize(*rate);
+    w.raw(buf);
+    w.usize(*buf_len);
+    w.usize(*absorbed);
+}
+
+fn r_mac(r: &mut SnapReader<'_>) -> Result<MacState, SnapError> {
+    let mut lanes = [0u64; 25];
+    for lane in &mut lanes {
+        *lane = r.u64()?;
+    }
+    let rate = r.usize()?;
+    let buf = r.array::<{ ethcrypto::keccak::MAX_RATE }>()?;
+    let buf_len = r.usize()?;
+    let absorbed = r.usize()?;
+    Ok((lanes, rate, buf, buf_len, absorbed))
+}
+
+fn w_ctr(w: &mut SnapWriter, c: &([u8; 16], [u8; 16], usize)) {
+    w.raw(&c.0);
+    w.raw(&c.1);
+    w.usize(c.2);
+}
+
+fn r_ctr(r: &mut SnapReader<'_>) -> Result<([u8; 16], [u8; 16], usize), SnapError> {
+    Ok((r.array::<16>()?, r.array::<16>()?, r.usize()?))
+}
+
+pub(crate) fn w_frame_codec(w: &mut SnapWriter, s: &FrameCodecState) {
+    w.raw(&s.aes_key);
+    w.raw(&s.mac_key);
+    w_ctr(w, &s.enc);
+    w_ctr(w, &s.dec);
+    w_mac(w, &s.egress_mac);
+    w_mac(w, &s.ingress_mac);
+    w.bool(s.pending_body.is_some());
+    if let Some(n) = s.pending_body {
+        w.usize(n);
+    }
+}
+
+pub(crate) fn r_frame_codec(r: &mut SnapReader<'_>) -> Result<FrameCodecState, SnapError> {
+    Ok(FrameCodecState {
+        aes_key: r.array::<32>()?,
+        mac_key: r.array::<32>()?,
+        enc: r_ctr(r)?,
+        dec: r_ctr(r)?,
+        egress_mac: r_mac(r)?,
+        ingress_mac: r_mac(r)?,
+        pending_body: if r.bool()? { Some(r.usize()?) } else { None },
+    })
+}
+
+// ---- discv4 ------------------------------------------------------------
+
+fn w_lookup(w: &mut SnapWriter, s: &kad::LookupState) {
+    w.raw(&s.target_hash);
+    w.usize(s.candidates.len());
+    for (rec, queried, failed) in &s.candidates {
+        w_record(w, rec);
+        w.bool(*queried);
+        w.bool(*failed);
+    }
+    w.usize(s.in_flight);
+    w.usize(s.queries_sent);
+}
+
+fn r_lookup(r: &mut SnapReader<'_>) -> Result<kad::LookupState, SnapError> {
+    let target_hash = r.array::<32>()?;
+    let n = r.usize()?;
+    let mut candidates = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let rec = r_record(r)?;
+        let queried = r.bool()?;
+        let failed = r.bool()?;
+        candidates.push((rec, queried, failed));
+    }
+    Ok(kad::LookupState {
+        target_hash,
+        candidates,
+        in_flight: r.usize()?,
+        queries_sent: r.usize()?,
+    })
+}
+
+fn w_disc_event(w: &mut SnapWriter, ev: &DiscEvent) {
+    match ev {
+        DiscEvent::NodeSeen(rec) => {
+            w.u8(0);
+            w_record(w, rec);
+        }
+        DiscEvent::NodeVerified(rec) => {
+            w.u8(1);
+            w_record(w, rec);
+        }
+        DiscEvent::LookupDone { all_seen, queries } => {
+            w.u8(2);
+            w.usize(all_seen.len());
+            for rec in all_seen {
+                w_record(w, rec);
+            }
+            w.usize(*queries);
+        }
+    }
+}
+
+fn r_disc_event(r: &mut SnapReader<'_>) -> Result<DiscEvent, SnapError> {
+    Ok(match r.u8()? {
+        0 => DiscEvent::NodeSeen(r_record(r)?),
+        1 => DiscEvent::NodeVerified(r_record(r)?),
+        2 => {
+            let n = r.usize()?;
+            let mut all_seen = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                all_seen.push(r_record(r)?);
+            }
+            DiscEvent::LookupDone {
+                all_seen,
+                queries: r.usize()?,
+            }
+        }
+        _ => return Err(SnapError::Corrupt("discv4 event tag out of range")),
+    })
+}
+
+/// Write a full [`Discv4State`] image.
+pub fn w_discv4(w: &mut SnapWriter, s: &Discv4State) {
+    w.usize(s.table.len());
+    for (bucket, entries) in &s.table {
+        w.u16(*bucket);
+        w.usize(entries.len());
+        for (rec, at) in entries {
+            w_record(w, rec);
+            w.u64(*at);
+        }
+    }
+    w.usize(s.pending_pings.len());
+    for (hash, (to, deadline_ms, sent_ms, replacement, findnode)) in &s.pending_pings {
+        w.raw(hash);
+        w_record(w, to);
+        w.u64(*deadline_ms);
+        w.u64(*sent_ms);
+        w_opt_record(w, replacement);
+        w_opt_node_id(w, findnode);
+    }
+    w.usize(s.pending_queries.len());
+    for (id, (deadline_ms, sent_ms)) in &s.pending_queries {
+        w_node_id(w, id);
+        w.u64(*deadline_ms);
+        w.u64(*sent_ms);
+    }
+    w.usize(s.bonds.len());
+    for (id, (at, rec)) in &s.bonds {
+        w_node_id(w, id);
+        w.u64(*at);
+        w_record(w, rec);
+    }
+    w.usize(s.reverse_bonds.len());
+    for (id, at) in &s.reverse_bonds {
+        w_node_id(w, id);
+        w.u64(*at);
+    }
+    w.bool(s.lookup.is_some());
+    if let Some(l) = &s.lookup {
+        w_lookup(w, l);
+    }
+    w_opt_node_id(w, &s.lookup_target_id);
+    w.usize(s.events.len());
+    for ev in &s.events {
+        w_disc_event(w, ev);
+    }
+    w.u64(s.stats.lookups_started);
+    w.u64(s.stats.findnodes_sent);
+    w.u64(s.stats.pings_sent);
+    w.u64(s.stats.pongs_received);
+    w.u64(s.stats.neighbors_received);
+    w.u64(s.stats.drops);
+    w.u64(s.stats.expired_drops);
+}
+
+/// Read a [`Discv4State`] image written by [`w_discv4`].
+pub fn r_discv4(r: &mut SnapReader<'_>) -> Result<Discv4State, SnapError> {
+    let n = r.usize()?;
+    let mut table = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        let bucket = r.u16()?;
+        let m = r.usize()?;
+        let mut entries = Vec::with_capacity(m.min(64));
+        for _ in 0..m {
+            let rec = r_record(r)?;
+            let at = r.u64()?;
+            entries.push((rec, at));
+        }
+        table.push((bucket, entries));
+    }
+    let n = r.usize()?;
+    let mut pending_pings = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let hash = r.array::<32>()?;
+        let to = r_record(r)?;
+        let deadline_ms = r.u64()?;
+        let sent_ms = r.u64()?;
+        let replacement = r_opt_record(r)?;
+        let findnode = r_opt_node_id(r)?;
+        pending_pings.push((hash, (to, deadline_ms, sent_ms, replacement, findnode)));
+    }
+    let n = r.usize()?;
+    let mut pending_queries = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let id = r_node_id(r)?;
+        let deadline_ms = r.u64()?;
+        let sent_ms = r.u64()?;
+        pending_queries.push((id, (deadline_ms, sent_ms)));
+    }
+    let n = r.usize()?;
+    let mut bonds = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let id = r_node_id(r)?;
+        let at = r.u64()?;
+        let rec = r_record(r)?;
+        bonds.push((id, (at, rec)));
+    }
+    let n = r.usize()?;
+    let mut reverse_bonds = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let id = r_node_id(r)?;
+        let at = r.u64()?;
+        reverse_bonds.push((id, at));
+    }
+    let lookup = if r.bool()? { Some(r_lookup(r)?) } else { None };
+    let lookup_target_id = r_opt_node_id(r)?;
+    let n = r.usize()?;
+    let mut events = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        events.push(r_disc_event(r)?);
+    }
+    let stats = DiscStats {
+        lookups_started: r.u64()?,
+        findnodes_sent: r.u64()?,
+        pings_sent: r.u64()?,
+        pongs_received: r.u64()?,
+        neighbors_received: r.u64()?,
+        drops: r.u64()?,
+        expired_drops: r.u64()?,
+    };
+    Ok(Discv4State {
+        table,
+        pending_pings,
+        pending_queries,
+        bonds,
+        reverse_bonds,
+        lookup,
+        lookup_target_id,
+        events,
+        stats,
+    })
+}
+
+// ---- label interning ---------------------------------------------------
+
+/// The finite label vocabulary `NodeStats` maps use. Restore looks
+/// decoded strings up here so the maps keep `&'static str` keys; unknown
+/// labels (a future label added without extending this table) fall back
+/// to a leaked allocation, bounded by the number of distinct labels.
+const KNOWN_LABELS: [&str; 17] = [
+    "STATUS",
+    "NEW_BLOCK_HASHES",
+    "TRANSACTIONS",
+    "GET_BLOCK_HEADERS",
+    "BLOCK_HEADERS",
+    "GET_BLOCK_BODIES",
+    "BLOCK_BODIES",
+    "NEW_BLOCK",
+    "GET_NODE_DATA",
+    "NODE_DATA",
+    "GET_RECEIPTS",
+    "RECEIPTS",
+    "HELLO",
+    "PING",
+    "PONG",
+    "DISCONNECT",
+    "OTHER_SUBPROTOCOL",
+];
+
+pub(crate) fn intern_label(s: &str) -> &'static str {
+    if let Some(l) = KNOWN_LABELS.iter().find(|l| **l == s) {
+        return l;
+    }
+    if let Some(reason) = devp2p::DisconnectReason::ALL
+        .iter()
+        .find(|r| r.label() == s)
+    {
+        return reason.label();
+    }
+    Box::leak(s.to_string().into_boxed_str())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn rec(b: u8) -> NodeRecord {
+        NodeRecord {
+            id: NodeId([b; 64]),
+            endpoint: Endpoint {
+                ip: Ipv4Addr::new(10, 0, 0, b),
+                udp_port: 30303,
+                tcp_port: 30304,
+            },
+        }
+    }
+
+    #[test]
+    fn discv4_state_round_trips() {
+        let state = Discv4State {
+            table: vec![(3, vec![(rec(1), 100), (rec(2), 200)]), (250, vec![])],
+            pending_pings: vec![(
+                [7u8; 32],
+                (rec(3), 1_000, 900, Some(rec(4)), Some(NodeId([5u8; 64]))),
+            )],
+            pending_queries: vec![(NodeId([6u8; 64]), (2_000, 1_500))],
+            bonds: vec![(NodeId([8u8; 64]), (50, rec(8)))],
+            reverse_bonds: vec![(NodeId([9u8; 64]), 60)],
+            lookup: Some(kad::LookupState {
+                target_hash: [0xAA; 32],
+                candidates: vec![(rec(10), true, false)],
+                in_flight: 1,
+                queries_sent: 4,
+            }),
+            lookup_target_id: Some(NodeId([0xBB; 64])),
+            events: vec![
+                DiscEvent::NodeSeen(rec(11)),
+                DiscEvent::NodeVerified(rec(12)),
+                DiscEvent::LookupDone {
+                    all_seen: vec![rec(13)],
+                    queries: 2,
+                },
+            ],
+            stats: DiscStats {
+                lookups_started: 1,
+                findnodes_sent: 2,
+                pings_sent: 3,
+                pongs_received: 4,
+                neighbors_received: 5,
+                drops: 6,
+                expired_drops: 1,
+            },
+        };
+        let mut w = SnapWriter::new();
+        w_discv4(&mut w, &state);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf);
+        let back = r_discv4(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.table, state.table);
+        assert_eq!(back.pending_pings, state.pending_pings);
+        assert_eq!(back.pending_queries, state.pending_queries);
+        assert_eq!(back.bonds, state.bonds);
+        assert_eq!(back.reverse_bonds, state.reverse_bonds);
+        assert_eq!(
+            back.lookup.as_ref().map(|l| l.candidates.clone()),
+            state.lookup.as_ref().map(|l| l.candidates.clone())
+        );
+        assert_eq!(back.lookup_target_id, state.lookup_target_id);
+        assert_eq!(back.events, state.events);
+        assert_eq!(back.stats, state.stats);
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let h = Hello {
+            p2p_version: 5,
+            client_id: "Geth/v1.8.11-stable/linux-amd64/go1.10".into(),
+            capabilities: vec![Capability::new("eth", 62), Capability::new("eth", 63)],
+            listen_port: 30303,
+            node_id: NodeId([0x42; 64]),
+        };
+        let mut w = SnapWriter::new();
+        w_hello(&mut w, &h);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf);
+        assert_eq!(r_hello(&mut r).unwrap(), h);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn intern_label_covers_wire_and_disconnect_vocabulary() {
+        assert_eq!(intern_label("TRANSACTIONS"), "TRANSACTIONS");
+        assert_eq!(intern_label("Too many peers"), "Too many peers");
+        // Unknown labels still produce a usable 'static str.
+        assert_eq!(intern_label("FUTURE_MESSAGE"), "FUTURE_MESSAGE");
+    }
+}

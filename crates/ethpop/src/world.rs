@@ -753,6 +753,31 @@ mod tests {
     }
 
     #[test]
+    fn world_snapshot_resume_matches_uninterrupted_run() {
+        // Run straight to 2T…
+        let mut full = World::build(small_config());
+        full.sim.run_until(2 * 60_000);
+        let full_snap = full.sim.snapshot().expect("snapshot");
+
+        // …versus run to T, snapshot, restore into a freshly built shell
+        // (same config ⇒ same static structure), continue to 2T.
+        let mut first = World::build(small_config());
+        first.sim.run_until(60_000);
+        let snap = first.sim.snapshot().expect("snapshot");
+        let mut resumed = World::build(small_config());
+        resumed.sim.restore(&snap).expect("restore");
+        resumed.sim.run_until(2 * 60_000);
+
+        assert_eq!(resumed.sim.events_processed(), full.sim.events_processed());
+        assert_eq!(resumed.sim.udp_counters(), full.sim.udp_counters());
+        assert_eq!(
+            resumed.sim.snapshot().expect("snapshot"),
+            full_snap,
+            "resumed world diverged from the uninterrupted run"
+        );
+    }
+
+    #[test]
     fn world_runs_without_panic_and_produces_traffic() {
         let mut w = World::build(small_config());
         w.sim.run_until(3 * 60_000);

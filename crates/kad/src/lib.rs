@@ -26,5 +26,5 @@ mod table;
 pub use distance::{
     log_distance_geth, log_distance_parity, metrics_agree, xor_cmp, Metric, MAX_BUCKETS,
 };
-pub use lookup::{Lookup, LookupStatus};
+pub use lookup::{Lookup, LookupState, LookupStatus};
 pub use table::{AddOutcome, BucketEntry, RoutingTable, BUCKET_SIZE};

@@ -180,6 +180,61 @@ impl Lookup {
     pub fn all_seen(&self) -> Vec<NodeRecord> {
         self.candidates.iter().map(|c| c.record).collect()
     }
+
+    /// Capture the lookup for checkpoint/restore. Candidate hashes and the
+    /// `seen` set are derived data and deliberately omitted.
+    pub fn to_state(&self) -> LookupState {
+        LookupState {
+            target_hash: self.target_hash,
+            candidates: self
+                .candidates
+                .iter()
+                .map(|c| (c.record, c.queried, c.failed))
+                .collect(),
+            in_flight: self.in_flight,
+            queries_sent: self.queries_sent,
+        }
+    }
+
+    /// Rebuild a lookup mid-walk from [`Lookup::to_state`] output. The
+    /// candidate vector is restored verbatim (it is already sorted by XOR
+    /// distance), so tie ordering survives the round trip.
+    pub fn from_state(s: LookupState) -> Lookup {
+        let mut seen = BTreeSet::new();
+        let candidates = s
+            .candidates
+            .into_iter()
+            .map(|(record, queried, failed)| {
+                seen.insert(record.id);
+                Candidate {
+                    hash: record.id.kad_hash(),
+                    record,
+                    queried,
+                    failed,
+                }
+            })
+            .collect();
+        Lookup {
+            target_hash: s.target_hash,
+            candidates,
+            seen,
+            in_flight: s.in_flight,
+            queries_sent: s.queries_sent,
+        }
+    }
+}
+
+/// Plain-data image of a [`Lookup`] for checkpoint/restore.
+#[derive(Debug, Clone)]
+pub struct LookupState {
+    /// The hashed lookup target.
+    pub target_hash: [u8; 32],
+    /// `(record, queried, failed)` in frontier (XOR-sorted) order.
+    pub candidates: Vec<(NodeRecord, bool, bool)>,
+    /// Queries currently awaiting a response.
+    pub in_flight: usize,
+    /// Total queries issued so far.
+    pub queries_sent: usize,
 }
 
 #[cfg(test)]

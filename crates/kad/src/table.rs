@@ -268,6 +268,47 @@ impl RoutingTable {
         sizes
     }
 
+    /// Export the table contents for checkpoint/restore: `(bucket index,
+    /// residents as (record, last_seen))` in storage order. Cached hashes
+    /// and fingerprints are derived data and deliberately omitted.
+    pub fn export_entries(&self) -> Vec<(u16, Vec<(NodeRecord, u64)>)> {
+        self.buckets
+            .iter()
+            .map(|(idx, b)| (*idx, b.iter().map(|e| (e.record, e.last_seen)).collect()))
+            .collect()
+    }
+
+    /// Rebuild a table from [`RoutingTable::export_entries`] output,
+    /// preserving bucket slots (including emptied ones) and in-bucket
+    /// insertion order exactly.
+    pub fn from_entries(
+        local_id: NodeId,
+        metric: Metric,
+        entries: Vec<(u16, Vec<(NodeRecord, u64)>)>,
+    ) -> RoutingTable {
+        let buckets = entries
+            .into_iter()
+            .map(|(idx, residents)| {
+                let b = residents
+                    .into_iter()
+                    .map(|(record, last_seen)| BucketEntry {
+                        fp: id_fp(&record.id),
+                        hash: record.id.kad_hash(),
+                        record,
+                        last_seen,
+                    })
+                    .collect();
+                (idx, b)
+            })
+            .collect();
+        RoutingTable {
+            local_hash: local_id.kad_hash(),
+            local_id,
+            metric,
+            buckets,
+        }
+    }
+
     /// A uniformly random resident, used for table refresh lookups.
     pub fn random_node<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeRecord> {
         let total = self.len();

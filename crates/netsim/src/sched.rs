@@ -243,6 +243,40 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// Visit every pending event as `(at, seq, &item)` without disturbing
+    /// the wheel — snapshot support. The visit order is a deterministic
+    /// function of the wheel's layout (L0 slots ascending, then L1 slots
+    /// ascending in push order, then overflow in key order), **not** time
+    /// order: a restore re-pushes the events into a fresh wheel, which
+    /// re-establishes `(at, seq)` pop order regardless of visit order.
+    pub fn for_each_pending<F: FnMut(u64, u64, &T)>(&self, mut f: F) {
+        // Every occupied L0 slot belongs to the cursor's window (stale
+        // slots can't survive: pops drain ascending and window advance
+        // only happens once the window is empty), so the slot index
+        // recovers the full `at`.
+        let window_base = self.cursor & !L0_MASK;
+        for slot in 0..L0_SLOTS {
+            if self.l0_occ[slot / 64] & (1 << (slot % 64)) == 0 {
+                continue;
+            }
+            let at = window_base | slot as u64;
+            for (seq, item) in &self.l0[slot] {
+                f(at, *seq, item);
+            }
+        }
+        for slot in 0..L1_SLOTS {
+            if self.l1_occ[slot / 64] & (1 << (slot % 64)) == 0 {
+                continue;
+            }
+            for (at, seq, item) in &self.l1[slot] {
+                f(*at, *seq, item);
+            }
+        }
+        for ((at, seq), item) in &self.overflow {
+            f(*at, *seq, item);
+        }
+    }
+
     /// Time of the earliest pending event, touching neither the cursor nor
     /// the layers — a pure read. The barrier scheduler uses this to pick
     /// the next epoch start without committing any shard's cursor past a
@@ -327,6 +361,35 @@ mod tests {
             out.push(e);
         }
         out
+    }
+
+    #[test]
+    fn for_each_pending_rebuild_preserves_pop_order() {
+        // Spread events across all three layers, advance the cursor
+        // mid-window, then prove enumerate + re-push into a fresh wheel
+        // pops the identical sequence the original would have.
+        let mut w = TimerWheel::new();
+        let ats = [3u64, 3, 700, 1_500, 5_000, 600_000, 2_000_000];
+        for (i, &at) in ats.iter().enumerate() {
+            w.push(at, i as u64 + 1, i as u32);
+        }
+        // Pop the two earliest so the cursor sits mid-window with
+        // partially drained slots.
+        assert_eq!(w.pop_at_most(10).map(|e| e.0), Some(3));
+        assert_eq!(w.pop_at_most(10).map(|e| e.0), Some(3));
+
+        let mut rebuilt = TimerWheel::new();
+        let mut n = 0usize;
+        w.for_each_pending(|at, seq, item| {
+            rebuilt.push(at, seq, *item);
+            n += 1;
+        });
+        assert_eq!(n, w.len());
+        assert_eq!(rebuilt.len(), w.len());
+        assert_eq!(
+            drain_all(&mut rebuilt, u64::MAX),
+            drain_all(&mut w, u64::MAX)
+        );
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! The snapshot byte codec: a tiny, versioned, deterministic
+//! little-endian writer/reader pair shared by every layer that
+//! checkpoints state (the engine itself, host behaviours, the
+//! observability registry, and the crawler pipeline).
+//!
+//! ## Format
+//!
+//! A snapshot section is `magic(4) ‖ version(1) ‖ fields…`. Every field
+//! is fixed-width little-endian (no varints: a snapshot's byte image
+//! must be a pure function of the state it captures, and fixed widths
+//! keep the mapping trivially auditable). Variable-length data is
+//! length-prefixed with a `u64`. Layers nest by embedding a child
+//! section as a byte string — each layer owns its own magic and version
+//! byte, so formats can evolve independently.
+//!
+//! ## Contract
+//!
+//! * Writing is infallible; reading validates everything (magic,
+//!   version, lengths, enum tags) and fails with a [`SnapError`] instead
+//!   of panicking — a snapshot is external input by the time it is read.
+//! * [`SnapReader::finish`] asserts full consumption so trailing garbage
+//!   (a truncated write, a version skew that moved a field) is caught at
+//!   restore time, not as silent state corruption later.
+
+use std::fmt;
+
+/// Magic prefixing every engine-level world snapshot.
+pub const SNAP_MAGIC: [u8; 4] = *b"PSNP";
+
+/// Current engine snapshot format version.
+pub const SNAP_VERSION: u8 = 1;
+
+/// Why a snapshot could not be read (or taken).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The leading magic bytes did not match.
+    BadMagic {
+        /// What the section expected.
+        expected: [u8; 4],
+        /// What the buffer held.
+        found: [u8; 4],
+    },
+    /// The version byte is not one this build can read.
+    BadVersion {
+        /// The version this build writes.
+        expected: u8,
+        /// The version found in the buffer.
+        found: u8,
+    },
+    /// The buffer ended before the field at this byte offset.
+    Truncated {
+        /// Byte offset of the incomplete read.
+        at: usize,
+    },
+    /// A structurally invalid value (bad enum tag, impossible length,
+    /// cross-field inconsistency).
+    Corrupt(&'static str),
+    /// The state in question cannot be checkpointed (e.g. a host
+    /// behaviour without `save_state` support).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::BadMagic { expected, found } => write!(
+                f,
+                "bad snapshot magic: expected {expected:?}, found {found:?}"
+            ),
+            SnapError::BadVersion { expected, found } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads {expected})"
+            ),
+            SnapError::Truncated { at } => write!(f, "snapshot truncated at byte {at}"),
+            SnapError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapError::Unsupported(what) => write!(f, "state not checkpointable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only little-endian section writer. Infallible: every method
+/// just grows the internal buffer.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Empty writer (for a headerless embedded blob).
+    pub fn new() -> SnapWriter {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    /// Writer primed with a `magic ‖ version` section header.
+    pub fn with_header(magic: [u8; 4], version: u8) -> SnapWriter {
+        let mut w = SnapWriter::new();
+        w.buf.extend_from_slice(&magic);
+        w.buf.push(version);
+        w
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (snapshots are word-size independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append an `f64` by its IEEE-754 bit pattern (byte-exact round
+    /// trip, NaN payloads included).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Append a fixed-width array with no length prefix (the reader
+    /// knows the width from the schema).
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Take the finished section.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based section reader; every method validates bounds and tags.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Reader over a headerless embedded blob.
+    pub fn new(buf: &'a [u8]) -> SnapReader<'a> {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Reader that first validates a `magic ‖ version` section header.
+    pub fn with_header(
+        buf: &'a [u8],
+        magic: [u8; 4],
+        version: u8,
+    ) -> Result<SnapReader<'a>, SnapError> {
+        let mut r = SnapReader::new(buf);
+        let found = r.array::<4>()?;
+        if found != magic {
+            return Err(SnapError::BadMagic {
+                expected: magic,
+                found,
+            });
+        }
+        let v = r.u8()?;
+        if v != version {
+            return Err(SnapError::BadVersion {
+                expected: version,
+                found: v,
+            });
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SnapError::Truncated { at: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a one-byte `bool`; any value other than 0/1 is corrupt.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool byte out of range")),
+        }
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Read a `usize` written by [`SnapWriter::usize`], rejecting values
+    /// this platform cannot represent.
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapError::Corrupt("usize overflows platform"))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.usize()?;
+        if n > self.buf.len() - self.pos {
+            return Err(SnapError::Truncated { at: self.pos });
+        }
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, SnapError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| SnapError::Corrupt("non-UTF-8 string"))
+    }
+
+    /// Read a fixed-width array written by [`SnapWriter::raw`].
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], SnapError> {
+        Ok(self.take(N)?.try_into().expect("exact len"))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the section was fully consumed — trailing bytes mean the
+    /// schema and the buffer disagree.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapError::Corrupt("trailing bytes after snapshot"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn round_trips_every_field_kind() {
+        let mut w = SnapWriter::with_header(*b"TEST", 3);
+        w.u8(7);
+        w.bool(true);
+        w.bool(false);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.usize(12_345);
+        w.f64(-0.125);
+        w.bytes(b"hello");
+        w.str("wörld");
+        w.raw(&[1, 2, 3, 4]);
+        let buf = w.finish();
+
+        let mut r = SnapReader::with_header(&buf, *b"TEST", 3).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12_345);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.str().unwrap(), "wörld");
+        assert_eq!(r.array::<4>().unwrap(), [1, 2, 3, 4]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn header_mismatches_are_rejected() {
+        let buf = SnapWriter::with_header(*b"AAAA", 1).finish();
+        assert!(matches!(
+            SnapReader::with_header(&buf, *b"BBBB", 1),
+            Err(SnapError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            SnapReader::with_header(&buf, *b"AAAA", 2),
+            Err(SnapError::BadVersion {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let mut w = SnapWriter::new();
+        w.u64(42);
+        let buf = w.finish();
+
+        let mut r = SnapReader::new(&buf[..4]);
+        assert_eq!(r.u64(), Err(SnapError::Truncated { at: 0 }));
+
+        let mut r = SnapReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 42);
+        assert!(matches!(r.finish(), Err(SnapError::Corrupt(_))));
+
+        // A byte-string length larger than the buffer must not wrap.
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX);
+        let buf = w.finish();
+        let mut r = SnapReader::new(&buf);
+        assert!(matches!(
+            r.bytes(),
+            Err(SnapError::Truncated { .. }) | Err(SnapError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_bool_byte_is_corrupt() {
+        let mut r = SnapReader::new(&[9]);
+        assert_eq!(r.bool(), Err(SnapError::Corrupt("bool byte out of range")));
+    }
+}

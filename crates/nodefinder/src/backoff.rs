@@ -211,6 +211,39 @@ impl PenaltyBox {
     pub fn approx_heap_bytes(&self) -> usize {
         self.entries.approx_heap_bytes()
     }
+
+    /// Checkpoint image of every tracked endpoint, in full-`NodeId` order:
+    /// `(record, failures, next_allowed_ms, boxed)` per entry.
+    pub fn export_entries(&self) -> Vec<(NodeRecord, u32, u64, bool)> {
+        self.entries
+            .iter_ordered()
+            .map(|(_, e)| (e.record, e.failures, e.next_allowed_ms, e.boxed))
+            .collect()
+    }
+
+    /// Restore entries exported by [`PenaltyBox::export_entries`] plus the
+    /// monotone box total. Compact ids are re-interned through the caller's
+    /// (already restored) interner, so they match the originals.
+    pub fn import_entries(
+        &mut self,
+        interner: &mut enode::Interner,
+        entries: Vec<(NodeRecord, u32, u64, bool)>,
+        boxed_total: u64,
+    ) {
+        for (record, failures, next_allowed_ms, boxed) in entries {
+            let cid = interner.intern(&record.id);
+            self.entries.insert(
+                cid,
+                PenaltyEntry {
+                    record,
+                    failures,
+                    next_allowed_ms,
+                    boxed,
+                },
+            );
+        }
+        self.boxed_total = boxed_total;
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +334,55 @@ mod tests {
         }
         assert_eq!(pb.due_retries(10_000, 4).len(), 4);
         assert_eq!(pb.due_retries(10_000, 4).len(), 2);
+    }
+
+    #[test]
+    fn due_time_boundary_is_half_open() {
+        // The retry window is [failure, due): blocked through due-1, dialable
+        // at exactly the due instant (and `due_retries` hands it out then).
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut interner = enode::Interner::new();
+        let mut pb = PenaltyBox::new(
+            BackoffPolicy {
+                jitter_ms: 0,
+                ..BackoffPolicy::default()
+            },
+            10,
+            600_000,
+        );
+        let r = rec(1);
+        let cid = interner.intern(&r.id);
+        let due = pb.record_failure(cid, r, 0, &mut rng);
+        assert!(pb.is_blocked(cid, due - 1), "blocked one ms before due");
+        assert!(pb.due_retries(due - 1, 8).is_empty());
+        assert!(!pb.is_blocked(cid, due), "dialable at exactly due");
+        assert_eq!(pb.due_retries(due, 8).len(), 1);
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut interner = enode::Interner::new();
+        let mut pb = PenaltyBox::new(BackoffPolicy::default(), 2, 600_000);
+        for tag in [4u8, 1, 3] {
+            let r = rec(tag);
+            let cid = interner.intern(&r.id);
+            pb.record_failure(cid, r, 0, &mut rng);
+            pb.record_failure(cid, r, 10_000, &mut rng);
+        }
+        let exported = pb.export_entries();
+        let boxed_total = pb.boxed_total();
+
+        let mut interner2 = enode::Interner::new();
+        let mut pb2 = PenaltyBox::new(BackoffPolicy::default(), 2, 600_000);
+        pb2.import_entries(&mut interner2, exported, boxed_total);
+        assert_eq!(pb2.tracked(), pb.tracked());
+        assert_eq!(pb2.boxed_total(), pb.boxed_total());
+        assert_eq!(pb2.export_entries(), pb.export_entries());
+        for tag in [1u8, 3, 4] {
+            let cid = interner2.intern(&rec(tag).id);
+            assert_eq!(pb2.failures(cid), 2);
+        }
     }
 
     #[test]

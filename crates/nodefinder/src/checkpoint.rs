@@ -1,0 +1,393 @@
+//! Crawler checkpoint/restore — the `NFND` v1 snapshot section.
+//!
+//! Like every snapshotting layer in this workspace (netsim `PSNP`, obs
+//! `OBSS`, ethpop `ETHN`), the crawler follows the rebuild-shell /
+//! restore-state split: the world shell reconstructs the *static*
+//! structure (identity key, config, bootstrap list, the chain view) by
+//! re-running `NodeFinder::new`, and this module serializes only the
+//! *dynamic* state a restore cannot rebuild — the intern table, the
+//! discovery service, every pipeline queue and table, the live probe
+//! sessions, the per-stage checkpoints, and the accumulated crawl log.
+//!
+//! Field order (all inside one versioned `SnapWriter` section):
+//!
+//! 1. intern table — `NodeId`s in compact-id order, so re-interning
+//!    reproduces identical `CompactId`s and every dense table below can
+//!    be restored by index;
+//! 2. discovery (`Discv4State` behind its endpoint);
+//! 3. the bounded dial queue (records front-to-back + marks);
+//! 4. the queued-id set;
+//! 5. static nodes, in full-`NodeId` order;
+//! 6. the seen table's stamp vector;
+//! 7. penalty-box entries + monotone box total;
+//! 8. session manager: dial-slot counters, then each live probe in
+//!    numeric `ConnId` order (`PeerConn` wire state + the in-progress
+//!    `ConnLog` as JSON);
+//! 9. scheduler arm flags;
+//! 10. the five pipeline [`StageCheckpoint`](crate::stages::StageCheckpoint)s;
+//! 11. the crawl log as JSONL.
+//!
+//! Timers are *not* serialized here: the netsim snapshot owns the timer
+//! wheel, and restoring it re-delivers `T_*` tokens at the right instants.
+
+use crate::crawler::{NodeFinder, StaticEntry};
+use crate::dense::{IdSet, OrderedDenseMap, SeenTable};
+use crate::log::{ConnLog, ConnType, CrawlLog};
+use crate::session::{Probe, SessionManager};
+use crate::stages::{BoundedQueue, PipelineStats, Stage};
+use discv4::{Config as DiscConfig, Discv4};
+use enode::{CompactId, Interner};
+use ethpop::state;
+use ethpop::wire::PeerConn;
+use kad::Metric;
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
+
+const SNAP_MAGIC: [u8; 4] = *b"NFND";
+const SNAP_VERSION: u8 = 1;
+
+impl NodeFinder {
+    /// Serialize every piece of dynamic crawler state (see the module
+    /// docs for the exact field order).
+    pub(crate) fn encode_state(&self) -> Vec<u8> {
+        let mut w = SnapWriter::with_header(SNAP_MAGIC, SNAP_VERSION);
+        // 1. Intern table, in compact-id order.
+        w.usize(self.interner.len());
+        for i in 0..self.interner.len() {
+            state::w_node_id(&mut w, self.interner.resolve(CompactId::from_u32(i as u32)));
+        }
+        // 2. Discovery.
+        w.bool(self.disc.is_some());
+        if let Some(disc) = &self.disc {
+            state::w_endpoint(&mut w, &disc.endpoint());
+            state::w_discv4(&mut w, &disc.to_state());
+        }
+        // 3. Dial queue (items front to back, then the marks).
+        w.usize(self.dial_queue.len());
+        for rec in self.dial_queue.iter() {
+            state::w_record(&mut w, rec);
+        }
+        w.usize(self.dial_queue.high_water());
+        w.u64(self.dial_queue.rejected());
+        // 4. Queued-id set.
+        let bits = self.queued.bits();
+        w.usize(bits.len());
+        for b in bits {
+            w.bool(*b);
+        }
+        // 5. Static nodes, in full-NodeId order (restore re-sorts
+        // identically because the order is a function of the ids).
+        w.usize(self.static_nodes.len());
+        for (_, e) in self.static_nodes.iter_ordered() {
+            state::w_record(&mut w, &e.record);
+            w.u64(e.next_dial_ms);
+            w.u64(e.last_success_ms);
+        }
+        // 6. Seen stamps (dense by compact id).
+        let stamps = self.seen.stamps();
+        w.usize(stamps.len());
+        for s in stamps {
+            w.u64(*s);
+        }
+        // 7. Penalty box.
+        let entries = self.sessions.penalty.export_entries();
+        w.usize(entries.len());
+        for (rec, failures, next_allowed_ms, boxed) in &entries {
+            state::w_record(&mut w, rec);
+            w.u32(*failures);
+            w.u64(*next_allowed_ms);
+            w.bool(*boxed);
+        }
+        w.u64(self.sessions.penalty.boxed_total());
+        // 8. Session manager: counters, then live probes in ConnId order.
+        w.usize(self.sessions.dialing());
+        w.u64(self.sessions.dialing_underflows());
+        let ids = self.sessions.conns.ids_sorted();
+        w.usize(ids.len());
+        for conn in ids {
+            let p = self.sessions.conns.get(conn).expect("sorted id is live");
+            p.pc.encode_into(&mut w);
+            w.u8(match p.conn_type {
+                ConnType::DynamicDial => 0,
+                ConnType::StaticDial => 1,
+                ConnType::Incoming => 2,
+            });
+            // serde_json output is deterministic (struct field order), so
+            // the in-progress log entry can ride along as a JSON string.
+            w.str(&serde_json::to_string(&p.record).expect("conn log serializes"));
+            w.bool(p.awaiting_dao);
+            w.bool(p.done);
+            w.bool(p.connected);
+            w.u64(p.deadline_ms);
+            w.u64(p.stage_start_ms);
+        }
+        // 9. Scheduler arm flags (their timers live in the netsim wheel).
+        w.bool(self.poll_armed);
+        w.bool(self.dial_armed);
+        // 10. Pipeline stage checkpoints, with the dial queue's live
+        // marks folded in.
+        let mut stages = self.stages.clone();
+        stages.set_queue(
+            Stage::Dial,
+            self.dial_queue.len(),
+            self.dial_queue.high_water(),
+        );
+        stages.encode_into(&mut w);
+        // 11. The accumulated crawl log.
+        w.str(&self.log.to_jsonl());
+        w.finish()
+    }
+
+    /// Overwrite this (shell-rebuilt) crawler's dynamic state from
+    /// [`NodeFinder::encode_state`] output.
+    pub(crate) fn apply_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::with_header(bytes, SNAP_MAGIC, SNAP_VERSION)?;
+        // 1. Intern table: re-interning in stored order reproduces the
+        // exact compact ids every dense table below is keyed by.
+        let n = r.usize()?;
+        let mut interner = Interner::new();
+        for _ in 0..n {
+            let id = state::r_node_id(&mut r)?;
+            interner.intern(&id);
+        }
+        self.interner = interner;
+        // 2. Discovery (same config as `on_start` builds).
+        self.disc = if r.bool()? {
+            let endpoint = state::r_endpoint(&mut r)?;
+            let disc_state = state::r_discv4(&mut r)?;
+            Some(Discv4::from_state(
+                self.key,
+                endpoint,
+                DiscConfig {
+                    metric: Metric::GethLog2,
+                    ..DiscConfig::default()
+                },
+                disc_state,
+            ))
+        } else {
+            None
+        };
+        // 3. Dial queue.
+        let n = r.usize()?;
+        let mut items = Vec::with_capacity(n.min(4_096));
+        for _ in 0..n {
+            items.push(state::r_record(&mut r)?);
+        }
+        let high_water = r.usize()?;
+        let rejected = r.u64()?;
+        self.dial_queue =
+            BoundedQueue::from_parts(self.config.dial_queue_cap, items, high_water, rejected);
+        // 4. Queued-id set.
+        let n = r.usize()?;
+        let mut bits = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            bits.push(r.bool()?);
+        }
+        self.queued = IdSet::from_bits(bits);
+        // 5. Static nodes.
+        let n = r.usize()?;
+        let mut static_nodes = OrderedDenseMap::new();
+        for _ in 0..n {
+            let record = state::r_record(&mut r)?;
+            let next_dial_ms = r.u64()?;
+            let last_success_ms = r.u64()?;
+            let cid = self.interner.intern(&record.id);
+            static_nodes.insert(
+                cid,
+                StaticEntry {
+                    record,
+                    next_dial_ms,
+                    last_success_ms,
+                },
+            );
+        }
+        self.static_nodes = static_nodes;
+        // 6. Seen stamps.
+        let n = r.usize()?;
+        let mut stamps = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            stamps.push(r.u64()?);
+        }
+        self.seen = SeenTable::from_stamps(stamps);
+        // 7. Penalty box, into a fresh session manager.
+        let mut sessions = SessionManager::new(
+            self.config.backoff.clone(),
+            self.config.penalty_threshold,
+            self.config.penalty_box_ms,
+        );
+        let n = r.usize()?;
+        let mut entries = Vec::with_capacity(n.min(4_096));
+        for _ in 0..n {
+            let rec = state::r_record(&mut r)?;
+            let failures = r.u32()?;
+            let next_allowed_ms = r.u64()?;
+            let boxed = r.bool()?;
+            entries.push((rec, failures, next_allowed_ms, boxed));
+        }
+        let boxed_total = r.u64()?;
+        sessions
+            .penalty
+            .import_entries(&mut self.interner, entries, boxed_total);
+        // 8. Session counters + live probes.
+        let dialing = r.usize()?;
+        let underflows = r.u64()?;
+        sessions.restore_counters(dialing, underflows);
+        let n = r.usize()?;
+        for _ in 0..n {
+            let pc = PeerConn::decode_from(&mut r, &self.key)?;
+            let conn_type = match r.u8()? {
+                0 => ConnType::DynamicDial,
+                1 => ConnType::StaticDial,
+                2 => ConnType::Incoming,
+                _ => return Err(SnapError::Corrupt("probe conn-type tag out of range")),
+            };
+            let record: ConnLog = serde_json::from_str(r.str()?)
+                .map_err(|_| SnapError::Corrupt("probe conn log does not parse"))?;
+            let awaiting_dao = r.bool()?;
+            let done = r.bool()?;
+            let connected = r.bool()?;
+            let deadline_ms = r.u64()?;
+            let stage_start_ms = r.u64()?;
+            let conn = pc.conn;
+            sessions.conns.insert(
+                conn,
+                Probe {
+                    pc,
+                    conn_type,
+                    record,
+                    awaiting_dao,
+                    done,
+                    connected,
+                    deadline_ms,
+                    stage_start_ms,
+                },
+            );
+        }
+        self.sessions = sessions;
+        // 9. Scheduler arm flags.
+        self.poll_armed = r.bool()?;
+        self.dial_armed = r.bool()?;
+        // 10. Pipeline stage checkpoints.
+        self.stages = PipelineStats::decode_from(&mut r)?;
+        // 11. Crawl log.
+        self.log = CrawlLog::from_jsonl(r.str()?)
+            .map_err(|_| SnapError::Corrupt("crawl log does not parse"))?;
+        r.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::CrawlerConfig;
+    use crate::log::{ConnOutcome, DialEvent, DialEventKind};
+    use enode::{Endpoint, NodeId, NodeRecord};
+    use ethcrypto::secp256k1::SecretKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::net::Ipv4Addr;
+
+    fn rec(tag: u8) -> NodeRecord {
+        NodeRecord::new(
+            NodeId([tag; 64]),
+            Endpoint::new(Ipv4Addr::new(10, 0, 0, tag), 30303),
+        )
+    }
+
+    fn crawler() -> NodeFinder {
+        let key = SecretKey::from_bytes(&[0xCB; 32]).expect("valid key");
+        NodeFinder::new(key, CrawlerConfig::default(), vec![rec(1)])
+    }
+
+    /// Populate a crawler off-sim (no sockets, no discovery) and check
+    /// that a shell-rebuilt crawler restored from its snapshot produces a
+    /// byte-identical second snapshot. The full in-sim proof (snapshot at
+    /// T, resume, identical artifacts at 2T) lives in the workspace
+    /// `resume_determinism` suite.
+    #[test]
+    fn encode_apply_round_trips_bytewise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut nf = crawler();
+        for tag in [9u8, 3, 5] {
+            let cid = nf.interner.intern(&rec(tag).id);
+            nf.seen.note(cid, 1_000 + tag as u64);
+            if nf.queued.insert(cid) {
+                nf.dial_queue.push_back(rec(tag)).expect("queue has room");
+            }
+        }
+        let boxed = nf.interner.intern(&rec(11).id);
+        for t in 0..5u64 {
+            nf.sessions
+                .penalty
+                .record_failure(boxed, rec(11), t * 1_000, &mut rng);
+        }
+        nf.static_nodes.insert(
+            nf.interner.intern(&rec(13).id),
+            StaticEntry {
+                record: rec(13),
+                next_dial_ms: 90_000,
+                last_success_ms: 60_000,
+            },
+        );
+        nf.sessions.begin_dial();
+        nf.stages.note_entered(Stage::Discover);
+        nf.stages.note_completed(Stage::Discover);
+        nf.stages.note_entered(Stage::Dial);
+        nf.log.conns.push(ConnLog {
+            instance: 0,
+            ts_ms: 42,
+            node_id: Some(rec(9).id),
+            ip: Ipv4Addr::new(10, 0, 0, 9),
+            port: 30303,
+            conn_type: ConnType::DynamicDial,
+            latency_ms: 12,
+            duration_ms: 340,
+            hello: None,
+            status: None,
+            dao_fork: None,
+            outcome: ConnOutcome::DialFailed,
+            failure: None,
+        });
+        nf.log.events.push(DialEvent {
+            instance: 0,
+            ts_ms: 41,
+            node_id: rec(9).id,
+            ip: Ipv4Addr::new(10, 0, 0, 9),
+            kind: DialEventKind::DiscoverySighting,
+        });
+        nf.poll_armed = true;
+
+        let snap = nf.encode_state();
+        let mut restored = crawler();
+        restored.apply_state(&snap).expect("snapshot applies");
+        assert_eq!(
+            restored.encode_state(),
+            snap,
+            "second snapshot is byte-identical"
+        );
+        assert_eq!(restored.sessions.dialing(), 1);
+        assert_eq!(restored.dial_queue.len(), nf.dial_queue.len());
+        assert_eq!(restored.static_list_len(), nf.static_list_len());
+        assert_eq!(
+            restored.sessions.penalty.boxed_total(),
+            nf.sessions.penalty.boxed_total()
+        );
+        assert_eq!(restored.log.to_jsonl(), nf.log.to_jsonl());
+        assert_eq!(
+            restored.stage_checkpoint(Stage::Discover).entered,
+            nf.stage_checkpoint(Stage::Discover).entered
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let nf = crawler();
+        let mut snap = nf.encode_state();
+        let last = snap.len() - 1;
+        snap.truncate(last);
+        let mut fresh = crawler();
+        assert!(fresh.apply_state(&snap).is_err(), "truncated image fails");
+        let mut bad_magic = nf.encode_state();
+        bad_magic[0] ^= 0xFF;
+        assert!(fresh.apply_state(&bad_magic).is_err(), "bad magic fails");
+    }
+}

@@ -1,11 +1,22 @@
-//! The NodeFinder crawler host (§4).
+//! The NodeFinder crawler host (§4), as a thin pipeline driver.
+//!
+//! The crawl is organized as five explicit stages — discover → dial →
+//! handshake → status → ingest (see `stages`) — and this module is only
+//! the driver that moves records between them: discovery sightings feed
+//! the bounded dial queue, the dial scheduler turns queue entries into
+//! probes owned by the `session` manager, wire events advance each probe
+//! through handshake and status, and `finish_probe` ingests the result
+//! into the structured log. Checkpoint/restore of the whole pipeline
+//! lives in `checkpoint`.
 
-use crate::backoff::{BackoffPolicy, PenaltyBox};
-use crate::dense::{ConnTable, IdSet, KeyedById, OrderedDenseMap, SeenTable};
+use crate::backoff::BackoffPolicy;
+use crate::dense::{IdSet, KeyedById, OrderedDenseMap, SeenTable};
 use crate::log::{
     ConnLog, ConnOutcome, ConnType, CrawlLog, DialEvent, DialEventKind, FailureClass, HelloInfo,
     StatusInfo,
 };
+use crate::session::{Probe, SessionManager};
+use crate::stages::{window_elapsed, BoundedQueue, PipelineStats, Stage};
 use devp2p::{Capability, DisconnectReason, Hello, P2P_VERSION};
 use discv4::{Config as DiscConfig, Discv4, Event as DiscEvent};
 use enode::{CompactId, Endpoint, Interner, NodeId, NodeRecord};
@@ -17,13 +28,12 @@ use ethwire::{
 use kad::Metric;
 use netsim::{ConnId, Ctx, Host, HostAddr, TcpEvent};
 use rand::Rng;
-use std::collections::VecDeque;
 
-const T_LOOKUP: u64 = 1;
-const T_DIAL: u64 = 2;
-const T_STATIC: u64 = 3;
-const T_POLL: u64 = 4;
-const T_SWEEP: u64 = 5;
+pub(crate) const T_LOOKUP: u64 = 1;
+pub(crate) const T_DIAL: u64 = 2;
+pub(crate) const T_STATIC: u64 = 3;
+pub(crate) const T_POLL: u64 = 4;
+pub(crate) const T_SWEEP: u64 = 5;
 
 /// Crawler tunables. The paper values appear in comments; experiments
 /// scale the long intervals with their compressed clock.
@@ -40,6 +50,11 @@ pub struct CrawlerConfig {
     pub stale_after_ms: u64,
     /// Concurrent dynamic dials (Geth's `maxActiveDialTasks`, 16).
     pub max_active_dials: usize,
+    /// Hard cap on the discover→dial hand-off queue. A full queue
+    /// rejects new sightings (counted as `crawler.stage.dial.backpressure`)
+    /// rather than growing without bound; the endpoint is re-queued on
+    /// its next sighting.
+    pub dial_queue_cap: usize,
     /// Hard probe lifetime cap (paper: ≤2 min worst case).
     pub probe_timeout_ms: u64,
     /// Per-stage timeout: TCP connect establishment.
@@ -84,6 +99,7 @@ impl Default for CrawlerConfig {
             static_redial_interval_ms: 30 * 60 * 1000,
             stale_after_ms: 24 * 3600 * 1000,
             max_active_dials: 16,
+            dial_queue_cap: 4_096,
             probe_timeout_ms: 120_000,
             connect_timeout_ms: 10_000,
             handshake_timeout_ms: 10_000,
@@ -115,6 +131,7 @@ impl CrawlerConfig {
             static_redial_interval_ms: u64::MAX / 4,
             stale_after_ms: u64::MAX / 4,
             max_active_dials: 4,
+            dial_queue_cap: 4_096,
             probe_timeout_ms: 120_000,
             connect_timeout_ms: 10_000,
             handshake_timeout_ms: 10_000,
@@ -132,10 +149,10 @@ impl CrawlerConfig {
     }
 }
 
-struct StaticEntry {
-    record: NodeRecord,
-    next_dial_ms: u64,
-    last_success_ms: u64,
+pub(crate) struct StaticEntry {
+    pub(crate) record: NodeRecord,
+    pub(crate) next_dial_ms: u64,
+    pub(crate) last_success_ms: u64,
 }
 
 impl KeyedById for StaticEntry {
@@ -144,46 +161,33 @@ impl KeyedById for StaticEntry {
     }
 }
 
-struct Probe {
-    pc: PeerConn,
-    conn_type: ConnType,
-    record: ConnLog,
-    awaiting_dao: bool,
-    done: bool,
-    /// TCP is up (distinguishes ConnectTimeout from later stages).
-    connected: bool,
-    /// Current-stage deadline; the sweep reaps and classifies past it.
-    deadline_ms: u64,
-    /// When the current handshake stage began (sim time), for the
-    /// per-stage latency spans (connect → auth → HELLO → STATUS).
-    stage_start_ms: u64,
-}
-
 /// The crawler. One instance per simulated measurement machine.
 pub struct NodeFinder {
-    key: SecretKey,
-    config: CrawlerConfig,
-    bootstrap: Vec<NodeRecord>,
-    disc: Option<Discv4>,
+    pub(crate) key: SecretKey,
+    pub(crate) config: CrawlerConfig,
+    pub(crate) bootstrap: Vec<NodeRecord>,
+    pub(crate) disc: Option<Discv4>,
     /// World-scoped `NodeId` ↔ `CompactId` table: every per-node structure
     /// below is keyed by the compact id. Wire and exports never see
     /// compact ids (see `enode::intern`).
-    interner: Interner,
-    conns: ConnTable<Probe>,
-    dynamic_queue: VecDeque<NodeRecord>,
-    queued: IdSet,
-    static_nodes: OrderedDenseMap<StaticEntry>,
+    pub(crate) interner: Interner,
+    /// Live probe sessions, dial-slot accounting, and the penalty box.
+    pub(crate) sessions: SessionManager,
+    /// Discover→dial hand-off: sighted-but-not-yet-dialed endpoints.
+    pub(crate) dial_queue: BoundedQueue<NodeRecord>,
+    pub(crate) queued: IdSet,
+    pub(crate) static_nodes: OrderedDenseMap<StaticEntry>,
     /// Last sighting/contact time per distinct node ever seen — feeds
     /// the fresh/stale campaign gauges (`crawler.nodes_fresh`/`_stale`,
     /// freshness window = `stale_after_ms`, the paper's 24h rule).
-    seen: SeenTable,
-    penalty: PenaltyBox,
-    dialing: usize,
-    poll_armed: bool,
-    dial_armed: bool,
+    pub(crate) seen: SeenTable,
+    pub(crate) poll_armed: bool,
+    pub(crate) dial_armed: bool,
     /// The crawler's own view of Mainnet (for STATUS + serving stray
     /// header requests).
-    chain: Chain,
+    pub(crate) chain: Chain,
+    /// Per-stage entered/completed/backpressure accounting.
+    pub(crate) stages: PipelineStats,
     /// Accumulated structured log.
     pub log: CrawlLog,
 }
@@ -191,27 +195,27 @@ pub struct NodeFinder {
 impl NodeFinder {
     /// Build a crawler.
     pub fn new(key: SecretKey, config: CrawlerConfig, bootstrap: Vec<NodeRecord>) -> NodeFinder {
-        let penalty = PenaltyBox::new(
+        let sessions = SessionManager::new(
             config.backoff.clone(),
             config.penalty_threshold,
             config.penalty_box_ms,
         );
+        let dial_queue = BoundedQueue::new(config.dial_queue_cap);
         NodeFinder {
             key,
             config,
             bootstrap,
             disc: None,
             interner: Interner::new(),
-            conns: ConnTable::new(),
-            dynamic_queue: VecDeque::new(),
+            sessions,
+            dial_queue,
             queued: IdSet::new(),
             static_nodes: OrderedDenseMap::new(),
             seen: SeenTable::new(),
-            penalty,
-            dialing: 0,
             poll_armed: false,
             dial_armed: false,
             chain: Chain::new(ChainConfig::mainnet(), SNAPSHOT_HEAD),
+            stages: PipelineStats::new(),
             log: CrawlLog::default(),
         }
     }
@@ -224,13 +228,13 @@ impl NodeFinder {
     // The due-check cadence must be much finer than the redial interval or
     // quantization silently stretches the effective period (the paper's
     // 1s tick vs 30min interval has a 1/1800 ratio; keep ours comparable).
-    fn static_tick_ms(&self) -> u64 {
+    pub(crate) fn static_tick_ms(&self) -> u64 {
         (self.config.static_redial_interval_ms / 8).clamp(200, 1_000)
     }
 
     // The sweep must be finer than the shortest stage timeout or stage
     // deadlines quantize up to the sweep period.
-    fn sweep_tick_ms(&self) -> u64 {
+    pub(crate) fn sweep_tick_ms(&self) -> u64 {
         let min_stage = self
             .config
             .connect_timeout_ms
@@ -247,18 +251,34 @@ impl NodeFinder {
 
     /// How many endpoints have ever entered the penalty box (diagnostics).
     pub fn penalty_boxed_total(&self) -> u64 {
-        self.penalty.boxed_total()
+        self.sessions.penalty.boxed_total()
     }
 
     /// Endpoints currently tracked as failing (diagnostics).
     pub fn penalty_tracked(&self) -> usize {
-        self.penalty.tracked()
+        self.sessions.penalty.tracked()
     }
 
     /// Currently-open connections (diagnostics; the hold-connections
     /// ablation watches this grow without bound).
     pub fn open_conns(&self) -> usize {
-        self.conns.len()
+        self.sessions.open_conns()
+    }
+
+    /// Dial-slot releases that found no slot to release (diagnostics;
+    /// zero in a correct crawler — asserted by the tier-1 suites).
+    pub fn dialing_underflows(&self) -> u64 {
+        self.sessions.dialing_underflows()
+    }
+
+    /// Per-stage pipeline position (diagnostics / checkpoint preview).
+    pub fn stage_checkpoint(&self, stage: Stage) -> crate::stages::StageCheckpoint {
+        self.stages.checkpoint(stage)
+    }
+
+    /// Deepest the dial queue has been (diagnostics).
+    pub fn dial_queue_high_water(&self) -> usize {
+        self.dial_queue.high_water()
     }
 
     /// Approximate owned heap bytes of the intern table and every dense
@@ -266,14 +286,13 @@ impl NodeFinder {
     /// structured log, whose size tracks output volume, not table layout.
     pub fn approx_heap_bytes(&self) -> usize {
         self.interner.approx_heap_bytes()
-            + self.conns.approx_heap_bytes()
             + self.queued.approx_heap_bytes()
             + self.static_nodes.approx_heap_bytes()
             + self.seen.approx_heap_bytes()
-            + self.penalty.approx_heap_bytes()
+            + self.sessions.approx_heap_bytes()
     }
 
-    fn hello(&self, addr: HostAddr) -> Hello {
+    pub(crate) fn hello(&self, addr: HostAddr) -> Hello {
         Hello {
             p2p_version: P2P_VERSION,
             // NodeFinder is Geth-1.7.3-based (§4).
@@ -314,6 +333,10 @@ impl NodeFinder {
         }
     }
 
+    /// Pipeline stage 1, discover: every usable sighting *enters* the
+    /// stage; it *completes* by landing in the dial queue. A full queue
+    /// is backpressure on the dial stage — the sighting is dropped (not
+    /// marked queued, so a later sighting retries).
     fn drain_disc_events(&mut self, ctx: &mut Ctx) {
         let Some(disc) = self.disc.as_mut() else {
             return;
@@ -335,24 +358,34 @@ impl NodeFinder {
                 DialEventKind::DiscoverySighting,
             );
             obs::counter_add("crawler.funnel.sightings", 1);
+            self.stages.note_entered(Stage::Discover);
             let cid = self.interner.intern(&record.id);
             self.seen.note(cid, ctx.now_ms);
             // Endpoints in backoff / the penalty box are sighted but not
             // queued — the retry scheduler owns them until they recover.
-            if self.penalty.is_blocked(cid, ctx.now_ms) {
+            if self.sessions.penalty.is_blocked(cid, ctx.now_ms) {
                 continue;
             }
-            // New nodes go to the dynamic queue unless already tracked.
+            // New nodes go to the dial queue unless already tracked.
             if !self.static_nodes.contains(cid) && self.queued.insert(cid) {
-                self.dynamic_queue.push_back(record);
+                match self.dial_queue.push_back(record) {
+                    Ok(()) => self.stages.note_completed(Stage::Discover),
+                    Err(_rejected) => {
+                        self.queued.remove(cid);
+                        self.stages.note_backpressure(Stage::Dial);
+                    }
+                }
             }
         }
-        if !self.dial_armed && !self.dynamic_queue.is_empty() {
+        if !self.dial_armed && !self.dial_queue.is_empty() {
             self.dial_armed = true;
             ctx.set_timer(self.config.dial_tick_ms, T_DIAL);
         }
     }
 
+    /// Pipeline stage 2, dial: open the TCP connection and hand the new
+    /// probe to the session manager. The stage completes when the
+    /// transport reports `Connected`.
     fn dial(&mut self, ctx: &mut Ctx, record: NodeRecord, conn_type: ConnType) {
         let local = ctx.local_addr();
         if record.endpoint.ip == local.ip && record.endpoint.tcp_port == local.port {
@@ -371,6 +404,7 @@ impl NodeFinder {
             },
             1,
         );
+        self.stages.note_entered(Stage::Dial);
         let conn = ctx.tcp_connect(HostAddr::new(record.endpoint.ip, record.endpoint.tcp_port));
         let hello = self.hello(ctx.local_addr());
         let record_log = ConnLog {
@@ -388,7 +422,7 @@ impl NodeFinder {
             outcome: ConnOutcome::DialFailed,
             failure: None,
         };
-        self.conns.insert(
+        self.sessions.conns.insert(
             conn,
             Probe {
                 pc: PeerConn::dialing(conn, record.id, hello, ctx.now_ms),
@@ -402,20 +436,27 @@ impl NodeFinder {
             },
         );
         if conn_type == ConnType::DynamicDial {
-            self.dialing += 1;
+            self.sessions.begin_dial();
         }
-        obs::gauge_set("crawler.dialing", self.dialing as u64);
-        obs::gauge_max("crawler.open_conns_peak", self.conns.len() as u64);
+        obs::gauge_set("crawler.dialing", self.sessions.dialing() as u64);
+        obs::gauge_max("crawler.open_conns_peak", self.sessions.open_conns() as u64);
     }
 
-    /// A probe finished (or died): close the socket, finalize the log
-    /// entry, update the static list.
+    /// Pipeline stage 5, ingest: a probe finished (or died) — close the
+    /// socket, finalize the log entry, update the static list.
     fn finish_probe(&mut self, ctx: &mut Ctx, conn: ConnId, polite: bool) {
-        let Some(mut probe) = self.conns.remove(conn) else {
+        let Some(mut probe) = self.sessions.conns.remove(conn) else {
+            // Already finalized: `remove` is the single hand-off out of
+            // the session table, so a second finish on the same conn is a
+            // no-op (and in particular cannot double-release a dial slot).
             return;
         };
+        self.stages.note_entered(Stage::Ingest);
         if probe.conn_type == ConnType::DynamicDial && !probe.done {
-            self.dialing = self.dialing.saturating_sub(1);
+            // Sole dial-slot release site. `end_dial` is checked: an
+            // underflow is exported as `crawler.dialing_underflow`, never
+            // silently clamped.
+            self.sessions.end_dial();
         }
         probe.done = true;
         if polite && probe.pc.is_active() {
@@ -484,7 +525,7 @@ impl NodeFinder {
             if responded {
                 // A DEVp2p answer wipes the endpoint's failure slate and
                 // (re)joins it to the StaticNodes list.
-                self.penalty.record_success(cid);
+                self.sessions.penalty.record_success(cid);
                 let record = NodeRecord::new(id, Endpoint::new(probe.record.ip, probe.record.port));
                 if let Some(entry) = self.static_nodes.get_mut(cid) {
                     entry.record = record;
@@ -505,7 +546,9 @@ impl NodeFinder {
                 // eventually boxes it). It does NOT refresh last_success,
                 // so dead static entries actually go stale.
                 let record = NodeRecord::new(id, Endpoint::new(probe.record.ip, probe.record.port));
-                self.penalty.record_failure(cid, record, now, ctx.rng());
+                self.sessions
+                    .penalty
+                    .record_failure(cid, record, now, ctx.rng());
                 // The attempt still pushes the next static re-dial back
                 // (§5.2's "slightly fewer than 48/day" effect).
                 if let Some(entry) = self.static_nodes.get_mut(cid) {
@@ -514,7 +557,7 @@ impl NodeFinder {
                 // Make sure the retry actually fires even if discovery
                 // goes quiet.
                 if !self.dial_armed {
-                    if let Some(due) = self.penalty.next_due_ms() {
+                    if let Some(due) = self.sessions.penalty.next_due_ms() {
                         self.dial_armed = true;
                         ctx.set_timer(
                             due.saturating_sub(now).max(self.config.dial_tick_ms),
@@ -526,19 +569,45 @@ impl NodeFinder {
             self.queued.remove(cid);
         }
         self.log.conns.push(probe.record);
-        obs::gauge_set("crawler.dialing", self.dialing as u64);
-        obs::gauge_set("crawler.penalty.tracked", self.penalty.tracked() as u64);
-        obs::gauge_set("crawler.penalty.boxed_total", self.penalty.boxed_total());
+        self.stages.note_completed(Stage::Ingest);
+        obs::gauge_set("crawler.dialing", self.sessions.dialing() as u64);
+        obs::gauge_set(
+            "crawler.penalty.tracked",
+            self.sessions.penalty.tracked() as u64,
+        );
+        obs::gauge_set(
+            "crawler.penalty.boxed_total",
+            self.sessions.penalty.boxed_total(),
+        );
         obs::gauge_set("crawler.static_list", self.static_nodes.len() as u64);
     }
 
     fn handle_wire_event(&mut self, ctx: &mut Ctx, conn: ConnId, event: WireEvent) {
+        if !self.sessions.conns.contains(conn) {
+            return;
+        }
+        // Stage transitions are recorded up front (the probe's existence
+        // is already established): HELLO completes the handshake stage,
+        // and an eth STATUS going out / coming back brackets the status
+        // stage.
+        match &event {
+            WireEvent::Hello { shared, .. } => {
+                self.stages.note_completed(Stage::Handshake);
+                if shared.iter().any(|c| c.name == "eth") {
+                    self.stages.note_entered(Stage::Status);
+                }
+            }
+            WireEvent::Eth(EthMessage::Status(_)) => {
+                self.stages.note_completed(Stage::Status);
+            }
+            _ => {}
+        }
         let rtt = ctx.rtt_ms(conn);
         let ours = self.our_status();
         let chain = self.chain.clone();
         let hello_timeout = self.config.hello_timeout_ms;
         let status_timeout = self.config.status_timeout_ms;
-        let Some(probe) = self.conns.get_mut(conn) else {
+        let Some(probe) = self.sessions.conns.get_mut(conn) else {
             return;
         };
         if rtt > 0 {
@@ -732,6 +801,10 @@ impl Host for NodeFinder {
         obs::gauge_set("crawler.cfg.probe_timeout_ms", self.config.probe_timeout_ms);
         obs::gauge_set("crawler.cfg.poll_delay_ms", self.config.poll_delay_ms);
         obs::gauge_set("crawler.cfg.dial_tick_ms", self.config.dial_tick_ms);
+        obs::gauge_set(
+            "crawler.cfg.dial_queue_cap",
+            self.config.dial_queue_cap as u64,
+        );
         ctx.set_timer(self.config.lookup_interval_ms, T_LOOKUP);
         ctx.set_timer(self.static_tick_ms(), T_STATIC);
         ctx.set_timer(self.sweep_tick_ms(), T_SWEEP);
@@ -754,10 +827,16 @@ impl Host for NodeFinder {
     fn on_tcp(&mut self, ctx: &mut Ctx, event: TcpEvent) {
         match event {
             TcpEvent::Connected { conn, .. } => {
+                // Pipeline: the dial stage completed; the handshake stage
+                // (RLPx auth + HELLO) begins.
+                if self.sessions.conns.contains(conn) {
+                    self.stages.note_completed(Stage::Dial);
+                    self.stages.note_entered(Stage::Handshake);
+                }
                 let key = self.key;
                 let handshake_timeout = self.config.handshake_timeout_ms;
                 let mut frames = Vec::new();
-                if let Some(probe) = self.conns.get_mut(conn) {
+                if let Some(probe) = self.sessions.conns.get_mut(conn) {
                     probe.record.latency_ms = ctx.rtt_ms(conn);
                     probe.connected = true;
                     probe.deadline_ms = ctx.now_ms + handshake_timeout;
@@ -773,6 +852,7 @@ impl Host for NodeFinder {
                     ctx.tcp_send(conn, f);
                 }
                 if self
+                    .sessions
                     .conns
                     .get(conn)
                     .map(|p| p.pc.is_dead())
@@ -782,19 +862,22 @@ impl Host for NodeFinder {
                 }
             }
             TcpEvent::ConnectFailed { conn } => {
-                if let Some(probe) = self.conns.get_mut(conn) {
+                if let Some(probe) = self.sessions.conns.get_mut(conn) {
                     probe.record.failure = Some(FailureClass::ConnectFailed);
                 }
                 self.finish_probe(ctx, conn, false);
             }
             TcpEvent::Incoming { conn, peer } => {
-                if self.conns.contains(conn) {
+                if self.sessions.conns.contains(conn) {
                     // Self-connection guard (shouldn't occur given the dial
                     // filter, but cheap to be safe).
                     self.finish_probe(ctx, conn, false);
                     return;
                 }
-                // Accept everything; never Too many peers (§4).
+                // Accept everything; never Too many peers (§4). An
+                // incoming conn enters the pipeline at the handshake stage
+                // (no discover/dial legs).
+                self.stages.note_entered(Stage::Handshake);
                 let hello = self.hello(ctx.local_addr());
                 let record_log = ConnLog {
                     instance: self.config.instance,
@@ -811,7 +894,7 @@ impl Host for NodeFinder {
                     outcome: ConnOutcome::HandshakeFailed,
                     failure: None,
                 };
-                self.conns.insert(
+                self.sessions.conns.insert(
                     conn,
                     Probe {
                         pc: PeerConn::accepted(conn, hello, ctx.now_ms),
@@ -825,11 +908,11 @@ impl Host for NodeFinder {
                     },
                 );
                 obs::counter_add("crawler.conn.incoming", 1);
-                obs::gauge_max("crawler.open_conns_peak", self.conns.len() as u64);
+                obs::gauge_max("crawler.open_conns_peak", self.sessions.open_conns() as u64);
             }
             TcpEvent::Data { conn, bytes } => {
                 let key = self.key;
-                let Some(probe) = self.conns.get_mut(conn) else {
+                let Some(probe) = self.sessions.conns.get_mut(conn) else {
                     return;
                 };
                 let (events, out) = probe.pc.on_data(ctx.rng(), &key, &bytes);
@@ -840,6 +923,7 @@ impl Host for NodeFinder {
                     self.handle_wire_event(ctx, conn, e);
                 }
                 if self
+                    .sessions
                     .conns
                     .get(conn)
                     .map(|p| p.pc.is_dead())
@@ -849,7 +933,7 @@ impl Host for NodeFinder {
                 }
             }
             TcpEvent::Closed { conn } => {
-                if let Some(probe) = self.conns.get_mut(conn) {
+                if let Some(probe) = self.sessions.conns.get_mut(conn) {
                     // The remote (or a mid-stream fault) tore the stream
                     // down before completing DEVp2p.
                     if probe.record.hello.is_none()
@@ -892,8 +976,11 @@ impl Host for NodeFinder {
                 // Retries whose backoff elapsed go first: they're the
                 // oldest work, and the penalty box hands each endpoint out
                 // at most once per period.
-                let budget = self.config.max_active_dials.saturating_sub(self.dialing);
-                for record in self.penalty.due_retries(now, budget) {
+                let budget = self
+                    .config
+                    .max_active_dials
+                    .saturating_sub(self.sessions.dialing());
+                for record in self.sessions.penalty.due_retries(now, budget) {
                     let cid = self.interner.intern(&record.id);
                     let conn_type = if self.static_nodes.contains(cid) {
                         ConnType::StaticDial
@@ -902,8 +989,8 @@ impl Host for NodeFinder {
                     };
                     self.dial(ctx, record, conn_type);
                 }
-                while self.dialing < self.config.max_active_dials {
-                    let Some(record) = self.dynamic_queue.pop_front() else {
+                while self.sessions.dialing() < self.config.max_active_dials {
+                    let Some(record) = self.dial_queue.pop_front() else {
                         break;
                     };
                     let cid = self.interner.intern(&record.id);
@@ -913,10 +1000,10 @@ impl Host for NodeFinder {
                     }
                     self.dial(ctx, record, ConnType::DynamicDial);
                 }
-                if !self.dynamic_queue.is_empty() {
+                if !self.dial_queue.is_empty() {
                     self.dial_armed = true;
                     ctx.set_timer(self.config.dial_tick_ms, T_DIAL);
-                } else if let Some(due) = self.penalty.next_due_ms() {
+                } else if let Some(due) = self.sessions.penalty.next_due_ms() {
                     self.dial_armed = true;
                     ctx.set_timer(
                         due.saturating_sub(now).max(self.config.dial_tick_ms),
@@ -928,21 +1015,30 @@ impl Host for NodeFinder {
                 let now = ctx.now_ms;
                 // Campaign-progress gauges: how much of the discovered
                 // population is fresh (seen within the 24h window) vs
-                // stale. Sampled here because the static tick is the
-                // crawler's steady heartbeat.
+                // stale, plus the pipeline's hand-off queue state. Sampled
+                // here because the static tick is the crawler's steady
+                // heartbeat.
                 if obs::is_enabled() {
                     let fresh = self.seen.fresh(now, self.config.stale_after_ms) as u64;
                     obs::gauge_set("crawler.nodes_fresh", fresh);
                     obs::gauge_set("crawler.nodes_stale", self.seen.len() as u64 - fresh);
+                    obs::gauge_set("crawler.dial_queue.depth", self.dial_queue.len() as u64);
+                    obs::gauge_set(
+                        "crawler.dial_queue.high_water",
+                        self.dial_queue.high_water() as u64,
+                    );
                 }
                 // Remove stale addresses (no TCP success in stale_after).
                 // Both scans run in full-NodeId order (`iter_ordered`),
                 // byte-identical to the BTreeMap walks they replaced.
+                // Staleness is half-open: an entry is stale at *exactly*
+                // the window edge (`window_elapsed`), matching every other
+                // crawler window.
                 let stale: Vec<CompactId> = self
                     .static_nodes
                     .iter_ordered()
                     .filter(|(_, e)| {
-                        now.saturating_sub(e.last_success_ms) > self.config.stale_after_ms
+                        window_elapsed(now, e.last_success_ms, self.config.stale_after_ms)
                     })
                     .map(|(cid, _)| cid)
                     .collect();
@@ -954,7 +1050,9 @@ impl Host for NodeFinder {
                 let due: Vec<(CompactId, NodeRecord)> = self
                     .static_nodes
                     .iter_ordered()
-                    .filter(|(cid, e)| e.next_dial_ms <= now && !self.penalty.is_blocked(*cid, now))
+                    .filter(|(cid, e)| {
+                        e.next_dial_ms <= now && !self.sessions.penalty.is_blocked(*cid, now)
+                    })
                     .map(|(cid, e)| (cid, e.record))
                     .collect();
                 for (cid, record) in due {
@@ -977,12 +1075,15 @@ impl Host for NodeFinder {
             T_SWEEP => {
                 let now = ctx.now_ms;
                 // `ids_sorted` walks probes in numeric ConnId order —
-                // byte-identical to the BTreeMap scan it replaced.
+                // byte-identical to the BTreeMap scan it replaced. Both
+                // deadlines are half-open (`window_elapsed` / `>=`): a
+                // probe is overdue at *exactly* its deadline instant.
                 let expired: Vec<(ConnId, FailureClass)> = self
+                    .sessions
                     .conns
                     .ids_sorted()
                     .into_iter()
-                    .filter_map(|c| self.conns.get(c).map(|p| (c, p)))
+                    .filter_map(|c| self.sessions.conns.get(c).map(|p| (c, p)))
                     .filter(|(_, p)| {
                         // In hold mode, active sessions are kept forever;
                         // only stuck handshakes are reaped.
@@ -991,7 +1092,7 @@ impl Host for NodeFinder {
                     .filter_map(|(c, p)| {
                         let over_stage = now >= p.deadline_ms;
                         let over_total =
-                            now.saturating_sub(p.record.ts_ms) > self.config.probe_timeout_ms;
+                            window_elapsed(now, p.record.ts_ms, self.config.probe_timeout_ms);
                         if !(over_stage || over_total) {
                             return None;
                         }
@@ -1011,7 +1112,7 @@ impl Host for NodeFinder {
                     })
                     .collect();
                 for (conn, class) in expired {
-                    if let Some(p) = self.conns.get_mut(conn) {
+                    if let Some(p) = self.sessions.conns.get_mut(conn) {
                         if p.record.failure.is_none() {
                             p.record.failure = Some(class);
                         }
@@ -1027,13 +1128,21 @@ impl Host for NodeFinder {
     fn on_stop(&mut self, ctx: &mut Ctx) {
         // Flush open probes with Open outcome so nothing is lost, in
         // numeric ConnId order (the BTreeMap key order this replaced).
-        for conn in self.conns.ids_sorted() {
-            if let Some(p) = self.conns.get_mut(conn) {
+        for conn in self.sessions.conns.ids_sorted() {
+            if let Some(p) = self.sessions.conns.get_mut(conn) {
                 if p.record.hello.is_none() {
                     p.record.outcome = ConnOutcome::Open;
                 }
             }
             self.finish_probe(ctx, conn, false);
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(self.encode_state())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> bool {
+        self.apply_state(bytes).is_ok()
     }
 }

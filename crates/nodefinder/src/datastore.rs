@@ -274,7 +274,11 @@ impl DataStore {
         store
     }
 
-    fn ingest_conn(&mut self, conn: &ConnLog) {
+    /// Fold one connection log entry into the store, updating both the
+    /// per-node observation and the incremental funnel/failure caches.
+    /// Public so tests (notably the funnel-consistency proptest) can
+    /// drive arbitrary ingest interleavings; `from_log` is the bulk path.
+    pub fn ingest_conn(&mut self, conn: &ConnLog) {
         let Some(id) = conn.node_id else { return };
         let obs = self
             .nodes

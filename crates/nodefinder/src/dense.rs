@@ -316,6 +316,18 @@ impl SeenTable {
     pub fn approx_heap_bytes(&self) -> usize {
         self.stamps.capacity() * std::mem::size_of::<u64>()
     }
+
+    /// The dense stamp vector, for checkpointing (`u64::MAX` = never
+    /// seen; index = compact id).
+    pub fn stamps(&self) -> &[u64] {
+        &self.stamps
+    }
+
+    /// Rebuild from a checkpointed stamp vector.
+    pub fn from_stamps(stamps: Vec<u64>) -> SeenTable {
+        let len = stamps.iter().filter(|&&ts| ts != u64::MAX).count();
+        SeenTable { stamps, len }
+    }
 }
 
 /// Dense membership set over compact ids — the crawler's queued-for-dial
@@ -357,6 +369,16 @@ impl IdSet {
     /// Approximate owned heap bytes, for the benchmark memory proxy.
     pub fn approx_heap_bytes(&self) -> usize {
         self.bits.capacity()
+    }
+
+    /// The dense membership vector, for checkpointing (index = compact id).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Rebuild from a checkpointed membership vector.
+    pub fn from_bits(bits: Vec<bool>) -> IdSet {
+        IdSet { bits }
     }
 }
 

@@ -25,14 +25,24 @@
 //!
 //! The [`mod@sanitize`] module implements §5.4's five-step filter that strips
 //! abusive node-ID spammers from the dataset.
+//!
+//! Since the pipeline refactor the crawl is organized as five explicit
+//! stages — discover → dial → handshake → status → ingest ([`mod@stages`]) —
+//! with the live sessions owned by [`session::SessionManager`] and full
+//! checkpoint/restore (the `NFND` snapshot section) in [`mod@checkpoint`]:
+//! a run snapshotted at T and resumed produces byte-identical artifacts
+//! to one that never stopped.
 #![forbid(unsafe_code)]
 
 pub mod backoff;
+pub mod checkpoint;
 pub mod crawler;
 pub mod datastore;
 pub mod dense;
 pub mod log;
 pub mod sanitize;
+pub mod session;
+pub mod stages;
 
 pub use backoff::{BackoffPolicy, PenaltyBox};
 pub use crawler::{CrawlerConfig, NodeFinder};
@@ -42,3 +52,5 @@ pub use log::{
     StatusInfo,
 };
 pub use sanitize::{sanitize, SanitizeParams, SanitizeReport};
+pub use session::SessionManager;
+pub use stages::{BoundedQueue, PipelineStats, Stage, StageCheckpoint};

@@ -303,6 +303,25 @@ mod tests {
     }
 
     #[test]
+    fn scaled_params_clamp_to_one_ms_at_tiny_day() {
+        // Regression: with a degenerate compressed clock the integer
+        // scaling would truncate every window to 0 ms, making *every*
+        // node "short-lived" (0-duration) and every IP a "generator"
+        // (interval <= 0 always true). The `.max(1)` clamp keeps both
+        // windows at >= 1 ms.
+        for day_ms in [1u64, 2, 10, 100, 1_000] {
+            let p = SanitizeParams::scaled(day_ms);
+            assert!(p.short_lived_ms >= 1, "day_ms={day_ms}");
+            assert!(p.max_generation_interval_ms >= 1, "day_ms={day_ms}");
+            assert_eq!(p.min_nodes_per_ip, 3, "count thresholds never scale");
+        }
+        // And the clamp engages exactly where truncation would hit zero:
+        // 30 min of a 1 ms day is far below one tick.
+        assert_eq!(SanitizeParams::scaled(1).short_lived_ms, 1);
+        assert_eq!(SanitizeParams::scaled(1).max_generation_interval_ms, 1);
+    }
+
+    #[test]
     fn empty_store_is_noop() {
         let (clean, report) = sanitize(&DataStore::default(), SanitizeParams::paper());
         assert_eq!(clean.total_ids(), 0);

@@ -47,10 +47,12 @@
 mod metrics;
 pub mod profile;
 mod query;
+mod snapshot;
 mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry, DEFAULT_LATENCY_BOUNDS_MS};
 pub use query::TraceQuery;
+pub use snapshot::{OBS_SNAP_MAGIC, OBS_SNAP_VERSION};
 pub use trace::{EventKind, FlightRecorder, TraceEvent, Value};
 
 use std::cell::RefCell;
@@ -348,6 +350,64 @@ impl Recorder {
     /// Query API over the retained trace events.
     pub fn query(&self) -> TraceQuery {
         TraceQuery::new(self.core.borrow().ring.iter().cloned().collect())
+    }
+
+    /// Serialize the recorder's dynamic state — the folded metrics
+    /// registry, every retained trace event (sequence numbers and
+    /// provenance included), the eviction counters, the event sequence
+    /// counter, and the observability clock — into a versioned byte
+    /// snapshot. Pending fast-path updates are folded first (the same
+    /// merge every exporter applies), so the image equals what an export
+    /// taken at the same instant would see. Call between runs, never
+    /// mid-dispatch.
+    pub fn snapshot_state(&self) -> Vec<u8> {
+        let mut core = self.core.borrow_mut();
+        core.flush_fast();
+        let events: Vec<&TraceEvent> = core.ring.iter().collect();
+        let by_kind: Vec<(&str, u64)> = core.ring.dropped_by_kind().collect();
+        snapshot::encode_parts(
+            core.now_ms,
+            core.seq,
+            &core.metrics,
+            &events,
+            core.ring.dropped(),
+            &by_kind,
+        )
+    }
+
+    /// Restore state captured by [`Recorder::snapshot_state`],
+    /// overwriting this recorder's metrics, ring contents, drop
+    /// counters, sequence counter, and clock. The ring keeps its
+    /// configured capacity; a snapshot retaining more events than this
+    /// recorder can hold is rejected (capacity is configuration, and a
+    /// mismatched shell would silently re-drop events and skew the
+    /// eviction counters).
+    pub fn restore_state(&self, bytes: &[u8]) -> Result<(), String> {
+        let image = snapshot::decode(bytes)?;
+        let mut core = self.core.borrow_mut();
+        if image.events.len() > core.ring.capacity() {
+            return Err(format!(
+                "snapshot retains {} events but the ring capacity is {}",
+                image.events.len(),
+                core.ring.capacity()
+            ));
+        }
+        core.metrics = image.metrics;
+        core.ring.clear();
+        for ev in image.events {
+            core.ring.push(ev);
+        }
+        core.ring
+            .restore_drops(image.dropped, image.dropped_by_kind);
+        core.seq = image.seq;
+        core.now_ms = image.now_ms;
+        core.fast_counters.fill(0);
+        core.fast_gauge_hw.fill(0);
+        core.cur_key = 0;
+        core.cur_cause = 0;
+        core.cur_depth = 0;
+        core.cur_emitted = false;
+        Ok(())
     }
 
     /// Drop all retained events and metrics (capacity is kept).
@@ -654,6 +714,50 @@ mod tests {
         assert_eq!(rec.counter("c"), 0);
         assert_eq!(rec.event_count(), 0);
         assert_eq!(rec.export_jsonl(), "");
+    }
+
+    #[test]
+    fn snapshot_state_round_trips_exports() {
+        let rec = Recorder::with_capacity(4);
+        rec.install();
+        let id = handle("snap.fast");
+        for i in 0..7u64 {
+            set_now(i * 10);
+            set_cause(i + 1, i, i as u32);
+            event("tick", &[("i", Value::U64(i))]);
+            counter_add("snap.counter", 1);
+            counter_add_id(id, 2);
+            gauge_max("snap.peak", i);
+            observe_ms("snap.lat", i * 3);
+        }
+        set_cause(0, 0, 0);
+        uninstall();
+
+        let image = rec.snapshot_state();
+        // Restore into a fresh recorder with the same capacity: every
+        // export must be byte-identical, including drop attribution.
+        let restored = Recorder::with_capacity(4);
+        restored.restore_state(&image).unwrap();
+        assert_eq!(restored.export_jsonl(), rec.export_jsonl());
+        assert_eq!(restored.prometheus(), rec.prometheus());
+        assert_eq!(restored.dropped_events(), rec.dropped_events());
+        assert_eq!(restored.dropped_by_kind(), rec.dropped_by_kind());
+        // And the restored recorder keeps recording with the same seq
+        // stream: snapshots of both after one more event still agree.
+        for r in [&rec, &restored] {
+            r.install();
+            set_now(100);
+            event("after", &[]);
+            uninstall();
+        }
+        assert_eq!(restored.snapshot_state(), rec.snapshot_state());
+
+        // A shell with a smaller ring cannot hold the image.
+        let tiny = Recorder::with_capacity(2);
+        assert!(tiny.restore_state(&image).is_err());
+        // Corrupt input is rejected, not panicked on.
+        assert!(restored.restore_state(&image[..10]).is_err());
+        assert!(restored.restore_state(b"XXXXX").is_err());
     }
 
     #[test]

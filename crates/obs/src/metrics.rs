@@ -58,6 +58,35 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Rebuild a histogram from the parts exposed by its accessors
+    /// (snapshot restore). Rejects structurally inconsistent parts —
+    /// mismatched bucket arity, non-increasing bounds, or a bucket total
+    /// that disagrees with `count`.
+    pub fn from_parts(
+        bounds: Vec<u64>,
+        bucket_counts: Vec<u64>,
+        sum: u64,
+        count: u64,
+        max: u64,
+    ) -> Result<Histogram, &'static str> {
+        if bucket_counts.len() != bounds.len() + 1 {
+            return Err("histogram bucket arity mismatch");
+        }
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err("histogram bounds not strictly increasing");
+        }
+        if bucket_counts.iter().sum::<u64>() != count {
+            return Err("histogram bucket total disagrees with count");
+        }
+        Ok(Histogram {
+            bounds,
+            bucket_counts,
+            sum,
+            count,
+            max,
+        })
+    }
+
     pub fn count(&self) -> u64 {
         self.count
     }
@@ -135,6 +164,12 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_default()
             .observe(v);
+    }
+
+    /// Install a fully-formed histogram under `name` (snapshot restore),
+    /// replacing any existing one.
+    pub fn insert_histogram(&mut self, name: &str, h: Histogram) {
+        self.histograms.insert(name.to_string(), h);
     }
 
     pub fn counter(&self, name: &str) -> u64 {

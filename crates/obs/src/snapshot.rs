@@ -1,0 +1,316 @@
+//! Recorder checkpoint/restore: a self-contained binary image of the
+//! metrics registry and the flight recorder.
+//!
+//! `obs` is dependency-free by design, so it carries its own tiny
+//! little-endian codec rather than borrowing the simulator's. The format
+//! mirrors the engine's snapshot conventions: `magic(4) ‖ version(1)`,
+//! fixed-width integers, `u64` length prefixes, and full-consumption
+//! validation on read.
+//!
+//! What is captured: the folded metrics registry (counters, gauges,
+//! histograms by name), every retained trace event with its sequence
+//! number and provenance, the drop counters (total and per-kind), the
+//! event sequence counter, and the observability clock. What is not:
+//! interned `MetricId`s (they are thread-lifetime and re-interned by the
+//! restored world's construction path) and in-dispatch provenance
+//! (snapshots are taken between runs, when it is all-zero).
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::trace::{EventKind, TraceEvent, Value};
+
+/// Magic prefixing a recorder snapshot.
+pub const OBS_SNAP_MAGIC: [u8; 4] = *b"OBSS";
+
+/// Current recorder snapshot format version.
+pub const OBS_SNAP_VERSION: u8 = 1;
+
+#[derive(Default)]
+pub(crate) struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    pub(crate) fn header() -> W {
+        let mut w = W::default();
+        w.buf.extend_from_slice(&OBS_SNAP_MAGIC);
+        w.buf.push(OBS_SNAP_VERSION);
+        w
+    }
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    pub(crate) fn str(&mut self, v: &str) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+pub(crate) struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    pub(crate) fn header(buf: &'a [u8]) -> Result<R<'a>, String> {
+        let mut r = R { buf, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != OBS_SNAP_MAGIC {
+            return Err(format!("bad obs snapshot magic {magic:?}"));
+        }
+        let version = r.u8()?;
+        if version != OBS_SNAP_VERSION {
+            return Err(format!(
+                "unsupported obs snapshot version {version} (this build reads {OBS_SNAP_VERSION})"
+            ));
+        }
+        Ok(r)
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!("obs snapshot truncated at byte {}", self.pos));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "usize overflows platform".to_string())
+    }
+    pub(crate) fn str(&mut self) -> Result<String, String> {
+        let n = self.usize()?;
+        if n > self.buf.len() - self.pos {
+            return Err(format!("obs snapshot truncated at byte {}", self.pos));
+        }
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_string)
+            .map_err(|_| "non-UTF-8 string in obs snapshot".to_string())
+    }
+    pub(crate) fn finish(self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes after obs snapshot".to_string())
+        }
+    }
+}
+
+fn write_value(w: &mut W, v: &Value) {
+    match v {
+        Value::U64(x) => {
+            w.u8(0);
+            w.u64(*x);
+        }
+        Value::I64(x) => {
+            w.u8(1);
+            w.u64(*x as u64);
+        }
+        Value::Str(s) => {
+            w.u8(2);
+            w.str(s);
+        }
+        Value::Bool(b) => {
+            w.u8(3);
+            w.u8(*b as u8);
+        }
+    }
+}
+
+fn read_value(r: &mut R<'_>) -> Result<Value, String> {
+    Ok(match r.u8()? {
+        0 => Value::U64(r.u64()?),
+        1 => Value::I64(r.u64()? as i64),
+        2 => Value::Str(r.str()?),
+        3 => Value::Bool(r.u8()? != 0),
+        t => return Err(format!("trace value tag {t} out of range")),
+    })
+}
+
+fn write_event(w: &mut W, ev: &TraceEvent) {
+    w.u64(ev.seq);
+    w.u64(ev.ts_ms);
+    w.u64(ev.key);
+    w.u64(ev.cause);
+    w.u32(ev.depth);
+    match ev.kind {
+        EventKind::Event => w.u8(0),
+        EventKind::Span { start_ms } => {
+            w.u8(1);
+            w.u64(start_ms);
+        }
+    }
+    w.str(&ev.name);
+    w.usize(ev.fields.len());
+    for (k, v) in &ev.fields {
+        w.str(k);
+        write_value(w, v);
+    }
+}
+
+fn read_event(r: &mut R<'_>) -> Result<TraceEvent, String> {
+    let seq = r.u64()?;
+    let ts_ms = r.u64()?;
+    let key = r.u64()?;
+    let cause = r.u64()?;
+    let depth = r.u32()?;
+    let kind = match r.u8()? {
+        0 => EventKind::Event,
+        1 => EventKind::Span { start_ms: r.u64()? },
+        t => return Err(format!("trace kind tag {t} out of range")),
+    };
+    let name = r.str()?;
+    let n_fields = r.usize()?;
+    let mut fields = Vec::with_capacity(n_fields.min(64));
+    for _ in 0..n_fields {
+        let k = r.str()?;
+        let v = read_value(r)?;
+        fields.push((k, v));
+    }
+    Ok(TraceEvent {
+        seq,
+        ts_ms,
+        key,
+        cause,
+        depth,
+        kind,
+        name,
+        fields,
+    })
+}
+
+/// Image of a recorder's dynamic state, decoded from a snapshot.
+pub(crate) struct RecorderImage {
+    pub(crate) now_ms: u64,
+    pub(crate) seq: u64,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) dropped: u64,
+    pub(crate) dropped_by_kind: Vec<(String, u64)>,
+}
+
+/// Encode a recorder's (already folded) state into a snapshot section.
+pub(crate) fn encode_parts(
+    now_ms: u64,
+    seq: u64,
+    metrics: &MetricsRegistry,
+    events: &[&TraceEvent],
+    dropped: u64,
+    dropped_by_kind: &[(&str, u64)],
+) -> Vec<u8> {
+    let mut w = W::header();
+    w.u64(now_ms);
+    w.u64(seq);
+    w.usize(metrics.counters().len());
+    for (name, v) in metrics.counters() {
+        w.str(name);
+        w.u64(*v);
+    }
+    w.usize(metrics.gauges().len());
+    for (name, v) in metrics.gauges() {
+        w.str(name);
+        w.u64(*v);
+    }
+    w.usize(metrics.histograms().len());
+    for (name, h) in metrics.histograms() {
+        w.str(name);
+        w.usize(h.bounds().len());
+        for &b in h.bounds() {
+            w.u64(b);
+        }
+        for &c in h.bucket_counts() {
+            w.u64(c);
+        }
+        w.u64(h.sum());
+        w.u64(h.count());
+        w.u64(h.max());
+    }
+    w.usize(events.len());
+    for ev in events {
+        write_event(&mut w, ev);
+    }
+    w.u64(dropped);
+    w.usize(dropped_by_kind.len());
+    for (name, v) in dropped_by_kind {
+        w.str(name);
+        w.u64(*v);
+    }
+    w.finish()
+}
+
+/// Decode a snapshot section back into a [`RecorderImage`].
+pub(crate) fn decode(bytes: &[u8]) -> Result<RecorderImage, String> {
+    let mut r = R::header(bytes)?;
+    let now_ms = r.u64()?;
+    let seq = r.u64()?;
+    let mut metrics = MetricsRegistry::default();
+    for _ in 0..r.usize()? {
+        let name = r.str()?;
+        let v = r.u64()?;
+        metrics.counter_add(&name, v);
+    }
+    for _ in 0..r.usize()? {
+        let name = r.str()?;
+        let v = r.u64()?;
+        metrics.gauge_set(&name, v);
+    }
+    for _ in 0..r.usize()? {
+        let name = r.str()?;
+        let n_bounds = r.usize()?;
+        let mut bounds = Vec::with_capacity(n_bounds.min(64));
+        for _ in 0..n_bounds {
+            bounds.push(r.u64()?);
+        }
+        let mut bucket_counts = Vec::with_capacity(n_bounds.min(64) + 1);
+        for _ in 0..n_bounds + 1 {
+            bucket_counts.push(r.u64()?);
+        }
+        let sum = r.u64()?;
+        let count = r.u64()?;
+        let max = r.u64()?;
+        let h = Histogram::from_parts(bounds, bucket_counts, sum, count, max)
+            .map_err(str::to_string)?;
+        metrics.insert_histogram(&name, h);
+    }
+    let n_events = r.usize()?;
+    let mut events = Vec::with_capacity(n_events.min(4096));
+    for _ in 0..n_events {
+        events.push(read_event(&mut r)?);
+    }
+    let dropped = r.u64()?;
+    let n_kinds = r.usize()?;
+    let mut dropped_by_kind = Vec::with_capacity(n_kinds.min(1024));
+    for _ in 0..n_kinds {
+        let name = r.str()?;
+        let v = r.u64()?;
+        dropped_by_kind.push((name, v));
+    }
+    r.finish()?;
+    Ok(RecorderImage {
+        now_ms,
+        seq,
+        metrics,
+        events,
+        dropped,
+        dropped_by_kind,
+    })
+}

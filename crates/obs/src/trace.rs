@@ -256,6 +256,17 @@ impl FlightRecorder {
         self.dropped = 0;
         self.dropped_by_kind.clear();
     }
+
+    /// Overwrite the eviction counters (snapshot restore: drops that
+    /// happened before the snapshot are part of the restored state).
+    pub fn restore_drops(
+        &mut self,
+        dropped: u64,
+        by_kind: impl IntoIterator<Item = (String, u64)>,
+    ) {
+        self.dropped = dropped;
+        self.dropped_by_kind = by_kind.into_iter().collect();
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,45 @@ impl std::error::Error for FrameError {}
 
 const MAX_FRAME: usize = 16 * 1024 * 1024;
 
+/// One captured keccak sponge, as produced by `Keccak::to_parts`.
+pub type MacState = (
+    [u64; 25],
+    usize,
+    [u8; ethcrypto::keccak::MAX_RATE],
+    usize,
+    usize,
+);
+
+/// Plain-data image of a [`FrameCodec`] for checkpoint/restore. Contains
+/// live key material — treat a serialized snapshot like a key file.
+#[derive(Clone)]
+// Not Debug-derived: every field is key material or keystream.
+pub struct FrameCodecState {
+    /// AES-256-CTR session key.
+    pub aes_key: [u8; 32],
+    /// MAC derivation key.
+    pub mac_key: [u8; 32],
+    /// Egress CTR position (`AesCtr::to_parts`).
+    pub enc: ([u8; 16], [u8; 16], usize),
+    /// Ingress CTR position.
+    pub dec: ([u8; 16], [u8; 16], usize),
+    /// Egress MAC sponge.
+    pub egress_mac: MacState,
+    /// Ingress MAC sponge.
+    pub ingress_mac: MacState,
+    /// Body size parsed from a verified header, awaiting the body bytes.
+    pub pending_body: Option<usize>,
+}
+
+impl std::fmt::Debug for FrameCodecState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Keys and sponge states are secrets; show only decoder progress.
+        f.debug_struct("FrameCodecState")
+            .field("pending_body", &self.pending_body)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Symmetric frame codec for one established connection.
 pub struct FrameCodec {
     enc: AesCtr,
@@ -50,6 +89,10 @@ pub struct FrameCodec {
     ingress_mac: Keccak,
     /// Decoder state: size parsed from a verified header, awaiting body.
     pending_body: Option<usize>,
+    /// Raw session keys, retained so the codec can be checkpointed
+    /// (the expanded forms above are one-way).
+    aes_key: [u8; 32],
+    mac_key: [u8; 32],
 }
 
 impl std::fmt::Debug for FrameCodec {
@@ -72,6 +115,36 @@ impl FrameCodec {
             egress_mac: secrets.egress_mac,
             ingress_mac: secrets.ingress_mac,
             pending_body: None,
+            aes_key: secrets.aes,
+            mac_key: secrets.mac,
+        }
+    }
+
+    /// Capture the full codec state (keys, CTR positions, MAC sponges,
+    /// decoder progress) for checkpoint/restore.
+    pub fn to_state(&self) -> FrameCodecState {
+        FrameCodecState {
+            aes_key: self.aes_key,
+            mac_key: self.mac_key,
+            enc: self.enc.to_parts(),
+            dec: self.dec.to_parts(),
+            egress_mac: self.egress_mac.to_parts(),
+            ingress_mac: self.ingress_mac.to_parts(),
+            pending_body: self.pending_body,
+        }
+    }
+
+    /// Rebuild a codec mid-stream from [`FrameCodec::to_state`] output.
+    pub fn from_state(s: FrameCodecState) -> FrameCodec {
+        FrameCodec {
+            enc: AesCtr::from_parts(&s.aes_key, s.enc),
+            dec: AesCtr::from_parts(&s.aes_key, s.dec),
+            mac_cipher: Aes::new(&s.mac_key),
+            egress_mac: Keccak::from_parts(s.egress_mac),
+            ingress_mac: Keccak::from_parts(s.ingress_mac),
+            pending_body: s.pending_body,
+            aes_key: s.aes_key,
+            mac_key: s.mac_key,
         }
     }
 

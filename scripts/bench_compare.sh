@@ -31,6 +31,9 @@
 # 6. Allocation proxy: BENCH_crawl.json's alloc_bytes_per_event (crawler
 #    retained heap over total sim events, deterministic at a fixed seed)
 #    must not grow past 1.5x the committed baseline.
+# 7. Checkpoint cycle: the scale artifact's 5,000-host snapshot+restore
+#    probe must cost < 10% of that tier's steady-state wall time —
+#    pausing a campaign has to stay cheap relative to running it.
 #
 # Usage:
 #   scripts/bench_compare.sh            # compare results/BENCH_crawl.json vs HEAD
@@ -144,6 +147,30 @@ if [ -f "$scale_file" ]; then
     }
     check_rss 5000 210
     check_rss 50000 70
+
+    # Checkpoint-cycle guard: pausing and resuming a crawl must stay
+    # cheap relative to running it. At the 5,000-host tier the probe's
+    # snapshot+restore wall time must come in under 10% of the tier's
+    # steady-state wall time; past that, periodic checkpointing would
+    # meaningfully tax a long-running campaign. Skipped when the
+    # artifact predates the probe or was generated with
+    # SCALE_SNAPSHOT_PROBE=0 (snapshot_bytes 0).
+    snap_ms=$(tier_field 5000 snapshot_ms)
+    restore_ms=$(tier_field 5000 restore_ms)
+    steady_wall=$(tier_field 5000 steady_wall_ms)
+    snap_bytes=$(tier_field 5000 snapshot_bytes)
+    if [ -n "${snap_ms:-}" ] && [ -n "${restore_ms:-}" ] && [ -n "${steady_wall:-}" ] \
+        && [ -n "${snap_bytes:-}" ] && [ "$snap_bytes" -gt 0 ]; then
+        cycle_ms=$((snap_ms + restore_ms))
+        cycle_ceiling=$((steady_wall / 10))
+        echo "bench_compare: 5k-tier checkpoint cycle ${cycle_ms} ms (snapshot ${snap_ms} + restore ${restore_ms}, ${snap_bytes} B; ceiling ${cycle_ceiling} ms = 10% of ${steady_wall} ms steady wall)"
+        if [ "$cycle_ms" -gt "$cycle_ceiling" ]; then
+            echo "bench_compare: FAIL — 5k-tier snapshot/restore cycle above 10% of steady-state wall time"
+            exit 1
+        fi
+    else
+        echo "bench_compare: scale artifact lacks checkpoint-cycle fields — skipping checkpoint-cycle check"
+    fi
 fi
 
 # ---- allocation-proxy guard ------------------------------------------

@@ -23,8 +23,10 @@
 #                   committed BENCH_crawl.json baseline, if the committed
 #                   scale artifact's 5k/1k curve dips below 0.8 or its
 #                   50k/5k curve below 0.9, if its shard check diverged,
-#                   if a tier's RSS blows its per-host budget, or if the
-#                   crawl's alloc_bytes_per_event proxy grew past 1.5x
+#                   if a tier's RSS blows its per-host budget, if the
+#                   crawl's alloc_bytes_per_event proxy grew past 1.5x,
+#                   or if the 5k-tier snapshot/restore cycle costs more
+#                   than 10% of steady-state wall time
 #   8. scale     -- bench_scale smoke tiers: 250 hosts (with the embedded
 #                   shards-{1,4} divergence byte-check) and a sharded
 #                   50,000-host world at a shortened sim slice
@@ -81,6 +83,11 @@ step "robustness suite" cargo test -q --test robustness
 # shard counts {1,2,4,7} must export byte-identical artifacts, faults and
 # all (plus the netsim-level property test over arbitrary assignments).
 step "shard equivalence suite" cargo test -q --test shard_determinism
+# Checkpoint/restore is tier-1 the same way: a crawl snapshotted at T and
+# resumed into a fresh shell must export byte-identical artifacts to a
+# run that never stopped, at shard counts {1,4} — and the dial-slot
+# underflow counter must stay silent throughout.
+step "resume determinism suite" cargo test -q --test resume_determinism
 step "shard dispatch property (netsim)" cargo test -q -p netsim --test proptest_shards
 # Wire conformance is likewise tier-1 (the workspace run covers the golden
 # vectors and the capped differential drivers); name it so a golden-vector

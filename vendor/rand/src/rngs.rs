@@ -11,6 +11,27 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// Raw xoshiro256++ state, for checkpoint/restore. The four words fully
+    /// determine the future stream; `from_state(state())` is a perfect
+    /// resume point.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a previously captured [`StdRng::state`].
+    /// The all-zero state is displaced exactly as in `from_seed`, so a
+    /// round-trip through `state()` never lands on the fixed point.
+    pub fn from_state(s: [u64; 4]) -> StdRng {
+        if s == [0, 0, 0, 0] {
+            let mut seed = [0u8; 32];
+            seed[0] = 0; // canonical displacement path
+            return StdRng::from_seed(seed);
+        }
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
